@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Ablations of the design choices DESIGN.md calls out:
+ *
+ *  A. fallback remainder policy — leaving small-steal remainders
+ *     with the victim (modern Linux) vs claiming them: how much of
+ *     the paper's unmovable scattering each produces;
+ *  B. placement bias inside the unmovable region (Section 3.2's
+ *     away-from-border rule) — its effect on shrink success;
+ *  C. Contiguitas-HW migration on/off — whether the unmovable region
+ *     can shrink and defragment under pinned IO load;
+ *  D. kcompactd budget — background compaction's role in huge-page
+ *     coverage under churn.
+ */
+
+#include "bench/bench_util.hh"
+#include "contiguitas/policy.hh"
+#include "mem/scanner.hh"
+#include "workloads/workload.hh"
+
+using namespace ctg;
+
+namespace
+{
+
+constexpr std::uint64_t memBytes = std::uint64_t{2} << 30;
+
+WorkloadProfile
+profileFor(double pin_rate = 0.0)
+{
+    WorkloadProfile profile =
+        makeProfile(WorkloadKind::CacheB, memBytes);
+    profile.pinRatePerSec = pin_rate;
+    return profile;
+}
+
+void
+ablationFallback()
+{
+    Table table("A. fallback remainder policy (vanilla kernel, "
+                "Cache B, 45s)");
+    table.header({"Policy", "Unmovable pages", "2MB blocks "
+                  "contaminated", "Amplification"});
+    for (const bool claim : {false, true}) {
+        KernelConfig kc;
+        kc.memBytes = memBytes;
+        kc.kernelTextBytes = std::uint64_t{4} << 20;
+        kc.seed = 0xab1;
+        Kernel kernel(kc);
+        kernel.policy().movableAllocator()
+            .setClaimRemainderOnSmallSteal(claim);
+        Workload workload(kernel, profileFor(), 0xab1);
+        workload.start();
+        workload.runFor(45.0);
+        const PhysMem &mem = kernel.mem();
+        const double pages = scan::unmovablePageRatio(
+            mem, 0, mem.numFrames());
+        const double blocks = scan::unmovableBlockFraction(
+            mem, 0, mem.numFrames(), scan::order2M);
+        table.row({claim ? "claim remainder (pre-4.x)"
+                         : "leave with victim (Linux 5.x)",
+                   formatPercent(pages), formatPercent(blocks),
+                   cell(blocks / pages, 2) + "x"});
+    }
+    table.print();
+    std::printf("\n");
+}
+
+struct CtgOutcome
+{
+    Pfn boundary = 0;
+    std::uint64_t shrinks = 0;
+    std::uint64_t shrinkFailures = 0;
+    std::uint64_t hwMigrations = 0;
+};
+
+/**
+ * Controlled region scenario: a layer of linear-map residue (truly
+ * unmovable) plus a burst of IO buffers (movable only by
+ * Contiguitas-HW) that later mostly drains. Whether the region can
+ * shrink back depends on (i) the residue having been biased away
+ * from the border and (ii) hardware migration for the leftover IO
+ * pages near it.
+ */
+CtgOutcome
+runRegionScenario(bool bias, bool hw)
+{
+    KernelConfig kc;
+    kc.memBytes = memBytes;
+    kc.kernelTextBytes = std::uint64_t{4} << 20;
+    kc.seed = 0xab2;
+    ContiguitasConfig cc;
+    cc.placementBias = bias;
+    cc.hwMigration = hw;
+    Kernel kernel(kc, ContiguitasPolicy::factory(cc));
+    auto &policy = static_cast<ContiguitasPolicy &>(kernel.policy());
+    const std::uint64_t region_pages =
+        policy.regions().unmovable().totalPages();
+
+    // Linear-map residue: ~15% of the region, interleaved with IO
+    // traffic so placement decisions happen under churn.
+    ChurnPool::Config io_config;
+    io_config.ratePerSec = 4000.0;
+    io_config.meanLifeSec = 0.02;
+    io_config.longLivedFrac = 0.3;
+    io_config.longMeanLifeSec = 6.0;
+    io_config.mt = MigrateType::Unmovable;
+    io_config.source = AllocSource::Networking;
+    io_config.relocatable = true;
+    ChurnPool io(kernel, io_config, 0x10);
+
+    std::vector<Pfn> residue;
+    const std::uint64_t residue_target = region_pages * 15 / 100;
+    double now = 0.0;
+    while (residue.size() < residue_target) {
+        now += 0.05;
+        io.advanceTo(now);
+        kernel.advanceSeconds(0.05);
+        for (int i = 0; i < 40 && residue.size() < residue_target;
+             ++i) {
+            AllocRequest req;
+            req.order = 0;
+            req.mt = MigrateType::Unmovable;
+            req.source = AllocSource::Slab;
+            req.lifetime = Lifetime::Long;
+            const Pfn p = kernel.allocPages(req);
+            if (p != invalidPfn)
+                residue.push_back(p);
+        }
+    }
+
+    // Traffic winds down: no new IO, but the long-lived buffers
+    // (sockets with buffered data) stick around near the border.
+    io.pause();
+    now += 2.0;
+    io.advanceTo(now);
+
+    // Movable pressure builds; the controller tries to shrink.
+    CtgOutcome out;
+    for (int second = 0; second < 20; ++second) {
+        now += 1.0;
+        io.advanceTo(now);
+        kernel.psiMovable().recordStall(3e5);
+        kernel.advanceSeconds(1.0);
+    }
+    out.boundary = policy.regions().boundary();
+    out.shrinks = policy.regions().stats().shrinks;
+    out.shrinkFailures = policy.regions().stats().shrinkFailures;
+    out.hwMigrations = policy.regions().stats().hwMigrations;
+    for (const Pfn p : residue)
+        kernel.freePages(p);
+    return out;
+}
+
+void
+ablationPlacementAndHw()
+{
+    Table table("B/C. placement bias and Contiguitas-HW (region "
+                "shrink after an IO burst drains)");
+    table.header({"Configuration", "Final boundary", "Shrinks",
+                  "Shrink failures", "HW moves"});
+    struct Case
+    {
+        const char *name;
+        bool bias;
+        bool hw;
+    };
+    const Case cases[] = {
+        {"no bias, no HW", false, false},
+        {"bias, no HW", true, false},
+        {"no bias, HW", false, true},
+        {"bias + HW", true, true},
+    };
+    for (const Case &c : cases) {
+        const CtgOutcome out = runRegionScenario(c.bias, c.hw);
+        table.row({c.name, formatBytes(out.boundary * pageBytes),
+                   cell(out.shrinks), cell(out.shrinkFailures),
+                   cell(out.hwMigrations)});
+    }
+    table.print();
+    std::printf("\n");
+}
+
+void
+ablationKcompactd()
+{
+    Table table("D. kcompactd budget vs huge-page coverage "
+                "(vanilla, Cache B, 40s of churn)");
+    table.header({"Budget (migrations/s)", "2MB-backed fraction"});
+    for (const std::uint64_t budget : {std::uint64_t{0},
+                                       std::uint64_t{512},
+                                       std::uint64_t{4096},
+                                       std::uint64_t{16384}}) {
+        KernelConfig kc;
+        kc.memBytes = memBytes;
+        kc.kernelTextBytes = std::uint64_t{4} << 20;
+        kc.kcompactdBudgetPerSec = budget;
+        kc.seed = 0xab3;
+        Kernel kernel(kc);
+        Workload workload(kernel, profileFor(), 0xab3);
+        workload.start();
+        workload.runFor(40.0);
+        table.row({cell(budget),
+                   formatPercent(workload.hugeBackedFraction())});
+    }
+    table.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablations",
+                  "Design-choice studies (not a paper figure)");
+    ablationFallback();
+    ablationPlacementAndHw();
+    ablationKcompactd();
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark binaries: standard
+ * fleet configurations, CDF rendering, and banner output. Every
+ * binary prints the rows/series of one of the paper's tables or
+ * figures (shape reproduction — see EXPERIMENTS.md for the
+ * paper-vs-measured record).
+ */
+
+#ifndef CTG_BENCH_BENCH_UTIL_HH
+#define CTG_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/table.hh"
+#include "base/units.hh"
+#include "fleet/fleet.hh"
+
+namespace ctg
+{
+namespace bench
+{
+
+/** Print the figure banner. */
+inline void
+banner(const char *figure, const char *caption)
+{
+    std::printf("\n================================================"
+                "====\n");
+    std::printf("%s — %s\n", figure, caption);
+    std::printf("================================================"
+                "====\n");
+}
+
+/** Standard fleet configuration used by the Section 2 studies. */
+inline Fleet::Config
+standardFleet(bool contiguitas, unsigned servers = 48)
+{
+    Fleet::Config config;
+    config.servers = servers;
+    config.memBytes = std::uint64_t{2} << 30;
+    config.contiguitas = contiguitas;
+    config.minUptimeSec = 25.0;
+    config.maxUptimeSec = 90.0;
+    config.prefragmentFrac = 0.25;
+    config.seed = 0x15ca2023;
+    return config;
+}
+
+/** Render "CDF of servers" rows for a per-server metric. */
+inline void
+printCdfRows(Table &table, const std::string &label,
+             const std::vector<double> &thresholds,
+             const EmpiricalCdf &cdf)
+{
+    std::vector<std::string> row;
+    row.push_back(label);
+    for (const double x : thresholds)
+        row.push_back(cell(cdf.fractionAtOrBelow(x), 2));
+    table.row(std::move(row));
+}
+
+} // namespace bench
+} // namespace ctg
+
+#endif // CTG_BENCH_BENCH_UTIL_HH

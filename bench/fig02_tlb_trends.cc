@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 2: relative memory capacity and TLB coverage across five
+ * hardware generations. Memory grows ~8x; TLB entries stagnate; the
+ * coverage of 4 KB and even 2 MB pages collapses while 1 GB pages
+ * keep covering more than the whole machine.
+ */
+
+#include "bench/bench_util.hh"
+#include "perfmodel/hwgen.hh"
+
+using namespace ctg;
+
+int
+main()
+{
+    bench::banner("Figure 2",
+                  "Memory and TLB coverage across hardware "
+                  "generations");
+
+    Table table;
+    table.header({"Generation", "Rel. capacity", "TLB entries",
+                  "Coverage 4KB", "Coverage 2MB", "Coverage 1GB"});
+    for (const HwGeneration &gen : hwGenerations()) {
+        table.row({
+            gen.name,
+            cell(gen.relativeCapacity, 1) + "x",
+            cell(static_cast<std::uint64_t>(gen.tlbEntries)),
+            formatPercent(tlbCoverage(gen, pageBytes), 4),
+            formatPercent(tlbCoverage(gen, hugeBytes), 2),
+            formatPercent(tlbCoverage(gen, gigaBytes), 0),
+        });
+    }
+    table.print();
+
+    const auto gens = hwGenerations();
+    const double cap_growth = gens.back().relativeCapacity;
+    const double cov_first = tlbCoverage(gens.front(), hugeBytes);
+    const double cov_last = tlbCoverage(gens.back(), hugeBytes);
+    std::printf("\nCapacity grows %.1fx while 2MB TLB coverage falls "
+                "%.0f%% -> %.0f%% of memory;\nonly 1GB pages (%.0f%% "
+                "coverage on Gen 5) keep up with capacity.\n",
+                cap_growth, cov_first * 100.0, cov_last * 100.0,
+                tlbCoverage(gens.back(), gigaBytes) * 100.0);
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 3: percentage of cycles lost to page walks (data and
+ * instructions) for Web, Cache A, Cache B and Ads under 4 KB pages,
+ * 2 MB pages, and (Web only, as in the paper) 1 GB pages. The walk
+ * cycles come out of the simulated two-level TLB + page-walk-cache
+ * hierarchy of Table 1 driving real radix walks through the cache
+ * hierarchy.
+ */
+
+#include "bench/bench_util.hh"
+#include "perfmodel/walkmodel.hh"
+
+using namespace ctg;
+
+int
+main()
+{
+    bench::banner("Figure 3",
+                  "Percentage of cycles lost to page walks");
+
+    struct Row
+    {
+        const char *name;
+        AccessProfile profile;
+        bool try1g;
+    };
+    const Row rows[] = {
+        {"Web", makeAccessProfile(WorkloadKind::Web), true},
+        {"Cache A", makeAccessProfile(WorkloadKind::CacheA), false},
+        {"Cache B", makeAccessProfile(WorkloadKind::CacheB), false},
+        {"Ads", makeAdsAccessProfile(), false},
+    };
+
+    const std::uint64_t ops = 400000;
+
+    // The paper's bars are as-deployed measurements: THP backs only
+    // part of the footprint on production machines (fragmentation),
+    // and the 1 GB configuration adds a few HugeTLB gigantic pages
+    // on top. We measure the same partial-coverage mixes.
+    const double thpDataCoverage = 0.55;
+    const double thpCodeCoverage = 0.85;
+
+    Table table;
+    table.header({"Workload", "Pages", "Data walk %", "Instr walk %",
+                  "Total %"});
+    for (const Row &row : rows) {
+        // 4 KB everywhere.
+        const WalkMeasurement m4k = measureWalkCycles(
+            row.profile, BackingMix{}, BackingMix{}, ops, 0x403);
+        // 2 MB via THP: partial coverage, as on production hosts.
+        BackingMix data_thp;
+        data_thp.hugeFraction = thpDataCoverage;
+        BackingMix code_thp;
+        code_thp.hugeFraction = thpCodeCoverage;
+        const WalkMeasurement m2m = measureWalkCycles(
+            row.profile, data_thp, code_thp, ops, 0x403);
+        table.row({row.name, "4KB",
+                   formatPercent(m4k.dataWalkFrac),
+                   formatPercent(m4k.instrWalkFrac),
+                   formatPercent(m4k.totalWalkFrac())});
+        table.row({"", "2MB", formatPercent(m2m.dataWalkFrac),
+                   formatPercent(m2m.instrWalkFrac),
+                   formatPercent(m2m.totalWalkFrac())});
+        if (row.try1g) {
+            // A few 1 GB HugeTLB pages for the hottest data on top
+            // of the THP mix (the paper's Web configuration).
+            BackingMix data_1g = data_thp;
+            data_1g.gigaPages = 4;
+            const WalkMeasurement m1g = measureWalkCycles(
+                row.profile, data_1g, code_thp, ops, 0x403);
+            table.row({"", "1GB", formatPercent(m1g.dataWalkFrac),
+                       formatPercent(m1g.instrWalkFrac),
+                       formatPercent(m1g.totalWalkFrac())});
+        }
+    }
+    table.print();
+
+    std::printf("\nShape check (paper): up to ~20%% of cycles in "
+                "walks at 4KB; 2MB halves Web's instruction walks "
+                "but barely moves its data walks;\n1GB pages are "
+                "what cuts Web's data walk cycles (14%% -> 8%% in "
+                "the paper).\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 12: potential memory contiguity — the fraction of memory a
+ * hypothetically perfect software compaction could consolidate into
+ * 2 MB / 32 MB / 1 GB regions. On vanilla Linux scattered unmovable
+ * pages cap this well below 100% and make 1 GB unreachable; under
+ * Contiguitas the whole movable region is recoverable by design.
+ */
+
+#include "bench/bench_util.hh"
+#include "fleet/server.hh"
+
+using namespace ctg;
+
+namespace
+{
+
+ServerScan
+runOne(WorkloadKind kind, bool contiguitas)
+{
+    Server::Config config;
+    // 8 GiB machines so the 1 GB granularity has enough blocks.
+    config.memBytes = std::uint64_t{8} << 30;
+    config.contiguitas = contiguitas;
+    config.kind = kind;
+    config.uptimeSec = 50.0;
+    config.seed = 0x12f1;
+    Server server(config);
+    return server.run();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 12",
+                  "Potential contiguity after perfect compaction "
+                  "(% of total memory)");
+
+    const WorkloadKind kinds[] = {WorkloadKind::CI, WorkloadKind::Web,
+                                  WorkloadKind::CacheA,
+                                  WorkloadKind::CacheB};
+
+    Table table;
+    table.header({"Workload", "System", "2M", "32M", "1G"});
+    for (const WorkloadKind kind : kinds) {
+        const ServerScan linux_scan = runOne(kind, false);
+        const ServerScan ctg_scan = runOne(kind, true);
+        table.row({workloadName(kind), "Linux",
+                   formatPercent(linux_scan.potentialContiguity[0]),
+                   formatPercent(linux_scan.potentialContiguity[1]),
+                   formatPercent(linux_scan.potentialContiguity[2])});
+        table.row({"", "Contiguitas",
+                   formatPercent(ctg_scan.potentialContiguity[0]),
+                   formatPercent(ctg_scan.potentialContiguity[1]),
+                   formatPercent(ctg_scan.potentialContiguity[2])});
+    }
+    table.print();
+
+    std::printf("\nShape check: Linux degrades sharply toward 1G "
+                "(paper: no 1G region at all);\nContiguitas keeps "
+                "the whole movable region recoverable at every "
+                "granularity.\n");
+    return 0;
+}

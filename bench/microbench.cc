@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the core primitives: buddy
+ * allocation/free, contiguity scans, TLB lookups, cache-hierarchy
+ * accesses, LLC redirection during migration, and software vs
+ * hardware migration procedures. These guard the simulator's own
+ * performance (a fleet study runs millions of these operations).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "base/rng.hh"
+#include "base/units.hh"
+#include "hw/system.hh"
+#include "mem/buddy.hh"
+#include "mem/scanner.hh"
+
+namespace ctg
+{
+namespace
+{
+
+void
+BM_BuddyAllocFree4k(benchmark::State &state)
+{
+    PhysMem mem(256_MiB);
+    BuddyAllocator buddy(mem, 0, mem.numFrames(), "bm");
+    for (auto _ : state) {
+        const Pfn pfn = buddy.allocPages(0, MigrateType::Movable,
+                                         AllocSource::User);
+        benchmark::DoNotOptimize(pfn);
+        buddy.freePages(pfn);
+    }
+}
+BENCHMARK(BM_BuddyAllocFree4k);
+
+void
+BM_BuddyAllocFreeHuge(benchmark::State &state)
+{
+    PhysMem mem(256_MiB);
+    BuddyAllocator buddy(mem, 0, mem.numFrames(), "bm");
+    for (auto _ : state) {
+        const Pfn pfn = buddy.allocPages(hugeOrder,
+                                         MigrateType::Movable,
+                                         AllocSource::User);
+        benchmark::DoNotOptimize(pfn);
+        buddy.freePages(pfn);
+    }
+}
+BENCHMARK(BM_BuddyAllocFreeHuge);
+
+void
+BM_BuddyFallbackSteal(benchmark::State &state)
+{
+    PhysMem mem(256_MiB);
+    BuddyAllocator buddy(mem, 0, mem.numFrames(), "bm");
+    for (auto _ : state) {
+        // Every unmovable allocation on a movable-only machine goes
+        // through the fallback path.
+        const Pfn pfn = buddy.allocPages(0, MigrateType::Unmovable,
+                                         AllocSource::Slab);
+        benchmark::DoNotOptimize(pfn);
+        buddy.freePages(pfn);
+    }
+}
+BENCHMARK(BM_BuddyFallbackSteal);
+
+void
+BM_ContiguityScan2M(benchmark::State &state)
+{
+    PhysMem mem(512_MiB);
+    BuddyAllocator buddy(mem, 0, mem.numFrames(), "bm");
+    Rng rng(1);
+    for (int i = 0; i < 20000; ++i) {
+        buddy.allocPages(0,
+                         rng.chance(0.1) ? MigrateType::Unmovable
+                                         : MigrateType::Movable,
+                         AllocSource::User);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(scan::unmovableBlockFraction(
+            mem, 0, mem.numFrames(), scan::order2M));
+    }
+}
+BENCHMARK(BM_ContiguityScan2M);
+
+void
+BM_TlbHit(benchmark::State &state)
+{
+    Tlb tlb(64, 4);
+    tlb.insert(42, 100, 0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tlb.lookup(42));
+}
+BENCHMARK(BM_TlbHit);
+
+void
+BM_CacheAccessL1Hit(benchmark::State &state)
+{
+    MemHierarchy mem{HwConfig{}};
+    mem.access(0, 0x4000, false);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mem.access(0, 0x4000, false));
+}
+BENCHMARK(BM_CacheAccessL1Hit);
+
+void
+BM_CacheAccessSpread(benchmark::State &state)
+{
+    MemHierarchy mem{HwConfig{}};
+    Rng rng(7);
+    for (auto _ : state) {
+        const Addr addr =
+            (rng.below(1u << 16)) * lineBytes;
+        benchmark::DoNotOptimize(mem.access(
+            static_cast<CoreId>(rng.below(8)), addr,
+            rng.chance(0.3), 1));
+    }
+}
+BENCHMARK(BM_CacheAccessSpread);
+
+void
+BM_RedirectedAccess(benchmark::State &state)
+{
+    HwSystem hw;
+    hw.mem().migrationTable().install(0x300, 0x5123,
+                                      ChwMode::Noncacheable);
+    MigrationEntry *entry =
+        hw.mem().migrationTable().findBySrc(0x300);
+    entry->ptr = 32;
+    Rng rng(3);
+    for (auto _ : state) {
+        const Addr addr = pfnToAddr(0x300) +
+                          rng.below(linesPerPage) * lineBytes;
+        benchmark::DoNotOptimize(hw.mem().access(0, addr, false));
+    }
+}
+BENCHMARK(BM_RedirectedAccess);
+
+void
+BM_ChwPageMigration(benchmark::State &state)
+{
+    HwSystem hw;
+    Pfn src = 0x1000;
+    Pfn dst = 0x2000;
+    for (auto _ : state) {
+        ChwEngine::Descriptor desc;
+        desc.src = src;
+        desc.dst = dst;
+        desc.mode = ChwMode::Noncacheable;
+        hw.chw().submitMigrate(desc);
+        hw.drain();
+        hw.chw().clear(src);
+        std::swap(src, dst);
+    }
+}
+BENCHMARK(BM_ChwPageMigration);
+
+} // namespace
+} // namespace ctg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Section 2.4: correlation between server uptime and contiguity.
+ * The paper finds essentially none (Pearson r = 0.00286 between
+ * uptime and free 2 MB blocks; 0.16 even for young servers), because
+ * servers fragment within their first hour while uptimes span weeks.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace ctg;
+
+int
+main()
+{
+    bench::banner("Section 2.4",
+                  "Uptime vs contiguity correlation across the "
+                  "fleet");
+
+    // A Pearson coefficient needs population: many small servers.
+    Fleet::Config config = bench::standardFleet(false, 160);
+    config.memBytes = std::uint64_t{1} << 30;
+    // Production uptimes are days to weeks — far past the
+    // fragmentation plateau (reached within the first "hour", i.e.
+    // ~40 simulated seconds). Sample accordingly, with a young
+    // minority for the paper's second coefficient.
+    config.minUptimeSec = 35.0;
+    config.maxUptimeSec = 200.0;
+    Fleet fleet(config);
+    const auto scans = fleet.run();
+
+    std::vector<double> uptimes;
+    std::vector<double> free2m;
+    std::vector<double> young_uptimes;
+    std::vector<double> young_free2m;
+    for (const ServerScan &scan : scans) {
+        uptimes.push_back(scan.uptimeSec);
+        free2m.push_back(static_cast<double>(scan.free2mBlocks));
+        if (scan.uptimeSec < 60.0) {
+            young_uptimes.push_back(scan.uptimeSec);
+            young_free2m.push_back(
+                static_cast<double>(scan.free2mBlocks));
+        }
+    }
+
+    const double r_all = pearson(uptimes, free2m);
+    const double r_young =
+        young_uptimes.size() >= 3 ? pearson(young_uptimes,
+                                            young_free2m)
+                                  : 0.0;
+
+    Table table;
+    table.header({"Population", "Servers", "Pearson r(uptime, free "
+                  "2MB blocks)", "(paper)"});
+    table.row({"whole fleet",
+               cell(static_cast<std::uint64_t>(uptimes.size())),
+               cell(r_all, 4), "0.00286"});
+    table.row({"young servers",
+               cell(static_cast<std::uint64_t>(young_uptimes.size())),
+               cell(r_young, 4), "0.16"});
+    table.print();
+
+    std::printf("\n|r| close to zero: fragmentation is set by the "
+                "workload, not by age.\n");
+    return 0;
+}

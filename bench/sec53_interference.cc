@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Section 5.3 performance study: NGINX and memcached serve requests
+ * at peak throughput while Contiguitas-HW migrates their unmovable
+ * networking buffers in the background, at the Regular rate
+ * (100/s) and a Very High rate (1000/s), in both noncacheable and
+ * cacheable modes. Paper: <=0.3% overhead for noncacheable at the
+ * Very High rate, none for cacheable; and memcached gains ~7% once
+ * 2 MB pages come with the recovered contiguity.
+ */
+
+#include <deque>
+
+#include "bench/bench_util.hh"
+#include "fleet/server.hh"
+#include "perfmodel/walkmodel.hh"
+#include "workloads/access_gen.hh"
+
+using namespace ctg;
+
+namespace
+{
+
+struct RunResult
+{
+    double cyclesPerRequest = 0.0;
+    std::uint64_t migrations = 0;
+};
+
+/**
+ * Serve requests over a buffer pool + heap while migrating random
+ * buffer pages at the given rate.
+ */
+RunResult
+serveWithMigrations(WorkloadKind kind, double migrations_per_sec,
+                    ChwMode mode, bool huge_heap)
+{
+    KernelConfig kc;
+    kc.memBytes = std::uint64_t{4} << 30;
+    kc.kernelTextBytes = std::uint64_t{4} << 20;
+    kc.thpEnabled = huge_heap;
+    Kernel kernel(kc);
+    AddressSpace space(kernel, 1);
+
+    AccessProfile profile = makeAccessProfile(kind);
+    profile.dataBytes = std::uint64_t{1536} << 20;
+    profile.codeBytes = std::uint64_t{16} << 20;
+    // Request-serving caches have hot working sets.
+    profile.dataZipfTheta = 0.8;
+    const Addr heap = space.mmap(profile.dataBytes);
+    const Addr code = space.mmap(profile.codeBytes);
+    space.touchRange(heap, profile.dataBytes);
+    space.touchRange(code, profile.codeBytes);
+
+    // Networking buffer pool: unmovable pages the NIC drives.
+    const unsigned buffer_pages = 4096; // 16 MiB of rx/tx buffers
+    std::vector<Vpn> buffer_vpns;
+    PageTables dma_tables(kernel);
+    for (unsigned i = 0; i < buffer_pages; ++i) {
+        AllocRequest req;
+        req.order = 0;
+        req.mt = MigrateType::Unmovable;
+        req.source = AllocSource::Networking;
+        const Pfn pfn = kernel.allocPages(req);
+        ctg_assert(pfn != invalidPfn);
+        const Vpn vpn = 0x100000 + i;
+        dma_tables.map(vpn, pfn, 0);
+        buffer_vpns.push_back(vpn);
+    }
+
+    HwSystem hw;
+    AccessStream stream(profile, heap, code, 0x5e53);
+    Rng rng(0x99);
+
+    const double ghz = hw.config().ghz;
+    const std::uint64_t requests = 3000;
+    const unsigned ops_per_request = 60;
+    const unsigned dma_per_request = 8;
+
+    double next_migration_cycles =
+        migrations_per_sec > 0
+            ? ghz * 1e9 / migrations_per_sec
+            : 1e300;
+    double total_cycles = 0.0;
+    std::uint64_t migrations = 0;
+    std::deque<std::pair<Pfn, Vpn>> in_flight;
+
+    for (std::uint64_t r = 0; r < requests; ++r) {
+        // Application work.
+        for (unsigned op = 0; op < ops_per_request; ++op) {
+            bool is_write = false;
+            const Addr addr = stream.nextData(&is_write);
+            const auto res = hw.coreAccess(
+                static_cast<CoreId>(r % hw.config().cores), addr,
+                space.pageTables(), is_write, r);
+            total_cycles += static_cast<double>(res.latency) + 10;
+        }
+        // NIC DMA into the buffer pool (through the IOMMU).
+        for (unsigned d = 0; d < dma_per_request; ++d) {
+            const Vpn vpn =
+                buffer_vpns[rng.below(buffer_vpns.size())];
+            const auto res = hw.iommu().dmaAccess(
+                pfnToAddr(vpn), dma_tables, rng.chance(0.5), r);
+            total_cycles += static_cast<double>(res.latency);
+        }
+        // The application reads packet payloads out of the buffers
+        // too — these are the accesses noncacheable migration mode
+        // taxes.
+        for (unsigned d = 0; d < 4; ++d) {
+            const Vpn vpn =
+                buffer_vpns[rng.below(buffer_vpns.size())];
+            const Translation tr = dma_tables.translate(vpn);
+            if (!tr.valid)
+                continue;
+            const auto res = hw.mem().access(
+                static_cast<CoreId>(r % hw.config().cores),
+                pfnToAddr(tr.pfn) +
+                    rng.below(linesPerPage) * lineBytes,
+                false);
+            total_cycles += static_cast<double>(res.latency);
+        }
+        // Let background hardware (the copy engine, lazy
+        // invalidations, completion handling) progress to the
+        // current request-time anchor.
+        hw.drain(static_cast<Tick>(total_cycles));
+
+        // Background migrations of the unmovable buffers.
+        if (total_cycles >= next_migration_cycles) {
+            next_migration_cycles +=
+                ghz * 1e9 / migrations_per_sec;
+            const Vpn vpn =
+                buffer_vpns[rng.below(buffer_vpns.size())];
+            const Translation tr = dma_tables.translate(vpn);
+            if (tr.valid &&
+                !hw.chw().migrating(tr.pfn)) {
+                AllocRequest req;
+                req.order = 0;
+                req.mt = MigrateType::Unmovable;
+                req.source = AllocSource::Networking;
+                const Pfn dst = kernel.allocPages(req);
+                if (dst != invalidPfn) {
+                    hw.shootdown().contiguitasMigrate(
+                        0, vpn, dma_tables, dst, mode, hw.chw(),
+                        [&kernel, src = tr.pfn](MigrationTiming) {
+                            kernel.freePages(src);
+                        });
+                    hw.iommu().queueInvalidate(vpn);
+                    ++migrations;
+                }
+            }
+        }
+    }
+    hw.drain();
+
+    RunResult result;
+    result.cyclesPerRequest =
+        total_cycles / static_cast<double>(requests);
+    result.migrations = migrations;
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Section 5.3",
+                  "Unmovable-buffer migration interference on NGINX "
+                  "and memcached");
+
+    Table table;
+    table.header({"Workload", "Migration rate", "Mode",
+                  "Cycles/request", "Overhead vs idle"});
+    for (const WorkloadKind kind :
+         {WorkloadKind::Nginx, WorkloadKind::Memcached}) {
+        const RunResult base = serveWithMigrations(
+            kind, 0.0, ChwMode::Noncacheable, false);
+        table.row({workloadName(kind), "none", "-",
+                   cell(base.cyclesPerRequest, 1), "-"});
+        struct Case
+        {
+            const char *rate_name;
+            double rate;
+            ChwMode mode;
+            const char *mode_name;
+        };
+        const Case cases[] = {
+            {"Regular (100/s)", 100.0, ChwMode::Noncacheable, "NC"},
+            {"Regular (100/s)", 100.0, ChwMode::Cacheable, "C"},
+            {"Very High (1000/s)", 1000.0, ChwMode::Noncacheable,
+             "NC"},
+            {"Very High (1000/s)", 1000.0, ChwMode::Cacheable, "C"},
+        };
+        for (const Case &c : cases) {
+            const RunResult r =
+                serveWithMigrations(kind, c.rate, c.mode, false);
+            const double overhead =
+                r.cyclesPerRequest / base.cyclesPerRequest - 1.0;
+            table.row({"", c.rate_name, c.mode_name,
+                       cell(r.cyclesPerRequest, 1),
+                       formatPercent(overhead, 2)});
+        }
+    }
+    table.print();
+
+    // Memcached with the huge pages the recovered contiguity buys.
+    const RunResult mc4k = serveWithMigrations(
+        WorkloadKind::Memcached, 100.0, ChwMode::Cacheable, false);
+    const RunResult mc2m = serveWithMigrations(
+        WorkloadKind::Memcached, 100.0, ChwMode::Cacheable, true);
+    std::printf("\nmemcached with 2MB pages: %.1f%% faster "
+                "(paper: ~7%%)\n",
+                100.0 * (mc4k.cyclesPerRequest /
+                             mc2m.cyclesPerRequest -
+                         1.0));
+    std::printf("Shape check (paper): noncacheable overhead <=0.3%% "
+                "even at 1000 migrations/s; cacheable ~0%%.\n");
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Section 5.3 sizing and hardware-cost analysis: the lazy-
+ * invalidation window implied by kernel-entry rates, the theoretical
+ * migration throughput of a single metadata entry, peak table
+ * occupancy under Poisson migration traffic, and the analytic
+ * area/energy/leakage estimate of the 16-entry per-slice table
+ * (paper, via Cacti 7 at 22nm: 0.0038 mm^2, 0.0017 nJ/access,
+ * 0.64 mW — 0.014% of a core).
+ */
+
+#include <queue>
+
+#include "base/rng.hh"
+#include "bench/bench_util.hh"
+#include "hw/areamodel.hh"
+#include "hw/config.hh"
+
+using namespace ctg;
+
+int
+main()
+{
+    bench::banner("Section 5.3",
+                  "Contiguitas-HW sizing and hardware requirements");
+
+    const HwConfig config;
+
+    // Invalidation-window analysis.
+    const double entry_rate_low = 40000.0;  // kernel entries/s
+    const double entry_rate_high = 100000.0;
+    const double window_us = 1e6 / entry_rate_low;
+    const double copy_us = 5.0; // conservative 4KB copy
+    const double per_entry_migrations =
+        1e6 / (window_us + copy_us);
+
+    Table window("Lazy-invalidation window");
+    window.header({"Quantity", "Value"});
+    window.row({"Kernel entries per core",
+                cell(entry_rate_low, 0) + " - " +
+                    cell(entry_rate_high, 0) + " /s"});
+    window.row({"Invalidation window", ">= " + cell(window_us, 0) +
+                                           " us"});
+    window.row({"4KB copy (conservative)", cell(copy_us, 0) + " us"});
+    window.row({"Migrations/s per table entry",
+                cell(per_entry_migrations, 0)});
+    window.print();
+    std::printf("\n");
+
+    // Peak occupancy under Poisson migration traffic at the paper's
+    // Very High rate, holding each mapping for window + copy time.
+    Rng rng(0x0cc);
+    const double rate_per_sec = 1000.0;
+    const double hold_us = window_us + copy_us;
+    std::priority_queue<double, std::vector<double>,
+                        std::greater<>> live;
+    unsigned peak = 0;
+    double now_us = 0.0;
+    for (int i = 0; i < 200000; ++i) {
+        now_us += rng.exponential(1e6 / rate_per_sec);
+        while (!live.empty() && live.top() <= now_us)
+            live.pop();
+        live.push(now_us + hold_us);
+        peak = std::max(peak, static_cast<unsigned>(live.size()));
+    }
+    Table occupancy("Metadata-table occupancy @1000 migrations/s");
+    occupancy.header({"Quantity", "Value"});
+    occupancy.row({"Mean mappings live",
+                   cell(rate_per_sec * hold_us / 1e6, 2)});
+    occupancy.row({"Peak mappings live (simulated)",
+                   cell(static_cast<std::uint64_t>(peak))});
+    occupancy.row({"Table capacity (per slice)",
+                   cell(static_cast<std::uint64_t>(
+                       config.chwEntries))});
+    occupancy.print();
+    std::printf("\n");
+
+    // Hardware cost.
+    const SramEstimate est =
+        estimateFaSram(config.chwEntries, migrationEntryBits, 22.0);
+    Table cost("Per-slice migration table (16 entries, FA, 22nm)");
+    cost.header({"Metric", "Model", "(paper/Cacti)"});
+    cost.row({"Area", cell(est.areaMm2, 4) + " mm^2",
+              "0.0038 mm^2"});
+    cost.row({"Energy/access",
+              cell(est.energyPerAccessNj, 4) + " nJ", "0.0017 nJ"});
+    cost.row({"Leakage", cell(est.leakageMw, 2) + " mW", "0.64 mW"});
+    cost.row({"Fraction of a core area",
+              formatPercent(est.areaMm2 / coreAreaMm2At22nm, 3),
+              "0.014%"});
+    cost.print();
+
+    std::printf("\nConclusion: a single entry already sustains ~%d "
+                "migrations/s; 16 entries per slice are ample and "
+                "the silicon cost is negligible.\n",
+                static_cast<int>(per_entry_migrations));
+    return 0;
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Live migration demo: a page that is being DMA'd into by a NIC —
+ * unmovable for software — is migrated by Contiguitas-HW while the
+ * traffic keeps flowing. The demo prints the migration's progress
+ * (Ptr frontier, redirections) and verifies that not a single
+ * byte-token is lost, then contrasts the classic IPI-based software
+ * migration's downtime.
+ */
+
+#include <cstdio>
+
+#include "base/rng.hh"
+#include "base/units.hh"
+#include "hw/system.hh"
+#include "kernel/kernel.hh"
+
+using namespace ctg;
+
+int
+main()
+{
+    std::printf("Contiguitas-HW live migration of an in-use DMA "
+                "page\n\n");
+
+    HwSystem hw;
+    KernelConfig kc;
+    kc.memBytes = 256_MiB;
+    kc.kernelTextBytes = 2_MiB;
+    Kernel kernel(kc);
+    PageTables tables(kernel);
+    Rng rng(0xd);
+
+    // An unmovable networking buffer, mapped for the NIC.
+    AllocRequest req;
+    req.order = 0;
+    req.mt = MigrateType::Unmovable;
+    req.source = AllocSource::Networking;
+    const Pfn src = kernel.allocPages(req);
+    const Pfn dst = kernel.allocPages(req);
+    const Vpn vpn = 0xbeef;
+    tables.map(vpn, src, 0);
+
+    // Seed the page with recognizable tokens.
+    std::uint64_t expected[linesPerPage];
+    for (unsigned i = 0; i < linesPerPage; ++i) {
+        expected[i] = 0xd0d0000 + i;
+        hw.mem().pokeMemory(pfnToAddr(src) + i * lineBytes,
+                            expected[i]);
+    }
+
+    // Start the hardware migration; traffic continues below.
+    bool done = false;
+    MigrationTiming timing{};
+    hw.shootdown().contiguitasMigrate(
+        0, vpn, tables, dst, ChwMode::Noncacheable, hw.chw(),
+        [&](MigrationTiming t) {
+            timing = t;
+            done = true;
+        });
+
+    // Drive DMA writes and core reads through the page while the
+    // copy engine works, stepping the event queue by hand so we can
+    // watch Ptr advance.
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    unsigned last_printed = 0;
+    while (!done) {
+        if (!hw.eventq().step() || done) {
+            // The Clear command ended redirection; stop driving
+            // traffic through the source name.
+            break;
+        }
+        MigrationEntry *entry =
+            hw.mem().migrationTable().findBySrc(src);
+        if (entry != nullptr && entry->copying &&
+            entry->ptr >= last_printed + 16) {
+            last_printed = entry->ptr;
+            std::printf("  Ptr=%2u/64  redirections so far: %llu\n",
+                        entry->ptr,
+                        static_cast<unsigned long long>(
+                            hw.mem().stats().redirects));
+        }
+        for (int op = 0; op < 3; ++op) {
+            const unsigned line =
+                static_cast<unsigned>(rng.below(linesPerPage));
+            const Addr addr = pfnToAddr(src) + line * lineBytes;
+            if (rng.chance(0.4)) {
+                const std::uint64_t v = rng.next();
+                hw.mem().deviceAccess(addr, true, v); // NIC DMA
+                expected[line] = v;
+                ++writes;
+            } else {
+                const auto out = hw.mem().access(0, addr, false);
+                if (out.value != expected[line]) {
+                    std::printf("DATA LOSS at line %u!\n", line);
+                    return 1;
+                }
+                ++reads;
+            }
+        }
+    }
+    hw.drain();
+
+    std::printf("\nmigration done: %llu reads, %llu writes during "
+                "the copy, 0 inconsistencies\n",
+                static_cast<unsigned long long>(reads),
+                static_cast<unsigned long long>(writes));
+
+    // Verify the destination page.
+    for (unsigned i = 0; i < linesPerPage; ++i) {
+        const std::uint64_t v = hw.mem().authoritativeValue(
+            pfnToAddr(dst) + i * lineBytes);
+        if (v != expected[i]) {
+            std::printf("MISMATCH line %u\n", i);
+            return 1;
+        }
+    }
+    std::printf("destination page verified: all 64 lines carry the "
+                "latest data\n");
+    std::printf("page-unavailable time: %llu cycles (the page never "
+                "blocked)\n",
+                static_cast<unsigned long long>(
+                    timing.unavailableCycles));
+
+    // Contrast: the classic software procedure.
+    const Vpn vpn2 = 0xcafe;
+    const Pfn src2 = kernel.allocPages(req);
+    const Pfn dst2 = kernel.allocPages(req);
+    tables.map(vpn2, src2, 0);
+    MigrationTiming classic{};
+    hw.shootdown().softwareMigrate(0, 7, vpn2, tables, dst2,
+                                   [&](MigrationTiming t) {
+                                       classic = t;
+                                   });
+    hw.drain();
+    std::printf("\nclassic software migration (7 victim TLBs): page "
+                "unavailable for %llu cycles\n",
+                static_cast<unsigned long long>(
+                    classic.unavailableCycles));
+    std::printf("...and it is not even allowed on this page: the "
+                "NIC cannot be blocked.\n");
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Quickstart: boot two simulated servers — stock Linux and
+ * Contiguitas — run the same caching workload on both, and compare
+ * what their physical memory looks like afterwards.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "base/units.hh"
+#include "fleet/server.hh"
+#include "mem/scanner.hh"
+
+using namespace ctg;
+
+int
+main()
+{
+    std::printf("Contiguitas quickstart: one workload, two "
+                "kernels.\n\n");
+
+    auto run = [](bool contiguitas) {
+        Server::Config config;
+        config.memBytes = 2_GiB;
+        config.contiguitas = contiguitas;
+        config.kind = WorkloadKind::CacheB;
+        config.uptimeSec = 45.0;
+        config.seed = 0x9019;
+        Server server(config);
+        return server.run();
+    };
+
+    std::printf("running vanilla Linux ...\n");
+    const ServerScan linux_scan = run(false);
+    std::printf("running Contiguitas ...\n\n");
+    const ServerScan ctg_scan = run(true);
+
+    Table table("memory layout after 45s of cache traffic");
+    table.header({"Metric", "Linux", "Contiguitas"});
+    table.row({"Unmovable 4KB pages",
+               formatPercent(linux_scan.unmovablePageRatio),
+               formatPercent(ctg_scan.unmovablePageRatio)});
+    table.row({"2MB blocks contaminated",
+               formatPercent(linux_scan.unmovableBlocks[0]),
+               formatPercent(ctg_scan.unmovableBlocks[0])});
+    table.row({"Potential 2MB contiguity",
+               formatPercent(linux_scan.potentialContiguity[0]),
+               formatPercent(ctg_scan.potentialContiguity[0])});
+    table.row({"Potential 32MB contiguity",
+               formatPercent(linux_scan.potentialContiguity[1]),
+               formatPercent(ctg_scan.potentialContiguity[1])});
+    table.print();
+
+    std::printf("\nBoth kernels hold the same amount of unmovable "
+                "memory — Contiguitas just refuses to let it "
+                "scatter.\nThat is the paper's whole point, in one "
+                "table.\n");
+    return 0;
+}

@@ -1,0 +1,31 @@
+#include "base/logging.hh"
+
+#include <cstdarg>
+#include <vector>
+
+namespace ctg
+{
+namespace detail
+{
+
+std::string
+formatMessage(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::va_list ap2;
+    va_copy(ap2, ap);
+    int len = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    if (len < 0) {
+        va_end(ap2);
+        return fmt;
+    }
+    std::vector<char> buf(static_cast<std::size_t>(len) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+    va_end(ap2);
+    return std::string(buf.data(), static_cast<std::size_t>(len));
+}
+
+} // namespace detail
+} // namespace ctg

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 idiom.
+ *
+ * panic()  — an internal invariant was violated (simulator bug); aborts.
+ * fatal()  — the user asked for something impossible (bad config); exits.
+ * warn()   — suspicious but recoverable condition.
+ * inform() — plain status output.
+ */
+
+#ifndef CTG_BASE_LOGGING_HH
+#define CTG_BASE_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace ctg
+{
+
+/** Exception thrown by panic() so tests can assert on invariant
+ * violations instead of killing the test binary. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+/** Exception thrown by fatal() for unusable user configuration. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+namespace detail
+{
+std::string formatMessage(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+} // namespace detail
+
+/** Report a simulator bug and throw PanicError. */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args... args)
+{
+    throw PanicError("panic: " + detail::formatMessage(fmt, args...));
+}
+
+/** Report an unusable configuration and throw FatalError. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args... args)
+{
+    throw FatalError("fatal: " + detail::formatMessage(fmt, args...));
+}
+
+/** Print a warning to stderr; execution continues. */
+template <typename... Args>
+void
+warn(const char *fmt, Args... args)
+{
+    std::fprintf(stderr, "warn: %s\n",
+                 detail::formatMessage(fmt, args...).c_str());
+}
+
+/** Print a status message to stdout. */
+template <typename... Args>
+void
+inform(const char *fmt, Args... args)
+{
+    std::fprintf(stdout, "info: %s\n",
+                 detail::formatMessage(fmt, args...).c_str());
+}
+
+/** Panic when a condition that must hold does not. */
+#define ctg_assert(cond)                                                  \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::ctg::panic("assertion '%s' failed at %s:%d", #cond,         \
+                         __FILE__, __LINE__);                             \
+        }                                                                 \
+    } while (0)
+
+} // namespace ctg
+
+#endif // CTG_BASE_LOGGING_HH

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Deterministic random number generation for reproducible simulations.
+ *
+ * Every stochastic component takes an explicit Rng so experiments are
+ * replayable from a single seed. The generator is xoshiro256** seeded
+ * via SplitMix64, which is fast and has no observable bias at the
+ * sample sizes the fleet studies use.
+ */
+
+#ifndef CTG_BASE_RNG_HH
+#define CTG_BASE_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "base/logging.hh"
+
+namespace ctg
+{
+
+/** SplitMix64 step, used for seeding and hashing. */
+constexpr std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** pseudo-random generator with convenience distributions.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed, expanded via SplitMix64. */
+    explicit Rng(std::uint64_t seed = 0x5eedc0ffee123456ULL)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitMix64(sm);
+    }
+
+    /** Next raw 64-bit sample. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        ctg_assert(bound != 0);
+        // Lemire's nearly-divisionless bounded sampling.
+        std::uint64_t x = next();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        std::uint64_t l = static_cast<std::uint64_t>(m);
+        if (l < bound) {
+            std::uint64_t threshold = -bound % bound;
+            while (l < threshold) {
+                x = next();
+                m = static_cast<__uint128_t>(x) * bound;
+                l = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        ctg_assert(lo <= hi);
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with success probability p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Exponentially distributed sample with the given mean. */
+    double
+    exponential(double mean)
+    {
+        double u = uniform();
+        // Guard against log(0).
+        if (u <= 0.0)
+            u = 0x1.0p-53;
+        return -mean * std::log(u);
+    }
+
+    /** Bounded Pareto sample (heavy-tailed lifetimes/sizes). */
+    double
+    boundedPareto(double alpha, double lo, double hi)
+    {
+        ctg_assert(alpha > 0.0 && lo > 0.0 && hi > lo);
+        const double u = uniform();
+        const double la = std::pow(lo, alpha);
+        const double ha = std::pow(hi, alpha);
+        return std::pow(-(u * ha - u * la - ha) / (ha * la),
+                        -1.0 / alpha);
+    }
+
+    /** Normally distributed sample (Box-Muller). */
+    double
+    gaussian(double mean, double stddev)
+    {
+        double u1 = uniform();
+        if (u1 <= 0.0)
+            u1 = 0x1.0p-53;
+        const double u2 = uniform();
+        const double r = std::sqrt(-2.0 * std::log(u1));
+        return mean + stddev * r * std::cos(2.0 * M_PI * u2);
+    }
+
+    /** Split off an independent stream (for per-server determinism). */
+    Rng
+    fork()
+    {
+        return Rng(next() ^ 0xa5a5a5a5deadbeefULL);
+    }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+/**
+ * Zipfian sampler over [0, n) with parameter theta, using the
+ * Gray et al. rejection-inversion free method (precomputed zeta).
+ * Used by the access-stream generators to model hot/cold page reuse.
+ */
+class Zipf
+{
+  public:
+    Zipf(std::uint64_t n, double theta);
+
+    /** Draw one rank; rank 0 is the hottest item. */
+    std::uint64_t sample(Rng &rng) const;
+
+    std::uint64_t items() const { return n_; }
+
+  private:
+    std::uint64_t n_;
+    double theta_;
+    double zetan_;
+    double alpha_;
+    double eta_;
+};
+
+} // namespace ctg
+
+#endif // CTG_BASE_RNG_HH

@@ -1,0 +1,120 @@
+#include "base/stats.hh"
+
+#include <cmath>
+
+namespace ctg
+{
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0)
+{
+    ctg_assert(hi > lo);
+    ctg_assert(buckets > 0);
+}
+
+void
+Histogram::add(double x, std::uint64_t weight)
+{
+    total_ += weight;
+    if (x < lo_) {
+        underflow_ += weight;
+        return;
+    }
+    if (x >= hi_) {
+        overflow_ += weight;
+        return;
+    }
+    const auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    counts_[std::min(idx, counts_.size() - 1)] += weight;
+}
+
+double
+Histogram::bucketLo(std::size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+double
+Histogram::percentile(double frac) const
+{
+    ctg_assert(frac >= 0.0 && frac <= 1.0);
+    if (total_ == 0)
+        return lo_;
+    const double target = frac * static_cast<double>(total_);
+    double seen = static_cast<double>(underflow_);
+    if (seen >= target)
+        return lo_;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        seen += static_cast<double>(counts_[i]);
+        if (seen >= target)
+            return bucketHi(i);
+    }
+    return hi_;
+}
+
+void
+EmpiricalCdf::ensureSorted() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double
+EmpiricalCdf::fractionAtOrBelow(double x) const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    const auto it =
+        std::upper_bound(samples_.begin(), samples_.end(), x);
+    return static_cast<double>(it - samples_.begin()) /
+           static_cast<double>(samples_.size());
+}
+
+double
+EmpiricalCdf::quantile(double frac) const
+{
+    ctg_assert(!samples_.empty());
+    ctg_assert(frac >= 0.0 && frac <= 1.0);
+    ensureSorted();
+    const auto idx = static_cast<std::size_t>(
+        frac * static_cast<double>(samples_.size() - 1));
+    return samples_[idx];
+}
+
+double
+pearson(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    ctg_assert(xs.size() == ys.size());
+    ctg_assert(xs.size() >= 2);
+    const auto n = static_cast<double>(xs.size());
+    double sx = 0, sy = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+    }
+    const double mx = sx / n;
+    const double my = sy / n;
+    double cov = 0, vx = 0, vy = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if (vx == 0.0 || vy == 0.0)
+        return 0.0;
+    return cov / std::sqrt(vx * vy);
+}
+
+} // namespace ctg

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Statistics primitives used across the simulator and the experiment
+ * harnesses: streaming mean/variance, histograms, empirical CDFs, and
+ * the Pearson correlation used by the Section 2.4 uptime study.
+ */
+
+#ifndef CTG_BASE_STATS_HH
+#define CTG_BASE_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace ctg
+{
+
+/** Streaming mean / variance accumulator (Welford's algorithm). */
+class RunningStat
+{
+  public:
+    void
+    add(double x)
+    {
+        ++n_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+
+    std::uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    double
+    variance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 1e300;
+    double max_ = -1e300;
+};
+
+/** Fixed-bucket histogram over [lo, hi) with uniform bucket width. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void add(double x, std::uint64_t weight = 1);
+
+    std::uint64_t total() const { return total_; }
+    std::size_t buckets() const { return counts_.size(); }
+    std::uint64_t bucketCount(std::size_t i) const { return counts_.at(i); }
+    double bucketLo(std::size_t i) const;
+    double bucketHi(std::size_t i) const { return bucketLo(i + 1); }
+
+    /** Value below which the given fraction of the mass falls. */
+    double percentile(double frac) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Empirical CDF built from raw samples; renders the fleet-study
+ * figures (4 and 5) as "fraction of servers with value <= x".
+ */
+class EmpiricalCdf
+{
+  public:
+    void add(double x) { samples_.push_back(x); sorted_ = false; }
+
+    std::size_t count() const { return samples_.size(); }
+
+    /** Fraction of samples <= x. */
+    double fractionAtOrBelow(double x) const;
+
+    /** Inverse CDF: the smallest sample s.t. fraction <= frac. */
+    double quantile(double frac) const;
+
+  private:
+    void ensureSorted() const;
+
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+/** Pearson correlation coefficient of two equal-length series. */
+double pearson(const std::vector<double> &xs,
+               const std::vector<double> &ys);
+
+} // namespace ctg
+
+#endif // CTG_BASE_STATS_HH

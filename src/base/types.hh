@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every Contiguitas subsystem.
+ *
+ * The simulator follows the Linux/x86-64 conventions used by the paper:
+ * 4 KB base pages, 2 MB huge pages (order-9 buddy blocks), and 1 GB
+ * gigantic pages. Physical memory is addressed by page frame number
+ * (Pfn); the hardware model addresses bytes (Addr) and 64 B cache lines.
+ */
+
+#ifndef CTG_BASE_TYPES_HH
+#define CTG_BASE_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ctg
+{
+
+/** Byte-granularity physical or virtual address. */
+using Addr = std::uint64_t;
+
+/** Physical page frame number (Addr >> pageShift). */
+using Pfn = std::uint64_t;
+
+/** Virtual page number. */
+using Vpn = std::uint64_t;
+
+/** Simulation time in ticks (the hardware model equates ticks and CPU
+ * cycles at 2 GHz, matching Table 1). */
+using Tick = std::uint64_t;
+
+/** Cycle counts reported by the timing model. */
+using Cycles = std::uint64_t;
+
+/** Identifier of a simulated core, LLC slice, or device. */
+using CoreId = std::uint32_t;
+
+/** Base page geometry. */
+constexpr unsigned pageShift = 12;
+constexpr std::size_t pageBytes = std::size_t{1} << pageShift;
+
+/** Huge page geometry (2 MB == order-9 buddy block). */
+constexpr unsigned hugeOrder = 9;
+constexpr unsigned hugeShift = pageShift + hugeOrder;
+constexpr std::size_t hugeBytes = std::size_t{1} << hugeShift;
+constexpr std::size_t pagesPerHuge = std::size_t{1} << hugeOrder;
+
+/** Gigantic page geometry (1 GB == order-18 block). */
+constexpr unsigned gigaOrder = 18;
+constexpr unsigned gigaShift = pageShift + gigaOrder;
+constexpr std::size_t gigaBytes = std::size_t{1} << gigaShift;
+constexpr std::size_t pagesPerGiga = std::size_t{1} << gigaOrder;
+
+/** Cache line geometry (Table 1: 64 B lines). */
+constexpr unsigned lineShift = 6;
+constexpr std::size_t lineBytes = std::size_t{1} << lineShift;
+constexpr std::size_t linesPerPage = pageBytes / lineBytes;
+
+/** Largest order tracked by the buddy allocator free lists
+ * (order 10 == 4 MB, like Linux's MAX_ORDER). Gigantic allocations are
+ * served by a dedicated contiguous-range search, as in Linux. */
+constexpr unsigned maxOrder = 10;
+
+/** Sentinel for "no page frame". */
+constexpr Pfn invalidPfn = ~Pfn{0};
+
+/** Sentinel for "no address". */
+constexpr Addr invalidAddr = ~Addr{0};
+
+/** Convert a frame number to the byte address of its first byte. */
+constexpr Addr
+pfnToAddr(Pfn pfn)
+{
+    return Addr{pfn} << pageShift;
+}
+
+/** Convert a byte address to the containing page frame number. */
+constexpr Pfn
+addrToPfn(Addr addr)
+{
+    return addr >> pageShift;
+}
+
+/** Index of a cache line within its page (0..63). */
+constexpr unsigned
+lineInPage(Addr addr)
+{
+    return static_cast<unsigned>((addr >> lineShift) &
+                                 (linesPerPage - 1));
+}
+
+} // namespace ctg
+
+#endif // CTG_BASE_TYPES_HH

@@ -1,0 +1,34 @@
+#include "base/units.hh"
+
+#include <cstdio>
+
+namespace ctg
+{
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    static const char *suffixes[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    double value = static_cast<double>(bytes);
+    std::size_t idx = 0;
+    while (value >= 1024.0 && idx + 1 < std::size(suffixes)) {
+        value /= 1024.0;
+        ++idx;
+    }
+    char buf[32];
+    if (idx == 0)
+        std::snprintf(buf, sizeof(buf), "%.0f %s", value, suffixes[idx]);
+    else
+        std::snprintf(buf, sizeof(buf), "%.1f %s", value, suffixes[idx]);
+    return buf;
+}
+
+std::string
+formatPercent(double fraction, int decimals)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+    return buf;
+}
+
+} // namespace ctg

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Byte-size literals and human-readable size formatting.
+ */
+
+#ifndef CTG_BASE_UNITS_HH
+#define CTG_BASE_UNITS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ctg
+{
+
+constexpr std::uint64_t operator""_KiB(unsigned long long v)
+{
+    return v << 10;
+}
+
+constexpr std::uint64_t operator""_MiB(unsigned long long v)
+{
+    return v << 20;
+}
+
+constexpr std::uint64_t operator""_GiB(unsigned long long v)
+{
+    return v << 30;
+}
+
+/** Format a byte count as e.g. "4.0 GiB" or "512 KiB". */
+std::string formatBytes(std::uint64_t bytes);
+
+/** Format a ratio as a percentage string, e.g. "31.4%". */
+std::string formatPercent(double fraction, int decimals = 1);
+
+} // namespace ctg
+
+#endif // CTG_BASE_UNITS_HH

@@ -1,0 +1,228 @@
+#include "contiguitas/policy.hh"
+
+#include <algorithm>
+
+#include "kernel/migrate.hh"
+#include "kernel/vanilla_policy.hh"
+
+namespace ctg
+{
+
+ContiguitasPolicy::ContiguitasPolicy(Kernel &kernel,
+                                     const ContiguitasConfig &config)
+    : kernel_(kernel), config_(config),
+      regions_(kernel.mem(), kernel.owners(), config.region),
+      controller_(config.resize)
+{
+    if (config_.hwMigration)
+        regions_.enableHwMigration();
+    regions_.setPinMovedCallback([this](Pfn src, Pfn dst) {
+        kernel_.notifyPinnedMoved(src, dst);
+    });
+    if (config_.placementBias) {
+        // The region is small; a deep best-of scan keeps long-lived
+        // allocations packed away from the border.
+        regions_.unmovable().setPrefScanCap(256);
+    }
+}
+
+AddrPref
+ContiguitasPolicy::prefFor(Lifetime lifetime) const
+{
+    if (!config_.placementBias)
+        return AddrPref::None;
+    // The unmovable region sits at the bottom of the address space;
+    // "away from the border" therefore means low PFNs. Everything is
+    // biased away from the border while space is available; the
+    // immortal/long-lived classes benefit the most because they are
+    // placed first and never churn.
+    switch (lifetime) {
+      case Lifetime::Immortal:
+      case Lifetime::Long:
+      case Lifetime::Short:
+        return AddrPref::Low;
+    }
+    return AddrPref::None;
+}
+
+Pfn
+ContiguitasPolicy::alloc(const AllocRequest &req)
+{
+    if (req.mt == MigrateType::Movable) {
+        return regions_.movable().allocPages(req.order, req.mt,
+                                             req.source, req.owner);
+    }
+
+    BuddyAllocator &unmov = regions_.unmovable();
+    const AddrPref pref = prefFor(req.lifetime);
+    Pfn head = unmov.allocPages(req.order, req.mt, req.source,
+                                req.owner, pref);
+    if (head != invalidPfn)
+        return head;
+
+    // The region is full: expand synchronously. This is the rare
+    // slow path; the controller normally keeps headroom.
+    const std::uint64_t step =
+        std::max<std::uint64_t>(config_.resizeStepPages,
+                                Pfn{1} << req.order);
+    if (regions_.expandUnmovable(step) > 0) {
+        ++stats_.urgentExpansions;
+        head = unmov.allocPages(req.order, req.mt, req.source,
+                                req.owner, pref);
+    }
+    return head;
+}
+
+void
+ContiguitasPolicy::free(Pfn head)
+{
+    if (head < regions_.boundary())
+        regions_.unmovable().freePages(head);
+    else
+        regions_.movable().freePages(head);
+}
+
+Pfn
+ContiguitasPolicy::allocGigantic(AllocSource src, std::uint64_t owner)
+{
+    return regions_.movable().allocGigantic(MigrateType::Movable, src,
+                                            owner);
+}
+
+Pfn
+ContiguitasPolicy::pin(Pfn head)
+{
+    PhysMem &mem = kernel_.mem();
+    if (head < regions_.boundary()) {
+        // Already confined (kernel page or previously migrated).
+        setBlockPinned(mem, head, true);
+        return head;
+    }
+
+    // Movable page becoming unmovable: migrate it into the unmovable
+    // region first, near the border (such pages are short-lived),
+    // then pin the destination (Section 3.2).
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        Pfn dst = invalidPfn;
+        const MigrateResult r = migrateBlock(
+            regions_.movable(), regions_.unmovable(),
+            kernel_.owners(), head,
+            config_.placementBias ? AddrPref::High : AddrPref::None,
+            MigrateType::Unmovable, &dst, /*allow_fallback=*/true);
+        if (r == MigrateResult::Ok) {
+            setBlockPinned(mem, dst, true);
+            ++stats_.pinMigrations;
+            return dst;
+        }
+        if (r == MigrateResult::Unmovable)
+            break;
+        // No space: expand and retry once.
+        if (regions_.expandUnmovable(config_.resizeStepPages) == 0)
+            break;
+    }
+    ++stats_.pinMigrationFailures;
+    return invalidPfn;
+}
+
+void
+ContiguitasPolicy::unpin(Pfn head)
+{
+    setBlockPinned(kernel_.mem(), head, false);
+}
+
+void
+ContiguitasPolicy::runController()
+{
+    BuddyAllocator &unmov = regions_.unmovable();
+    const std::uint64_t size = unmov.totalPages();
+    const std::uint64_t free = unmov.freePageCount();
+    const double free_frac =
+        static_cast<double>(free) / static_cast<double>(size);
+
+    // Urgent path: low free memory in the unmovable region expands
+    // it regardless of PSI (the reclaim-triggered wakeup of §3.2).
+    if (free_frac < config_.unmovFreeWatermark) {
+        if (regions_.expandUnmovable(config_.resizeStepPages) > 0)
+            ++stats_.controllerExpands;
+        return;
+    }
+
+    const ResizeDecision decision = controller_.evaluate(
+        kernel_.psiUnmovable().pressure(),
+        kernel_.psiMovable().pressure(), size);
+
+    switch (decision.direction) {
+      case ResizeDirection::Expand: {
+        const std::uint64_t want = decision.targetPages - size;
+        const std::uint64_t delta =
+            std::min<std::uint64_t>(want, config_.maxResizePerTick);
+        if (delta >= config_.resizeStepPages &&
+            regions_.expandUnmovable(delta) > 0) {
+            ++stats_.controllerExpands;
+        }
+        break;
+      }
+      case ResizeDirection::Shrink: {
+        const std::uint64_t want = size - decision.targetPages;
+        std::uint64_t delta =
+            std::min<std::uint64_t>(want, config_.maxResizePerTick);
+        // Hysteresis: never shrink into the used part of the region
+        // or below the free-slack level.
+        const std::uint64_t used = size - free;
+        const auto slack = static_cast<std::uint64_t>(
+            config_.shrinkFreeSlack * static_cast<double>(used));
+        const std::uint64_t floor_pages = used + slack;
+        if (size - delta < floor_pages) {
+            delta = size > floor_pages ? size - floor_pages : 0;
+            delta &= ~((std::uint64_t{1} << maxOrder) - 1);
+        }
+        if (delta >= config_.resizeStepPages &&
+            regions_.shrinkUnmovable(delta) > 0) {
+            ++stats_.controllerShrinks;
+        }
+        break;
+      }
+      case ResizeDirection::None:
+        break;
+    }
+}
+
+void
+ContiguitasPolicy::tick(std::uint32_t now_seconds)
+{
+    kernel_.mem().nowSeconds = now_seconds;
+    const auto now = static_cast<double>(now_seconds);
+    if (now - lastResizeSec_ < config_.resizePeriodSec)
+        return;
+    lastResizeSec_ = now;
+
+    runController();
+    if (config_.defragBlocksPerTick > 0)
+        regions_.defragUnmovable(config_.defragBlocksPerTick);
+}
+
+std::uint64_t
+ContiguitasPolicy::freeUserPages() const
+{
+    return regions_.movable().freePageCount();
+}
+
+std::uint64_t
+ContiguitasPolicy::freeKernelPages() const
+{
+    return regions_.unmovable().freePageCount();
+}
+
+std::pair<Pfn, Pfn>
+ContiguitasPolicy::unmovableRegion() const
+{
+    return {0, regions_.boundary()};
+}
+
+BuddyAllocator &
+ContiguitasPolicy::movableAllocator()
+{
+    return regions_.movable();
+}
+
+} // namespace ctg

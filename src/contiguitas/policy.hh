@@ -1,0 +1,116 @@
+/**
+ * @file
+ * ContiguitasPolicy — the paper's OS contribution as a drop-in
+ * placement policy for the kernel substrate.
+ *
+ * Confinement: movable allocations are served from the movable
+ * region only; unmovable/reclaimable ones from the unmovable region
+ * only — never mixed (Section 3.2). Long-lived unmovable allocations
+ * are biased toward the far end of the region; pages migrated in at
+ * pin time land near the border where their short remaining lifetime
+ * keeps shrinking viable. The Algorithm 1 controller resizes the
+ * boundary off the allocation critical path, triggered by per-region
+ * PSI and a free-memory low watermark.
+ */
+
+#ifndef CTG_CONTIGUITAS_POLICY_HH
+#define CTG_CONTIGUITAS_POLICY_HH
+
+#include "contiguitas/region_manager.hh"
+#include "contiguitas/resize_controller.hh"
+#include "kernel/kernel.hh"
+#include "kernel/policy.hh"
+
+namespace ctg
+{
+
+/** Configuration of the Contiguitas OS component. */
+struct ContiguitasConfig
+{
+    RegionManager::Config region;
+    ResizeParams resize;
+    /** Seconds between controller evaluations (resizing is off the
+     * allocation critical path; a kernel thread wakes periodically). */
+    double resizePeriodSec = 1.0;
+    /** Resize granularity in pages (16 MB default). */
+    std::uint64_t resizeStepPages = 1u << 12;
+    /** Max pages moved per controller wakeup. */
+    std::uint64_t maxResizePerTick = 1u << 15; // 128 MB
+    /** Urgent-expansion watermark: free fraction of the unmovable
+     * region below which the region grows regardless of PSI. */
+    double unmovFreeWatermark = 0.08;
+    /** Shrink hysteresis: only shrink when the border step would
+     * still leave this much of the region free. */
+    double shrinkFreeSlack = 0.25;
+    /** Enable the Contiguitas-HW transparent-migration hook. */
+    bool hwMigration = false;
+    /** Placement bias inside the unmovable region (Section 3.2:
+     * allocate away from the border); off = take whatever block the
+     * free lists offer first. Ablation knob. */
+    bool placementBias = true;
+    /** 2 MB blocks defragmented inside the unmovable region per
+     * wakeup (0 disables; requires hwMigration for kernel pages). */
+    std::uint64_t defragBlocksPerTick = 0;
+};
+
+/**
+ * The Contiguitas placement policy.
+ */
+class ContiguitasPolicy : public MemPolicy
+{
+  public:
+    ContiguitasPolicy(Kernel &kernel, const ContiguitasConfig &config);
+
+    /** Factory for Kernel construction. */
+    static Kernel::PolicyFactory
+    factory(const ContiguitasConfig &config = {})
+    {
+        return [config](Kernel &kernel) -> std::unique_ptr<MemPolicy> {
+            return std::make_unique<ContiguitasPolicy>(kernel, config);
+        };
+    }
+
+    Pfn alloc(const AllocRequest &req) override;
+    void free(Pfn head) override;
+    Pfn allocGigantic(AllocSource src, std::uint64_t owner) override;
+    Pfn pin(Pfn head) override;
+    void unpin(Pfn head) override;
+    void tick(std::uint32_t now_seconds) override;
+    std::uint64_t freeUserPages() const override;
+    std::uint64_t freeKernelPages() const override;
+    std::pair<Pfn, Pfn> unmovableRegion() const override;
+    BuddyAllocator &movableAllocator() override;
+    PhysMem &mem() override { return kernel_.mem(); }
+
+    RegionManager &regions() { return regions_; }
+    const RegionManager &regions() const { return regions_; }
+    const ResizeController &controller() const { return controller_; }
+
+    struct Stats
+    {
+        std::uint64_t pinMigrations = 0;
+        std::uint64_t pinMigrationFailures = 0;
+        std::uint64_t urgentExpansions = 0;
+        std::uint64_t controllerExpands = 0;
+        std::uint64_t controllerShrinks = 0;
+    };
+
+    const Stats &stats() const { return stats_; }
+
+  private:
+    /** Placement preference inside the unmovable region. */
+    AddrPref prefFor(Lifetime lifetime) const;
+
+    void runController();
+
+    Kernel &kernel_;
+    ContiguitasConfig config_;
+    RegionManager regions_;
+    ResizeController controller_;
+    Stats stats_;
+    double lastResizeSec_ = 0.0;
+};
+
+} // namespace ctg
+
+#endif // CTG_CONTIGUITAS_POLICY_HH

@@ -1,0 +1,275 @@
+#include "contiguitas/region_manager.hh"
+
+#include <algorithm>
+
+#include "kernel/migrate.hh"
+
+namespace ctg
+{
+
+namespace
+{
+
+constexpr Pfn resizeAlign = Pfn{1} << maxOrder;
+
+Pfn
+roundUpToAlign(Pfn pages)
+{
+    return (pages + resizeAlign - 1) & ~(resizeAlign - 1);
+}
+
+} // namespace
+
+RegionManager::RegionManager(PhysMem &mem, OwnerRegistry &owners,
+                             Config config)
+    : mem_(mem), owners_(owners), config_(config)
+{
+    const Pfn total = mem.numFrames();
+    if (config_.initialUnmovablePages == 0)
+        config_.initialUnmovablePages = total / 16;
+    if (config_.maxUnmovablePages == 0)
+        config_.maxUnmovablePages = total / 2;
+    config_.minUnmovablePages =
+        roundUpToAlign(config_.minUnmovablePages);
+
+    const Pfn boundary = std::clamp(
+        roundUpToAlign(config_.initialUnmovablePages),
+        config_.minUnmovablePages, total / 2);
+    unmovable_ = std::make_unique<BuddyAllocator>(
+        mem, 0, boundary, "unmovable", MigrateType::Unmovable);
+    movable_ = std::make_unique<BuddyAllocator>(
+        mem, boundary, total, "movable", MigrateType::Movable);
+}
+
+bool
+RegionManager::hwMigrateBlock(BuddyAllocator &alloc, Pfn src,
+                              AddrPref pref, Pfn *out_dst)
+{
+    if (!hwEnabled_)
+        return false;
+
+    const PageFrame &sf = mem_.frame(src);
+    ctg_assert(!sf.isFree() && sf.isHead());
+    // Contiguitas-HW moves pages whose translations can be
+    // repointed: pinned user memory, IOMMU-mapped buffers, device
+    // rings. Linear-map structures (slab, page tables, kernel text)
+    // have raw pointers strewn through memory — not even hardware
+    // redirection makes those movable (Section 2.1, type 1).
+    if (!owners_.relocatable(sf.owner))
+        return false;
+    const unsigned order = sf.order;
+    const MigrateType mt = sf.migrateType;
+    const AllocSource source = sf.source;
+    const std::uint64_t owner = sf.owner;
+    const bool pinned = sf.isPinned();
+
+    const Pfn dst = alloc.allocPages(order, mt, source, owner, pref,
+                                     /*allow_fallback=*/true);
+    if (dst == invalidPfn)
+        return false;
+
+    // The LLC migration extension keeps the page accessible while it
+    // is copied; software repoints the translation concurrently.
+    if (!owners_.relocate(owner, src, dst)) {
+        alloc.freePages(dst);
+        return false;
+    }
+    if (pinned) {
+        const Pfn count = Pfn{1} << order;
+        for (Pfn pfn = dst; pfn < dst + count; ++pfn)
+            mem_.frame(pfn).setPinned(true);
+        if (pinMoved_)
+            pinMoved_(src, dst);
+    }
+    alloc.freePages(src);
+    if (hwHook_)
+        hwHook_(src, dst, order);
+    ++stats_.hwMigrations;
+    if (out_dst != nullptr)
+        *out_dst = dst;
+    return true;
+}
+
+bool
+RegionManager::evacuateBlock(BuddyAllocator &alloc, Pfn head,
+                             Pfn range_lo, Pfn range_hi, bool allow_hw)
+{
+    (void)range_lo;
+    (void)range_hi;
+    const PageFrame &f = mem_.frame(head);
+    // Pick a destination list the region actually has free space on:
+    // the frame's own migratetype, falling back across lists.
+    const MigrateType dst_mt =
+        f.migrateType == MigrateType::Isolate ? MigrateType::Unmovable
+                                              : f.migrateType;
+    const AddrPref pref =
+        &alloc == unmovable_.get() ? AddrPref::Low : AddrPref::None;
+
+    const MigrateResult r =
+        migrateBlock(alloc, alloc, owners_, head, pref, dst_mt,
+                     nullptr, /*allow_fallback=*/true);
+    if (r == MigrateResult::Ok) {
+        ++stats_.evacuatedBlocks;
+        return true;
+    }
+    if (r == MigrateResult::NoMemory)
+        return false;
+    // Software cannot move it; only Contiguitas-HW can.
+    if (allow_hw && hwMigrateBlock(alloc, head, pref, nullptr)) {
+        ++stats_.evacuatedBlocks;
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+RegionManager::expandUnmovable(std::uint64_t pages)
+{
+    const Pfn step = roundUpToAlign(pages);
+    const Pfn lo = boundary();
+    const Pfn hi = lo + step;
+    if (hi > movable_->endPfn() ||
+        lo + step > config_.maxUnmovablePages ||
+        step >= movable_->totalPages()) {
+        ++stats_.expansionFailures;
+        return 0;
+    }
+
+    movable_->isolateRange(lo, hi);
+
+    bool ok = true;
+    for (Pfn pfn = lo; pfn < hi && ok;) {
+        const PageFrame &f = mem_.frame(pfn);
+        if (f.isFree() || !f.isHead()) {
+            ++pfn;
+            continue;
+        }
+        const Pfn span = Pfn{1} << f.order;
+        if (!evacuateBlock(*movable_, pfn, lo, hi, hwEnabled_))
+            ok = false;
+        pfn += span;
+    }
+
+    if (!ok || !movable_->rangeFullyFree(lo, hi)) {
+        movable_->unisolateRange(lo, hi, MigrateType::Movable);
+        ++stats_.expansionFailures;
+        return 0;
+    }
+
+    movable_->detachRange(lo, hi);
+    unmovable_->attachRange(lo, hi, MigrateType::Unmovable);
+    ++stats_.expansions;
+    return step;
+}
+
+std::uint64_t
+RegionManager::shrinkUnmovable(std::uint64_t pages)
+{
+    const Pfn step = roundUpToAlign(pages);
+    const Pfn hi = boundary();
+    if (step >= hi || hi - step < config_.minUnmovablePages) {
+        ++stats_.shrinkFailures;
+        return 0;
+    }
+    const Pfn lo = hi - step;
+
+    unmovable_->isolateRange(lo, hi);
+
+    bool ok = true;
+    for (Pfn pfn = lo; pfn < hi && ok;) {
+        const PageFrame &f = mem_.frame(pfn);
+        if (f.isFree() || !f.isHead()) {
+            ++pfn;
+            continue;
+        }
+        const Pfn span = Pfn{1} << f.order;
+        if (!evacuateBlock(*unmovable_, pfn, lo, hi, hwEnabled_))
+            ok = false;
+        pfn += span;
+    }
+
+    if (!ok || !unmovable_->rangeFullyFree(lo, hi)) {
+        unmovable_->unisolateRange(lo, hi, MigrateType::Unmovable);
+        ++stats_.shrinkFailures;
+        return 0;
+    }
+
+    unmovable_->detachRange(lo, hi);
+    movable_->attachRange(lo, hi, MigrateType::Movable);
+    ++stats_.shrinks;
+    return step;
+}
+
+std::uint64_t
+RegionManager::defragUnmovable(std::uint64_t max_migrations)
+{
+    std::uint64_t migrated = 0;
+    const Pfn end = boundary();
+
+    // Walk 2 MB blocks top-down (near the border first) and evacuate
+    // sparse ones toward the low end of the region.
+    for (Pfn block = end; block >= pagesPerHuge && migrated < max_migrations;
+         block -= pagesPerHuge) {
+        const Pfn base = block - pagesPerHuge;
+        std::uint64_t used = 0;
+        for (Pfn pfn = base; pfn < block; ++pfn) {
+            if (!mem_.frame(pfn).isFree())
+                ++used;
+        }
+        if (used == 0 || used > pagesPerHuge / 2)
+            continue;
+
+        for (Pfn pfn = base; pfn < block && migrated < max_migrations;) {
+            const PageFrame &f = mem_.frame(pfn);
+            if (f.isFree() || !f.isHead()) {
+                ++pfn;
+                continue;
+            }
+            const Pfn span = Pfn{1} << f.order;
+            Pfn dst = invalidPfn;
+            const MigrateResult r = migrateBlock(
+                *unmovable_, *unmovable_, owners_, pfn, AddrPref::Low,
+                f.migrateType, &dst, /*allow_fallback=*/true);
+            bool moved = r == MigrateResult::Ok;
+            if (!moved && r == MigrateResult::Unmovable && hwEnabled_)
+                moved = hwMigrateBlock(*unmovable_, pfn,
+                                       AddrPref::Low, &dst);
+            if (moved && dst != invalidPfn && dst >= base) {
+                // Destination landed back in the sparse block; give
+                // up on this block to avoid thrash.
+                ++migrated;
+                break;
+            }
+            if (moved)
+                ++migrated;
+            pfn += span;
+        }
+    }
+    return migrated;
+}
+
+void
+RegionManager::checkConfinement() const
+{
+    const Pfn b = boundary();
+    for (Pfn pfn = 0; pfn < mem_.numFrames(); ++pfn) {
+        const PageFrame &f = mem_.frame(pfn);
+        if (f.isFree())
+            continue;
+        if (pfn < b) {
+            if (f.migrateType == MigrateType::Movable)
+                panic("movable allocation at %llu inside unmovable "
+                      "region [0, %llu)",
+                      static_cast<unsigned long long>(pfn),
+                      static_cast<unsigned long long>(b));
+        } else {
+            if (f.isUnmovableAllocation())
+                panic("unmovable allocation at %llu outside the "
+                      "unmovable region [0, %llu)",
+                      static_cast<unsigned long long>(pfn),
+                      static_cast<unsigned long long>(b));
+        }
+    }
+}
+
+} // namespace ctg

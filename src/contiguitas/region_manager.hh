@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The Contiguitas region manager (Section 3.2).
+ *
+ * Physical memory is split into a continuous *unmovable* region at
+ * the bottom of the address space and a continuous *movable* region
+ * above it. Each region has its own buddy allocator; the boundary
+ * between them moves in max-order-block granularity.
+ *
+ * Expansion of the unmovable region isolates the range just above
+ * the boundary, evacuates its movable pages by software migration,
+ * and hands the now-free range to the unmovable allocator. Shrinking
+ * does the converse — which succeeds only when the border range
+ * holds nothing, software-movable pages, or (with the Contiguitas-HW
+ * migration hook enabled) any pages at all.
+ */
+
+#ifndef CTG_CONTIGUITAS_REGION_MANAGER_HH
+#define CTG_CONTIGUITAS_REGION_MANAGER_HH
+
+#include <functional>
+#include <memory>
+
+#include "base/types.hh"
+#include "kernel/owner.hh"
+#include "mem/buddy.hh"
+
+namespace ctg
+{
+
+/**
+ * Two-region physical memory layout with a movable boundary.
+ */
+class RegionManager
+{
+  public:
+    struct Config
+    {
+        /** Initial unmovable-region size in pages (paper: 4 GB on
+         * 64 GB servers, i.e. 1/16 of memory). */
+        std::uint64_t initialUnmovablePages = 0;
+        /** Floor for shrinking. */
+        std::uint64_t minUnmovablePages = 1u << 14; // 64 MB
+        /** Ceiling for expansion (0 = half of memory). */
+        std::uint64_t maxUnmovablePages = 0;
+    };
+
+    /** Resizing event counters. */
+    struct Stats
+    {
+        std::uint64_t expansions = 0;
+        std::uint64_t expansionFailures = 0;
+        std::uint64_t shrinks = 0;
+        std::uint64_t shrinkFailures = 0;
+        std::uint64_t evacuatedBlocks = 0;
+        std::uint64_t hwMigrations = 0;
+    };
+
+    RegionManager(PhysMem &mem, OwnerRegistry &owners, Config config);
+
+    /** Boundary PFN: unmovable covers [0, boundary). */
+    Pfn boundary() const { return unmovable_->endPfn(); }
+
+    BuddyAllocator &unmovable() { return *unmovable_; }
+    BuddyAllocator &movable() { return *movable_; }
+    const BuddyAllocator &unmovable() const { return *unmovable_; }
+    const BuddyAllocator &movable() const { return *movable_; }
+
+    /**
+     * Grow the unmovable region by at least `pages` (rounded up to
+     * max-order blocks). Movable pages in the annexed range are
+     * migrated deeper into the movable region first.
+     * @return pages actually added (0 on failure).
+     */
+    std::uint64_t expandUnmovable(std::uint64_t pages);
+
+    /**
+     * Shrink the unmovable region by at least `pages`. The border
+     * range must be evacuated: software migration for pages with
+     * relocatable owners, the hardware hook for the rest.
+     * @return pages actually removed (0 on failure).
+     */
+    std::uint64_t shrinkUnmovable(std::uint64_t pages);
+
+    /**
+     * Enable transparent hardware migration of unmovable pages
+     * (Contiguitas-HW, Section 3.3). With the hook set, shrink
+     * evacuation and unmovable-region defragmentation may move pages
+     * that software alone cannot. The hook is invoked once per moved
+     * block for accounting/timing by the hardware simulator; the
+     * layout effect is applied by the region manager itself.
+     */
+    using HwMigrationHook = std::function<void(Pfn src, Pfn dst,
+                                               unsigned order)>;
+    void
+    enableHwMigration(HwMigrationHook hook = nullptr)
+    {
+        hwEnabled_ = true;
+        hwHook_ = std::move(hook);
+    }
+
+    bool hwMigrationEnabled() const { return hwEnabled_; }
+
+    /** Invoked whenever a *pinned* block moves, so pin bookkeeping
+     * (Kernel pin handles) can follow the page. */
+    using PinMovedCallback = std::function<void(Pfn src, Pfn dst)>;
+    void
+    setPinMovedCallback(PinMovedCallback cb)
+    {
+        pinMoved_ = std::move(cb);
+    }
+
+    /**
+     * Defragment the unmovable region: migrate allocations out of
+     * sparsely-used 2 MB blocks into denser ones (requires the HW
+     * hook for kernel pages). Reduces the internal fragmentation the
+     * paper measures at 22% (Section 5.2).
+     * @return blocks migrated.
+     */
+    std::uint64_t defragUnmovable(std::uint64_t max_migrations);
+
+    const Stats &stats() const { return stats_; }
+    const Config &config() const { return config_; }
+
+    /** Confinement theorem check: no unmovable allocation outside
+     * [0, boundary) and no movable one inside. Panics on violation. */
+    void checkConfinement() const;
+
+  private:
+    /** Move one allocated block out of [lo, hi); dst constrained to
+     * the same allocator outside the range, or forced via HW. */
+    bool evacuateBlock(BuddyAllocator &alloc, Pfn head, Pfn range_lo,
+                       Pfn range_hi, bool allow_hw);
+
+    /** Forced migration of a block software cannot move. */
+    bool hwMigrateBlock(BuddyAllocator &alloc, Pfn src, AddrPref pref,
+                        Pfn *out_dst);
+
+    PhysMem &mem_;
+    OwnerRegistry &owners_;
+    Config config_;
+    std::unique_ptr<BuddyAllocator> unmovable_;
+    std::unique_ptr<BuddyAllocator> movable_;
+    bool hwEnabled_ = false;
+    HwMigrationHook hwHook_;
+    PinMovedCallback pinMoved_;
+    Stats stats_;
+};
+
+} // namespace ctg
+
+#endif // CTG_CONTIGUITAS_REGION_MANAGER_HH

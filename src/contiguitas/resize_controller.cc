@@ -1,0 +1,57 @@
+#include "contiguitas/resize_controller.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace ctg
+{
+
+ResizeController::ResizeController(const ResizeParams &params)
+    : params_(params)
+{
+    ctg_assert(params_.thresholdUnmov > 0);
+    ctg_assert(params_.thresholdMov > 0);
+    ctg_assert(params_.cue >= 0 && params_.cme >= 0);
+    ctg_assert(params_.cms >= 0 && params_.cus >= 0);
+    ctg_assert(params_.maxFactor > 0 && params_.maxFactor <= 1.0);
+}
+
+ResizeDecision
+ResizeController::evaluate(double pressure_unmov, double pressure_mov,
+                           std::uint64_t mem_unmov) const
+{
+    ResizeDecision decision;
+    const double mem = static_cast<double>(mem_unmov);
+
+    if (pressure_unmov >= params_.thresholdUnmov &&
+        pressure_mov < params_.thresholdMov) {
+        // Expand unmovable upon high pressure (Algorithm 1 line 4).
+        double factor =
+            pressure_unmov / params_.thresholdUnmov * params_.cue +
+            params_.thresholdMov / std::max(pressure_mov, 1.0) *
+                params_.cme;
+        factor = std::min(factor, params_.maxFactor);
+        decision.direction = ResizeDirection::Expand;
+        decision.factor = factor;
+        decision.targetPages = static_cast<std::uint64_t>(
+            std::ceil((1.0 + factor) * mem));
+    } else {
+        // Shrink for all other cases (Algorithm 1 line 8).
+        double factor =
+            pressure_mov / params_.thresholdMov * params_.cms +
+            params_.thresholdUnmov / std::max(pressure_unmov, 1.0) *
+                params_.cus;
+        factor = std::min(factor, params_.maxFactor);
+        decision.direction = ResizeDirection::Shrink;
+        decision.factor = factor;
+        decision.targetPages = static_cast<std::uint64_t>(
+            std::floor((1.0 - factor) * mem));
+    }
+    if (decision.targetPages == mem_unmov)
+        decision.direction = ResizeDirection::None;
+    return decision;
+}
+
+} // namespace ctg

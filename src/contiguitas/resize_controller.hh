@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Algorithm 1 — the region resizing controller.
+ *
+ * Given the per-region PSI pressures, configurable thresholds and
+ * expansion/shrink coefficients, the controller computes the target
+ * size of the unmovable region:
+ *
+ *   if P_unmov >= T_unmov and P_mov < T_mov:
+ *       F = P_unmov/T_unmov * c_ue + T_mov/max(P_mov,1) * c_me
+ *       U = (1 + F) * Mem_unmov           (expand)
+ *   else:
+ *       F = P_mov/T_mov * c_ms + T_unmov/max(P_unmov,1) * c_us
+ *       U = (1 - F) * Mem_unmov           (shrink)
+ *
+ * exactly as the paper states it, with F clamped so one decision can
+ * never more than double or empty the region.
+ */
+
+#ifndef CTG_CONTIGUITAS_RESIZE_CONTROLLER_HH
+#define CTG_CONTIGUITAS_RESIZE_CONTROLLER_HH
+
+#include <cstdint>
+
+namespace ctg
+{
+
+/** Tunables of Algorithm 1 (paper: set empirically, global across
+ * workloads). */
+struct ResizeParams
+{
+    /** PSI pressure thresholds in percent. */
+    double thresholdUnmov = 5.0;
+    double thresholdMov = 5.0;
+    /** Expansion coefficients: native pressure and counter-pressure
+     * terms. */
+    double cue = 0.15;
+    double cme = 0.02;
+    /** Shrink coefficients. */
+    double cms = 0.05;
+    double cus = 0.01;
+    /** Clamp on the resize factor F per decision. */
+    double maxFactor = 1.0;
+};
+
+/** Direction of a resize decision. */
+enum class ResizeDirection
+{
+    Expand,
+    Shrink,
+    None,
+};
+
+/** Outcome of one controller evaluation. */
+struct ResizeDecision
+{
+    ResizeDirection direction = ResizeDirection::None;
+    /** Target unmovable size in pages. */
+    std::uint64_t targetPages = 0;
+    /** The raw factor F of Algorithm 1 (after clamping). */
+    double factor = 0.0;
+};
+
+/**
+ * Stateless evaluator of Algorithm 1.
+ */
+class ResizeController
+{
+  public:
+    explicit ResizeController(const ResizeParams &params);
+
+    /**
+     * Evaluate Algorithm 1.
+     *
+     * @param pressure_unmov PSI pressure of the unmovable region (%)
+     * @param pressure_mov PSI pressure of the movable region (%)
+     * @param mem_unmov current unmovable-region size in pages
+     */
+    ResizeDecision evaluate(double pressure_unmov,
+                            double pressure_mov,
+                            std::uint64_t mem_unmov) const;
+
+    const ResizeParams &params() const { return params_; }
+
+  private:
+    ResizeParams params_;
+};
+
+} // namespace ctg
+
+#endif // CTG_CONTIGUITAS_RESIZE_CONTROLLER_HH

@@ -1,0 +1,46 @@
+#include "fleet/fleet.hh"
+
+#include "base/rng.hh"
+
+namespace ctg
+{
+
+Fleet::Fleet(const Config &config)
+    : config_(config)
+{}
+
+std::vector<ServerScan>
+Fleet::run()
+{
+    Rng rng(config_.seed);
+    std::vector<ServerScan> scans;
+    scans.reserve(config_.servers);
+
+    static const WorkloadKind kinds[] = {
+        WorkloadKind::Web,    WorkloadKind::CacheA,
+        WorkloadKind::CacheB, WorkloadKind::CI,
+        WorkloadKind::Nginx,  WorkloadKind::Memcached,
+    };
+
+    for (unsigned i = 0; i < config_.servers; ++i) {
+        Server::Config sc;
+        sc.memBytes = config_.memBytes;
+        sc.contiguitas = config_.contiguitas;
+        sc.kind = kinds[rng.below(std::size(kinds))];
+        sc.intensity =
+            config_.minIntensity +
+            rng.uniform() * (config_.maxIntensity -
+                             config_.minIntensity);
+        sc.prefragment = rng.chance(config_.prefragmentFrac);
+        sc.uptimeSec =
+            config_.minUptimeSec +
+            rng.uniform() * (config_.maxUptimeSec -
+                             config_.minUptimeSec);
+        sc.seed = rng.next();
+        Server server(sc);
+        scans.push_back(server.run());
+    }
+    return scans;
+}
+
+} // namespace ctg

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fleet-scale study driver: a population of servers with randomized
+ * workloads, intensities and uptimes, run (sequentially) and
+ * scanned, reproducing the methodology behind Figures 4, 5 and 6
+ * and the Section 2.4 uptime-correlation analysis.
+ */
+
+#ifndef CTG_FLEET_FLEET_HH
+#define CTG_FLEET_FLEET_HH
+
+#include <vector>
+
+#include "fleet/server.hh"
+
+namespace ctg
+{
+
+/**
+ * A sampled population of production-like servers.
+ */
+class Fleet
+{
+  public:
+    struct Config
+    {
+        unsigned servers = 60;
+        std::uint64_t memBytes = std::uint64_t{1} << 31; // 2 GiB
+        bool contiguitas = false;
+        /** Uptime range (simulated seconds; the steady state is
+         * reached within the first ~30 s of simulated churn, just as
+         * production servers fragment within their first hour). */
+        double minUptimeSec = 4.0;
+        double maxUptimeSec = 60.0;
+        /** Intensity spread across servers. */
+        double minIntensity = 0.4;
+        double maxIntensity = 1.6;
+        /** Share of servers that were pre-fragmented by a previous
+         * tenant. */
+        double prefragmentFrac = 0.25;
+        std::uint64_t seed = 0xf1ee7;
+    };
+
+    explicit Fleet(const Config &config);
+
+    /** Run every server and collect its scan. */
+    std::vector<ServerScan> run();
+
+    const Config &config() const { return config_; }
+
+  private:
+    Config config_;
+};
+
+} // namespace ctg
+
+#endif // CTG_FLEET_FLEET_HH

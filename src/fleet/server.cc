@@ -1,0 +1,105 @@
+#include "fleet/server.hh"
+
+#include "mem/scanner.hh"
+
+namespace ctg
+{
+
+WorkloadProfile
+scaleProfile(WorkloadProfile profile, double intensity)
+{
+    profile.net.skbRatePerSec *= intensity;
+    profile.fs.scratchRatePerSec *= intensity;
+    profile.fs.cacheGrowthPagesPerSec *= intensity;
+    profile.slab.ratePerSec *= intensity;
+    profile.miscRatePerSec *= intensity;
+    profile.pinRatePerSec *= intensity;
+    profile.heapChurnFracPerSec *= intensity;
+    return profile;
+}
+
+Server::Server(const Config &config)
+    : config_(config)
+{
+    KernelConfig kc;
+    kc.memBytes = config_.memBytes;
+    kc.kernelTextBytes = std::max<std::uint64_t>(
+        std::uint64_t{4} << 20, config_.memBytes / 1024);
+    kc.seed = config_.seed;
+
+    if (config_.contiguitas) {
+        ContiguitasConfig cc = config_.contiguitasConfig;
+        if (cc.region.initialUnmovablePages == 0) {
+            // Paper default: 1/16 of memory (4 GB on 64 GB hosts).
+            cc.region.initialUnmovablePages =
+                (config_.memBytes / pageBytes) / 16;
+        }
+        kernel_ = std::make_unique<Kernel>(
+            kc, ContiguitasPolicy::factory(cc));
+    } else {
+        kernel_ = std::make_unique<Kernel>(kc);
+    }
+
+    WorkloadProfile profile = scaleProfile(
+        makeProfile(config_.kind, config_.memBytes),
+        config_.intensity);
+    workload_ = std::make_unique<Workload>(*kernel_, profile,
+                                           config_.seed ^ 0x77ff);
+}
+
+Server::~Server() = default;
+
+ServerScan
+Server::scan() const
+{
+    const PhysMem &mem = kernel_->mem();
+    const Pfn n = mem.numFrames();
+    ServerScan result;
+
+    const unsigned orders4[4] = {scan::order2M, scan::order4M,
+                                 scan::order32M, scan::order1G};
+    for (int i = 0; i < 4; ++i) {
+        result.freeContiguity[i] =
+            scan::freeContiguityFraction(mem, 0, n, orders4[i]);
+        result.unmovableBlocks[i] =
+            scan::unmovableBlockFraction(mem, 0, n, orders4[i]);
+    }
+    const unsigned orders3[3] = {scan::order2M, scan::order32M,
+                                 scan::order1G};
+    for (int i = 0; i < 3; ++i) {
+        result.potentialContiguity[i] =
+            scan::potentialContiguityFraction(mem, 0, n, orders3[i]);
+    }
+    result.unmovablePageRatio = scan::unmovablePageRatio(mem, 0, n);
+    result.bySource = scan::unmovableBySource(mem, 0, n);
+    result.freePages = scan::freePages(mem, 0, n);
+    result.free2mBlocks =
+        scan::freeAlignedBlocks(mem, 0, n, scan::order2M);
+    const auto region = kernel_->policy().unmovableRegion();
+    if (region.second > region.first) {
+        result.unmovableRegionFreeShare =
+            scan::meanFreeShareOfUnmovableBlocks(mem, region.first,
+                                                 region.second);
+    } else {
+        result.unmovableRegionFreeShare =
+            scan::meanFreeShareOfUnmovableBlocks(mem, 0, n);
+    }
+    result.uptimeSec = workload_ ? workload_->now() : 0.0;
+    return result;
+}
+
+ServerScan
+Server::run()
+{
+    if (config_.prefragment) {
+        Fragmenter::Config fc;
+        fragmenter_ = std::make_unique<Fragmenter>(
+            *kernel_, fc, config_.seed ^ 0xf7a6);
+        fragmenter_->run();
+    }
+    workload_->start();
+    workload_->runFor(config_.uptimeSec, config_.stepSec);
+    return scan();
+}
+
+} // namespace ctg

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * One fleet server: a kernel (vanilla or Contiguitas), a workload,
+ * an optional fragmentation pretreatment, and the full-memory scan
+ * the paper's fleet studies perform (Sections 2.4, 2.5, 5.2).
+ */
+
+#ifndef CTG_FLEET_SERVER_HH
+#define CTG_FLEET_SERVER_HH
+
+#include <array>
+#include <memory>
+
+#include "contiguitas/policy.hh"
+#include "kernel/kernel.hh"
+#include "workloads/fragmenter.hh"
+#include "workloads/workload.hh"
+
+namespace ctg
+{
+
+/** Results of one server's full memory scan. */
+struct ServerScan
+{
+    /** Free contiguity as a fraction of free memory (Figure 4),
+     * indexed 2M/4M/32M/1G. */
+    std::array<double, 4> freeContiguity{};
+    /** Fraction of aligned blocks containing unmovable pages
+     * (Figure 5 / Figure 11), indexed 2M/4M/32M/1G. */
+    std::array<double, 4> unmovableBlocks{};
+    /** Post-perfect-compaction contiguity as fraction of memory
+     * (Figure 12), indexed 2M/32M/1G. */
+    std::array<double, 3> potentialContiguity{};
+    /** Unmovable 4 KB pages / total pages. */
+    double unmovablePageRatio = 0.0;
+    /** Unmovable pages per source (Figure 6). */
+    std::array<std::uint64_t, numAllocSources> bySource{};
+    /** Free pages at scan time. */
+    std::uint64_t freePages = 0;
+    /** Free aligned 2 MB blocks (uptime-correlation study). */
+    std::uint64_t free2mBlocks = 0;
+    /** Mean free share inside unmovable 2 MB blocks (Section 5.2's
+     * internal fragmentation; scoped to the unmovable region when
+     * one exists). */
+    double unmovableRegionFreeShare = 0.0;
+    /** Simulated uptime. */
+    double uptimeSec = 0.0;
+};
+
+/**
+ * A single simulated server.
+ */
+class Server
+{
+  public:
+    struct Config
+    {
+        std::uint64_t memBytes = std::uint64_t{2} << 30;
+        bool contiguitas = false;
+        /** Contiguitas knobs (used when contiguitas is true). */
+        ContiguitasConfig contiguitasConfig;
+        WorkloadKind kind = WorkloadKind::Web;
+        /** Scales all kernel churn rates of the profile. */
+        double intensity = 1.0;
+        /** Run the Full Fragmentation pretreatment first. */
+        bool prefragment = false;
+        double uptimeSec = 40.0;
+        double stepSec = 1.0;
+        std::uint64_t seed = 1;
+    };
+
+    explicit Server(const Config &config);
+    ~Server();
+
+    /** Boot, (optionally) fragment, run the workload, and scan. */
+    ServerScan run();
+
+    Kernel &kernel() { return *kernel_; }
+    Workload &workload() { return *workload_; }
+
+    /** Scan without running (for intermediate sampling). */
+    ServerScan scan() const;
+
+  private:
+    Config config_;
+    std::unique_ptr<Kernel> kernel_;
+    std::unique_ptr<Fragmenter> fragmenter_;
+    std::unique_ptr<Workload> workload_;
+};
+
+/** Scale a profile's kernel churn rates by an intensity factor. */
+WorkloadProfile scaleProfile(WorkloadProfile profile,
+                             double intensity);
+
+} // namespace ctg
+
+#endif // CTG_FLEET_SERVER_HH

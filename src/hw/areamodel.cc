@@ -1,0 +1,37 @@
+#include "hw/areamodel.hh"
+
+namespace ctg
+{
+
+SramEstimate
+estimateFaSram(unsigned entries, unsigned bits_per_entry, double nm)
+{
+    SramEstimate est;
+    est.bits = static_cast<std::uint64_t>(entries) * bits_per_entry;
+
+    // Area scales with the square of feature size relative to the
+    // 22 nm calibration point. Small arrays are dominated by the
+    // peripheral/overhead term, not the bit cells.
+    const double scale = (nm / 22.0) * (nm / 22.0);
+    constexpr double bit_area_mm2 = 1.0e-6;  // CAM cell + periphery
+    constexpr double fixed_area_mm2 = 2.5e-3; // decoders, comparators
+    est.areaMm2 =
+        scale * (fixed_area_mm2 +
+                 bit_area_mm2 * static_cast<double>(est.bits));
+
+    // Dynamic energy: CAM search touches every entry's tag plus the
+    // matched payload readout.
+    constexpr double fixed_energy_nj = 4.0e-4;
+    constexpr double bit_energy_nj = 1.0e-6;
+    est.energyPerAccessNj =
+        scale * (fixed_energy_nj +
+                 bit_energy_nj * static_cast<double>(est.bits));
+
+    // Leakage is proportional to the retained bits.
+    constexpr double leak_per_bit_mw = 5.0e-4;
+    est.leakageMw =
+        scale * leak_per_bit_mw * static_cast<double>(est.bits);
+    return est;
+}
+
+} // namespace ctg

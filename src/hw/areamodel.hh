@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Analytic SRAM/CAM area, energy and leakage model standing in for
+ * the paper's Cacti 7 analysis (Section 5.3). Constants are
+ * calibrated at the 22 nm node against the numbers the paper
+ * reports for the per-slice migration table: 0.0038 mm²,
+ * 0.0017 nJ/access, 0.64 mW leakage.
+ */
+
+#ifndef CTG_HW_AREAMODEL_HH
+#define CTG_HW_AREAMODEL_HH
+
+#include <cstdint>
+
+namespace ctg
+{
+
+/** Estimated physical cost of a small associatively-searched SRAM. */
+struct SramEstimate
+{
+    double areaMm2 = 0.0;
+    double energyPerAccessNj = 0.0;
+    double leakageMw = 0.0;
+    std::uint64_t bits = 0;
+};
+
+/**
+ * Estimate a fully-associative (CAM-tagged) SRAM structure.
+ *
+ * @param entries number of entries
+ * @param bits_per_entry payload+tag width in bits
+ * @param nm technology node (scaling reference: 22 nm)
+ */
+SramEstimate estimateFaSram(unsigned entries, unsigned bits_per_entry,
+                            double nm = 22.0);
+
+/** Bits of one Contiguitas-HW migration-table entry: two 36-bit
+ * PPNs, a 7-bit Ptr, valid/mode/state bits. */
+constexpr unsigned migrationEntryBits = 36 + 36 + 7 + 4;
+
+/** Reference area of one core at 22 nm (mm²) used for the "0.014%
+ * of a core" comparison. */
+constexpr double coreAreaMm2At22nm = 27.0;
+
+} // namespace ctg
+
+#endif // CTG_HW_AREAMODEL_HH

@@ -1,0 +1,130 @@
+#include "hw/chw/engine.hh"
+
+namespace ctg
+{
+
+ChwEngine::ChwEngine(EventQueue &eventq, MemHierarchy &mem)
+    : eventq_(eventq), mem_(mem)
+{}
+
+bool
+ChwEngine::submitMigrate(Descriptor desc)
+{
+    ctg_assert(desc.src != invalidPfn && desc.dst != invalidPfn);
+    MigrationEntry *entry = mem_.migrationTable().install(
+        desc.src, desc.dst, desc.mode, desc.sizePages);
+    if (entry == nullptr)
+        return false;
+
+    RunState state;
+    state.startTick = eventq_.now();
+    state.onComplete = std::move(desc.onComplete);
+    running_[desc.src] = std::move(state);
+    ++stats_.migrationsStarted;
+
+    if (desc.startCopyNow)
+        startCopy(desc.src);
+    return true;
+}
+
+void
+ChwEngine::startCopy(Pfn src)
+{
+    MigrationEntry *entry = mem_.migrationTable().findBySrc(src);
+    ctg_assert(entry != nullptr);
+    ctg_assert(!entry->copying && !entry->copyDone);
+    entry->copying = true;
+    auto it = running_.find(src);
+    ctg_assert(it != running_.end());
+    it->second.startTick = eventq_.now();
+    it->second.currentSlice =
+        mem_.sliceOf(pfnToAddr(entry->srcPpn));
+    eventq_.schedule(mem_.config().chwLat,
+                     [this, src] { copyNextLine(src); },
+                     EventPriority::HardwareResponse);
+}
+
+void
+ChwEngine::finishCopy(Pfn src, MigrationEntry &entry)
+{
+    entry.copying = false;
+    entry.copyDone = true;
+    auto it = running_.find(src);
+    ctg_assert(it != running_.end());
+    stats_.lastCopyCycles = eventq_.now() - it->second.startTick;
+    ++stats_.migrationsCompleted;
+    if (it->second.onComplete)
+        it->second.onComplete();
+    running_.erase(it);
+}
+
+void
+ChwEngine::copyNextLine(Pfn src)
+{
+    MigrationEntry *entry = mem_.migrationTable().findBySrc(src);
+    if (entry == nullptr || !entry->copying) {
+        // The OS cleared the mapping mid-copy; stop quietly.
+        running_.erase(src);
+        return;
+    }
+    const unsigned total_lines =
+        entry->sizePages * static_cast<unsigned>(linesPerPage);
+    if (entry->ptr >= total_lines) {
+        finishCopy(src, *entry);
+        return;
+    }
+
+    const unsigned idx = entry->ptr;
+    const Addr off = static_cast<Addr>(idx) * lineBytes;
+    const Addr src_line = pfnToAddr(entry->srcPpn) + off;
+    const Addr dst_line = pfnToAddr(entry->dstPpn) + off;
+
+    Cycles cost = mem_.config().chwCopyPerLine;
+    auto it = running_.find(src);
+    ctg_assert(it != running_.end());
+    RunState &state = it->second;
+
+    // Slice handoff: the copy proceeds in line order, and the slice
+    // owning the next source line takes over when it changes.
+    const unsigned src_home = mem_.sliceOf(src_line);
+    if (src_home != state.currentSlice) {
+        cost += mem_.ringLat(state.currentSlice, src_home);
+        state.currentSlice = src_home;
+        ++stats_.sliceHandoffs;
+    }
+
+    const bool skip =
+        entry->mode == ChwMode::Cacheable &&
+        mem_.lineModifiedInPrivate(dst_line);
+    if (skip) {
+        // Destination already holds newer data (Modified in a
+        // private cache); copying would roll it back.
+        ++stats_.linesSkippedDirty;
+    } else {
+        // The engine keeps several lines in flight; chwCopyPerLine
+        // is the calibrated steady-state cost per line rather than
+        // the serialized BusRdX + Write round trips.
+        const std::uint64_t value = mem_.busRdX(src_line, nullptr);
+        mem_.copyWrite(dst_line, value, nullptr);
+        const unsigned dst_home = mem_.sliceOf(dst_line);
+        if (dst_home != src_home) {
+            // Write + Ack across the ring (Figure 9 steps 2-3).
+            cost += 2 * mem_.ringLat(src_home, dst_home);
+            ++stats_.crossSliceWrites;
+        }
+        ++stats_.linesCopied;
+    }
+
+    ++entry->ptr;
+    eventq_.schedule(cost, [this, src] { copyNextLine(src); },
+                     EventPriority::HardwareResponse);
+}
+
+void
+ChwEngine::clear(Pfn src)
+{
+    mem_.migrationTable().clear(src);
+    running_.erase(src);
+}
+
+} // namespace ctg

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Contiguitas-HW copy engine and OS work-queue interface
+ * (Section 3.3, Figures 8 and 9).
+ *
+ * The OS submits Migrate(src, dst, flags) descriptors through an
+ * ENQCMD-style work queue. The engine installs the mapping in the
+ * migration table (replicated per slice), then copies the page line
+ * by line: BusRdX pulls the freshest source line into the LLC and
+ * invalidates private copies, the value is written to the
+ * destination line's home slice (a cross-slice Write/Ack when the
+ * homes differ), and Ptr advances. Slices hand off to each other
+ * rather than copying in parallel — the deliberately unaggressive
+ * design the paper chooses. In cacheable mode the copy skips
+ * destination lines that are Modified in a private cache.
+ */
+
+#ifndef CTG_HW_CHW_ENGINE_HH
+#define CTG_HW_CHW_ENGINE_HH
+
+#include <functional>
+#include <unordered_map>
+
+#include "hw/mem_hierarchy.hh"
+#include "sim/eventq.hh"
+
+namespace ctg
+{
+
+/**
+ * The migration copy engine.
+ */
+class ChwEngine
+{
+  public:
+    /** Work descriptor submitted via ENQCMD. */
+    struct Descriptor
+    {
+        Pfn src = invalidPfn;
+        Pfn dst = invalidPfn;
+        /** Buffer size in pages (Section 3.3, variable buffer
+         * sizes); source and destination ranges must both be this
+         * long. */
+        unsigned sizePages = 1;
+        ChwMode mode = ChwMode::Noncacheable;
+        /** Noncacheable mode starts copying immediately; cacheable
+         * mode installs the mapping only (Flag argument of the
+         * Migrate command) and copies on startCopy(). */
+        bool startCopyNow = true;
+        /** Invoked when the copy completes (completion-address
+         * write). */
+        std::function<void()> onComplete;
+    };
+
+    ChwEngine(EventQueue &eventq, MemHierarchy &mem);
+
+    /**
+     * Submit a Migrate descriptor.
+     * @return false if the metadata table is full.
+     */
+    bool submitMigrate(Descriptor desc);
+
+    /** Cacheable mode phase 2: begin the copy after the lazy TLB
+     * switch completed. */
+    void startCopy(Pfn src);
+
+    /** OS Clear command: remove the mapping, ending the migration. */
+    void clear(Pfn src);
+
+    /** True while a mapping for the page exists. */
+    bool
+    migrating(Pfn ppn)
+    {
+        return mem_.migrationTable().find(ppn) != nullptr;
+    }
+
+    struct Stats
+    {
+        std::uint64_t migrationsStarted = 0;
+        std::uint64_t migrationsCompleted = 0;
+        std::uint64_t linesCopied = 0;
+        std::uint64_t linesSkippedDirty = 0;
+        std::uint64_t sliceHandoffs = 0;
+        std::uint64_t crossSliceWrites = 0;
+        /** Duration of the most recent completed copy. */
+        Cycles lastCopyCycles = 0;
+    };
+
+    const Stats &stats() const { return stats_; }
+
+    /** Fixed ENQCMD submission cost charged to the OS. */
+    static constexpr Cycles enqcmdCost = 50;
+
+  private:
+    struct RunState
+    {
+        Tick startTick = 0;
+        unsigned currentSlice = 0;
+        std::function<void()> onComplete;
+    };
+
+    void copyNextLine(Pfn src);
+    void finishCopy(Pfn src, MigrationEntry &entry);
+
+    EventQueue &eventq_;
+    MemHierarchy &mem_;
+    std::unordered_map<Pfn, RunState> running_;
+    Stats stats_;
+};
+
+} // namespace ctg
+
+#endif // CTG_HW_CHW_ENGINE_HH

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Contiguitas-HW migration metadata table (Figure 8b).
+ *
+ * Each entry aliases a source physical page with a destination page
+ * and tracks Ptr, the number of cache lines copied so far. The table
+ * is architecturally replicated per LLC slice with identical
+ * contents; the model keeps one logical copy and charges the
+ * per-slice access latency at the point of use.
+ */
+
+#ifndef CTG_HW_CHW_MIGRATION_TABLE_HH
+#define CTG_HW_CHW_MIGRATION_TABLE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace ctg
+{
+
+/** Cache-interaction mode of a migration (Section 3.3). */
+enum class ChwMode : std::uint8_t
+{
+    /** Migrating lines become noncacheable in L1/L2; all traffic is
+     * redirected at the LLC. */
+    Noncacheable,
+    /** Private caching stays enabled under the single-active-mapping
+     * invariant; copy starts after the lazy TLB switch completes. */
+    Cacheable,
+};
+
+/** One migration mapping. */
+struct MigrationEntry
+{
+    bool valid = false;
+    Pfn srcPpn = invalidPfn;
+    Pfn dstPpn = invalidPfn;
+    /** Buffer size in pages (the Size-field extension of Section
+     * 3.3 for variable device-TLB mapping sizes). */
+    unsigned sizePages = 1;
+    /** Lines [0, ptr) of the whole buffer have been copied. */
+    unsigned ptr = 0;
+    ChwMode mode = ChwMode::Noncacheable;
+    /** Copy engine currently advancing Ptr. */
+    bool copying = false;
+    /** Copy finished; flag the OS polls at kernel entry. */
+    bool copyDone = false;
+    /** Cores already notified of noncacheability (NACK-and-retry
+     * bookkeeping for first-touch cores). */
+    std::uint32_t notified = 0;
+};
+
+/**
+ * Fully-associative migration mapping table.
+ */
+class MigrationTable
+{
+  public:
+    explicit MigrationTable(unsigned entries)
+        : capacity_(entries)
+    {
+        ctg_assert(entries > 0 && entries <= slots_.size());
+    }
+
+    /** Install a mapping; nullptr when the table is full. */
+    MigrationEntry *
+    install(Pfn src, Pfn dst, ChwMode mode, unsigned size_pages = 1)
+    {
+        ctg_assert(size_pages >= 1);
+        ctg_assert(find(src) == nullptr && find(dst) == nullptr);
+        for (unsigned i = 0; i < capacity_; ++i) {
+            MigrationEntry &entry = slots_[i];
+            if (!entry.valid) {
+                entry = MigrationEntry{};
+                entry.valid = true;
+                entry.srcPpn = src;
+                entry.dstPpn = dst;
+                entry.sizePages = size_pages;
+                entry.mode = mode;
+                ++installs_;
+                return &entry;
+            }
+        }
+        ++installFailures_;
+        return nullptr;
+    }
+
+    /** Clear the entry whose source is src (the Clear command). */
+    void
+    clear(Pfn src)
+    {
+        MigrationEntry *entry = findBySrc(src);
+        ctg_assert(entry != nullptr);
+        *entry = MigrationEntry{};
+    }
+
+    /** Find the entry whose source or destination range covers a
+     * page. */
+    MigrationEntry *
+    find(Pfn ppn)
+    {
+        for (unsigned i = 0; i < capacity_; ++i) {
+            MigrationEntry &entry = slots_[i];
+            if (!entry.valid)
+                continue;
+            if ((ppn >= entry.srcPpn &&
+                 ppn < entry.srcPpn + entry.sizePages) ||
+                (ppn >= entry.dstPpn &&
+                 ppn < entry.dstPpn + entry.sizePages)) {
+                return &entry;
+            }
+        }
+        return nullptr;
+    }
+
+    MigrationEntry *
+    findBySrc(Pfn src)
+    {
+        for (unsigned i = 0; i < capacity_; ++i) {
+            MigrationEntry &entry = slots_[i];
+            if (entry.valid && entry.srcPpn == src)
+                return &entry;
+        }
+        return nullptr;
+    }
+
+    /** Number of live entries. */
+    unsigned
+    occupancy() const
+    {
+        unsigned used = 0;
+        for (unsigned i = 0; i < capacity_; ++i) {
+            if (slots_[i].valid)
+                ++used;
+        }
+        return used;
+    }
+
+    unsigned capacity() const { return capacity_; }
+    std::uint64_t installs() const { return installs_; }
+    std::uint64_t installFailures() const { return installFailures_; }
+
+  private:
+    std::array<MigrationEntry, 64> slots_{};
+    unsigned capacity_;
+    std::uint64_t installs_ = 0;
+    std::uint64_t installFailures_ = 0;
+};
+
+/**
+ * Canonical physical line for an access to a buffer under migration:
+ * copied lines live at the destination, uncopied ones at the source
+ * (both for source-mapped and destination-mapped requests). Ptr
+ * counts lines across the whole (possibly multi-page) buffer.
+ */
+inline Addr
+canonicalLine(const MigrationEntry &entry, Addr line_addr)
+{
+    const Pfn page = addrToPfn(line_addr);
+    const bool via_src = page >= entry.srcPpn &&
+                         page < entry.srcPpn + entry.sizePages;
+    const Pfn base = via_src ? entry.srcPpn : entry.dstPpn;
+    ctg_assert(via_src ||
+               (page >= entry.dstPpn &&
+                page < entry.dstPpn + entry.sizePages));
+    const unsigned line_idx = static_cast<unsigned>(
+        (page - base) * linesPerPage + lineInPage(line_addr));
+    const Addr offset_bytes =
+        static_cast<Addr>(line_idx) * lineBytes;
+    if (line_idx < entry.ptr)
+        return pfnToAddr(entry.dstPpn) + offset_bytes;
+    return pfnToAddr(entry.srcPpn) + offset_bytes;
+}
+
+} // namespace ctg
+
+#endif // CTG_HW_CHW_MIGRATION_TABLE_HH

@@ -1,0 +1,54 @@
+#include "hw/core.hh"
+
+namespace ctg
+{
+
+Core::Core(HwSystem &hw, CoreId id, const PageTables &tables,
+           Cycles compute_per_op)
+    : hw_(hw), id_(id), tables_(tables),
+      computePerOp_(compute_per_op)
+{
+    ctg_assert(id < hw.config().cores);
+}
+
+Cycles
+Core::walkPart(const HwSystem::AccessResult &result) const
+{
+    if (!result.pageWalk)
+        return 0;
+    const HwConfig &config = hw_.config();
+    const Cycles lookup =
+        config.l1TlbLat + config.l2TlbLat + config.pwcLat;
+    return result.translationLatency > lookup
+               ? result.translationLatency - lookup
+               : 0;
+}
+
+void
+Core::run(const TraceFn &trace, std::uint64_t ops)
+{
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        const Op op = trace();
+        const auto instr =
+            hw_.coreAccess(id_, op.codeAddr, tables_, false);
+        const auto data = hw_.coreAccess(id_, op.dataAddr, tables_,
+                                         op.isWrite, op.writeValue);
+        ++stats_.ops;
+        stats_.totalCycles +=
+            instr.latency + data.latency + computePerOp_;
+        stats_.instrWalkCycles += walkPart(instr);
+        stats_.dataWalkCycles += walkPart(data);
+        stats_.instrWalks += instr.pageWalk;
+        stats_.dataWalks += data.pageWalk;
+    }
+}
+
+void
+Core::warmup(const TraceFn &trace, std::uint64_t ops)
+{
+    const Stats saved = stats_;
+    run(trace, ops);
+    stats_ = saved;
+}
+
+} // namespace ctg

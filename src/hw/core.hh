@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Simple core front end: executes a stream of memory operations
+ * (instruction fetch + data access per "operation") against the
+ * simulated MMU and cache hierarchy, accumulating the cycle
+ * accounting the Figure 3 / Figure 10 measurements need. The core is
+ * in-order with a fixed non-memory cost per operation; the paper's
+ * protocol-level results do not depend on OoO detail (DESIGN.md §1).
+ */
+
+#ifndef CTG_HW_CORE_HH
+#define CTG_HW_CORE_HH
+
+#include <functional>
+
+#include "hw/system.hh"
+
+namespace ctg
+{
+
+/**
+ * Trace-driven execution on one simulated core.
+ */
+class Core
+{
+  public:
+    /** One operation of the input trace. */
+    struct Op
+    {
+        Addr codeAddr = 0;   //!< instruction fetch target
+        Addr dataAddr = 0;   //!< data access target
+        bool isWrite = false;
+        std::uint64_t writeValue = 0;
+    };
+
+    /** Callback producing the next operation. */
+    using TraceFn = std::function<Op()>;
+
+    /** Accumulated execution statistics. */
+    struct Stats
+    {
+        std::uint64_t ops = 0;
+        Cycles totalCycles = 0;
+        Cycles instrWalkCycles = 0;
+        Cycles dataWalkCycles = 0;
+        std::uint64_t instrWalks = 0;
+        std::uint64_t dataWalks = 0;
+
+        double
+        instrWalkFrac() const
+        {
+            return totalCycles == 0
+                       ? 0.0
+                       : static_cast<double>(instrWalkCycles) /
+                             static_cast<double>(totalCycles);
+        }
+
+        double
+        dataWalkFrac() const
+        {
+            return totalCycles == 0
+                       ? 0.0
+                       : static_cast<double>(dataWalkCycles) /
+                             static_cast<double>(totalCycles);
+        }
+
+        double
+        cyclesPerOp() const
+        {
+            return ops == 0 ? 0.0
+                            : static_cast<double>(totalCycles) /
+                                  static_cast<double>(ops);
+        }
+    };
+
+    Core(HwSystem &hw, CoreId id, const PageTables &tables,
+         Cycles compute_per_op = 12);
+
+    /** Execute `ops` operations from the trace. */
+    void run(const TraceFn &trace, std::uint64_t ops);
+
+    /** Execute and discard (cache/TLB warmup). */
+    void warmup(const TraceFn &trace, std::uint64_t ops);
+
+    const Stats &stats() const { return stats_; }
+    void resetStats() { stats_ = Stats{}; }
+    CoreId id() const { return id_; }
+
+  private:
+    /** Walk-cycle share of one access result. */
+    Cycles walkPart(const HwSystem::AccessResult &result) const;
+
+    HwSystem &hw_;
+    CoreId id_;
+    const PageTables &tables_;
+    Cycles computePerOp_;
+    Stats stats_;
+};
+
+} // namespace ctg
+
+#endif // CTG_HW_CORE_HH

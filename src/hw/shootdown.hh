@@ -1,0 +1,96 @@
+/**
+ * @file
+ * TLB shootdown and software page migration (Figure 1), plus the
+ * Contiguitas lazy local-invalidation alternative.
+ *
+ * The classic procedure: the initiator clears the PTE, invalidates
+ * its own TLB, interrupts every victim core (each runs INVLPG and
+ * acknowledges), copies the page, and finally updates the PTE. The
+ * page is unavailable from the PTE clear to the PTE update; the IPI
+ * round trips serialize on the initiator, which is why the cost
+ * scales linearly with the number of victim TLBs.
+ *
+ * Contiguitas replaces this with hardware redirection: the page
+ * stays available throughout, and each core performs a local INVLPG
+ * the next time the kernel naturally runs on it.
+ */
+
+#ifndef CTG_HW_SHOOTDOWN_HH
+#define CTG_HW_SHOOTDOWN_HH
+
+#include <functional>
+#include <vector>
+
+#include "hw/chw/engine.hh"
+#include "hw/tlb.hh"
+#include "sim/eventq.hh"
+
+namespace ctg
+{
+
+/** Timing record of one migration, as the Figure 13 bench reports. */
+struct MigrationTiming
+{
+    Tick start = 0;
+    Tick pteCleared = 0;
+    Tick shootdownDone = 0;
+    Tick copyDone = 0;
+    Tick pteUpdated = 0;
+    /** Cycles during which an access to the page would block. */
+    Cycles unavailableCycles = 0;
+    /** End-to-end migration latency. */
+    Cycles totalCycles = 0;
+};
+
+/**
+ * Orchestrates page migrations over the simulated cores.
+ */
+class ShootdownManager
+{
+  public:
+    ShootdownManager(EventQueue &eventq, const HwConfig &config,
+                     MemHierarchy &mem, std::vector<Mmu *> mmus);
+
+    /**
+     * Classic Linux software migration of the 4 KB page at vpn.
+     *
+     * @param initiator core running the kernel migration path
+     * @param victims number of remote cores whose TLBs must be shot
+     *        down (1..cores-1)
+     * @param vpn virtual page to migrate
+     * @param tables page tables to update
+     * @param dst destination frame
+     * @param done completion callback with the timing record
+     */
+    void softwareMigrate(CoreId initiator, unsigned victims, Vpn vpn,
+                         PageTables &tables, Pfn dst,
+                         std::function<void(MigrationTiming)> done);
+
+    /**
+     * Contiguitas-HW migration: install the mapping, update the PTE
+     * immediately (both mappings stay serviceable via redirection),
+     * let each core invalidate locally at its next kernel entry, and
+     * copy per the mode. The page is never unavailable.
+     */
+    void contiguitasMigrate(CoreId initiator, Vpn vpn,
+                            PageTables &tables, Pfn dst, ChwMode mode,
+                            ChwEngine &engine,
+                            std::function<void(MigrationTiming)> done);
+
+    /** Analytic cost of the classic shootdown alone (validation). */
+    Cycles classicShootdownCost(unsigned victims) const;
+
+  private:
+    /** Functionally copy page contents (values move through the
+     * hierarchy) while charging the pipelined-memcpy cost. */
+    Cycles copyPage(Pfn src, Pfn dst);
+
+    EventQueue &eventq_;
+    const HwConfig &config_;
+    MemHierarchy &mem_;
+    std::vector<Mmu *> mmus_;
+};
+
+} // namespace ctg
+
+#endif // CTG_HW_SHOOTDOWN_HH

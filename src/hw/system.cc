@@ -1,0 +1,47 @@
+#include "hw/system.hh"
+
+namespace ctg
+{
+
+HwSystem::HwSystem(const HwConfig &config)
+    : config_(config)
+{
+    mem_ = std::make_unique<MemHierarchy>(config_);
+    for (unsigned c = 0; c < config_.cores; ++c)
+        mmus_.push_back(std::make_unique<Mmu>(config_, c, *mem_));
+    engine_ = std::make_unique<ChwEngine>(eventq_, *mem_);
+    std::vector<Mmu *> raw;
+    raw.reserve(mmus_.size());
+    for (auto &mmu : mmus_)
+        raw.push_back(mmu.get());
+    shootdown_ = std::make_unique<ShootdownManager>(
+        eventq_, config_, *mem_, std::move(raw));
+    iommu_ = std::make_unique<Iommu>(config_, *mem_);
+}
+
+HwSystem::AccessResult
+HwSystem::coreAccess(CoreId core, Addr vaddr, const PageTables &tables,
+                     bool write, std::uint64_t write_value)
+{
+    AccessResult result;
+    Mmu::Result tr = mmus_.at(core)->translate(vaddr, tables);
+    result.translationLatency = tr.latency;
+    result.latency = tr.latency;
+    result.pageWalk = tr.walked;
+    if (!tr.valid)
+        return result;
+    const auto outcome =
+        mem_->access(core, tr.paddr, write, write_value);
+    result.latency += outcome.latency;
+    result.value = outcome.value;
+    result.valid = true;
+    return result;
+}
+
+void
+HwSystem::drain(Tick limit_ticks)
+{
+    eventq_.run(limit_ticks);
+}
+
+} // namespace ctg

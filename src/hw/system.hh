@@ -1,0 +1,69 @@
+/**
+ * @file
+ * HwSystem — the full-system simulation facade (Section 4's
+ * QEMU+SST+DRAMSim3 stand-in): event queue, memory hierarchy,
+ * per-core MMUs, Contiguitas-HW engine, shootdown manager and IOMMU,
+ * wired together over a kernel instance's page tables.
+ */
+
+#ifndef CTG_HW_SYSTEM_HH
+#define CTG_HW_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "hw/chw/engine.hh"
+#include "hw/iommu.hh"
+#include "hw/shootdown.hh"
+#include "hw/tlb.hh"
+#include "sim/eventq.hh"
+
+namespace ctg
+{
+
+/**
+ * One simulated server's hardware.
+ */
+class HwSystem
+{
+  public:
+    explicit HwSystem(const HwConfig &config = HwConfig{});
+
+    EventQueue &eventq() { return eventq_; }
+    MemHierarchy &mem() { return *mem_; }
+    Mmu &mmu(CoreId core) { return *mmus_.at(core); }
+    ChwEngine &chw() { return *engine_; }
+    ShootdownManager &shootdown() { return *shootdown_; }
+    Iommu &iommu() { return *iommu_; }
+    const HwConfig &config() const { return config_; }
+
+    /** Combined translate + data access from one core. */
+    struct AccessResult
+    {
+        bool valid = false;
+        Cycles latency = 0;
+        Cycles translationLatency = 0;
+        std::uint64_t value = 0;
+        bool pageWalk = false;
+    };
+
+    AccessResult coreAccess(CoreId core, Addr vaddr,
+                            const PageTables &tables, bool write,
+                            std::uint64_t write_value = 0);
+
+    /** Run pending hardware events to completion (bounded). */
+    void drain(Tick limit_ticks = ~Tick{0});
+
+  private:
+    HwConfig config_;
+    EventQueue eventq_;
+    std::unique_ptr<MemHierarchy> mem_;
+    std::vector<std::unique_ptr<Mmu>> mmus_;
+    std::unique_ptr<ChwEngine> engine_;
+    std::unique_ptr<ShootdownManager> shootdown_;
+    std::unique_ptr<Iommu> iommu_;
+};
+
+} // namespace ctg
+
+#endif // CTG_HW_SYSTEM_HH

@@ -1,0 +1,317 @@
+#include "kernel/addrspace.hh"
+
+#include <algorithm>
+
+namespace ctg
+{
+
+AddressSpace::AddressSpace(Kernel &kernel, std::uint32_t pid)
+    : kernel_(kernel), pid_(pid),
+      clientId_(kernel.owners().registerClient(this)), tables_(kernel)
+{}
+
+AddressSpace::~AddressSpace()
+{
+    while (!regions_.empty())
+        munmap(pfnToAddr(regions_.begin()->first));
+    kernel_.owners().unregisterClient(clientId_);
+}
+
+Addr
+AddressSpace::mmap(std::uint64_t bytes)
+{
+    const std::uint64_t pages =
+        (bytes + pageBytes - 1) / pageBytes;
+    ctg_assert(pages > 0);
+    const Vpn base = nextBaseVpn_;
+    // Advance by whole gigabytes so every region base is 1 GB aligned.
+    const std::uint64_t giga_span =
+        (pages + pagesPerGiga - 1) / pagesPerGiga;
+    nextBaseVpn_ += giga_span * pagesPerGiga;
+    regions_.emplace(base, Region{base, pages});
+    return pfnToAddr(base);
+}
+
+void
+AddressSpace::munmap(Addr base)
+{
+    const Vpn base_vpn = addrToPfn(base);
+    auto it = regions_.find(base_vpn);
+    ctg_assert(it != regions_.end());
+    const Region region = it->second;
+
+    Vpn vpn = region.baseVpn;
+    const Vpn end = region.baseVpn + region.pages;
+    while (vpn < end) {
+        auto cit = chunks_.find(vpn);
+        if (cit != chunks_.end()) {
+            const unsigned order = cit->second;
+            // Process teardown drops any remaining DMA pins.
+            const Translation tr = tables_.translate(vpn);
+            if (tr.valid && kernel_.mem().frame(tr.pfn).isPinned())
+                kernel_.unpinPages(tr.pfn);
+            unbackChunk(vpn, order);
+            vpn += Vpn{1} << order;
+        } else {
+            ++vpn;
+        }
+    }
+    regions_.erase(it);
+}
+
+bool
+AddressSpace::backChunk(Vpn vpn, unsigned order)
+{
+    AllocRequest req;
+    req.order = order;
+    req.mt = MigrateType::Movable;
+    req.source = AllocSource::User;
+    req.owner = OwnerRegistry::makeOwner(clientId_, vpn);
+    req.lifetime = Lifetime::Short;
+    const Pfn pfn = kernel_.allocPages(req);
+    if (pfn == invalidPfn)
+        return false;
+    if (!tables_.map(vpn, pfn, order)) {
+        kernel_.freePages(pfn);
+        return false;
+    }
+    chunks_.emplace(vpn, order);
+    if (order == 0) {
+        ++pages4k_;
+        ++hugeRangeUse_[vpn >> hugeOrder];
+    } else if (order == hugeOrder) {
+        ++chunks2m_;
+    }
+    return true;
+}
+
+void
+AddressSpace::unbackChunk(Vpn vpn, unsigned order)
+{
+    const Translation tr = tables_.translate(vpn);
+    ctg_assert(tr.valid && tr.order == order);
+    tables_.unmap(vpn);
+    kernel_.freePages(tr.pfn);
+    chunks_.erase(vpn);
+    if (order == 0) {
+        --pages4k_;
+        auto it = hugeRangeUse_.find(vpn >> hugeOrder);
+        ctg_assert(it != hugeRangeUse_.end() && it->second > 0);
+        if (--it->second == 0)
+            hugeRangeUse_.erase(it);
+    } else if (order == hugeOrder) {
+        --chunks2m_;
+    } else {
+        ctg_assert(order == gigaOrder);
+        --chunks1g_;
+    }
+}
+
+std::uint64_t
+AddressSpace::touchRange(Addr addr, std::uint64_t bytes)
+{
+    const Vpn first = addrToPfn(addr);
+    const Vpn last = addrToPfn(addr + bytes - 1);
+    std::uint64_t backed = 0;
+
+    Vpn vpn = first;
+    while (vpn <= last) {
+        if (tables_.translate(vpn).valid) {
+            ++vpn;
+            continue;
+        }
+        // THP policy: aligned 2 MB chunk fully inside the requested
+        // range gets a huge-page attempt first.
+        const bool huge_aligned = (vpn % pagesPerHuge) == 0;
+        const bool huge_fits = vpn + pagesPerHuge - 1 <= last;
+        const bool huge_clear =
+            hugeRangeUse_.find(vpn >> hugeOrder) ==
+            hugeRangeUse_.end();
+        if (kernel_.config().thpEnabled && huge_aligned &&
+            huge_fits && huge_clear) {
+            if (backChunk(vpn, hugeOrder)) {
+                backed += pagesPerHuge;
+                vpn += pagesPerHuge;
+                continue;
+            }
+        }
+        if (backChunk(vpn, 0))
+            ++backed;
+        ++vpn;
+    }
+    return backed;
+}
+
+bool
+AddressSpace::backWithGigantic(Addr addr)
+{
+    const Vpn vpn = addrToPfn(addr);
+    ctg_assert(vpn % pagesPerGiga == 0);
+    ctg_assert(!tables_.translate(vpn).valid);
+    const std::uint64_t owner =
+        OwnerRegistry::makeOwner(clientId_, vpn);
+    const Pfn pfn = kernel_.allocGigantic(owner);
+    if (pfn == invalidPfn)
+        return false;
+    if (!tables_.map(vpn, pfn, gigaOrder)) {
+        kernel_.freePages(pfn);
+        return false;
+    }
+    chunks_.emplace(vpn, static_cast<unsigned>(gigaOrder));
+    ++chunks1g_;
+    return true;
+}
+
+std::uint64_t
+AddressSpace::releasePages(std::uint64_t pages, Rng &rng)
+{
+    if (chunks_.empty())
+        return 0;
+    std::uint64_t freed = 0;
+    // Random eviction: sample buckets of the unordered map.
+    std::uint64_t attempts = 0;
+    const std::uint64_t max_attempts = pages * 8 + 64;
+    while (freed < pages && !chunks_.empty() &&
+           attempts++ < max_attempts) {
+        const std::size_t bucket =
+            rng.below(chunks_.bucket_count());
+        auto it = chunks_.begin(bucket);
+        if (it == chunks_.end(bucket))
+            continue;
+        const Vpn vpn = it->first;
+        const unsigned order = it->second;
+        // Pinned pages cannot be reclaimed while IO may target them.
+        const Translation tr = tables_.translate(vpn);
+        if (tr.valid && kernel_.mem().frame(tr.pfn).isPinned())
+            continue;
+        unbackChunk(vpn, order);
+        freed += Pfn{1} << order;
+    }
+    return freed;
+}
+
+std::uint64_t
+AddressSpace::releaseRange(Addr base, std::uint64_t bytes,
+                           std::uint64_t pages, Rng &rng)
+{
+    const Vpn lo = addrToPfn(base);
+    const std::uint64_t span = bytes / pageBytes;
+    ctg_assert(span > 0);
+    std::uint64_t freed = 0;
+    std::uint64_t attempts = 0;
+    const std::uint64_t max_attempts = pages * 4 + 16;
+    while (freed < pages && attempts++ < max_attempts) {
+        const Vpn vpn = lo + rng.below(span);
+        const Translation tr = tables_.translate(vpn);
+        if (!tr.valid || tr.order > hugeOrder)
+            continue;
+        const Vpn head = vpn & ~((Vpn{1} << tr.order) - 1);
+        const Translation head_tr = tables_.translate(head);
+        ctg_assert(head_tr.valid);
+        if (kernel_.mem().frame(head_tr.pfn).isPinned())
+            continue;
+        unbackChunk(head, tr.order);
+        freed += Pfn{1} << tr.order;
+    }
+    return freed;
+}
+
+std::uint64_t
+AddressSpace::promoteHugeRanges(std::uint64_t budget)
+{
+    if (budget == 0 || !kernel_.config().thpEnabled)
+        return 0;
+    // Gather candidates first: collapsing mutates hugeRangeUse_.
+    std::vector<Vpn> candidates;
+    for (const auto &[range, used] : hugeRangeUse_) {
+        if (used == pagesPerHuge)
+            candidates.push_back(range);
+        if (candidates.size() >= budget * 4)
+            break;
+    }
+
+    std::uint64_t promoted = 0;
+    for (const Vpn range : candidates) {
+        if (promoted >= budget)
+            break;
+        const Vpn head = range << hugeOrder;
+        // Skip ranges with pinned pages (DMA may target them).
+        bool pinned = false;
+        for (Vpn vpn = head; vpn < head + pagesPerHuge; ++vpn) {
+            const Translation tr = tables_.translate(vpn);
+            ctg_assert(tr.valid && tr.order == 0);
+            if (kernel_.mem().frame(tr.pfn).isPinned()) {
+                pinned = true;
+                break;
+            }
+        }
+        if (pinned)
+            continue;
+
+        AllocRequest req;
+        req.order = hugeOrder;
+        req.mt = MigrateType::Movable;
+        req.source = AllocSource::User;
+        req.owner = OwnerRegistry::makeOwner(clientId_, head);
+        req.lifetime = Lifetime::Short;
+        const Pfn huge = kernel_.allocPages(req);
+        if (huge == invalidPfn)
+            break; // no contiguity available right now
+
+        // Migrate ("copy") each base page into the huge frame and
+        // retire the old mapping.
+        for (Vpn vpn = head; vpn < head + pagesPerHuge; ++vpn)
+            unbackChunk(vpn, 0);
+        const bool ok = tables_.map(head, huge, hugeOrder);
+        ctg_assert(ok);
+        chunks_.emplace(head, static_cast<unsigned>(hugeOrder));
+        ++chunks2m_;
+        ++promoted;
+    }
+    return promoted;
+}
+
+Translation
+AddressSpace::translate(Addr vaddr) const
+{
+    return tables_.translate(addrToPfn(vaddr));
+}
+
+bool
+AddressSpace::relocate(std::uint64_t tag, Pfn old_head, Pfn new_head)
+{
+    const Vpn vpn = tag;
+    const Translation tr = tables_.translate(vpn);
+    if (!tr.valid || tr.pfn != old_head)
+        return false;
+    return tables_.repoint(vpn, new_head);
+}
+
+std::uint64_t
+AddressSpace::backedPages() const
+{
+    return pages4k_ + chunks2m_ * pagesPerHuge +
+           chunks1g_ * pagesPerGiga;
+}
+
+Pfn
+AddressSpace::randomBacked4kFrame(Rng &rng) const
+{
+    if (chunks_.empty())
+        return invalidPfn;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+        const std::size_t bucket =
+            rng.below(chunks_.bucket_count());
+        for (auto it = chunks_.begin(bucket);
+             it != chunks_.end(bucket); ++it) {
+            if (it->second == 0) {
+                const Translation tr = tables_.translate(it->first);
+                ctg_assert(tr.valid);
+                return tr.pfn;
+            }
+        }
+    }
+    return invalidPfn;
+}
+
+} // namespace ctg

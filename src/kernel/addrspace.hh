@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Process address spaces: anonymous mmap regions, demand faulting
+ * with a THP policy (2 MB attempt on aligned chunks), HugeTLB 1 GB
+ * reservation, and migration support (the address space is a
+ * PageOwnerClient whose pages compaction and Contiguitas can move).
+ */
+
+#ifndef CTG_KERNEL_ADDRSPACE_HH
+#define CTG_KERNEL_ADDRSPACE_HH
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "base/rng.hh"
+#include "base/types.hh"
+#include "kernel/kernel.hh"
+#include "kernel/pagetable.hh"
+
+namespace ctg
+{
+
+/**
+ * One process's virtual address space.
+ */
+class AddressSpace : public PageOwnerClient
+{
+  public:
+    AddressSpace(Kernel &kernel, std::uint32_t pid);
+    ~AddressSpace() override;
+
+    AddressSpace(const AddressSpace &) = delete;
+    AddressSpace &operator=(const AddressSpace &) = delete;
+
+    /**
+     * Reserve a virtual region of the given size (rounded up to
+     * whole pages; bases are 1 GB aligned so gigantic mappings are
+     * possible). Nothing is backed until touched.
+     * @return the base virtual address.
+     */
+    Addr mmap(std::uint64_t bytes);
+
+    /** Unmap a region and free all its backing memory. */
+    void munmap(Addr base);
+
+    /**
+     * Fault-in every page of [addr, addr+bytes) within a region.
+     * Aligned 2 MB chunks try a THP allocation first when the kernel
+     * has THP enabled; failures fall back to 4 KB pages.
+     * @return number of 4 KB pages newly backed.
+     */
+    std::uint64_t touchRange(Addr addr, std::uint64_t bytes);
+
+    /**
+     * Try to back [addr, addr+1GB) with one gigantic page (HugeTLB
+     * dynamic allocation path). The range must be untouched.
+     * @return true on success.
+     */
+    bool backWithGigantic(Addr addr);
+
+    /** Release backing of random mapped chunks totalling roughly the
+     * given number of pages (workload churn). Returns pages freed. */
+    std::uint64_t releasePages(std::uint64_t pages, Rng &rng);
+
+    /** Like releasePages but restricted to [base, base+bytes): punch
+     * random holes into one heap segment. */
+    std::uint64_t releaseRange(Addr base, std::uint64_t bytes,
+                               std::uint64_t pages, Rng &rng);
+
+    /**
+     * khugepaged analogue: collapse up to `budget` fully-4K-backed
+     * aligned 2 MB ranges into huge mappings. Each collapse
+     * allocates a fresh huge page, migrates the 512 base pages into
+     * it and installs a PMD leaf. Pinned pages block a collapse.
+     * @return ranges promoted.
+     */
+    std::uint64_t promoteHugeRanges(std::uint64_t budget);
+
+    /** Translate a virtual address. */
+    Translation translate(Addr vaddr) const;
+
+    /** PageOwnerClient: repoint vpn (tag) to a new frame. */
+    bool relocate(std::uint64_t tag, Pfn old_head,
+                  Pfn new_head) override;
+
+    PageTables &pageTables() { return tables_; }
+    const PageTables &pageTables() const { return tables_; }
+
+    /** @{ Backing-page statistics by mapping size. */
+    std::uint64_t pages4k() const { return pages4k_; }
+    std::uint64_t chunks2m() const { return chunks2m_; }
+    std::uint64_t chunks1g() const { return chunks1g_; }
+    /** Total backed 4 KB page equivalents. */
+    std::uint64_t backedPages() const;
+    /** @} */
+
+    std::uint32_t pid() const { return pid_; }
+
+    /** Pick a random mapped 4 KB-backed frame (for pinning tests);
+     * invalidPfn if none. */
+    Pfn randomBacked4kFrame(Rng &rng) const;
+
+  private:
+    struct Region
+    {
+        Vpn baseVpn;
+        std::uint64_t pages;
+    };
+
+    /** Back one aligned chunk with a fresh allocation. */
+    bool backChunk(Vpn vpn, unsigned order);
+
+    void unbackChunk(Vpn vpn, unsigned order);
+
+    Kernel &kernel_;
+    std::uint32_t pid_;
+    std::uint16_t clientId_;
+    PageTables tables_;
+    std::map<Vpn, Region> regions_;
+    /** Mapped chunk heads: vpn -> order (0, 9 or 18). */
+    std::unordered_map<Vpn, unsigned> chunks_;
+    /** 4 KB mappings per 2 MB-aligned range, so the THP fault path
+     * can tell whether a huge mapping would collide. */
+    std::unordered_map<Vpn, std::uint32_t> hugeRangeUse_;
+    Vpn nextBaseVpn_ = Vpn{1} << gigaOrder; // skip the zero GB
+    std::uint64_t pages4k_ = 0;
+    std::uint64_t chunks2m_ = 0;
+    std::uint64_t chunks1g_ = 0;
+};
+
+} // namespace ctg
+
+#endif // CTG_KERNEL_ADDRSPACE_HH

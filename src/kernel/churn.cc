@@ -1,0 +1,165 @@
+#include "kernel/churn.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ctg
+{
+
+ChurnPool::ChurnPool(Kernel &kernel, Config config, std::uint64_t seed)
+    : kernel_(kernel), config_(std::move(config)), rng_(seed)
+{
+    ctg_assert(config_.ratePerSec > 0);
+    ctg_assert(!config_.orderDist.empty());
+    // Lognormal modulation inflates the mean arrival rate by
+    // exp(sigma^2/2); normalize so configured rates stay the mean.
+    if (config_.burstSigma > 0.0) {
+        config_.ratePerSec /=
+            std::exp(config_.burstSigma * config_.burstSigma / 2.0);
+    }
+    for (const auto &[order, weight] : config_.orderDist) {
+        ctg_assert(order <= maxOrder);
+        orderWeightTotal_ += weight;
+    }
+    if (config_.relocatable)
+        clientId_ = kernel_.owners().registerClient(this);
+    nextArrival_ = rng_.exponential(1.0 / config_.ratePerSec);
+}
+
+ChurnPool::~ChurnPool()
+{
+    drain();
+    if (clientId_ != 0)
+        kernel_.owners().unregisterClient(clientId_);
+}
+
+unsigned
+ChurnPool::sampleOrder()
+{
+    double pick = rng_.uniform() * orderWeightTotal_;
+    for (const auto &[order, weight] : config_.orderDist) {
+        if (pick < weight)
+            return order;
+        pick -= weight;
+    }
+    return config_.orderDist.back().first;
+}
+
+std::uint32_t
+ChurnPool::acquireSlot()
+{
+    if (!freeSlots_.empty()) {
+        const std::uint32_t slot = freeSlots_.back();
+        freeSlots_.pop_back();
+        return slot;
+    }
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+bool
+ChurnPool::relocate(std::uint64_t tag, Pfn old_head, Pfn new_head)
+{
+    const auto slot = static_cast<std::size_t>(tag);
+    if (slot >= slots_.size() || slots_[slot].head != old_head)
+        return false;
+    slots_[slot].head = new_head;
+    return true;
+}
+
+void
+ChurnPool::advanceTo(double now_sec)
+{
+    ctg_assert(now_sec >= nowSec_);
+
+    while (true) {
+        // Interleave deaths and arrivals in time order so the live
+        // set stays faithful to the queueing process.
+        const double next_death =
+            live_.empty() ? 1e300 : live_.top().death;
+        const double next_arrival =
+            paused_ ? 1e300 : nextArrival_;
+        const double next_event =
+            std::min(next_death, next_arrival);
+        if (next_event > now_sec)
+            break;
+
+        // Resample the burst factor when its period elapses.
+        if (config_.burstSigma > 0.0 &&
+            next_event >= nextBurstChange_) {
+            burstFactor_ = std::exp(
+                rng_.gaussian(0.0, config_.burstSigma));
+            burstFactor_ = std::clamp(burstFactor_, 0.1, 6.0);
+            nextBurstChange_ =
+                next_event +
+                rng_.exponential(config_.burstPeriodSec);
+        }
+
+        if (next_death <= next_arrival) {
+            const std::uint32_t slot = live_.top().slot;
+            live_.pop();
+            Slot &record = slots_[slot];
+            ctg_assert(record.head != invalidPfn);
+            kernel_.freePages(record.head);
+            livePages_ -= Pfn{1} << record.order;
+            record.head = invalidPfn;
+            freeSlots_.push_back(slot);
+        } else {
+            const unsigned order = sampleOrder();
+            AllocRequest req;
+            req.order = order;
+            req.mt = config_.mt;
+            req.source = config_.source;
+            req.lifetime = config_.lifetime;
+            const std::uint32_t slot = acquireSlot();
+            if (clientId_ != 0) {
+                req.owner =
+                    OwnerRegistry::makeOwner(clientId_, slot);
+            }
+            const Pfn head = kernel_.allocPages(req);
+            if (head == invalidPfn) {
+                ++failedAllocs_;
+                freeSlots_.push_back(slot);
+            } else {
+                if (clientId_ != 0) {
+                    // IO buffers are busy for DMA: software cannot
+                    // block access to migrate them (the pinned
+                    // marker); only Contiguitas-HW moves them.
+                    for (Pfn p = head; p < head + (Pfn{1} << order);
+                         ++p) {
+                        kernel_.mem().frame(p).setPinned(true);
+                    }
+                }
+                const bool long_lived =
+                    rng_.chance(config_.longLivedFrac);
+                const double life = rng_.exponential(
+                    long_lived ? config_.longMeanLifeSec
+                               : config_.meanLifeSec);
+                slots_[slot] = Slot{head, order};
+                live_.push(Obj{nextArrival_ + life, slot});
+                livePages_ += Pfn{1} << order;
+            }
+            nextArrival_ += rng_.exponential(
+                1.0 / (config_.ratePerSec * burstFactor_));
+        }
+    }
+    nowSec_ = now_sec;
+}
+
+void
+ChurnPool::drain()
+{
+    while (!live_.empty()) {
+        const std::uint32_t slot = live_.top().slot;
+        live_.pop();
+        Slot &record = slots_[slot];
+        if (record.head != invalidPfn) {
+            kernel_.freePages(record.head);
+            record.head = invalidPfn;
+            freeSlots_.push_back(slot);
+        }
+    }
+    livePages_ = 0;
+}
+
+} // namespace ctg

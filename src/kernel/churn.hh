@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Stochastic allocate/free churn pool.
+ *
+ * Kernel subsystems (networking skbs, filesystem buffers, driver
+ * scratch memory) allocate short-lived page blocks at high rates.
+ * ChurnPool models one such stream: Poisson arrivals modulated by
+ * lognormal bursts, a block-order distribution, and a two-class
+ * exponential lifetime mix (most objects die quickly; a heavy tail
+ * survives for a long time — the tail is what pins pageblocks). The
+ * steady-state live footprint is rate x mean-lifetime.
+ *
+ * I/O pools (relocatable = true) register as page owners: their
+ * pages are reached through IOMMU/device translations that
+ * Contiguitas-HW can repoint, so hardware migration may move them.
+ * Linear-map pools (slab, misc kernel structures) stay unowned —
+ * nothing can move those, exactly as the paper says.
+ */
+
+#ifndef CTG_KERNEL_CHURN_HH
+#define CTG_KERNEL_CHURN_HH
+
+#include <queue>
+#include <vector>
+
+#include "base/rng.hh"
+#include "base/types.hh"
+#include "kernel/kernel.hh"
+
+namespace ctg
+{
+
+/**
+ * Poisson-arrival page-block churn with heavy-tailed lifetimes.
+ */
+class ChurnPool : public PageOwnerClient
+{
+  public:
+    struct Config
+    {
+        /** Block arrivals per simulated second. */
+        double ratePerSec = 1000.0;
+        /** Mean lifetime of the fast-dying class (seconds). */
+        double meanLifeSec = 0.05;
+        /** Fraction of arrivals in the long-lived class. */
+        double longLivedFrac = 0.05;
+        /** Mean lifetime of the long-lived class (seconds). */
+        double longMeanLifeSec = 120.0;
+        /** Block-order distribution: (order, weight) pairs. */
+        std::vector<std::pair<unsigned, double>> orderDist =
+            {{0, 1.0}};
+        MigrateType mt = MigrateType::Unmovable;
+        AllocSource source = AllocSource::Other;
+        Lifetime lifetime = Lifetime::Short;
+        /** Traffic burstiness: the arrival rate is modulated by a
+         * lognormal factor resampled every burstPeriodSec. Bursts
+         * are what force a subsystem past its pageblock stock and
+         * into fallback steals. 0 disables modulation. */
+        double burstSigma = 1.0;
+        double burstPeriodSec = 1.5;
+        /** True for pools whose pages are reached through
+         * repointable translations (IOMMU/device TLBs): they
+         * register as page owners so Contiguitas-HW can move their
+         * pages. False for linear-map pools. */
+        bool relocatable = false;
+    };
+
+    ChurnPool(Kernel &kernel, Config config, std::uint64_t seed);
+    ~ChurnPool() override;
+
+    ChurnPool(const ChurnPool &) = delete;
+    ChurnPool &operator=(const ChurnPool &) = delete;
+
+    /** Advance wall-clock: retire deaths, spawn arrivals. */
+    void advanceTo(double now_sec);
+
+    /** Live 4 KB pages held by the pool. */
+    std::uint64_t livePages() const { return livePages_; }
+
+    /** Free everything immediately. */
+    void drain();
+
+    /** Stop new arrivals; existing objects keep dying off on their
+     * own schedule (traffic wind-down). */
+    void pause() { paused_ = true; }
+
+    /** Allocations that failed even after reclaim. */
+    std::uint64_t failedAllocs() const { return failedAllocs_; }
+
+    /** PageOwnerClient: repoint our record when hardware migrates
+     * one of our buffers. */
+    bool relocate(std::uint64_t tag, Pfn old_head,
+                  Pfn new_head) override;
+
+  private:
+    struct Slot
+    {
+        Pfn head = invalidPfn;
+        unsigned order = 0;
+    };
+
+    struct Obj
+    {
+        double death;
+        std::uint32_t slot;
+
+        bool operator>(const Obj &o) const { return death > o.death; }
+    };
+
+    unsigned sampleOrder();
+    std::uint32_t acquireSlot();
+
+    Kernel &kernel_;
+    Config config_;
+    Rng rng_;
+    std::uint16_t clientId_ = 0;
+    double nowSec_ = 0.0;
+    double nextArrival_ = 0.0;
+    double burstFactor_ = 1.0;
+    double nextBurstChange_ = 0.0;
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> freeSlots_;
+    std::priority_queue<Obj, std::vector<Obj>, std::greater<>> live_;
+    std::uint64_t livePages_ = 0;
+    std::uint64_t failedAllocs_ = 0;
+    bool paused_ = false;
+    double orderWeightTotal_ = 0.0;
+};
+
+} // namespace ctg
+
+#endif // CTG_KERNEL_CHURN_HH

@@ -1,0 +1,122 @@
+#include "kernel/compaction.hh"
+
+#include "kernel/migrate.hh"
+
+namespace ctg
+{
+
+namespace
+{
+
+/** Whether a block of free pages of target order exists already. */
+bool
+haveTargetBlock(const BuddyAllocator &alloc, unsigned target_order)
+{
+    return alloc.largestFreeOrder() >= static_cast<int>(target_order);
+}
+
+} // namespace
+
+CompactionResult
+compactRange(BuddyAllocator &alloc, const OwnerRegistry &registry,
+             Pfn lo, Pfn hi, std::uint64_t max_migrations)
+{
+    CompactionResult result;
+    PhysMem &mem = alloc.mem();
+
+    // Migrate scanner: walk pageblocks bottom-up. Only mixed
+    // pageblocks (some free, some allocated-movable) are worth
+    // evacuating; fully-allocated blocks would just shuffle memory.
+    for (Pfn block = lo; block + pagesPerHuge <= hi;
+         block += pagesPerHuge) {
+        if (result.migrated >= max_migrations)
+            break;
+
+        bool has_free = false;
+        bool has_unmovable = false;
+        bool has_movable_alloc = false;
+        for (Pfn pfn = block; pfn < block + pagesPerHuge; ++pfn) {
+            const PageFrame &f = mem.frame(pfn);
+            if (f.isFree())
+                has_free = true;
+            else if (f.isUnmovableAllocation())
+                has_unmovable = true;
+            else
+                has_movable_alloc = true;
+        }
+        if (has_unmovable)
+            ++result.blockedPageblocks;
+        if (!has_free || !has_movable_alloc)
+            continue;
+
+        // Evacuate the movable allocations of this pageblock into
+        // high-address free space (the free scanner analogue).
+        for (Pfn pfn = block; pfn < block + pagesPerHuge;) {
+            const PageFrame &f = mem.frame(pfn);
+            const Pfn step = f.isHead() ? (Pfn{1} << f.order) : 1;
+            if (f.isFree() || !f.isHead() ||
+                f.isUnmovableAllocation() ||
+                f.migrateType != MigrateType::Movable) {
+                if (!f.isFree() && f.isHead() &&
+                    f.isUnmovableAllocation()) {
+                    ++result.skippedUnmovable;
+                }
+                pfn += step;
+                continue;
+            }
+            if (result.migrated >= max_migrations)
+                break;
+            Pfn dst = invalidPfn;
+            const MigrateResult mr = migrateBlock(
+                alloc, alloc, registry, pfn, AddrPref::High,
+                MigrateType::Movable, &dst);
+            switch (mr) {
+              case MigrateResult::Ok:
+                ++result.migrated;
+                break;
+              case MigrateResult::NoMemory:
+                ++result.failedNoMem;
+                break;
+              case MigrateResult::Unmovable:
+                ++result.skippedUnmovable;
+                break;
+            }
+            pfn += step;
+        }
+    }
+    return result;
+}
+
+CompactionResult
+compactUntil(BuddyAllocator &alloc, const OwnerRegistry &registry,
+             unsigned target_order, std::uint64_t max_migrations)
+{
+    CompactionResult total;
+    if (haveTargetBlock(alloc, target_order)) {
+        total.targetReached = true;
+        return total;
+    }
+
+    // Run bounded passes; each pass re-walks because freed space
+    // changes which pageblocks are mixed.
+    std::uint64_t budget = max_migrations;
+    for (int pass = 0; pass < 4 && budget > 0; ++pass) {
+        CompactionResult r = compactRange(alloc, registry,
+                                          alloc.startPfn(),
+                                          alloc.endPfn(), budget);
+        total.migrated += r.migrated;
+        total.failedNoMem += r.failedNoMem;
+        total.skippedUnmovable += r.skippedUnmovable;
+        total.blockedPageblocks = r.blockedPageblocks;
+        budget -= std::min(budget, r.migrated);
+        if (haveTargetBlock(alloc, target_order)) {
+            total.targetReached = true;
+            break;
+        }
+        if (r.migrated == 0)
+            break;
+    }
+    return total;
+}
+
+} // namespace ctg

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Memory compaction (defragmentation).
+ *
+ * Modeled after Linux's compaction: a migrate scanner walks
+ * pageblocks from the bottom of the range and relocates movable
+ * allocations into free space preferentially at the top, merging the
+ * freed space into larger blocks. Pageblocks containing unmovable
+ * pages can never become fully free — exactly the limitation that
+ * motivates Contiguitas (Section 1).
+ */
+
+#ifndef CTG_KERNEL_COMPACTION_HH
+#define CTG_KERNEL_COMPACTION_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+#include "kernel/owner.hh"
+#include "mem/buddy.hh"
+
+namespace ctg
+{
+
+/** Result counters of one compaction run. */
+struct CompactionResult
+{
+    std::uint64_t migrated = 0;        //!< blocks relocated
+    std::uint64_t failedNoMem = 0;     //!< no destination available
+    std::uint64_t skippedUnmovable = 0; //!< blocks pinned/unowned
+    std::uint64_t blockedPageblocks = 0; //!< pageblocks with unmovable
+    bool targetReached = false;
+};
+
+/**
+ * Compact the allocator's coverage until a free block of at least
+ * target_order exists or the work budget runs out.
+ *
+ * @param alloc allocator whose range is compacted
+ * @param registry owner registry for mapping updates
+ * @param target_order stop once freeBlocks(>= target_order) > 0
+ * @param max_migrations work budget
+ */
+CompactionResult compactUntil(BuddyAllocator &alloc,
+                              const OwnerRegistry &registry,
+                              unsigned target_order,
+                              std::uint64_t max_migrations);
+
+/**
+ * One full bottom-to-top compaction pass over [lo, hi) regardless of
+ * any target (used by the proactive compaction daemon analogue).
+ */
+CompactionResult compactRange(BuddyAllocator &alloc,
+                              const OwnerRegistry &registry, Pfn lo,
+                              Pfn hi, std::uint64_t max_migrations);
+
+} // namespace ctg
+
+#endif // CTG_KERNEL_COMPACTION_HH

@@ -1,0 +1,105 @@
+#include "kernel/contig_alloc.hh"
+
+#include "kernel/migrate.hh"
+
+namespace ctg
+{
+
+namespace
+{
+
+/** Does the window contain anything software cannot move? */
+bool
+windowBlocked(const PhysMem &mem, Pfn lo, Pfn hi,
+              const OwnerRegistry &registry)
+{
+    for (Pfn pfn = lo; pfn < hi; ++pfn) {
+        const PageFrame &f = mem.frame(pfn);
+        if (f.isFree())
+            continue;
+        if (f.isUnmovableAllocation())
+            return true;
+        if (f.isHead() && !registry.relocatable(f.owner))
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+Pfn
+allocContigRange(BuddyAllocator &alloc, const OwnerRegistry &registry,
+                 unsigned order, MigrateType mt, AllocSource src,
+                 std::uint64_t owner, ContigAllocStats *stats)
+{
+    ContigAllocStats local;
+    ContigAllocStats &st = stats != nullptr ? *stats : local;
+    // Only the gigantic path exists today; smaller orders go
+    // through normal compaction.
+    ctg_assert(order == gigaOrder);
+    PhysMem &mem = alloc.mem();
+    const Pfn span = Pfn{1} << order;
+
+    const Pfn first =
+        (alloc.startPfn() + span - 1) & ~(span - 1);
+    for (Pfn base = first; base + span <= alloc.endPfn();
+         base += span) {
+        ++st.candidatesScanned;
+        if (windowBlocked(mem, base, base + span, registry)) {
+            ++st.candidatesBlocked;
+            continue;
+        }
+        // Enough free space *outside* the window to absorb the
+        // evacuees?
+        std::uint64_t used = 0;
+        for (Pfn pfn = base; pfn < base + span; ++pfn)
+            used += !mem.frame(pfn).isFree();
+        const std::uint64_t free_inside = span - used;
+        const std::uint64_t free_total = alloc.freePageCount();
+        if (free_total - free_inside < used + used / 16)
+            continue;
+
+        alloc.isolateRange(base, base + span);
+
+        bool ok = true;
+        for (Pfn pfn = base; pfn < base + span && ok;) {
+            const PageFrame &f = mem.frame(pfn);
+            if (f.isFree() || !f.isHead()) {
+                ++pfn;
+                continue;
+            }
+            const Pfn step = Pfn{1} << f.order;
+            ++st.evacuations;
+            const MigrateResult r = migrateBlock(
+                alloc, alloc, registry, pfn, AddrPref::None,
+                MigrateType::Movable, nullptr,
+                /*allow_fallback=*/true);
+            if (r != MigrateResult::Ok) {
+                ++st.evacuationFailures;
+                ok = false;
+                break;
+            }
+            pfn += step;
+        }
+
+        if (!ok || !alloc.rangeFullyFree(base, base + span)) {
+            alloc.unisolateRange(base, base + span,
+                                 MigrateType::Movable);
+            continue;
+        }
+
+        // Claim the window: pull its free blocks off the isolate
+        // lists, retag and mark the whole range as one allocation.
+        alloc.unisolateRange(base, base + span, mt);
+        const Pfn head = alloc.allocGigantic(mt, src, owner);
+        // The scan inside allocGigantic finds our window (it is the
+        // only fully-free aligned one we just built) — but be
+        // defensive in case an even earlier window was free.
+        if (head != invalidPfn)
+            return head;
+        return invalidPfn;
+    }
+    return invalidPfn;
+}
+
+} // namespace ctg

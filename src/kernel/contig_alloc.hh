@@ -1,0 +1,45 @@
+/**
+ * @file
+ * alloc_contig_range analogue: allocate a large aligned range by
+ * isolating a candidate window and migrating every movable page out
+ * of it. This is the mechanism behind dynamic gigantic (1 GB)
+ * HugeTLB allocation. A single unmovable page inside every candidate
+ * window — the vanilla-Linux situation the paper measures — makes it
+ * fail unconditionally; a Contiguitas movable region makes it
+ * succeed by construction.
+ */
+
+#ifndef CTG_KERNEL_CONTIG_ALLOC_HH
+#define CTG_KERNEL_CONTIG_ALLOC_HH
+
+#include "kernel/owner.hh"
+#include "mem/buddy.hh"
+
+namespace ctg
+{
+
+/** Result counters for observability/tests. */
+struct ContigAllocStats
+{
+    std::uint64_t candidatesScanned = 0;
+    std::uint64_t candidatesBlocked = 0; //!< unmovable page inside
+    std::uint64_t evacuations = 0;
+    std::uint64_t evacuationFailures = 0;
+};
+
+/**
+ * Allocate a 2^order-aligned fully-backed range from the allocator
+ * by evacuating movable pages (order may exceed maxOrder).
+ *
+ * @return head PFN or invalidPfn if no candidate window could be
+ *         cleared.
+ */
+Pfn allocContigRange(BuddyAllocator &alloc,
+                     const OwnerRegistry &registry, unsigned order,
+                     MigrateType mt, AllocSource src,
+                     std::uint64_t owner,
+                     ContigAllocStats *stats = nullptr);
+
+} // namespace ctg
+
+#endif // CTG_KERNEL_CONTIG_ALLOC_HH

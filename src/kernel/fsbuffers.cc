@@ -1,0 +1,147 @@
+#include "kernel/fsbuffers.hh"
+
+namespace ctg
+{
+
+FsBuffers::FsBuffers(Kernel &kernel, Config config, std::uint64_t seed)
+    : kernel_(kernel), config_(config), rng_(seed)
+{
+    ChurnPool::Config scratch_config;
+    scratch_config.ratePerSec = config_.scratchRatePerSec;
+    scratch_config.meanLifeSec = config_.scratchMeanLifeSec;
+    scratch_config.longLivedFrac = config_.longLivedFrac;
+    scratch_config.longMeanLifeSec = config_.longMeanLifeSec;
+    scratch_config.orderDist = {{0, 0.7}, {1, 0.2}, {2, 0.1}};
+    scratch_config.mt = MigrateType::Unmovable;
+    scratch_config.source = AllocSource::Filesystem;
+    scratch_config.lifetime = Lifetime::Short;
+    scratch_config.relocatable = true; // in-flight IO buffers
+    scratch_ = std::make_unique<ChurnPool>(kernel_, scratch_config,
+                                           seed ^ 0x66732d736372ULL);
+    clientId_ = kernel_.owners().registerClient(this);
+    kernel_.registerShrinker(this);
+}
+
+FsBuffers::~FsBuffers()
+{
+    for (const Pfn head : cache_) {
+        if (head != invalidPfn)
+            kernel_.freePages(head);
+    }
+    kernel_.owners().unregisterClient(clientId_);
+}
+
+bool
+FsBuffers::growCacheOne()
+{
+    std::uint32_t slot;
+    if (!freeSlots_.empty()) {
+        slot = freeSlots_.back();
+        freeSlots_.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(cache_.size());
+        cache_.push_back(invalidPfn);
+    }
+    if (kernel_.policy().freeUserPages() <= config_.keepFreePages) {
+        freeSlots_.push_back(slot);
+        return false;
+    }
+    AllocRequest req;
+    req.order = 0;
+    req.mt = MigrateType::Movable;
+    req.source = AllocSource::Filesystem;
+    req.owner = OwnerRegistry::makeOwner(clientId_, slot);
+    req.lifetime = Lifetime::Short;
+    // Do not reclaim-to-allocate: the cache only consumes genuinely
+    // free memory (it is what reclaim reclaims *from*).
+    const Pfn head = kernel_.policy().alloc(req);
+    if (head == invalidPfn) {
+        freeSlots_.push_back(slot);
+        return false;
+    }
+    cache_[slot] = head;
+    ++cacheLive_;
+    return true;
+}
+
+void
+FsBuffers::drainScratch()
+{
+    scratch_->drain();
+}
+
+void
+FsBuffers::advanceTo(double now_sec)
+{
+    scratch_->advanceTo(now_sec);
+    const double dt = now_sec - nowSec_;
+
+    // Natural turnover: re-fetch a slice of the cache.
+    turnoverCarry_ += dt * config_.cacheTurnoverPerSec *
+                      static_cast<double>(cacheLive_);
+    while (turnoverCarry_ >= 1.0 && cacheLive_ > 0) {
+        turnoverCarry_ -= 1.0;
+        // Evict a random live slot, then refill below.
+        const std::uint32_t slot = static_cast<std::uint32_t>(
+            rng_.below(cache_.size()));
+        if (cache_[slot] == invalidPfn)
+            continue;
+        kernel_.freePages(cache_[slot]);
+        cache_[slot] = invalidPfn;
+        freeSlots_.push_back(slot);
+        --cacheLive_;
+        cacheCarry_ += 1.0;
+    }
+
+    // Growth: the cache absorbs free memory up to its cap.
+    cacheCarry_ += dt * config_.cacheGrowthPagesPerSec;
+    while (cacheCarry_ >= 1.0 && cacheLive_ < config_.cacheCapPages) {
+        cacheCarry_ -= 1.0;
+        if (!growCacheOne())
+            break;
+    }
+    if (cacheCarry_ > 4.0)
+        cacheCarry_ = 4.0;
+    nowSec_ = now_sec;
+}
+
+std::uint64_t
+FsBuffers::shrink(std::uint64_t target_pages)
+{
+    std::uint64_t freed = 0;
+    if (cache_.empty())
+        return 0;
+    // Approximate-LRU eviction: which pages are cold has nothing to
+    // do with where they sit physically, so evict random slots. This
+    // is what keeps free memory scattered on real servers.
+    std::size_t cursor = rng_.below(cache_.size());
+    std::size_t probed = 0;
+    while (freed < target_pages && cacheLive_ > 0 &&
+           probed < cache_.size() * 2) {
+        cursor = (cursor + 1) % cache_.size();
+        ++probed;
+        if (cache_[cursor] == invalidPfn) {
+            // Jump to a new random position past runs of holes.
+            cursor = rng_.below(cache_.size());
+            continue;
+        }
+        kernel_.freePages(cache_[cursor]);
+        cache_[cursor] = invalidPfn;
+        freeSlots_.push_back(static_cast<std::uint32_t>(cursor));
+        --cacheLive_;
+        ++freed;
+    }
+    return freed;
+}
+
+bool
+FsBuffers::relocate(std::uint64_t tag, Pfn old_head, Pfn new_head)
+{
+    const auto slot = static_cast<std::size_t>(tag);
+    if (slot >= cache_.size() || cache_[slot] != old_head)
+        return false;
+    cache_[slot] = new_head;
+    return true;
+}
+
+} // namespace ctg

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Filesystem buffer memory: short-lived compression/decompression
+ * scratch buffers (unmovable while in flight) plus a page cache that
+ * grows into all free memory — as in production, where free memory
+ * is wasted memory — and is trimmed back by the shrinker under
+ * allocation pressure. Page-cache pages are movable (Linux can
+ * migrate them), so they churn the movable free lists without
+ * counting as unmovable.
+ */
+
+#ifndef CTG_KERNEL_FSBUFFERS_HH
+#define CTG_KERNEL_FSBUFFERS_HH
+
+#include <memory>
+#include <vector>
+
+#include "kernel/churn.hh"
+
+namespace ctg
+{
+
+/**
+ * Filesystem memory footprint model.
+ */
+class FsBuffers : public Shrinker, public PageOwnerClient
+{
+  public:
+    struct Config
+    {
+        /** Compression-buffer arrivals per second. */
+        double scratchRatePerSec = 2500.0;
+        double scratchMeanLifeSec = 0.02;
+        double longLivedFrac = 0.03;
+        double longMeanLifeSec = 90.0;
+        /** Page-cache growth in pages per second of activity. */
+        double cacheGrowthPagesPerSec = 256.0;
+        /** Cap on the cached footprint (pages); by default the
+         * cache is willing to take half of memory and relies on the
+         * shrinker to give it back. */
+        std::uint64_t cacheCapPages = ~std::uint64_t{0};
+        /** Natural turnover: fraction of the cache re-fetched per
+         * second (frees + reallocations). */
+        double cacheTurnoverPerSec = 0.02;
+        /** Free-memory floor (pages): growth pauses below it, like
+         * kswapd's watermarks keep a reclaim headroom. */
+        std::uint64_t keepFreePages = 4096;
+    };
+
+    FsBuffers(Kernel &kernel, Config config, std::uint64_t seed);
+    ~FsBuffers() override;
+
+    FsBuffers(const FsBuffers &) = delete;
+    FsBuffers &operator=(const FsBuffers &) = delete;
+
+    void advanceTo(double now_sec);
+
+    /** Drop all in-flight scratch buffers (IO stops). */
+    void drainScratch();
+
+    /** Page-cache trim under memory pressure. */
+    std::uint64_t shrink(std::uint64_t target_pages) override;
+
+    /** Page cache is migratable: compaction repoints our slot. */
+    bool relocate(std::uint64_t tag, Pfn old_head,
+                  Pfn new_head) override;
+
+    std::uint64_t scratchPages() const { return scratch_->livePages(); }
+    std::uint64_t cachePages() const { return cacheLive_; }
+
+  private:
+    /** Grab one cache page (slot reuse keeps tags stable). */
+    bool growCacheOne();
+
+    Kernel &kernel_;
+    Config config_;
+    Rng rng_;
+    std::uint16_t clientId_ = 0;
+    std::unique_ptr<ChurnPool> scratch_;
+    /** Slot table: invalidPfn = empty slot. */
+    std::vector<Pfn> cache_;
+    std::vector<std::uint32_t> freeSlots_;
+    std::uint64_t cacheLive_ = 0;
+    double nowSec_ = 0.0;
+    double cacheCarry_ = 0.0;
+    double turnoverCarry_ = 0.0;
+};
+
+} // namespace ctg
+
+#endif // CTG_KERNEL_FSBUFFERS_HH

@@ -1,0 +1,123 @@
+#include "kernel/hugetlb.hh"
+
+namespace ctg
+{
+
+HugeTlbPool::HugeTlbPool(Kernel &kernel, const Config &config)
+    : kernel_(kernel)
+{
+    if (grow1g(config.reserve1g) != config.reserve1g ||
+        grow2m(config.reserve2m) != config.reserve2m) {
+        fatal("HugeTLB boot reservation failed (%u x 2MB, %u x 1GB "
+              "requested)",
+              config.reserve2m, config.reserve1g);
+    }
+}
+
+HugeTlbPool::~HugeTlbPool()
+{
+    ctg_assert(inUse2m_ == 0 && inUse1g_ == 0);
+    for (const Pfn head : free2m_)
+        kernel_.freePages(head);
+    for (const Pfn head : free1g_)
+        kernel_.freePages(head);
+}
+
+unsigned
+HugeTlbPool::grow2m(unsigned count)
+{
+    unsigned got = 0;
+    for (; got < count; ++got) {
+        AllocRequest req;
+        req.order = hugeOrder;
+        req.mt = MigrateType::Movable;
+        req.source = AllocSource::User;
+        req.lifetime = Lifetime::Long;
+        const Pfn head = kernel_.allocPages(req);
+        if (head == invalidPfn)
+            break;
+        free2m_.push_back(head);
+        ++total2m_;
+    }
+    return got;
+}
+
+unsigned
+HugeTlbPool::grow1g(unsigned count)
+{
+    unsigned got = 0;
+    for (; got < count; ++got) {
+        const Pfn head = kernel_.allocGigantic(0);
+        if (head == invalidPfn)
+            break;
+        free1g_.push_back(head);
+        ++total1g_;
+    }
+    return got;
+}
+
+unsigned
+HugeTlbPool::shrink2m(unsigned count)
+{
+    unsigned freed = 0;
+    while (freed < count && !free2m_.empty()) {
+        kernel_.freePages(free2m_.back());
+        free2m_.pop_back();
+        --total2m_;
+        ++freed;
+    }
+    return freed;
+}
+
+unsigned
+HugeTlbPool::shrink1g(unsigned count)
+{
+    unsigned freed = 0;
+    while (freed < count && !free1g_.empty()) {
+        kernel_.freePages(free1g_.back());
+        free1g_.pop_back();
+        --total1g_;
+        ++freed;
+    }
+    return freed;
+}
+
+Pfn
+HugeTlbPool::acquire2m()
+{
+    if (free2m_.empty())
+        return invalidPfn;
+    const Pfn head = free2m_.back();
+    free2m_.pop_back();
+    ++inUse2m_;
+    return head;
+}
+
+void
+HugeTlbPool::release2m(Pfn head)
+{
+    ctg_assert(inUse2m_ > 0);
+    --inUse2m_;
+    free2m_.push_back(head);
+}
+
+Pfn
+HugeTlbPool::acquire1g()
+{
+    if (free1g_.empty())
+        return invalidPfn;
+    const Pfn head = free1g_.back();
+    free1g_.pop_back();
+    ++inUse1g_;
+    return head;
+}
+
+void
+HugeTlbPool::release1g(Pfn head)
+{
+    ctg_assert(inUse1g_ > 0);
+    --inUse1g_;
+    free1g_.push_back(head);
+}
+
+} // namespace ctg

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * HugeTLB pool (Section 2.1): administrator-reserved persistent huge
+ * pages that applications map explicitly.
+ *
+ * Unlike THP, reservations are made once (ideally at boot, while
+ * contiguity still exists) and survive fragmentation — which is why
+ * services that depend on huge pages reserve early or, failing that,
+ * reboot servers. Dynamic growth later goes through the
+ * alloc_contig_range path and succeeds only if the kernel can still
+ * assemble the contiguity — trivially true under Contiguitas,
+ * usually false on a fragmented vanilla kernel.
+ */
+
+#ifndef CTG_KERNEL_HUGETLB_HH
+#define CTG_KERNEL_HUGETLB_HH
+
+#include <vector>
+
+#include "kernel/kernel.hh"
+
+namespace ctg
+{
+
+/**
+ * A reserved pool of 2 MB and 1 GB pages.
+ */
+class HugeTlbPool
+{
+  public:
+    struct Config
+    {
+        /** Pages reserved at pool creation ("boot time"). */
+        unsigned reserve2m = 0;
+        unsigned reserve1g = 0;
+    };
+
+    /**
+     * Reserve the configured pages immediately. Throws FatalError if
+     * the boot-time reservation itself cannot be satisfied (the
+     * administrator asked for more than the machine can give).
+     */
+    HugeTlbPool(Kernel &kernel, const Config &config);
+    ~HugeTlbPool();
+
+    HugeTlbPool(const HugeTlbPool &) = delete;
+    HugeTlbPool &operator=(const HugeTlbPool &) = delete;
+
+    /** @{ Dynamic resizing (the /proc/sys/vm/nr_hugepages path).
+     * Returns pages actually added — may be fewer than requested
+     * when contiguity is unavailable. */
+    unsigned grow2m(unsigned count);
+    unsigned grow1g(unsigned count);
+    /** Return unused pages to the buddy allocator. */
+    unsigned shrink2m(unsigned count);
+    unsigned shrink1g(unsigned count);
+    /** @} */
+
+    /** @{ Application mapping interface: take a page out of the
+     * pool / hand it back. invalidPfn when the pool is empty. */
+    Pfn acquire2m();
+    void release2m(Pfn head);
+    Pfn acquire1g();
+    void release1g(Pfn head);
+    /** @} */
+
+    /** @{ Occupancy. */
+    unsigned total2m() const { return total2m_; }
+    unsigned free2m() const
+    {
+        return static_cast<unsigned>(free2m_.size());
+    }
+    unsigned total1g() const { return total1g_; }
+    unsigned free1g() const
+    {
+        return static_cast<unsigned>(free1g_.size());
+    }
+    /** @} */
+
+  private:
+    Kernel &kernel_;
+    std::vector<Pfn> free2m_;
+    std::vector<Pfn> free1g_;
+    unsigned total2m_ = 0;
+    unsigned total1g_ = 0;
+    unsigned inUse2m_ = 0;
+    unsigned inUse1g_ = 0;
+};
+
+} // namespace ctg
+
+#endif // CTG_KERNEL_HUGETLB_HH

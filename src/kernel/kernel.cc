@@ -1,0 +1,253 @@
+#include "kernel/kernel.hh"
+
+#include <algorithm>
+
+#include "kernel/contig_alloc.hh"
+#include "kernel/vanilla_policy.hh"
+
+namespace ctg
+{
+
+Kernel::PolicyFactory
+Kernel::vanillaPolicy()
+{
+    return [](Kernel &kernel) -> std::unique_ptr<MemPolicy> {
+        return std::make_unique<VanillaPolicy>(kernel.mem());
+    };
+}
+
+Kernel::Kernel(const KernelConfig &config, const PolicyFactory &factory)
+    : config_(config), mem_(std::make_unique<PhysMem>(config.memBytes)),
+      rng_(config.seed)
+{
+    policy_ = factory(*this);
+    ctg_assert(policy_ != nullptr);
+    lowWatermark_ = static_cast<std::uint64_t>(
+        config_.lowWatermarkFrac *
+        static_cast<double>(mem_->numFrames()));
+    bootAllocations();
+}
+
+Kernel::Kernel(const KernelConfig &config)
+    : Kernel(config, vanillaPolicy())
+{}
+
+void
+Kernel::bootAllocations()
+{
+    // Kernel text and immortal boot-time structures. These are the
+    // allocations Contiguitas parks at the far end of the unmovable
+    // region (Section 3.2).
+    const std::uint64_t text_pages =
+        config_.kernelTextBytes / pageBytes;
+    std::uint64_t remaining = text_pages;
+    while (remaining > 0) {
+        const unsigned order =
+            std::min<unsigned>(maxOrder,
+                               remaining >= (1u << maxOrder)
+                                   ? maxOrder
+                                   : 0);
+        AllocRequest req;
+        req.order = order;
+        req.mt = MigrateType::Unmovable;
+        req.source = AllocSource::KernelText;
+        req.lifetime = Lifetime::Immortal;
+        const Pfn head = policy_->alloc(req);
+        if (head == invalidPfn)
+            fatal("cannot place kernel text at boot");
+        bootPages_.push_back(head);
+        remaining -= std::min<std::uint64_t>(remaining,
+                                             Pfn{1} << order);
+    }
+}
+
+void
+Kernel::advanceSeconds(double dt)
+{
+    ctg_assert(dt >= 0);
+    nowSeconds_ += dt;
+    mem_->nowSeconds = static_cast<std::uint32_t>(nowSeconds_);
+    const double now_us = nowSeconds_ * 1e6;
+    psiMovable_.advanceTo(now_us);
+    psiUnmovable_.advanceTo(now_us);
+    policy_->tick(static_cast<std::uint32_t>(nowSeconds_));
+
+    // kcompactd: proactive background compaction of the movable
+    // space, paced by wall-clock time.
+    if (config_.kcompactdBudgetPerSec > 0) {
+        kcompactdCarry_ +=
+            dt * static_cast<double>(config_.kcompactdBudgetPerSec);
+        if (kcompactdCarry_ >= 1.0) {
+            const auto budget =
+                static_cast<std::uint64_t>(kcompactdCarry_);
+            kcompactdCarry_ -= static_cast<double>(budget);
+            BuddyAllocator &movable = policy_->movableAllocator();
+            compactRange(movable, owners_, movable.startPfn(),
+                         movable.endPfn(), budget);
+            ++counters_.kcompactdRuns;
+        }
+    }
+}
+
+Pfn
+Kernel::allocPages(const AllocRequest &req)
+{
+    Pfn head = policy_->alloc(req);
+    if (head != invalidPfn)
+        return head;
+
+    // Slow path: charge a stall to the region this request targets,
+    // reclaim, optionally compact, retry.
+    Psi &psi = req.mt == MigrateType::Movable ? psiMovable_
+                                              : psiUnmovable_;
+    psi.recordStall(config_.reclaimStallUs);
+    ++counters_.allocRetries;
+    ++counters_.directReclaims;
+    const std::uint64_t want = (Pfn{1} << req.order) * 4;
+    counters_.reclaimedPages += reclaim(want);
+
+    head = policy_->alloc(req);
+    if (head != invalidPfn)
+        return head;
+
+    // Huge-page faults fail fast in defer mode (khugepaged promotes
+    // later); smaller high-order requests compact directly.
+    const bool may_compact =
+        req.mt == MigrateType::Movable && req.order > 0 &&
+        (req.order < hugeOrder || config_.thpDirectCompact);
+    if (may_compact) {
+        ++counters_.directCompactions;
+        psi.recordStall(config_.reclaimStallUs);
+        compact(req.order);
+        head = policy_->alloc(req);
+        if (head != invalidPfn)
+            return head;
+    }
+
+    psi.recordStall(config_.reclaimStallUs);
+    ++counters_.allocFailures;
+    return invalidPfn;
+}
+
+void
+Kernel::freePages(Pfn head)
+{
+    policy_->free(head);
+}
+
+Pfn
+Kernel::allocGigantic(std::uint64_t owner)
+{
+    Pfn head = policy_->allocGigantic(AllocSource::User, owner);
+    if (head != invalidPfn)
+        return head;
+
+    // HugeTLB's dynamic path works hard: reclaim enough free memory
+    // for the evacuees, then run alloc_contig_range — isolate a
+    // candidate gigabyte and migrate everything movable out of it.
+    // On a vanilla kernel scattered unmovable pages block every
+    // candidate window; on Contiguitas the movable region is clean
+    // by construction.
+    psiMovable_.recordStall(config_.reclaimStallUs * 4);
+    ++counters_.directReclaims;
+    counters_.reclaimedPages +=
+        reclaim(pagesPerGiga + pagesPerGiga / 4);
+    ++counters_.directCompactions;
+    return allocContigRange(policy_->movableAllocator(), owners_,
+                            gigaOrder, MigrateType::Movable,
+                            AllocSource::User, owner);
+}
+
+Pfn
+Kernel::pinPages(Pfn head)
+{
+    ++counters_.pins;
+    return policy_->pin(head);
+}
+
+void
+Kernel::unpinPages(Pfn head)
+{
+    ++counters_.unpins;
+    policy_->unpin(head);
+    // Retire any handle bound to this location.
+    const auto it = pinIdByPfn_.find(head);
+    if (it != pinIdByPfn_.end()) {
+        pinPfnById_.erase(it->second);
+        pinIdByPfn_.erase(it);
+    }
+}
+
+std::uint64_t
+Kernel::pinPagesId(Pfn head)
+{
+    const Pfn where = pinPages(head);
+    if (where == invalidPfn)
+        return 0;
+    const std::uint64_t id = nextPinId_++;
+    pinIdByPfn_[where] = id;
+    pinPfnById_[id] = where;
+    return id;
+}
+
+void
+Kernel::unpinById(std::uint64_t id)
+{
+    const auto it = pinPfnById_.find(id);
+    if (it == pinPfnById_.end())
+        return; // already force-unpinned (process exit)
+    const Pfn where = it->second;
+    pinPfnById_.erase(it);
+    pinIdByPfn_.erase(where);
+    if (mem_->frame(where).isPinned()) {
+        ++counters_.unpins;
+        policy_->unpin(where);
+    }
+}
+
+Pfn
+Kernel::pinnedLocation(std::uint64_t id) const
+{
+    const auto it = pinPfnById_.find(id);
+    return it == pinPfnById_.end() ? invalidPfn : it->second;
+}
+
+void
+Kernel::notifyPinnedMoved(Pfn old_head, Pfn new_head)
+{
+    const auto it = pinIdByPfn_.find(old_head);
+    if (it == pinIdByPfn_.end())
+        return;
+    const std::uint64_t id = it->second;
+    pinIdByPfn_.erase(it);
+    pinIdByPfn_[new_head] = id;
+    pinPfnById_[id] = new_head;
+}
+
+void
+Kernel::registerShrinker(Shrinker *shrinker)
+{
+    ctg_assert(shrinker != nullptr);
+    shrinkers_.push_back(shrinker);
+}
+
+std::uint64_t
+Kernel::reclaim(std::uint64_t target_pages)
+{
+    std::uint64_t freed = 0;
+    for (Shrinker *shrinker : shrinkers_) {
+        if (freed >= target_pages)
+            break;
+        freed += shrinker->shrink(target_pages - freed);
+    }
+    return freed;
+}
+
+CompactionResult
+Kernel::compact(unsigned target_order, std::uint64_t max_migrations)
+{
+    return compactUntil(policy_->movableAllocator(), owners_,
+                        target_order, max_migrations);
+}
+
+} // namespace ctg

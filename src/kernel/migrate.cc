@@ -1,0 +1,40 @@
+#include "kernel/migrate.hh"
+
+namespace ctg
+{
+
+MigrateResult
+migrateBlock(BuddyAllocator &src_alloc, BuddyAllocator &dst_alloc,
+             const OwnerRegistry &registry, Pfn src, AddrPref pref,
+             MigrateType dst_mt, Pfn *out_dst, bool allow_fallback)
+{
+    PhysMem &mem = src_alloc.mem();
+    const PageFrame &sf = mem.frame(src);
+    ctg_assert(!sf.isFree() && sf.isHead());
+
+    if (sf.isPinned())
+        return MigrateResult::Unmovable;
+    if (!registry.relocatable(sf.owner))
+        return MigrateResult::Unmovable;
+
+    const unsigned order = sf.order;
+    const AllocSource source = sf.source;
+    const std::uint64_t owner = sf.owner;
+
+    const Pfn dst = dst_alloc.allocPages(order, dst_mt, source, owner,
+                                         pref, allow_fallback);
+    if (dst == invalidPfn)
+        return MigrateResult::NoMemory;
+
+    if (!registry.relocate(owner, src, dst)) {
+        dst_alloc.freePages(dst);
+        return MigrateResult::Unmovable;
+    }
+
+    src_alloc.freePages(src);
+    if (out_dst != nullptr)
+        *out_dst = dst;
+    return MigrateResult::Ok;
+}
+
+} // namespace ctg

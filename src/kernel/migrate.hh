@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Software page migration (Figure 1 procedure, layout effects only).
+ *
+ * The layout simulator migrates a block by allocating a destination,
+ * asking the page's owner to repoint its mapping, and freeing the
+ * source. The timing cost of the real procedure (TLB shootdown +
+ * copy) is modeled separately by the hardware simulator; here we
+ * track counts so PSI stalls can be charged.
+ */
+
+#ifndef CTG_KERNEL_MIGRATE_HH
+#define CTG_KERNEL_MIGRATE_HH
+
+#include "base/types.hh"
+#include "kernel/owner.hh"
+#include "mem/buddy.hh"
+
+namespace ctg
+{
+
+/** Outcome of a software migration attempt. */
+enum class MigrateResult
+{
+    Ok,          //!< page moved; source freed
+    Unmovable,   //!< page is pinned or has no relocatable owner
+    NoMemory,    //!< destination allocation failed
+};
+
+/**
+ * Migrate the block headed at src into dst_alloc.
+ *
+ * The destination allocation inherits the source's migratetype,
+ * source tag and owner. On success the owner's mapping points at
+ * *out_dst and the source block is freed to src_alloc.
+ *
+ * @param src_alloc allocator that owns the source block
+ * @param dst_alloc allocator to place the destination in (may be the
+ *        same object for intra-region compaction)
+ * @param registry owner registry for the repointing callback
+ * @param src source block head
+ * @param pref destination address preference
+ * @param dst_mt migratetype for the destination block
+ * @param out_dst destination head on success
+ * @param allow_fallback permit cross-migratetype stealing for the
+ *        destination allocation. Compaction keeps this off (stealing
+ *        pageblocks would defeat its purpose); region resizing turns
+ *        it on to evacuate into whatever space the region has.
+ */
+MigrateResult migrateBlock(BuddyAllocator &src_alloc,
+                           BuddyAllocator &dst_alloc,
+                           const OwnerRegistry &registry, Pfn src,
+                           AddrPref pref, MigrateType dst_mt,
+                           Pfn *out_dst, bool allow_fallback = false);
+
+} // namespace ctg
+
+#endif // CTG_KERNEL_MIGRATE_HH

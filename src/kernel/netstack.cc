@@ -1,0 +1,114 @@
+#include "kernel/netstack.hh"
+
+namespace ctg
+{
+
+NetStack::NetStack(Kernel &kernel, Config config, std::uint64_t seed)
+    : kernel_(kernel), config_(config), rng_(seed)
+{
+    clientId_ = kernel_.owners().registerClient(this);
+    ChurnPool::Config skb_config;
+    skb_config.ratePerSec = config_.skbRatePerSec;
+    skb_config.meanLifeSec = config_.skbMeanLifeSec;
+    skb_config.longLivedFrac = config_.longLivedFrac;
+    skb_config.longMeanLifeSec = config_.longMeanLifeSec;
+    // skb sizes: mostly sub-page, some jumbo/multi-page (GRO).
+    skb_config.orderDist = {{0, 0.62}, {1, 0.26}, {2, 0.12}};
+    skb_config.mt = MigrateType::Unmovable;
+    skb_config.source = AllocSource::Networking;
+    skb_config.lifetime = Lifetime::Short;
+    skb_config.relocatable = true; // IOMMU-translated buffers
+    skbs_ = std::make_unique<ChurnPool>(kernel_, skb_config,
+                                        seed ^ 0x6e65742d736b62ULL);
+}
+
+NetStack::~NetStack()
+{
+    unpinAll();
+    for (const Pfn head : rings_)
+        kernel_.freePages(head);
+    kernel_.owners().unregisterClient(clientId_);
+}
+
+bool
+NetStack::relocate(std::uint64_t tag, Pfn old_head, Pfn new_head)
+{
+    const auto idx = static_cast<std::size_t>(tag);
+    if (idx >= rings_.size() || rings_[idx] != old_head)
+        return false;
+    rings_[idx] = new_head;
+    return true;
+}
+
+void
+NetStack::start()
+{
+    ctg_assert(!started_);
+    started_ = true;
+    for (unsigned q = 0; q < config_.queues; ++q) {
+        for (unsigned b = 0; b < config_.ringBlocksPerQueue; ++b) {
+            AllocRequest req;
+            req.order = 2;
+            req.mt = MigrateType::Unmovable;
+            req.source = AllocSource::Networking;
+            req.lifetime = Lifetime::Long;
+            req.owner = OwnerRegistry::makeOwner(
+                clientId_, rings_.size());
+            const Pfn head = kernel_.allocPages(req);
+            if (head == invalidPfn)
+                fatal("cannot allocate NIC ring buffers");
+            // The NIC DMAs into rings continuously; software can
+            // never block access to them.
+            for (Pfn p = head; p < head + 4; ++p)
+                kernel_.mem().frame(p).setPinned(true);
+            rings_.push_back(head);
+        }
+    }
+}
+
+void
+NetStack::advanceTo(double now_sec)
+{
+    skbs_->advanceTo(now_sec);
+}
+
+void
+NetStack::drainSkbs()
+{
+    skbs_->drain();
+}
+
+std::uint64_t
+NetStack::pinUserPages(AddressSpace &space, std::uint64_t count)
+{
+    std::uint64_t pinned = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const Pfn candidate = space.randomBacked4kFrame(rng_);
+        if (candidate == invalidPfn)
+            break;
+        if (kernel_.mem().frame(candidate).isPinned())
+            continue;
+        const std::uint64_t id = kernel_.pinPagesId(candidate);
+        if (id == 0)
+            continue;
+        pins_.push_back(id);
+        ++pinned;
+    }
+    return pinned;
+}
+
+void
+NetStack::unpinAll()
+{
+    for (const std::uint64_t id : pins_)
+        kernel_.unpinById(id);
+    pins_.clear();
+}
+
+std::uint64_t
+NetStack::livePages() const
+{
+    return skbs_->livePages() + rings_.size() * 4;
+}
+
+} // namespace ctg

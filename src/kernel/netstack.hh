@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Networking stack memory model — the dominant unmovable source
+ * (73% of unmovable pages in the paper's Figure 6).
+ *
+ * Three components:
+ *  - per-queue RX/TX ring buffers, allocated once and held for the
+ *    lifetime of the interface (long-lived unmovable blocks);
+ *  - skb churn: high-rate short-lived send/receive buffers with a
+ *    heavy tail of buffered-socket pages;
+ *  - zero-copy pins: user pages pinned for DMA, which stock Linux
+ *    leaves in place (polluting movable pageblocks) and Contiguitas
+ *    first migrates into the unmovable region (Section 3.2).
+ */
+
+#ifndef CTG_KERNEL_NETSTACK_HH
+#define CTG_KERNEL_NETSTACK_HH
+
+#include <memory>
+#include <vector>
+
+#include "kernel/addrspace.hh"
+#include "kernel/churn.hh"
+
+namespace ctg
+{
+
+/**
+ * Simulated kernel networking memory. Ring buffers and skbs are
+ * reached through IOMMU/device-TLB translations, so the stack
+ * registers as their page owner: Contiguitas-HW migrations repoint
+ * the records here the way they repoint the IOTLB.
+ */
+class NetStack : public PageOwnerClient
+{
+  public:
+    struct Config
+    {
+        unsigned queues = 16;
+        /** Order-2 ring segments per queue. */
+        unsigned ringBlocksPerQueue = 16;
+        /** skb arrivals per second at nominal load. */
+        double skbRatePerSec = 30000.0;
+        double skbMeanLifeSec = 0.01;
+        /** Buffered-socket tail. */
+        double longLivedFrac = 0.04;
+        double longMeanLifeSec = 60.0;
+    };
+
+    NetStack(Kernel &kernel, Config config, std::uint64_t seed);
+    ~NetStack() override;
+
+    NetStack(const NetStack &) = delete;
+    NetStack &operator=(const NetStack &) = delete;
+
+    /** Allocate the interface rings (call once, at "ifup"). */
+    void start();
+
+    /** Advance the skb churn to the given time. */
+    void advanceTo(double now_sec);
+
+    /** Drop all in-flight skbs (traffic stops). */
+    void drainSkbs();
+
+    /**
+     * Pin up to count user pages of an address space for zero-copy
+     * sends / RDMA registration.
+     * @return pages actually pinned.
+     */
+    std::uint64_t pinUserPages(AddressSpace &space,
+                               std::uint64_t count);
+
+    /** Drop all outstanding pins. */
+    void unpinAll();
+
+    /** Live unmovable pages held (rings + skbs; pins excluded since
+     * those remain owned by the process). */
+    std::uint64_t livePages() const;
+
+    std::uint64_t pinnedPages() const { return pins_.size(); }
+
+    /** PageOwnerClient: repoint a ring-buffer record. */
+    bool relocate(std::uint64_t tag, Pfn old_head,
+                  Pfn new_head) override;
+
+  private:
+    Kernel &kernel_;
+    Config config_;
+    Rng rng_;
+    std::uint16_t clientId_ = 0;
+    std::unique_ptr<ChurnPool> skbs_;
+    std::vector<Pfn> rings_;
+    std::vector<std::uint64_t> pins_; //!< kernel pin handles
+    bool started_ = false;
+};
+
+} // namespace ctg
+
+#endif // CTG_KERNEL_NETSTACK_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Page-owner tracking used by migration and compaction.
+ *
+ * Every allocated page frame records a 64-bit owner handle. The high
+ * 16 bits identify a registered PageOwnerClient (an address space,
+ * a kernel subsystem, ...) and the low 48 bits are a client-chosen
+ * tag (e.g. the VPN). When the kernel wants to migrate a page it
+ * resolves the handle and asks the client to atomically repoint its
+ * mapping from the old frame to the new one.
+ *
+ * A handle of 0 means "no owner": the page cannot be relocated by
+ * software — this is how unmovable kernel allocations behave in the
+ * paper (they are reachable through the linear map and cannot be
+ * repointed).
+ */
+
+#ifndef CTG_KERNEL_OWNER_HH
+#define CTG_KERNEL_OWNER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace ctg
+{
+
+/** Interface implemented by anything whose pages can be migrated. */
+class PageOwnerClient
+{
+  public:
+    virtual ~PageOwnerClient() = default;
+
+    /**
+     * Repoint the mapping identified by tag from old_head to
+     * new_head (both block heads of the same order).
+     * @return false if the client refuses (page must not move).
+     */
+    virtual bool relocate(std::uint64_t tag, Pfn old_head,
+                          Pfn new_head) = 0;
+};
+
+/** Registry resolving owner handles to clients. */
+class OwnerRegistry
+{
+  public:
+    static constexpr std::uint64_t noOwner = 0;
+
+    /** Register a client; returns its id (1..65535). */
+    std::uint16_t
+    registerClient(PageOwnerClient *client)
+    {
+        ctg_assert(client != nullptr);
+        clients_.push_back(client);
+        const std::size_t id = clients_.size();
+        ctg_assert(id < 0x10000);
+        return static_cast<std::uint16_t>(id);
+    }
+
+    /** Drop a client; outstanding handles become non-relocatable. */
+    void
+    unregisterClient(std::uint16_t id)
+    {
+        ctg_assert(id >= 1 && id <= clients_.size());
+        clients_[id - 1] = nullptr;
+    }
+
+    /** Build an owner handle from a client id and 48-bit tag. */
+    static std::uint64_t
+    makeOwner(std::uint16_t client_id, std::uint64_t tag)
+    {
+        ctg_assert(client_id != 0);
+        ctg_assert(tag < (std::uint64_t{1} << 48));
+        return (std::uint64_t{client_id} << 48) | tag;
+    }
+
+    /** True if the handle belongs to a live, relocatable client. */
+    bool
+    relocatable(std::uint64_t owner) const
+    {
+        const std::uint64_t cid = owner >> 48;
+        return cid >= 1 && cid <= clients_.size() &&
+               clients_[cid - 1] != nullptr;
+    }
+
+    /**
+     * Ask the owning client to repoint its mapping.
+     * @return false for unowned handles or client refusal.
+     */
+    bool
+    relocate(std::uint64_t owner, Pfn old_head, Pfn new_head) const
+    {
+        if (!relocatable(owner))
+            return false;
+        const std::uint64_t cid = owner >> 48;
+        const std::uint64_t tag = owner & ((std::uint64_t{1} << 48) - 1);
+        return clients_[cid - 1]->relocate(tag, old_head, new_head);
+    }
+
+  private:
+    std::vector<PageOwnerClient *> clients_;
+};
+
+} // namespace ctg
+
+#endif // CTG_KERNEL_OWNER_HH

@@ -1,0 +1,213 @@
+#include "kernel/pagetable.hh"
+
+namespace ctg
+{
+
+namespace
+{
+
+/** Node level holding a leaf of the given order: 1 = PT (4 KB),
+ * 2 = PMD (2 MB), 3 = PUD (1 GB). */
+unsigned
+leafNodeLevel(unsigned order)
+{
+    switch (order) {
+      case 0:
+        return 1;
+      case hugeOrder:
+        return 2;
+      case gigaOrder:
+        return 3;
+      default:
+        panic("unsupported page-table leaf order %u", order);
+    }
+}
+
+} // namespace
+
+unsigned
+PageTables::indexAt(Vpn vpn, unsigned level)
+{
+    ctg_assert(level >= 1 && level <= levels);
+    return static_cast<unsigned>(
+        (vpn >> ((level - 1) * bitsPerLevel)) & 0x1ff);
+}
+
+PageTables::PageTables(Kernel &kernel)
+    : kernel_(kernel)
+{
+    root_ = allocNode();
+    if (!root_)
+        fatal("cannot allocate page-table root");
+}
+
+PageTables::~PageTables()
+{
+    freeNode(std::move(root_));
+}
+
+std::unique_ptr<PageTables::Node>
+PageTables::allocNode()
+{
+    AllocRequest req;
+    req.order = 0;
+    req.mt = MigrateType::Unmovable;
+    req.source = AllocSource::PageTables;
+    req.lifetime = Lifetime::Long;
+    const Pfn backing = kernel_.allocPages(req);
+    if (backing == invalidPfn)
+        return nullptr;
+    auto node = std::make_unique<Node>();
+    node->backing = backing;
+    ++tablePages_;
+    return node;
+}
+
+void
+PageTables::freeNode(std::unique_ptr<Node> node)
+{
+    if (!node)
+        return;
+    for (auto &[idx, entry] : node->entries) {
+        (void)idx;
+        if (entry.child)
+            freeNode(std::move(entry.child));
+    }
+    kernel_.freePages(node->backing);
+    ctg_assert(tablePages_ > 0);
+    --tablePages_;
+}
+
+bool
+PageTables::map(Vpn vpn, Pfn pfn, unsigned order)
+{
+    const unsigned leaf_level = leafNodeLevel(order);
+    ctg_assert((vpn & ((Vpn{1} << order) - 1)) == 0);
+
+    Node *node = root_.get();
+    for (unsigned level = levels; level > leaf_level; --level) {
+        Entry &entry = node->entries[indexAt(vpn, level)];
+        if (entry.present && entry.leaf)
+            panic("mapping conflict: leaf already present at level %u",
+                  level);
+        if (!entry.present) {
+            entry.child = allocNode();
+            if (!entry.child) {
+                node->entries.erase(indexAt(vpn, level));
+                return false;
+            }
+            entry.present = true;
+            entry.leaf = false;
+        }
+        node = entry.child.get();
+    }
+
+    Entry &entry = node->entries[indexAt(vpn, leaf_level)];
+    if (entry.present && !entry.leaf &&
+        entry.child->entries.empty()) {
+        // A lower-level table that was fully unmapped (e.g. before a
+        // khugepaged collapse) can be retired in place.
+        freeNode(std::move(entry.child));
+        entry.present = false;
+    }
+    ctg_assert(!entry.present);
+    entry.present = true;
+    entry.leaf = true;
+    entry.order = order;
+    entry.pfn = pfn;
+    ++mappings_;
+    return true;
+}
+
+PageTables::Entry *
+PageTables::findLeaf(Vpn vpn)
+{
+    Node *node = root_.get();
+    for (unsigned level = levels; level >= 1; --level) {
+        auto it = node->entries.find(indexAt(vpn, level));
+        if (it == node->entries.end() || !it->second.present)
+            return nullptr;
+        Entry &entry = it->second;
+        if (entry.leaf)
+            return &entry;
+        node = entry.child.get();
+    }
+    return nullptr;
+}
+
+const PageTables::Entry *
+PageTables::findLeaf(Vpn vpn) const
+{
+    return const_cast<PageTables *>(this)->findLeaf(vpn);
+}
+
+bool
+PageTables::unmap(Vpn vpn)
+{
+    Node *node = root_.get();
+    for (unsigned level = levels; level >= 1; --level) {
+        const unsigned idx = indexAt(vpn, level);
+        auto it = node->entries.find(idx);
+        if (it == node->entries.end() || !it->second.present)
+            return false;
+        if (it->second.leaf) {
+            node->entries.erase(it);
+            ctg_assert(mappings_ > 0);
+            --mappings_;
+            return true;
+        }
+        node = it->second.child.get();
+    }
+    return false;
+}
+
+bool
+PageTables::repoint(Vpn vpn, Pfn new_pfn)
+{
+    Entry *entry = findLeaf(vpn);
+    if (entry == nullptr)
+        return false;
+    entry->pfn = new_pfn;
+    return true;
+}
+
+Translation
+PageTables::translate(Vpn vpn) const
+{
+    Translation result;
+    const Entry *entry = findLeaf(vpn);
+    if (entry == nullptr)
+        return result;
+    result.valid = true;
+    result.order = entry->order;
+    result.level = leafNodeLevel(entry->order);
+    // Offset within the huge leaf.
+    const Vpn mask = (Vpn{1} << entry->order) - 1;
+    result.pfn = entry->pfn + (vpn & mask);
+    return result;
+}
+
+std::array<Addr, PageTables::levels>
+PageTables::walkAddrs(Vpn vpn, unsigned *depth) const
+{
+    std::array<Addr, levels> addrs{};
+    unsigned count = 0;
+    const Node *node = root_.get();
+    for (unsigned level = levels; level >= 1 && node != nullptr;
+         --level) {
+        const unsigned idx = indexAt(vpn, level);
+        addrs[count++] = pfnToAddr(node->backing) +
+                         static_cast<Addr>(idx) * 8;
+        auto it = node->entries.find(idx);
+        if (it == node->entries.end() || !it->second.present ||
+            it->second.leaf) {
+            break;
+        }
+        node = it->second.child.get();
+    }
+    if (depth != nullptr)
+        *depth = count;
+    return addrs;
+}
+
+} // namespace ctg

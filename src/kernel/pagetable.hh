@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Four-level x86-64 radix page tables.
+ *
+ * Table pages are real simulated allocations (unmovable, source
+ * PageTables) so the Figure 6 breakdown and the fragmentation they
+ * cause are captured. The table also exposes the physical addresses
+ * a hardware page walk touches at each level, which the hw simulator
+ * uses to charge page-walk memory accesses (Figure 3).
+ *
+ * Supported leaf sizes mirror x86-64: 4 KB (PTE), 2 MB (PMD leaf)
+ * and 1 GB (PUD leaf).
+ */
+
+#ifndef CTG_KERNEL_PAGETABLE_HH
+#define CTG_KERNEL_PAGETABLE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "base/types.hh"
+#include "kernel/kernel.hh"
+
+namespace ctg
+{
+
+/** Result of a translation lookup. */
+struct Translation
+{
+    bool valid = false;
+    Pfn pfn = invalidPfn;   //!< head frame of the leaf mapping
+    unsigned order = 0;     //!< 0 (4K), 9 (2M) or 18 (1G)
+    unsigned level = 0;     //!< radix level of the leaf (1=PTE..3=PUD)
+};
+
+/**
+ * One process's radix page tables.
+ */
+class PageTables
+{
+  public:
+    static constexpr unsigned levels = 4;
+    static constexpr unsigned bitsPerLevel = 9;
+
+    explicit PageTables(Kernel &kernel);
+    ~PageTables();
+
+    PageTables(const PageTables &) = delete;
+    PageTables &operator=(const PageTables &) = delete;
+
+    /**
+     * Install a leaf mapping vpn -> pfn of the given order
+     * (0, hugeOrder or gigaOrder). vpn must be order-aligned.
+     * @return false if a table page allocation failed.
+     */
+    bool map(Vpn vpn, Pfn pfn, unsigned order);
+
+    /** Remove the leaf covering vpn; true if one existed. */
+    bool unmap(Vpn vpn);
+
+    /** Repoint an existing leaf at a new frame (migration). */
+    bool repoint(Vpn vpn, Pfn new_pfn);
+
+    /** Look up the leaf covering vpn. */
+    Translation translate(Vpn vpn) const;
+
+    /**
+     * Physical addresses of the table entries a hardware walk of
+     * vpn reads, root first. Size equals the number of levels
+     * actually traversed (shorter for huge leaves).
+     */
+    std::array<Addr, levels> walkAddrs(Vpn vpn, unsigned *depth) const;
+
+    /** Number of live table pages (unmovable PageTables frames). */
+    std::uint64_t tablePages() const { return tablePages_; }
+
+    /** Number of live leaf mappings. */
+    std::uint64_t mappings() const { return mappings_; }
+
+  private:
+    struct Node;
+    struct Entry
+    {
+        bool present = false;
+        bool leaf = false;
+        unsigned order = 0;
+        Pfn pfn = invalidPfn;        //!< leaf target
+        std::unique_ptr<Node> child; //!< next-level table
+    };
+
+    struct Node
+    {
+        Pfn backing = invalidPfn; //!< frame holding this table
+        std::unordered_map<unsigned, Entry> entries;
+    };
+
+    static unsigned indexAt(Vpn vpn, unsigned level);
+
+    std::unique_ptr<Node> allocNode();
+    void freeNode(std::unique_ptr<Node> node);
+
+    /** Find the entry whose leaf covers vpn, or nullptr. */
+    Entry *findLeaf(Vpn vpn);
+    const Entry *findLeaf(Vpn vpn) const;
+
+    Kernel &kernel_;
+    std::unique_ptr<Node> root_;
+    std::uint64_t tablePages_ = 0;
+    std::uint64_t mappings_ = 0;
+};
+
+} // namespace ctg
+
+#endif // CTG_KERNEL_PAGETABLE_HH

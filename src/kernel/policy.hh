@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Memory placement policy interface.
+ *
+ * A MemPolicy decides *where* in physical memory each allocation
+ * lands. The kernel substrate drives it for every allocation, free,
+ * pin and maintenance tick. Two implementations exist:
+ *
+ *  - VanillaPolicy (this library): one buddy allocator over all of
+ *    memory with Linux fallback stealing — the paper's baseline.
+ *  - ContiguitasPolicy (src/contiguitas): two regions with a dynamic
+ *    boundary, confinement, placement bias and Algorithm 1 resizing.
+ */
+
+#ifndef CTG_KERNEL_POLICY_HH
+#define CTG_KERNEL_POLICY_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+#include "mem/buddy.hh"
+#include "mem/physmem.hh"
+
+namespace ctg
+{
+
+/** Expected lifetime of an allocation; Contiguitas places long-lived
+ * unmovable allocations away from the region border (Section 3.2). */
+enum class Lifetime : std::uint8_t
+{
+    Short = 0,    //!< sub-second churn (skb, fs buffers)
+    Long = 1,     //!< minutes-to-hours (slab backing, rings)
+    Immortal = 2, //!< never freed (kernel text, boot structures)
+};
+
+/** Parameters of one block allocation. */
+struct AllocRequest
+{
+    unsigned order = 0;
+    MigrateType mt = MigrateType::Movable;
+    AllocSource source = AllocSource::User;
+    std::uint64_t owner = 0;
+    Lifetime lifetime = Lifetime::Short;
+};
+
+/**
+ * Placement policy driven by the Kernel facade.
+ */
+class MemPolicy
+{
+  public:
+    virtual ~MemPolicy() = default;
+
+    /** Allocate one block; invalidPfn on failure (caller reclaims
+     * and retries). */
+    virtual Pfn alloc(const AllocRequest &req) = 0;
+
+    /** Free a block previously returned by alloc/allocGigantic. */
+    virtual void free(Pfn head) = 0;
+
+    /** Allocate a 1 GB gigantic movable block (HugeTLB path). */
+    virtual Pfn allocGigantic(AllocSource src, std::uint64_t owner) = 0;
+
+    /**
+     * Pin a movable page for DMA/zero-copy IO. Contiguitas first
+     * migrates the page into the unmovable region (Section 3.2).
+     * @return the (possibly new) PFN of the pinned page, or
+     *         invalidPfn if pinning failed.
+     */
+    virtual Pfn pin(Pfn head) = 0;
+
+    /** Release a pin. */
+    virtual void unpin(Pfn head) = 0;
+
+    /** Periodic maintenance (reclaim hooks, region resizing). */
+    virtual void tick(std::uint32_t now_seconds) = 0;
+
+    /** Free movable-capacity pages available to user allocations. */
+    virtual std::uint64_t freeUserPages() const = 0;
+
+    /** Free pages available to kernel (unmovable) allocations. */
+    virtual std::uint64_t freeKernelPages() const = 0;
+
+    /** The unmovable region bounds; {0, 0} when the policy has no
+     * dedicated region (vanilla). */
+    virtual std::pair<Pfn, Pfn> unmovableRegion() const = 0;
+
+    /** Allocator serving movable allocations (for compaction). */
+    virtual BuddyAllocator &movableAllocator() = 0;
+
+    virtual PhysMem &mem() = 0;
+};
+
+} // namespace ctg
+
+#endif // CTG_KERNEL_POLICY_HH

@@ -1,0 +1,36 @@
+#include "kernel/psi.hh"
+
+#include <cmath>
+
+namespace ctg
+{
+
+void
+Psi::advanceTo(double now_us)
+{
+    ctg_assert(now_us >= nowUs_);
+    const double delta = now_us - nowUs_;
+    if (delta <= 0)
+        return;
+    // Fold the newly accumulated stall into the decayed windows. The
+    // decay factor halves contributions every halfLifeUs_.
+    const double decay = std::exp2(-delta / halfLifeUs_);
+    totalStallUs_ += pendingStallUs_;
+    // Clamp the stall accrued since the last advance to the interval
+    // so pressure can never exceed 100%.
+    const double interval_stall = std::fmin(pendingStallUs_, delta);
+    pendingStallUs_ = 0.0;
+    elapsedUs_ = elapsedUs_ * decay + delta;
+    decayedStall_ = decayedStall_ * decay + interval_stall;
+    nowUs_ = now_us;
+}
+
+double
+Psi::pressure() const
+{
+    if (elapsedUs_ <= 0)
+        return 0.0;
+    return std::fmin(100.0, 100.0 * decayedStall_ / elapsedUs_);
+}
+
+} // namespace ctg

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Pressure Stall Information (PSI) analogue.
+ *
+ * Linux's PSI reports the share of wall-clock time in which tasks are
+ * stalled for memory. Contiguitas extends PSI to track the movable
+ * and unmovable regions separately (Section 3.2) and feeds both into
+ * the Algorithm 1 resize controller. We reproduce the "some" pressure
+ * metric as an exponentially-decayed ratio of stall time to elapsed
+ * time, expressed in percent like /proc/pressure/memory.
+ */
+
+#ifndef CTG_KERNEL_PSI_HH
+#define CTG_KERNEL_PSI_HH
+
+#include <cstdint>
+
+#include "base/logging.hh"
+
+namespace ctg
+{
+
+/**
+ * Exponentially-decayed stall-time tracker.
+ *
+ * Time is measured in microseconds of simulated kernel time. The
+ * decay half-life defaults to 10 s, matching the avg10 window that
+ * the paper's reclaim logic keys off.
+ */
+class Psi
+{
+  public:
+    explicit Psi(double half_life_us = 10e6)
+        : halfLifeUs_(half_life_us)
+    {
+        ctg_assert(half_life_us > 0);
+    }
+
+    /** Record a stall of the given duration at the current time. */
+    void
+    recordStall(double stall_us)
+    {
+        ctg_assert(stall_us >= 0);
+        pendingStallUs_ += stall_us;
+    }
+
+    /** Advance wall-clock time; decays the accumulated windows. */
+    void advanceTo(double now_us);
+
+    /** Pressure in percent of recent time spent stalled (avg-like). */
+    double pressure() const;
+
+    /** Total (undecayed) stall time, for reporting. */
+    double totalStallUs() const { return totalStallUs_; }
+
+  private:
+    double halfLifeUs_;
+    double nowUs_ = 0.0;
+    /** Stall time accrued since the last advanceTo(). */
+    double pendingStallUs_ = 0.0;
+    /** Decayed stall time and decayed elapsed time windows. */
+    double decayedStall_ = 0.0;
+    double elapsedUs_ = 0.0;
+    double totalStallUs_ = 0.0;
+};
+
+} // namespace ctg
+
+#endif // CTG_KERNEL_PSI_HH

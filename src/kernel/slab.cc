@@ -1,0 +1,202 @@
+#include "kernel/slab.hh"
+
+#include <algorithm>
+
+namespace ctg
+{
+
+namespace
+{
+
+struct SizeClass
+{
+    std::uint32_t bytes;
+    std::uint8_t pageOrder;
+};
+
+/** Size classes roughly matching kmalloc caches; larger classes use
+ * higher-order slabs so each slab still holds several objects. */
+constexpr SizeClass sizeClasses[] = {
+    {32, 0},   {64, 0},   {96, 0},   {128, 0},  {192, 0},
+    {256, 0},  {512, 0},  {1024, 0}, {2048, 1}, {4096, 1},
+    {8192, 2},
+};
+
+constexpr unsigned numClasses = std::size(sizeClasses);
+
+} // namespace
+
+SlabAllocator::SlabAllocator(Kernel &kernel, AllocSource src)
+    : kernel_(kernel), source_(src), partial_(numClasses)
+{
+    kernel_.registerShrinker(this);
+}
+
+SlabAllocator::~SlabAllocator()
+{
+    for (std::uint32_t id = 0; id < slabs_.size(); ++id) {
+        if (slabs_[id].live)
+            kernel_.freePages(slabs_[id].page);
+    }
+}
+
+unsigned
+SlabAllocator::classIndexFor(std::uint32_t size_bytes)
+{
+    for (unsigned i = 0; i < numClasses; ++i) {
+        if (size_bytes <= sizeClasses[i].bytes)
+            return i;
+    }
+    panic("slab object of %u bytes exceeds maximum", size_bytes);
+}
+
+std::uint32_t
+SlabAllocator::acquireSlab(unsigned class_idx)
+{
+    if (!partial_[class_idx].empty())
+        return partial_[class_idx].back();
+
+    std::uint32_t id;
+    if (!emptyCached_.empty()) {
+        // Repurpose a cached empty slab for this class.
+        id = emptyCached_.back();
+        emptyCached_.pop_back();
+        Slab &slab = slabs_[id];
+        // Keep the existing page but maybe wrong order for the new
+        // class; if so release it and fall through to fresh alloc.
+        if (slab.order == sizeClasses[class_idx].pageOrder) {
+            const std::uint32_t bytes =
+                (1u << slab.order) * pageBytes;
+            slab.classIdx = class_idx;
+            slab.capacity = static_cast<std::uint16_t>(
+                bytes / sizeClasses[class_idx].bytes);
+            slab.inUse = 0;
+            slab.bitmap.assign((slab.capacity + 63) / 64, 0);
+            partial_[class_idx].push_back(id);
+            return id;
+        }
+        releaseSlabPage(id);
+    }
+
+    AllocRequest req;
+    req.order = sizeClasses[class_idx].pageOrder;
+    req.mt = MigrateType::Unmovable;
+    req.source = source_;
+    req.lifetime = Lifetime::Long;
+    const Pfn page = kernel_.allocPages(req);
+    if (page == invalidPfn)
+        return 0xffffffffu;
+
+    if (!recycledIds_.empty()) {
+        id = recycledIds_.back();
+        recycledIds_.pop_back();
+    } else {
+        id = static_cast<std::uint32_t>(slabs_.size());
+        slabs_.emplace_back();
+    }
+    Slab &slab = slabs_[id];
+    slab.page = page;
+    slab.order = sizeClasses[class_idx].pageOrder;
+    slab.classIdx = class_idx;
+    const std::uint32_t bytes = (1u << slab.order) * pageBytes;
+    slab.capacity = static_cast<std::uint16_t>(
+        bytes / sizeClasses[class_idx].bytes);
+    slab.inUse = 0;
+    slab.live = true;
+    slab.bitmap.assign((slab.capacity + 63) / 64, 0);
+    backingPages_ += Pfn{1} << slab.order;
+    partial_[class_idx].push_back(id);
+    return id;
+}
+
+void
+SlabAllocator::releaseSlabPage(std::uint32_t slab_id)
+{
+    Slab &slab = slabs_[slab_id];
+    ctg_assert(slab.live && slab.inUse == 0);
+    kernel_.freePages(slab.page);
+    ctg_assert(backingPages_ >= (Pfn{1} << slab.order));
+    backingPages_ -= Pfn{1} << slab.order;
+    slab.live = false;
+    slab.page = invalidPfn;
+    recycledIds_.push_back(slab_id);
+}
+
+SlabAllocator::ObjHandle
+SlabAllocator::allocObject(std::uint32_t size_bytes)
+{
+    const unsigned class_idx = classIndexFor(size_bytes);
+    const std::uint32_t id = acquireSlab(class_idx);
+    if (id == 0xffffffffu)
+        return 0;
+
+    Slab &slab = slabs_[id];
+    ctg_assert(slab.inUse < slab.capacity);
+    // Find a clear bit.
+    std::uint32_t slot = 0;
+    for (std::size_t w = 0; w < slab.bitmap.size(); ++w) {
+        const std::uint64_t word = slab.bitmap[w];
+        if (word != ~std::uint64_t{0}) {
+            const unsigned bit = static_cast<unsigned>(
+                __builtin_ctzll(~word));
+            slot = static_cast<std::uint32_t>(w * 64 + bit);
+            if (slot < slab.capacity) {
+                slab.bitmap[w] |= std::uint64_t{1} << bit;
+                break;
+            }
+        }
+        if (w + 1 == slab.bitmap.size())
+            panic("slab bookkeeping inconsistent");
+    }
+    ++slab.inUse;
+    ++liveObjects_;
+    if (slab.inUse == slab.capacity) {
+        auto &list = partial_[class_idx];
+        list.erase(std::find(list.begin(), list.end(), id));
+    }
+    return (static_cast<ObjHandle>(id) + 1) << 16 | slot;
+}
+
+void
+SlabAllocator::freeObject(ObjHandle handle)
+{
+    ctg_assert(handle != 0);
+    const auto id = static_cast<std::uint32_t>((handle >> 16) - 1);
+    const auto slot = static_cast<std::uint32_t>(handle & 0xffff);
+    ctg_assert(id < slabs_.size());
+    Slab &slab = slabs_[id];
+    ctg_assert(slab.live && slot < slab.capacity);
+    std::uint64_t &word = slab.bitmap[slot / 64];
+    const std::uint64_t bit = std::uint64_t{1} << (slot % 64);
+    ctg_assert(word & bit);
+    word &= ~bit;
+
+    const bool was_full = slab.inUse == slab.capacity;
+    --slab.inUse;
+    --liveObjects_;
+    if (was_full)
+        partial_[slab.classIdx].push_back(id);
+    if (slab.inUse == 0) {
+        auto &list = partial_[slab.classIdx];
+        list.erase(std::find(list.begin(), list.end(), id));
+        if (emptyCached_.size() < emptyCacheCap)
+            emptyCached_.push_back(id);
+        else
+            releaseSlabPage(id);
+    }
+}
+
+std::uint64_t
+SlabAllocator::shrink(std::uint64_t target_pages)
+{
+    std::uint64_t freed = 0;
+    while (freed < target_pages && !emptyCached_.empty()) {
+        const std::uint32_t id = emptyCached_.back();
+        emptyCached_.pop_back();
+        freed += Pfn{1} << slabs_[id].order;
+        releaseSlabPage(id);
+    }
+    return freed;
+}
+
+} // namespace ctg

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Slab allocator (SLUB-like) for kernel small objects.
+ *
+ * Objects are packed into slabs of one or more pages obtained from
+ * the page allocator as unmovable memory. A slab page stays allocated
+ * while any object on it lives — the classic mechanism by which a
+ * single long-lived kernel object pins a page (and its 2 MB block)
+ * forever. Empty slabs are cached and released by the shrinker under
+ * memory pressure.
+ */
+
+#ifndef CTG_KERNEL_SLAB_HH
+#define CTG_KERNEL_SLAB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "kernel/kernel.hh"
+
+namespace ctg
+{
+
+/**
+ * Size-class slab allocator backed by kernel pages.
+ */
+class SlabAllocator : public Shrinker
+{
+  public:
+    /** Opaque object handle; 0 is invalid. */
+    using ObjHandle = std::uint64_t;
+
+    explicit SlabAllocator(Kernel &kernel,
+                           AllocSource src = AllocSource::Slab);
+    ~SlabAllocator() override;
+
+    SlabAllocator(const SlabAllocator &) = delete;
+    SlabAllocator &operator=(const SlabAllocator &) = delete;
+
+    /** Allocate an object of the given byte size (rounded up to a
+     * size class). Returns 0 if backing pages cannot be allocated. */
+    ObjHandle allocObject(std::uint32_t size_bytes);
+
+    /** Free a previously allocated object. */
+    void freeObject(ObjHandle handle);
+
+    /** Pages currently backing slabs (live + cached empty). */
+    std::uint64_t backingPages() const { return backingPages_; }
+
+    /** Live objects across all classes. */
+    std::uint64_t liveObjects() const { return liveObjects_; }
+
+    /** Release cached empty slabs (memory-pressure hook). */
+    std::uint64_t shrink(std::uint64_t target_pages) override;
+
+    /** Largest object size supported. */
+    static constexpr std::uint32_t maxObjectBytes = 8192;
+
+  private:
+    struct Slab
+    {
+        Pfn page = invalidPfn;
+        std::uint8_t order = 0;
+        std::uint16_t capacity = 0;
+        std::uint16_t inUse = 0;
+        std::uint32_t classIdx = 0;
+        bool live = false;
+        std::vector<std::uint64_t> bitmap; //!< set bit = slot in use
+    };
+
+    static unsigned classIndexFor(std::uint32_t size_bytes);
+
+    /** Get a slab with a free slot for the class; may allocate. */
+    std::uint32_t acquireSlab(unsigned class_idx);
+
+    void releaseSlabPage(std::uint32_t slab_id);
+
+    Kernel &kernel_;
+    AllocSource source_;
+    std::vector<Slab> slabs_;
+    std::vector<std::uint32_t> recycledIds_;
+    /** Per class: slab ids with at least one free slot. */
+    std::vector<std::vector<std::uint32_t>> partial_;
+    /** Fully-empty slabs kept cached for reuse. */
+    std::vector<std::uint32_t> emptyCached_;
+    std::uint64_t backingPages_ = 0;
+    std::uint64_t liveObjects_ = 0;
+
+    static constexpr std::size_t emptyCacheCap = 32;
+};
+
+} // namespace ctg
+
+#endif // CTG_KERNEL_SLAB_HH

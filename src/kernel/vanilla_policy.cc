@@ -1,0 +1,78 @@
+#include "kernel/vanilla_policy.hh"
+
+namespace ctg
+{
+
+void
+setBlockPinned(PhysMem &mem, Pfn head, bool pinned)
+{
+    PageFrame &hf = mem.frame(head);
+    ctg_assert(!hf.isFree() && hf.isHead());
+    const Pfn count = Pfn{1} << hf.order;
+    for (Pfn pfn = head; pfn < head + count; ++pfn)
+        mem.frame(pfn).setPinned(pinned);
+}
+
+VanillaPolicy::VanillaPolicy(PhysMem &mem)
+    : mem_(mem), allocator_(mem, 0, mem.numFrames(), "vanilla")
+{}
+
+Pfn
+VanillaPolicy::alloc(const AllocRequest &req)
+{
+    return allocator_.allocPages(req.order, req.mt, req.source,
+                                 req.owner);
+}
+
+void
+VanillaPolicy::free(Pfn head)
+{
+    allocator_.freePages(head);
+}
+
+Pfn
+VanillaPolicy::allocGigantic(AllocSource src, std::uint64_t owner)
+{
+    return allocator_.allocGigantic(MigrateType::Movable, src, owner);
+}
+
+Pfn
+VanillaPolicy::pin(Pfn head)
+{
+    // Stock Linux pins in place: the page becomes unmovable wherever
+    // it happens to sit, polluting its pageblock.
+    setBlockPinned(mem_, head, true);
+    return head;
+}
+
+void
+VanillaPolicy::unpin(Pfn head)
+{
+    setBlockPinned(mem_, head, false);
+}
+
+void
+VanillaPolicy::tick(std::uint32_t now_seconds)
+{
+    mem_.nowSeconds = now_seconds;
+}
+
+std::uint64_t
+VanillaPolicy::freeUserPages() const
+{
+    return allocator_.freePageCount();
+}
+
+std::uint64_t
+VanillaPolicy::freeKernelPages() const
+{
+    return allocator_.freePageCount();
+}
+
+std::pair<Pfn, Pfn>
+VanillaPolicy::unmovableRegion() const
+{
+    return {0, 0};
+}
+
+} // namespace ctg

@@ -1,0 +1,512 @@
+#include "mem/buddy.hh"
+
+#include <algorithm>
+
+namespace ctg
+{
+
+namespace
+{
+
+/** Linux-like fallback order: which lists to steal from when the
+ * native migratetype lists are empty. Isolate lists are never donors
+ * and never requesters. */
+const MigrateType fallbackOrder[3][2] = {
+    /* Movable     */ {MigrateType::Reclaimable, MigrateType::Unmovable},
+    /* Unmovable   */ {MigrateType::Reclaimable, MigrateType::Movable},
+    /* Reclaimable */ {MigrateType::Unmovable, MigrateType::Movable},
+};
+
+unsigned
+mtIndex(MigrateType mt)
+{
+    return static_cast<unsigned>(mt);
+}
+
+} // namespace
+
+BuddyAllocator::BuddyAllocator(PhysMem &mem, Pfn start, Pfn end,
+                               std::string name,
+                               MigrateType initial_block_mt)
+    : mem_(mem), frames_(mem.frames()), start_(start), end_(end),
+      name_(std::move(name))
+{
+    if (start % pagesPerHuge != 0 || end % pagesPerHuge != 0)
+        fatal("buddy range [%llu, %llu) not pageblock aligned",
+              static_cast<unsigned long long>(start),
+              static_cast<unsigned long long>(end));
+    if (end > mem.numFrames() || start > end)
+        fatal("buddy range exceeds physical memory");
+
+    for (auto &per_mt : heads_)
+        for (auto &head : per_mt)
+            head = FrameArray::nil;
+
+    for (Pfn pfn = start_; pfn < end_; pfn += pagesPerHuge)
+        mem_.setBlockMt(pfn, initial_block_mt);
+    for (Pfn pfn = start_; pfn < end_; ++pfn) {
+        PageFrame &f = frames_.frame(pfn);
+        f = PageFrame{};
+        f.setFree(true);
+    }
+    freeRangeAsBlocks(start_, end_, initial_block_mt);
+}
+
+void
+BuddyAllocator::pushFree(Pfn head, unsigned order, MigrateType list_mt)
+{
+    PageFrame &f = frames_.frame(head);
+    ctg_assert(f.isFree());
+    f.setHead(true);
+    f.order = static_cast<std::uint8_t>(order);
+    f.migrateType = list_mt;
+
+    const unsigned mi = mtIndex(list_mt);
+    std::uint32_t &list_head = heads_[mi][order];
+    frames_.next(head) = list_head;
+    frames_.prev(head) = FrameArray::nil;
+    if (list_head != FrameArray::nil)
+        frames_.prev(list_head) = static_cast<std::uint32_t>(head);
+    list_head = static_cast<std::uint32_t>(head);
+
+    freeCount_[mi] += std::uint64_t{1} << order;
+    ++blockCount_[mi][order];
+}
+
+void
+BuddyAllocator::removeFree(Pfn head)
+{
+    PageFrame &f = frames_.frame(head);
+    ctg_assert(f.isFree() && f.isHead());
+    const unsigned mi = mtIndex(f.migrateType);
+    const unsigned order = f.order;
+
+    const std::uint32_t nxt = frames_.next(head);
+    const std::uint32_t prv = frames_.prev(head);
+    if (prv != FrameArray::nil)
+        frames_.next(prv) = nxt;
+    else
+        heads_[mi][order] = nxt;
+    if (nxt != FrameArray::nil)
+        frames_.prev(nxt) = prv;
+    frames_.next(head) = FrameArray::nil;
+    frames_.prev(head) = FrameArray::nil;
+    f.setHead(false);
+
+    ctg_assert(freeCount_[mi] >= (std::uint64_t{1} << order));
+    ctg_assert(blockCount_[mi][order] > 0);
+    freeCount_[mi] -= std::uint64_t{1} << order;
+    --blockCount_[mi][order];
+}
+
+Pfn
+BuddyAllocator::popFree(MigrateType mt, unsigned order, AddrPref pref)
+{
+    const unsigned mi = mtIndex(mt);
+    std::uint32_t cursor = heads_[mi][order];
+    if (cursor == FrameArray::nil)
+        return invalidPfn;
+
+    Pfn best = cursor;
+    if (pref != AddrPref::None) {
+        unsigned scanned = 0;
+        for (std::uint32_t it = cursor;
+             it != FrameArray::nil && scanned < prefScanCap_;
+             it = frames_.next(it), ++scanned) {
+            if ((pref == AddrPref::Low && it < best) ||
+                (pref == AddrPref::High && it > best)) {
+                best = it;
+            }
+        }
+    }
+    removeFree(best);
+    return best;
+}
+
+Pfn
+BuddyAllocator::splitTo(Pfn head, unsigned have, unsigned want,
+                        MigrateType list_mt)
+{
+    while (have > want) {
+        --have;
+        const Pfn upper = head + (Pfn{1} << have);
+        pushFree(upper, have, list_mt);
+        ++stats_.splits;
+    }
+    return head;
+}
+
+void
+BuddyAllocator::markAllocated(Pfn head, unsigned order, MigrateType mt,
+                              AllocSource src, std::uint64_t owner)
+{
+    const Pfn count = Pfn{1} << order;
+    for (Pfn pfn = head; pfn < head + count; ++pfn) {
+        PageFrame &f = frames_.frame(pfn);
+        f.setFree(false);
+        f.setHead(pfn == head);
+        f.order = static_cast<std::uint8_t>(order);
+        f.migrateType = mt;
+        f.source = src;
+        f.owner = owner;
+        f.allocSecond = mem_.nowSeconds;
+        f.setPinned(false);
+        f.setMigrating(false);
+    }
+}
+
+Pfn
+BuddyAllocator::allocPages(unsigned order, MigrateType mt,
+                           AllocSource src, std::uint64_t owner,
+                           AddrPref pref, bool allow_fallback)
+{
+    ctg_assert(order <= maxOrder);
+    ctg_assert(mt != MigrateType::Isolate);
+    ++stats_.allocCalls;
+
+    // Native path: smallest sufficient block of the requested type.
+    for (unsigned o = order; o <= maxOrder; ++o) {
+        const Pfn head = popFree(mt, o, pref);
+        if (head == invalidPfn)
+            continue;
+        splitTo(head, o, order, mt);
+        markAllocated(head, order, mt, src, owner);
+        return head;
+    }
+
+    if (!allow_fallback) {
+        ++stats_.failedAllocs;
+        return invalidPfn;
+    }
+
+    // Fallback path: steal the *largest* block from a victim type to
+    // minimize the number of future fallbacks (Linux policy). If the
+    // stolen block covers whole pageblocks, retag them to the new
+    // type; otherwise the allocation pollutes a foreign pageblock —
+    // the scattering mechanism of Section 2.5.
+    for (const MigrateType victim : fallbackOrder[mtIndex(mt)]) {
+        for (int o = static_cast<int>(maxOrder);
+             o >= static_cast<int>(order); --o) {
+            const Pfn head =
+                popFree(victim, static_cast<unsigned>(o), pref);
+            if (head == invalidPfn)
+                continue;
+            ++stats_.fallbackAllocs;
+            const bool claim = claimSmallSteals_ ||
+                               static_cast<unsigned>(o) >= hugeOrder;
+            if (claim) {
+                // Stealing at pageblock granularity claims the
+                // block: retag it and keep the remainder on the new
+                // type's lists.
+                const Pfn span = Pfn{1} << static_cast<unsigned>(o);
+                for (Pfn p = head; p < head + span; p += pagesPerHuge)
+                    mem_.setBlockMt(p, mt);
+                ++stats_.pageblockSteals;
+            }
+            // A small dirty steal leaves the remainder with its
+            // owner, so the next foreign request falls back again
+            // somewhere else — the scattering mechanism.
+            splitTo(head, static_cast<unsigned>(o), order,
+                    claim ? mt : victim);
+            markAllocated(head, order, mt, src, owner);
+            return head;
+        }
+    }
+
+    ++stats_.failedAllocs;
+    return invalidPfn;
+}
+
+void
+BuddyAllocator::freePages(Pfn head)
+{
+    PageFrame &hf = frames_.frame(head);
+    ctg_assert(!hf.isFree());
+    ctg_assert(hf.isHead());
+    ++stats_.freeCalls;
+
+    unsigned order = hf.order;
+    const Pfn count = Pfn{1} << order;
+    ctg_assert(inRange(head) && head + count <= end_);
+    for (Pfn pfn = head; pfn < head + count; ++pfn) {
+        PageFrame &f = frames_.frame(pfn);
+        ctg_assert(!f.isFree());
+        f = PageFrame{};
+        f.setFree(true);
+    }
+
+    if (order > maxOrder) {
+        // Gigantic block: return it as maxOrder chunks.
+        for (Pfn pfn = head; pfn < head + count;
+             pfn += (Pfn{1} << maxOrder)) {
+            pushFree(pfn, maxOrder, mem_.blockMt(pfn));
+        }
+        return;
+    }
+
+    // Like Linux, the block joins the free list of its *pageblock's*
+    // migratetype, not the type it was allocated with.
+    MigrateType list_mt = mem_.blockMt(head);
+
+    // Coalesce with free buddies up to maxOrder.
+    Pfn curr = head;
+    while (order < maxOrder) {
+        const Pfn buddy = curr ^ (Pfn{1} << order);
+        if (!inRange(buddy) || buddy + (Pfn{1} << order) > end_)
+            break;
+        const PageFrame &bf = frames_.frame(buddy);
+        if (!(bf.isFree() && bf.isHead() && bf.order == order))
+            break;
+        removeFree(buddy);
+        ++stats_.merges;
+        curr = std::min(curr, buddy);
+        ++order;
+    }
+    pushFree(curr, order, list_mt);
+}
+
+Pfn
+BuddyAllocator::allocGigantic(MigrateType mt, AllocSource src,
+                              std::uint64_t owner)
+{
+    const Pfn span = pagesPerGiga;
+    Pfn first = (start_ + span - 1) & ~(span - 1);
+    for (Pfn base = first; base + span <= end_; base += span) {
+        if (!rangeFullyFree(base, base + span))
+            continue;
+        // Remove every free head in the range from the lists.
+        for (Pfn pfn = base; pfn < base + span;) {
+            PageFrame &f = frames_.frame(pfn);
+            ctg_assert(f.isFree() && f.isHead());
+            const Pfn blk = Pfn{1} << f.order;
+            removeFree(pfn);
+            pfn += blk;
+        }
+        for (Pfn pfn = base; pfn < base + span; pfn += pagesPerHuge)
+            mem_.setBlockMt(pfn, mt);
+        markAllocated(base, gigaOrder, mt, src, owner);
+        ++stats_.giganticAllocs;
+        return base;
+    }
+    ++stats_.giganticFailures;
+    return invalidPfn;
+}
+
+bool
+BuddyAllocator::rangeFullyFree(Pfn lo, Pfn hi) const
+{
+    ctg_assert(lo >= start_ && hi <= end_ && lo <= hi);
+    for (Pfn pfn = lo; pfn < hi; ++pfn) {
+        if (!frames_.frame(pfn).isFree())
+            return false;
+    }
+    return true;
+}
+
+void
+BuddyAllocator::splitFreeBlockAt(Pfn cut)
+{
+    if (cut <= start_ || cut >= end_)
+        return;
+    // Find the free head covering `cut`, if it straddles.
+    Pfn pfn = cut;
+    while (pfn > start_ && !frames_.frame(pfn).isHead())
+        --pfn;
+    PageFrame &f = frames_.frame(pfn);
+    if (!f.isFree() || !f.isHead())
+        return;
+    const Pfn blk_end = pfn + (Pfn{1} << f.order);
+    if (blk_end <= cut)
+        return;
+    const MigrateType list_mt = f.migrateType;
+    removeFree(pfn);
+    freeRangeAsBlocks(pfn, cut, list_mt);
+    freeRangeAsBlocks(cut, blk_end, list_mt);
+}
+
+void
+BuddyAllocator::relistFreeRange(Pfn lo, Pfn hi,
+                                MigrateType new_list_mt)
+{
+    for (Pfn pfn = lo; pfn < hi;) {
+        PageFrame &f = frames_.frame(pfn);
+        if (f.isFree() && f.isHead()) {
+            const unsigned order = f.order;
+            ctg_assert(pfn + (Pfn{1} << order) <= hi);
+            if (f.migrateType != new_list_mt) {
+                removeFree(pfn);
+                pushFree(pfn, order, new_list_mt);
+            }
+            pfn += Pfn{1} << order;
+        } else {
+            ++pfn;
+        }
+    }
+}
+
+void
+BuddyAllocator::isolateRange(Pfn lo, Pfn hi)
+{
+    // Max-order alignment guarantees buddy coalescing can never
+    // produce a free block straddling the isolation boundary.
+    constexpr Pfn align = Pfn{1} << maxOrder;
+    ctg_assert(lo % align == 0 && hi % align == 0);
+    ctg_assert(lo >= start_ && hi <= end_);
+    splitFreeBlockAt(lo);
+    splitFreeBlockAt(hi);
+    for (Pfn pfn = lo; pfn < hi; pfn += pagesPerHuge)
+        mem_.setBlockMt(pfn, MigrateType::Isolate);
+    relistFreeRange(lo, hi, MigrateType::Isolate);
+}
+
+void
+BuddyAllocator::unisolateRange(Pfn lo, Pfn hi, MigrateType restore_mt)
+{
+    ctg_assert(lo % pagesPerHuge == 0 && hi % pagesPerHuge == 0);
+    ctg_assert(restore_mt != MigrateType::Isolate);
+    for (Pfn pfn = lo; pfn < hi; pfn += pagesPerHuge)
+        mem_.setBlockMt(pfn, restore_mt);
+    relistFreeRange(lo, hi, restore_mt);
+}
+
+void
+BuddyAllocator::detachRange(Pfn lo, Pfn hi)
+{
+    ctg_assert(lo % pagesPerHuge == 0 && hi % pagesPerHuge == 0);
+    ctg_assert(lo == start_ || hi == end_);
+    ctg_assert(rangeFullyFree(lo, hi));
+
+    // Free blocks may straddle the detach boundary; split such heads
+    // first so every free block lies entirely inside or outside.
+    splitFreeBlockAt(lo);
+    splitFreeBlockAt(hi);
+
+    for (Pfn pfn = lo; pfn < hi;) {
+        PageFrame &f = frames_.frame(pfn);
+        ctg_assert(f.isFree() && f.isHead());
+        const Pfn blk = Pfn{1} << f.order;
+        ctg_assert(pfn + blk <= hi);
+        removeFree(pfn);
+        pfn += blk;
+    }
+
+    if (lo == start_)
+        start_ = hi;
+    else
+        end_ = lo;
+    ctg_assert(start_ <= end_);
+}
+
+void
+BuddyAllocator::attachRange(Pfn lo, Pfn hi, MigrateType block_mt)
+{
+    ctg_assert(lo % pagesPerHuge == 0 && hi % pagesPerHuge == 0);
+    ctg_assert(hi == start_ || lo == end_ || start_ == end_);
+    for (Pfn pfn = lo; pfn < hi; ++pfn) {
+        PageFrame &f = frames_.frame(pfn);
+        ctg_assert(!f.isHead() || f.isFree());
+        f = PageFrame{};
+        f.setFree(true);
+    }
+    for (Pfn pfn = lo; pfn < hi; pfn += pagesPerHuge)
+        mem_.setBlockMt(pfn, block_mt);
+    freeRangeAsBlocks(lo, hi, block_mt);
+    if (start_ == end_) {
+        start_ = lo;
+        end_ = hi;
+    } else if (hi == start_) {
+        start_ = lo;
+    } else {
+        end_ = hi;
+    }
+}
+
+void
+BuddyAllocator::freeRangeAsBlocks(Pfn lo, Pfn hi, MigrateType list_mt)
+{
+    Pfn pfn = lo;
+    while (pfn < hi) {
+        unsigned order = maxOrder;
+        while (order > 0 &&
+               ((pfn & ((Pfn{1} << order) - 1)) != 0 ||
+                pfn + (Pfn{1} << order) > hi)) {
+            --order;
+        }
+        pushFree(pfn, order, list_mt);
+        pfn += Pfn{1} << order;
+    }
+}
+
+std::uint64_t
+BuddyAllocator::freePageCount() const
+{
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : freeCount_)
+        total += c;
+    return total;
+}
+
+std::uint64_t
+BuddyAllocator::freePageCount(MigrateType list_mt) const
+{
+    return freeCount_[mtIndex(list_mt)];
+}
+
+std::uint64_t
+BuddyAllocator::freeBlocks(MigrateType list_mt, unsigned order) const
+{
+    ctg_assert(order <= maxOrder);
+    return blockCount_[mtIndex(list_mt)][order];
+}
+
+int
+BuddyAllocator::largestFreeOrder() const
+{
+    for (int o = static_cast<int>(maxOrder); o >= 0; --o) {
+        for (unsigned mi = 0; mi < numMigrateTypes; ++mi) {
+            if (blockCount_[mi][o] > 0)
+                return o;
+        }
+    }
+    return -1;
+}
+
+void
+BuddyAllocator::checkInvariants() const
+{
+    std::uint64_t free_from_lists[numMigrateTypes] = {};
+    for (unsigned mi = 0; mi < numMigrateTypes; ++mi) {
+        for (unsigned o = 0; o <= maxOrder; ++o) {
+            std::uint64_t blocks = 0;
+            std::uint32_t prev = FrameArray::nil;
+            for (std::uint32_t it = heads_[mi][o];
+                 it != FrameArray::nil; it = frames_.next(it)) {
+                const PageFrame &f = frames_.frame(it);
+                if (!f.isFree() || !f.isHead())
+                    panic("list entry %u not a free head", it);
+                if (f.order != o)
+                    panic("list entry %u order %u on list %u", it,
+                          f.order, o);
+                if (mtIndex(f.migrateType) != mi)
+                    panic("list entry %u mt mismatch", it);
+                if ((it & ((std::uint32_t{1} << o) - 1)) != 0)
+                    panic("free head %u misaligned for order %u", it, o);
+                if (it < start_ || it + (Pfn{1} << o) > end_)
+                    panic("free head %u outside coverage", it);
+                if (frames_.prev(it) != prev)
+                    panic("broken prev link at %u", it);
+                prev = it;
+                ++blocks;
+                free_from_lists[mi] += std::uint64_t{1} << o;
+            }
+            if (blocks != blockCount_[mi][o])
+                panic("block count mismatch mt=%u order=%u", mi, o);
+        }
+    }
+    for (unsigned mi = 0; mi < numMigrateTypes; ++mi) {
+        if (free_from_lists[mi] != freeCount_[mi])
+            panic("free count mismatch for mt=%u", mi);
+    }
+}
+
+} // namespace ctg

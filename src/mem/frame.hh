@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Per-page-frame metadata (struct page analogue) and the frame array.
+ *
+ * The FrameArray owns the metadata for every physical frame of a
+ * simulated server plus the intrusive free-list links used by the
+ * buddy allocator. It is deliberately compact (24 bytes of metadata
+ * plus 8 bytes of links per frame) so 64 GB servers — 16.7 M frames —
+ * remain cheap to simulate.
+ */
+
+#ifndef CTG_MEM_FRAME_HH
+#define CTG_MEM_FRAME_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+#include "mem/migratetype.hh"
+
+namespace ctg
+{
+
+/** Per-frame metadata. Field meanings depend on the state bits:
+ *  a frame is either free (possibly the head of a buddy block) or
+ *  allocated (possibly the head of a multi-page allocation). */
+struct PageFrame
+{
+    /** Opaque handle identifying the owner of an allocated page
+     * (process/vpn for user pages, subsystem object for kernel). */
+    std::uint64_t owner = 0;
+
+    /** Tick at which the current allocation was made. */
+    std::uint32_t allocSecond = 0;
+
+    std::uint8_t flags = 0;
+    std::uint8_t order = 0; //!< block order if head (free or allocated)
+    MigrateType migrateType = MigrateType::Movable;
+    AllocSource source = AllocSource::User;
+
+    static constexpr std::uint8_t FlagFree = 1 << 0;
+    static constexpr std::uint8_t FlagHead = 1 << 1;
+    static constexpr std::uint8_t FlagPinned = 1 << 2;
+    static constexpr std::uint8_t FlagMigrating = 1 << 3;
+
+    bool isFree() const { return flags & FlagFree; }
+    bool isHead() const { return flags & FlagHead; }
+    bool isPinned() const { return flags & FlagPinned; }
+    bool isMigrating() const { return flags & FlagMigrating; }
+
+    void setFree(bool v) { setFlag(FlagFree, v); }
+    void setHead(bool v) { setFlag(FlagHead, v); }
+    void setPinned(bool v) { setFlag(FlagPinned, v); }
+    void setMigrating(bool v) { setFlag(FlagMigrating, v); }
+
+    /** An allocated frame counts as unmovable if its migratetype is
+     * Unmovable/Reclaimable (kernel memory) or it is pinned. */
+    bool
+    isUnmovableAllocation() const
+    {
+        if (isFree())
+            return false;
+        return migrateType != MigrateType::Movable || isPinned();
+    }
+
+  private:
+    void
+    setFlag(std::uint8_t bit, bool v)
+    {
+        if (v)
+            flags |= bit;
+        else
+            flags &= static_cast<std::uint8_t>(~bit);
+    }
+};
+
+/**
+ * Metadata for all frames of a simulated machine plus intrusive
+ * doubly-linked free-list link storage (32-bit indices).
+ */
+class FrameArray
+{
+  public:
+    /** Link index sentinel meaning "end of list". */
+    static constexpr std::uint32_t nil = 0xffffffffu;
+
+    explicit FrameArray(std::uint64_t num_frames)
+        : frames_(num_frames), next_(num_frames, nil),
+          prev_(num_frames, nil)
+    {
+        ctg_assert(num_frames < nil);
+    }
+
+    std::uint64_t size() const { return frames_.size(); }
+
+    PageFrame &
+    frame(Pfn pfn)
+    {
+        ctg_assert(pfn < frames_.size());
+        return frames_[pfn];
+    }
+
+    const PageFrame &
+    frame(Pfn pfn) const
+    {
+        ctg_assert(pfn < frames_.size());
+        return frames_[pfn];
+    }
+
+    std::uint32_t &next(Pfn pfn) { return next_[pfn]; }
+    std::uint32_t &prev(Pfn pfn) { return prev_[pfn]; }
+
+  private:
+    std::vector<PageFrame> frames_;
+    std::vector<std::uint32_t> next_;
+    std::vector<std::uint32_t> prev_;
+};
+
+} // namespace ctg
+
+#endif // CTG_MEM_FRAME_HH

@@ -1,0 +1,44 @@
+#include "mem/migratetype.hh"
+
+namespace ctg
+{
+
+const char *
+migrateTypeName(MigrateType mt)
+{
+    switch (mt) {
+      case MigrateType::Movable:
+        return "movable";
+      case MigrateType::Unmovable:
+        return "unmovable";
+      case MigrateType::Reclaimable:
+        return "reclaimable";
+      case MigrateType::Isolate:
+        return "isolate";
+    }
+    return "?";
+}
+
+const char *
+allocSourceName(AllocSource src)
+{
+    switch (src) {
+      case AllocSource::User:
+        return "user";
+      case AllocSource::Networking:
+        return "networking";
+      case AllocSource::Slab:
+        return "slab";
+      case AllocSource::Filesystem:
+        return "filesystem";
+      case AllocSource::PageTables:
+        return "page tables";
+      case AllocSource::KernelText:
+        return "kernel text";
+      case AllocSource::Other:
+        return "others";
+    }
+    return "?";
+}
+
+} // namespace ctg

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Allocation mobility classes and allocation-source tags.
+ *
+ * MigrateType mirrors the Linux page allocator's migratetypes: the
+ * buddy allocator keeps separate free lists per type and only mixes
+ * them through the fallback (pageblock stealing) path — which is
+ * exactly the mechanism the paper identifies as the root cause of
+ * unmovable scattering (Section 2.5).
+ *
+ * AllocSource tags every allocation with the kernel subsystem that
+ * requested it so the Figure 6 source breakdown can be reproduced by
+ * scanning the frame array.
+ */
+
+#ifndef CTG_MEM_MIGRATETYPE_HH
+#define CTG_MEM_MIGRATETYPE_HH
+
+#include <cstdint>
+
+namespace ctg
+{
+
+/** Mobility class of an allocation (Linux migratetype analogue). */
+enum class MigrateType : std::uint8_t
+{
+    Movable = 0,     //!< user pages; can be migrated by compaction
+    Unmovable = 1,   //!< kernel pages addressed via the linear map
+    Reclaimable = 2, //!< slab/page-cache pages freeable under pressure
+    Isolate = 3,     //!< quarantined pageblocks (region resizing);
+                     //!< never allocated from, like MIGRATE_ISOLATE
+};
+
+constexpr unsigned numMigrateTypes = 4;
+
+/** Subsystem that performed an allocation (for Figure 6). */
+enum class AllocSource : std::uint8_t
+{
+    User = 0,       //!< anonymous / file-backed application memory
+    Networking = 1, //!< skb send/receive buffers, pinned RDMA regions
+    Slab = 2,       //!< kernel small-object allocator backing pages
+    Filesystem = 3, //!< fs compression/decompression buffers
+    PageTables = 4, //!< radix page-table pages
+    KernelText = 5, //!< kernel code/static data (boot-time, immortal)
+    Other = 6,      //!< everything else (drivers, per-cpu, ...)
+};
+
+constexpr unsigned numAllocSources = 7;
+
+/** Human-readable migratetype name. */
+const char *migrateTypeName(MigrateType mt);
+
+/** Human-readable source name. */
+const char *allocSourceName(AllocSource src);
+
+/** Whether a source is unmovable by construction (vs. pinned later). */
+constexpr bool
+sourceIsKernel(AllocSource src)
+{
+    return src != AllocSource::User;
+}
+
+} // namespace ctg
+
+#endif // CTG_MEM_MIGRATETYPE_HH

@@ -1,0 +1,18 @@
+#include "mem/physmem.hh"
+
+#include "base/logging.hh"
+
+namespace ctg
+{
+
+PhysMem::PhysMem(std::uint64_t bytes)
+    : numFrames_(bytes / pageBytes),
+      frames_(bytes / pageBytes),
+      blockMt_((bytes / pageBytes) >> hugeOrder, MigrateType::Movable)
+{
+    if (bytes == 0 || bytes % hugeBytes != 0)
+        fatal("memory capacity must be a multiple of 2 MiB, got %llu",
+              static_cast<unsigned long long>(bytes));
+}
+
+} // namespace ctg

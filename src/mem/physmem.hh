@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Machine-wide physical memory state shared by all allocators.
+ *
+ * PhysMem owns the frame metadata array and the per-pageblock
+ * migratetype tags (2 MB pageblocks, like Linux). Buddy allocator
+ * instances cover disjoint PFN ranges of a single PhysMem; the
+ * Contiguitas region manager splits one PhysMem between a movable and
+ * an unmovable allocator and moves the boundary between them.
+ */
+
+#ifndef CTG_MEM_PHYSMEM_HH
+#define CTG_MEM_PHYSMEM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "mem/frame.hh"
+#include "mem/migratetype.hh"
+
+namespace ctg
+{
+
+/** Shared physical memory state of one simulated server. */
+class PhysMem
+{
+  public:
+    /** Construct a machine with the given memory capacity. Capacity
+     * must be a whole number of pageblocks (2 MB). */
+    explicit PhysMem(std::uint64_t bytes);
+
+    std::uint64_t totalBytes() const { return numFrames_ * pageBytes; }
+    std::uint64_t numFrames() const { return numFrames_; }
+    std::uint64_t numPageblocks() const { return blockMt_.size(); }
+
+    FrameArray &frames() { return frames_; }
+    const FrameArray &frames() const { return frames_; }
+
+    PageFrame &frame(Pfn pfn) { return frames_.frame(pfn); }
+    const PageFrame &frame(Pfn pfn) const { return frames_.frame(pfn); }
+
+    /** Pageblock index containing a PFN. */
+    static std::uint64_t
+    blockIndex(Pfn pfn)
+    {
+        return pfn >> hugeOrder;
+    }
+
+    /** Migratetype tag of the pageblock containing pfn. */
+    MigrateType
+    blockMt(Pfn pfn) const
+    {
+        return blockMt_[blockIndex(pfn)];
+    }
+
+    void
+    setBlockMt(Pfn pfn, MigrateType mt)
+    {
+        blockMt_[blockIndex(pfn)] = mt;
+    }
+
+    /** Wall-clock second used to stamp allocations (set by drivers). */
+    std::uint32_t nowSeconds = 0;
+
+  private:
+    std::uint64_t numFrames_;
+    FrameArray frames_;
+    std::vector<MigrateType> blockMt_;
+};
+
+} // namespace ctg
+
+#endif // CTG_MEM_PHYSMEM_HH

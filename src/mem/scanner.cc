@@ -1,0 +1,175 @@
+#include "mem/scanner.hh"
+
+#include "base/logging.hh"
+
+namespace ctg
+{
+namespace scan
+{
+
+namespace
+{
+
+/** Align lo up and hi down to the block size; returns false if the
+ * range contains no aligned block. */
+bool
+alignRange(Pfn &lo, Pfn &hi, unsigned order)
+{
+    const Pfn span = Pfn{1} << order;
+    lo = (lo + span - 1) & ~(span - 1);
+    hi = hi & ~(span - 1);
+    return lo < hi;
+}
+
+} // namespace
+
+std::uint64_t
+freePages(const PhysMem &mem, Pfn lo, Pfn hi)
+{
+    std::uint64_t count = 0;
+    for (Pfn pfn = lo; pfn < hi; ++pfn) {
+        if (mem.frame(pfn).isFree())
+            ++count;
+    }
+    return count;
+}
+
+std::uint64_t
+freeAlignedBlocks(const PhysMem &mem, Pfn lo, Pfn hi, unsigned order)
+{
+    if (!alignRange(lo, hi, order))
+        return 0;
+    const Pfn span = Pfn{1} << order;
+    std::uint64_t blocks = 0;
+    for (Pfn base = lo; base < hi; base += span) {
+        bool all_free = true;
+        for (Pfn pfn = base; pfn < base + span; ++pfn) {
+            if (!mem.frame(pfn).isFree()) {
+                all_free = false;
+                // Skip ahead: nothing before the next block boundary
+                // can start a free block.
+                break;
+            }
+        }
+        if (all_free)
+            ++blocks;
+    }
+    return blocks;
+}
+
+double
+freeContiguityFraction(const PhysMem &mem, Pfn lo, Pfn hi,
+                       unsigned order)
+{
+    const std::uint64_t free_total = freePages(mem, lo, hi);
+    if (free_total == 0)
+        return 0.0;
+    const std::uint64_t blocks = freeAlignedBlocks(mem, lo, hi, order);
+    const std::uint64_t pages_in_blocks = blocks << order;
+    return static_cast<double>(pages_in_blocks) /
+           static_cast<double>(free_total);
+}
+
+double
+unmovableBlockFraction(const PhysMem &mem, Pfn lo, Pfn hi,
+                       unsigned order)
+{
+    if (!alignRange(lo, hi, order))
+        return 0.0;
+    const Pfn span = Pfn{1} << order;
+    std::uint64_t total = 0;
+    std::uint64_t tainted = 0;
+    for (Pfn base = lo; base < hi; base += span) {
+        ++total;
+        for (Pfn pfn = base; pfn < base + span; ++pfn) {
+            if (mem.frame(pfn).isUnmovableAllocation()) {
+                ++tainted;
+                break;
+            }
+        }
+    }
+    return static_cast<double>(tainted) / static_cast<double>(total);
+}
+
+double
+potentialContiguityFraction(const PhysMem &mem, Pfn lo, Pfn hi,
+                            unsigned order)
+{
+    const Pfn range_pages = hi - lo;
+    if (range_pages == 0)
+        return 0.0;
+    Pfn alo = lo, ahi = hi;
+    if (!alignRange(alo, ahi, order))
+        return 0.0;
+    const Pfn span = Pfn{1} << order;
+    std::uint64_t clean_pages = 0;
+    for (Pfn base = alo; base < ahi; base += span) {
+        bool clean = true;
+        for (Pfn pfn = base; pfn < base + span; ++pfn) {
+            if (mem.frame(pfn).isUnmovableAllocation()) {
+                clean = false;
+                break;
+            }
+        }
+        if (clean)
+            clean_pages += span;
+    }
+    return static_cast<double>(clean_pages) /
+           static_cast<double>(range_pages);
+}
+
+double
+unmovablePageRatio(const PhysMem &mem, Pfn lo, Pfn hi)
+{
+    ctg_assert(hi > lo);
+    std::uint64_t unmovable = 0;
+    for (Pfn pfn = lo; pfn < hi; ++pfn) {
+        if (mem.frame(pfn).isUnmovableAllocation())
+            ++unmovable;
+    }
+    return static_cast<double>(unmovable) /
+           static_cast<double>(hi - lo);
+}
+
+std::array<std::uint64_t, numAllocSources>
+unmovableBySource(const PhysMem &mem, Pfn lo, Pfn hi)
+{
+    std::array<std::uint64_t, numAllocSources> counts{};
+    for (Pfn pfn = lo; pfn < hi; ++pfn) {
+        const PageFrame &f = mem.frame(pfn);
+        if (f.isUnmovableAllocation())
+            ++counts[static_cast<unsigned>(f.source)];
+    }
+    return counts;
+}
+
+double
+meanFreeShareOfUnmovableBlocks(const PhysMem &mem, Pfn lo, Pfn hi)
+{
+    Pfn alo = lo, ahi = hi;
+    if (!alignRange(alo, ahi, order2M))
+        return 0.0;
+    const Pfn span = Pfn{1} << order2M;
+    std::uint64_t blocks = 0;
+    double free_share_sum = 0.0;
+    for (Pfn base = alo; base < ahi; base += span) {
+        std::uint64_t free_count = 0;
+        bool has_unmovable = false;
+        for (Pfn pfn = base; pfn < base + span; ++pfn) {
+            const PageFrame &f = mem.frame(pfn);
+            if (f.isFree())
+                ++free_count;
+            else if (f.isUnmovableAllocation())
+                has_unmovable = true;
+        }
+        if (has_unmovable) {
+            ++blocks;
+            free_share_sum += static_cast<double>(free_count) /
+                              static_cast<double>(span);
+        }
+    }
+    return blocks ? free_share_sum / static_cast<double>(blocks) : 0.0;
+}
+
+} // namespace scan
+} // namespace ctg

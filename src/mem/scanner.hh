@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Physical-memory scans reproducing the paper's measurement
+ * methodology (Sections 2.4, 2.5, 5.2): full scans of a server's
+ * frame array computing contiguity availability, unmovable-block
+ * contamination, potential post-compaction contiguity, and the
+ * per-source unmovable breakdown.
+ */
+
+#ifndef CTG_MEM_SCANNER_HH
+#define CTG_MEM_SCANNER_HH
+
+#include <array>
+#include <cstdint>
+
+#include "base/types.hh"
+#include "mem/physmem.hh"
+
+namespace ctg
+{
+namespace scan
+{
+
+/** Orders of the block sizes the paper reports on. */
+constexpr unsigned order2M = hugeOrder;       // 9
+constexpr unsigned order4M = hugeOrder + 1;   // 10
+constexpr unsigned order32M = hugeOrder + 4;  // 13
+constexpr unsigned order1G = gigaOrder;       // 18
+
+/** Number of free 4 KB frames in [lo, hi). */
+std::uint64_t freePages(const PhysMem &mem, Pfn lo, Pfn hi);
+
+/**
+ * Figure 4 metric: fraction of *free memory* that sits inside
+ * fully-free aligned blocks of the given order. 0 when no memory is
+ * free.
+ */
+double freeContiguityFraction(const PhysMem &mem, Pfn lo, Pfn hi,
+                              unsigned order);
+
+/** Count of fully-free aligned blocks of the given order. */
+std::uint64_t freeAlignedBlocks(const PhysMem &mem, Pfn lo, Pfn hi,
+                                unsigned order);
+
+/**
+ * Figure 5 / Figure 11 metric: fraction of aligned blocks of the
+ * given order that contain at least one unmovable page (kernel
+ * migratetype or pinned).
+ */
+double unmovableBlockFraction(const PhysMem &mem, Pfn lo, Pfn hi,
+                              unsigned order);
+
+/**
+ * Figure 12 metric: fraction of total memory in aligned blocks
+ * containing *no* unmovable page — the contiguity a perfect software
+ * compaction could recover.
+ */
+double potentialContiguityFraction(const PhysMem &mem, Pfn lo, Pfn hi,
+                                   unsigned order);
+
+/** Ratio of unmovable 4 KB pages to all pages (Section 2.5: 7.6%). */
+double unmovablePageRatio(const PhysMem &mem, Pfn lo, Pfn hi);
+
+/** Unmovable page counts keyed by AllocSource (Figure 6). */
+std::array<std::uint64_t, numAllocSources>
+unmovableBySource(const PhysMem &mem, Pfn lo, Pfn hi);
+
+/**
+ * Section 5.2 internal-fragmentation metric: among 2 MB blocks that
+ * contain at least one unmovable page in [lo, hi), the mean fraction
+ * of *free* pages per block (paper: 22% inside the unmovable region).
+ */
+double meanFreeShareOfUnmovableBlocks(const PhysMem &mem, Pfn lo,
+                                      Pfn hi);
+
+} // namespace scan
+} // namespace ctg
+
+#endif // CTG_MEM_SCANNER_HH

@@ -1,0 +1,37 @@
+#include "perfmodel/hwgen.hh"
+
+namespace ctg
+{
+
+std::vector<HwGeneration>
+hwGenerations()
+{
+    // Capacity trend ~8x over five generations with essentially
+    // stagnant TLB entry counts (Section 2.2).
+    const std::uint64_t gen1 = std::uint64_t{64} << 30;
+    return {
+        {"Gen 1", 1.0, gen1, 1536},
+        {"Gen 2", 1.9,
+         static_cast<std::uint64_t>(1.9 * static_cast<double>(gen1)),
+         1536},
+        {"Gen 3", 3.3,
+         static_cast<std::uint64_t>(3.3 * static_cast<double>(gen1)),
+         2048},
+        {"Gen 4", 5.6,
+         static_cast<std::uint64_t>(5.6 * static_cast<double>(gen1)),
+         2048},
+        {"Gen 5", 7.9,
+         static_cast<std::uint64_t>(7.9 * static_cast<double>(gen1)),
+         2048},
+    };
+}
+
+double
+tlbCoverage(const HwGeneration &gen, std::uint64_t page_bytes)
+{
+    const double mapped = static_cast<double>(gen.tlbEntries) *
+                          static_cast<double>(page_bytes);
+    return mapped / static_cast<double>(gen.capacityBytes);
+}
+
+} // namespace ctg

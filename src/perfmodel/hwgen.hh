@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Hardware-generation trends (Figure 2): memory capacity grows ~8x
+ * across five server generations while TLB entry counts stay in the
+ * low thousands, so TLB coverage — the fraction of memory the TLB
+ * can map — collapses unless page sizes grow.
+ */
+
+#ifndef CTG_PERFMODEL_HWGEN_HH
+#define CTG_PERFMODEL_HWGEN_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace ctg
+{
+
+/** One server generation. */
+struct HwGeneration
+{
+    const char *name;
+    /** Memory capacity relative to Gen 1. */
+    double relativeCapacity;
+    /** Absolute capacity (Gen 1 = 64 GB). */
+    std::uint64_t capacityBytes;
+    /** Total data-TLB entries. */
+    unsigned tlbEntries;
+};
+
+/** The five generations of the paper's Figure 2. */
+std::vector<HwGeneration> hwGenerations();
+
+/** TLB coverage (mapped bytes / capacity) for a page size. */
+double tlbCoverage(const HwGeneration &gen, std::uint64_t page_bytes);
+
+} // namespace ctg
+
+#endif // CTG_PERFMODEL_HWGEN_HH

@@ -1,0 +1,99 @@
+#include "perfmodel/walkmodel.hh"
+
+#include "hw/core.hh"
+#include "kernel/addrspace.hh"
+
+namespace ctg
+{
+
+namespace
+{
+
+/** Fault a region in with the requested page-size mix. */
+void
+backRegionMixed(AddressSpace &space, Addr base, std::uint64_t bytes,
+                const BackingMix &mix, Rng &rng)
+{
+    Addr pos = base;
+    std::uint64_t remaining = bytes;
+
+    for (unsigned g = 0; g < mix.gigaPages && remaining >= gigaBytes;
+         ++g) {
+        if (space.backWithGigantic(pos)) {
+            pos += gigaBytes;
+            remaining -= gigaBytes;
+        } else {
+            break;
+        }
+    }
+
+    while (remaining >= hugeBytes) {
+        if (mix.hugeFraction > 0.0 && rng.chance(mix.hugeFraction)) {
+            space.touchRange(pos, hugeBytes);
+        } else {
+            // Page-wise touches force 4 KB backing.
+            for (Addr off = 0; off < hugeBytes; off += pageBytes)
+                space.touchRange(pos + off, pageBytes);
+        }
+        pos += hugeBytes;
+        remaining -= hugeBytes;
+    }
+    for (Addr off = 0; off < remaining; off += pageBytes)
+        space.touchRange(pos + off, pageBytes);
+}
+
+} // namespace
+
+WalkMeasurement
+measureWalkCycles(const AccessProfile &profile,
+                  const BackingMix &data_mix,
+                  const BackingMix &code_mix, std::uint64_t ops,
+                  std::uint64_t seed)
+{
+    // A machine big enough to back both footprints with slack.
+    KernelConfig kc;
+    const std::uint64_t need =
+        profile.dataBytes + profile.codeBytes;
+    kc.memBytes = ((need + (need / 4) + gigaBytes) + hugeBytes - 1) &
+                  ~(hugeBytes - 1);
+    kc.kernelTextBytes = std::uint64_t{8} << 20;
+    kc.thpEnabled = true;
+    kc.seed = seed;
+    Kernel kernel(kc);
+    AddressSpace space(kernel, 1);
+    Rng rng(seed ^ 0xacce55);
+
+    const Addr data_base = space.mmap(profile.dataBytes);
+    const Addr code_base = space.mmap(profile.codeBytes);
+    backRegionMixed(space, data_base, profile.dataBytes, data_mix,
+                    rng);
+    backRegionMixed(space, code_base, profile.codeBytes, code_mix,
+                    rng);
+
+    HwSystem hw;
+    AccessStream stream(profile, data_base, code_base, seed ^ 0x57);
+    Core core(hw, 0, space.pageTables(), profile.computePerOp);
+    std::uint64_t token = 0;
+    const Core::TraceFn trace = [&stream, &token]() {
+        Core::Op op;
+        op.codeAddr = stream.nextCode();
+        op.dataAddr = stream.nextData(&op.isWrite);
+        op.writeValue = token++;
+        return op;
+    };
+
+    core.warmup(trace, ops / 8 + 1);
+    core.run(trace, ops);
+
+    WalkMeasurement m;
+    const Core::Stats &stats = core.stats();
+    m.totalCycles = stats.totalCycles;
+    m.instrWalkCycles = stats.instrWalkCycles;
+    m.dataWalkCycles = stats.dataWalkCycles;
+    m.ops = stats.ops;
+    m.dataWalkFrac = stats.dataWalkFrac();
+    m.instrWalkFrac = stats.instrWalkFrac();
+    return m;
+}
+
+} // namespace ctg

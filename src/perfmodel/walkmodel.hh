@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Page-walk cycle measurement (Figure 3) and the end-to-end
+ * performance model (Figure 10).
+ *
+ * A service's instruction and data streams run through the simulated
+ * TLB hierarchy against address spaces backed with a configurable
+ * page-size mix; walk cycles fall out of the simulation. For
+ * Figure 10 the mix is whatever the memory-layout simulation says
+ * each kernel managed to allocate (huge-page coverage), closing the
+ * loop between fragmentation and end-to-end performance.
+ */
+
+#ifndef CTG_PERFMODEL_WALKMODEL_HH
+#define CTG_PERFMODEL_WALKMODEL_HH
+
+#include "hw/system.hh"
+#include "workloads/access_gen.hh"
+
+namespace ctg
+{
+
+/** How a region is backed for a measurement. */
+struct BackingMix
+{
+    /** 1 GB pages backing the start of the data region. */
+    unsigned gigaPages = 0;
+    /** Probability that a remaining 2 MB chunk gets a huge page. */
+    double hugeFraction = 0.0;
+};
+
+/** Result of one walk-cycle measurement. */
+struct WalkMeasurement
+{
+    double dataWalkFrac = 0.0;  //!< data walk cycles / total cycles
+    double instrWalkFrac = 0.0; //!< instr walk cycles / total
+    Cycles totalCycles = 0;
+    Cycles dataWalkCycles = 0;
+    Cycles instrWalkCycles = 0;
+    std::uint64_t ops = 0;
+
+    double
+    totalWalkFrac() const
+    {
+        return dataWalkFrac + instrWalkFrac;
+    }
+
+    /** Cycles per operation (for relative-performance ratios). */
+    double
+    cpo() const
+    {
+        return ops == 0 ? 0.0
+                        : static_cast<double>(totalCycles) /
+                              static_cast<double>(ops);
+    }
+};
+
+/**
+ * Run an instruction+data reference stream against the TLB
+ * hierarchy with the given backing mixes.
+ *
+ * @param profile reference-behaviour parameters
+ * @param data_mix page-size mix for the data region
+ * @param code_mix page-size mix for the code region
+ * @param ops measured operations (after warmup)
+ */
+WalkMeasurement measureWalkCycles(const AccessProfile &profile,
+                                  const BackingMix &data_mix,
+                                  const BackingMix &code_mix,
+                                  std::uint64_t ops,
+                                  std::uint64_t seed);
+
+} // namespace ctg
+
+#endif // CTG_PERFMODEL_WALKMODEL_HH

@@ -1,0 +1,30 @@
+#include "sim/eventq.hh"
+
+namespace ctg
+{
+
+bool
+EventQueue::step()
+{
+    if (heap_.empty())
+        return false;
+    // priority_queue::top() is const; move out via const_cast, which is
+    // safe because we pop immediately afterwards.
+    Entry entry = std::move(const_cast<Entry &>(heap_.top()));
+    heap_.pop();
+    ctg_assert(entry.when >= now_);
+    now_ = entry.when;
+    entry.callback();
+    return true;
+}
+
+void
+EventQueue::run(Tick limit)
+{
+    while (!heap_.empty() && heap_.top().when <= limit) {
+        if (!step())
+            break;
+    }
+}
+
+} // namespace ctg

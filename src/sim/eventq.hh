@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * A single EventQueue orders callbacks by (tick, priority, sequence).
+ * Sequence numbers make scheduling deterministic: two events scheduled
+ * for the same tick and priority fire in the order they were scheduled,
+ * so a given seed always reproduces the same simulation.
+ */
+
+#ifndef CTG_SIM_EVENTQ_HH
+#define CTG_SIM_EVENTQ_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace ctg
+{
+
+/** Priority classes; lower values fire first within a tick. */
+enum class EventPriority : int
+{
+    HardwareResponse = 0,
+    Default = 10,
+    Maintenance = 20,
+};
+
+/**
+ * Tick-ordered event queue with deterministic tie-breaking.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule a callback at an absolute tick (>= now). */
+    void
+    scheduleAt(Tick when, Callback cb,
+               EventPriority prio = EventPriority::Default)
+    {
+        ctg_assert(when >= now_);
+        heap_.push(Entry{when, static_cast<int>(prio), seq_++,
+                         std::move(cb)});
+    }
+
+    /** Schedule a callback a relative number of ticks in the future. */
+    void
+    schedule(Tick delay, Callback cb,
+             EventPriority prio = EventPriority::Default)
+    {
+        scheduleAt(now_ + delay, std::move(cb), prio);
+    }
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t pending() const { return heap_.size(); }
+
+    /** Execute the single next event; returns false if none remain. */
+    bool step();
+
+    /** Run until the queue drains or the tick limit is exceeded. */
+    void run(Tick limit = ~Tick{0});
+
+    /** Advance time without executing events (for idle phases). */
+    void
+    advanceTo(Tick when)
+    {
+        ctg_assert(when >= now_);
+        ctg_assert(heap_.empty() || heap_.top().when >= when);
+        now_ = when;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        Callback callback;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            if (priority != other.priority)
+                return priority > other.priority;
+            return seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+};
+
+} // namespace ctg
+
+#endif // CTG_SIM_EVENTQ_HH

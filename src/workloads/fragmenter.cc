@@ -1,0 +1,80 @@
+#include "workloads/fragmenter.hh"
+
+namespace ctg
+{
+
+Fragmenter::Fragmenter(Kernel &kernel, Config config,
+                       std::uint64_t seed)
+    : kernel_(kernel), config_(config), rng_(seed)
+{}
+
+Fragmenter::~Fragmenter()
+{
+    for (const Pfn head : sprinkles_)
+        kernel_.freePages(head);
+}
+
+void
+Fragmenter::run()
+{
+    // Phase 1: fill memory with single user pages so the free lists
+    // hold only scattered fragments.
+    AddressSpace space(kernel_, 0xf7a6);
+    const auto target = static_cast<std::uint64_t>(
+        config_.fillFrac *
+        static_cast<double>(kernel_.mem().numFrames()));
+    std::vector<Addr> regions;
+    std::uint64_t backed = 0;
+    // Sub-huge regions force 4 KB backing even with THP on.
+    const std::uint64_t region_bytes = 64 * pageBytes;
+    while (backed + region_bytes / pageBytes <= target) {
+        const Addr base = space.mmap(region_bytes);
+        const std::uint64_t got =
+            space.touchRange(base, region_bytes);
+        regions.push_back(base);
+        backed += got;
+        if (got == 0)
+            break;
+    }
+
+    // Phase 2: with memory nearly full, the free lists hold only
+    // scattered fragments. Interleave unmovable sprinkles with small
+    // user releases so every sprinkle lands in a different fragment
+    // — exactly the worst case production converges to.
+    const auto sprinkle_target = static_cast<std::uint64_t>(
+        config_.unmovableFrac *
+        static_cast<double>(kernel_.mem().numFrames()));
+    // Shuffle region order.
+    for (std::size_t i = regions.size(); i > 1; --i) {
+        const std::size_t j = rng_.below(i);
+        std::swap(regions[i - 1], regions[j]);
+    }
+    std::size_t next_region = 0;
+    while (sprinkles_.size() < sprinkle_target) {
+        AllocRequest req;
+        req.order = 0;
+        req.mt = MigrateType::Unmovable;
+        req.source = rng_.chance(0.7) ? AllocSource::Networking
+                                      : AllocSource::Slab;
+        req.lifetime = Lifetime::Long;
+        const Pfn pfn = kernel_.allocPages(req);
+        if (pfn != invalidPfn)
+            sprinkles_.push_back(pfn);
+        // Release one small region per `interleave` sprinkles to
+        // keep a trickle of scattered free slots available.
+        if ((pfn == invalidPfn ||
+             sprinkles_.size() % config_.interleave == 0) &&
+            next_region < regions.size()) {
+            space.munmap(regions[next_region++]);
+        }
+        if (pfn == invalidPfn && next_region >= regions.size())
+            break;
+    }
+
+    // Phase 3: the fragmentation process exits — all its user memory
+    // goes back, leaving the sprinkles strewn across the machine.
+    for (std::size_t i = next_region; i < regions.size(); ++i)
+        space.munmap(regions[i]);
+}
+
+} // namespace ctg

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fragmentation pretreatment (Section 5.1's "Full Fragmentation"
+ * setup): fill memory with 4 KB user pages, sprinkle long-lived
+ * unmovable kernel allocations into the gaps (they land scattered
+ * through migratetype fallback), then release the user pages. What
+ * remains is the production pathology: nearly every 2 MB block
+ * contaminated by an unmovable page, so a vanilla kernel cannot form
+ * huge pages no matter how much memory is free.
+ */
+
+#ifndef CTG_WORKLOADS_FRAGMENTER_HH
+#define CTG_WORKLOADS_FRAGMENTER_HH
+
+#include <memory>
+#include <vector>
+
+#include "base/rng.hh"
+#include "kernel/addrspace.hh"
+
+namespace ctg
+{
+
+/**
+ * Applies and holds a fragmentation pretreatment. The sprinkled
+ * unmovable allocations stay alive while this object lives.
+ */
+class Fragmenter
+{
+  public:
+    struct Config
+    {
+        /** Fraction of memory filled with user pages first. */
+        double fillFrac = 0.99;
+        /** Unmovable pages sprinkled, as a fraction of all pages. */
+        double unmovableFrac = 0.02;
+        /** Interleave granularity: user pages released between
+         * consecutive sprinkles. */
+        unsigned interleave = 2;
+    };
+
+    Fragmenter(Kernel &kernel, Config config, std::uint64_t seed);
+    ~Fragmenter();
+
+    Fragmenter(const Fragmenter &) = delete;
+    Fragmenter &operator=(const Fragmenter &) = delete;
+
+    /** Run the pretreatment. */
+    void run();
+
+    std::uint64_t sprinkledPages() const { return sprinkles_.size(); }
+
+  private:
+    Kernel &kernel_;
+    Config config_;
+    Rng rng_;
+    std::vector<Pfn> sprinkles_;
+};
+
+} // namespace ctg
+
+#endif // CTG_WORKLOADS_FRAGMENTER_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Workload profiles calibrated to the paper's production services.
+ *
+ * Each profile parameterizes the synthetic driver (Workload) for one
+ * of the services the evaluation uses: Web (large code + large
+ * heap, request churn), Cache A / Cache B (in-memory caches, huge
+ * resident sets, heavy networking), CI (build/test jobs: whole
+ * address spaces created and destroyed), NGINX and memcached (the
+ * open-source proxies used for the hardware evaluation). Rates scale
+ * with machine memory so the same profile drives servers of
+ * different simulated sizes.
+ */
+
+#ifndef CTG_WORKLOADS_PROFILE_HH
+#define CTG_WORKLOADS_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "kernel/fsbuffers.hh"
+#include "kernel/netstack.hh"
+#include "workloads/slab_churn.hh"
+
+namespace ctg
+{
+
+/** Identifier of a calibrated profile. */
+enum class WorkloadKind
+{
+    Web,
+    CacheA,
+    CacheB,
+    CI,
+    Nginx,
+    Memcached,
+};
+
+/** All tunables of one synthetic service. */
+struct WorkloadProfile
+{
+    std::string name;
+    WorkloadKind kind = WorkloadKind::Web;
+
+    /** Fraction of physical memory the application keeps resident. */
+    double residentFrac = 0.70;
+    /** Number of simulated processes sharing the footprint. */
+    unsigned processes = 4;
+    /** Fraction of the resident set released+refaulted per second
+     * (request churn / code deploys). */
+    double heapChurnFracPerSec = 0.01;
+    /** CI-style job turnover: address spaces destroyed/recreated per
+     * second (0 for long-running services). */
+    double jobTurnoverPerSec = 0.0;
+
+    NetStack::Config net;
+    FsBuffers::Config fs;
+    SlabChurn::Config slab;
+    /** Miscellaneous unmovable kernel churn (drivers, per-cpu). */
+    double miscRatePerSec = 300.0;
+    double miscLongFrac = 0.05;
+
+    /** Resident kernel growth: allocations that persist for the
+     * whole run (dentry/inode caches, conntrack, socket structs).
+     * They accrete one by one under whatever memory conditions hold
+     * at that moment — which is why they end up scattered across
+     * the address space. */
+    double residentKernelFrac = 0.032; //!< cap, fraction of pages
+    double residentKernelPagesPerSec = 0.0; //!< fill rate (scaled)
+
+    /** khugepaged promotion budget (2 MB collapses per second,
+     * split across processes). */
+    double khugepagedChunksPerSec = 64.0;
+
+    /** Zero-copy pinning of user pages (pages per second). */
+    double pinRatePerSec = 0.0;
+    double pinMeanLifeSec = 20.0;
+};
+
+/**
+ * Calibrated profile for a service on a machine of the given size.
+ * Kernel-churn rates scale linearly with memory so the unmovable
+ * footprint fraction stays machine-size invariant.
+ */
+WorkloadProfile makeProfile(WorkloadKind kind,
+                            std::uint64_t mem_bytes);
+
+const char *workloadName(WorkloadKind kind);
+
+} // namespace ctg
+
+#endif // CTG_WORKLOADS_PROFILE_HH

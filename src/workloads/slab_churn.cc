@@ -1,0 +1,58 @@
+#include "workloads/slab_churn.hh"
+
+namespace ctg
+{
+
+SlabChurn::SlabChurn(SlabAllocator &slab, Config config,
+                     std::uint64_t seed)
+    : slab_(slab), config_(std::move(config)), rng_(seed)
+{
+    ctg_assert(config_.ratePerSec > 0);
+    for (const auto &[size, weight] : config_.sizeDist) {
+        ctg_assert(size <= SlabAllocator::maxObjectBytes);
+        weightTotal_ += weight;
+    }
+    nextArrival_ = rng_.exponential(1.0 / config_.ratePerSec);
+}
+
+std::uint32_t
+SlabChurn::sampleSize()
+{
+    double pick = rng_.uniform() * weightTotal_;
+    for (const auto &[size, weight] : config_.sizeDist) {
+        if (pick < weight)
+            return size;
+        pick -= weight;
+    }
+    return config_.sizeDist.back().first;
+}
+
+void
+SlabChurn::advanceTo(double now_sec)
+{
+    while (true) {
+        const double next_death =
+            live_.empty() ? 1e300 : live_.top().death;
+        const double next_event = std::min(next_death, nextArrival_);
+        if (next_event > now_sec)
+            break;
+        if (next_death <= nextArrival_) {
+            slab_.freeObject(live_.top().handle);
+            live_.pop();
+        } else {
+            const auto handle = slab_.allocObject(sampleSize());
+            if (handle != 0) {
+                const bool long_lived =
+                    rng_.chance(config_.longLivedFrac);
+                const double life = rng_.exponential(
+                    long_lived ? config_.longMeanLifeSec
+                               : config_.meanLifeSec);
+                live_.push(Obj{nextArrival_ + life, handle});
+            }
+            nextArrival_ +=
+                rng_.exponential(1.0 / config_.ratePerSec);
+        }
+    }
+}
+
+} // namespace ctg

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Kernel-object churn on a SlabAllocator: Poisson arrivals of
+ * variously-sized objects with a heavy-tailed lifetime mix. The
+ * long-lived tail (dentries, inodes, socket structs that stay) is
+ * what keeps slab pages pinned across the address space.
+ */
+
+#ifndef CTG_WORKLOADS_SLAB_CHURN_HH
+#define CTG_WORKLOADS_SLAB_CHURN_HH
+
+#include <queue>
+#include <vector>
+
+#include "base/rng.hh"
+#include "kernel/slab.hh"
+
+namespace ctg
+{
+
+/**
+ * Drives allocate/free traffic against a slab allocator.
+ */
+class SlabChurn
+{
+  public:
+    struct Config
+    {
+        double ratePerSec = 20000.0;
+        double meanLifeSec = 0.02;
+        double longLivedFrac = 0.05;
+        double longMeanLifeSec = 300.0;
+        /** Object size distribution: (bytes, weight). */
+        std::vector<std::pair<std::uint32_t, double>> sizeDist = {
+            {64, 0.3}, {128, 0.25}, {256, 0.2}, {512, 0.1},
+            {1024, 0.08}, {2048, 0.05}, {4096, 0.02},
+        };
+    };
+
+    SlabChurn(SlabAllocator &slab, Config config, std::uint64_t seed);
+
+    void advanceTo(double now_sec);
+
+    std::uint64_t liveObjects() const { return live_.size(); }
+
+  private:
+    struct Obj
+    {
+        double death;
+        SlabAllocator::ObjHandle handle;
+
+        bool operator>(const Obj &o) const { return death > o.death; }
+    };
+
+    std::uint32_t sampleSize();
+
+    SlabAllocator &slab_;
+    Config config_;
+    Rng rng_;
+    double nextArrival_;
+    std::priority_queue<Obj, std::vector<Obj>, std::greater<>> live_;
+    double weightTotal_ = 0.0;
+};
+
+} // namespace ctg
+
+#endif // CTG_WORKLOADS_SLAB_CHURN_HH

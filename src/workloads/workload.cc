@@ -1,0 +1,352 @@
+#include "workloads/workload.hh"
+
+#include <algorithm>
+
+namespace ctg
+{
+
+Workload::Workload(Kernel &kernel, WorkloadProfile profile,
+                   std::uint64_t seed)
+    : kernel_(kernel), profile_(std::move(profile)), rng_(seed)
+{
+    net_ = std::make_unique<NetStack>(kernel_, profile_.net,
+                                      rng_.next());
+    fs_ = std::make_unique<FsBuffers>(kernel_, profile_.fs,
+                                      rng_.next());
+    slab_ = std::make_unique<SlabAllocator>(kernel_);
+    slabChurn_ = std::make_unique<SlabChurn>(*slab_, profile_.slab,
+                                             rng_.next());
+
+    // Bulk slab footprint: page-granularity churn standing in for
+    // the thousands of kmalloc caches we do not model individually.
+    ChurnPool::Config bulk;
+    bulk.ratePerSec = std::max(1.0, profile_.slab.ratePerSec * 2.8);
+    bulk.meanLifeSec = 0.02;
+    bulk.longLivedFrac = 0.25;
+    bulk.longMeanLifeSec = 10.0;
+    bulk.mt = MigrateType::Unmovable;
+    bulk.source = AllocSource::Slab;
+    bulk.lifetime = Lifetime::Long;
+    slabBulk_ =
+        std::make_unique<ChurnPool>(kernel_, bulk, rng_.next());
+
+    ChurnPool::Config misc;
+    misc.ratePerSec = std::max(1.0, profile_.miscRatePerSec);
+    misc.meanLifeSec = 0.05;
+    misc.longLivedFrac = 0.3;
+    misc.longMeanLifeSec = 10.0;
+    misc.mt = MigrateType::Unmovable;
+    misc.source = AllocSource::Other;
+    misc.lifetime = Lifetime::Long;
+    misc_ = std::make_unique<ChurnPool>(kernel_, misc, rng_.next());
+}
+
+Workload::~Workload()
+{
+    // Drop pins before the address spaces disappear.
+    while (!pins_.empty()) {
+        kernel_.unpinById(pins_.top().id);
+        pins_.pop();
+    }
+    for (const Pfn head : residentKernel_)
+        kernel_.freePages(head);
+}
+
+void
+Workload::spawnProcess(Proc &proc)
+{
+    proc.space =
+        std::make_unique<AddressSpace>(kernel_, nextPid_++);
+    const std::uint64_t resident_bytes = static_cast<std::uint64_t>(
+        profile_.residentFrac *
+        static_cast<double>(kernel_.mem().totalBytes()));
+    proc.heapBytes = resident_bytes / profile_.processes;
+    // Arena-style segments; each is huge-aligned so THP can back it.
+    proc.segmentBytes =
+        std::min<std::uint64_t>(std::uint64_t{32} << 20,
+                                proc.heapBytes);
+    proc.segmentBytes &= ~(hugeBytes - 1);
+    if (proc.segmentBytes == 0)
+        proc.segmentBytes = hugeBytes;
+    const std::uint64_t count =
+        std::max<std::uint64_t>(1,
+                                proc.heapBytes / proc.segmentBytes);
+    proc.segments.clear();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const Addr base = proc.space->mmap(proc.segmentBytes);
+        proc.space->touchRange(base, proc.segmentBytes);
+        proc.segments.push_back(base);
+    }
+}
+
+void
+Workload::start()
+{
+    ctg_assert(!started_);
+    started_ = true;
+    net_->start();
+    procs_.resize(profile_.processes);
+    for (auto &proc : procs_)
+        spawnProcess(proc);
+}
+
+void
+Workload::quiesce(bool keep_pins)
+{
+    net_->drainSkbs();
+    fs_->drainScratch();
+    slabBulk_->drain();
+    misc_->drain();
+    if (keep_pins)
+        return;
+    while (!pins_.empty()) {
+        kernel_.unpinById(pins_.top().id);
+        pins_.pop();
+    }
+}
+
+void
+Workload::restart()
+{
+    ctg_assert(started_);
+    pendingRefault_.clear();
+    // Rolling restart: one process at a time, with the kernel pools
+    // (page cache above all) churning into the freed space between
+    // teardown and refault — a restart never sees a pristine
+    // machine.
+    for (auto &proc : procs_) {
+        proc.space.reset();
+        nowSec_ += 0.5;
+        kernel_.advanceSeconds(0.5);
+        net_->advanceTo(nowSec_);
+        fs_->advanceTo(nowSec_);
+        slabChurn_->advanceTo(nowSec_);
+        slabBulk_->advanceTo(nowSec_);
+        misc_->advanceTo(nowSec_);
+        spawnProcess(proc);
+    }
+}
+
+void
+Workload::churnHeapsRelease(double dt)
+{
+    for (std::size_t pi = 0; pi < procs_.size(); ++pi) {
+        Proc &proc = procs_[pi];
+        if (!proc.space)
+            continue;
+        const std::uint64_t heap_pages = proc.heapBytes / pageBytes;
+        const std::uint64_t segment_pages =
+            proc.segmentBytes / pageBytes;
+        auto churn = static_cast<std::uint64_t>(
+            profile_.heapChurnFracPerSec * dt *
+            static_cast<double>(heap_pages));
+        while (churn > 0 && !proc.segments.empty()) {
+            const std::size_t idx = rng_.below(proc.segments.size());
+            const Addr base = proc.segments[idx];
+            const std::uint64_t batch = std::max<std::uint64_t>(
+                1, std::min<std::uint64_t>(churn, segment_pages / 4));
+            if (rng_.chance(0.55)) {
+                // Arena recycle: unmap now; a fresh segment is
+                // faulted in next step, after the kernel pools have
+                // churned into the freed space.
+                proc.space->munmap(base);
+                proc.segments[idx] = proc.space->mmap(
+                    proc.segmentBytes);
+                stats_.heapPagesChurned += segment_pages;
+            } else {
+                // Hole punch now, refault next step.
+                const std::uint64_t freed = proc.space->releaseRange(
+                    base, proc.segmentBytes, batch, rng_);
+                stats_.heapPagesChurned += freed;
+            }
+            pendingRefault_.emplace_back(pi, idx);
+            churn -= std::min<std::uint64_t>(churn, batch);
+        }
+    }
+
+    // CI-style job turnover: tear down and recreate processes.
+    if (profile_.jobTurnoverPerSec > 0.0) {
+        const double p = profile_.jobTurnoverPerSec * dt;
+        for (auto &proc : procs_) {
+            if (rng_.chance(p)) {
+                proc.space.reset();
+                spawnProcess(proc);
+                ++stats_.jobsRecycled;
+            }
+        }
+    }
+}
+
+void
+Workload::churnHeapsRefault()
+{
+    for (const auto &[pi, idx] : pendingRefault_) {
+        Proc &proc = procs_[pi];
+        if (!proc.space || idx >= proc.segments.size())
+            continue;
+        proc.space->touchRange(proc.segments[idx],
+                               proc.segmentBytes);
+    }
+    pendingRefault_.clear();
+}
+
+void
+Workload::churnPins(double dt)
+{
+    while (!pins_.empty() && pins_.top().death <= nowSec_) {
+        kernel_.unpinById(pins_.top().id);
+        pins_.pop();
+    }
+    if (profile_.pinRatePerSec <= 0.0)
+        return;
+    const auto new_pins = static_cast<std::uint64_t>(
+        profile_.pinRatePerSec * dt);
+    for (std::uint64_t i = 0; i < new_pins; ++i) {
+        Proc &proc = procs_[rng_.below(procs_.size())];
+        if (!proc.space)
+            continue;
+        const Pfn frame = proc.space->randomBacked4kFrame(rng_);
+        if (frame == invalidPfn ||
+            kernel_.mem().frame(frame).isPinned()) {
+            continue;
+        }
+        const std::uint64_t id = kernel_.pinPagesId(frame);
+        if (id == 0) {
+            ++stats_.pinFailures;
+            continue;
+        }
+        ++stats_.pinsCreated;
+        pins_.push(Pin{
+            nowSec_ + rng_.exponential(profile_.pinMeanLifeSec),
+            id});
+    }
+}
+
+void
+Workload::stepOnce(double dt)
+{
+    nowSec_ += dt;
+    kernel_.advanceSeconds(dt);
+    // Release first, then let the kernel pools churn into the freed
+    // space, then refault: the unmovable allocations interleave with
+    // the heap exactly as production request churn interleaves with
+    // skb traffic — and every step ends in a quiescent, full-memory
+    // state (free memory is whatever reclaim headroom remains).
+    churnHeapsRelease(dt);
+    net_->advanceTo(nowSec_);
+    fs_->advanceTo(nowSec_);
+    slabChurn_->advanceTo(nowSec_);
+    slabBulk_->advanceTo(nowSec_);
+    misc_->advanceTo(nowSec_);
+    churnHeapsRefault();
+    churnPins(dt);
+
+    // khugepaged: background promotion of fully-populated 4 KB
+    // ranges into huge mappings, paced like the kernel daemon.
+    const auto promote_budget = static_cast<std::uint64_t>(
+        profile_.khugepagedChunksPerSec * dt /
+        static_cast<double>(procs_.size() ? procs_.size() : 1));
+    for (auto &proc : procs_) {
+        if (proc.space)
+            proc.space->promoteHugeRanges(promote_budget);
+    }
+
+    // Resident kernel growth toward its cap, one page at a time so
+    // every allocation sees a different allocator state.
+    const auto cap = static_cast<std::uint64_t>(
+        profile_.residentKernelFrac *
+        static_cast<double>(kernel_.mem().numFrames()));
+    residentCarry_ += profile_.residentKernelPagesPerSec * dt;
+    while (residentCarry_ >= 1.0 && residentKernel_.size() < cap) {
+        residentCarry_ -= 1.0;
+        AllocRequest req;
+        req.order = 0;
+        req.mt = MigrateType::Unmovable;
+        req.source = rng_.chance(0.78) ? AllocSource::Networking
+                                       : AllocSource::Slab;
+        req.lifetime = Lifetime::Long;
+        const Pfn head = kernel_.allocPages(req);
+        if (head == invalidPfn)
+            break;
+        residentKernel_.push_back(head);
+    }
+    if (residentKernel_.size() >= cap)
+        residentCarry_ = 0.0;
+}
+
+void
+Workload::runFor(double seconds, double step)
+{
+    ctg_assert(started_);
+    ctg_assert(step > 0);
+    double remaining = seconds;
+    while (remaining > 1e-9) {
+        const double dt = std::min(step, remaining);
+        stepOnce(dt);
+        remaining -= dt;
+    }
+}
+
+std::uint64_t
+Workload::residentPages() const
+{
+    std::uint64_t pages = 0;
+    for (const auto &proc : procs_) {
+        if (proc.space)
+            pages += proc.space->backedPages();
+    }
+    return pages;
+}
+
+double
+Workload::hugeBackedFraction() const
+{
+    std::uint64_t total = 0;
+    std::uint64_t huge = 0;
+    for (const auto &proc : procs_) {
+        if (!proc.space)
+            continue;
+        total += proc.space->backedPages();
+        huge += proc.space->chunks2m() * pagesPerHuge +
+                proc.space->chunks1g() * pagesPerGiga;
+    }
+    return total == 0
+               ? 0.0
+               : static_cast<double>(huge) /
+                     static_cast<double>(total);
+}
+
+unsigned
+Workload::tryBackGigantic(unsigned count)
+{
+    unsigned got = 0;
+    for (auto &proc : procs_) {
+        if (!proc.space || got >= count)
+            break;
+        while (got < count) {
+            // Rebacking, not growth: the service moves a gigabyte of
+            // its dataset onto a gigantic page, so release that much
+            // of the existing backing first (the HugeTLB remap path).
+            const std::uint64_t released = proc.space->releasePages(
+                pagesPerGiga + pagesPerGiga / 16, rng_);
+            const Addr base = proc.space->mmap(gigaBytes);
+            if (!proc.space->backWithGigantic(base)) {
+                proc.space->munmap(base);
+                // Refault what we released; the attempt failed.
+                for (auto &p2 : procs_) {
+                    if (p2.space) {
+                        for (const Addr seg : p2.segments)
+                            p2.space->touchRange(seg,
+                                                 p2.segmentBytes);
+                    }
+                }
+                (void)released;
+                break;
+            }
+            ++got;
+        }
+    }
+    return got;
+}
+
+} // namespace ctg

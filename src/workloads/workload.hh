@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Synthetic service driver: composes processes (address spaces with
+ * demand faulting and heap churn) with the kernel subsystems
+ * (networking, filesystem, slab, misc) at the rates of a
+ * WorkloadProfile. Running one of these against a Kernel reproduces
+ * the steady-state memory layouts the paper measures in production.
+ */
+
+#ifndef CTG_WORKLOADS_WORKLOAD_HH
+#define CTG_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "kernel/addrspace.hh"
+#include "kernel/churn.hh"
+#include "kernel/fsbuffers.hh"
+#include "kernel/netstack.hh"
+#include "workloads/profile.hh"
+#include "workloads/slab_churn.hh"
+
+namespace ctg
+{
+
+/**
+ * One running service on one simulated server.
+ */
+class Workload
+{
+  public:
+    Workload(Kernel &kernel, WorkloadProfile profile,
+             std::uint64_t seed);
+    ~Workload();
+
+    Workload(const Workload &) = delete;
+    Workload &operator=(const Workload &) = delete;
+
+    /** Bring up the service: NIC rings, processes, initial faults. */
+    void start();
+
+    /** Code-deploy restart: tear down every process and fault the
+     * footprint back in on whatever memory layout now exists (the
+     * Partial Fragmentation setup of Section 5.1). */
+    void restart();
+
+    /** Advance the whole system by `seconds` in `step`-sized slices. */
+    void runFor(double seconds, double step = 1.0);
+
+    /** Traffic stops: drain every kernel churn pool and (unless
+     * keep_pins) drop all pins. The unmovable demand collapses,
+     * which is what lets the resize controller shrink the region
+     * afterwards. */
+    void quiesce(bool keep_pins = false);
+
+    double now() const { return nowSec_; }
+
+    /** Total pages backing the processes. */
+    std::uint64_t residentPages() const;
+
+    /** 2 MB-backed fraction of the resident set (for Figure 10). */
+    double hugeBackedFraction() const;
+
+    /** Attempt to back up to `count` gigantic pages across the
+     * processes (Web's HugeTLB 1 GB path); returns pages obtained. */
+    unsigned tryBackGigantic(unsigned count);
+
+    const WorkloadProfile &profile() const { return profile_; }
+    NetStack &net() { return *net_; }
+
+    struct Stats
+    {
+        std::uint64_t jobsRecycled = 0;
+        std::uint64_t pinsCreated = 0;
+        std::uint64_t pinFailures = 0;
+        std::uint64_t heapPagesChurned = 0;
+    };
+
+    const Stats &stats() const { return stats_; }
+
+  private:
+    struct Proc
+    {
+        std::unique_ptr<AddressSpace> space;
+        /** Heap segments (arena-style); churn recycles or
+         * hole-punches individual segments. */
+        std::vector<Addr> segments;
+        std::uint64_t segmentBytes = 0;
+        std::uint64_t heapBytes = 0;
+    };
+
+    struct Pin
+    {
+        double death;
+        std::uint64_t id;
+
+        bool operator>(const Pin &o) const { return death > o.death; }
+    };
+
+    void spawnProcess(Proc &proc);
+    void stepOnce(double dt);
+    /** Phase 1 of heap churn: free memory (holes, unmaps). */
+    void churnHeapsRelease(double dt);
+    /** Phase 2: refault what phase 1 released — after the kernel
+     * pools had a chance to allocate into the freed space, which is
+     * how unmovable pages end up scattered through former heap
+     * pageblocks. */
+    void churnHeapsRefault();
+    void churnPins(double dt);
+
+    Kernel &kernel_;
+    WorkloadProfile profile_;
+    Rng rng_;
+    std::vector<Proc> procs_;
+    std::unique_ptr<NetStack> net_;
+    std::unique_ptr<FsBuffers> fs_;
+    std::unique_ptr<SlabAllocator> slab_;
+    std::unique_ptr<SlabChurn> slabChurn_;
+    std::unique_ptr<ChurnPool> slabBulk_;
+    std::unique_ptr<ChurnPool> misc_;
+    std::priority_queue<Pin, std::vector<Pin>, std::greater<>> pins_;
+    /** Segments awaiting refault: (proc index, segment index). */
+    std::vector<std::pair<std::size_t, std::size_t>> pendingRefault_;
+    /** Run-lifetime kernel allocations (resident growth). */
+    std::vector<Pfn> residentKernel_;
+    double residentCarry_ = 0.0;
+    double nowSec_ = 0.0;
+    std::uint32_t nextPid_ = 1;
+    bool started_ = false;
+    Stats stats_;
+};
+
+} // namespace ctg
+
+#endif // CTG_WORKLOADS_WORKLOAD_HH

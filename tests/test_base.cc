@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Foundation tests: RNG determinism and distributions, Zipf sampler,
+ * statistics (histogram, CDF, Pearson), unit formatting, the table
+ * renderer, and event-queue ordering guarantees.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "base/rng.hh"
+#include "base/stats.hh"
+#include "base/table.hh"
+#include "base/units.hh"
+#include "sim/eventq.hh"
+
+namespace ctg
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng rng(7);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 8000; ++i)
+        ++counts[rng.below(8)];
+    EXPECT_EQ(counts.size(), 8u);
+    for (const auto &[v, c] : counts) {
+        EXPECT_GT(c, 800) << v;
+        EXPECT_LT(c, 1200) << v;
+    }
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(3);
+    RunningStat stat;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        stat.add(u);
+    }
+    EXPECT_NEAR(stat.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialHasRequestedMean)
+{
+    Rng rng(11);
+    RunningStat stat;
+    for (int i = 0; i < 50000; ++i)
+        stat.add(rng.exponential(3.0));
+    EXPECT_NEAR(stat.mean(), 3.0, 0.1);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(5);
+    RunningStat stat;
+    for (int i = 0; i < 50000; ++i)
+        stat.add(rng.gaussian(10.0, 2.0));
+    EXPECT_NEAR(stat.mean(), 10.0, 0.1);
+    EXPECT_NEAR(stat.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(42);
+    Rng b = a.fork();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(ZipfTest, HotterRanksMoreFrequent)
+{
+    Zipf zipf(1000, 0.8);
+    Rng rng(9);
+    std::uint64_t head = 0, tail = 0;
+    for (int i = 0; i < 50000; ++i) {
+        const std::uint64_t rank = zipf.sample(rng);
+        ASSERT_LT(rank, 1000u);
+        head += rank < 10;
+        tail += rank >= 500;
+    }
+    EXPECT_GT(head, tail);
+    EXPECT_GT(head, 5000u); // top-1% gets a large share
+}
+
+TEST(ZipfTest, ThetaControlsSkew)
+{
+    Rng rng(13);
+    Zipf mild(1000, 0.3), hot(1000, 0.9);
+    std::uint64_t mild_head = 0, hot_head = 0;
+    for (int i = 0; i < 30000; ++i) {
+        mild_head += mild.sample(rng) < 10;
+        hot_head += hot.sample(rng) < 10;
+    }
+    EXPECT_GT(hot_head, mild_head * 2);
+}
+
+TEST(RunningStatTest, Moments)
+{
+    RunningStat stat;
+    for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stat.add(v);
+    EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+    EXPECT_NEAR(stat.stddev(), 2.138, 0.01);
+    EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+}
+
+TEST(HistogramTest, BucketsAndPercentiles)
+{
+    Histogram hist(0.0, 100.0, 10);
+    for (int i = 0; i < 100; ++i)
+        hist.add(i + 0.5);
+    EXPECT_EQ(hist.total(), 100u);
+    EXPECT_EQ(hist.bucketCount(0), 10u);
+    EXPECT_NEAR(hist.percentile(0.5), 50.0, 10.0);
+    EXPECT_NEAR(hist.percentile(0.9), 90.0, 10.0);
+}
+
+TEST(HistogramTest, OutOfRangeCounted)
+{
+    Histogram hist(0.0, 10.0, 5);
+    hist.add(-5.0);
+    hist.add(100.0);
+    EXPECT_EQ(hist.total(), 2u);
+}
+
+TEST(EmpiricalCdfTest, FractionAndQuantile)
+{
+    EmpiricalCdf cdf;
+    for (int i = 1; i <= 100; ++i)
+        cdf.add(i);
+    EXPECT_DOUBLE_EQ(cdf.fractionAtOrBelow(50), 0.5);
+    EXPECT_DOUBLE_EQ(cdf.fractionAtOrBelow(0), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.fractionAtOrBelow(1000), 1.0);
+    EXPECT_NEAR(cdf.quantile(0.5), 50.0, 1.5);
+}
+
+TEST(PearsonTest, PerfectCorrelation)
+{
+    std::vector<double> xs = {1, 2, 3, 4, 5};
+    std::vector<double> ys = {2, 4, 6, 8, 10};
+    EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-9);
+    std::vector<double> neg = {10, 8, 6, 4, 2};
+    EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-9);
+}
+
+TEST(PearsonTest, IndependentNearZero)
+{
+    Rng rng(21);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 5000; ++i) {
+        xs.push_back(rng.uniform());
+        ys.push_back(rng.uniform());
+    }
+    EXPECT_NEAR(pearson(xs, ys), 0.0, 0.05);
+}
+
+TEST(UnitsTest, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(512), "512 B");
+    EXPECT_EQ(formatBytes(2048), "2.0 KiB");
+    EXPECT_EQ(formatBytes(3 * 1024 * 1024), "3.0 MiB");
+    EXPECT_EQ(formatBytes(std::uint64_t{5} << 30), "5.0 GiB");
+}
+
+TEST(UnitsTest, FormatPercent)
+{
+    EXPECT_EQ(formatPercent(0.314), "31.4%");
+    EXPECT_EQ(formatPercent(0.5, 0), "50%");
+}
+
+TEST(TableTest, AlignsColumns)
+{
+    Table table("demo");
+    table.header({"a", "long-header"});
+    table.row({"xxxxx", "1"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("== demo =="), std::string::npos);
+    EXPECT_NE(out.find("long-header"), std::string::npos);
+    EXPECT_NE(out.find("xxxxx"), std::string::npos);
+    // Column two starts at the same offset in both lines.
+    const auto h = out.find("long-header");
+    const auto v = out.find("1", out.find("xxxxx"));
+    const auto h_line_start = out.rfind('\n', h) + 1;
+    const auto v_line_start = out.rfind('\n', v) + 1;
+    EXPECT_EQ(h - h_line_start, v - v_line_start);
+}
+
+TEST(EventQueueTest, FiresInTickOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.schedule(30, [&order] { order.push_back(3); });
+    queue.schedule(10, [&order] { order.push_back(1); });
+    queue.schedule(20, [&order] { order.push_back(2); });
+    queue.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(queue.now(), 30u);
+}
+
+TEST(EventQueueTest, SameTickFifo)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        queue.schedule(7, [&order, i] { order.push_back(i); });
+    queue.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, PriorityBeatsInsertion)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.schedule(5, [&order] { order.push_back(2); },
+                   EventPriority::Maintenance);
+    queue.schedule(5, [&order] { order.push_back(1); },
+                   EventPriority::HardwareResponse);
+    queue.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents)
+{
+    EventQueue queue;
+    int fired = 0;
+    queue.schedule(1, [&] {
+        ++fired;
+        queue.schedule(1, [&] { ++fired; });
+    });
+    queue.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(queue.now(), 2u);
+}
+
+TEST(EventQueueTest, RunWithLimitStops)
+{
+    EventQueue queue;
+    int fired = 0;
+    queue.schedule(10, [&] { ++fired; });
+    queue.schedule(100, [&] { ++fired; });
+    queue.run(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(queue.pending(), 1u);
+}
+
+TEST(LoggingTest, PanicThrows)
+{
+    EXPECT_THROW(panic("boom %d", 1), PanicError);
+    EXPECT_THROW(fatal("bad config"), FatalError);
+    try {
+        panic("value=%d", 42);
+    } catch (const PanicError &e) {
+        EXPECT_NE(std::string(e.what()).find("value=42"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace ctg

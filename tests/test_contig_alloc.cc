@@ -1,0 +1,136 @@
+/**
+ * @file
+ * alloc_contig_range tests: gigantic allocation by evacuation, the
+ * single-unmovable-page blocking property (the paper's headline
+ * fragility), free-space guards, and the HugeTLB kernel path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/units.hh"
+#include "contiguitas/policy.hh"
+#include "kernel/addrspace.hh"
+#include "kernel/contig_alloc.hh"
+#include "workloads/fragmenter.hh"
+
+namespace ctg
+{
+namespace
+{
+
+KernelConfig
+bigConfig()
+{
+    KernelConfig config;
+    config.memBytes = 3_GiB;
+    config.kernelTextBytes = 4_MiB;
+    return config;
+}
+
+TEST(ContigAlloc, TrivialOnEmptyMemory)
+{
+    Kernel kernel(bigConfig());
+    ContigAllocStats stats;
+    const Pfn head = allocContigRange(
+        kernel.policy().movableAllocator(), kernel.owners(),
+        gigaOrder, MigrateType::Movable, AllocSource::User, 0,
+        &stats);
+    ASSERT_NE(head, invalidPfn);
+    EXPECT_EQ(head % pagesPerGiga, 0u);
+    kernel.freePages(head);
+}
+
+TEST(ContigAlloc, EvacuatesMovablePages)
+{
+    Kernel kernel(bigConfig());
+    AddressSpace space(kernel, 1);
+    // Occupy all of memory, then punch scattered holes: every
+    // candidate window keeps resident pages, so the allocation must
+    // evacuate.
+    const Addr base = space.mmap(2816_MiB);
+    space.touchRange(base, 2816_MiB);
+    space.releasePages((1280_MiB) / pageBytes, kernel.rng());
+    const PhysMem &mem = kernel.mem();
+    const BuddyAllocator &movable =
+        kernel.policy().movableAllocator();
+    const Pfn first = (movable.startPfn() + pagesPerGiga - 1) &
+                      ~(pagesPerGiga - 1);
+    for (Pfn b = first; b + pagesPerGiga <= movable.endPfn();
+         b += pagesPerGiga) {
+        std::uint64_t used = 0;
+        for (Pfn p = b; p < b + pagesPerGiga; ++p)
+            used += !mem.frame(p).isFree();
+        ASSERT_GT(used, 0u) << "window " << (b >> gigaOrder);
+    }
+
+    ContigAllocStats stats;
+    const Pfn head = allocContigRange(
+        kernel.policy().movableAllocator(), kernel.owners(),
+        gigaOrder, MigrateType::Movable, AllocSource::User, 0,
+        &stats);
+    ASSERT_NE(head, invalidPfn);
+    EXPECT_GT(stats.evacuations, 0u);
+    // The evacuated mappings must still translate.
+    const Translation t = space.translate(base);
+    EXPECT_TRUE(t.valid);
+    kernel.freePages(head);
+}
+
+TEST(ContigAlloc, ScatteredUnmovablePagesBlockEverything)
+{
+    // The Fragmenter strews a couple percent of unmovable pages
+    // across essentially every 2MB block — a fortiori every 1GB
+    // window — so "a single unmovable 4KB page renders a 1GB region
+    // unmovable" applies machine-wide (Section 1).
+    Kernel kernel(bigConfig());
+    Fragmenter fragmenter(kernel, {}, 11);
+    fragmenter.run();
+
+    ContigAllocStats stats;
+    const Pfn head = allocContigRange(
+        kernel.policy().movableAllocator(), kernel.owners(),
+        gigaOrder, MigrateType::Movable, AllocSource::User, 0,
+        &stats);
+    EXPECT_EQ(head, invalidPfn);
+    EXPECT_EQ(stats.candidatesBlocked, stats.candidatesScanned);
+    EXPECT_GT(stats.candidatesScanned, 0u);
+}
+
+TEST(ContigAlloc, KernelHugeTlbPathReclaimsAndSucceeds)
+{
+    Kernel kernel(bigConfig());
+    AddressSpace space(kernel, 1);
+    const Addr base = space.mmap(1_GiB);
+    space.touchRange(base, 1_GiB);
+    const Pfn head = kernel.allocGigantic(0);
+    ASSERT_NE(head, invalidPfn);
+    kernel.freePages(head);
+}
+
+TEST(ContigAlloc, ContiguitasMovableRegionAlwaysEligible)
+{
+    KernelConfig kc = bigConfig();
+    ContiguitasConfig cc;
+    cc.region.initialUnmovablePages = (128_MiB) / pageBytes;
+    cc.region.minUnmovablePages = (32_MiB) / pageBytes;
+    Kernel kernel(kc, ContiguitasPolicy::factory(cc));
+
+    // Lots of unmovable churn, all confined.
+    std::vector<Pfn> kernel_pages;
+    for (int i = 0; i < 4000; ++i) {
+        AllocRequest req;
+        req.order = 0;
+        req.mt = MigrateType::Unmovable;
+        req.source = AllocSource::Slab;
+        kernel_pages.push_back(kernel.allocPages(req));
+    }
+    AddressSpace space(kernel, 1);
+    const Addr base = space.mmap(1200_MiB);
+    space.touchRange(base, 1200_MiB);
+
+    const Pfn head = kernel.allocGigantic(0);
+    EXPECT_NE(head, invalidPfn);
+}
+
+} // namespace
+} // namespace ctg

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Fleet layer tests: per-server scans, determinism, workload
+ * diversity, prefragmentation effects, and the vanilla-vs-Contiguitas
+ * fleet contrast that underlies Figures 4/5/11.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/units.hh"
+#include "fleet/fleet.hh"
+
+namespace ctg
+{
+namespace
+{
+
+Server::Config
+fastServer(WorkloadKind kind, bool contiguitas)
+{
+    Server::Config config;
+    config.memBytes = 1_GiB;
+    config.contiguitas = contiguitas;
+    config.kind = kind;
+    config.uptimeSec = 12.0;
+    config.seed = 77;
+    return config;
+}
+
+TEST(ServerTest, ScanFieldsConsistent)
+{
+    Server server(fastServer(WorkloadKind::CacheB, false));
+    const ServerScan scan = server.run();
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_GE(scan.unmovableBlocks[i], 0.0);
+        EXPECT_LE(scan.unmovableBlocks[i], 1.0);
+        EXPECT_GE(scan.freeContiguity[i], 0.0);
+        EXPECT_LE(scan.freeContiguity[i], 1.0);
+    }
+    // Coarser granularity can only be more contaminated.
+    EXPECT_LE(scan.unmovableBlocks[0], scan.unmovableBlocks[1]);
+    EXPECT_LE(scan.unmovableBlocks[1], scan.unmovableBlocks[2]);
+    EXPECT_LE(scan.unmovableBlocks[2], scan.unmovableBlocks[3]);
+    // ...and potential contiguity smaller.
+    EXPECT_GE(scan.potentialContiguity[0],
+              scan.potentialContiguity[1]);
+    EXPECT_GE(scan.potentialContiguity[1],
+              scan.potentialContiguity[2]);
+    EXPECT_GT(scan.unmovablePageRatio, 0.0);
+    EXPECT_GT(scan.freePages, 0u);
+}
+
+TEST(ServerTest, DeterministicForSameSeed)
+{
+    Server a(fastServer(WorkloadKind::Web, false));
+    Server b(fastServer(WorkloadKind::Web, false));
+    const ServerScan sa = a.run();
+    const ServerScan sb = b.run();
+    EXPECT_DOUBLE_EQ(sa.unmovablePageRatio, sb.unmovablePageRatio);
+    EXPECT_EQ(sa.freePages, sb.freePages);
+    EXPECT_DOUBLE_EQ(sa.unmovableBlocks[0], sb.unmovableBlocks[0]);
+}
+
+TEST(ServerTest, SeedChangesOutcome)
+{
+    Server::Config config = fastServer(WorkloadKind::Web, false);
+    Server a(config);
+    config.seed = 78;
+    Server b(config);
+    EXPECT_NE(a.run().freePages, b.run().freePages);
+}
+
+TEST(ServerTest, PrefragmentationDestroysPotentialContiguity)
+{
+    Server::Config config = fastServer(WorkloadKind::CacheB, false);
+    Server clean(config);
+    config.prefragment = true;
+    Server dirty(config);
+    const ServerScan clean_scan = clean.run();
+    const ServerScan dirty_scan = dirty.run();
+    EXPECT_LT(dirty_scan.potentialContiguity[0],
+              clean_scan.potentialContiguity[0]);
+    EXPECT_GT(dirty_scan.unmovableBlocks[0],
+              clean_scan.unmovableBlocks[0]);
+}
+
+TEST(ServerTest, ContiguitasBeatsVanillaOnSameSeed)
+{
+    const ServerScan vanilla =
+        Server(fastServer(WorkloadKind::CacheB, false)).run();
+    const ServerScan contiguitas =
+        Server(fastServer(WorkloadKind::CacheB, true)).run();
+    // Confinement: strictly better potential contiguity at 32MB.
+    EXPECT_GT(contiguitas.potentialContiguity[1],
+              vanilla.potentialContiguity[1]);
+}
+
+TEST(FleetTest, RunsRequestedPopulation)
+{
+    Fleet::Config config;
+    config.servers = 6;
+    config.memBytes = 1_GiB;
+    config.minUptimeSec = 4.0;
+    config.maxUptimeSec = 10.0;
+    Fleet fleet(config);
+    const auto scans = fleet.run();
+    EXPECT_EQ(scans.size(), 6u);
+    // Diversity: not all servers identical.
+    bool differs = false;
+    for (std::size_t i = 1; i < scans.size(); ++i)
+        differs |= scans[i].freePages != scans[0].freePages;
+    EXPECT_TRUE(differs);
+}
+
+TEST(FleetTest, UptimesWithinConfiguredRange)
+{
+    Fleet::Config config;
+    config.servers = 5;
+    config.memBytes = 1_GiB;
+    config.minUptimeSec = 3.0;
+    config.maxUptimeSec = 6.0;
+    Fleet fleet(config);
+    for (const ServerScan &scan : fleet.run()) {
+        EXPECT_GE(scan.uptimeSec, 3.0);
+        EXPECT_LE(scan.uptimeSec, 6.5);
+    }
+}
+
+TEST(ScaleProfileTest, MultipliesRates)
+{
+    const WorkloadProfile base =
+        makeProfile(WorkloadKind::Web, 1_GiB);
+    const WorkloadProfile scaled = scaleProfile(base, 2.0);
+    EXPECT_NEAR(scaled.net.skbRatePerSec,
+                base.net.skbRatePerSec * 2.0, 1e-6);
+    EXPECT_NEAR(scaled.heapChurnFracPerSec,
+                base.heapChurnFracPerSec * 2.0, 1e-9);
+}
+
+} // namespace
+} // namespace ctg

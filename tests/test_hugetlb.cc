@@ -1,0 +1,139 @@
+/**
+ * @file
+ * HugeTLB pool tests: boot reservations, acquire/release, dynamic
+ * growth on clean vs fragmented machines, and the reservation-
+ * survives-fragmentation property that motivates boot-time pools.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/units.hh"
+#include "contiguitas/policy.hh"
+#include "kernel/hugetlb.hh"
+#include "workloads/fragmenter.hh"
+
+namespace ctg
+{
+namespace
+{
+
+KernelConfig
+bigConfig()
+{
+    KernelConfig config;
+    config.memBytes = 3_GiB;
+    config.kernelTextBytes = 4_MiB;
+    return config;
+}
+
+TEST(HugeTlb, BootReservationProvidesPages)
+{
+    Kernel kernel(bigConfig());
+    HugeTlbPool::Config config;
+    config.reserve2m = 16;
+    config.reserve1g = 1;
+    HugeTlbPool pool(kernel, config);
+    EXPECT_EQ(pool.total2m(), 16u);
+    EXPECT_EQ(pool.free2m(), 16u);
+    EXPECT_EQ(pool.total1g(), 1u);
+
+    const Pfn huge = pool.acquire2m();
+    ASSERT_NE(huge, invalidPfn);
+    EXPECT_EQ(huge % pagesPerHuge, 0u);
+    EXPECT_EQ(pool.free2m(), 15u);
+    pool.release2m(huge);
+    EXPECT_EQ(pool.free2m(), 16u);
+
+    const Pfn giant = pool.acquire1g();
+    ASSERT_NE(giant, invalidPfn);
+    EXPECT_EQ(giant % pagesPerGiga, 0u);
+    pool.release1g(giant);
+}
+
+TEST(HugeTlb, EmptyPoolReturnsInvalid)
+{
+    Kernel kernel(bigConfig());
+    HugeTlbPool pool(kernel, {});
+    EXPECT_EQ(pool.acquire2m(), invalidPfn);
+    EXPECT_EQ(pool.acquire1g(), invalidPfn);
+}
+
+TEST(HugeTlb, ShrinkReturnsMemory)
+{
+    Kernel kernel(bigConfig());
+    const std::uint64_t free_before =
+        kernel.policy().freeUserPages();
+    HugeTlbPool pool(kernel, {});
+    ASSERT_EQ(pool.grow2m(32), 32u);
+    EXPECT_EQ(pool.shrink2m(32), 32u);
+    EXPECT_EQ(pool.total2m(), 0u);
+    EXPECT_EQ(kernel.policy().freeUserPages(), free_before);
+}
+
+TEST(HugeTlb, DynamicGrowthFailsOnFragmentedVanilla)
+{
+    Kernel kernel(bigConfig());
+    Fragmenter fragmenter(kernel, {}, 3);
+    fragmenter.run();
+    HugeTlbPool pool(kernel, {});
+    // 1 GB growth: impossible — every window holds unmovable pages.
+    EXPECT_EQ(pool.grow1g(1), 0u);
+    // 2 MB growth harvests only the few clean pageblocks (~3% of
+    // 1536 on this machine) and then dries up completely.
+    const unsigned first = pool.grow2m(256);
+    EXPECT_LT(first, 64u);
+    EXPECT_EQ(pool.grow2m(16), 0u);
+}
+
+TEST(HugeTlb, DynamicGrowthSucceedsUnderContiguitas)
+{
+    KernelConfig kc = bigConfig();
+    ContiguitasConfig cc;
+    cc.region.initialUnmovablePages = (128_MiB) / pageBytes;
+    Kernel kernel(kc, ContiguitasPolicy::factory(cc));
+    Fragmenter fragmenter(kernel, {}, 3);
+    fragmenter.run();
+    // The same fragmentation process ran, but its unmovable residue
+    // is confined: the pool can still grow, even to 1 GB.
+    HugeTlbPool pool(kernel, {});
+    // Gigantic first: pool pages themselves are unowned and would
+    // block a later contig-range evacuation (hugetlb pages are not
+    // migratable in the 5.x kernels the paper builds on).
+    EXPECT_EQ(pool.grow1g(1), 1u);
+    EXPECT_EQ(pool.grow2m(64), 64u);
+}
+
+TEST(HugeTlb, BootOverReservationIsFatal)
+{
+    KernelConfig kc;
+    kc.memBytes = 512_MiB;
+    kc.kernelTextBytes = 4_MiB;
+    Kernel kernel(kc);
+    HugeTlbPool::Config config;
+    config.reserve1g = 1; // machine is smaller than 1 GB
+    EXPECT_THROW(HugeTlbPool(kernel, config), FatalError);
+}
+
+TEST(HugeTlb, ReservationSurvivesFragmentation)
+{
+    // Reserve at boot, then fragment the machine: the reserved pages
+    // are untouched and still mappable — the property that makes
+    // administrators reserve early.
+    Kernel kernel(bigConfig());
+    HugeTlbPool::Config config;
+    config.reserve2m = 8;
+    config.reserve1g = 1;
+    HugeTlbPool pool(kernel, config);
+    {
+        Fragmenter fragmenter(kernel, {}, 3);
+        fragmenter.run();
+        EXPECT_EQ(pool.free2m(), 8u);
+        EXPECT_EQ(pool.free1g(), 1u);
+        const Pfn giant = pool.acquire1g();
+        ASSERT_NE(giant, invalidPfn);
+        pool.release1g(giant);
+    }
+}
+
+} // namespace
+} // namespace ctg

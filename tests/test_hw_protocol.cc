@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Deeper hardware-protocol tests: LLC inclusivity under eviction
+ * pressure, migration-table saturation and reuse, mid-copy Clear,
+ * DMA traffic through redirection, lazy TLB invalidation after a
+ * Contiguitas migration, and ring-latency properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/rng.hh"
+#include "base/units.hh"
+#include "hw/system.hh"
+#include "kernel/churn.hh"
+
+namespace ctg
+{
+namespace
+{
+
+Addr
+lineAddr(Pfn page, unsigned idx)
+{
+    return pfnToAddr(page) + static_cast<Addr>(idx) * lineBytes;
+}
+
+TEST(LlcInclusion, EvictionWritesBackAndInvalidatesPrivates)
+{
+    MemHierarchy mem{HwConfig{}};
+    // Dirty a line in core 0's caches.
+    const Addr victim = 0x123440;
+    mem.access(0, victim, true, 0xdead);
+
+    // Hammer the same LLC slice+set with enough distinct lines to
+    // evict the victim from the (16-way) slice.
+    const unsigned slice = mem.sliceOf(victim);
+    const std::uint64_t sets =
+        (HwConfig{}.llcSliceBytes / lineBytes) / HwConfig{}.llcAssoc;
+    const std::uint64_t set =
+        (victim >> lineShift) & (sets - 1);
+    unsigned planted = 0;
+    for (Addr candidate = 0; planted < 64;
+         candidate += lineBytes) {
+        if (candidate == victim)
+            continue;
+        if (mem.sliceOf(candidate) != slice)
+            continue;
+        if (((candidate >> lineShift) & (sets - 1)) != set)
+            continue;
+        mem.access(1, candidate, false);
+        ++planted;
+    }
+    // Whatever happened, the dirty data must never be lost.
+    EXPECT_EQ(mem.access(2, victim, false).value, 0xdeadu);
+    EXPECT_GT(mem.stats().writebacks, 0u);
+}
+
+TEST(MigrationTableSaturation, SixteenConcurrentThenReuse)
+{
+    HwSystem hw;
+    std::vector<Pfn> srcs;
+    unsigned done = 0;
+    for (Pfn i = 0; i < 16; ++i) {
+        ChwEngine::Descriptor desc;
+        desc.src = 0x1000 + i;
+        desc.dst = 0x9000 + i;
+        desc.mode = ChwMode::Noncacheable;
+        desc.onComplete = [&done] { ++done; };
+        ASSERT_TRUE(hw.chw().submitMigrate(desc)) << i;
+        srcs.push_back(desc.src);
+    }
+    // Table is full now.
+    ChwEngine::Descriptor extra;
+    extra.src = 0x5000;
+    extra.dst = 0x6000;
+    EXPECT_FALSE(hw.chw().submitMigrate(extra));
+    EXPECT_EQ(hw.mem().migrationTable().occupancy(), 16u);
+
+    hw.drain();
+    EXPECT_EQ(done, 16u);
+    for (const Pfn src : srcs)
+        hw.chw().clear(src);
+    EXPECT_EQ(hw.mem().migrationTable().occupancy(), 0u);
+    // Room again.
+    EXPECT_TRUE(hw.chw().submitMigrate(extra));
+    hw.drain();
+    hw.chw().clear(extra.src);
+}
+
+TEST(MidCopyClear, StopsEngineQuietly)
+{
+    HwSystem hw;
+    ChwEngine::Descriptor desc;
+    desc.src = 0x300;
+    desc.dst = 0x700;
+    desc.mode = ChwMode::Noncacheable;
+    bool completed = false;
+    desc.onComplete = [&completed] { completed = true; };
+    ASSERT_TRUE(hw.chw().submitMigrate(desc));
+    for (int i = 0; i < 10; ++i)
+        hw.eventq().step();
+    ASSERT_TRUE(hw.chw().migrating(0x300));
+    hw.chw().clear(0x300);
+    EXPECT_FALSE(hw.chw().migrating(0x300));
+    hw.drain(); // pending copy events must exit without effect
+    EXPECT_FALSE(completed);
+    EXPECT_EQ(hw.mem().migrationTable().occupancy(), 0u);
+}
+
+TEST(DmaRedirection, DeviceTrafficFollowsPtr)
+{
+    HwSystem hw;
+    for (unsigned i = 0; i < linesPerPage; ++i)
+        hw.mem().pokeMemory(lineAddr(0x300, i), 7000 + i);
+    ChwEngine::Descriptor desc;
+    desc.src = 0x300;
+    desc.dst = 0x700;
+    desc.mode = ChwMode::Noncacheable;
+    ASSERT_TRUE(hw.chw().submitMigrate(desc));
+    for (int i = 0; i < 24; ++i)
+        hw.eventq().step();
+    MigrationEntry *entry =
+        hw.mem().migrationTable().findBySrc(0x300);
+    ASSERT_NE(entry, nullptr);
+    ASSERT_GT(entry->ptr, 1u);
+
+    // DMA read of a copied line via the source name: served from
+    // the destination transparently.
+    const auto read = hw.mem().deviceAccess(lineAddr(0x300, 0),
+                                            false);
+    EXPECT_EQ(read.value, 7000u);
+    EXPECT_TRUE(read.redirected);
+
+    // DMA write to an uncopied line via the source name: must land
+    // where the copy engine will pick it up.
+    const unsigned late = linesPerPage - 1;
+    hw.mem().deviceAccess(lineAddr(0x300, late), true, 0x77);
+    hw.drain();
+    hw.chw().clear(0x300);
+    EXPECT_EQ(hw.mem().authoritativeValue(lineAddr(0x700, late)),
+              0x77u);
+}
+
+TEST(LazyInvalidation, AllTlbsSwitchAfterMigration)
+{
+    HwSystem hw;
+    KernelConfig kc;
+    kc.memBytes = 256_MiB;
+    kc.kernelTextBytes = 2_MiB;
+    Kernel kernel(kc);
+    PageTables tables(kernel);
+    ASSERT_TRUE(tables.map(0x42, 0x111, 0));
+
+    // Warm every core's TLB with the source translation.
+    for (CoreId c = 0; c < hw.config().cores; ++c)
+        hw.mmu(c).translate(Addr{0x42} << pageShift, tables);
+
+    bool done = false;
+    hw.shootdown().contiguitasMigrate(
+        0, 0x42, tables, 0x222, ChwMode::Noncacheable, hw.chw(),
+        [&done](MigrationTiming) { done = true; });
+    hw.drain();
+    ASSERT_TRUE(done);
+
+    // Every core must now translate to the destination (its stale
+    // entry was invalidated at the lazy kernel-entry point).
+    for (CoreId c = 0; c < hw.config().cores; ++c) {
+        const auto r =
+            hw.mmu(c).translate(Addr{0x42} << pageShift, tables);
+        ASSERT_TRUE(r.valid);
+        EXPECT_EQ(r.paddr >> pageShift, 0x222u) << "core " << c;
+    }
+}
+
+TEST(RingLatency, SymmetricAndBounded)
+{
+    MemHierarchy mem{HwConfig{}};
+    const HwConfig config;
+    for (unsigned a = 0; a < config.llcSlices(); ++a) {
+        EXPECT_EQ(mem.ringLat(a, a), 0u);
+        for (unsigned b = 0; b < config.llcSlices(); ++b) {
+            EXPECT_EQ(mem.ringLat(a, b), mem.ringLat(b, a));
+            EXPECT_LE(mem.ringLat(a, b),
+                      (config.llcSlices() / 2) * config.ringHopLat);
+        }
+    }
+}
+
+TEST(SliceHash, SpreadsLinesAcrossSlices)
+{
+    MemHierarchy mem{HwConfig{}};
+    std::vector<unsigned> counts(HwConfig{}.llcSlices(), 0);
+    for (unsigned i = 0; i < linesPerPage; ++i)
+        ++counts[mem.sliceOf(lineAddr(0x300, i))];
+    // A page's 64 lines must touch several slices (the Figure 9
+    // distributed-copy scenario depends on it).
+    unsigned used = 0;
+    for (const unsigned c : counts)
+        used += c > 0;
+    EXPECT_GE(used, 4u);
+}
+
+TEST(DeviceNack, DeviceGetsNoncacheableNotification)
+{
+    HwSystem hw;
+    ChwEngine::Descriptor desc;
+    desc.src = 0x300;
+    desc.dst = 0x700;
+    desc.mode = ChwMode::Noncacheable;
+    desc.startCopyNow = false;
+    ASSERT_TRUE(hw.chw().submitMigrate(desc));
+    // Device accesses are always uncached agents; they must succeed
+    // against a migrating page without NACK bookkeeping explosions.
+    const auto before = hw.mem().stats().nackRetries;
+    hw.mem().deviceAccess(lineAddr(0x300, 2), false);
+    hw.mem().deviceAccess(lineAddr(0x300, 3), false);
+    EXPECT_EQ(hw.mem().stats().nackRetries, before);
+    hw.chw().clear(0x300);
+}
+
+TEST(ChurnPause, ArrivalsStopDeathsContinue)
+{
+    KernelConfig kc;
+    kc.memBytes = 256_MiB;
+    kc.kernelTextBytes = 2_MiB;
+    Kernel kernel(kc);
+    ChurnPool::Config config;
+    config.ratePerSec = 5000;
+    config.meanLifeSec = 0.2;
+    config.longLivedFrac = 0.0;
+    config.burstSigma = 0.0;
+    ChurnPool pool(kernel, config, 3);
+    pool.advanceTo(5.0);
+    const std::uint64_t peak = pool.livePages();
+    ASSERT_GT(peak, 0u);
+    pool.pause();
+    pool.advanceTo(7.0); // 10 mean lifetimes later
+    EXPECT_LT(pool.livePages(), peak / 100 + 2);
+}
+
+} // namespace
+} // namespace ctg

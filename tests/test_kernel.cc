@@ -1,0 +1,420 @@
+/**
+ * @file
+ * Kernel substrate tests: PSI, slab, page tables, address spaces,
+ * compaction, churn pools, netstack and reclaim.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/units.hh"
+#include "kernel/addrspace.hh"
+#include "kernel/churn.hh"
+#include "kernel/compaction.hh"
+#include "kernel/fsbuffers.hh"
+#include "kernel/kernel.hh"
+#include "kernel/netstack.hh"
+#include "kernel/pagetable.hh"
+#include "kernel/psi.hh"
+#include "kernel/slab.hh"
+#include "mem/scanner.hh"
+
+namespace ctg
+{
+namespace
+{
+
+KernelConfig
+smallConfig()
+{
+    KernelConfig config;
+    config.memBytes = 256_MiB;
+    config.kernelTextBytes = 4_MiB;
+    return config;
+}
+
+TEST(Psi, NoStallMeansZeroPressure)
+{
+    Psi psi;
+    psi.advanceTo(1e6);
+    EXPECT_DOUBLE_EQ(psi.pressure(), 0.0);
+}
+
+TEST(Psi, FullStallSaturatesNearHundred)
+{
+    Psi psi;
+    for (int i = 1; i <= 20; ++i) {
+        psi.recordStall(1e6);
+        psi.advanceTo(i * 1e6);
+    }
+    EXPECT_GT(psi.pressure(), 95.0);
+    EXPECT_LE(psi.pressure(), 100.0);
+}
+
+TEST(Psi, PressureDecaysAfterStallStops)
+{
+    Psi psi;
+    psi.recordStall(5e5);
+    psi.advanceTo(1e6);
+    const double peak = psi.pressure();
+    EXPECT_GT(peak, 0.0);
+    psi.advanceTo(61e6); // a minute of calm
+    EXPECT_LT(psi.pressure(), peak / 4.0);
+}
+
+TEST(Psi, StallClampedToInterval)
+{
+    Psi psi;
+    psi.recordStall(10e6); // more stall than wall-clock
+    psi.advanceTo(1e6);
+    EXPECT_LE(psi.pressure(), 100.0);
+}
+
+TEST(KernelFacade, BootPlacesKernelText)
+{
+    Kernel kernel(smallConfig());
+    const auto counts = scan::unmovableBySource(
+        kernel.mem(), 0, kernel.mem().numFrames());
+    const auto text_pages =
+        counts[static_cast<unsigned>(AllocSource::KernelText)];
+    EXPECT_EQ(text_pages, (4_MiB) / pageBytes);
+}
+
+TEST(KernelFacade, ReclaimInvokedOnFailure)
+{
+    class CountingShrinker : public Shrinker
+    {
+      public:
+        std::uint64_t calls = 0;
+
+        std::uint64_t
+        shrink(std::uint64_t) override
+        {
+            ++calls;
+            return 0;
+        }
+    };
+
+    Kernel kernel(smallConfig());
+    CountingShrinker shrinker;
+    kernel.registerShrinker(&shrinker);
+
+    // Exhaust memory.
+    std::vector<Pfn> held;
+    while (true) {
+        AllocRequest req;
+        req.order = maxOrder;
+        req.mt = MigrateType::Movable;
+        const Pfn p = kernel.allocPages(req);
+        if (p == invalidPfn)
+            break;
+        held.push_back(p);
+    }
+    EXPECT_GT(shrinker.calls, 0u);
+    EXPECT_GT(kernel.counters().allocFailures, 0u);
+    for (const Pfn p : held)
+        kernel.freePages(p);
+}
+
+TEST(Slab, ObjectRoundTrip)
+{
+    Kernel kernel(smallConfig());
+    SlabAllocator slab(kernel);
+    const auto handle = slab.allocObject(100);
+    ASSERT_NE(handle, 0u);
+    EXPECT_EQ(slab.liveObjects(), 1u);
+    EXPECT_GE(slab.backingPages(), 1u);
+    slab.freeObject(handle);
+    EXPECT_EQ(slab.liveObjects(), 0u);
+}
+
+TEST(Slab, PacksObjectsOntoOnePage)
+{
+    Kernel kernel(smallConfig());
+    SlabAllocator slab(kernel);
+    std::vector<SlabAllocator::ObjHandle> handles;
+    for (int i = 0; i < 32; ++i)
+        handles.push_back(slab.allocObject(64));
+    // 32 64-byte objects fit in one 4 KB page.
+    EXPECT_EQ(slab.backingPages(), 1u);
+    for (const auto h : handles)
+        slab.freeObject(h);
+}
+
+TEST(Slab, OneLiveObjectPinsThePage)
+{
+    Kernel kernel(smallConfig());
+    SlabAllocator slab(kernel);
+    std::vector<SlabAllocator::ObjHandle> handles;
+    for (int i = 0; i < 64; ++i)
+        handles.push_back(slab.allocObject(64));
+    const std::uint64_t pages_before = slab.backingPages();
+    // Free all but one object: the backing page must stay.
+    for (std::size_t i = 1; i < handles.size(); ++i)
+        slab.freeObject(handles[i]);
+    EXPECT_EQ(slab.backingPages(), pages_before);
+    slab.freeObject(handles[0]);
+}
+
+TEST(Slab, ShrinkerReleasesCachedSlabs)
+{
+    Kernel kernel(smallConfig());
+    SlabAllocator slab(kernel);
+    std::vector<SlabAllocator::ObjHandle> handles;
+    for (int i = 0; i < 4096; ++i)
+        handles.push_back(slab.allocObject(512));
+    for (const auto h : handles)
+        slab.freeObject(h);
+    // Empty slabs are cached until shrunk.
+    EXPECT_GT(slab.backingPages(), 0u);
+    slab.shrink(~std::uint64_t{0});
+    EXPECT_EQ(slab.backingPages(), 0u);
+}
+
+TEST(Slab, DistinctHandlesWhileLive)
+{
+    Kernel kernel(smallConfig());
+    SlabAllocator slab(kernel);
+    std::set<SlabAllocator::ObjHandle> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto h = slab.allocObject(192);
+        EXPECT_TRUE(seen.insert(h).second);
+    }
+}
+
+TEST(PageTablesTest, MapTranslateUnmap)
+{
+    Kernel kernel(smallConfig());
+    PageTables tables(kernel);
+    ASSERT_TRUE(tables.map(0x1000, 777, 0));
+    const Translation t = tables.translate(0x1000);
+    ASSERT_TRUE(t.valid);
+    EXPECT_EQ(t.pfn, 777u);
+    EXPECT_EQ(t.order, 0u);
+    EXPECT_TRUE(tables.unmap(0x1000));
+    EXPECT_FALSE(tables.translate(0x1000).valid);
+}
+
+TEST(PageTablesTest, HugeLeafCoversRange)
+{
+    Kernel kernel(smallConfig());
+    PageTables tables(kernel);
+    ASSERT_TRUE(tables.map(0, 4096, hugeOrder));
+    const Translation t = tables.translate(300);
+    ASSERT_TRUE(t.valid);
+    EXPECT_EQ(t.order, hugeOrder);
+    EXPECT_EQ(t.pfn, 4096u + 300u);
+}
+
+TEST(PageTablesTest, GiganticLeaf)
+{
+    Kernel kernel(smallConfig());
+    PageTables tables(kernel);
+    ASSERT_TRUE(tables.map(0, 0, gigaOrder));
+    const Translation t = tables.translate(pagesPerGiga - 1);
+    ASSERT_TRUE(t.valid);
+    EXPECT_EQ(t.order, gigaOrder);
+    EXPECT_EQ(t.pfn, pagesPerGiga - 1);
+}
+
+TEST(PageTablesTest, TablePagesAreUnmovableAllocations)
+{
+    Kernel kernel(smallConfig());
+    const auto before = scan::unmovableBySource(
+        kernel.mem(), 0, kernel.mem().numFrames());
+    PageTables tables(kernel);
+    // Map sparse addresses to force distinct table paths.
+    for (Vpn vpn = 0; vpn < 8; ++vpn)
+        ASSERT_TRUE(tables.map(vpn << 27, 1, 0));
+    const auto after = scan::unmovableBySource(
+        kernel.mem(), 0, kernel.mem().numFrames());
+    const auto idx = static_cast<unsigned>(AllocSource::PageTables);
+    EXPECT_GT(after[idx], before[idx]);
+    EXPECT_EQ(after[idx] - before[idx], tables.tablePages());
+}
+
+TEST(PageTablesTest, WalkDepthVariesWithPageSize)
+{
+    Kernel kernel(smallConfig());
+    PageTables tables(kernel);
+    ASSERT_TRUE(tables.map(0, 1, 0));
+    ASSERT_TRUE(tables.map(pagesPerGiga, 4096, hugeOrder));
+    unsigned depth4k = 0, depth2m = 0;
+    tables.walkAddrs(0, &depth4k);
+    tables.walkAddrs(pagesPerGiga, &depth2m);
+    EXPECT_EQ(depth4k, 4u);
+    EXPECT_EQ(depth2m, 3u);
+}
+
+TEST(AddressSpaceTest, TouchBacksWithThp)
+{
+    Kernel kernel(smallConfig());
+    AddressSpace space(kernel, 1);
+    const Addr base = space.mmap(8_MiB);
+    const std::uint64_t backed = space.touchRange(base, 8_MiB);
+    EXPECT_EQ(backed, (8_MiB) / pageBytes);
+    // Fresh memory: THP should back everything with 2 MB chunks.
+    EXPECT_EQ(space.chunks2m(), 4u);
+    EXPECT_EQ(space.pages4k(), 0u);
+}
+
+TEST(AddressSpaceTest, ThpDisabledUses4k)
+{
+    KernelConfig config = smallConfig();
+    config.thpEnabled = false;
+    Kernel kernel(config);
+    AddressSpace space(kernel, 1);
+    const Addr base = space.mmap(2_MiB);
+    space.touchRange(base, 2_MiB);
+    EXPECT_EQ(space.chunks2m(), 0u);
+    EXPECT_EQ(space.pages4k(), pagesPerHuge);
+}
+
+TEST(AddressSpaceTest, MunmapReleasesEverything)
+{
+    Kernel kernel(smallConfig());
+    const std::uint64_t free_before =
+        kernel.policy().freeUserPages();
+    AddressSpace space(kernel, 1);
+    const Addr base = space.mmap(16_MiB);
+    space.touchRange(base, 16_MiB);
+    space.munmap(base);
+    // Page-table pages may remain; user pages must all be back.
+    EXPECT_EQ(space.backedPages(), 0u);
+    const std::uint64_t free_after = kernel.policy().freeUserPages();
+    EXPECT_GE(free_after + 64, free_before); // tables tolerance
+}
+
+TEST(AddressSpaceTest, RelocateUpdatesTranslation)
+{
+    Kernel kernel(smallConfig());
+    AddressSpace space(kernel, 1);
+    const Addr base = space.mmap(1_MiB);
+    space.touchRange(base, 1_MiB);
+    const Translation before = space.translate(base);
+    ASSERT_TRUE(before.valid);
+
+    // Simulate what compaction does.
+    AllocRequest req;
+    req.order = before.order;
+    req.mt = MigrateType::Movable;
+    const Pfn fresh = kernel.allocPages(req);
+    ASSERT_NE(fresh, invalidPfn);
+    const std::uint64_t owner =
+        kernel.mem().frame(before.pfn).owner;
+    ASSERT_TRUE(kernel.owners().relocate(owner, before.pfn, fresh));
+    EXPECT_EQ(space.translate(base).pfn, fresh);
+}
+
+TEST(CompactionTest, FormsHugeBlockFromFragmentedMemory)
+{
+    Kernel kernel(smallConfig());
+    AddressSpace space(kernel, 1);
+
+    // Back a large range with 4 KB pages (thp off via odd sizes),
+    // then punch holes: memory is fragmented but fully movable.
+    const Addr base = space.mmap(128_MiB);
+    space.touchRange(base, 128_MiB);
+    space.releasePages((64_MiB) / pageBytes, kernel.rng());
+
+    // Consume the naturally coalesced large blocks so compaction has
+    // real work to do.
+    std::vector<Pfn> hogs;
+    while (true) {
+        const Pfn p = kernel.policy().movableAllocator().allocPages(
+            hugeOrder, MigrateType::Movable, AllocSource::User, 0,
+            AddrPref::None, false);
+        if (p == invalidPfn)
+            break;
+        hogs.push_back(p);
+    }
+    for (const Pfn p : hogs)
+        kernel.freePages(p);
+
+    const CompactionResult r = kernel.compact(hugeOrder);
+    EXPECT_TRUE(r.targetReached);
+}
+
+TEST(CompactionTest, UnmovablePageBlocksPageblock)
+{
+    Kernel kernel(smallConfig());
+    // A lone kernel page inside a pageblock makes it unmovable for
+    // compaction purposes.
+    AllocRequest req;
+    req.order = 0;
+    req.mt = MigrateType::Unmovable;
+    req.source = AllocSource::Slab;
+    const Pfn p = kernel.allocPages(req);
+    ASSERT_NE(p, invalidPfn);
+    const CompactionResult r = compactRange(
+        kernel.policy().movableAllocator(), kernel.owners(),
+        0, kernel.mem().numFrames(), 1u << 20);
+    EXPECT_GT(r.blockedPageblocks, 0u);
+    kernel.freePages(p);
+}
+
+TEST(ChurnPoolTest, SteadyStateMatchesLittlesLaw)
+{
+    Kernel kernel(smallConfig());
+    ChurnPool::Config config;
+    config.ratePerSec = 2000;
+    config.meanLifeSec = 0.5;
+    config.longLivedFrac = 0.0;
+    config.burstSigma = 0.0; // steady Poisson for Little's law
+    ChurnPool pool(kernel, config, 7);
+    pool.advanceTo(30.0);
+    // Little's law: live ~= rate * mean life = 1000 pages (order 0).
+    EXPECT_GT(pool.livePages(), 700u);
+    EXPECT_LT(pool.livePages(), 1300u);
+    pool.drain();
+    EXPECT_EQ(pool.livePages(), 0u);
+}
+
+TEST(NetStackTest, RingsAndSkbsAreNetworkingUnmovable)
+{
+    Kernel kernel(smallConfig());
+    NetStack::Config config;
+    config.queues = 4;
+    config.skbRatePerSec = 5000;
+    NetStack net(kernel, config, 3);
+    net.start();
+    net.advanceTo(5.0);
+    const auto counts = scan::unmovableBySource(
+        kernel.mem(), 0, kernel.mem().numFrames());
+    const auto idx = static_cast<unsigned>(AllocSource::Networking);
+    EXPECT_GT(counts[idx], 0u);
+    EXPECT_GE(counts[idx], net.livePages() / 2);
+}
+
+TEST(NetStackTest, PinsUserPages)
+{
+    Kernel kernel(smallConfig());
+    AddressSpace space(kernel, 1);
+    const Addr base = space.mmap(4_MiB);
+    space.touchRange(base, 4_MiB);
+    // Release THP chunking by touching with 4K: instead, just pin.
+    NetStack net(kernel, {}, 3);
+    // Force 4K pages by disabling THP at touch time is not possible
+    // here; mmap another region with sub-huge size.
+    const Addr small = space.mmap(64_KiB);
+    space.touchRange(small, 64_KiB);
+    const std::uint64_t pinned = net.pinUserPages(space, 8);
+    EXPECT_GT(pinned, 0u);
+    EXPECT_EQ(net.pinnedPages(), pinned);
+    net.unpinAll();
+    EXPECT_EQ(net.pinnedPages(), 0u);
+}
+
+TEST(FsBuffersTest, CacheGrowsAndShrinks)
+{
+    Kernel kernel(smallConfig());
+    FsBuffers::Config config;
+    config.cacheGrowthPagesPerSec = 1000;
+    FsBuffers fs(kernel, config, 11);
+    fs.advanceTo(10.0);
+    EXPECT_GT(fs.cachePages(), 5000u);
+    const std::uint64_t freed = fs.shrink(1000);
+    EXPECT_EQ(freed, 1000u);
+}
+
+} // namespace
+} // namespace ctg

@@ -1,0 +1,560 @@
+/**
+ * @file
+ * Contiguitas-HW migration correctness and timing tests: the
+ * migration table, redirection linearizability under concurrent
+ * traffic through both mappings, both cacheable and noncacheable
+ * modes, slice handoff, and the end-to-end migration procedures
+ * (classic vs Contiguitas) whose timings Figure 13 reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "base/rng.hh"
+#include "base/units.hh"
+#include "hw/system.hh"
+
+namespace ctg
+{
+namespace
+{
+
+constexpr Pfn srcPage = 0x300;
+constexpr Pfn dstPage = 0x5123;
+
+Addr
+lineAddr(Pfn page, unsigned idx)
+{
+    return pfnToAddr(page) + static_cast<Addr>(idx) * lineBytes;
+}
+
+TEST(MigrationTable, InstallFindClear)
+{
+    MigrationTable table(16);
+    MigrationEntry *entry =
+        table.install(srcPage, dstPage, ChwMode::Noncacheable);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(table.find(srcPage), entry);
+    EXPECT_EQ(table.find(dstPage), entry);
+    EXPECT_EQ(table.findBySrc(srcPage), entry);
+    table.clear(srcPage);
+    EXPECT_EQ(table.find(srcPage), nullptr);
+}
+
+TEST(MigrationTable, CapacityIsEnforced)
+{
+    MigrationTable table(4);
+    for (Pfn i = 0; i < 4; ++i)
+        ASSERT_NE(table.install(100 + i, 200 + i,
+                                ChwMode::Noncacheable),
+                  nullptr);
+    EXPECT_EQ(table.install(300, 400, ChwMode::Noncacheable),
+              nullptr);
+    EXPECT_EQ(table.installFailures(), 1u);
+    EXPECT_EQ(table.occupancy(), 4u);
+}
+
+TEST(MigrationTable, CanonicalLineFollowsPtr)
+{
+    MigrationTable table(16);
+    MigrationEntry *entry =
+        table.install(srcPage, dstPage, ChwMode::Noncacheable);
+    entry->ptr = 10;
+    // Copied lines resolve to the destination, uncopied to source —
+    // for requests through either name.
+    EXPECT_EQ(canonicalLine(*entry, lineAddr(srcPage, 5)),
+              lineAddr(dstPage, 5));
+    EXPECT_EQ(canonicalLine(*entry, lineAddr(dstPage, 5)),
+              lineAddr(dstPage, 5));
+    EXPECT_EQ(canonicalLine(*entry, lineAddr(srcPage, 30)),
+              lineAddr(srcPage, 30));
+    EXPECT_EQ(canonicalLine(*entry, lineAddr(dstPage, 30)),
+              lineAddr(srcPage, 30));
+}
+
+class ChwEngineTest : public ::testing::Test
+{
+  protected:
+    ChwEngineTest()
+    {
+        // Seed the source page with known line tokens.
+        for (unsigned i = 0; i < linesPerPage; ++i)
+            hw.mem().pokeMemory(lineAddr(srcPage, i), 1000 + i);
+    }
+
+    HwSystem hw;
+};
+
+TEST_F(ChwEngineTest, CopiesWholePage)
+{
+    bool completed = false;
+    ChwEngine::Descriptor desc;
+    desc.src = srcPage;
+    desc.dst = dstPage;
+    desc.mode = ChwMode::Noncacheable;
+    desc.onComplete = [&completed] { completed = true; };
+    ASSERT_TRUE(hw.chw().submitMigrate(desc));
+    hw.drain();
+    ASSERT_TRUE(completed);
+    hw.chw().clear(srcPage);
+    for (unsigned i = 0; i < linesPerPage; ++i) {
+        EXPECT_EQ(hw.mem().authoritativeValue(lineAddr(dstPage, i)),
+                  1000 + i)
+            << "line " << i;
+    }
+    EXPECT_EQ(hw.chw().stats().linesCopied, linesPerPage);
+    EXPECT_GT(hw.chw().stats().sliceHandoffs, 0u);
+}
+
+TEST_F(ChwEngineTest, RedirectionServesCopiedLinesFromDst)
+{
+    ChwEngine::Descriptor desc;
+    desc.src = srcPage;
+    desc.dst = dstPage;
+    desc.mode = ChwMode::Noncacheable;
+    ASSERT_TRUE(hw.chw().submitMigrate(desc));
+
+    // Advance the copy partially.
+    for (int i = 0; i < 20; ++i)
+        hw.eventq().step();
+    MigrationEntry *entry =
+        hw.mem().migrationTable().findBySrc(srcPage);
+    ASSERT_NE(entry, nullptr);
+    ASSERT_GT(entry->ptr, 0u);
+    ASSERT_LT(entry->ptr, linesPerPage);
+
+    // Reads through the source name must return correct data both
+    // before and after the Ptr frontier.
+    const unsigned copied = 0;
+    const unsigned uncopied = linesPerPage - 1;
+    const auto low =
+        hw.mem().access(0, lineAddr(srcPage, copied), false);
+    EXPECT_EQ(low.value, 1000u + copied);
+    EXPECT_TRUE(low.redirected);
+    const auto high =
+        hw.mem().access(0, lineAddr(srcPage, uncopied), false);
+    EXPECT_EQ(high.value, 1000u + uncopied);
+    hw.drain();
+}
+
+TEST_F(ChwEngineTest, WritesDuringMigrationLandInFinalPage)
+{
+    ChwEngine::Descriptor desc;
+    desc.src = srcPage;
+    desc.dst = dstPage;
+    desc.mode = ChwMode::Noncacheable;
+    ASSERT_TRUE(hw.chw().submitMigrate(desc));
+
+    // Write through the source mapping to an uncopied line while the
+    // copy is in flight: the value must survive into the
+    // destination.
+    for (int i = 0; i < 10; ++i)
+        hw.eventq().step();
+    MigrationEntry *entry =
+        hw.mem().migrationTable().findBySrc(srcPage);
+    ASSERT_NE(entry, nullptr);
+    const unsigned target = linesPerPage - 2;
+    ASSERT_GT(target, entry->ptr);
+    hw.mem().access(1, lineAddr(srcPage, target), true, 0xabcd);
+    hw.drain();
+    hw.chw().clear(srcPage);
+    EXPECT_EQ(hw.mem().authoritativeValue(lineAddr(dstPage, target)),
+              0xabcdu);
+}
+
+TEST_F(ChwEngineTest, NoncacheableBypassesPrivateCaches)
+{
+    ChwEngine::Descriptor desc;
+    desc.src = srcPage;
+    desc.dst = dstPage;
+    desc.mode = ChwMode::Noncacheable;
+    desc.startCopyNow = false; // mapping only; no copy progress yet
+    ASSERT_TRUE(hw.chw().submitMigrate(desc));
+
+    const auto first =
+        hw.mem().access(0, lineAddr(srcPage, 3), false);
+    EXPECT_TRUE(first.bypassedPrivate);
+    // Still bypasses on repeat (no private fill happened).
+    const auto second =
+        hw.mem().access(0, lineAddr(srcPage, 3), false);
+    EXPECT_TRUE(second.bypassedPrivate);
+    EXPECT_GT(second.latency, hw.config().l1Lat);
+    hw.chw().clear(srcPage);
+}
+
+TEST_F(ChwEngineTest, NackRetryChargedOncePerCore)
+{
+    ChwEngine::Descriptor desc;
+    desc.src = srcPage;
+    desc.dst = dstPage;
+    desc.mode = ChwMode::Noncacheable;
+    desc.startCopyNow = false;
+    ASSERT_TRUE(hw.chw().submitMigrate(desc));
+
+    const auto before = hw.mem().stats().nackRetries;
+    hw.mem().access(2, lineAddr(srcPage, 0), false);
+    hw.mem().access(2, lineAddr(srcPage, 1), false);
+    hw.mem().access(5, lineAddr(srcPage, 0), false);
+    EXPECT_EQ(hw.mem().stats().nackRetries, before + 2);
+    hw.chw().clear(srcPage);
+}
+
+TEST_F(ChwEngineTest, CacheableSkipsDirtyDestinationLines)
+{
+    ChwEngine::Descriptor desc;
+    desc.src = srcPage;
+    desc.dst = dstPage;
+    desc.mode = ChwMode::Cacheable;
+    desc.startCopyNow = false;
+    ASSERT_TRUE(hw.chw().submitMigrate(desc));
+
+    // Phase 1 ends: all TLBs now use the destination mapping. A core
+    // writes a line through the destination name; since the line is
+    // uncopied it canonicalizes to the source... advance Ptr first
+    // by starting the copy, then dirty a line ahead of the frontier
+    // through the destination name once it has been copied.
+    hw.chw().startCopy(srcPage);
+    for (int i = 0; i < 16; ++i)
+        hw.eventq().step();
+    MigrationEntry *entry =
+        hw.mem().migrationTable().findBySrc(srcPage);
+    ASSERT_NE(entry, nullptr);
+    ASSERT_GT(entry->ptr, 2u);
+    // Write to an already-copied line via dst: private M state.
+    hw.mem().access(0, lineAddr(dstPage, 1), true, 0xfeed);
+    hw.drain();
+    hw.chw().clear(srcPage);
+    EXPECT_EQ(hw.mem().authoritativeValue(lineAddr(dstPage, 1)),
+              0xfeedu);
+}
+
+/**
+ * Linearizability fuzz: random reads/writes through both names while
+ * the engine copies, checked against a logical reference page.
+ */
+class MigrationFuzz
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>>
+{};
+
+TEST_P(MigrationFuzz, BothMappingsStayCoherent)
+{
+    const auto [seed, mode_int] = GetParam();
+    const auto mode = static_cast<ChwMode>(mode_int);
+    HwSystem hw;
+    Rng rng(seed);
+
+    std::array<std::uint64_t, linesPerPage> reference{};
+    for (unsigned i = 0; i < linesPerPage; ++i) {
+        reference[i] = 5000 + i;
+        hw.mem().pokeMemory(lineAddr(srcPage, i), reference[i]);
+    }
+
+    ChwEngine::Descriptor desc;
+    desc.src = srcPage;
+    desc.dst = dstPage;
+    desc.mode = mode;
+    bool done = false;
+    desc.onComplete = [&done] { done = true; };
+    desc.startCopyNow = mode == ChwMode::Noncacheable;
+    ASSERT_TRUE(hw.chw().submitMigrate(desc));
+
+    // Cacheable: phase 1 traffic through both names, then start the
+    // copy (phase 2: destination name only, as all TLBs switched).
+    const bool cacheable = mode == ChwMode::Cacheable;
+    if (cacheable) {
+        for (int op = 0; op < 200; ++op) {
+            const unsigned idx =
+                static_cast<unsigned>(rng.below(linesPerPage));
+            const Pfn name = rng.chance(0.5) ? srcPage : dstPage;
+            const auto core = static_cast<CoreId>(rng.below(8));
+            if (rng.chance(0.5)) {
+                const std::uint64_t v = rng.next();
+                hw.mem().access(core, lineAddr(name, idx), true, v);
+                reference[idx] = v;
+            } else {
+                const auto out =
+                    hw.mem().access(core, lineAddr(name, idx), false);
+                ASSERT_EQ(out.value, reference[idx])
+                    << "phase1 line " << idx;
+            }
+        }
+        hw.chw().startCopy(srcPage);
+    }
+
+    // Interleave engine events with traffic.
+    while (!done) {
+        if (!hw.eventq().step())
+            break;
+        for (int op = 0; op < 4; ++op) {
+            const unsigned idx =
+                static_cast<unsigned>(rng.below(linesPerPage));
+            const Pfn name = cacheable
+                                 ? dstPage
+                                 : (rng.chance(0.5) ? srcPage
+                                                    : dstPage);
+            const auto core = static_cast<CoreId>(rng.below(8));
+            if (rng.chance(0.45)) {
+                const std::uint64_t v = rng.next();
+                hw.mem().access(core, lineAddr(name, idx), true, v);
+                reference[idx] = v;
+            } else {
+                const auto out =
+                    hw.mem().access(core, lineAddr(name, idx), false);
+                ASSERT_EQ(out.value, reference[idx])
+                    << "line " << idx << " via "
+                    << (name == srcPage ? "src" : "dst");
+            }
+        }
+    }
+    ASSERT_TRUE(done);
+    hw.chw().clear(srcPage);
+
+    // Post-migration: destination holds the logical page exactly.
+    for (unsigned i = 0; i < linesPerPage; ++i) {
+        EXPECT_EQ(hw.mem().authoritativeValue(lineAddr(dstPage, i)),
+                  reference[i])
+            << "final line " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndModes, MigrationFuzz,
+    ::testing::Combine(::testing::Values(7, 99, 1234, 5150),
+                       ::testing::Values(0, 1)));
+
+/** Variable buffer sizes (Section 3.3): one mapping covers a
+ * multi-page device buffer; redirection and copy span the range. */
+class VariableSizeTest : public ::testing::Test
+{
+  protected:
+    static constexpr unsigned bufPages = 4;
+
+    VariableSizeTest()
+    {
+        for (unsigned p = 0; p < bufPages; ++p) {
+            for (unsigned i = 0; i < linesPerPage; ++i) {
+                hw.mem().pokeMemory(lineAddr(srcPage + p, i),
+                                    token(p, i));
+            }
+        }
+    }
+
+    static std::uint64_t
+    token(unsigned page, unsigned line)
+    {
+        return 0xb0000000 + page * 1000 + line;
+    }
+
+    HwSystem hw;
+};
+
+TEST_F(VariableSizeTest, TableCoversWholeRange)
+{
+    MigrationTable table(16);
+    MigrationEntry *entry = table.install(
+        srcPage, dstPage, ChwMode::Noncacheable, bufPages);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(table.find(srcPage + bufPages - 1), entry);
+    EXPECT_EQ(table.find(dstPage + bufPages - 1), entry);
+    EXPECT_EQ(table.find(srcPage + bufPages), nullptr);
+    // Ptr halfway through page 1: page 0 fully at dst.
+    entry->ptr = linesPerPage + 8;
+    EXPECT_EQ(canonicalLine(*entry, lineAddr(srcPage, 5)),
+              lineAddr(dstPage, 5));
+    EXPECT_EQ(canonicalLine(*entry, lineAddr(srcPage + 1, 5)),
+              lineAddr(dstPage + 1, 5));
+    EXPECT_EQ(canonicalLine(*entry, lineAddr(srcPage + 1, 30)),
+              lineAddr(srcPage + 1, 30));
+    EXPECT_EQ(canonicalLine(*entry, lineAddr(srcPage + 3, 0)),
+              lineAddr(srcPage + 3, 0));
+}
+
+TEST_F(VariableSizeTest, CopiesWholeBuffer)
+{
+    ChwEngine::Descriptor desc;
+    desc.src = srcPage;
+    desc.dst = dstPage;
+    desc.sizePages = bufPages;
+    desc.mode = ChwMode::Noncacheable;
+    bool done = false;
+    desc.onComplete = [&done] { done = true; };
+    ASSERT_TRUE(hw.chw().submitMigrate(desc));
+    hw.drain();
+    ASSERT_TRUE(done);
+    hw.chw().clear(srcPage);
+    for (unsigned p = 0; p < bufPages; ++p) {
+        for (unsigned i = 0; i < linesPerPage; ++i) {
+            ASSERT_EQ(hw.mem().authoritativeValue(
+                          lineAddr(dstPage + p, i)),
+                      token(p, i))
+                << "page " << p << " line " << i;
+        }
+    }
+    EXPECT_EQ(hw.chw().stats().linesCopied,
+              bufPages * linesPerPage);
+}
+
+TEST_F(VariableSizeTest, ConcurrentTrafficAcrossPages)
+{
+    ChwEngine::Descriptor desc;
+    desc.src = srcPage;
+    desc.dst = dstPage;
+    desc.sizePages = bufPages;
+    desc.mode = ChwMode::Noncacheable;
+    bool done = false;
+    desc.onComplete = [&done] { done = true; };
+    ASSERT_TRUE(hw.chw().submitMigrate(desc));
+
+    Rng rng(0x51ed);
+    std::array<std::uint64_t, bufPages * linesPerPage> reference{};
+    for (unsigned p = 0; p < bufPages; ++p) {
+        for (unsigned i = 0; i < linesPerPage; ++i)
+            reference[p * linesPerPage + i] = token(p, i);
+    }
+    while (!done) {
+        if (!hw.eventq().step() || done)
+            break;
+        for (int op = 0; op < 3; ++op) {
+            const unsigned p =
+                static_cast<unsigned>(rng.below(bufPages));
+            const unsigned i = static_cast<unsigned>(
+                rng.below(linesPerPage));
+            const Pfn name =
+                (rng.chance(0.5) ? srcPage : dstPage) + p;
+            if (rng.chance(0.4)) {
+                const std::uint64_t v = rng.next();
+                hw.mem().access(0, lineAddr(name, i), true, v);
+                reference[p * linesPerPage + i] = v;
+            } else {
+                const auto out =
+                    hw.mem().access(1, lineAddr(name, i), false);
+                ASSERT_EQ(out.value,
+                          reference[p * linesPerPage + i])
+                    << "page " << p << " line " << i;
+            }
+        }
+    }
+    hw.drain();
+    hw.chw().clear(srcPage);
+    for (unsigned p = 0; p < bufPages; ++p) {
+        for (unsigned i = 0; i < linesPerPage; ++i) {
+            ASSERT_EQ(hw.mem().authoritativeValue(
+                          lineAddr(dstPage + p, i)),
+                      reference[p * linesPerPage + i]);
+        }
+    }
+}
+
+class ProcedureTest : public ::testing::Test
+{
+  protected:
+    ProcedureTest()
+        : kernel(makeConfig()), tables(kernel)
+    {}
+
+    static KernelConfig
+    makeConfig()
+    {
+        KernelConfig config;
+        config.memBytes = 256_MiB;
+        config.kernelTextBytes = 2_MiB;
+        return config;
+    }
+
+    Kernel kernel;
+    PageTables tables;
+    HwSystem hw;
+};
+
+TEST_F(ProcedureTest, ClassicMigrationBlocksLinearlyInVictims)
+{
+    Cycles prev = 0;
+    for (unsigned victims = 1; victims <= 7; ++victims) {
+        const Vpn vpn = 0x1000 + victims;
+        ASSERT_TRUE(tables.map(vpn, 0x2000 + victims, 0));
+        MigrationTiming timing;
+        bool fired = false;
+        hw.shootdown().softwareMigrate(
+            0, victims, vpn, tables, 0x4000 + victims,
+            [&](MigrationTiming t) {
+                timing = t;
+                fired = true;
+            });
+        hw.drain();
+        ASSERT_TRUE(fired);
+        EXPECT_GT(timing.unavailableCycles, prev);
+        // Mapping now points at the destination.
+        EXPECT_EQ(tables.translate(vpn).pfn, 0x4000u + victims);
+        prev = timing.unavailableCycles;
+    }
+}
+
+TEST_F(ProcedureTest, ClassicUnavailabilityIncludesCopy)
+{
+    ASSERT_TRUE(tables.map(0x99, 0x111, 0));
+    MigrationTiming timing;
+    hw.shootdown().softwareMigrate(0, 1, 0x99, tables, 0x222,
+                                   [&](MigrationTiming t) {
+                                       timing = t;
+                                   });
+    hw.drain();
+    const Cycles copy = timing.pteUpdated - timing.copyDone == 0
+                            ? 0
+                            : timing.copyDone - timing.shootdownDone;
+    EXPECT_NEAR(static_cast<double>(copy), 1300.0, 300.0);
+}
+
+TEST_F(ProcedureTest, ContiguitasMigrationNeverBlocks)
+{
+    ASSERT_TRUE(tables.map(0x55, 0x333, 0));
+    for (unsigned i = 0; i < linesPerPage; ++i)
+        hw.mem().pokeMemory(lineAddr(0x333, i), 9000 + i);
+
+    MigrationTiming timing;
+    bool fired = false;
+    hw.shootdown().contiguitasMigrate(
+        0, 0x55, tables, 0x444, ChwMode::Noncacheable, hw.chw(),
+        [&](MigrationTiming t) {
+            timing = t;
+            fired = true;
+        });
+    hw.drain();
+    ASSERT_TRUE(fired);
+    EXPECT_EQ(timing.unavailableCycles, 0u);
+    EXPECT_EQ(tables.translate(0x55).pfn, 0x444u);
+    // Data made it over.
+    for (unsigned i = 0; i < linesPerPage; ++i) {
+        EXPECT_EQ(hw.mem().authoritativeValue(lineAddr(0x444, i)),
+                  9000 + i);
+    }
+    // A 4 KB migration lands in the ~2 us range (Section 5.3).
+    const double us =
+        static_cast<double>(timing.copyDone - timing.start) /
+        (hw.config().ghz * 1000.0);
+    EXPECT_LT(us, 5.0);
+}
+
+TEST_F(ProcedureTest, ContiguitasCacheableModeCompletes)
+{
+    ASSERT_TRUE(tables.map(0x66, 0x555, 0));
+    for (unsigned i = 0; i < linesPerPage; ++i)
+        hw.mem().pokeMemory(lineAddr(0x555, i), 100 + i);
+
+    bool fired = false;
+    hw.shootdown().contiguitasMigrate(
+        0, 0x66, tables, 0x666, ChwMode::Cacheable, hw.chw(),
+        [&](MigrationTiming t) {
+            fired = true;
+            EXPECT_EQ(t.unavailableCycles, 0u);
+        });
+    hw.drain();
+    ASSERT_TRUE(fired);
+    for (unsigned i = 0; i < linesPerPage; ++i) {
+        EXPECT_EQ(hw.mem().authoritativeValue(lineAddr(0x666, i)),
+                  100 + i);
+    }
+}
+
+} // namespace
+} // namespace ctg

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Performance-model tests: hardware-generation coverage arithmetic
+ * and the walk-cycle measurement's qualitative properties (larger
+ * pages -> fewer walk cycles; partial coverage in between; giga
+ * pages shorten walks further).
+ */
+
+#include <gtest/gtest.h>
+
+#include "perfmodel/hwgen.hh"
+#include "perfmodel/walkmodel.hh"
+
+namespace ctg
+{
+namespace
+{
+
+TEST(HwGen, FiveGenerationsWithGrowingCapacity)
+{
+    const auto gens = hwGenerations();
+    ASSERT_EQ(gens.size(), 5u);
+    for (std::size_t i = 1; i < gens.size(); ++i) {
+        EXPECT_GT(gens[i].relativeCapacity,
+                  gens[i - 1].relativeCapacity);
+    }
+    EXPECT_NEAR(gens.back().relativeCapacity, 8.0, 0.5);
+}
+
+TEST(HwGen, CoverageShrinksAcrossGenerations)
+{
+    const auto gens = hwGenerations();
+    for (std::size_t i = 1; i < gens.size(); ++i) {
+        EXPECT_LT(tlbCoverage(gens[i], hugeBytes),
+                  tlbCoverage(gens[i - 1], hugeBytes) * 1.05);
+    }
+    // 1 GB pages cover more than the whole machine on every gen.
+    for (const auto &gen : gens)
+        EXPECT_GT(tlbCoverage(gen, gigaBytes), 1.0);
+}
+
+TEST(HwGen, CoverageMath)
+{
+    const HwGeneration gen{"t", 1.0, std::uint64_t{64} << 30, 1536};
+    EXPECT_NEAR(tlbCoverage(gen, std::uint64_t{2} << 20),
+                1536.0 * 2.0 / (64.0 * 1024.0), 1e-9);
+}
+
+class WalkModelTest : public ::testing::Test
+{
+  protected:
+    static AccessProfile
+    smallProfile()
+    {
+        AccessProfile profile;
+        profile.dataBytes = std::uint64_t{768} << 20;
+        profile.codeBytes = std::uint64_t{32} << 20;
+        profile.dataZipfTheta = 0.5;
+        profile.codeZipfTheta = 0.6;
+        return profile;
+    }
+
+    static constexpr std::uint64_t ops = 30000;
+};
+
+TEST_F(WalkModelTest, HugePagesReduceWalkCycles)
+{
+    const AccessProfile profile = smallProfile();
+    const WalkMeasurement base = measureWalkCycles(
+        profile, BackingMix{}, BackingMix{}, ops, 1);
+    BackingMix huge;
+    huge.hugeFraction = 1.0;
+    const WalkMeasurement thp =
+        measureWalkCycles(profile, huge, huge, ops, 1);
+    EXPECT_GT(base.totalWalkFrac(), 0.01);
+    EXPECT_LT(thp.totalWalkFrac(), base.totalWalkFrac() * 0.8);
+}
+
+TEST_F(WalkModelTest, PartialCoverageLandsBetween)
+{
+    const AccessProfile profile = smallProfile();
+    const WalkMeasurement none = measureWalkCycles(
+        profile, BackingMix{}, BackingMix{}, ops, 1);
+    BackingMix half;
+    half.hugeFraction = 0.5;
+    const WalkMeasurement mid =
+        measureWalkCycles(profile, half, half, ops, 1);
+    BackingMix full;
+    full.hugeFraction = 1.0;
+    const WalkMeasurement best =
+        measureWalkCycles(profile, full, full, ops, 1);
+    EXPECT_LT(mid.dataWalkFrac, none.dataWalkFrac);
+    EXPECT_GT(mid.dataWalkFrac, best.dataWalkFrac);
+}
+
+TEST_F(WalkModelTest, GigaPagesBeatHugePages)
+{
+    AccessProfile profile = smallProfile();
+    profile.dataBytes = std::uint64_t{2} << 30;
+    BackingMix huge;
+    huge.hugeFraction = 1.0;
+    const WalkMeasurement thp =
+        measureWalkCycles(profile, huge, huge, ops, 1);
+    BackingMix giga = huge;
+    giga.gigaPages = 2;
+    const WalkMeasurement g =
+        measureWalkCycles(profile, giga, huge, ops, 1);
+    EXPECT_LE(g.dataWalkFrac, thp.dataWalkFrac);
+}
+
+TEST_F(WalkModelTest, MeasurementIsDeterministic)
+{
+    const AccessProfile profile = smallProfile();
+    const WalkMeasurement a = measureWalkCycles(
+        profile, BackingMix{}, BackingMix{}, ops, 7);
+    const WalkMeasurement b = measureWalkCycles(
+        profile, BackingMix{}, BackingMix{}, ops, 7);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.dataWalkCycles, b.dataWalkCycles);
+}
+
+TEST_F(WalkModelTest, CpoPositive)
+{
+    const WalkMeasurement m = measureWalkCycles(
+        smallProfile(), BackingMix{}, BackingMix{}, ops, 2);
+    EXPECT_GT(m.cpo(), 1.0);
+    EXPECT_EQ(m.ops, ops);
+}
+
+} // namespace
+} // namespace ctg

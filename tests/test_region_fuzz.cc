@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Randomized region-manager workout: interleaved confined
+ * allocations, frees, pins, expansions, shrinks and defrag runs,
+ * with the confinement theorem, buddy invariants and accounting
+ * checked throughout. Also sweeps the Algorithm 1 controller over a
+ * pressure grid for monotonicity properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hh"
+#include "base/units.hh"
+#include "contiguitas/region_manager.hh"
+#include "contiguitas/resize_controller.hh"
+#include "kernel/owner.hh"
+
+namespace ctg
+{
+namespace
+{
+
+/** Relocatable owner for the IO-page population of the fuzz. */
+class FuzzIoOwner : public PageOwnerClient
+{
+  public:
+    std::unordered_map<std::uint64_t, Pfn> where;
+
+    bool
+    relocate(std::uint64_t tag, Pfn old_head, Pfn new_head) override
+    {
+        auto it = where.find(tag);
+        if (it == where.end() || it->second != old_head)
+            return false;
+        it->second = new_head;
+        return true;
+    }
+};
+
+class RegionFuzz : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(RegionFuzz, InvariantsUnderRandomOps)
+{
+    PhysMem mem(256_MiB);
+    OwnerRegistry owners;
+    RegionManager::Config config;
+    config.initialUnmovablePages = (32_MiB) / pageBytes;
+    config.minUnmovablePages = (8_MiB) / pageBytes;
+    RegionManager regions(mem, owners, config);
+    regions.enableHwMigration();
+
+    FuzzIoOwner io;
+    const std::uint16_t cid = owners.registerClient(&io);
+    Rng rng(GetParam());
+
+    std::vector<Pfn> kernel_pages; // unowned, truly unmovable
+    std::vector<std::uint64_t> io_tags;
+    std::uint64_t next_tag = 1;
+
+    for (int step = 0; step < 3000; ++step) {
+        const double dice = rng.uniform();
+        if (dice < 0.3) {
+            // Kernel allocation (never movable).
+            const Pfn p = regions.unmovable().allocPages(
+                0, MigrateType::Unmovable, AllocSource::Slab, 0,
+                AddrPref::Low);
+            if (p != invalidPfn)
+                kernel_pages.push_back(p);
+        } else if (dice < 0.55) {
+            // IO buffer (relocatable + pinned).
+            const std::uint64_t tag = next_tag++;
+            const Pfn p = regions.unmovable().allocPages(
+                0, MigrateType::Unmovable, AllocSource::Networking,
+                OwnerRegistry::makeOwner(cid, tag), AddrPref::High);
+            if (p != invalidPfn) {
+                mem.frame(p).setPinned(true);
+                io.where[tag] = p;
+                io_tags.push_back(tag);
+            }
+        } else if (dice < 0.75) {
+            // Free something.
+            if (rng.chance(0.5) && !kernel_pages.empty()) {
+                const std::size_t i =
+                    rng.below(kernel_pages.size());
+                regions.unmovable().freePages(kernel_pages[i]);
+                kernel_pages[i] = kernel_pages.back();
+                kernel_pages.pop_back();
+            } else if (!io_tags.empty()) {
+                const std::size_t i = rng.below(io_tags.size());
+                const std::uint64_t tag = io_tags[i];
+                regions.unmovable().freePages(io.where.at(tag));
+                io.where.erase(tag);
+                io_tags[i] = io_tags.back();
+                io_tags.pop_back();
+            }
+        } else if (dice < 0.85) {
+            regions.expandUnmovable((4_MiB) / pageBytes);
+        } else if (dice < 0.95) {
+            regions.shrinkUnmovable((4_MiB) / pageBytes);
+        } else {
+            regions.defragUnmovable(8);
+        }
+
+        if (step % 250 == 0) {
+            regions.unmovable().checkInvariants();
+            regions.movable().checkInvariants();
+            regions.checkConfinement();
+            // Regions tile the machine.
+            ASSERT_EQ(regions.unmovable().totalPages() +
+                          regions.movable().totalPages(),
+                      mem.numFrames());
+            ASSERT_EQ(regions.unmovable().endPfn(),
+                      regions.movable().startPfn());
+            // The IO owner's records always point at live pinned
+            // pages inside the unmovable region.
+            for (const auto &[tag, pfn] : io.where) {
+                ASSERT_LT(pfn, regions.boundary());
+                ASSERT_TRUE(mem.frame(pfn).isPinned());
+                ASSERT_FALSE(mem.frame(pfn).isFree());
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegionFuzz,
+                         ::testing::Values(1, 7, 1234, 0xbeef));
+
+/** Algorithm 1 sweep: parameterized over pressure grids. */
+class ControllerSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{};
+
+TEST_P(ControllerSweep, TargetsRespectDirectionAndBounds)
+{
+    const auto [p_unmov, p_mov] = GetParam();
+    ResizeController ctrl{ResizeParams{}};
+    const std::uint64_t size = 100000;
+    const ResizeDecision d = ctrl.evaluate(p_unmov, p_mov, size);
+    switch (d.direction) {
+      case ResizeDirection::Expand:
+        EXPECT_GT(d.targetPages, size);
+        EXPECT_LE(d.targetPages, 2 * size);
+        // Expansion only under the Algorithm 1 guard.
+        EXPECT_GE(p_unmov, ResizeParams{}.thresholdUnmov);
+        EXPECT_LT(p_mov, ResizeParams{}.thresholdMov);
+        break;
+      case ResizeDirection::Shrink:
+        EXPECT_LT(d.targetPages, size);
+        break;
+      case ResizeDirection::None:
+        break;
+    }
+    EXPECT_GE(d.factor, 0.0);
+    EXPECT_LE(d.factor, ResizeParams{}.maxFactor);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PressureGrid, ControllerSweep,
+    ::testing::Combine(::testing::Values(0.0, 1.0, 5.0, 20.0, 80.0),
+                       ::testing::Values(0.0, 1.0, 5.0, 20.0,
+                                         80.0)));
+
+TEST(ControllerMonotonic, ExpandTargetGrowsWithUnmovPressure)
+{
+    ResizeController ctrl{ResizeParams{}};
+    std::uint64_t last = 0;
+    for (const double p : {6.0, 10.0, 20.0, 40.0, 80.0}) {
+        const ResizeDecision d = ctrl.evaluate(p, 0.0, 100000);
+        ASSERT_EQ(d.direction, ResizeDirection::Expand);
+        EXPECT_GE(d.targetPages, last);
+        last = d.targetPages;
+    }
+}
+
+TEST(ControllerMonotonic, ShrinkTargetFallsWithMovPressure)
+{
+    ResizeController ctrl{ResizeParams{}};
+    std::uint64_t last = ~std::uint64_t{0};
+    for (const double p : {6.0, 10.0, 20.0, 40.0, 80.0}) {
+        const ResizeDecision d = ctrl.evaluate(0.0, p, 100000);
+        ASSERT_EQ(d.direction, ResizeDirection::Shrink);
+        EXPECT_LE(d.targetPages, last);
+        last = d.targetPages;
+    }
+}
+
+} // namespace
+} // namespace ctg
