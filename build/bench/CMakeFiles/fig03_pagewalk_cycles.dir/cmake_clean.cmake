@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_pagewalk_cycles.dir/fig03_pagewalk_cycles.cc.o"
+  "CMakeFiles/fig03_pagewalk_cycles.dir/fig03_pagewalk_cycles.cc.o.d"
+  "fig03_pagewalk_cycles"
+  "fig03_pagewalk_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_pagewalk_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_unmovable_sources.dir/fig06_unmovable_sources.cc.o"
+  "CMakeFiles/fig06_unmovable_sources.dir/fig06_unmovable_sources.cc.o.d"
+  "fig06_unmovable_sources"
+  "fig06_unmovable_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_unmovable_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_unmovable_confinement.dir/fig11_unmovable_confinement.cc.o"
+  "CMakeFiles/fig11_unmovable_confinement.dir/fig11_unmovable_confinement.cc.o.d"
+  "fig11_unmovable_confinement"
+  "fig11_unmovable_confinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_unmovable_confinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

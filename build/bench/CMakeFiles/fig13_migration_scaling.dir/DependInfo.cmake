@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig13_migration_scaling.cc" "bench/CMakeFiles/fig13_migration_scaling.dir/fig13_migration_scaling.cc.o" "gcc" "bench/CMakeFiles/fig13_migration_scaling.dir/fig13_migration_scaling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perfmodel/CMakeFiles/ctg_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/fleet/CMakeFiles/ctg_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ctg_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/contiguitas/CMakeFiles/ctg_contiguitas.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ctg_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/ctg_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ctg_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ctg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ctg_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec24_uptime_correlation.dir/sec24_uptime_correlation.cc.o"
+  "CMakeFiles/sec24_uptime_correlation.dir/sec24_uptime_correlation.cc.o.d"
+  "sec24_uptime_correlation"
+  "sec24_uptime_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec24_uptime_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

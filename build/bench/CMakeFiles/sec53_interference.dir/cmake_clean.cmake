@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec53_interference.dir/sec53_interference.cc.o"
+  "CMakeFiles/sec53_interference.dir/sec53_interference.cc.o.d"
+  "sec53_interference"
+  "sec53_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec53_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec53_sizing.dir/sec53_sizing.cc.o"
+  "CMakeFiles/sec53_sizing.dir/sec53_sizing.cc.o.d"
+  "sec53_sizing"
+  "sec53_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec53_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

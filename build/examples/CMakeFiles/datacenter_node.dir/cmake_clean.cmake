@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_node.dir/datacenter_node.cpp.o"
+  "CMakeFiles/datacenter_node.dir/datacenter_node.cpp.o.d"
+  "datacenter_node"
+  "datacenter_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctg_base.dir/logging.cc.o"
+  "CMakeFiles/ctg_base.dir/logging.cc.o.d"
+  "CMakeFiles/ctg_base.dir/rng.cc.o"
+  "CMakeFiles/ctg_base.dir/rng.cc.o.d"
+  "CMakeFiles/ctg_base.dir/stats.cc.o"
+  "CMakeFiles/ctg_base.dir/stats.cc.o.d"
+  "CMakeFiles/ctg_base.dir/table.cc.o"
+  "CMakeFiles/ctg_base.dir/table.cc.o.d"
+  "CMakeFiles/ctg_base.dir/units.cc.o"
+  "CMakeFiles/ctg_base.dir/units.cc.o.d"
+  "libctg_base.a"
+  "libctg_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctg_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

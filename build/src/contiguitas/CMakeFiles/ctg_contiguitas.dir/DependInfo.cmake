@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/contiguitas/policy.cc" "src/contiguitas/CMakeFiles/ctg_contiguitas.dir/policy.cc.o" "gcc" "src/contiguitas/CMakeFiles/ctg_contiguitas.dir/policy.cc.o.d"
+  "/root/repo/src/contiguitas/region_manager.cc" "src/contiguitas/CMakeFiles/ctg_contiguitas.dir/region_manager.cc.o" "gcc" "src/contiguitas/CMakeFiles/ctg_contiguitas.dir/region_manager.cc.o.d"
+  "/root/repo/src/contiguitas/resize_controller.cc" "src/contiguitas/CMakeFiles/ctg_contiguitas.dir/resize_controller.cc.o" "gcc" "src/contiguitas/CMakeFiles/ctg_contiguitas.dir/resize_controller.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/ctg_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ctg_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ctg_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

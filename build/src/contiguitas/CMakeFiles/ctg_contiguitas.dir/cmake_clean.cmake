@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctg_contiguitas.dir/policy.cc.o"
+  "CMakeFiles/ctg_contiguitas.dir/policy.cc.o.d"
+  "CMakeFiles/ctg_contiguitas.dir/region_manager.cc.o"
+  "CMakeFiles/ctg_contiguitas.dir/region_manager.cc.o.d"
+  "CMakeFiles/ctg_contiguitas.dir/resize_controller.cc.o"
+  "CMakeFiles/ctg_contiguitas.dir/resize_controller.cc.o.d"
+  "libctg_contiguitas.a"
+  "libctg_contiguitas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctg_contiguitas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctg_fleet.dir/fleet.cc.o"
+  "CMakeFiles/ctg_fleet.dir/fleet.cc.o.d"
+  "CMakeFiles/ctg_fleet.dir/server.cc.o"
+  "CMakeFiles/ctg_fleet.dir/server.cc.o.d"
+  "libctg_fleet.a"
+  "libctg_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctg_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/areamodel.cc" "src/hw/CMakeFiles/ctg_hw.dir/areamodel.cc.o" "gcc" "src/hw/CMakeFiles/ctg_hw.dir/areamodel.cc.o.d"
+  "/root/repo/src/hw/cache.cc" "src/hw/CMakeFiles/ctg_hw.dir/cache.cc.o" "gcc" "src/hw/CMakeFiles/ctg_hw.dir/cache.cc.o.d"
+  "/root/repo/src/hw/chw/engine.cc" "src/hw/CMakeFiles/ctg_hw.dir/chw/engine.cc.o" "gcc" "src/hw/CMakeFiles/ctg_hw.dir/chw/engine.cc.o.d"
+  "/root/repo/src/hw/core.cc" "src/hw/CMakeFiles/ctg_hw.dir/core.cc.o" "gcc" "src/hw/CMakeFiles/ctg_hw.dir/core.cc.o.d"
+  "/root/repo/src/hw/iommu.cc" "src/hw/CMakeFiles/ctg_hw.dir/iommu.cc.o" "gcc" "src/hw/CMakeFiles/ctg_hw.dir/iommu.cc.o.d"
+  "/root/repo/src/hw/mem_hierarchy.cc" "src/hw/CMakeFiles/ctg_hw.dir/mem_hierarchy.cc.o" "gcc" "src/hw/CMakeFiles/ctg_hw.dir/mem_hierarchy.cc.o.d"
+  "/root/repo/src/hw/shootdown.cc" "src/hw/CMakeFiles/ctg_hw.dir/shootdown.cc.o" "gcc" "src/hw/CMakeFiles/ctg_hw.dir/shootdown.cc.o.d"
+  "/root/repo/src/hw/system.cc" "src/hw/CMakeFiles/ctg_hw.dir/system.cc.o" "gcc" "src/hw/CMakeFiles/ctg_hw.dir/system.cc.o.d"
+  "/root/repo/src/hw/tlb.cc" "src/hw/CMakeFiles/ctg_hw.dir/tlb.cc.o" "gcc" "src/hw/CMakeFiles/ctg_hw.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/ctg_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ctg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ctg_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ctg_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

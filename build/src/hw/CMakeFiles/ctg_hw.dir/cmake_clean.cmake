@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctg_hw.dir/areamodel.cc.o"
+  "CMakeFiles/ctg_hw.dir/areamodel.cc.o.d"
+  "CMakeFiles/ctg_hw.dir/cache.cc.o"
+  "CMakeFiles/ctg_hw.dir/cache.cc.o.d"
+  "CMakeFiles/ctg_hw.dir/chw/engine.cc.o"
+  "CMakeFiles/ctg_hw.dir/chw/engine.cc.o.d"
+  "CMakeFiles/ctg_hw.dir/core.cc.o"
+  "CMakeFiles/ctg_hw.dir/core.cc.o.d"
+  "CMakeFiles/ctg_hw.dir/iommu.cc.o"
+  "CMakeFiles/ctg_hw.dir/iommu.cc.o.d"
+  "CMakeFiles/ctg_hw.dir/mem_hierarchy.cc.o"
+  "CMakeFiles/ctg_hw.dir/mem_hierarchy.cc.o.d"
+  "CMakeFiles/ctg_hw.dir/shootdown.cc.o"
+  "CMakeFiles/ctg_hw.dir/shootdown.cc.o.d"
+  "CMakeFiles/ctg_hw.dir/system.cc.o"
+  "CMakeFiles/ctg_hw.dir/system.cc.o.d"
+  "CMakeFiles/ctg_hw.dir/tlb.cc.o"
+  "CMakeFiles/ctg_hw.dir/tlb.cc.o.d"
+  "libctg_hw.a"
+  "libctg_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctg_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/addrspace.cc" "src/kernel/CMakeFiles/ctg_kernel.dir/addrspace.cc.o" "gcc" "src/kernel/CMakeFiles/ctg_kernel.dir/addrspace.cc.o.d"
+  "/root/repo/src/kernel/churn.cc" "src/kernel/CMakeFiles/ctg_kernel.dir/churn.cc.o" "gcc" "src/kernel/CMakeFiles/ctg_kernel.dir/churn.cc.o.d"
+  "/root/repo/src/kernel/compaction.cc" "src/kernel/CMakeFiles/ctg_kernel.dir/compaction.cc.o" "gcc" "src/kernel/CMakeFiles/ctg_kernel.dir/compaction.cc.o.d"
+  "/root/repo/src/kernel/contig_alloc.cc" "src/kernel/CMakeFiles/ctg_kernel.dir/contig_alloc.cc.o" "gcc" "src/kernel/CMakeFiles/ctg_kernel.dir/contig_alloc.cc.o.d"
+  "/root/repo/src/kernel/fsbuffers.cc" "src/kernel/CMakeFiles/ctg_kernel.dir/fsbuffers.cc.o" "gcc" "src/kernel/CMakeFiles/ctg_kernel.dir/fsbuffers.cc.o.d"
+  "/root/repo/src/kernel/hugetlb.cc" "src/kernel/CMakeFiles/ctg_kernel.dir/hugetlb.cc.o" "gcc" "src/kernel/CMakeFiles/ctg_kernel.dir/hugetlb.cc.o.d"
+  "/root/repo/src/kernel/kernel.cc" "src/kernel/CMakeFiles/ctg_kernel.dir/kernel.cc.o" "gcc" "src/kernel/CMakeFiles/ctg_kernel.dir/kernel.cc.o.d"
+  "/root/repo/src/kernel/migrate.cc" "src/kernel/CMakeFiles/ctg_kernel.dir/migrate.cc.o" "gcc" "src/kernel/CMakeFiles/ctg_kernel.dir/migrate.cc.o.d"
+  "/root/repo/src/kernel/netstack.cc" "src/kernel/CMakeFiles/ctg_kernel.dir/netstack.cc.o" "gcc" "src/kernel/CMakeFiles/ctg_kernel.dir/netstack.cc.o.d"
+  "/root/repo/src/kernel/pagetable.cc" "src/kernel/CMakeFiles/ctg_kernel.dir/pagetable.cc.o" "gcc" "src/kernel/CMakeFiles/ctg_kernel.dir/pagetable.cc.o.d"
+  "/root/repo/src/kernel/psi.cc" "src/kernel/CMakeFiles/ctg_kernel.dir/psi.cc.o" "gcc" "src/kernel/CMakeFiles/ctg_kernel.dir/psi.cc.o.d"
+  "/root/repo/src/kernel/slab.cc" "src/kernel/CMakeFiles/ctg_kernel.dir/slab.cc.o" "gcc" "src/kernel/CMakeFiles/ctg_kernel.dir/slab.cc.o.d"
+  "/root/repo/src/kernel/vanilla_policy.cc" "src/kernel/CMakeFiles/ctg_kernel.dir/vanilla_policy.cc.o" "gcc" "src/kernel/CMakeFiles/ctg_kernel.dir/vanilla_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/ctg_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ctg_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

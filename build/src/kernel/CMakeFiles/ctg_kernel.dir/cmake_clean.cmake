@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctg_kernel.dir/addrspace.cc.o"
+  "CMakeFiles/ctg_kernel.dir/addrspace.cc.o.d"
+  "CMakeFiles/ctg_kernel.dir/churn.cc.o"
+  "CMakeFiles/ctg_kernel.dir/churn.cc.o.d"
+  "CMakeFiles/ctg_kernel.dir/compaction.cc.o"
+  "CMakeFiles/ctg_kernel.dir/compaction.cc.o.d"
+  "CMakeFiles/ctg_kernel.dir/contig_alloc.cc.o"
+  "CMakeFiles/ctg_kernel.dir/contig_alloc.cc.o.d"
+  "CMakeFiles/ctg_kernel.dir/fsbuffers.cc.o"
+  "CMakeFiles/ctg_kernel.dir/fsbuffers.cc.o.d"
+  "CMakeFiles/ctg_kernel.dir/hugetlb.cc.o"
+  "CMakeFiles/ctg_kernel.dir/hugetlb.cc.o.d"
+  "CMakeFiles/ctg_kernel.dir/kernel.cc.o"
+  "CMakeFiles/ctg_kernel.dir/kernel.cc.o.d"
+  "CMakeFiles/ctg_kernel.dir/migrate.cc.o"
+  "CMakeFiles/ctg_kernel.dir/migrate.cc.o.d"
+  "CMakeFiles/ctg_kernel.dir/netstack.cc.o"
+  "CMakeFiles/ctg_kernel.dir/netstack.cc.o.d"
+  "CMakeFiles/ctg_kernel.dir/pagetable.cc.o"
+  "CMakeFiles/ctg_kernel.dir/pagetable.cc.o.d"
+  "CMakeFiles/ctg_kernel.dir/psi.cc.o"
+  "CMakeFiles/ctg_kernel.dir/psi.cc.o.d"
+  "CMakeFiles/ctg_kernel.dir/slab.cc.o"
+  "CMakeFiles/ctg_kernel.dir/slab.cc.o.d"
+  "CMakeFiles/ctg_kernel.dir/vanilla_policy.cc.o"
+  "CMakeFiles/ctg_kernel.dir/vanilla_policy.cc.o.d"
+  "libctg_kernel.a"
+  "libctg_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctg_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/buddy.cc" "src/mem/CMakeFiles/ctg_mem.dir/buddy.cc.o" "gcc" "src/mem/CMakeFiles/ctg_mem.dir/buddy.cc.o.d"
+  "/root/repo/src/mem/migratetype.cc" "src/mem/CMakeFiles/ctg_mem.dir/migratetype.cc.o" "gcc" "src/mem/CMakeFiles/ctg_mem.dir/migratetype.cc.o.d"
+  "/root/repo/src/mem/physmem.cc" "src/mem/CMakeFiles/ctg_mem.dir/physmem.cc.o" "gcc" "src/mem/CMakeFiles/ctg_mem.dir/physmem.cc.o.d"
+  "/root/repo/src/mem/scanner.cc" "src/mem/CMakeFiles/ctg_mem.dir/scanner.cc.o" "gcc" "src/mem/CMakeFiles/ctg_mem.dir/scanner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/ctg_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

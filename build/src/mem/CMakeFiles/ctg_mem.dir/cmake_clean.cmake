@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctg_mem.dir/buddy.cc.o"
+  "CMakeFiles/ctg_mem.dir/buddy.cc.o.d"
+  "CMakeFiles/ctg_mem.dir/migratetype.cc.o"
+  "CMakeFiles/ctg_mem.dir/migratetype.cc.o.d"
+  "CMakeFiles/ctg_mem.dir/physmem.cc.o"
+  "CMakeFiles/ctg_mem.dir/physmem.cc.o.d"
+  "CMakeFiles/ctg_mem.dir/scanner.cc.o"
+  "CMakeFiles/ctg_mem.dir/scanner.cc.o.d"
+  "libctg_mem.a"
+  "libctg_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctg_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

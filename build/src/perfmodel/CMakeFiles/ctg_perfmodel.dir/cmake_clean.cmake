@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctg_perfmodel.dir/hwgen.cc.o"
+  "CMakeFiles/ctg_perfmodel.dir/hwgen.cc.o.d"
+  "CMakeFiles/ctg_perfmodel.dir/walkmodel.cc.o"
+  "CMakeFiles/ctg_perfmodel.dir/walkmodel.cc.o.d"
+  "libctg_perfmodel.a"
+  "libctg_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctg_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctg_sim.dir/eventq.cc.o"
+  "CMakeFiles/ctg_sim.dir/eventq.cc.o.d"
+  "libctg_sim.a"
+  "libctg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/access_gen.cc" "src/workloads/CMakeFiles/ctg_workloads.dir/access_gen.cc.o" "gcc" "src/workloads/CMakeFiles/ctg_workloads.dir/access_gen.cc.o.d"
+  "/root/repo/src/workloads/fragmenter.cc" "src/workloads/CMakeFiles/ctg_workloads.dir/fragmenter.cc.o" "gcc" "src/workloads/CMakeFiles/ctg_workloads.dir/fragmenter.cc.o.d"
+  "/root/repo/src/workloads/profile.cc" "src/workloads/CMakeFiles/ctg_workloads.dir/profile.cc.o" "gcc" "src/workloads/CMakeFiles/ctg_workloads.dir/profile.cc.o.d"
+  "/root/repo/src/workloads/slab_churn.cc" "src/workloads/CMakeFiles/ctg_workloads.dir/slab_churn.cc.o" "gcc" "src/workloads/CMakeFiles/ctg_workloads.dir/slab_churn.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/ctg_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/ctg_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/ctg_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ctg_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ctg_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

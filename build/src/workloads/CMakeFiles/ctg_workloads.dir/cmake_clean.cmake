@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctg_workloads.dir/access_gen.cc.o"
+  "CMakeFiles/ctg_workloads.dir/access_gen.cc.o.d"
+  "CMakeFiles/ctg_workloads.dir/fragmenter.cc.o"
+  "CMakeFiles/ctg_workloads.dir/fragmenter.cc.o.d"
+  "CMakeFiles/ctg_workloads.dir/profile.cc.o"
+  "CMakeFiles/ctg_workloads.dir/profile.cc.o.d"
+  "CMakeFiles/ctg_workloads.dir/slab_churn.cc.o"
+  "CMakeFiles/ctg_workloads.dir/slab_churn.cc.o.d"
+  "CMakeFiles/ctg_workloads.dir/workload.cc.o"
+  "CMakeFiles/ctg_workloads.dir/workload.cc.o.d"
+  "libctg_workloads.a"
+  "libctg_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctg_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libctg_workloads.a"
+)

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_base.cc" "tests/CMakeFiles/ctg_tests.dir/test_base.cc.o" "gcc" "tests/CMakeFiles/ctg_tests.dir/test_base.cc.o.d"
+  "/root/repo/tests/test_buddy.cc" "tests/CMakeFiles/ctg_tests.dir/test_buddy.cc.o" "gcc" "tests/CMakeFiles/ctg_tests.dir/test_buddy.cc.o.d"
+  "/root/repo/tests/test_contig_alloc.cc" "tests/CMakeFiles/ctg_tests.dir/test_contig_alloc.cc.o" "gcc" "tests/CMakeFiles/ctg_tests.dir/test_contig_alloc.cc.o.d"
+  "/root/repo/tests/test_contiguitas.cc" "tests/CMakeFiles/ctg_tests.dir/test_contiguitas.cc.o" "gcc" "tests/CMakeFiles/ctg_tests.dir/test_contiguitas.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/ctg_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/ctg_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_fleet.cc" "tests/CMakeFiles/ctg_tests.dir/test_fleet.cc.o" "gcc" "tests/CMakeFiles/ctg_tests.dir/test_fleet.cc.o.d"
+  "/root/repo/tests/test_hugetlb.cc" "tests/CMakeFiles/ctg_tests.dir/test_hugetlb.cc.o" "gcc" "tests/CMakeFiles/ctg_tests.dir/test_hugetlb.cc.o.d"
+  "/root/repo/tests/test_hw.cc" "tests/CMakeFiles/ctg_tests.dir/test_hw.cc.o" "gcc" "tests/CMakeFiles/ctg_tests.dir/test_hw.cc.o.d"
+  "/root/repo/tests/test_hw_protocol.cc" "tests/CMakeFiles/ctg_tests.dir/test_hw_protocol.cc.o" "gcc" "tests/CMakeFiles/ctg_tests.dir/test_hw_protocol.cc.o.d"
+  "/root/repo/tests/test_kernel.cc" "tests/CMakeFiles/ctg_tests.dir/test_kernel.cc.o" "gcc" "tests/CMakeFiles/ctg_tests.dir/test_kernel.cc.o.d"
+  "/root/repo/tests/test_migration_hw.cc" "tests/CMakeFiles/ctg_tests.dir/test_migration_hw.cc.o" "gcc" "tests/CMakeFiles/ctg_tests.dir/test_migration_hw.cc.o.d"
+  "/root/repo/tests/test_perfmodel.cc" "tests/CMakeFiles/ctg_tests.dir/test_perfmodel.cc.o" "gcc" "tests/CMakeFiles/ctg_tests.dir/test_perfmodel.cc.o.d"
+  "/root/repo/tests/test_region_fuzz.cc" "tests/CMakeFiles/ctg_tests.dir/test_region_fuzz.cc.o" "gcc" "tests/CMakeFiles/ctg_tests.dir/test_region_fuzz.cc.o.d"
+  "/root/repo/tests/test_scanner.cc" "tests/CMakeFiles/ctg_tests.dir/test_scanner.cc.o" "gcc" "tests/CMakeFiles/ctg_tests.dir/test_scanner.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/ctg_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/ctg_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perfmodel/CMakeFiles/ctg_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/fleet/CMakeFiles/ctg_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ctg_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/contiguitas/CMakeFiles/ctg_contiguitas.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ctg_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/ctg_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ctg_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ctg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ctg_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
