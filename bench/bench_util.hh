@@ -11,9 +11,11 @@
 #define CTG_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "base/stat_registry.hh"
 #include "base/stats.hh"
 #include "base/table.hh"
 #include "base/units.hh"
@@ -48,6 +50,34 @@ standardFleet(bool contiguitas, unsigned servers = 48)
     config.prefragmentFrac = 0.25;
     config.seed = 0x15ca2023;
     return config;
+}
+
+/**
+ * Emit exporter output (JSON lines or CSV from StatRegistry /
+ * StatSampler) under a labelled section. When the environment
+ * variable named by env_var holds a path the text is appended there
+ * instead, so scripted runs can harvest machine-readable stats
+ * without parsing the figure tables.
+ */
+inline void
+dumpText(const char *label, const std::string &text,
+         const char *env_var = "CTG_STATS_JSON")
+{
+    if (const char *path = std::getenv(env_var)) {
+        if (FILE *f = std::fopen(path, "a")) {
+            std::fputs(text.c_str(), f);
+            std::fclose(f);
+            return;
+        }
+    }
+    std::printf("\n--- %s ---\n%s", label, text.c_str());
+}
+
+/** Dump a registry as JSON lines (see dumpText). */
+inline void
+dumpStats(const StatRegistry &registry, const char *label)
+{
+    dumpText(label, registry.jsonLines());
 }
 
 /** Render "CDF of servers" rows for a per-server metric. */

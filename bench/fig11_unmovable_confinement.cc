@@ -9,6 +9,7 @@
 
 #include "bench/bench_util.hh"
 #include "fleet/server.hh"
+#include "kernel/migrate.hh"
 
 using namespace ctg;
 
@@ -16,7 +17,7 @@ namespace
 {
 
 ServerScan
-runOne(WorkloadKind kind, bool contiguitas)
+runOne(WorkloadKind kind, bool contiguitas, std::string *stats_json)
 {
     Server::Config config;
     config.memBytes = std::uint64_t{2} << 30;
@@ -25,7 +26,23 @@ runOne(WorkloadKind kind, bool contiguitas)
     config.uptimeSec = 60.0;
     config.seed = 0x11f1f1;
     Server server(config);
-    return server.run();
+
+    // Per-run registry: the gauges read live server state, so dump
+    // before the server dies.
+    StatRegistry registry;
+    std::string prefix = std::string(workloadName(kind)) +
+                         (contiguitas ? ".ctg" : ".linux");
+    for (char &c : prefix) {
+        if (c == ' ')
+            c = '_'; // "Cache A" -> "Cache_A"; spaces are not
+                     // legal in stat names
+    }
+    server.attachTelemetry(registry, nullptr, prefix);
+    regMigrateStats(
+        StatGroup(registry, prefix + ".kernel.migrate"));
+    const ServerScan scan = server.run();
+    *stats_json += registry.jsonLines();
+    return scan;
 }
 
 } // namespace
@@ -47,9 +64,11 @@ main()
     double ctg_sum = 0.0;
     double ctg_max = 0.0;
     double free_share_sum = 0.0;
+    std::string stats_json;
     for (const WorkloadKind kind : kinds) {
-        const ServerScan linux_scan = runOne(kind, false);
-        const ServerScan ctg_scan = runOne(kind, true);
+        const ServerScan linux_scan =
+            runOne(kind, false, &stats_json);
+        const ServerScan ctg_scan = runOne(kind, true, &stats_json);
         linux_sum += linux_scan.unmovableBlocks[0];
         ctg_sum += ctg_scan.unmovableBlocks[0];
         ctg_max = std::max(ctg_max, ctg_scan.unmovableBlocks[0]);
@@ -72,5 +91,6 @@ main()
     std::printf("Unmovable-region internal fragmentation: %.0f%% of "
                 "pages free inside its 2MB blocks [paper: 22%%]\n",
                 100.0 * free_share_sum / n);
+    bench::dumpText("per-server stats (JSON lines)", stats_json);
     return 0;
 }

@@ -13,6 +13,7 @@
 
 #include "bench/bench_util.hh"
 #include "hw/system.hh"
+#include "sim/stat_sampler.hh"
 
 using namespace ctg;
 
@@ -57,6 +58,12 @@ main()
 
     HwSystem hw(config);
     PageTables tables(kernel);
+
+    StatRegistry registry;
+    hw.regStats(StatGroup(registry, "hw"));
+    kernel.regStats(StatGroup(registry, "kernel"));
+    StatSampler sampler(registry);
+
     Cycles chw_total = 0;
     for (unsigned victims = 1; victims <= 8; ++victims) {
         const Vpn vpn = 0x4000 + victims;
@@ -85,6 +92,8 @@ main()
         hw.drain();
         chw_total = ctg_timing.copyDone - ctg_timing.start;
 
+        sampler.sample(hw.eventq().now());
+
         const auto real = static_cast<Cycles>(
             static_cast<double>(timing.unavailableCycles) *
             real_factor[victims - 1]);
@@ -107,5 +116,8 @@ main()
                 "background migration takes %.1f us.\n",
                 static_cast<unsigned long long>(config.invlpgCost),
                 us);
+    bench::dumpStats(registry, "hardware stats (JSON lines)");
+    bench::dumpText("per-migration time series (CSV)",
+                    sampler.csv(), "CTG_STATS_CSV");
     return 0;
 }

@@ -11,6 +11,7 @@
 #ifndef CTG_BASE_LOGGING_HH
 #define CTG_BASE_LOGGING_HH
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -77,6 +78,60 @@ inform(const char *fmt, Args... args)
     std::fprintf(stdout, "info: %s\n",
                  detail::formatMessage(fmt, args...).c_str());
 }
+
+/**
+ * Per-call-site budget for rate-limited warnings. allow() grants the
+ * first `limit` calls; the macro below prints one suppression notice
+ * when the budget is first exceeded, so a hot path can never flood
+ * stderr during a fleet run.
+ */
+class WarnRateLimiter
+{
+  public:
+    explicit WarnRateLimiter(std::uint64_t limit = 1)
+        : limit_(limit)
+    {}
+
+    /** True while the call is within budget. */
+    bool
+    allow()
+    {
+        ++calls_;
+        return calls_ <= limit_;
+    }
+
+    /** True exactly on the first out-of-budget call. */
+    bool firstSuppressed() const { return calls_ == limit_ + 1; }
+
+    std::uint64_t
+    suppressed() const
+    {
+        return calls_ > limit_ ? calls_ - limit_ : 0;
+    }
+
+    std::uint64_t calls() const { return calls_; }
+
+  private:
+    std::uint64_t limit_;
+    std::uint64_t calls_ = 0;
+};
+
+/** warn() at most `limit` times per call site; the first suppressed
+ * occurrence prints a notice, later ones are free of any IO. */
+#define warn_limited(limit, ...)                                          \
+    do {                                                                  \
+        static ::ctg::WarnRateLimiter ctg_warn_limiter_(limit);           \
+        if (ctg_warn_limiter_.allow()) {                                  \
+            ::ctg::warn(__VA_ARGS__);                                     \
+        } else if (ctg_warn_limiter_.firstSuppressed()) {                 \
+            ::ctg::warn("(previous warning repeated; further "            \
+                        "occurrences suppressed at %s:%d)",               \
+                        __FILE__, __LINE__);                              \
+        }                                                                 \
+    } while (0)
+
+/** warn() exactly once per call site (gem5's warn_once). */
+#define warn_once(...) warn_limited(1, __VA_ARGS__)
 
 /** Panic when a condition that must hold does not. */
 #define ctg_assert(cond)                                                  \

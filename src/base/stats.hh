@@ -68,7 +68,18 @@ class Histogram
     double bucketLo(std::size_t i) const;
     double bucketHi(std::size_t i) const { return bucketLo(i + 1); }
 
-    /** Value below which the given fraction of the mass falls. */
+    /** Mass that fell below lo (still part of total()). */
+    std::uint64_t underflow() const { return underflow_; }
+
+    /** Mass that fell at or above hi (still part of total()). */
+    std::uint64_t overflow() const { return overflow_; }
+
+    /**
+     * Value below which the given fraction of the mass falls.
+     * Well-defined on an empty histogram: returns lo. Underflow mass
+     * resolves to lo and overflow mass to hi (the histogram cannot
+     * place it more precisely).
+     */
     double percentile(double frac) const;
 
   private:

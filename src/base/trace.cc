@@ -1,0 +1,182 @@
+#include "base/trace.hh"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdlib>
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace ctg
+{
+namespace trace
+{
+
+std::uint32_t mask_ = 0;
+
+namespace
+{
+
+struct FlagEntry
+{
+    TraceFlag flag;
+    const char *name;
+};
+
+constexpr FlagEntry flagTable[] = {
+    {TraceFlag::Buddy, "Buddy"},
+    {TraceFlag::Compaction, "Compaction"},
+    {TraceFlag::Migrate, "Migrate"},
+    {TraceFlag::Shootdown, "Shootdown"},
+    {TraceFlag::ChwEngine, "ChwEngine"},
+    {TraceFlag::Region, "Region"},
+    {TraceFlag::Fleet, "Fleet"},
+    {TraceFlag::Kernel, "Kernel"},
+    {TraceFlag::Tlb, "Tlb"},
+};
+
+std::FILE *sink_ = nullptr;      //!< non-owning; stderr when null
+std::FILE *ownedSink_ = nullptr; //!< file opened by openFileSink
+std::function<Tick()> tickSource_;
+
+std::FILE *
+sink()
+{
+    return sink_ != nullptr ? sink_ : stderr;
+}
+
+/** One-time CTG_TRACE / CTG_TRACE_FILE pickup. */
+struct EnvInit
+{
+    EnvInit()
+    {
+        if (const char *file = std::getenv("CTG_TRACE_FILE"))
+            openFileSink(file);
+        if (const char *spec = std::getenv("CTG_TRACE"))
+            setFromString(spec);
+    }
+};
+
+const EnvInit envInit_;
+
+} // namespace
+
+void
+enable(TraceFlag flag)
+{
+    mask_ |= static_cast<std::uint32_t>(flag);
+}
+
+void
+disable(TraceFlag flag)
+{
+    mask_ &= ~static_cast<std::uint32_t>(flag);
+}
+
+void
+enableAll()
+{
+    for (const FlagEntry &e : flagTable)
+        enable(e.flag);
+}
+
+void
+disableAll()
+{
+    mask_ = 0;
+}
+
+void
+setFromString(const std::string &spec)
+{
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        const std::size_t end = spec.find_first_of(", ", pos);
+        const std::string tok =
+            spec.substr(pos, end == std::string::npos ? std::string::npos
+                                                      : end - pos);
+        pos = end == std::string::npos ? spec.size() : end + 1;
+        if (tok.empty())
+            continue;
+        if (tok == "All") {
+            enableAll();
+            continue;
+        }
+        bool found = false;
+        for (const FlagEntry &e : flagTable) {
+            if (tok == e.name) {
+                enable(e.flag);
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            warn("unknown trace flag '%s' ignored", tok.c_str());
+    }
+}
+
+const char *
+flagName(TraceFlag flag)
+{
+    for (const FlagEntry &e : flagTable) {
+        if (e.flag == flag)
+            return e.name;
+    }
+    return "?";
+}
+
+void
+setSink(std::FILE *new_sink)
+{
+    if (ownedSink_ != nullptr) {
+        std::fclose(ownedSink_);
+        ownedSink_ = nullptr;
+    }
+    sink_ = new_sink;
+}
+
+bool
+openFileSink(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        warn_once("cannot open trace file '%s'; keeping current sink",
+                  path.c_str());
+        return false;
+    }
+    setSink(f);
+    ownedSink_ = f;
+    return true;
+}
+
+void
+setTickSource(std::function<Tick()> source)
+{
+    tickSource_ = std::move(source);
+}
+
+void
+clearTickSource()
+{
+    tickSource_ = nullptr;
+}
+
+void
+print(TraceFlag flag, const char *fmt, ...)
+{
+    std::FILE *out = sink();
+    if (tickSource_) {
+        std::fprintf(out, "%12" PRIu64 ": %s: ", tickSource_(),
+                     flagName(flag));
+    } else {
+        std::fprintf(out, "%s: ", flagName(flag));
+    }
+    std::va_list args;
+    va_start(args, fmt);
+    std::vfprintf(out, fmt, args);
+    va_end(args);
+    std::fputc('\n', out);
+}
+
+} // namespace trace
+} // namespace ctg

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * DPRINTF-style trace facility in the gem5 idiom.
+ *
+ * Each subsystem owns a trace flag; CTG_DPRINTF(Flag, fmt, ...)
+ * compiles to a single mask test when the flag is off — the format
+ * arguments are not even evaluated — so trace points are free to live
+ * on hot paths. Output is tick-stamped when a tick source (usually an
+ * EventQueue) is installed, and goes to a pluggable sink: stderr by
+ * default, or a file.
+ *
+ * Runtime control: trace::enable()/setFromString("Buddy,Region"), or
+ * the CTG_TRACE environment variable (same syntax; "All" enables
+ * everything). CTG_TRACE_FILE redirects the sink to a file.
+ */
+
+#ifndef CTG_BASE_TRACE_HH
+#define CTG_BASE_TRACE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "base/types.hh"
+
+namespace ctg
+{
+
+/** One bit per traced subsystem. */
+enum class TraceFlag : std::uint32_t
+{
+    Buddy      = 1u << 0, //!< buddy fallback steals, failed allocs
+    Compaction = 1u << 1, //!< compaction passes and outcomes
+    Migrate    = 1u << 2, //!< software page-migration attempts
+    Shootdown  = 1u << 3, //!< TLB shootdown / migration procedures
+    ChwEngine  = 1u << 4, //!< Contiguitas-HW copy engine
+    Region     = 1u << 5, //!< region manager + resize controller
+    Fleet      = 1u << 6, //!< fleet/server level progress
+    Kernel     = 1u << 7, //!< kernel facade slow paths
+    Tlb        = 1u << 8, //!< MMU/TLB events
+};
+
+namespace trace
+{
+
+/** Bitmask of enabled flags; read via enabled() on hot paths. */
+extern std::uint32_t mask_;
+
+inline bool
+enabled(TraceFlag flag)
+{
+    return (mask_ & static_cast<std::uint32_t>(flag)) != 0u;
+}
+
+void enable(TraceFlag flag);
+void disable(TraceFlag flag);
+void enableAll();
+void disableAll();
+
+/** Comma/space-separated flag names, e.g. "Buddy,Region" or "All".
+ * Unknown names warn and are skipped. */
+void setFromString(const std::string &spec);
+
+/** Canonical name of a flag ("Buddy", ...). */
+const char *flagName(TraceFlag flag);
+
+/** Redirect output to a caller-owned stream (default stderr). */
+void setSink(std::FILE *sink);
+
+/** Open (and own) a file sink; returns false and keeps the current
+ * sink on failure. */
+bool openFileSink(const std::string &path);
+
+/** Install the simulated-time source used to stamp each record
+ * (e.g. [&eq]{ return eq.now(); }); clear to drop the stamp. */
+void setTickSource(std::function<Tick()> source);
+void clearTickSource();
+
+/** Emit one record: "<tick>: <Flag>: <message>". Use CTG_DPRINTF
+ * rather than calling this directly. */
+void print(TraceFlag flag, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+} // namespace trace
+} // namespace ctg
+
+/** Trace-point macro; arguments are only evaluated when the flag is
+ * enabled. Use the bare flag name: CTG_DPRINTF(Buddy, "steal %u", n). */
+#define CTG_DPRINTF(flag, ...)                                            \
+    do {                                                                  \
+        if (::ctg::trace::enabled(::ctg::TraceFlag::flag))                \
+            ::ctg::trace::print(::ctg::TraceFlag::flag, __VA_ARGS__);     \
+    } while (0)
+
+#endif // CTG_BASE_TRACE_HH

@@ -225,4 +225,30 @@ ContiguitasPolicy::movableAllocator()
     return regions_.movable();
 }
 
+void
+ContiguitasPolicy::regStats(StatGroup group) const
+{
+    const StatGroup ctg_group = group.group("ctg");
+    ctg_group.gauge("pin_migrations",
+                    [this] { return double(stats_.pinMigrations); },
+                    "pages moved into the unmovable region at pin");
+    ctg_group.gauge(
+        "pin_migration_failures",
+        [this] { return double(stats_.pinMigrationFailures); });
+    ctg_group.gauge("urgent_expansions",
+                    [this] { return double(stats_.urgentExpansions); },
+                    "watermark-triggered expansions");
+    ctg_group.gauge(
+        "controller_expands",
+        [this] { return double(stats_.controllerExpands); });
+    ctg_group.gauge(
+        "controller_shrinks",
+        [this] { return double(stats_.controllerShrinks); });
+    regions_.regStats(ctg_group.group("region"));
+    controller_.regStats(ctg_group.group("controller"));
+    regions_.unmovable().regStats(
+        group.group("mem.unmovable.buddy"));
+    regions_.movable().regStats(group.group("mem.movable.buddy"));
+}
+
 } // namespace ctg

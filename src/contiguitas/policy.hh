@@ -97,6 +97,10 @@ class ContiguitasPolicy : public MemPolicy
 
     const Stats &stats() const { return stats_; }
 
+    /** Registers `ctg.*` (policy, region manager, controller) and
+     * `mem.unmovable.buddy.*` / `mem.movable.buddy.*` subtrees. */
+    void regStats(StatGroup group) const override;
+
   private:
     /** Placement preference inside the unmovable region. */
     AddrPref prefFor(Lifetime lifetime) const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/trace.hh"
 #include "kernel/migrate.hh"
 
 namespace ctg
@@ -159,6 +160,9 @@ RegionManager::expandUnmovable(std::uint64_t pages)
     movable_->detachRange(lo, hi);
     unmovable_->attachRange(lo, hi, MigrateType::Unmovable);
     ++stats_.expansions;
+    CTG_DPRINTF(Region, "expand unmovable by %llu pages; boundary %llu",
+                static_cast<unsigned long long>(step),
+                static_cast<unsigned long long>(boundary()));
     return step;
 }
 
@@ -197,6 +201,9 @@ RegionManager::shrinkUnmovable(std::uint64_t pages)
     unmovable_->detachRange(lo, hi);
     movable_->attachRange(lo, hi, MigrateType::Movable);
     ++stats_.shrinks;
+    CTG_DPRINTF(Region, "shrink unmovable by %llu pages; boundary %llu",
+                static_cast<unsigned long long>(step),
+                static_cast<unsigned long long>(boundary()));
     return step;
 }
 
@@ -246,6 +253,32 @@ RegionManager::defragUnmovable(std::uint64_t max_migrations)
         }
     }
     return migrated;
+}
+
+void
+RegionManager::regStats(StatGroup group) const
+{
+    group.gauge("expansions",
+                [this] { return double(stats_.expansions); },
+                "successful unmovable-region growths");
+    group.gauge("expansion_failures",
+                [this] { return double(stats_.expansionFailures); });
+    group.gauge("shrinks",
+                [this] { return double(stats_.shrinks); },
+                "successful unmovable-region shrinks");
+    group.gauge("shrink_failures",
+                [this] { return double(stats_.shrinkFailures); });
+    group.gauge("evacuated_blocks",
+                [this] { return double(stats_.evacuatedBlocks); },
+                "blocks moved out of a resizing border range");
+    group.gauge("hw_migrations",
+                [this] { return double(stats_.hwMigrations); },
+                "blocks only Contiguitas-HW could move");
+    group.gauge("boundary_pfn",
+                [this] { return double(boundary()); },
+                "unmovable region covers [0, boundary)");
+    group.gauge("unmovable_pages",
+                [this] { return double(unmovable_->totalPages()); });
 }
 
 void

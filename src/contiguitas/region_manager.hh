@@ -21,6 +21,7 @@
 #include <functional>
 #include <memory>
 
+#include "base/stat_registry.hh"
 #include "base/types.hh"
 #include "kernel/owner.hh"
 #include "mem/buddy.hh"
@@ -121,6 +122,11 @@ class RegionManager
 
     const Stats &stats() const { return stats_; }
     const Config &config() const { return config_; }
+
+    /** Register resize counters and boundary gauges under the given
+     * group (e.g. `<server>.ctg.region.*`). The two buddy allocators
+     * register their own subtrees separately. */
+    void regStats(StatGroup group) const;
 
     /** Confinement theorem check: no unmovable allocation outside
      * [0, boundary) and no movable one inside. Panics on violation. */

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "base/trace.hh"
 
 namespace ctg
 {
@@ -51,7 +52,47 @@ ResizeController::evaluate(double pressure_unmov, double pressure_mov,
     }
     if (decision.targetPages == mem_unmov)
         decision.direction = ResizeDirection::None;
+
+    ++stats_.evaluations;
+    switch (decision.direction) {
+      case ResizeDirection::Expand:
+        ++stats_.expandDecisions;
+        break;
+      case ResizeDirection::Shrink:
+        ++stats_.shrinkDecisions;
+        break;
+      case ResizeDirection::None:
+        ++stats_.noneDecisions;
+        break;
+    }
+    CTG_DPRINTF(Region,
+                "controller: P_unmov=%.2f P_mov=%.2f mem=%llu -> %s "
+                "target %llu (F=%.3f)",
+                pressure_unmov, pressure_mov,
+                static_cast<unsigned long long>(mem_unmov),
+                decision.direction == ResizeDirection::Expand
+                    ? "expand"
+                    : decision.direction == ResizeDirection::Shrink
+                          ? "shrink"
+                          : "none",
+                static_cast<unsigned long long>(decision.targetPages),
+                decision.factor);
     return decision;
+}
+
+void
+ResizeController::regStats(StatGroup group) const
+{
+    group.gauge("evaluations",
+                [this] { return double(stats_.evaluations); },
+                "Algorithm 1 controller wakeups");
+    group.gauge("expand_decisions",
+                [this] { return double(stats_.expandDecisions); });
+    group.gauge("shrink_decisions",
+                [this] { return double(stats_.shrinkDecisions); });
+    group.gauge("none_decisions",
+                [this] { return double(stats_.noneDecisions); },
+                "evaluations whose target equals the current size");
 }
 
 } // namespace ctg

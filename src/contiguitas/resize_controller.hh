@@ -22,6 +22,8 @@
 
 #include <cstdint>
 
+#include "base/stat_registry.hh"
+
 namespace ctg
 {
 
@@ -82,8 +84,24 @@ class ResizeController
 
     const ResizeParams &params() const { return params_; }
 
+    /** Decision counters (the evaluator stays logically stateless;
+     * these only observe it). */
+    struct Stats
+    {
+        std::uint64_t evaluations = 0;
+        std::uint64_t expandDecisions = 0;
+        std::uint64_t shrinkDecisions = 0;
+        std::uint64_t noneDecisions = 0;
+    };
+
+    const Stats &stats() const { return stats_; }
+
+    /** Register decision counters under the given group. */
+    void regStats(StatGroup group) const;
+
   private:
     ResizeParams params_;
+    mutable Stats stats_;
 };
 
 } // namespace ctg

@@ -1,6 +1,7 @@
 #include "fleet/fleet.hh"
 
 #include "base/rng.hh"
+#include "base/trace.hh"
 
 namespace ctg
 {
@@ -8,6 +9,24 @@ namespace ctg
 Fleet::Fleet(const Config &config)
     : config_(config)
 {}
+
+void
+Fleet::attachTelemetry(StatRegistry &registry, StatSampler *sampler,
+                       const std::string &prefix)
+{
+    const StatGroup group(registry, prefix);
+    serversRun_ = &group.counter("servers_run");
+    freeContiguity2m_ = &group.distribution(
+        "free_contiguity_2m",
+        "per-server fraction of free memory in free 2M blocks");
+    unmovableBlocks2m_ = &group.distribution(
+        "unmovable_blocks_2m",
+        "per-server fraction of 2M blocks with unmovable pages");
+    unmovablePageRatio_ =
+        &group.distribution("unmovable_page_ratio");
+    uptimeSec_ = &group.distribution("uptime_sec");
+    sampler_ = sampler;
+}
 
 std::vector<ServerScan>
 Fleet::run()
@@ -37,8 +56,27 @@ Fleet::run()
             rng.uniform() * (config_.maxUptimeSec -
                              config_.minUptimeSec);
         sc.seed = rng.next();
+        CTG_DPRINTF(Fleet,
+                    "server %u: kind=%d intensity=%.2f "
+                    "prefragment=%d uptime=%.1fs",
+                    i, int(sc.kind), sc.intensity,
+                    int(sc.prefragment), sc.uptimeSec);
         Server server(sc);
-        scans.push_back(server.run());
+        const ServerScan s = server.run();
+        CTG_DPRINTF(Fleet,
+                    "server %u done: free_contig_2m=%.3f "
+                    "unmovable_blocks_2m=%.3f",
+                    i, s.freeContiguity[0], s.unmovableBlocks[0]);
+        if (serversRun_ != nullptr) {
+            ++*serversRun_;
+            freeContiguity2m_->sample(s.freeContiguity[0]);
+            unmovableBlocks2m_->sample(s.unmovableBlocks[0]);
+            unmovablePageRatio_->sample(s.unmovablePageRatio);
+            uptimeSec_->sample(s.uptimeSec);
+            if (sampler_ != nullptr)
+                sampler_->sample(i);
+        }
+        scans.push_back(s);
     }
     return scans;
 }

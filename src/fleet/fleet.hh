@@ -43,6 +43,19 @@ class Fleet
 
     explicit Fleet(const Config &config);
 
+    /**
+     * Attach fleet-level telemetry. Servers are transient (created
+     * and destroyed per loop iteration), so per-server gauges would
+     * dangle; the fleet instead owns value-holding Distributions of
+     * the scan results, registered under `<prefix>.`. If a sampler
+     * is given, run() snapshots it after every server with the
+     * server index as the tick, so the registry's stats trace how
+     * the population aggregates converge.
+     */
+    void attachTelemetry(StatRegistry &registry,
+                         StatSampler *sampler = nullptr,
+                         const std::string &prefix = "fleet");
+
     /** Run every server and collect its scan. */
     std::vector<ServerScan> run();
 
@@ -50,6 +63,12 @@ class Fleet
 
   private:
     Config config_;
+    StatSampler *sampler_ = nullptr;
+    Distribution *freeContiguity2m_ = nullptr;
+    Distribution *unmovableBlocks2m_ = nullptr;
+    Distribution *unmovablePageRatio_ = nullptr;
+    Distribution *uptimeSec_ = nullptr;
+    Counter *serversRun_ = nullptr;
 };
 
 } // namespace ctg

@@ -1,5 +1,8 @@
 #include "fleet/server.hh"
 
+#include <algorithm>
+
+#include "base/trace.hh"
 #include "mem/scanner.hh"
 
 namespace ctg
@@ -88,6 +91,50 @@ Server::scan() const
     return result;
 }
 
+void
+Server::attachTelemetry(StatRegistry &registry, StatSampler *sampler,
+                        const std::string &prefix)
+{
+    const StatGroup group(registry, prefix);
+    kernel_->regStats(group.group("kernel"));
+    kernel_->policy().regStats(group);
+    workload_->regStats(group.group("workload"));
+
+    // Fragmentation gauges re-scan physical memory on every read;
+    // they exist for sampled time series, not hot paths.
+    const StatGroup frag = group.group("frag");
+    const PhysMem &mem = kernel_->mem();
+    frag.gauge(
+        "free_contiguity_2m",
+        [&mem] {
+            return scan::freeContiguityFraction(mem, 0,
+                                                mem.numFrames(),
+                                                scan::order2M);
+        },
+        "fraction of free memory in free aligned 2M blocks");
+    frag.gauge(
+        "unmovable_blocks_2m",
+        [&mem] {
+            return scan::unmovableBlockFraction(mem, 0,
+                                                mem.numFrames(),
+                                                scan::order2M);
+        },
+        "fraction of 2M blocks containing unmovable pages");
+    frag.gauge(
+        "free_2m_blocks",
+        [&mem] {
+            return double(scan::freeAlignedBlocks(
+                mem, 0, mem.numFrames(), scan::order2M));
+        });
+    frag.gauge(
+        "unmovable_page_ratio",
+        [&mem] {
+            return scan::unmovablePageRatio(mem, 0,
+                                            mem.numFrames());
+        });
+    sampler_ = sampler;
+}
+
 ServerScan
 Server::run()
 {
@@ -98,7 +145,23 @@ Server::run()
         fragmenter_->run();
     }
     workload_->start();
-    workload_->runFor(config_.uptimeSec, config_.stepSec);
+    if (sampler_ == nullptr) {
+        workload_->runFor(config_.uptimeSec, config_.stepSec);
+        return scan();
+    }
+
+    // Sampled run: advance step by step so the sampler can snapshot
+    // the stat tree along the way. Ticks are simulated milliseconds.
+    sampler_->sample(
+        static_cast<Tick>(workload_->now() * 1000.0));
+    double remaining = config_.uptimeSec;
+    while (remaining > 0.0) {
+        const double dt = std::min(config_.stepSec, remaining);
+        workload_->runFor(dt, dt);
+        remaining -= dt;
+        sampler_->sample(
+            static_cast<Tick>(workload_->now() * 1000.0));
+    }
     return scan();
 }
 

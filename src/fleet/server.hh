@@ -10,9 +10,11 @@
 
 #include <array>
 #include <memory>
+#include <string>
 
 #include "contiguitas/policy.hh"
 #include "kernel/kernel.hh"
+#include "sim/stat_sampler.hh"
 #include "workloads/fragmenter.hh"
 #include "workloads/workload.hh"
 
@@ -81,11 +83,25 @@ class Server
     /** Scan without running (for intermediate sampling). */
     ServerScan scan() const;
 
+    /**
+     * Register this server's whole stat tree (kernel, policy,
+     * workload, fragmentation gauges) under `<prefix>.` in the
+     * registry. The registry's gauges read live server state, so it
+     * must not outlive the server. If a sampler is given, run()
+     * snapshots it after every workload step with the simulated time
+     * in milliseconds as the tick, producing the fragmentation
+     * trajectory time series.
+     */
+    void attachTelemetry(StatRegistry &registry,
+                         StatSampler *sampler = nullptr,
+                         const std::string &prefix = "server");
+
   private:
     Config config_;
     std::unique_ptr<Kernel> kernel_;
     std::unique_ptr<Fragmenter> fragmenter_;
     std::unique_ptr<Workload> workload_;
+    StatSampler *sampler_ = nullptr;
 };
 
 /** Scale a profile's kernel churn rates by an intensity factor. */

@@ -1,5 +1,7 @@
 #include "hw/chw/engine.hh"
 
+#include "base/trace.hh"
+
 namespace ctg
 {
 
@@ -21,6 +23,14 @@ ChwEngine::submitMigrate(Descriptor desc)
     state.onComplete = std::move(desc.onComplete);
     running_[desc.src] = std::move(state);
     ++stats_.migrationsStarted;
+    CTG_DPRINTF(ChwEngine,
+                "migrate %llu -> %llu, %u pages, %s%s",
+                static_cast<unsigned long long>(desc.src),
+                static_cast<unsigned long long>(desc.dst),
+                desc.sizePages,
+                desc.mode == ChwMode::Cacheable ? "cacheable"
+                                                : "noncacheable",
+                desc.startCopyNow ? ", copy now" : "");
 
     if (desc.startCopyNow)
         startCopy(desc.src);
@@ -53,6 +63,10 @@ ChwEngine::finishCopy(Pfn src, MigrationEntry &entry)
     ctg_assert(it != running_.end());
     stats_.lastCopyCycles = eventq_.now() - it->second.startTick;
     ++stats_.migrationsCompleted;
+    CTG_DPRINTF(ChwEngine, "copy of pfn=%llu done in %llu cycles",
+                static_cast<unsigned long long>(src),
+                static_cast<unsigned long long>(
+                    stats_.lastCopyCycles));
     if (it->second.onComplete)
         it->second.onComplete();
     running_.erase(it);
@@ -125,6 +139,32 @@ ChwEngine::clear(Pfn src)
 {
     mem_.migrationTable().clear(src);
     running_.erase(src);
+}
+
+void
+ChwEngine::regStats(StatGroup group) const
+{
+    group.gauge(
+        "migrations_started",
+        [this] { return double(stats_.migrationsStarted); });
+    group.gauge(
+        "migrations_completed",
+        [this] { return double(stats_.migrationsCompleted); });
+    group.gauge("lines_copied",
+                [this] { return double(stats_.linesCopied); });
+    group.gauge(
+        "lines_skipped_dirty",
+        [this] { return double(stats_.linesSkippedDirty); },
+        "destination lines left alone: Modified in a private cache");
+    group.gauge("slice_handoffs",
+                [this] { return double(stats_.sliceHandoffs); });
+    group.gauge(
+        "cross_slice_writes",
+        [this] { return double(stats_.crossSliceWrites); },
+        "lines whose source and destination homes differ");
+    group.gauge("last_copy_cycles",
+                [this] { return double(stats_.lastCopyCycles); },
+                "duration of the most recent completed copy");
 }
 
 } // namespace ctg

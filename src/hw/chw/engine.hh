@@ -21,6 +21,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "base/stat_registry.hh"
 #include "hw/mem_hierarchy.hh"
 #include "sim/eventq.hh"
 
@@ -87,6 +88,10 @@ class ChwEngine
     };
 
     const Stats &stats() const { return stats_; }
+
+    /** Register engine counters under the given group
+     * (conventionally `<prefix>.chw`). */
+    void regStats(StatGroup group) const;
 
     /** Fixed ENQCMD submission cost charged to the OS. */
     static constexpr Cycles enqcmdCost = 50;

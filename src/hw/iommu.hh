@@ -59,6 +59,22 @@ class Iommu
 
     const Stats &stats() const { return stats_; }
 
+    /** Register IOMMU counters under the given group. */
+    void
+    regStats(StatGroup group) const
+    {
+        group.gauge("accesses",
+                    [this] { return double(stats_.accesses); });
+        group.gauge("iotlb_hits",
+                    [this] { return double(stats_.iotlbHits); });
+        group.gauge("walks",
+                    [this] { return double(stats_.walks); });
+        group.gauge(
+            "invalidations",
+            [this] { return double(stats_.invalidations); },
+            "queued invalidations drained");
+    }
+
   private:
     void drainQueue();
 

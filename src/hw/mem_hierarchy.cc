@@ -508,4 +508,34 @@ MemHierarchy::lineModifiedInPrivate(Addr line_addr) const
     return dir != nullptr && dir->owner >= 0;
 }
 
+void
+MemHierarchy::regStats(StatGroup group) const
+{
+    group.gauge("accesses",
+                [this] { return double(stats_.accesses); });
+    group.gauge("l1_hits",
+                [this] { return double(stats_.l1Hits); });
+    group.gauge("l2_hits",
+                [this] { return double(stats_.l2Hits); });
+    group.gauge("llc_hits",
+                [this] { return double(stats_.llcHits); });
+    group.gauge("dram_fills",
+                [this] { return double(stats_.dramFills); });
+    group.gauge("redirects",
+                [this] { return double(stats_.redirects); },
+                "LLC requests canonicalized by a live migration");
+    group.gauge(
+        "cross_slice_forwards",
+        [this] { return double(stats_.crossSliceForwards); });
+    group.gauge("nc_bypasses",
+                [this] { return double(stats_.ncBypasses); },
+                "noncacheable-mode private-cache bypasses");
+    group.gauge("nack_retries",
+                [this] { return double(stats_.nackRetries); });
+    group.gauge("writebacks",
+                [this] { return double(stats_.writebacks); });
+    group.gauge("upgrades",
+                [this] { return double(stats_.upgrades); });
+}
+
 } // namespace ctg

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/stat_registry.hh"
 #include "hw/cache.hh"
 #include "hw/chw/migration_table.hh"
 #include "hw/config.hh"
@@ -109,6 +110,10 @@ class MemHierarchy
     };
 
     const Stats &stats() const { return stats_; }
+
+    /** Register hierarchy counters under the given group
+     * (conventionally `<prefix>.mem_hierarchy`). */
+    void regStats(StatGroup group) const;
 
   private:
     struct PrivateCaches

@@ -1,5 +1,7 @@
 #include "hw/shootdown.hh"
 
+#include "base/trace.hh"
+
 namespace ctg
 {
 
@@ -21,6 +23,28 @@ ShootdownManager::classicShootdownCost(unsigned victims) const
                               config_.ipiHandlerLat +
                               config_.invlpgCost + config_.ipiAckLat;
     return victims * per_victim;
+}
+
+void
+ShootdownManager::regStats(StatGroup group) const
+{
+    group.gauge(
+        "software_migrations",
+        [this] { return double(stats_.softwareMigrations); },
+        "completed classic shootdown+copy migrations");
+    group.gauge(
+        "contiguitas_migrations",
+        [this] { return double(stats_.contiguitasMigrations); },
+        "completed redirection-based migrations");
+    group.gauge("ipis_sent",
+                [this] { return double(stats_.ipisSent); });
+    group.gauge(
+        "unavailable_cycles",
+        [this] { return double(stats_.unavailableCycles); },
+        "summed page-unavailable window over all migrations");
+    group.gauge("total_cycles",
+                [this] { return double(stats_.totalCycles); },
+                "summed end-to-end migration latency");
 }
 
 Cycles
@@ -54,6 +78,10 @@ ShootdownManager::softwareMigrate(
 
     auto timing = std::make_shared<MigrationTiming>();
     timing->start = eventq_.now();
+    CTG_DPRINTF(Shootdown,
+                "software migrate vpn=%llu -> pfn=%llu, %u victims",
+                static_cast<unsigned long long>(vpn),
+                static_cast<unsigned long long>(dst), victims);
 
     // Step 1: clear the PTE — the page becomes unavailable.
     eventq_.schedule(config_.pteUpdateLat, [=, this, &tables] {
@@ -71,6 +99,7 @@ ShootdownManager::softwareMigrate(
             shoot += config_.ipiDeliverLat + config_.ipiHandlerLat;
             shoot += mmus_[victim]->invlpg(vpn);
             shoot += config_.ipiAckLat;
+            ++stats_.ipisSent;
         }
 
         eventq_.schedule(local + shoot, [=, this, &tables] {
@@ -90,6 +119,18 @@ ShootdownManager::softwareMigrate(
                         timing->pteUpdated - timing->pteCleared;
                     timing->totalCycles =
                         timing->pteUpdated - timing->start;
+                    ++stats_.softwareMigrations;
+                    stats_.unavailableCycles +=
+                        timing->unavailableCycles;
+                    stats_.totalCycles += timing->totalCycles;
+                    CTG_DPRINTF(Shootdown,
+                                "software migrate vpn=%llu done: "
+                                "total=%llu unavailable=%llu",
+                                static_cast<unsigned long long>(vpn),
+                                static_cast<unsigned long long>(
+                                    timing->totalCycles),
+                                static_cast<unsigned long long>(
+                                    timing->unavailableCycles));
                     done(*timing);
                 });
             });
@@ -132,6 +173,14 @@ ShootdownManager::contiguitasMigrate(
             auto t = *timing;
             t.totalCycles = eventq_.now() - t.start;
             t.unavailableCycles = 0;
+            ++stats_.contiguitasMigrations;
+            stats_.totalCycles += t.totalCycles;
+            CTG_DPRINTF(Shootdown,
+                        "contiguitas migrate pfn=%llu done: "
+                        "total=%llu (never unavailable)",
+                        static_cast<unsigned long long>(src),
+                        static_cast<unsigned long long>(
+                            t.totalCycles));
             done(t);
         });
     };

@@ -21,6 +21,7 @@
 #include <functional>
 #include <vector>
 
+#include "base/stat_registry.hh"
 #include "hw/chw/engine.hh"
 #include "hw/tlb.hh"
 #include "sim/eventq.hh"
@@ -80,6 +81,23 @@ class ShootdownManager
     /** Analytic cost of the classic shootdown alone (validation). */
     Cycles classicShootdownCost(unsigned victims) const;
 
+    /** Migration counts and accumulated timing. */
+    struct Stats
+    {
+        std::uint64_t softwareMigrations = 0;
+        std::uint64_t contiguitasMigrations = 0;
+        std::uint64_t ipisSent = 0;
+        /** Summed over completed migrations of either flavour. */
+        std::uint64_t unavailableCycles = 0;
+        std::uint64_t totalCycles = 0;
+    };
+
+    const Stats &stats() const { return stats_; }
+
+    /** Register counters under the given group (conventionally
+     * `<prefix>.shootdown`). */
+    void regStats(StatGroup group) const;
+
   private:
     /** Functionally copy page contents (values move through the
      * hierarchy) while charging the pipelined-memcpy cost. */
@@ -89,6 +107,7 @@ class ShootdownManager
     const HwConfig &config_;
     MemHierarchy &mem_;
     std::vector<Mmu *> mmus_;
+    Stats stats_;
 };
 
 } // namespace ctg

@@ -1,11 +1,18 @@
 #include "hw/system.hh"
 
+#include <string>
+
+#include "base/trace.hh"
+
 namespace ctg
 {
 
 HwSystem::HwSystem(const HwConfig &config)
     : config_(config)
 {
+    // Trace records are stamped with this system's hardware clock.
+    // Kernel-only runs (no HwSystem) trace unstamped.
+    trace::setTickSource([this] { return eventq_.now(); });
     mem_ = std::make_unique<MemHierarchy>(config_);
     for (unsigned c = 0; c < config_.cores; ++c)
         mmus_.push_back(std::make_unique<Mmu>(config_, c, *mem_));
@@ -17,6 +24,11 @@ HwSystem::HwSystem(const HwConfig &config)
     shootdown_ = std::make_unique<ShootdownManager>(
         eventq_, config_, *mem_, std::move(raw));
     iommu_ = std::make_unique<Iommu>(config_, *mem_);
+}
+
+HwSystem::~HwSystem()
+{
+    trace::clearTickSource();
 }
 
 HwSystem::AccessResult
@@ -42,6 +54,19 @@ void
 HwSystem::drain(Tick limit_ticks)
 {
     eventq_.run(limit_ticks);
+}
+
+void
+HwSystem::regStats(StatGroup group) const
+{
+    for (std::size_t c = 0; c < mmus_.size(); ++c) {
+        mmus_[c]->regStats(
+            group.group("core" + std::to_string(c) + ".mmu"));
+    }
+    mem_->regStats(group.group("mem_hierarchy"));
+    engine_->regStats(group.group("chw"));
+    shootdown_->regStats(group.group("shootdown"));
+    iommu_->regStats(group.group("iommu"));
 }
 
 } // namespace ctg

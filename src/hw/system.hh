@@ -28,6 +28,7 @@ class HwSystem
 {
   public:
     explicit HwSystem(const HwConfig &config = HwConfig{});
+    ~HwSystem();
 
     EventQueue &eventq() { return eventq_; }
     MemHierarchy &mem() { return *mem_; }
@@ -53,6 +54,11 @@ class HwSystem
 
     /** Run pending hardware events to completion (bounded). */
     void drain(Tick limit_ticks = ~Tick{0});
+
+    /** Register every hardware component's counters under the given
+     * group: `coreN.mmu.*`, `mem_hierarchy.*`, `chw.*`,
+     * `shootdown.*`, `iommu.*`. */
+    void regStats(StatGroup group) const;
 
   private:
     HwConfig config_;

@@ -265,4 +265,35 @@ Mmu::flushAll()
         pwc.flushAll();
 }
 
+namespace
+{
+
+void
+regTlbStats(StatGroup group, const Tlb &tlb)
+{
+    group.gauge("hits", [&tlb] { return double(tlb.stats.hits); });
+    group.gauge("misses",
+                [&tlb] { return double(tlb.stats.misses); });
+    group.gauge("invalidations",
+                [&tlb] { return double(tlb.stats.invalidations); });
+}
+
+} // namespace
+
+void
+Mmu::regStats(StatGroup group) const
+{
+    group.gauge("translations",
+                [this] { return double(stats_.translations); });
+    group.gauge("walks", [this] { return double(stats_.walks); },
+                "translations that missed both TLB levels");
+    group.gauge("walk_cycles",
+                [this] { return double(stats_.walkCycles); },
+                "cycles spent in hardware page walks");
+    group.gauge("invlpgs",
+                [this] { return double(stats_.invlpgs); });
+    regTlbStats(group.group("l1"), l1_);
+    regTlbStats(group.group("l2"), l2_);
+}
+
 } // namespace ctg

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/stat_registry.hh"
 #include "hw/config.hh"
 #include "hw/mem_hierarchy.hh"
 #include "kernel/pagetable.hh"
@@ -136,6 +137,10 @@ class Mmu
     };
 
     const Stats &stats() const { return stats_; }
+
+    /** Register MMU counters plus `l1`/`l2` TLB subtrees under the
+     * given group (conventionally `<prefix>.coreN.mmu`). */
+    void regStats(StatGroup group) const;
 
   private:
     const HwConfig &config_;

@@ -1,5 +1,6 @@
 #include "kernel/compaction.hh"
 
+#include "base/trace.hh"
 #include "kernel/migrate.hh"
 
 namespace ctg
@@ -84,6 +85,16 @@ compactRange(BuddyAllocator &alloc, const OwnerRegistry &registry,
             pfn += step;
         }
     }
+    CTG_DPRINTF(Compaction,
+                "range [%llu, %llu): migrated=%llu nomem=%llu "
+                "skipped=%llu blocked_pageblocks=%llu",
+                static_cast<unsigned long long>(lo),
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(result.migrated),
+                static_cast<unsigned long long>(result.failedNoMem),
+                static_cast<unsigned long long>(result.skippedUnmovable),
+                static_cast<unsigned long long>(
+                    result.blockedPageblocks));
     return result;
 }
 
@@ -116,6 +127,11 @@ compactUntil(BuddyAllocator &alloc, const OwnerRegistry &registry,
         if (r.migrated == 0)
             break;
     }
+    CTG_DPRINTF(Compaction,
+                "compactUntil order-%u: migrated=%llu reached=%d",
+                target_order,
+                static_cast<unsigned long long>(total.migrated),
+                int(total.targetReached));
     return total;
 }
 

@@ -82,8 +82,12 @@ Kernel::advanceSeconds(double dt)
                 static_cast<std::uint64_t>(kcompactdCarry_);
             kcompactdCarry_ -= static_cast<double>(budget);
             BuddyAllocator &movable = policy_->movableAllocator();
-            compactRange(movable, owners_, movable.startPfn(),
-                         movable.endPfn(), budget);
+            const CompactionResult r =
+                compactRange(movable, owners_, movable.startPfn(),
+                             movable.endPfn(), budget);
+            counters_.compactMigrated += r.migrated;
+            counters_.compactFailedNoMem += r.failedNoMem;
+            counters_.compactSkippedUnmovable += r.skippedUnmovable;
             ++counters_.kcompactdRuns;
         }
     }
@@ -246,8 +250,64 @@ Kernel::reclaim(std::uint64_t target_pages)
 CompactionResult
 Kernel::compact(unsigned target_order, std::uint64_t max_migrations)
 {
-    return compactUntil(policy_->movableAllocator(), owners_,
-                        target_order, max_migrations);
+    const CompactionResult r =
+        compactUntil(policy_->movableAllocator(), owners_,
+                     target_order, max_migrations);
+    counters_.compactMigrated += r.migrated;
+    counters_.compactFailedNoMem += r.failedNoMem;
+    counters_.compactSkippedUnmovable += r.skippedUnmovable;
+    return r;
+}
+
+void
+Kernel::regStats(StatGroup group) const
+{
+    group.gauge("alloc_retries",
+                [this] { return double(counters_.allocRetries); },
+                "allocations that entered the reclaim slow path");
+    group.gauge("alloc_failures",
+                [this] { return double(counters_.allocFailures); },
+                "allocations that failed after reclaim/compaction");
+    group.gauge("direct_reclaims",
+                [this] { return double(counters_.directReclaims); });
+    group.gauge(
+        "direct_compactions",
+        [this] { return double(counters_.directCompactions); });
+    group.gauge("pins", [this] { return double(counters_.pins); });
+    group.gauge("unpins",
+                [this] { return double(counters_.unpins); });
+    group.gauge("reclaimed_pages",
+                [this] { return double(counters_.reclaimedPages); });
+    group.gauge("kcompactd_runs",
+                [this] { return double(counters_.kcompactdRuns); });
+
+    const StatGroup compact_group = group.group("compact");
+    compact_group.gauge(
+        "migrated",
+        [this] { return double(counters_.compactMigrated); },
+        "blocks relocated by any compaction run");
+    compact_group.gauge(
+        "failed_nomem",
+        [this] { return double(counters_.compactFailedNoMem); });
+    compact_group.gauge(
+        "skipped_unmovable",
+        [this] { return double(counters_.compactSkippedUnmovable); },
+        "blocks compaction could not move");
+
+    group.gauge("now_seconds",
+                [this] { return nowSeconds_; },
+                "simulated kernel wall clock");
+    group.gauge("free_user_pages",
+                [this] { return double(policy_->freeUserPages()); });
+    group.gauge(
+        "free_kernel_pages",
+        [this] { return double(policy_->freeKernelPages()); });
+    group.gauge("psi_movable",
+                [this] { return psiMovable_.pressure(); },
+                "PSI pressure of the movable space, percent");
+    group.gauge("psi_unmovable",
+                [this] { return psiUnmovable_.pressure(); },
+                "PSI pressure of the unmovable space, percent");
 }
 
 } // namespace ctg

@@ -148,9 +148,19 @@ class Kernel
         std::uint64_t unpins = 0;
         std::uint64_t reclaimedPages = 0;
         std::uint64_t kcompactdRuns = 0;
+        /** Lifetime totals over every compaction run (direct and
+         * kcompactd), accumulated from CompactionResult. */
+        std::uint64_t compactMigrated = 0;
+        std::uint64_t compactFailedNoMem = 0;
+        std::uint64_t compactSkippedUnmovable = 0;
     };
 
     const Counters &counters() const { return counters_; }
+
+    /** Register the kernel's counters and occupancy gauges under the
+     * given group (conventionally `<server>.kernel`). The policy's
+     * subtree is registered separately via MemPolicy::regStats. */
+    void regStats(StatGroup group) const;
 
     /** Pages below which direct reclaim triggers. */
     std::uint64_t lowWatermarkPages() const { return lowWatermark_; }

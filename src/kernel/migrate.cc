@@ -1,21 +1,53 @@
 #include "kernel/migrate.hh"
 
+#include "base/trace.hh"
+
 namespace ctg
 {
+
+MigrateStats &
+globalMigrateStats()
+{
+    static MigrateStats stats;
+    return stats;
+}
+
+void
+regMigrateStats(StatGroup group)
+{
+    MigrateStats &stats = globalMigrateStats();
+    group.gauge("attempts",
+                [&stats] { return double(stats.attempts); },
+                "migrateBlock calls (process-wide)");
+    group.gauge("moved", [&stats] { return double(stats.moved); });
+    group.gauge("unmovable",
+                [&stats] { return double(stats.unmovable); },
+                "attempts rejected: pinned or non-relocatable owner");
+    group.gauge("no_memory",
+                [&stats] { return double(stats.noMemory); },
+                "attempts without a destination block");
+}
 
 MigrateResult
 migrateBlock(BuddyAllocator &src_alloc, BuddyAllocator &dst_alloc,
              const OwnerRegistry &registry, Pfn src, AddrPref pref,
              MigrateType dst_mt, Pfn *out_dst, bool allow_fallback)
 {
+    MigrateStats &mstats = globalMigrateStats();
+    ++mstats.attempts;
+
     PhysMem &mem = src_alloc.mem();
     const PageFrame &sf = mem.frame(src);
     ctg_assert(!sf.isFree() && sf.isHead());
 
-    if (sf.isPinned())
+    if (sf.isPinned()) {
+        ++mstats.unmovable;
         return MigrateResult::Unmovable;
-    if (!registry.relocatable(sf.owner))
+    }
+    if (!registry.relocatable(sf.owner)) {
+        ++mstats.unmovable;
         return MigrateResult::Unmovable;
+    }
 
     const unsigned order = sf.order;
     const AllocSource source = sf.source;
@@ -23,15 +55,27 @@ migrateBlock(BuddyAllocator &src_alloc, BuddyAllocator &dst_alloc,
 
     const Pfn dst = dst_alloc.allocPages(order, dst_mt, source, owner,
                                          pref, allow_fallback);
-    if (dst == invalidPfn)
+    if (dst == invalidPfn) {
+        ++mstats.noMemory;
+        CTG_DPRINTF(Migrate,
+                    "order-%u block at %llu: no destination in %s",
+                    order, static_cast<unsigned long long>(src),
+                    dst_alloc.name().c_str());
         return MigrateResult::NoMemory;
+    }
 
     if (!registry.relocate(owner, src, dst)) {
         dst_alloc.freePages(dst);
+        ++mstats.unmovable;
         return MigrateResult::Unmovable;
     }
 
     src_alloc.freePages(src);
+    ++mstats.moved;
+    CTG_DPRINTF(Migrate, "order-%u block %llu -> %llu (%s)", order,
+                static_cast<unsigned long long>(src),
+                static_cast<unsigned long long>(dst),
+                dst_alloc.name().c_str());
     if (out_dst != nullptr)
         *out_dst = dst;
     return MigrateResult::Ok;

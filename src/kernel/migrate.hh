@@ -12,6 +12,7 @@
 #ifndef CTG_KERNEL_MIGRATE_HH
 #define CTG_KERNEL_MIGRATE_HH
 
+#include "base/stat_registry.hh"
 #include "base/types.hh"
 #include "kernel/owner.hh"
 #include "mem/buddy.hh"
@@ -26,6 +27,26 @@ enum class MigrateResult
     Unmovable,   //!< page is pinned or has no relocatable owner
     NoMemory,    //!< destination allocation failed
 };
+
+/** Process-wide software-migration counters. migrateBlock is a free
+ * function invoked from compaction, region resizing and pinning, so
+ * the counters aggregate over every allocator (and, in fleet runs,
+ * every server) in the process. */
+struct MigrateStats
+{
+    std::uint64_t attempts = 0;
+    std::uint64_t moved = 0;
+    std::uint64_t unmovable = 0;
+    std::uint64_t noMemory = 0;
+
+    void reset() { *this = MigrateStats{}; }
+};
+
+MigrateStats &globalMigrateStats();
+
+/** Register the process-wide migration counters under the given
+ * group (conventionally `<prefix>.kernel.migrate`). */
+void regMigrateStats(StatGroup group);
 
 /**
  * Migrate the block headed at src into dst_alloc.

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 
+#include "base/stat_registry.hh"
 #include "base/types.hh"
 #include "mem/buddy.hh"
 #include "mem/physmem.hh"
@@ -89,6 +90,12 @@ class MemPolicy
     virtual BuddyAllocator &movableAllocator() = 0;
 
     virtual PhysMem &mem() = 0;
+
+    /** Register the policy's stats subtree (allocators, regions,
+     * controller) under the given group. The group is the *server*
+     * prefix; implementations add their own `mem.` / `ctg.`
+     * components so vanilla and Contiguitas dumps line up. */
+    virtual void regStats(StatGroup group) const { (void)group; }
 };
 
 } // namespace ctg

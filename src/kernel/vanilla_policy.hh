@@ -32,6 +32,12 @@ class VanillaPolicy : public MemPolicy
     BuddyAllocator &movableAllocator() override { return allocator_; }
     PhysMem &mem() override { return mem_; }
 
+    void
+    regStats(StatGroup group) const override
+    {
+        allocator_.regStats(group.group("mem.buddy"));
+    }
+
     const BuddyAllocator &allocator() const { return allocator_; }
 
   private:

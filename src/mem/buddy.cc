@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "base/trace.hh"
+
 namespace ctg
 {
 
@@ -192,6 +194,12 @@ BuddyAllocator::allocPages(unsigned order, MigrateType mt,
             if (head == invalidPfn)
                 continue;
             ++stats_.fallbackAllocs;
+            CTG_DPRINTF(Buddy,
+                        "%s: fallback steal order %d from %s list "
+                        "for order-%u %s alloc at pfn %llu",
+                        name_.c_str(), o, migrateTypeName(victim),
+                        order, migrateTypeName(mt),
+                        static_cast<unsigned long long>(head));
             const bool claim = claimSmallSteals_ ||
                                static_cast<unsigned>(o) >= hugeOrder;
             if (claim) {
@@ -214,6 +222,9 @@ BuddyAllocator::allocPages(unsigned order, MigrateType mt,
     }
 
     ++stats_.failedAllocs;
+    CTG_DPRINTF(Buddy, "%s: order-%u %s alloc failed (free %llu)",
+                name_.c_str(), order, migrateTypeName(mt),
+                static_cast<unsigned long long>(freePageCount()));
     return invalidPfn;
 }
 
@@ -289,7 +300,44 @@ BuddyAllocator::allocGigantic(MigrateType mt, AllocSource src,
         return base;
     }
     ++stats_.giganticFailures;
+    CTG_DPRINTF(Buddy, "%s: gigantic %s alloc found no free 1GB range",
+                name_.c_str(), migrateTypeName(mt));
     return invalidPfn;
+}
+
+void
+BuddyAllocator::regStats(StatGroup group) const
+{
+    group.gauge("alloc_calls",
+                [this] { return double(stats_.allocCalls); },
+                "allocPages invocations");
+    group.gauge("free_calls",
+                [this] { return double(stats_.freeCalls); },
+                "freePages invocations");
+    group.gauge("split_events",
+                [this] { return double(stats_.splits); },
+                "free blocks split to serve a smaller order");
+    group.gauge("merge_events",
+                [this] { return double(stats_.merges); },
+                "buddy coalesces on free");
+    group.gauge("fallback_allocs",
+                [this] { return double(stats_.fallbackAllocs); },
+                "cross-migratetype steals");
+    group.gauge("pageblock_steals",
+                [this] { return double(stats_.pageblockSteals); },
+                "pageblocks retagged by large steals");
+    group.gauge("failed_allocs",
+                [this] { return double(stats_.failedAllocs); });
+    group.gauge("gigantic_allocs",
+                [this] { return double(stats_.giganticAllocs); });
+    group.gauge("gigantic_failures",
+                [this] { return double(stats_.giganticFailures); });
+    group.gauge("free_pages",
+                [this] { return double(freePageCount()); },
+                "pages currently on the free lists");
+    group.gauge("largest_free_order",
+                [this] { return double(largestFreeOrder()); },
+                "-1 when no free block exists");
 }
 
 bool

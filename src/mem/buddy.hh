@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <string>
 
+#include "base/stat_registry.hh"
 #include "base/types.hh"
 #include "mem/physmem.hh"
 
@@ -139,6 +140,11 @@ class BuddyAllocator
     /** @} */
 
     const Stats &stats() const { return stats_; }
+
+    /** Register this allocator's counters (and occupancy gauges)
+     * under the given group, e.g. `<server>.mem.buddy.*`. */
+    void regStats(StatGroup group) const;
+
     const std::string &name() const { return name_; }
     PhysMem &mem() { return mem_; }
 

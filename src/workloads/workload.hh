@@ -14,6 +14,7 @@
 #include <queue>
 #include <vector>
 
+#include "base/stat_registry.hh"
 #include "kernel/addrspace.hh"
 #include "kernel/churn.hh"
 #include "kernel/fsbuffers.hh"
@@ -78,6 +79,26 @@ class Workload
     };
 
     const Stats &stats() const { return stats_; }
+
+    /** Register workload counters under the given group
+     * (conventionally `<server>.workload`). */
+    void
+    regStats(StatGroup group) const
+    {
+        group.gauge("jobs_recycled",
+                    [this] { return double(stats_.jobsRecycled); });
+        group.gauge("pins_created",
+                    [this] { return double(stats_.pinsCreated); });
+        group.gauge("pin_failures",
+                    [this] { return double(stats_.pinFailures); });
+        group.gauge(
+            "heap_pages_churned",
+            [this] { return double(stats_.heapPagesChurned); });
+        group.gauge("resident_pages",
+                    [this] { return double(residentPages()); });
+        group.gauge("huge_backed_fraction",
+                    [this] { return hugeBackedFraction(); });
+    }
 
   private:
     struct Proc

@@ -153,6 +153,56 @@ TEST(HistogramTest, OutOfRangeCounted)
     hist.add(-5.0);
     hist.add(100.0);
     EXPECT_EQ(hist.total(), 2u);
+    EXPECT_EQ(hist.underflow(), 1u);
+    EXPECT_EQ(hist.overflow(), 1u);
+    for (std::size_t i = 0; i < hist.buckets(); ++i)
+        EXPECT_EQ(hist.bucketCount(i), 0u);
+}
+
+TEST(HistogramTest, EmptyPercentileReturnsLo)
+{
+    Histogram hist(3.0, 10.0, 5);
+    EXPECT_DOUBLE_EQ(hist.percentile(0.0), 3.0);
+    EXPECT_DOUBLE_EQ(hist.percentile(0.5), 3.0);
+    EXPECT_DOUBLE_EQ(hist.percentile(1.0), 3.0);
+}
+
+TEST(HistogramTest, OutOfRangeMassResolvesToBounds)
+{
+    Histogram hist(0.0, 10.0, 5);
+    for (int i = 0; i < 8; ++i)
+        hist.add(-1.0);
+    hist.add(1000.0);
+    hist.add(1000.0);
+    // 80% of the mass sits below lo, the rest above hi.
+    EXPECT_DOUBLE_EQ(hist.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(hist.percentile(1.0), 10.0);
+}
+
+TEST(WarnRateLimiterTest, GrantsBudgetThenSuppresses)
+{
+    WarnRateLimiter limiter(3);
+    EXPECT_TRUE(limiter.allow());
+    EXPECT_TRUE(limiter.allow());
+    EXPECT_TRUE(limiter.allow());
+    EXPECT_EQ(limiter.suppressed(), 0u);
+
+    EXPECT_FALSE(limiter.allow());
+    EXPECT_TRUE(limiter.firstSuppressed());
+    EXPECT_FALSE(limiter.allow());
+    EXPECT_FALSE(limiter.firstSuppressed());
+    EXPECT_EQ(limiter.suppressed(), 2u);
+    EXPECT_EQ(limiter.calls(), 5u);
+}
+
+TEST(WarnRateLimiterTest, MacroCompilesAndCounts)
+{
+    // warn_limited keeps a per-call-site static limiter; loop to
+    // prove repeated hits stop doing IO without crashing.
+    for (int i = 0; i < 5; ++i)
+        warn_limited(2, "rate-limited test warning %d", i);
+    for (int i = 0; i < 3; ++i)
+        warn_once("one-shot test warning"); // printed once
 }
 
 TEST(EmpiricalCdfTest, FractionAndQuantile)
