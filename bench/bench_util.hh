@@ -20,6 +20,7 @@
 #include "base/table.hh"
 #include "base/units.hh"
 #include "fleet/fleet.hh"
+#include "sim/fault_injector.hh"
 
 namespace ctg
 {
@@ -35,6 +36,19 @@ banner(const char *figure, const char *caption)
     std::printf("%s — %s\n", figure, caption);
     std::printf("================================================"
                 "====\n");
+}
+
+/**
+ * Register the process-wide fault injector's per-site counters under
+ * `faults.` when CTG_FAULTS armed any site, so chaos runs carry a
+ * record of the injections they executed in their dumped stats. A
+ * no-op in clean runs, keeping their output byte-identical.
+ */
+inline void
+regFaultStats(StatRegistry &registry)
+{
+    if (faultInjector().anyArmed())
+        faultInjector().regStats(StatGroup(registry, "faults"));
 }
 
 /** Standard fleet configuration used by the Section 2 studies. */

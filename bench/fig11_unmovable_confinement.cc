@@ -40,6 +40,7 @@ runOne(WorkloadKind kind, bool contiguitas, std::string *stats_json)
     server.attachTelemetry(registry, nullptr, prefix);
     regMigrateStats(
         StatGroup(registry, prefix + ".kernel.migrate"));
+    bench::regFaultStats(registry);
     const ServerScan scan = server.run();
     *stats_json += registry.jsonLines();
     return scan;

@@ -62,6 +62,7 @@ main()
     StatRegistry registry;
     hw.regStats(StatGroup(registry, "hw"));
     kernel.regStats(StatGroup(registry, "kernel"));
+    bench::regFaultStats(registry);
     StatSampler sampler(registry);
 
     Cycles chw_total = 0;

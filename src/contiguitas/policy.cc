@@ -196,6 +196,10 @@ ContiguitasPolicy::tick(std::uint32_t now_seconds)
         return;
     lastResizeSec_ = now;
 
+    // Resizes that failed evacuation earlier retry here with capped
+    // exponential backoff, ahead of fresh controller decisions.
+    regions_.pumpDeferredResizes();
+
     runController();
     if (config_.defragBlocksPerTick > 0)
         regions_.defragUnmovable(config_.defragBlocksPerTick);

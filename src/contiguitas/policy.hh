@@ -101,6 +101,14 @@ class ContiguitasPolicy : public MemPolicy
      * `mem.unmovable.buddy.*` / `mem.movable.buddy.*` subtrees. */
     void regStats(StatGroup group) const override;
 
+    /** Both region allocators plus region-accounting and confinement
+     * checks. */
+    void
+    attachAuditorChecks(MemAuditor &auditor) override
+    {
+        regions_.attachAuditorChecks(auditor);
+    }
+
   private:
     /** Placement preference inside the unmovable region. */
     AddrPref prefFor(Lifetime lifetime) const;

@@ -4,6 +4,7 @@
 
 #include "base/trace.hh"
 #include "kernel/migrate.hh"
+#include "sim/fault_injector.hh"
 
 namespace ctg
 {
@@ -97,6 +98,17 @@ RegionManager::evacuateBlock(BuddyAllocator &alloc, Pfn head,
 {
     (void)range_lo;
     (void)range_hi;
+
+    // Injected evacuation veto: the block behaves as if nothing —
+    // not even Contiguitas-HW — could move it right now, forcing the
+    // resize onto its failure/retry path.
+    if (faultInjector().shouldFail(FaultSite::RegionEvacFail)) {
+        ++stats_.injectedEvacFails;
+        CTG_DPRINTF(Region, "injected evacuation failure at %llu",
+                    static_cast<unsigned long long>(head));
+        return false;
+    }
+
     const PageFrame &f = mem_.frame(head);
     // Pick a destination list the region actually has free space on:
     // the frame's own migratetype, falling back across lists.
@@ -124,8 +136,11 @@ RegionManager::evacuateBlock(BuddyAllocator &alloc, Pfn head,
 }
 
 std::uint64_t
-RegionManager::expandUnmovable(std::uint64_t pages)
+RegionManager::tryExpand(std::uint64_t pages,
+                         bool *evacuation_blocked)
 {
+    if (evacuation_blocked != nullptr)
+        *evacuation_blocked = false;
     const Pfn step = roundUpToAlign(pages);
     const Pfn lo = boundary();
     const Pfn hi = lo + step;
@@ -154,6 +169,8 @@ RegionManager::expandUnmovable(std::uint64_t pages)
     if (!ok || !movable_->rangeFullyFree(lo, hi)) {
         movable_->unisolateRange(lo, hi, MigrateType::Movable);
         ++stats_.expansionFailures;
+        if (evacuation_blocked != nullptr)
+            *evacuation_blocked = true;
         return 0;
     }
 
@@ -167,8 +184,11 @@ RegionManager::expandUnmovable(std::uint64_t pages)
 }
 
 std::uint64_t
-RegionManager::shrinkUnmovable(std::uint64_t pages)
+RegionManager::tryShrink(std::uint64_t pages,
+                         bool *evacuation_blocked)
 {
+    if (evacuation_blocked != nullptr)
+        *evacuation_blocked = false;
     const Pfn step = roundUpToAlign(pages);
     const Pfn hi = boundary();
     if (step >= hi || hi - step < config_.minUnmovablePages) {
@@ -195,6 +215,8 @@ RegionManager::shrinkUnmovable(std::uint64_t pages)
     if (!ok || !unmovable_->rangeFullyFree(lo, hi)) {
         unmovable_->unisolateRange(lo, hi, MigrateType::Unmovable);
         ++stats_.shrinkFailures;
+        if (evacuation_blocked != nullptr)
+            *evacuation_blocked = true;
         return 0;
     }
 
@@ -205,6 +227,97 @@ RegionManager::shrinkUnmovable(std::uint64_t pages)
                 static_cast<unsigned long long>(step),
                 static_cast<unsigned long long>(boundary()));
     return step;
+}
+
+std::uint64_t
+RegionManager::expandUnmovable(std::uint64_t pages)
+{
+    bool evacuation_blocked = false;
+    const std::uint64_t moved = tryExpand(pages, &evacuation_blocked);
+    // Only evacuation failures are transient; bounds rejections are
+    // not retried (the controller will re-evaluate anyway).
+    if (moved == 0 && evacuation_blocked)
+        deferResize(/*expand=*/true, pages);
+    return moved;
+}
+
+std::uint64_t
+RegionManager::shrinkUnmovable(std::uint64_t pages)
+{
+    bool evacuation_blocked = false;
+    const std::uint64_t moved = tryShrink(pages, &evacuation_blocked);
+    if (moved == 0 && evacuation_blocked)
+        deferResize(/*expand=*/false, pages);
+    return moved;
+}
+
+void
+RegionManager::deferResize(bool expand, std::uint64_t pages)
+{
+    if (deferred_ && deferred_->expand == expand) {
+        // Merge with the queued request; the larger goal wins and
+        // the backoff clock keeps running.
+        deferred_->pages = std::max(deferred_->pages, pages);
+        return;
+    }
+    if (deferred_) {
+        // Opposite direction queued: the controller changed its
+        // mind, so the stale request is superseded rather than
+        // retried against current pressure.
+        ++stats_.deferredSuperseded;
+    }
+    DeferredResize d;
+    d.expand = expand;
+    d.pages = pages;
+    d.attempts = 1;
+    d.waitPumps = std::min(2u, maxResizeBackoff);
+    deferred_ = d;
+    ++stats_.deferredEnqueued;
+    CTG_DPRINTF(Region, "deferred %s of %llu pages (attempt 1)",
+                expand ? "expansion" : "shrink",
+                static_cast<unsigned long long>(pages));
+}
+
+std::uint64_t
+RegionManager::pumpDeferredResizes()
+{
+    if (!deferred_)
+        return 0;
+    if (deferred_->waitPumps > 0) {
+        --deferred_->waitPumps;
+        return 0;
+    }
+
+    ++stats_.deferredRetries;
+    bool evacuation_blocked = false;
+    const std::uint64_t moved =
+        deferred_->expand
+            ? tryExpand(deferred_->pages, &evacuation_blocked)
+            : tryShrink(deferred_->pages, &evacuation_blocked);
+    if (moved != 0) {
+        ++stats_.deferredCompleted;
+        CTG_DPRINTF(Region, "deferred %s succeeded after %u attempts",
+                    deferred_->expand ? "expansion" : "shrink",
+                    deferred_->attempts + 1);
+        deferred_.reset();
+        return moved;
+    }
+
+    ++deferred_->attempts;
+    if (!evacuation_blocked || deferred_->attempts > maxResizeRetries) {
+        // Structural rejection (region hit a bound since we queued)
+        // or out of retries: stop.
+        ++stats_.deferredDropped;
+        CTG_DPRINTF(Region, "deferred %s dropped after %u attempts",
+                    deferred_->expand ? "expansion" : "shrink",
+                    deferred_->attempts);
+        deferred_.reset();
+        return 0;
+    }
+    // Capped exponential backoff: 2, 4, 8, 8, ... pump calls.
+    deferred_->waitPumps =
+        std::min(1u << deferred_->attempts, maxResizeBackoff);
+    return 0;
 }
 
 std::uint64_t
@@ -279,10 +392,27 @@ RegionManager::regStats(StatGroup group) const
                 "unmovable region covers [0, boundary)");
     group.gauge("unmovable_pages",
                 [this] { return double(unmovable_->totalPages()); });
+    group.gauge("injected_evac_fails",
+                [this] { return double(stats_.injectedEvacFails); },
+                "evacuations vetoed by the fault injector");
+    group.gauge("deferred_enqueued",
+                [this] { return double(stats_.deferredEnqueued); },
+                "failed resizes queued for retry");
+    group.gauge("deferred_retries",
+                [this] { return double(stats_.deferredRetries); });
+    group.gauge("deferred_completed",
+                [this] { return double(stats_.deferredCompleted); },
+                "queued resizes that eventually succeeded");
+    group.gauge("deferred_dropped",
+                [this] { return double(stats_.deferredDropped); },
+                "queued resizes abandoned after the retry cap");
+    group.gauge("deferred_superseded",
+                [this] { return double(stats_.deferredSuperseded); },
+                "queued resizes replaced by the opposite direction");
 }
 
 void
-RegionManager::checkConfinement() const
+RegionManager::auditConfinement(AuditReport &report) const
 {
     const Pfn b = boundary();
     for (Pfn pfn = 0; pfn < mem_.numFrames(); ++pfn) {
@@ -291,18 +421,64 @@ RegionManager::checkConfinement() const
             continue;
         if (pfn < b) {
             if (f.migrateType == MigrateType::Movable)
-                panic("movable allocation at %llu inside unmovable "
-                      "region [0, %llu)",
-                      static_cast<unsigned long long>(pfn),
-                      static_cast<unsigned long long>(b));
+                report.violation(
+                    "movable allocation at %llu inside unmovable "
+                    "region [0, %llu)",
+                    static_cast<unsigned long long>(pfn),
+                    static_cast<unsigned long long>(b));
         } else {
             if (f.isUnmovableAllocation())
-                panic("unmovable allocation at %llu outside the "
-                      "unmovable region [0, %llu)",
-                      static_cast<unsigned long long>(pfn),
-                      static_cast<unsigned long long>(b));
+                report.violation(
+                    "unmovable allocation at %llu outside the "
+                    "unmovable region [0, %llu)",
+                    static_cast<unsigned long long>(pfn),
+                    static_cast<unsigned long long>(b));
         }
     }
+}
+
+void
+RegionManager::checkConfinement() const
+{
+    AuditReport report;
+    auditConfinement(report);
+    if (!report.ok())
+        panic("%s", report.violations.front().c_str());
+}
+
+void
+RegionManager::attachAuditorChecks(MemAuditor &auditor)
+{
+    auditor.addAllocator(unmovable_.get());
+    auditor.addAllocator(movable_.get());
+    auditor.addCheck("region.accounting", [this](AuditReport &r) {
+        if (unmovable_->startPfn() != 0)
+            r.violation("unmovable region starts at %llu, not 0",
+                        static_cast<unsigned long long>(
+                            unmovable_->startPfn()));
+        if (unmovable_->endPfn() != movable_->startPfn())
+            r.violation(
+                "regions not adjacent: unmovable ends %llu, movable "
+                "starts %llu",
+                static_cast<unsigned long long>(unmovable_->endPfn()),
+                static_cast<unsigned long long>(
+                    movable_->startPfn()));
+        if (movable_->endPfn() != mem_.numFrames())
+            r.violation(
+                "movable region ends at %llu, not %llu",
+                static_cast<unsigned long long>(movable_->endPfn()),
+                static_cast<unsigned long long>(mem_.numFrames()));
+        if (unmovable_->totalPages() > config_.maxUnmovablePages)
+            r.violation(
+                "unmovable region %llu pages exceeds cap %llu",
+                static_cast<unsigned long long>(
+                    unmovable_->totalPages()),
+                static_cast<unsigned long long>(
+                    config_.maxUnmovablePages));
+    });
+    auditor.addCheck("region.confinement", [this](AuditReport &r) {
+        auditConfinement(r);
+    });
 }
 
 } // namespace ctg

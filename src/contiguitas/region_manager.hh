@@ -20,10 +20,12 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 
 #include "base/stat_registry.hh"
 #include "base/types.hh"
 #include "kernel/owner.hh"
+#include "mem/auditor.hh"
 #include "mem/buddy.hh"
 
 namespace ctg
@@ -55,6 +57,14 @@ class RegionManager
         std::uint64_t shrinkFailures = 0;
         std::uint64_t evacuatedBlocks = 0;
         std::uint64_t hwMigrations = 0;
+        /** Evacuations vetoed by the fault injector. */
+        std::uint64_t injectedEvacFails = 0;
+        /** Deferred-resize queue activity. */
+        std::uint64_t deferredEnqueued = 0;
+        std::uint64_t deferredRetries = 0;
+        std::uint64_t deferredCompleted = 0;
+        std::uint64_t deferredDropped = 0;
+        std::uint64_t deferredSuperseded = 0;
     };
 
     RegionManager(PhysMem &mem, OwnerRegistry &owners, Config config);
@@ -70,18 +80,41 @@ class RegionManager
     /**
      * Grow the unmovable region by at least `pages` (rounded up to
      * max-order blocks). Movable pages in the annexed range are
-     * migrated deeper into the movable region first.
-     * @return pages actually added (0 on failure).
+     * migrated deeper into the movable region first. A failed
+     * attempt (evacuation blocked) is queued for deferred retry with
+     * capped exponential backoff — see pumpDeferredResizes().
+     * @return pages actually added (0 on failure; retry queued).
      */
     std::uint64_t expandUnmovable(std::uint64_t pages);
 
     /**
      * Shrink the unmovable region by at least `pages`. The border
      * range must be evacuated: software migration for pages with
-     * relocatable owners, the hardware hook for the rest.
-     * @return pages actually removed (0 on failure).
+     * relocatable owners, the hardware hook for the rest. Failed
+     * attempts are queued for deferred retry like expansions.
+     * @return pages actually removed (0 on failure; retry queued).
      */
     std::uint64_t shrinkUnmovable(std::uint64_t pages);
+
+    /**
+     * Advance the deferred-resize queue by one step (the policy
+     * calls this once per tick). A failed resize waits
+     * min(2^attempts, maxResizeBackoff) pump calls before its next
+     * attempt and is dropped after maxResizeRetries attempts; a
+     * resize request in the opposite direction supersedes whatever
+     * is queued (the controller changed its mind, and the queued
+     * direction is stale).
+     * @return pages moved by a retried resize this pump (0 if none).
+     */
+    std::uint64_t pumpDeferredResizes();
+
+    /** True while a failed resize awaits retry. */
+    bool deferredResizePending() const { return deferred_.has_value(); }
+
+    /** Retry ceiling before a deferred resize is dropped. */
+    static constexpr unsigned maxResizeRetries = 6;
+    /** Backoff ceiling, in pump calls. */
+    static constexpr unsigned maxResizeBackoff = 8;
 
     /**
      * Enable transparent hardware migration of unmovable pages
@@ -132,7 +165,35 @@ class RegionManager
      * [0, boundary) and no movable one inside. Panics on violation. */
     void checkConfinement() const;
 
+    /** Non-panicking confinement check for the MemAuditor. */
+    void auditConfinement(AuditReport &report) const;
+
+    /** Register both region allocators plus region-accounting and
+     * confinement checks with a system-wide auditor. */
+    void attachAuditorChecks(MemAuditor &auditor);
+
   private:
+    /** One queued resize retry. */
+    struct DeferredResize
+    {
+        bool expand = false;
+        std::uint64_t pages = 0;
+        unsigned attempts = 0;
+        /** Pump calls to wait before the next attempt. */
+        unsigned waitPumps = 0;
+    };
+
+    /** Resize attempt without deferral bookkeeping. A failure sets
+     * *evacuation_blocked to distinguish a transient evacuation
+     * failure (worth retrying) from a structural rejection (region
+     * bounds — retrying cannot help). */
+    std::uint64_t tryExpand(std::uint64_t pages,
+                            bool *evacuation_blocked = nullptr);
+    std::uint64_t tryShrink(std::uint64_t pages,
+                            bool *evacuation_blocked = nullptr);
+
+    /** Queue (or merge) a failed resize for retry. */
+    void deferResize(bool expand, std::uint64_t pages);
     /** Move one allocated block out of [lo, hi); dst constrained to
      * the same allocator outside the range, or forced via HW. */
     bool evacuateBlock(BuddyAllocator &alloc, Pfn head, Pfn range_lo,
@@ -150,6 +211,7 @@ class RegionManager
     bool hwEnabled_ = false;
     HwMigrationHook hwHook_;
     PinMovedCallback pinMoved_;
+    std::optional<DeferredResize> deferred_;
     Stats stats_;
 };
 

@@ -31,8 +31,8 @@ ResizeController::evaluate(double pressure_unmov, double pressure_mov,
         // Expand unmovable upon high pressure (Algorithm 1 line 4).
         double factor =
             pressure_unmov / params_.thresholdUnmov * params_.cue +
-            params_.thresholdMov / std::max(pressure_mov, 1.0) *
-                params_.cme;
+            params_.thresholdMov /
+                std::max(pressure_mov, minPressure) * params_.cme;
         factor = std::min(factor, params_.maxFactor);
         decision.direction = ResizeDirection::Expand;
         decision.factor = factor;
@@ -42,8 +42,8 @@ ResizeController::evaluate(double pressure_unmov, double pressure_mov,
         // Shrink for all other cases (Algorithm 1 line 8).
         double factor =
             pressure_mov / params_.thresholdMov * params_.cms +
-            params_.thresholdUnmov / std::max(pressure_unmov, 1.0) *
-                params_.cus;
+            params_.thresholdUnmov /
+                std::max(pressure_unmov, minPressure) * params_.cus;
         factor = std::min(factor, params_.maxFactor);
         decision.direction = ResizeDirection::Shrink;
         decision.factor = factor;

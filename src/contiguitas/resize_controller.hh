@@ -7,14 +7,16 @@
  * size of the unmovable region:
  *
  *   if P_unmov >= T_unmov and P_mov < T_mov:
- *       F = P_unmov/T_unmov * c_ue + T_mov/max(P_mov,1) * c_me
+ *       F = P_unmov/T_unmov * c_ue + T_mov/max(P_mov,eps) * c_me
  *       U = (1 + F) * Mem_unmov           (expand)
  *   else:
- *       F = P_mov/T_mov * c_ms + T_unmov/max(P_unmov,1) * c_us
+ *       F = P_mov/T_mov * c_ms + T_unmov/max(P_unmov,eps) * c_us
  *       U = (1 - F) * Mem_unmov           (shrink)
  *
- * exactly as the paper states it, with F clamped so one decision can
- * never more than double or empty the region.
+ * with F clamped so one decision can never more than double or empty
+ * the region. The paper writes max(P, 1) for the counter-pressure
+ * divisors; we floor at minPressure (eps) instead so sub-1% PSI
+ * readings are not silently flattened — see the constant below.
  */
 
 #ifndef CTG_CONTIGUITAS_RESIZE_CONTROLLER_HH
@@ -69,6 +71,22 @@ struct ResizeDecision
 class ResizeController
 {
   public:
+    /**
+     * Floor for the counter-pressure divisors (the max(P, 1)
+     * denominators of Algorithm 1). It keeps the T/P terms finite
+     * as a pressure approaches 0 — the paper writes max(P_mov, 1),
+     * but flooring at a full 1% silently distorts every sub-1%
+     * pressure reading: P_mov = 0.2% and P_mov = 0.9% would produce
+     * identical counter-pressure terms even though the former region
+     * is four times calmer. Flooring at 0.25% preserves that
+     * gradient across the band fleet PSI readings actually visit
+     * while still bounding the bonus term at 4x its paper ceiling —
+     * low enough that a calm counter-region can never saturate the
+     * maxFactor clamp on its own and erase the native-pressure
+     * gradient.
+     */
+    static constexpr double minPressure = 0.25;
+
     explicit ResizeController(const ResizeParams &params);
 
     /**

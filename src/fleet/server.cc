@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/trace.hh"
+#include "mem/auditor.hh"
 #include "mem/scanner.hh"
 
 namespace ctg
@@ -52,6 +53,13 @@ Server::Server(const Config &config)
 
 Server::~Server() = default;
 
+void
+Server::enableStepAudit()
+{
+    if (!auditor_)
+        auditor_ = kernel_->makeAuditor();
+}
+
 ServerScan
 Server::scan() const
 {
@@ -99,6 +107,8 @@ Server::attachTelemetry(StatRegistry &registry, StatSampler *sampler,
     kernel_->regStats(group.group("kernel"));
     kernel_->policy().regStats(group);
     workload_->regStats(group.group("workload"));
+    if (auditor_)
+        auditor_->regStats(group.group("audit"));
 
     // Fragmentation gauges re-scan physical memory on every read;
     // they exist for sampled time series, not hot paths.
@@ -143,24 +153,35 @@ Server::run()
         fragmenter_ = std::make_unique<Fragmenter>(
             *kernel_, fc, config_.seed ^ 0xf7a6);
         fragmenter_->run();
+        if (auditor_)
+            auditor_->auditOrDie();
     }
     workload_->start();
-    if (sampler_ == nullptr) {
+    if (auditor_)
+        auditor_->auditOrDie();
+    if (sampler_ == nullptr && auditor_ == nullptr) {
         workload_->runFor(config_.uptimeSec, config_.stepSec);
         return scan();
     }
 
-    // Sampled run: advance step by step so the sampler can snapshot
-    // the stat tree along the way. Ticks are simulated milliseconds.
-    sampler_->sample(
-        static_cast<Tick>(workload_->now() * 1000.0));
+    // Stepped run: advance step by step so the sampler can snapshot
+    // the stat tree along the way and the auditor can cross-check the
+    // memory stack after every step. Ticks are simulated milliseconds.
+    if (sampler_) {
+        sampler_->sample(
+            static_cast<Tick>(workload_->now() * 1000.0));
+    }
     double remaining = config_.uptimeSec;
     while (remaining > 0.0) {
         const double dt = std::min(config_.stepSec, remaining);
         workload_->runFor(dt, dt);
         remaining -= dt;
-        sampler_->sample(
-            static_cast<Tick>(workload_->now() * 1000.0));
+        if (auditor_)
+            auditor_->auditOrDie();
+        if (sampler_) {
+            sampler_->sample(
+                static_cast<Tick>(workload_->now() * 1000.0));
+        }
     }
     return scan();
 }

@@ -77,6 +77,19 @@ class Server
     /** Boot, (optionally) fragment, run the workload, and scan. */
     ServerScan run();
 
+    /**
+     * Audit the whole memory stack (free lists, frame table, page
+     * conservation, region accounting, confinement, owner handles,
+     * pin tables) after pretreatment and after every workload step
+     * of run(), panicking on the first violation. Chaos tests run
+     * fleets with this on while the fault injector fires. Call
+     * before attachTelemetry to get `audit.*` gauges.
+     */
+    void enableStepAudit();
+
+    /** The step auditor, or nullptr when disabled. */
+    MemAuditor *auditor() { return auditor_.get(); }
+
     Kernel &kernel() { return *kernel_; }
     Workload &workload() { return *workload_; }
 
@@ -101,6 +114,7 @@ class Server
     std::unique_ptr<Kernel> kernel_;
     std::unique_ptr<Fragmenter> fragmenter_;
     std::unique_ptr<Workload> workload_;
+    std::unique_ptr<MemAuditor> auditor_;
     StatSampler *sampler_ = nullptr;
 };
 

@@ -1,6 +1,7 @@
 #include "hw/chw/engine.hh"
 
 #include "base/trace.hh"
+#include "sim/fault_injector.hh"
 
 namespace ctg
 {
@@ -13,14 +14,28 @@ bool
 ChwEngine::submitMigrate(Descriptor desc)
 {
     ctg_assert(desc.src != invalidPfn && desc.dst != invalidPfn);
+
+    // Injected install failure: the descriptor is rejected before
+    // anything is installed, exactly like a full metadata table, so
+    // the OS fallback path (software migration) takes over.
+    if (faultInjector().shouldFail(FaultSite::ChwInstallFail)) {
+        ++stats_.installsRejected;
+        CTG_DPRINTF(ChwEngine, "injected install rejection for %llu",
+                    static_cast<unsigned long long>(desc.src));
+        return false;
+    }
+
     MigrationEntry *entry = mem_.migrationTable().install(
         desc.src, desc.dst, desc.mode, desc.sizePages);
-    if (entry == nullptr)
+    if (entry == nullptr) {
+        ++stats_.installsRejected;
         return false;
+    }
 
     RunState state;
     state.startTick = eventq_.now();
     state.onComplete = std::move(desc.onComplete);
+    state.onAbort = std::move(desc.onAbort);
     running_[desc.src] = std::move(state);
     ++stats_.migrationsStarted;
     CTG_DPRINTF(ChwEngine,
@@ -73,14 +88,42 @@ ChwEngine::finishCopy(Pfn src, MigrationEntry &entry)
 }
 
 void
+ChwEngine::abortRun(Pfn src)
+{
+    auto it = running_.find(src);
+    if (it == running_.end())
+        return;
+    ++stats_.migrationsAborted;
+    CTG_DPRINTF(ChwEngine, "migration of pfn=%llu aborted",
+                static_cast<unsigned long long>(src));
+    // Detach before invoking: the callback may resubmit this page.
+    auto on_abort = std::move(it->second.onAbort);
+    running_.erase(it);
+    if (on_abort)
+        on_abort();
+}
+
+void
 ChwEngine::copyNextLine(Pfn src)
 {
     MigrationEntry *entry = mem_.migrationTable().findBySrc(src);
     if (entry == nullptr || !entry->copying) {
-        // The OS cleared the mapping mid-copy; stop quietly.
-        running_.erase(src);
+        // The OS cleared the mapping mid-copy. Account the abort and
+        // tell the OS instead of erasing the run silently —
+        // migrations_started must always reconcile with
+        // completed + aborted + in-flight.
+        abortRun(src);
         return;
     }
+
+    // Injected engine fault mid-copy: drop the mapping and abort, as
+    // if the OS had cleared it under the engine.
+    if (faultInjector().shouldFail(FaultSite::ChwMidcopyAbort)) {
+        mem_.migrationTable().clear(src);
+        abortRun(src);
+        return;
+    }
+
     const unsigned total_lines =
         entry->sizePages * static_cast<unsigned>(linesPerPage);
     if (entry->ptr >= total_lines) {
@@ -138,7 +181,9 @@ void
 ChwEngine::clear(Pfn src)
 {
     mem_.migrationTable().clear(src);
-    running_.erase(src);
+    // Clearing after completion is the normal teardown (the run is
+    // already gone); clearing while the run exists aborts it.
+    abortRun(src);
 }
 
 void
@@ -150,6 +195,18 @@ ChwEngine::regStats(StatGroup group) const
     group.gauge(
         "migrations_completed",
         [this] { return double(stats_.migrationsCompleted); });
+    group.gauge(
+        "migrations_aborted",
+        [this] { return double(stats_.migrationsAborted); },
+        "migrations ended by Clear or fault before completion");
+    group.gauge(
+        "installs_rejected",
+        [this] { return double(stats_.installsRejected); },
+        "Migrate descriptors rejected at submission");
+    group.gauge(
+        "migrations_in_flight",
+        [this] { return double(running_.size()); },
+        "installed and neither completed nor aborted");
     group.gauge("lines_copied",
                 [this] { return double(stats_.linesCopied); });
     group.gauge(

@@ -51,6 +51,11 @@ class ChwEngine
         /** Invoked when the copy completes (completion-address
          * write). */
         std::function<void()> onComplete;
+        /** Invoked when the migration ends without completing — the
+         * OS cleared the mapping mid-copy or the engine faulted. The
+         * table entry is already gone when this runs; the OS uses it
+         * to roll back (free the destination, retry later). */
+        std::function<void()> onAbort;
     };
 
     ChwEngine(EventQueue &eventq, MemHierarchy &mem);
@@ -75,10 +80,21 @@ class ChwEngine
         return mem_.migrationTable().find(ppn) != nullptr;
     }
 
+    /** Migrations currently installed and not yet completed or
+     * aborted. Invariant: migrationsStarted ==
+     * migrationsCompleted + migrationsAborted + inFlight(). */
+    std::size_t inFlight() const { return running_.size(); }
+
     struct Stats
     {
         std::uint64_t migrationsStarted = 0;
         std::uint64_t migrationsCompleted = 0;
+        /** Migrations ended without completing (OS Clear mid-copy or
+         * injected engine fault). */
+        std::uint64_t migrationsAborted = 0;
+        /** Migrate descriptors rejected at submit (table full or
+         * injected install failure); never counted as started. */
+        std::uint64_t installsRejected = 0;
         std::uint64_t linesCopied = 0;
         std::uint64_t linesSkippedDirty = 0;
         std::uint64_t sliceHandoffs = 0;
@@ -102,10 +118,16 @@ class ChwEngine
         Tick startTick = 0;
         unsigned currentSlice = 0;
         std::function<void()> onComplete;
+        std::function<void()> onAbort;
     };
 
     void copyNextLine(Pfn src);
     void finishCopy(Pfn src, MigrationEntry &entry);
+
+    /** Account an abort and notify the OS. No-op when the run is
+     * already gone (a stale copy event after the abort was
+     * accounted), so an abort is never counted twice. */
+    void abortRun(Pfn src);
 
     EventQueue &eventq_;
     MemHierarchy &mem_;

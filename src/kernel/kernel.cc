@@ -4,6 +4,8 @@
 
 #include "kernel/contig_alloc.hh"
 #include "kernel/vanilla_policy.hh"
+#include "mem/auditor.hh"
+#include "sim/fault_injector.hh"
 
 namespace ctg
 {
@@ -238,6 +240,12 @@ Kernel::registerShrinker(Shrinker *shrinker)
 std::uint64_t
 Kernel::reclaim(std::uint64_t target_pages)
 {
+    // Injected reclaim failure: every shrinker comes back empty, so
+    // the caller's no-progress path (stall accounting, compaction,
+    // final allocation failure) is exercised.
+    if (faultInjector().shouldFail(FaultSite::KernelReclaimFail))
+        return 0;
+
     std::uint64_t freed = 0;
     for (Shrinker *shrinker : shrinkers_) {
         if (freed >= target_pages)
@@ -245,6 +253,70 @@ Kernel::reclaim(std::uint64_t target_pages)
         freed += shrinker->shrink(target_pages - freed);
     }
     return freed;
+}
+
+void
+Kernel::attachAuditorChecks(MemAuditor &auditor)
+{
+    auditor.addCheck("kernel.owners", [this](AuditReport &r) {
+        // Owner-handle conservation: every allocated block's handle
+        // must name a registered client slot (live or retired) or be
+        // noOwner. A handle above the registered range means frame
+        // metadata was corrupted or stamped outside the registry.
+        const Pfn n = mem_->numFrames();
+        for (Pfn pfn = 0; pfn < n; ++pfn) {
+            const PageFrame &f = mem_->frame(pfn);
+            if (f.isFree() || !f.isHead() ||
+                f.owner == OwnerRegistry::noOwner) {
+                continue;
+            }
+            const std::uint64_t cid = f.owner >> 48;
+            if (cid == 0 || cid > owners_.clientCount()) {
+                r.violation(
+                    "frame %llu owner handle %#llx names unknown "
+                    "client %llu",
+                    static_cast<unsigned long long>(pfn),
+                    static_cast<unsigned long long>(f.owner),
+                    static_cast<unsigned long long>(cid));
+            }
+        }
+    });
+    auditor.addCheck("kernel.pins", [this](AuditReport &r) {
+        if (pinIdByPfn_.size() != pinPfnById_.size()) {
+            r.violation("pin maps out of sync: %zu by-pfn vs %zu "
+                        "by-id", pinIdByPfn_.size(),
+                        pinPfnById_.size());
+        }
+        for (const auto &[id, pfn] : pinPfnById_) {
+            const auto it = pinIdByPfn_.find(pfn);
+            if (it == pinIdByPfn_.end() || it->second != id) {
+                r.violation(
+                    "pin handle %llu -> frame %llu has no matching "
+                    "reverse entry",
+                    static_cast<unsigned long long>(id),
+                    static_cast<unsigned long long>(pfn));
+                continue;
+            }
+            const PageFrame &f = mem_->frame(pfn);
+            if (f.isFree() || !f.isHead() || !f.isPinned()) {
+                r.violation(
+                    "pin handle %llu -> frame %llu which is not an "
+                    "allocated pinned head (flags %u)",
+                    static_cast<unsigned long long>(id),
+                    static_cast<unsigned long long>(pfn),
+                    unsigned(f.flags));
+            }
+        }
+    });
+}
+
+std::unique_ptr<MemAuditor>
+Kernel::makeAuditor()
+{
+    auto auditor = std::make_unique<MemAuditor>(*mem_);
+    policy_->attachAuditorChecks(*auditor);
+    attachAuditorChecks(*auditor);
+    return auditor;
 }
 
 CompactionResult

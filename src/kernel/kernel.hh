@@ -132,6 +132,15 @@ class Kernel
     /** Run shrinkers until target pages freed or all are exhausted. */
     std::uint64_t reclaim(std::uint64_t target_pages);
 
+    /** Register kernel-level cross-checks (owner-handle validity,
+     * pin-table consistency) with a system-wide auditor. */
+    void attachAuditorChecks(MemAuditor &auditor);
+
+    /** Assemble a system-wide auditor for this server: the policy's
+     * allocators and invariant checks plus the kernel's own. The
+     * caller owns the auditor; this kernel must outlive it. */
+    std::unique_ptr<MemAuditor> makeAuditor();
+
     /** Compact the movable allocator toward a free block of the
      * given order. */
     CompactionResult compact(unsigned target_order,

@@ -1,6 +1,7 @@
 #include "kernel/migrate.hh"
 
 #include "base/trace.hh"
+#include "sim/fault_injector.hh"
 
 namespace ctg
 {
@@ -26,6 +27,9 @@ regMigrateStats(StatGroup group)
     group.gauge("no_memory",
                 [&stats] { return double(stats.noMemory); },
                 "attempts without a destination block");
+    group.gauge("injected_faults",
+                [&stats] { return double(stats.injectedFaults); },
+                "migration failures forced by the fault injector");
 }
 
 MigrateResult
@@ -53,6 +57,16 @@ migrateBlock(BuddyAllocator &src_alloc, BuddyAllocator &dst_alloc,
     const AllocSource source = sf.source;
     const std::uint64_t owner = sf.owner;
 
+    if (faultInjector().shouldFail(FaultSite::MigrateDstFail)) {
+        ++mstats.injectedFaults;
+        ++mstats.noMemory;
+        CTG_DPRINTF(Migrate,
+                    "order-%u block at %llu: injected destination "
+                    "failure", order,
+                    static_cast<unsigned long long>(src));
+        return MigrateResult::NoMemory;
+    }
+
     const Pfn dst = dst_alloc.allocPages(order, dst_mt, source, owner,
                                          pref, allow_fallback);
     if (dst == invalidPfn) {
@@ -62,6 +76,20 @@ migrateBlock(BuddyAllocator &src_alloc, BuddyAllocator &dst_alloc,
                     order, static_cast<unsigned long long>(src),
                     dst_alloc.name().c_str());
         return MigrateResult::NoMemory;
+    }
+
+    // An injected relocate refusal exercises the rollback path: the
+    // destination block was already allocated and must be returned.
+    if (faultInjector().shouldFail(FaultSite::MigrateRelocateFail)) {
+        ++mstats.injectedFaults;
+        dst_alloc.freePages(dst);
+        ++mstats.unmovable;
+        CTG_DPRINTF(Migrate,
+                    "order-%u block at %llu: injected relocate "
+                    "refusal, destination %llu rolled back", order,
+                    static_cast<unsigned long long>(src),
+                    static_cast<unsigned long long>(dst));
+        return MigrateResult::Unmovable;
     }
 
     if (!registry.relocate(owner, src, dst)) {

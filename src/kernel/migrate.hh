@@ -38,6 +38,9 @@ struct MigrateStats
     std::uint64_t moved = 0;
     std::uint64_t unmovable = 0;
     std::uint64_t noMemory = 0;
+    /** Failures forced by the fault injector (also counted in
+     * unmovable / noMemory according to the simulated outcome). */
+    std::uint64_t injectedFaults = 0;
 
     void reset() { *this = MigrateStats{}; }
 };

@@ -76,6 +76,10 @@ class OwnerRegistry
         return (std::uint64_t{client_id} << 48) | tag;
     }
 
+    /** Registered client slots, live or not (ids are never reused,
+     * so any valid handle's client id is <= this). */
+    std::size_t clientCount() const { return clients_.size(); }
+
     /** True if the handle belongs to a live, relocatable client. */
     bool
     relocatable(std::uint64_t owner) const

@@ -25,6 +25,8 @@
 namespace ctg
 {
 
+class MemAuditor;
+
 /** Expected lifetime of an allocation; Contiguitas places long-lived
  * unmovable allocations away from the region border (Section 3.2). */
 enum class Lifetime : std::uint8_t
@@ -96,6 +98,13 @@ class MemPolicy
      * prefix; implementations add their own `mem.` / `ctg.`
      * components so vanilla and Contiguitas dumps line up. */
     virtual void regStats(StatGroup group) const { (void)group; }
+
+    /** Register this policy's allocators and invariant checks with a
+     * system-wide auditor (default: nothing to audit). */
+    virtual void attachAuditorChecks(MemAuditor &auditor)
+    {
+        (void)auditor;
+    }
 };
 
 } // namespace ctg

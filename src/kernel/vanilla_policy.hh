@@ -10,6 +10,7 @@
 #define CTG_KERNEL_VANILLA_POLICY_HH
 
 #include "kernel/policy.hh"
+#include "mem/auditor.hh"
 
 namespace ctg
 {
@@ -36,6 +37,12 @@ class VanillaPolicy : public MemPolicy
     regStats(StatGroup group) const override
     {
         allocator_.regStats(group.group("mem.buddy"));
+    }
+
+    void
+    attachAuditorChecks(MemAuditor &auditor) override
+    {
+        auditor.addAllocator(&allocator_);
     }
 
     const BuddyAllocator &allocator() const { return allocator_; }

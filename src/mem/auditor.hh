@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Cross-subsystem memory invariant auditor.
+ *
+ * BuddyAllocator::checkInvariants verifies one allocator's free
+ * lists; the MemAuditor extends that into a system-wide pass over
+ * everything that shares a PhysMem:
+ *
+ *  - every audited allocator's free lists (alignment, links, counts);
+ *  - the frame table against the free lists: each coverage tiles
+ *    exactly into head-led blocks, members agree with their head,
+ *    and the pages the frame walk sees free equal the pages the
+ *    free lists account — page conservation;
+ *  - allocator coverages are disjoint and (by default) tile all of
+ *    physical memory;
+ *  - MIGRATE_ISOLATE coherence between pageblock tags and the list a
+ *    free block sits on;
+ *  - any number of registered higher-layer checks (region
+ *    accounting, confinement, owner-registry conservation,
+ *    migration-table consistency) appended via addCheck() — the
+ *    auditor lives below those layers and must not depend on them.
+ *
+ * An audit either collects violations into an AuditReport (chaos
+ * tests assert the report stays green after every injected fault) or
+ * panics via auditOrDie(). schedulePeriodic() re-arms the audit on an
+ * event queue for long hardware-driven runs.
+ */
+
+#ifndef CTG_MEM_AUDITOR_HH
+#define CTG_MEM_AUDITOR_HH
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/stat_registry.hh"
+#include "mem/buddy.hh"
+#include "mem/physmem.hh"
+#include "sim/eventq.hh"
+
+namespace ctg
+{
+
+/** Outcome of one audit pass. */
+struct AuditReport
+{
+    /** Human-readable violation records, capped at maxViolations so
+     * a corrupt run cannot allocate unboundedly. */
+    std::vector<std::string> violations;
+    /** Individual checks executed (not violations). */
+    std::uint64_t checksRun = 0;
+
+    static constexpr std::size_t maxViolations = 64;
+
+    bool ok() const { return violations.empty(); }
+
+    template <typename... Args>
+    void
+    violation(const char *fmt, Args... args)
+    {
+        if (violations.size() >= maxViolations)
+            return;
+        violations.push_back(
+            detail::formatMessage(fmt, args...));
+    }
+
+    /** First few violations joined for panic/log messages. */
+    std::string summary(std::size_t limit = 8) const;
+};
+
+/**
+ * System-wide invariant auditor over one PhysMem.
+ */
+class MemAuditor
+{
+  public:
+    using Check = std::function<void(AuditReport &)>;
+
+    explicit MemAuditor(const PhysMem &mem);
+
+    /** Audit this allocator's free lists and coverage. The allocator
+     * must outlive the auditor. */
+    void addAllocator(const BuddyAllocator *alloc);
+
+    /** Append a named higher-layer check. */
+    void addCheck(std::string name, Check check);
+
+    /** Require audited coverages to tile [0, numFrames) exactly
+     * (default on; disable for partial-memory test rigs). */
+    void requireFullCoverage(bool require)
+    {
+        requireFullCoverage_ = require;
+    }
+
+    /** Run every check; never panics. */
+    AuditReport audit() const;
+
+    /** Run every check and panic with a summary on any violation. */
+    void auditOrDie() const;
+
+    /**
+     * Audit every `period` ticks on the event queue, `count` times
+     * (the queue must drain eventually, so the count is explicit).
+     * Panics on violation.
+     */
+    void schedulePeriodic(EventQueue &eventq, Tick period,
+                          std::uint64_t count);
+
+    struct Stats
+    {
+        std::uint64_t audits = 0;
+        std::uint64_t violations = 0;
+    };
+
+    const Stats &stats() const { return stats_; }
+
+    /** Register audit counters under the given group
+     * (conventionally `<prefix>.audit`). */
+    void regStats(StatGroup group) const;
+
+  private:
+    /** Frame-table walk of one allocator's coverage. */
+    void auditCoverage(const BuddyAllocator &alloc,
+                       AuditReport &report) const;
+
+    /** Coverages sorted, disjoint, optionally tiling the machine. */
+    void auditTiling(AuditReport &report) const;
+
+    const PhysMem &mem_;
+    std::vector<const BuddyAllocator *> allocators_;
+    std::vector<std::pair<std::string, Check>> checks_;
+    bool requireFullCoverage_ = true;
+    mutable Stats stats_;
+};
+
+} // namespace ctg
+
+#endif // CTG_MEM_AUDITOR_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/trace.hh"
+#include "sim/fault_injector.hh"
 
 namespace ctg
 {
@@ -166,6 +167,14 @@ BuddyAllocator::allocPages(unsigned order, MigrateType mt,
     ctg_assert(mt != MigrateType::Isolate);
     ++stats_.allocCalls;
 
+    if (faultInjector().shouldFail(FaultSite::BuddyAllocFail)) {
+        ++stats_.failedAllocs;
+        ++stats_.injectedFailures;
+        CTG_DPRINTF(Buddy, "%s: injected order-%u %s alloc failure",
+                    name_.c_str(), order, migrateTypeName(mt));
+        return invalidPfn;
+    }
+
     // Native path: smallest sufficient block of the requested type.
     for (unsigned o = order; o <= maxOrder; ++o) {
         const Pfn head = popFree(mt, o, pref);
@@ -280,6 +289,14 @@ Pfn
 BuddyAllocator::allocGigantic(MigrateType mt, AllocSource src,
                               std::uint64_t owner)
 {
+    if (faultInjector().shouldFail(FaultSite::BuddyGiganticFail)) {
+        ++stats_.giganticFailures;
+        ++stats_.injectedFailures;
+        CTG_DPRINTF(Buddy, "%s: injected gigantic %s alloc failure",
+                    name_.c_str(), migrateTypeName(mt));
+        return invalidPfn;
+    }
+
     const Pfn span = pagesPerGiga;
     Pfn first = (start_ + span - 1) & ~(span - 1);
     for (Pfn base = first; base + span <= end_; base += span) {
@@ -332,6 +349,9 @@ BuddyAllocator::regStats(StatGroup group) const
                 [this] { return double(stats_.giganticAllocs); });
     group.gauge("gigantic_failures",
                 [this] { return double(stats_.giganticFailures); });
+    group.gauge("injected_failures",
+                [this] { return double(stats_.injectedFailures); },
+                "allocation failures forced by the fault injector");
     group.gauge("free_pages",
                 [this] { return double(freePageCount()); },
                 "pages currently on the free lists");
@@ -519,42 +539,80 @@ BuddyAllocator::largestFreeOrder() const
     return -1;
 }
 
-void
-BuddyAllocator::checkInvariants() const
+unsigned
+BuddyAllocator::auditFreeLists(std::vector<std::string> &out) const
 {
+    const std::size_t before = out.size();
+    const auto report = [&](std::string msg) {
+        out.push_back(name_ + ": " + std::move(msg));
+    };
+
     std::uint64_t free_from_lists[numMigrateTypes] = {};
     for (unsigned mi = 0; mi < numMigrateTypes; ++mi) {
         for (unsigned o = 0; o <= maxOrder; ++o) {
             std::uint64_t blocks = 0;
             std::uint32_t prev = FrameArray::nil;
+            // Cap the walk so a cyclic next link cannot hang us.
+            std::uint64_t steps = 0;
+            const std::uint64_t max_steps = totalPages() + 1;
             for (std::uint32_t it = heads_[mi][o];
                  it != FrameArray::nil; it = frames_.next(it)) {
+                if (++steps > max_steps) {
+                    report(detail::formatMessage(
+                        "free list mt=%u order=%u does not terminate "
+                        "(cyclic links?)", mi, o));
+                    break;
+                }
                 const PageFrame &f = frames_.frame(it);
                 if (!f.isFree() || !f.isHead())
-                    panic("list entry %u not a free head", it);
+                    report(detail::formatMessage(
+                        "list entry %u not a free head", it));
                 if (f.order != o)
-                    panic("list entry %u order %u on list %u", it,
-                          f.order, o);
+                    report(detail::formatMessage(
+                        "list entry %u order %u on list %u", it,
+                        f.order, o));
                 if (mtIndex(f.migrateType) != mi)
-                    panic("list entry %u mt mismatch", it);
+                    report(detail::formatMessage(
+                        "list entry %u mt mismatch", it));
                 if ((it & ((std::uint32_t{1} << o) - 1)) != 0)
-                    panic("free head %u misaligned for order %u", it, o);
+                    report(detail::formatMessage(
+                        "free head %u misaligned for order %u", it, o));
                 if (it < start_ || it + (Pfn{1} << o) > end_)
-                    panic("free head %u outside coverage", it);
+                    report(detail::formatMessage(
+                        "free head %u outside coverage", it));
                 if (frames_.prev(it) != prev)
-                    panic("broken prev link at %u", it);
+                    report(detail::formatMessage(
+                        "broken prev link at %u", it));
                 prev = it;
                 ++blocks;
                 free_from_lists[mi] += std::uint64_t{1} << o;
             }
             if (blocks != blockCount_[mi][o])
-                panic("block count mismatch mt=%u order=%u", mi, o);
+                report(detail::formatMessage(
+                    "block count mismatch mt=%u order=%u "
+                    "(walked %llu, counter %llu)", mi, o,
+                    static_cast<unsigned long long>(blocks),
+                    static_cast<unsigned long long>(
+                        blockCount_[mi][o])));
         }
     }
     for (unsigned mi = 0; mi < numMigrateTypes; ++mi) {
         if (free_from_lists[mi] != freeCount_[mi])
-            panic("free count mismatch for mt=%u", mi);
+            report(detail::formatMessage(
+                "free count mismatch for mt=%u (lists %llu, "
+                "counter %llu)", mi,
+                static_cast<unsigned long long>(free_from_lists[mi]),
+                static_cast<unsigned long long>(freeCount_[mi])));
     }
+    return static_cast<unsigned>(out.size() - before);
+}
+
+void
+BuddyAllocator::checkInvariants() const
+{
+    std::vector<std::string> violations;
+    if (auditFreeLists(violations) != 0)
+        panic("%s", violations.front().c_str());
 }
 
 } // namespace ctg

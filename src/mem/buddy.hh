@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "base/stat_registry.hh"
 #include "base/types.hh"
@@ -61,6 +62,9 @@ class BuddyAllocator
         std::uint64_t failedAllocs = 0;
         std::uint64_t giganticAllocs = 0;
         std::uint64_t giganticFailures = 0;
+        /** Failures forced by the fault injector (also counted in
+         * failedAllocs / giganticFailures). */
+        std::uint64_t injectedFailures = 0;
     };
 
     /**
@@ -150,6 +154,15 @@ class BuddyAllocator
 
     /** Verify free-list integrity; panics on violation (tests). */
     void checkInvariants() const;
+
+    /**
+     * Non-panicking form of checkInvariants: append a description of
+     * every free-list violation to `out` (the MemAuditor collects
+     * these across allocators). Safe on corrupted state — list walks
+     * are iteration-capped so a cyclic link cannot hang the audit.
+     * @return the number of violations appended.
+     */
+    unsigned auditFreeLists(std::vector<std::string> &out) const;
 
     /** Ablation knob: when true, small fallback steals move the
      * block remainder to the requester's list (pre-4.x Linux

@@ -1,0 +1,248 @@
+#include "sim/fault_injector.hh"
+
+#include <cstdlib>
+
+#include "base/logging.hh"
+
+namespace ctg
+{
+
+namespace
+{
+
+const char *const siteNames[numFaultSites] = {
+    "buddy.alloc_fail",      // BuddyAllocFail
+    "buddy.gigantic_fail",   // BuddyGiganticFail
+    "migrate.dst_fail",      // MigrateDstFail
+    "migrate.relocate_fail", // MigrateRelocateFail
+    "chw.install_fail",      // ChwInstallFail
+    "chw.midcopy_abort",     // ChwMidcopyAbort
+    "region.evac_fail",      // RegionEvacFail
+    "kernel.reclaim_fail",   // KernelReclaimFail
+};
+
+/** Parse one trigger spec ("p0.01", "n3", "o5", "once"). */
+bool
+parseSpec(const std::string &text, FaultSpec *out)
+{
+    if (text.empty())
+        return false;
+    if (text == "once") {
+        *out = FaultSpec::oneShot(1);
+        return true;
+    }
+    const char kind = text[0];
+    const std::string arg = text.substr(1);
+    if (arg.empty())
+        return false;
+    char *end = nullptr;
+    if (kind == 'p') {
+        const double p = std::strtod(arg.c_str(), &end);
+        if (*end != '\0' || p < 0.0 || p > 1.0)
+            return false;
+        *out = FaultSpec::chance(p);
+        return true;
+    }
+    const std::uint64_t n = std::strtoull(arg.c_str(), &end, 10);
+    if (*end != '\0' || n == 0)
+        return false;
+    if (kind == 'n') {
+        *out = FaultSpec::everyNth(n);
+        return true;
+    }
+    if (kind == 'o') {
+        *out = FaultSpec::oneShot(n);
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(std::uint64_t seed)
+    : seed_(seed)
+{
+    for (unsigned i = 0; i < numFaultSites; ++i)
+        reseedSite(i);
+}
+
+void
+FaultInjector::reseedSite(unsigned i)
+{
+    // Independent stream per site: interleaving changes in one
+    // subsystem never shift another site's firing pattern.
+    std::uint64_t sm = seed_ ^ ((i + 1) * 0x9e3779b97f4a7c15ULL);
+    sites_[i].rng = Rng(splitMix64(sm));
+}
+
+bool
+FaultInjector::evaluateArmed(SiteState &state)
+{
+    ++state.sinceArmed;
+    bool fired = false;
+    switch (state.spec.trigger) {
+      case FaultSpec::Trigger::Probability:
+        fired = state.rng.chance(state.spec.p);
+        break;
+      case FaultSpec::Trigger::EveryNth:
+        fired = state.sinceArmed % state.spec.n == 0;
+        break;
+      case FaultSpec::Trigger::OneShot:
+        fired = state.sinceArmed == state.spec.n;
+        if (fired) {
+            state.spec.trigger = FaultSpec::Trigger::Off;
+            ctg_assert(armedCount_ > 0);
+            --armedCount_;
+        }
+        break;
+      case FaultSpec::Trigger::Off:
+        break;
+    }
+    if (fired)
+        ++state.stats.fires;
+    return fired;
+}
+
+void
+FaultInjector::arm(FaultSite site, FaultSpec spec)
+{
+    SiteState &state = sites_[index(site)];
+    const bool was_armed =
+        state.spec.trigger != FaultSpec::Trigger::Off;
+    const bool now_armed = spec.trigger != FaultSpec::Trigger::Off;
+    state.spec = spec;
+    state.sinceArmed = 0;
+    if (!was_armed && now_armed)
+        ++armedCount_;
+    else if (was_armed && !now_armed)
+        --armedCount_;
+}
+
+void
+FaultInjector::disarm(FaultSite site)
+{
+    arm(site, FaultSpec{});
+}
+
+void
+FaultInjector::disarmAll()
+{
+    for (unsigned i = 0; i < numFaultSites; ++i)
+        disarm(static_cast<FaultSite>(i));
+}
+
+void
+FaultInjector::reset(std::uint64_t seed)
+{
+    disarmAll();
+    seed_ = seed;
+    for (unsigned i = 0; i < numFaultSites; ++i) {
+        sites_[i].stats = SiteStats{};
+        sites_[i].sinceArmed = 0;
+        reseedSite(i);
+    }
+}
+
+void
+FaultInjector::setSeed(std::uint64_t seed)
+{
+    seed_ = seed;
+    for (unsigned i = 0; i < numFaultSites; ++i)
+        reseedSite(i);
+}
+
+bool
+FaultInjector::configure(const std::string &spec_list)
+{
+    bool all_ok = true;
+    std::size_t pos = 0;
+    while (pos < spec_list.size()) {
+        std::size_t end = spec_list.find(',', pos);
+        if (end == std::string::npos)
+            end = spec_list.size();
+        const std::string token = spec_list.substr(pos, end - pos);
+        pos = end + 1;
+        if (token.empty())
+            continue;
+
+        const std::size_t colon = token.find(':');
+        FaultSite site;
+        FaultSpec spec;
+        if (colon == std::string::npos ||
+            !siteFromName(token.substr(0, colon), &site) ||
+            !parseSpec(token.substr(colon + 1), &spec)) {
+            warn("ignoring malformed fault spec '%s'", token.c_str());
+            all_ok = false;
+            continue;
+        }
+        arm(site, spec);
+    }
+    return all_ok;
+}
+
+std::uint64_t
+FaultInjector::totalFires() const
+{
+    std::uint64_t total = 0;
+    for (const SiteState &state : sites_)
+        total += state.stats.fires;
+    return total;
+}
+
+const char *
+FaultInjector::siteName(FaultSite site)
+{
+    return siteNames[index(site)];
+}
+
+bool
+FaultInjector::siteFromName(const std::string &name, FaultSite *out)
+{
+    for (unsigned i = 0; i < numFaultSites; ++i) {
+        if (name == siteNames[i]) {
+            *out = static_cast<FaultSite>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+FaultInjector::regStats(StatGroup group) const
+{
+    for (unsigned i = 0; i < numFaultSites; ++i) {
+        const SiteStats &stats = sites_[i].stats;
+        const StatGroup site = group.group(siteNames[i]);
+        site.gauge(
+            "evaluations",
+            [&stats] { return double(stats.evaluations); },
+            "times the site was probed");
+        site.gauge(
+            "fires", [&stats] { return double(stats.fires); },
+            "times the site injected a failure");
+    }
+}
+
+FaultInjector &
+faultInjector()
+{
+    static FaultInjector *injector = [] {
+        std::uint64_t seed = FaultInjector::defaultSeed;
+        if (const char *env = std::getenv("CTG_FAULTS_SEED")) {
+            char *end = nullptr;
+            const std::uint64_t parsed =
+                std::strtoull(env, &end, 0);
+            if (end != env && *end == '\0')
+                seed = parsed;
+            else
+                warn("ignoring malformed CTG_FAULTS_SEED '%s'", env);
+        }
+        auto *inj = new FaultInjector(seed);
+        if (const char *spec = std::getenv("CTG_FAULTS"))
+            inj->configure(spec);
+        return inj;
+    }();
+    return *injector;
+}
+
+} // namespace ctg

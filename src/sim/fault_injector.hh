@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection for chaos testing.
+ *
+ * The simulator's fidelity argument rests on its failure paths:
+ * allocations that fail under pressure, migrations that abort
+ * mid-copy, region resizes that cannot evacuate. Those paths are
+ * rare under benign workloads, so each of them carries a *named
+ * injection site* — a probe the subsystem consults before the
+ * operation proceeds. Arming a site makes the probe fire according
+ * to a trigger spec:
+ *
+ *  - `p<float>`  fire with the given probability per evaluation,
+ *                drawn from a per-site seeded RNG;
+ *  - `n<uint>`   fire on every Nth evaluation since arming;
+ *  - `o<uint>`   fire once, on the given (1-based) evaluation since
+ *                arming; `once` is shorthand for `o1`.
+ *
+ * Runs replay exactly: every site owns an independent RNG stream
+ * derived from the injector seed, so firing patterns do not shift
+ * when unrelated subsystems change their call interleaving.
+ *
+ * Runtime control: the process-wide injector reads the environment
+ * on first use — `CTG_FAULTS=site:spec,...` (for example
+ * `CTG_FAULTS=buddy.alloc_fail:p0.01,chw.midcopy_abort:n3`) and
+ * `CTG_FAULTS_SEED=<uint64>`. Tests arm sites programmatically and
+ * reset the injector between cases. With no site armed every probe
+ * is a counter increment and one branch.
+ */
+
+#ifndef CTG_SIM_FAULT_INJECTOR_HH
+#define CTG_SIM_FAULT_INJECTOR_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "base/rng.hh"
+#include "base/stat_registry.hh"
+
+namespace ctg
+{
+
+/** Named injection sites threaded through the simulator. */
+enum class FaultSite : unsigned
+{
+    /** BuddyAllocator::allocPages fails outright. */
+    BuddyAllocFail = 0,
+    /** BuddyAllocator::allocGigantic finds no range. */
+    BuddyGiganticFail,
+    /** migrateBlock's destination allocation fails. */
+    MigrateDstFail,
+    /** The owner refuses to repoint after the destination was
+     * allocated (exercises the rollback path). */
+    MigrateRelocateFail,
+    /** ChwEngine::submitMigrate: descriptor install rejected. */
+    ChwInstallFail,
+    /** ChwEngine::copyNextLine: the OS clears the mapping mid-copy. */
+    ChwMidcopyAbort,
+    /** RegionManager::evacuateBlock cannot move the block. */
+    RegionEvacFail,
+    /** Kernel::reclaim: every shrinker comes back empty. */
+    KernelReclaimFail,
+};
+
+constexpr unsigned numFaultSites = 8;
+
+/** Trigger specification for one armed site. */
+struct FaultSpec
+{
+    enum class Trigger : std::uint8_t
+    {
+        Off = 0,
+        Probability,
+        EveryNth,
+        OneShot,
+    };
+
+    Trigger trigger = Trigger::Off;
+    /** Fire probability per evaluation (Probability trigger). */
+    double p = 0.0;
+    /** Period (EveryNth) or 1-based target evaluation (OneShot). */
+    std::uint64_t n = 0;
+
+    static FaultSpec
+    chance(double probability)
+    {
+        FaultSpec spec;
+        spec.trigger = Trigger::Probability;
+        spec.p = probability;
+        return spec;
+    }
+
+    static FaultSpec
+    everyNth(std::uint64_t period)
+    {
+        ctg_assert(period >= 1);
+        FaultSpec spec;
+        spec.trigger = Trigger::EveryNth;
+        spec.n = period;
+        return spec;
+    }
+
+    static FaultSpec
+    oneShot(std::uint64_t at = 1)
+    {
+        ctg_assert(at >= 1);
+        FaultSpec spec;
+        spec.trigger = Trigger::OneShot;
+        spec.n = at;
+        return spec;
+    }
+};
+
+/**
+ * Deterministic fault injector with named sites.
+ */
+class FaultInjector
+{
+  public:
+    static constexpr std::uint64_t defaultSeed = 0xfa01770123456789ULL;
+
+    explicit FaultInjector(std::uint64_t seed = defaultSeed);
+
+    /**
+     * Probe a site. Counts the evaluation and, when the site is
+     * armed, applies its trigger.
+     * @return true if the caller must simulate the failure.
+     */
+    bool
+    shouldFail(FaultSite site)
+    {
+        SiteState &state = sites_[index(site)];
+        ++state.stats.evaluations;
+        if (state.spec.trigger == FaultSpec::Trigger::Off)
+            return false;
+        return evaluateArmed(state);
+    }
+
+    /** Arm a site with a trigger spec (replaces any previous spec;
+     * restarts the site's since-arming evaluation count). */
+    void arm(FaultSite site, FaultSpec spec);
+
+    /** Disarm one site (its cumulative stats are retained). */
+    void disarm(FaultSite site);
+
+    /** Disarm every site. */
+    void disarmAll();
+
+    /** Disarm every site, zero all stats, and reseed — the clean
+     * slate chaos tests start from. */
+    void reset(std::uint64_t seed = defaultSeed);
+
+    /** Reseed every per-site RNG stream (does not touch specs). */
+    void setSeed(std::uint64_t seed);
+
+    /**
+     * Parse and arm a `site:spec,...` list (the CTG_FAULTS syntax).
+     * Malformed tokens and unknown site names warn and are skipped.
+     * @return true if every token parsed.
+     */
+    bool configure(const std::string &spec_list);
+
+    bool anyArmed() const { return armedCount_ != 0; }
+    bool
+    armed(FaultSite site) const
+    {
+        return sites_[index(site)].spec.trigger !=
+               FaultSpec::Trigger::Off;
+    }
+
+    /** Per-site probe accounting. */
+    struct SiteStats
+    {
+        std::uint64_t evaluations = 0;
+        std::uint64_t fires = 0;
+    };
+
+    const SiteStats &
+    siteStats(FaultSite site) const
+    {
+        return sites_[index(site)].stats;
+    }
+
+    std::uint64_t totalFires() const;
+
+    /** Canonical site name, e.g. "buddy.alloc_fail". */
+    static const char *siteName(FaultSite site);
+
+    /** Reverse lookup; returns false for unknown names. */
+    static bool siteFromName(const std::string &name, FaultSite *out);
+
+    /** Register `<site>.evaluations` / `<site>.fires` gauges for
+     * every site under the given group (conventionally `faults`). */
+    void regStats(StatGroup group) const;
+
+  private:
+    struct SiteState
+    {
+        FaultSpec spec;
+        /** Evaluations since the site was last armed; EveryNth and
+         * OneShot triggers count against this, so specs mean "the
+         * Nth evaluation after arming" regardless of prior runs. */
+        std::uint64_t sinceArmed = 0;
+        Rng rng{0};
+        SiteStats stats;
+    };
+
+    static unsigned
+    index(FaultSite site)
+    {
+        const auto i = static_cast<unsigned>(site);
+        ctg_assert(i < numFaultSites);
+        return i;
+    }
+
+    /** Slow path of shouldFail for armed sites. */
+    bool evaluateArmed(SiteState &state);
+
+    void reseedSite(unsigned i);
+
+    std::array<SiteState, numFaultSites> sites_;
+    unsigned armedCount_ = 0;
+    std::uint64_t seed_;
+};
+
+/**
+ * The process-wide injector every subsystem probes. Configured from
+ * CTG_FAULTS / CTG_FAULTS_SEED on first access; tests reconfigure it
+ * programmatically (and must reset() it between cases).
+ */
+FaultInjector &faultInjector();
+
+} // namespace ctg
+
+#endif // CTG_SIM_FAULT_INJECTOR_HH
