@@ -20,6 +20,7 @@
 #include "base/table.hh"
 #include "base/units.hh"
 #include "fleet/fleet.hh"
+#include "sim/executor.hh"
 #include "sim/fault_injector.hh"
 
 namespace ctg
@@ -49,6 +50,20 @@ regFaultStats(StatRegistry &registry)
 {
     if (faultInjector().anyArmed())
         faultInjector().regStats(StatGroup(registry, "faults"));
+}
+
+/**
+ * Print the wall-clock / worker summary of the last fleet run. The
+ * same numbers land in the JSON dump as `<prefix>.run_wall_ms` /
+ * `<prefix>.threads` when the fleet's telemetry is attached, so
+ * BENCH_*.json records track the speedup trajectory.
+ */
+inline void
+printFleetWall(const Fleet &fleet)
+{
+    std::printf("\n[fleet] %u worker thread(s), run wall %.0f ms "
+                "(set CTG_THREADS to change)\n",
+                fleet.lastRunThreads(), fleet.lastRunWallMs());
 }
 
 /** Standard fleet configuration used by the Section 2 studies. */

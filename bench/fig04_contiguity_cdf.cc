@@ -18,6 +18,9 @@ main()
                   "memory (fleet CDF, vanilla Linux)");
 
     Fleet fleet(bench::standardFleet(/*contiguitas=*/false));
+    StatRegistry registry;
+    fleet.attachTelemetry(registry);
+    bench::regFaultStats(registry);
     const auto scans = fleet.run();
 
     EmpiricalCdf cdfs[4];
@@ -52,5 +55,7 @@ main()
     std::printf("(paper: 23%% of servers lack a free 2MB block, 59%% "
                 "lack 32MB; dynamic 1GB allocation is practically "
                 "impossible)\n");
+    bench::printFleetWall(fleet);
+    bench::dumpStats(registry, "fleet stats (JSON lines)");
     return 0;
 }

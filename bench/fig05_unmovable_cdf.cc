@@ -20,6 +20,9 @@ main()
                   "regions (fleet CDF, vanilla Linux)");
 
     Fleet fleet(bench::standardFleet(/*contiguitas=*/false));
+    StatRegistry registry;
+    fleet.attachTelemetry(registry);
+    bench::regFaultStats(registry);
     const auto scans = fleet.run();
 
     EmpiricalCdf cdfs[4];
@@ -56,5 +59,7 @@ main()
                 median_blocks, median_blocks / median_pages);
     std::printf("(paper: 7.6%% of pages make 34%% of 2MB blocks "
                 "unmovable, ~4.5x)\n");
+    bench::printFleetWall(fleet);
+    bench::dumpStats(registry, "fleet stats (JSON lines)");
     return 0;
 }

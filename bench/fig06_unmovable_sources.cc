@@ -15,6 +15,9 @@ main()
     bench::banner("Figure 6", "Sources of unmovable allocations");
 
     Fleet fleet(bench::standardFleet(/*contiguitas=*/false, 32));
+    StatRegistry registry;
+    fleet.attachTelemetry(registry);
+    bench::regFaultStats(registry);
     const auto scans = fleet.run();
 
     std::array<std::uint64_t, numAllocSources> totals{};
@@ -49,5 +52,7 @@ main()
     table.row({"Page tables", formatPercent(pt / total), "~5%"});
     table.row({"Others", formatPercent(others / total), "~4%"});
     table.print();
+    bench::printFleetWall(fleet);
+    bench::dumpStats(registry, "fleet stats (JSON lines)");
     return 0;
 }

@@ -27,6 +27,9 @@ main()
     config.minUptimeSec = 35.0;
     config.maxUptimeSec = 200.0;
     Fleet fleet(config);
+    StatRegistry registry;
+    fleet.attachTelemetry(registry);
+    bench::regFaultStats(registry);
     const auto scans = fleet.run();
 
     std::vector<double> uptimes;
@@ -62,5 +65,7 @@ main()
 
     std::printf("\n|r| close to zero: fragmentation is set by the "
                 "workload, not by age.\n");
+    bench::printFleetWall(fleet);
+    bench::dumpStats(registry, "fleet stats (JSON lines)");
     return 0;
 }

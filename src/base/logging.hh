@@ -11,6 +11,7 @@
 #ifndef CTG_BASE_LOGGING_HH
 #define CTG_BASE_LOGGING_HH
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -83,7 +84,11 @@ inform(const char *fmt, Args... args)
  * Per-call-site budget for rate-limited warnings. allow() grants the
  * first `limit` calls; the macro below prints one suppression notice
  * when the budget is first exceeded, so a hot path can never flood
- * stderr during a fleet run.
+ * stderr during a fleet run. The counter is atomic because the
+ * warn_limited statics are shared by every parallel fleet worker
+ * that hits the call site (under concurrency the suppression notice
+ * is printed at-least-once rather than exactly-once; the budgeted
+ * warnings themselves stay exact).
  */
 class WarnRateLimiter
 {
@@ -96,24 +101,34 @@ class WarnRateLimiter
     bool
     allow()
     {
-        ++calls_;
-        return calls_ <= limit_;
+        return calls_.fetch_add(1, std::memory_order_relaxed) <
+               limit_;
     }
 
-    /** True exactly on the first out-of-budget call. */
-    bool firstSuppressed() const { return calls_ == limit_ + 1; }
+    /** True on the first out-of-budget call. */
+    bool
+    firstSuppressed() const
+    {
+        return calls_.load(std::memory_order_relaxed) == limit_ + 1;
+    }
 
     std::uint64_t
     suppressed() const
     {
-        return calls_ > limit_ ? calls_ - limit_ : 0;
+        const std::uint64_t n =
+            calls_.load(std::memory_order_relaxed);
+        return n > limit_ ? n - limit_ : 0;
     }
 
-    std::uint64_t calls() const { return calls_; }
+    std::uint64_t
+    calls() const
+    {
+        return calls_.load(std::memory_order_relaxed);
+    }
 
   private:
     std::uint64_t limit_;
-    std::uint64_t calls_ = 0;
+    std::atomic<std::uint64_t> calls_{0};
 };
 
 /** warn() at most `limit` times per call site; the first suppressed

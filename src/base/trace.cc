@@ -39,6 +39,9 @@ std::FILE *sink_ = nullptr;      //!< non-owning; stderr when null
 std::FILE *ownedSink_ = nullptr; //!< file opened by openFileSink
 std::function<Tick()> tickSource_;
 
+/** Buffer of the innermost active ThreadCapture on this thread. */
+thread_local std::string *captureBuffer_ = nullptr;
+
 std::FILE *
 sink()
 {
@@ -164,18 +167,73 @@ clearTickSource()
 void
 print(TraceFlag flag, const char *fmt, ...)
 {
-    std::FILE *out = sink();
+    char head[48];
     if (tickSource_) {
-        std::fprintf(out, "%12" PRIu64 ": %s: ", tickSource_(),
-                     flagName(flag));
+        std::snprintf(head, sizeof(head), "%12" PRIu64 ": %s: ",
+                      tickSource_(), flagName(flag));
     } else {
-        std::fprintf(out, "%s: ", flagName(flag));
+        std::snprintf(head, sizeof(head), "%s: ", flagName(flag));
     }
+
     std::va_list args;
     va_start(args, fmt);
-    std::vfprintf(out, fmt, args);
+    if (captureBuffer_ != nullptr) {
+        char stack[512];
+        std::va_list copy;
+        va_copy(copy, args);
+        const int need =
+            std::vsnprintf(stack, sizeof(stack), fmt, copy);
+        va_end(copy);
+        captureBuffer_->append(head);
+        if (need >= 0 &&
+            static_cast<std::size_t>(need) < sizeof(stack)) {
+            captureBuffer_->append(stack);
+        } else if (need >= 0) {
+            std::string big(static_cast<std::size_t>(need) + 1,
+                            '\0');
+            std::vsnprintf(big.data(), big.size(), fmt, args);
+            big.resize(static_cast<std::size_t>(need));
+            captureBuffer_->append(big);
+        }
+        captureBuffer_->push_back('\n');
+    } else {
+        std::FILE *out = sink();
+        std::fputs(head, out);
+        std::vfprintf(out, fmt, args);
+        std::fputc('\n', out);
+    }
     va_end(args);
-    std::fputc('\n', out);
+}
+
+void
+emitRaw(const std::string &text)
+{
+    if (text.empty())
+        return;
+    if (captureBuffer_ != nullptr) {
+        captureBuffer_->append(text);
+        return;
+    }
+    std::fwrite(text.data(), 1, text.size(), sink());
+}
+
+ThreadCapture::ThreadCapture()
+    : prev_(captureBuffer_)
+{
+    captureBuffer_ = &buffer_;
+}
+
+ThreadCapture::~ThreadCapture()
+{
+    captureBuffer_ = prev_;
+}
+
+std::string
+ThreadCapture::take()
+{
+    std::string out = std::move(buffer_);
+    buffer_.clear();
+    return out;
 }
 
 } // namespace trace

@@ -82,6 +82,39 @@ void clearTickSource();
 void print(TraceFlag flag, const char *fmt, ...)
     __attribute__((format(printf, 2, 3)));
 
+/** Write already-formatted trace text verbatim — to the active
+ * capture when one is installed on this thread, else to the sink.
+ * Used to flush merged capture buffers in deterministic order. */
+void emitRaw(const std::string &text);
+
+/**
+ * RAII per-thread capture of trace output. While active, every
+ * record print()ed from this thread is appended to an in-memory
+ * buffer instead of the shared sink. Parallel fleet workers wrap
+ * each server task in a capture and the merge step emitRaw()s the
+ * buffers in server order, so a traced parallel run prints
+ * byte-identically to the sequential path (and worker threads never
+ * interleave writes on the sink). Captures nest: an inner capture
+ * shadows the outer one until it is destroyed.
+ */
+class ThreadCapture
+{
+  public:
+    ThreadCapture();
+    ~ThreadCapture();
+
+    ThreadCapture(const ThreadCapture &) = delete;
+    ThreadCapture &operator=(const ThreadCapture &) = delete;
+
+    /** Move out everything captured so far; capture continues with
+     * an empty buffer. */
+    std::string take();
+
+  private:
+    std::string buffer_;
+    std::string *prev_;
+};
+
 } // namespace trace
 } // namespace ctg
 

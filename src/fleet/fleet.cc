@@ -1,7 +1,11 @@
 #include "fleet/fleet.hh"
 
+#include <chrono>
+
 #include "base/rng.hh"
 #include "base/trace.hh"
+#include "sim/executor.hh"
+#include "sim/fault_injector.hh"
 
 namespace ctg
 {
@@ -25,15 +29,23 @@ Fleet::attachTelemetry(StatRegistry &registry, StatSampler *sampler,
     unmovablePageRatio_ =
         &group.distribution("unmovable_page_ratio");
     uptimeSec_ = &group.distribution("uptime_sec");
+    group.gauge(
+        "run_wall_ms", [this] { return runWallMs_; },
+        "wall-clock milliseconds of the last run()");
+    group.gauge(
+        "threads",
+        [this] { return static_cast<double>(runThreads_); },
+        "worker threads used by the last run()");
     sampler_ = sampler;
 }
 
 std::vector<ServerScan>
 Fleet::run()
 {
-    Rng rng(config_.seed);
-    std::vector<ServerScan> scans;
-    scans.reserve(config_.servers);
+    const auto wallStart = std::chrono::steady_clock::now();
+
+    Executor executor(config_.threads);
+    runThreads_ = executor.threads();
 
     static const WorkloadKind kinds[] = {
         WorkloadKind::Web,    WorkloadKind::CacheA,
@@ -41,11 +53,19 @@ Fleet::run()
         WorkloadKind::Nginx,  WorkloadKind::Memcached,
     };
 
+    // Pre-sample every server's configuration from the fleet RNG on
+    // the calling thread, before dispatch: the seed stream is
+    // consumed in server order, so the draws cannot depend on the
+    // worker schedule.
+    Rng rng(config_.seed);
+    std::vector<Server::Config> configs(config_.servers);
     for (unsigned i = 0; i < config_.servers; ++i) {
-        Server::Config sc;
+        Server::Config &sc = configs[i];
         sc.memBytes = config_.memBytes;
         sc.contiguitas = config_.contiguitas;
         sc.kind = kinds[rng.below(std::size(kinds))];
+        if (config_.kindOverride)
+            sc.kind = *config_.kindOverride;
         sc.intensity =
             config_.minIntensity +
             rng.uniform() * (config_.maxIntensity -
@@ -56,28 +76,81 @@ Fleet::run()
             rng.uniform() * (config_.maxUptimeSec -
                              config_.minUptimeSec);
         sc.seed = rng.next();
+    }
+
+    // Each task gets a fault injector forked from the ambient one
+    // (resolved here, on the calling thread, so nested scopes work)
+    // and a trace capture; both are merged below in server order.
+    FaultInjector &ambient = faultInjector();
+
+    struct TaskResult
+    {
+        ServerScan scan;
+        FaultInjector faults{0};
+        std::string traceText;
+    };
+    std::vector<TaskResult> results(config_.servers);
+
+    executor.run(config_.servers, [&](std::size_t task) {
+        const unsigned i = static_cast<unsigned>(task);
+        const Server::Config &sc = configs[i];
+        TaskResult &out = results[i];
+        trace::ThreadCapture capture;
         CTG_DPRINTF(Fleet,
                     "server %u: kind=%d intensity=%.2f "
                     "prefragment=%d uptime=%.1fs",
                     i, int(sc.kind), sc.intensity,
                     int(sc.prefragment), sc.uptimeSec);
+        out.faults = ambient.forkForTask(i);
+        const FaultInjectorScope scope(out.faults);
         Server server(sc);
-        const ServerScan s = server.run();
+        out.scan = server.run();
         CTG_DPRINTF(Fleet,
                     "server %u done: free_contig_2m=%.3f "
                     "unmovable_blocks_2m=%.3f",
-                    i, s.freeContiguity[0], s.unmovableBlocks[0]);
+                    i, out.scan.freeContiguity[0],
+                    out.scan.unmovableBlocks[0]);
+        out.traceText = capture.take();
+    });
+
+    // Deterministic merge: every observable side effect is applied
+    // here, in server order, on the calling thread — identical
+    // Distributions (same sample order), sampler snapshots, trace
+    // bytes and fault counters at any thread count.
+    const std::size_t snapshotBase =
+        sampler_ != nullptr ? sampler_->sampleCount() : 0;
+    std::vector<ServerScan> scans;
+    scans.reserve(config_.servers);
+    for (unsigned i = 0; i < config_.servers; ++i) {
+        TaskResult &r = results[i];
+        trace::emitRaw(r.traceText);
+        ambient.absorbStats(r.faults);
         if (serversRun_ != nullptr) {
             ++*serversRun_;
-            freeContiguity2m_->sample(s.freeContiguity[0]);
-            unmovableBlocks2m_->sample(s.unmovableBlocks[0]);
-            unmovablePageRatio_->sample(s.unmovablePageRatio);
-            uptimeSec_->sample(s.uptimeSec);
-            if (sampler_ != nullptr)
-                sampler_->sample(i);
+            freeContiguity2m_->sample(r.scan.freeContiguity[0]);
+            unmovableBlocks2m_->sample(r.scan.unmovableBlocks[0]);
+            unmovablePageRatio_->sample(r.scan.unmovablePageRatio);
+            uptimeSec_->sample(r.scan.uptimeSec);
+            if (sampler_ != nullptr) {
+                // The tick is the sampler's running snapshot index
+                // (server index when fresh); restarting at 0 on a
+                // reused sampler would violate its non-decreasing
+                // tick contract and scramble the series.
+                sampler_->sample(
+                    static_cast<Tick>(snapshotBase + i));
+                ctg_assert(sampler_->sampleCount() ==
+                           snapshotBase + i + 1);
+                ctg_assert(sampler_->ticks().back() ==
+                           static_cast<Tick>(snapshotBase + i));
+            }
         }
-        scans.push_back(s);
+        scans.push_back(r.scan);
     }
+
+    runWallMs_ =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wallStart)
+            .count();
     return scans;
 }
 

@@ -1,14 +1,26 @@
 /**
  * @file
  * Fleet-scale study driver: a population of servers with randomized
- * workloads, intensities and uptimes, run (sequentially) and
- * scanned, reproducing the methodology behind Figures 4, 5 and 6
- * and the Section 2.4 uptime-correlation analysis.
+ * workloads, intensities and uptimes, run in parallel and scanned,
+ * reproducing the methodology behind Figures 4, 5 and 6 and the
+ * Section 2.4 uptime-correlation analysis.
+ *
+ * Servers are independent, so run() farms them out to a
+ * work-stealing Executor. Determinism is a contract, not an
+ * accident: per-server configs are pre-sampled from the fleet RNG
+ * before dispatch, every worker task runs under a forked per-server
+ * fault injector and a per-thread trace capture, and all observable
+ * side effects (fleet Distributions, sampler snapshots, trace
+ * output, fault counters) are applied in a merge step that walks
+ * servers in index order — so a run is byte-identical at every
+ * thread count, including threads = 1 (the legacy sequential path).
+ * See DESIGN.md §10.
  */
 
 #ifndef CTG_FLEET_FLEET_HH
 #define CTG_FLEET_FLEET_HH
 
+#include <optional>
 #include <vector>
 
 #include "fleet/server.hh"
@@ -39,25 +51,48 @@ class Fleet
          * tenant. */
         double prefragmentFrac = 0.25;
         std::uint64_t seed = 0xf1ee7;
+        /** Worker threads for run(): 0 = auto (the CTG_THREADS
+         * environment variable, else hardware concurrency); 1 =
+         * sequential legacy path. Any value produces bit-identical
+         * results. */
+        unsigned threads = 0;
+        /** Fix every server's workload kind instead of sampling the
+         * standard six-kind mix — population studies of a single
+         * workload (Figure 11 cells). The kind draw is still taken
+         * from the fleet RNG so the rest of the seed stream is
+         * unchanged. */
+        std::optional<WorkloadKind> kindOverride;
     };
 
     explicit Fleet(const Config &config);
 
     /**
      * Attach fleet-level telemetry. Servers are transient (created
-     * and destroyed per loop iteration), so per-server gauges would
-     * dangle; the fleet instead owns value-holding Distributions of
-     * the scan results, registered under `<prefix>.`. If a sampler
-     * is given, run() snapshots it after every server with the
-     * server index as the tick, so the registry's stats trace how
-     * the population aggregates converge.
+     * and destroyed per task), so per-server gauges would dangle;
+     * the fleet instead owns value-holding Distributions of the scan
+     * results, registered under `<prefix>.`, plus `run_wall_ms` /
+     * `threads` gauges reading the last run()'s wall clock and
+     * worker count (the fleet must outlive the registry's reads).
+     *
+     * If a sampler is given, the merge step snapshots it once per
+     * server, in server order. The tick is the sampler's running
+     * snapshot index — equal to the server index when the sampler is
+     * fresh, and strictly increasing across repeated runs (ticks
+     * restarting at 0 would corrupt snapshot ordering). The merge
+     * asserts this ordering holds.
      */
     void attachTelemetry(StatRegistry &registry,
                          StatSampler *sampler = nullptr,
                          const std::string &prefix = "fleet");
 
-    /** Run every server and collect its scan. */
+    /** Run every server and collect its scan, indexed by server. */
     std::vector<ServerScan> run();
+
+    /** Wall-clock milliseconds of the last run(). */
+    double lastRunWallMs() const { return runWallMs_; }
+
+    /** Worker threads the last run() used. */
+    unsigned lastRunThreads() const { return runThreads_; }
 
     const Config &config() const { return config_; }
 
@@ -69,6 +104,8 @@ class Fleet
     Distribution *unmovablePageRatio_ = nullptr;
     Distribution *uptimeSec_ = nullptr;
     Counter *serversRun_ = nullptr;
+    double runWallMs_ = 0.0;
+    unsigned runThreads_ = 0;
 };
 
 } // namespace ctg

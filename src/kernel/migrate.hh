@@ -12,6 +12,8 @@
 #ifndef CTG_KERNEL_MIGRATE_HH
 #define CTG_KERNEL_MIGRATE_HH
 
+#include <atomic>
+
 #include "base/stat_registry.hh"
 #include "base/types.hh"
 #include "kernel/owner.hh"
@@ -31,16 +33,31 @@ enum class MigrateResult
 /** Process-wide software-migration counters. migrateBlock is a free
  * function invoked from compaction, region resizing and pinning, so
  * the counters aggregate over every allocator (and, in fleet runs,
- * every server) in the process. */
+ * every server) in the process. The fields are relaxed atomics:
+ * parallel fleet workers bump them concurrently, and since addition
+ * commutes the totals are identical at every thread count. */
 struct MigrateStats
 {
-    std::uint64_t attempts = 0;
-    std::uint64_t moved = 0;
-    std::uint64_t unmovable = 0;
-    std::uint64_t noMemory = 0;
+    std::atomic<std::uint64_t> attempts{0};
+    std::atomic<std::uint64_t> moved{0};
+    std::atomic<std::uint64_t> unmovable{0};
+    std::atomic<std::uint64_t> noMemory{0};
     /** Failures forced by the fault injector (also counted in
      * unmovable / noMemory according to the simulated outcome). */
-    std::uint64_t injectedFaults = 0;
+    std::atomic<std::uint64_t> injectedFaults{0};
+
+    MigrateStats() = default;
+    MigrateStats(const MigrateStats &other) { *this = other; }
+    MigrateStats &
+    operator=(const MigrateStats &other)
+    {
+        attempts = other.attempts.load();
+        moved = other.moved.load();
+        unmovable = other.unmovable.load();
+        noMemory = other.noMemory.load();
+        injectedFaults = other.injectedFaults.load();
+        return *this;
+    }
 
     void reset() { *this = MigrateStats{}; }
 };

@@ -1,0 +1,132 @@
+#include "sim/executor.hh"
+
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace ctg
+{
+
+unsigned
+Executor::defaultThreads()
+{
+    if (const char *env = std::getenv("CTG_THREADS")) {
+        char *end = nullptr;
+        const unsigned long parsed = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && parsed >= 1)
+            return static_cast<unsigned>(parsed);
+        warn_once("ignoring malformed CTG_THREADS '%s'", env);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? hw : 1;
+}
+
+Executor::Executor(unsigned threads)
+    : threads_(threads != 0 ? threads : defaultThreads())
+{}
+
+namespace
+{
+
+/** One worker's share of the task indices, stealable by siblings. */
+struct WorkerQueue
+{
+    std::mutex mutex;
+    std::deque<std::size_t> tasks;
+
+    bool
+    popFront(std::size_t *out)
+    {
+        const std::lock_guard<std::mutex> lock(mutex);
+        if (tasks.empty())
+            return false;
+        *out = tasks.front();
+        tasks.pop_front();
+        return true;
+    }
+
+    bool
+    stealBack(std::size_t *out)
+    {
+        const std::lock_guard<std::mutex> lock(mutex);
+        if (tasks.empty())
+            return false;
+        *out = tasks.back();
+        tasks.pop_back();
+        return true;
+    }
+};
+
+} // namespace
+
+void
+Executor::run(std::size_t count,
+              const std::function<void(std::size_t)> &task)
+{
+    if (count == 0)
+        return;
+
+    // Failures are recorded per task and the lowest-indexed one is
+    // rethrown after the join, regardless of which worker hit it
+    // first — sequential and parallel runs fail identically.
+    std::vector<std::exception_ptr> errors(count);
+
+    const auto guarded = [&](std::size_t i) {
+        try {
+            task(i);
+        } catch (...) {
+            errors[i] = std::current_exception();
+        }
+    };
+
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(threads_, count));
+    if (workers <= 1) {
+        // Legacy path: inline, in index order, no threads.
+        for (std::size_t i = 0; i < count; ++i)
+            guarded(i);
+    } else {
+        std::vector<WorkerQueue> queues(workers);
+        for (std::size_t i = 0; i < count; ++i)
+            queues[i % workers].tasks.push_back(i);
+
+        const auto workerLoop = [&](unsigned self) {
+            std::size_t i;
+            for (;;) {
+                if (queues[self].popFront(&i)) {
+                    guarded(i);
+                    continue;
+                }
+                bool stole = false;
+                for (unsigned v = 1; v < workers && !stole; ++v) {
+                    stole = queues[(self + v) % workers]
+                                .stealBack(&i);
+                }
+                if (!stole)
+                    return; // every queue drained; claimed tasks
+                            // finish on their claimants
+                guarded(i);
+            }
+        };
+
+        std::vector<std::thread> pool;
+        pool.reserve(workers - 1);
+        for (unsigned w = 1; w < workers; ++w)
+            pool.emplace_back(workerLoop, w);
+        workerLoop(0);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    for (std::size_t i = 0; i < count; ++i) {
+        if (errors[i])
+            std::rethrow_exception(errors[i]);
+    }
+}
+
+} // namespace ctg

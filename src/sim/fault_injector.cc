@@ -180,6 +180,32 @@ FaultInjector::configure(const std::string &spec_list)
     return all_ok;
 }
 
+FaultInjector
+FaultInjector::forkForTask(std::uint64_t streamId) const
+{
+    // Mix the stream id into the parent seed rather than consuming
+    // parent RNG state: fork(i) is a pure function of (seed_, i), so
+    // the order tasks are forked in cannot shift their streams.
+    std::uint64_t sm =
+        seed_ ^ ((streamId + 1) * 0x9e3779b97f4a7c15ULL);
+    FaultInjector forked(splitMix64(sm));
+    for (unsigned i = 0; i < numFaultSites; ++i) {
+        if (sites_[i].spec.trigger != FaultSpec::Trigger::Off)
+            forked.arm(static_cast<FaultSite>(i), sites_[i].spec);
+    }
+    return forked;
+}
+
+void
+FaultInjector::absorbStats(const FaultInjector &other)
+{
+    for (unsigned i = 0; i < numFaultSites; ++i) {
+        sites_[i].stats.evaluations +=
+            other.sites_[i].stats.evaluations;
+        sites_[i].stats.fires += other.sites_[i].stats.fires;
+    }
+}
+
 std::uint64_t
 FaultInjector::totalFires() const
 {
@@ -223,9 +249,30 @@ FaultInjector::regStats(StatGroup group) const
     }
 }
 
+namespace
+{
+
+/** Per-thread override installed by FaultInjectorScope. */
+thread_local FaultInjector *tlsInjector = nullptr;
+
+} // namespace
+
+FaultInjectorScope::FaultInjectorScope(FaultInjector &injector)
+    : prev_(tlsInjector)
+{
+    tlsInjector = &injector;
+}
+
+FaultInjectorScope::~FaultInjectorScope()
+{
+    tlsInjector = prev_;
+}
+
 FaultInjector &
 faultInjector()
 {
+    if (tlsInjector != nullptr)
+        return *tlsInjector;
     static FaultInjector *injector = [] {
         std::uint64_t seed = FaultInjector::defaultSeed;
         if (const char *env = std::getenv("CTG_FAULTS_SEED")) {

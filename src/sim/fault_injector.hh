@@ -169,6 +169,32 @@ class FaultInjector
                FaultSpec::Trigger::Off;
     }
 
+    /** The spec a site is currently armed with (Trigger::Off when
+     * disarmed). */
+    const FaultSpec &
+    spec(FaultSite site) const
+    {
+        return sites_[index(site)].spec;
+    }
+
+    /**
+     * Fork a task-local injector: the same armed specs, fresh
+     * since-arming counts, zero stats, and per-site RNG streams
+     * derived deterministically from this injector's seed and the
+     * stream id. A forked injector's firing pattern depends only on
+     * (seed, streamId, its own probe sequence) — never on sibling
+     * tasks or the thread schedule — which is what makes parallel
+     * fleet runs replay the sequential path bit-identically.
+     *
+     * Stateful triggers are per task: a OneShot armed on the parent
+     * fires once in *every* forked task, not once per fleet.
+     */
+    FaultInjector forkForTask(std::uint64_t streamId) const;
+
+    /** Fold another injector's per-site evaluation/fire counts into
+     * this one (the deterministic merge step after a fleet run). */
+    void absorbStats(const FaultInjector &other);
+
     /** Per-site probe accounting. */
     struct SiteStats
     {
@@ -225,11 +251,34 @@ class FaultInjector
 };
 
 /**
- * The process-wide injector every subsystem probes. Configured from
- * CTG_FAULTS / CTG_FAULTS_SEED on first access; tests reconfigure it
- * programmatically (and must reset() it between cases).
+ * The injector every subsystem probes. Normally the process-wide
+ * singleton, configured from CTG_FAULTS / CTG_FAULTS_SEED on first
+ * access; tests reconfigure it programmatically (and must reset() it
+ * between cases). While a FaultInjectorScope is active on the
+ * calling thread, its injector is returned instead — parallel fleet
+ * workers scope a forked injector around each server task so probes
+ * never race on (or nondeterministically drain) the shared streams.
  */
 FaultInjector &faultInjector();
+
+/**
+ * RAII thread-local override of faultInjector(). Scopes nest; the
+ * previous injector (or the global singleton) is restored on
+ * destruction. The caller keeps ownership of the injector, which
+ * must outlive the scope.
+ */
+class FaultInjectorScope
+{
+  public:
+    explicit FaultInjectorScope(FaultInjector &injector);
+    ~FaultInjectorScope();
+
+    FaultInjectorScope(const FaultInjectorScope &) = delete;
+    FaultInjectorScope &operator=(const FaultInjectorScope &) = delete;
+
+  private:
+    FaultInjector *prev_;
+};
 
 } // namespace ctg
 

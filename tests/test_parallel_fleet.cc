@@ -1,0 +1,408 @@
+/**
+ * @file
+ * Determinism suite for the parallel fleet execution engine: fleet
+ * runs at 1, 2, 4 and 8 threads must produce bit-identical
+ * ServerScan vectors, merged stat values, sampler series and
+ * fault-injection counts — including with faults armed at every
+ * site — plus unit coverage of the Executor itself and of the
+ * per-task fault-injector forking machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "base/units.hh"
+#include "fleet/fleet.hh"
+#include "sim/executor.hh"
+#include "sim/fault_injector.hh"
+
+namespace ctg
+{
+namespace
+{
+
+/** Exact bit pattern of a double: == on doubles would already be
+ * strict, but bits make "byte-identical" literal (and catch -0.0
+ * vs 0.0 drift). */
+std::uint64_t
+bits(double v)
+{
+    std::uint64_t out;
+    std::memcpy(&out, &v, sizeof(out));
+    return out;
+}
+
+Fleet::Config
+smallFleet()
+{
+    Fleet::Config config;
+    config.servers = 8;
+    config.memBytes = 512_MiB;
+    config.minUptimeSec = 3.0;
+    config.maxUptimeSec = 6.0;
+    config.prefragmentFrac = 0.3;
+    config.seed = 0xdef1ee7;
+    return config;
+}
+
+void
+armEverySite(double p)
+{
+    FaultInjector &inj = faultInjector();
+    for (unsigned i = 0; i < numFaultSites; ++i)
+        inj.arm(static_cast<FaultSite>(i), FaultSpec::chance(p));
+}
+
+/** Everything observable from one fleet run, flattened to bit
+ * patterns for strict comparison. */
+struct RunRecord
+{
+    std::vector<std::uint64_t> scanBits;
+    std::vector<std::uint64_t> statBits;
+    std::vector<Tick> samplerTicks;
+    std::vector<std::uint64_t> samplerBits;
+    std::vector<std::uint64_t> faultCounts;
+
+    bool
+    operator==(const RunRecord &o) const
+    {
+        return scanBits == o.scanBits && statBits == o.statBits &&
+               samplerTicks == o.samplerTicks &&
+               samplerBits == o.samplerBits &&
+               faultCounts == o.faultCounts;
+    }
+};
+
+void
+recordScan(const ServerScan &scan, std::vector<std::uint64_t> *out)
+{
+    for (const double v : scan.freeContiguity)
+        out->push_back(bits(v));
+    for (const double v : scan.unmovableBlocks)
+        out->push_back(bits(v));
+    for (const double v : scan.potentialContiguity)
+        out->push_back(bits(v));
+    out->push_back(bits(scan.unmovablePageRatio));
+    for (const std::uint64_t v : scan.bySource)
+        out->push_back(v);
+    out->push_back(scan.freePages);
+    out->push_back(scan.free2mBlocks);
+    out->push_back(bits(scan.unmovableRegionFreeShare));
+    out->push_back(bits(scan.uptimeSec));
+}
+
+RunRecord
+runFleetAt(unsigned threads, bool withFaults)
+{
+    faultInjector().reset(0xd15ea5e);
+    if (withFaults)
+        armEverySite(0.02);
+
+    StatRegistry registry;
+    StatSampler sampler(registry);
+    Fleet::Config config = smallFleet();
+    config.threads = threads;
+    Fleet fleet(config);
+    fleet.attachTelemetry(registry, &sampler);
+    const std::vector<ServerScan> scans = fleet.run();
+
+    RunRecord record;
+    for (const ServerScan &scan : scans)
+        recordScan(scan, &record.scanBits);
+    for (std::size_t i = 0; i < registry.size(); ++i) {
+        const Stat &stat = registry.at(i);
+        // run_wall_ms is the one stat that legitimately varies
+        // between runs; everything else must be exact.
+        if (stat.name() == "fleet.run_wall_ms" ||
+            stat.name() == "fleet.threads") {
+            continue;
+        }
+        record.statBits.push_back(bits(stat.value()));
+        if (stat.kind() == Stat::Kind::Distribution) {
+            const auto &dist =
+                static_cast<const Distribution &>(stat);
+            record.statBits.push_back(dist.count());
+            record.statBits.push_back(bits(dist.mean()));
+            record.statBits.push_back(bits(dist.min()));
+            record.statBits.push_back(bits(dist.max()));
+            record.statBits.push_back(bits(dist.stddev()));
+        }
+    }
+    record.samplerTicks = sampler.ticks();
+    for (const std::string &name : sampler.statNames()) {
+        if (name == "fleet.run_wall_ms" || name == "fleet.threads")
+            continue;
+        const std::vector<double> *series = sampler.series(name);
+        for (const double v : *series)
+            record.samplerBits.push_back(bits(v));
+    }
+    for (unsigned i = 0; i < numFaultSites; ++i) {
+        const auto &s =
+            faultInjector().siteStats(static_cast<FaultSite>(i));
+        record.faultCounts.push_back(s.evaluations);
+        record.faultCounts.push_back(s.fires);
+    }
+    faultInjector().reset();
+    return record;
+}
+
+// ---------------------------------------------------------------
+// Fleet determinism across thread counts
+// ---------------------------------------------------------------
+
+TEST(ParallelFleet, ScansAndStatsBitIdenticalAcrossThreadCounts)
+{
+    const RunRecord baseline = runFleetAt(1, /*withFaults=*/false);
+    EXPECT_FALSE(baseline.scanBits.empty());
+    EXPECT_FALSE(baseline.statBits.empty());
+    for (const unsigned threads : {2u, 4u, 8u}) {
+        const RunRecord parallel =
+            runFleetAt(threads, /*withFaults=*/false);
+        EXPECT_EQ(baseline.scanBits, parallel.scanBits)
+            << "scan mismatch at " << threads << " threads";
+        EXPECT_EQ(baseline.statBits, parallel.statBits)
+            << "merged stat mismatch at " << threads << " threads";
+        EXPECT_EQ(baseline.samplerTicks, parallel.samplerTicks);
+        EXPECT_EQ(baseline.samplerBits, parallel.samplerBits);
+    }
+}
+
+TEST(ParallelFleet, FaultCountsIdenticalWithEverySiteArmed)
+{
+    const RunRecord baseline = runFleetAt(1, /*withFaults=*/true);
+    std::uint64_t evaluations = 0;
+    for (std::size_t i = 0; i < baseline.faultCounts.size(); i += 2)
+        evaluations += baseline.faultCounts[i];
+    EXPECT_GT(evaluations, 0u) << "faults never probed";
+    for (const unsigned threads : {2u, 4u, 8u}) {
+        const RunRecord parallel =
+            runFleetAt(threads, /*withFaults=*/true);
+        EXPECT_EQ(baseline.faultCounts, parallel.faultCounts)
+            << "fault counts diverge at " << threads << " threads";
+        EXPECT_EQ(baseline.scanBits, parallel.scanBits)
+            << "scans under faults diverge at " << threads
+            << " threads";
+        EXPECT_EQ(baseline.statBits, parallel.statBits);
+    }
+}
+
+TEST(ParallelFleet, SamplerTicksSurviveRepeatedRuns)
+{
+    // A reused sampler must keep strictly increasing ticks across
+    // back-to-back fleet runs (ticks restarting at 0 used to violate
+    // the sampler's non-decreasing contract).
+    StatRegistry registry;
+    StatSampler sampler(registry);
+    Fleet::Config config = smallFleet();
+    config.servers = 3;
+    config.maxUptimeSec = 4.0;
+    Fleet fleet(config);
+    fleet.attachTelemetry(registry, &sampler);
+    fleet.run();
+    fleet.run();
+    ASSERT_EQ(sampler.sampleCount(), 6u);
+    const std::vector<Tick> &ticks = sampler.ticks();
+    for (std::size_t i = 1; i < ticks.size(); ++i)
+        EXPECT_LT(ticks[i - 1], ticks[i]);
+}
+
+TEST(ParallelFleet, KindOverridePinsEveryServer)
+{
+    Fleet::Config config = smallFleet();
+    config.servers = 4;
+    config.maxUptimeSec = 4.0;
+    config.kindOverride = WorkloadKind::CacheB;
+    config.threads = 2;
+    Fleet fleet(config);
+    const auto scans = fleet.run();
+    EXPECT_EQ(scans.size(), 4u);
+    // The override must not disturb the rest of the seed stream:
+    // uptimes match the un-overridden fleet's draws.
+    config.kindOverride.reset();
+    Fleet mixed(config);
+    const auto mixedScans = mixed.run();
+    for (std::size_t i = 0; i < scans.size(); ++i)
+        EXPECT_EQ(bits(scans[i].uptimeSec),
+                  bits(mixedScans[i].uptimeSec));
+}
+
+TEST(ParallelFleet, WallClockAndThreadsReported)
+{
+    Fleet::Config config = smallFleet();
+    config.servers = 2;
+    config.maxUptimeSec = 4.0;
+    config.threads = 2;
+    StatRegistry registry;
+    Fleet fleet(config);
+    fleet.attachTelemetry(registry);
+    fleet.run();
+    EXPECT_GT(fleet.lastRunWallMs(), 0.0);
+    EXPECT_EQ(fleet.lastRunThreads(), 2u);
+    const Stat *wall = registry.find("fleet.run_wall_ms");
+    const Stat *threads = registry.find("fleet.threads");
+    ASSERT_NE(wall, nullptr);
+    ASSERT_NE(threads, nullptr);
+    EXPECT_DOUBLE_EQ(wall->value(), fleet.lastRunWallMs());
+    EXPECT_DOUBLE_EQ(threads->value(), 2.0);
+}
+
+// ---------------------------------------------------------------
+// Executor unit tests
+// ---------------------------------------------------------------
+
+TEST(ExecutorTest, RunsEveryTaskExactlyOnce)
+{
+    for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+        Executor executor(threads);
+        constexpr std::size_t count = 100;
+        std::vector<std::atomic<unsigned>> hits(count);
+        executor.run(count, [&](std::size_t i) {
+            hits[i].fetch_add(1);
+        });
+        for (std::size_t i = 0; i < count; ++i)
+            EXPECT_EQ(hits[i].load(), 1u) << "task " << i;
+    }
+}
+
+TEST(ExecutorTest, SingleThreadRunsInlineInOrder)
+{
+    Executor executor(1);
+    const std::thread::id caller = std::this_thread::get_id();
+    std::vector<std::size_t> order;
+    executor.run(5, [&](std::size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(i);
+    });
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ExecutorTest, RethrowsLowestIndexedFailure)
+{
+    Executor executor(4);
+    for (int repeat = 0; repeat < 3; ++repeat) {
+        try {
+            executor.run(16, [&](std::size_t i) {
+                if (i == 3)
+                    throw std::runtime_error("task 3");
+                if (i == 11)
+                    throw std::runtime_error("task 11");
+            });
+            FAIL() << "expected an exception";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "task 3");
+        }
+    }
+}
+
+TEST(ExecutorTest, ZeroTasksIsANoop)
+{
+    Executor executor(4);
+    bool ran = false;
+    executor.run(0, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ExecutorTest, DefaultThreadsHonorsEnvironment)
+{
+    ASSERT_EQ(setenv("CTG_THREADS", "3", 1), 0);
+    EXPECT_EQ(Executor::defaultThreads(), 3u);
+    EXPECT_EQ(Executor().threads(), 3u);
+    ASSERT_EQ(setenv("CTG_THREADS", "garbage", 1), 0);
+    EXPECT_GE(Executor::defaultThreads(), 1u);
+    ASSERT_EQ(unsetenv("CTG_THREADS"), 0);
+    EXPECT_GE(Executor::defaultThreads(), 1u);
+}
+
+// ---------------------------------------------------------------
+// Fault-injector forking and scoping
+// ---------------------------------------------------------------
+
+TEST(FaultForkTest, ForkedStreamsAreDeterministicPerStreamId)
+{
+    FaultInjector parent(0xabcdef);
+    parent.arm(FaultSite::BuddyAllocFail, FaultSpec::chance(0.5));
+
+    const auto firePattern = [](FaultInjector inj) {
+        std::vector<bool> fires;
+        for (int i = 0; i < 64; ++i)
+            fires.push_back(
+                inj.shouldFail(FaultSite::BuddyAllocFail));
+        return fires;
+    };
+
+    EXPECT_EQ(firePattern(parent.forkForTask(7)),
+              firePattern(parent.forkForTask(7)));
+    EXPECT_NE(firePattern(parent.forkForTask(7)),
+              firePattern(parent.forkForTask(8)));
+}
+
+TEST(FaultForkTest, ForkCopiesSpecsAndResetsState)
+{
+    FaultInjector parent(1);
+    parent.arm(FaultSite::ChwMidcopyAbort, FaultSpec::everyNth(3));
+    // Burn parent state; the fork must not inherit it.
+    parent.shouldFail(FaultSite::ChwMidcopyAbort);
+    parent.shouldFail(FaultSite::ChwMidcopyAbort);
+
+    FaultInjector fork = parent.forkForTask(0);
+    EXPECT_TRUE(fork.armed(FaultSite::ChwMidcopyAbort));
+    EXPECT_EQ(fork.siteStats(FaultSite::ChwMidcopyAbort).evaluations,
+              0u);
+    EXPECT_FALSE(fork.shouldFail(FaultSite::ChwMidcopyAbort));
+    EXPECT_FALSE(fork.shouldFail(FaultSite::ChwMidcopyAbort));
+    EXPECT_TRUE(fork.shouldFail(FaultSite::ChwMidcopyAbort));
+    EXPECT_FALSE(fork.armed(FaultSite::BuddyAllocFail));
+}
+
+TEST(FaultForkTest, AbsorbStatsSumsPerSite)
+{
+    FaultInjector sink(1);
+    FaultInjector a(2);
+    FaultInjector b(3);
+    a.arm(FaultSite::BuddyAllocFail, FaultSpec::everyNth(1));
+    a.shouldFail(FaultSite::BuddyAllocFail);
+    b.shouldFail(FaultSite::BuddyAllocFail);
+    sink.absorbStats(a);
+    sink.absorbStats(b);
+    EXPECT_EQ(sink.siteStats(FaultSite::BuddyAllocFail).evaluations,
+              2u);
+    EXPECT_EQ(sink.siteStats(FaultSite::BuddyAllocFail).fires, 1u);
+}
+
+TEST(FaultScopeTest, ScopeOverridesAndRestores)
+{
+    FaultInjector &global = faultInjector();
+    FaultInjector local(42);
+    {
+        const FaultInjectorScope scope(local);
+        EXPECT_EQ(&faultInjector(), &local);
+        FaultInjector inner(43);
+        {
+            const FaultInjectorScope nested(inner);
+            EXPECT_EQ(&faultInjector(), &inner);
+        }
+        EXPECT_EQ(&faultInjector(), &local);
+    }
+    EXPECT_EQ(&faultInjector(), &global);
+}
+
+TEST(FaultScopeTest, ScopeIsPerThread)
+{
+    FaultInjector local(42);
+    const FaultInjectorScope scope(local);
+    FaultInjector *seenOnWorker = nullptr;
+    std::thread worker(
+        [&] { seenOnWorker = &faultInjector(); });
+    worker.join();
+    EXPECT_EQ(&faultInjector(), &local);
+    EXPECT_NE(seenOnWorker, &local);
+}
+
+} // namespace
+} // namespace ctg
