@@ -15,6 +15,7 @@
 
 #include "bench/bench_util.hh"
 #include "contiguitas/policy.hh"
+#include "mem/mem_stats.hh"
 #include "mem/scanner.hh"
 #include "workloads/workload.hh"
 
@@ -53,10 +54,11 @@ ablationFallback()
         workload.start();
         workload.runFor(45.0);
         const PhysMem &mem = kernel.mem();
-        const double pages = scan::unmovablePageRatio(
-            mem, 0, mem.numFrames());
-        const double blocks = scan::unmovableBlockFraction(
-            mem, 0, mem.numFrames(), scan::order2M);
+        const MemStats stats = mem.stats();
+        const double pages =
+            stats.unmovablePageRatio(0, mem.numFrames());
+        const double blocks = stats.unmovableBlockFraction(
+            0, mem.numFrames(), scan::order2M);
         table.row({claim ? "claim remainder (pre-4.x)"
                          : "leave with victim (Linux 5.x)",
                    formatPercent(pages), formatPercent(blocks),
@@ -209,8 +211,9 @@ ablationKcompactd()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseArgs(argc, argv);
     bench::banner("Ablations",
                   "Design-choice studies (not a paper figure)");
     ablationFallback();

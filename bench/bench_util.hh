@@ -12,9 +12,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "base/env_config.hh"
 #include "base/stat_registry.hh"
 #include "base/stats.hh"
 #include "base/table.hh"
@@ -27,6 +29,39 @@ namespace ctg
 {
 namespace bench
 {
+
+/** Path set by --json: overrides CTG_STATS_JSON for dump output. */
+inline std::string &
+jsonOutPath()
+{
+    static std::string path;
+    return path;
+}
+
+/**
+ * Parse the shared bench command line. Currently one flag:
+ * `--json out.json` (or `--json=out.json`) redirects every
+ * dumpText/dumpStats call into the given file (append), so CI can
+ * collect machine-readable artifacts like BENCH_scan.json without
+ * environment plumbing.
+ */
+inline void
+parseArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            jsonOutPath() = argv[++i];
+        } else if (arg.rfind("--json=", 0) == 0) {
+            jsonOutPath() = arg.substr(7);
+        } else {
+            std::fprintf(stderr, "unknown bench argument '%s' "
+                         "(supported: --json out.json)\n",
+                         arg.c_str());
+            std::exit(2);
+        }
+    }
+}
 
 /** Print the figure banner. */
 inline void
@@ -78,22 +113,30 @@ standardFleet(bool contiguitas, unsigned servers = 48)
     config.maxUptimeSec = 90.0;
     config.prefragmentFrac = 0.25;
     config.seed = 0x15ca2023;
+    config.applyEnvOverlay();
     return config;
 }
 
 /**
  * Emit exporter output (JSON lines or CSV from StatRegistry /
- * StatSampler) under a labelled section. When the environment
- * variable named by env_var holds a path the text is appended there
- * instead, so scripted runs can harvest machine-readable stats
- * without parsing the figure tables.
+ * StatSampler) under a labelled section. A --json path (parseArgs)
+ * or the environment variable named by env_var redirects the text
+ * into that file (append), so scripted runs can harvest
+ * machine-readable stats without parsing the figure tables.
  */
 inline void
 dumpText(const char *label, const std::string &text,
          const char *env_var = "CTG_STATS_JSON")
 {
-    if (const char *path = std::getenv(env_var)) {
-        if (FILE *f = std::fopen(path, "a")) {
+    std::string path = jsonOutPath();
+    if (path.empty()) {
+        if (std::strcmp(env_var, "CTG_STATS_JSON") == 0)
+            path = sim::EnvConfig::fromEnv().statsJsonPath;
+        else if (const char *env = std::getenv(env_var))
+            path = env;
+    }
+    if (!path.empty()) {
+        if (FILE *f = std::fopen(path.c_str(), "a")) {
             std::fputs(text.c_str(), f);
             std::fclose(f);
             return;

@@ -11,8 +11,9 @@
 using namespace ctg;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseArgs(argc, argv);
     bench::banner("Figure 4",
                   "Contiguity availability as a percentage of free "
                   "memory (fleet CDF, vanilla Linux)");

@@ -13,8 +13,9 @@
 using namespace ctg;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseArgs(argc, argv);
     bench::banner("Figure 5",
                   "Distribution of unmovable pages in contiguous "
                   "regions (fleet CDF, vanilla Linux)");

@@ -31,18 +31,6 @@ struct CellResult
     unsigned threads = 1;
 };
 
-unsigned
-populationPerCell()
-{
-    if (const char *env = std::getenv("CTG_FIG11_POP")) {
-        char *end = nullptr;
-        const unsigned long parsed = std::strtoul(env, &end, 10);
-        if (end != env && *end == '\0' && parsed >= 1)
-            return static_cast<unsigned>(parsed);
-    }
-    return 8;
-}
-
 CellResult
 runCell(WorkloadKind kind, bool contiguitas, unsigned pop,
         std::string *stats_json)
@@ -60,6 +48,7 @@ runCell(WorkloadKind kind, bool contiguitas, unsigned pop,
     config.seed = 0x11f1f1 ^
                   (static_cast<std::uint64_t>(kind) * 2 +
                    (contiguitas ? 1 : 0));
+    config.applyEnvOverlay();
     Fleet fleet(config);
 
     std::string prefix = std::string(workloadName(kind)) +
@@ -95,15 +84,16 @@ runCell(WorkloadKind kind, bool contiguitas, unsigned pop,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseArgs(argc, argv);
     bench::banner("Figure 11",
                   "Unmovable 2MB blocks: Linux vs Contiguitas");
 
     const WorkloadKind kinds[] = {WorkloadKind::CI, WorkloadKind::Web,
                                   WorkloadKind::CacheA,
                                   WorkloadKind::CacheB};
-    const unsigned pop = populationPerCell();
+    const unsigned pop = sim::EnvConfig::fromEnv().fig11Population;
     std::printf("(population: %u servers per cell, %zu cells)\n",
                 pop, 2 * std::size(kinds));
 

@@ -37,8 +37,9 @@ runOne(WorkloadKind kind, bool contiguitas)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseArgs(argc, argv);
     bench::banner("Figure 12",
                   "Potential contiguity after perfect compaction "
                   "(% of total memory)");

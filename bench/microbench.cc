@@ -13,6 +13,7 @@
 #include "base/units.hh"
 #include "hw/system.hh"
 #include "mem/buddy.hh"
+#include "mem/mem_stats.hh"
 #include "mem/scanner.hh"
 
 namespace ctg
@@ -65,11 +66,12 @@ BM_BuddyFallbackSteal(benchmark::State &state)
 }
 BENCHMARK(BM_BuddyFallbackSteal);
 
+/** Shared rig for the contiguity read-path benchmarks: a 512 MiB
+ * machine fragmented by 20k single-page allocations, ~10% unmovable.
+ */
 void
-BM_ContiguityScan2M(benchmark::State &state)
+fragmentForScan(PhysMem &mem, BuddyAllocator &buddy)
 {
-    PhysMem mem(512_MiB);
-    BuddyAllocator buddy(mem, 0, mem.numFrames(), "bm");
     Rng rng(1);
     for (int i = 0; i < 20000; ++i) {
         buddy.allocPages(0,
@@ -77,12 +79,37 @@ BM_ContiguityScan2M(benchmark::State &state)
                                          : MigrateType::Movable,
                          AllocSource::User);
     }
+}
+
+/** Legacy full-scan read path (scan::reference). */
+void
+BM_ContiguityScan2MReference(benchmark::State &state)
+{
+    PhysMem mem(512_MiB);
+    BuddyAllocator buddy(mem, 0, mem.numFrames(), "bm");
+    fragmentForScan(mem, buddy);
+    mem.setContigIndexReads(false);
     for (auto _ : state) {
-        benchmark::DoNotOptimize(scan::unmovableBlockFraction(
-            mem, 0, mem.numFrames(), scan::order2M));
+        benchmark::DoNotOptimize(mem.stats().unmovableBlockFraction(
+            0, mem.numFrames(), scan::order2M));
     }
 }
-BENCHMARK(BM_ContiguityScan2M);
+BENCHMARK(BM_ContiguityScan2MReference);
+
+/** Same metric answered from the ContigIndex in O(1). */
+void
+BM_ContiguityScan2MIndex(benchmark::State &state)
+{
+    PhysMem mem(512_MiB);
+    BuddyAllocator buddy(mem, 0, mem.numFrames(), "bm");
+    fragmentForScan(mem, buddy);
+    mem.setContigIndexReads(true);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mem.stats().unmovableBlockFraction(
+            0, mem.numFrames(), scan::order2M));
+    }
+}
+BENCHMARK(BM_ContiguityScan2MIndex);
 
 void
 BM_TlbHit(benchmark::State &state)

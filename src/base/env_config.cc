@@ -1,0 +1,86 @@
+#include "base/env_config.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace ctg
+{
+namespace sim
+{
+
+namespace
+{
+
+/** Parse a decimal unsigned >= 1; returns false on malformed input
+ * (which the caller warns about) and on values below 1. */
+bool
+parsePositive(const char *text, unsigned *out)
+{
+    char *end = nullptr;
+    const unsigned long parsed = std::strtoul(text, &end, 10);
+    if (end == text || *end != '\0' || parsed < 1)
+        return false;
+    *out = static_cast<unsigned>(parsed);
+    return true;
+}
+
+bool
+parseBool(const char *text)
+{
+    return std::strcmp(text, "0") != 0 &&
+           std::strcmp(text, "off") != 0 &&
+           std::strcmp(text, "OFF") != 0 &&
+           std::strcmp(text, "false") != 0 &&
+           std::strcmp(text, "no") != 0;
+}
+
+} // namespace
+
+EnvConfig
+EnvConfig::fromEnv()
+{
+    EnvConfig config;
+
+    if (const char *env = std::getenv("CTG_THREADS")) {
+        if (!parsePositive(env, &config.threads))
+            warn_once("ignoring malformed CTG_THREADS '%s'", env);
+    }
+
+    if (const char *env = std::getenv("CTG_FAULTS_SEED")) {
+        char *end = nullptr;
+        const std::uint64_t parsed = std::strtoull(env, &end, 0);
+        if (end != env && *end == '\0') {
+            config.hasFaultSeed = true;
+            config.faultSeed = parsed;
+        } else {
+            warn("ignoring malformed CTG_FAULTS_SEED '%s'", env);
+        }
+    }
+
+    if (const char *env = std::getenv("CTG_FAULTS"))
+        config.faultSpec = env;
+
+    if (const char *env = std::getenv("CTG_STATS_JSON"))
+        config.statsJsonPath = env;
+
+    if (const char *env = std::getenv("CTG_FIG11_POP"))
+        (void)parsePositive(env, &config.fig11Population);
+
+    if (const char *env = std::getenv("CTG_TRACE"))
+        config.traceSpec = env;
+
+    if (const char *env = std::getenv("CTG_TRACE_FILE"))
+        config.traceFile = env;
+
+    config.csvTables = std::getenv("CTG_CSV") != nullptr;
+
+    if (const char *env = std::getenv("CTG_CONTIG_INDEX"))
+        config.contigIndexReads = parseBool(env);
+
+    return config;
+}
+
+} // namespace sim
+} // namespace ctg

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * One-stop parsing of the CTG_* environment overrides.
+ *
+ * Every knob the simulator reads from the environment is parsed here
+ * into a sim::EnvConfig value, instead of each subsystem calling
+ * getenv ad hoc. Call sites overlay the parsed values onto their own
+ * config structs (Fleet::Config::applyEnvOverlay,
+ * Server::Config::applyEnvOverlay) or query fromEnv() directly.
+ *
+ * fromEnv() re-reads the environment on every call — tests mutate
+ * CTG_THREADS et al. with setenv at runtime and expect the change to
+ * take effect, so nothing here is cached.
+ */
+
+#ifndef CTG_BASE_ENV_CONFIG_HH
+#define CTG_BASE_ENV_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ctg
+{
+namespace sim
+{
+
+/** Parsed CTG_* environment overrides (defaults when unset). */
+struct EnvConfig
+{
+    /** CTG_THREADS: executor width; 0 = auto (hardware threads). */
+    unsigned threads = 0;
+
+    /** CTG_FAULTS_SEED: injector RNG seed override. */
+    bool hasFaultSeed = false;
+    std::uint64_t faultSeed = 0;
+
+    /** CTG_FAULTS: fault-site spec string ("site:p0.1,..."). */
+    std::string faultSpec;
+
+    /** CTG_STATS_JSON: path that bench stat dumps append to. */
+    std::string statsJsonPath;
+
+    /** CTG_FIG11_POP: fig11 servers per cell (default 8). */
+    unsigned fig11Population = 8;
+
+    /** CTG_TRACE / CTG_TRACE_FILE: trace flag spec and sink path. */
+    std::string traceSpec;
+    std::string traceFile;
+
+    /** CTG_CSV: append CSV renderings after bench tables. */
+    bool csvTables = false;
+
+    /** CTG_CONTIG_INDEX: metric reads answer from the ContigIndex
+     * (default on; "0"/"off"/"false"/"no" disable, forcing the
+     * legacy full-scan reference path). */
+    bool contigIndexReads = true;
+
+    /** Parse the current environment. Malformed numeric values warn
+     * and keep the default, matching the legacy per-site parsers. */
+    static EnvConfig fromEnv();
+};
+
+} // namespace sim
+} // namespace ctg
+
+#endif // CTG_BASE_ENV_CONFIG_HH

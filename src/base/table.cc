@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "base/env_config.hh"
+
 namespace ctg
 {
 
@@ -96,7 +98,7 @@ void
 Table::print() const
 {
     std::fputs(render().c_str(), stdout);
-    if (std::getenv("CTG_CSV") != nullptr) {
+    if (sim::EnvConfig::fromEnv().csvTables) {
         std::fputs("-- csv --\n", stdout);
         std::fputs(renderCsv().c_str(), stdout);
     }

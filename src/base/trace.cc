@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "base/env_config.hh"
 #include "base/logging.hh"
 
 namespace ctg
@@ -53,10 +54,11 @@ struct EnvInit
 {
     EnvInit()
     {
-        if (const char *file = std::getenv("CTG_TRACE_FILE"))
-            openFileSink(file);
-        if (const char *spec = std::getenv("CTG_TRACE"))
-            setFromString(spec);
+        const sim::EnvConfig env = sim::EnvConfig::fromEnv();
+        if (!env.traceFile.empty())
+            openFileSink(env.traceFile.c_str());
+        if (!env.traceSpec.empty())
+            setFromString(env.traceSpec.c_str());
     }
 };
 

@@ -78,8 +78,7 @@ RegionManager::hwMigrateBlock(BuddyAllocator &alloc, Pfn src,
     }
     if (pinned) {
         const Pfn count = Pfn{1} << order;
-        for (Pfn pfn = dst; pfn < dst + count; ++pfn)
-            mem_.frame(pfn).setPinned(true);
+        mem_.setRangePinned(dst, dst + count, true);
         if (pinMoved_)
             pinMoved_(src, dst);
     }

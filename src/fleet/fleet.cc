@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "base/env_config.hh"
 #include "base/rng.hh"
 #include "base/trace.hh"
 #include "sim/executor.hh"
@@ -9,6 +10,16 @@
 
 namespace ctg
 {
+
+void
+Fleet::Config::applyEnvOverlay()
+{
+    const sim::EnvConfig env = sim::EnvConfig::fromEnv();
+    if (threads == 0)
+        threads = env.threads;
+    if (!contigIndexReads)
+        contigIndexReads = env.contigIndexReads;
+}
 
 Fleet::Fleet(const Config &config)
     : config_(config)
@@ -71,6 +82,8 @@ Fleet::run()
             rng.uniform() * (config_.maxIntensity -
                              config_.minIntensity);
         sc.prefragment = rng.chance(config_.prefragmentFrac);
+        // Plain copy, not an RNG draw: must not perturb the stream.
+        sc.contigIndexReads = config_.contigIndexReads;
         sc.uptimeSec =
             config_.minUptimeSec +
             rng.uniform() * (config_.maxUptimeSec -

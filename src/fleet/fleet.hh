@@ -62,6 +62,13 @@ class Fleet
          * from the fleet RNG so the rest of the seed stream is
          * unchanged. */
         std::optional<WorkloadKind> kindOverride;
+        /** Per-server ContigIndex read toggle, copied into every
+         * Server::Config (nullopt = CTG_CONTIG_INDEX, default on). */
+        std::optional<bool> contigIndexReads;
+
+        /** Overlay environment-derived fields (sim::EnvConfig) onto
+         * any still-unset knobs (threads, contigIndexReads). */
+        void applyEnvOverlay();
     };
 
     explicit Fleet(const Config &config);

@@ -2,12 +2,23 @@
 
 #include <algorithm>
 
+#include "base/env_config.hh"
 #include "base/trace.hh"
 #include "mem/auditor.hh"
+#include "mem/mem_stats.hh"
 #include "mem/scanner.hh"
 
 namespace ctg
 {
+
+void
+Server::Config::applyEnvOverlay()
+{
+    if (!contigIndexReads) {
+        contigIndexReads =
+            sim::EnvConfig::fromEnv().contigIndexReads;
+    }
+}
 
 WorkloadProfile
 scaleProfile(WorkloadProfile profile, double intensity)
@@ -44,6 +55,9 @@ Server::Server(const Config &config)
         kernel_ = std::make_unique<Kernel>(kc);
     }
 
+    kernel_->mem().setContigIndexReads(config_.contigIndexReads.value_or(
+        sim::EnvConfig::fromEnv().contigIndexReads));
+
     WorkloadProfile profile = scaleProfile(
         makeProfile(config_.kind, config_.memBytes),
         config_.intensity);
@@ -63,37 +77,35 @@ Server::enableStepAudit()
 ServerScan
 Server::scan() const
 {
-    const PhysMem &mem = kernel_->mem();
-    const Pfn n = mem.numFrames();
+    const MemStats stats = kernel_->mem().stats();
     ServerScan result;
 
     const unsigned orders4[4] = {scan::order2M, scan::order4M,
                                  scan::order32M, scan::order1G};
     for (int i = 0; i < 4; ++i) {
         result.freeContiguity[i] =
-            scan::freeContiguityFraction(mem, 0, n, orders4[i]);
+            stats.freeContiguityFraction(orders4[i]);
         result.unmovableBlocks[i] =
-            scan::unmovableBlockFraction(mem, 0, n, orders4[i]);
+            stats.unmovableBlockFraction(orders4[i]);
     }
     const unsigned orders3[3] = {scan::order2M, scan::order32M,
                                  scan::order1G};
     for (int i = 0; i < 3; ++i) {
         result.potentialContiguity[i] =
-            scan::potentialContiguityFraction(mem, 0, n, orders3[i]);
+            stats.potentialContiguityFraction(orders3[i]);
     }
-    result.unmovablePageRatio = scan::unmovablePageRatio(mem, 0, n);
-    result.bySource = scan::unmovableBySource(mem, 0, n);
-    result.freePages = scan::freePages(mem, 0, n);
-    result.free2mBlocks =
-        scan::freeAlignedBlocks(mem, 0, n, scan::order2M);
+    result.unmovablePageRatio = stats.unmovablePageRatio();
+    result.bySource = stats.unmovableBySource();
+    result.freePages = stats.freePages();
+    result.free2mBlocks = stats.freeAlignedBlocks(scan::order2M);
     const auto region = kernel_->policy().unmovableRegion();
     if (region.second > region.first) {
         result.unmovableRegionFreeShare =
-            scan::meanFreeShareOfUnmovableBlocks(mem, region.first,
+            stats.meanFreeShareOfUnmovableBlocks(region.first,
                                                  region.second);
     } else {
         result.unmovableRegionFreeShare =
-            scan::meanFreeShareOfUnmovableBlocks(mem, 0, n);
+            stats.meanFreeShareOfUnmovableBlocks();
     }
     result.uptimeSec = workload_ ? workload_->now() : 0.0;
     return result;
@@ -110,38 +122,32 @@ Server::attachTelemetry(StatRegistry &registry, StatSampler *sampler,
     if (auditor_)
         auditor_->regStats(group.group("audit"));
 
-    // Fragmentation gauges re-scan physical memory on every read;
-    // they exist for sampled time series, not hot paths.
+    // Fragmentation gauges answer from the ContigIndex when index
+    // reads are enabled (O(1)); with the reference path selected
+    // they re-scan physical memory on every read.
     const StatGroup frag = group.group("frag");
     const PhysMem &mem = kernel_->mem();
     frag.gauge(
         "free_contiguity_2m",
         [&mem] {
-            return scan::freeContiguityFraction(mem, 0,
-                                                mem.numFrames(),
-                                                scan::order2M);
+            return mem.stats().freeContiguityFraction(scan::order2M);
         },
         "fraction of free memory in free aligned 2M blocks");
     frag.gauge(
         "unmovable_blocks_2m",
         [&mem] {
-            return scan::unmovableBlockFraction(mem, 0,
-                                                mem.numFrames(),
-                                                scan::order2M);
+            return mem.stats().unmovableBlockFraction(scan::order2M);
         },
         "fraction of 2M blocks containing unmovable pages");
     frag.gauge(
         "free_2m_blocks",
         [&mem] {
-            return double(scan::freeAlignedBlocks(
-                mem, 0, mem.numFrames(), scan::order2M));
+            return double(
+                mem.stats().freeAlignedBlocks(scan::order2M));
         });
     frag.gauge(
         "unmovable_page_ratio",
-        [&mem] {
-            return scan::unmovablePageRatio(mem, 0,
-                                            mem.numFrames());
-        });
+        [&mem] { return mem.stats().unmovablePageRatio(); });
     sampler_ = sampler;
 }
 

@@ -10,6 +10,7 @@
 
 #include <array>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "contiguitas/policy.hh"
@@ -69,6 +70,15 @@ class Server
         double uptimeSec = 40.0;
         double stepSec = 1.0;
         std::uint64_t seed = 1;
+        /** Metric reads answer from the ContigIndex (nullopt defers
+         * to the CTG_CONTIG_INDEX environment knob, default on).
+         * The index is maintained either way; this only selects the
+         * read path, and results are bit-identical. */
+        std::optional<bool> contigIndexReads;
+
+        /** Overlay environment-derived fields (sim::EnvConfig) onto
+         * any still-unset knobs. */
+        void applyEnvOverlay();
     };
 
     explicit Server(const Config &config);

@@ -125,10 +125,8 @@ ChurnPool::advanceTo(double now_sec)
                     // IO buffers are busy for DMA: software cannot
                     // block access to migrate them (the pinned
                     // marker); only Contiguitas-HW moves them.
-                    for (Pfn p = head; p < head + (Pfn{1} << order);
-                         ++p) {
-                        kernel_.mem().frame(p).setPinned(true);
-                    }
+                    kernel_.mem().setRangePinned(
+                        head, head + (Pfn{1} << order), true);
                 }
                 const bool long_lived =
                     rng_.chance(config_.longLivedFrac);

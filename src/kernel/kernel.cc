@@ -366,6 +366,29 @@ Kernel::regStats(StatGroup group) const
         [this] { return double(counters_.compactSkippedUnmovable); },
         "blocks compaction could not move");
 
+    const StatGroup index_group = group.group("contig_index");
+    index_group.gauge(
+        "resync_calls",
+        [this] { return double(mem_->contigIndex().resyncCalls()); },
+        "incremental index update calls");
+    index_group.gauge(
+        "frames_rescanned",
+        [this] {
+            return double(mem_->contigIndex().framesRescanned());
+        },
+        "frames re-read by index updates");
+    index_group.gauge(
+        "free_pages",
+        [this] { return double(mem_->contigIndex().freePages()); });
+    index_group.gauge(
+        "unmovable_pages",
+        [this] {
+            return double(mem_->contigIndex().unmovablePages());
+        });
+    index_group.gauge(
+        "pinned_pages",
+        [this] { return double(mem_->contigIndex().pinnedPages()); });
+
     group.gauge("now_seconds",
                 [this] { return nowSeconds_; },
                 "simulated kernel wall clock");

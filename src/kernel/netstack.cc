@@ -59,8 +59,7 @@ NetStack::start()
                 fatal("cannot allocate NIC ring buffers");
             // The NIC DMAs into rings continuously; software can
             // never block access to them.
-            for (Pfn p = head; p < head + 4; ++p)
-                kernel_.mem().frame(p).setPinned(true);
+            kernel_.mem().setRangePinned(head, head + 4, true);
             rings_.push_back(head);
         }
     }

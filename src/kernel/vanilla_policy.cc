@@ -6,11 +6,7 @@ namespace ctg
 void
 setBlockPinned(PhysMem &mem, Pfn head, bool pinned)
 {
-    PageFrame &hf = mem.frame(head);
-    ctg_assert(!hf.isFree() && hf.isHead());
-    const Pfn count = Pfn{1} << hf.order;
-    for (Pfn pfn = head; pfn < head + count; ++pfn)
-        mem.frame(pfn).setPinned(pinned);
+    mem.setBlockPinned(head, pinned);
 }
 
 VanillaPolicy::VanillaPolicy(PhysMem &mem)

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "mem/scanner.hh"
+
 namespace ctg
 {
 
@@ -190,6 +192,73 @@ MemAuditor::auditTiling(AuditReport &report) const
     }
 }
 
+void
+MemAuditor::auditContigIndex(AuditReport &report) const
+{
+    const ContigIndex &index = mem_.contigIndex();
+    const Pfn n = mem_.numFrames();
+
+    // Machine-wide page counters against one reference frame walk.
+    std::uint64_t free_pages = 0, unmovable = 0, pinned = 0;
+    std::array<std::uint64_t, numAllocSources> by_source{};
+    for (Pfn pfn = 0; pfn < n; ++pfn) {
+        const PageFrame &f = mem_.frame(pfn);
+        if (f.isFree()) {
+            ++free_pages;
+            continue;
+        }
+        if (f.isPinned())
+            ++pinned;
+        if (f.isUnmovableAllocation()) {
+            ++unmovable;
+            ++by_source[static_cast<unsigned>(f.source)];
+        }
+    }
+    const auto mismatch = [&report](const char *what,
+                                    std::uint64_t index_value,
+                                    std::uint64_t scan_value) {
+        if (index_value == scan_value)
+            return;
+        report.violation(
+            "contig index %s = %llu but reference scan sees %llu",
+            what, static_cast<unsigned long long>(index_value),
+            static_cast<unsigned long long>(scan_value));
+    };
+    mismatch("free_pages", index.freePages(), free_pages);
+    mismatch("unmovable_pages", index.unmovablePages(), unmovable);
+    mismatch("pinned_pages", index.pinnedPages(), pinned);
+    for (unsigned src = 0; src < numAllocSources; ++src) {
+        mismatch(allocSourceName(static_cast<AllocSource>(src)),
+                 index.unmovableBySource()[src], by_source[src]);
+    }
+
+    // Per-order block counters for the orders the figures report.
+    const unsigned orders[] = {1, scan::order2M, scan::order4M,
+                               scan::order32M, scan::order1G};
+    for (const unsigned order : orders) {
+        mismatch("fully_free_blocks",
+                 index.fullyFreeBlocks(order),
+                 scan::reference::freeAlignedBlocks(mem_, 0, n,
+                                                    order));
+        mismatch("tainted_blocks", index.taintedBlocks(order),
+                 scan::reference::unmovableAlignedBlocks(mem_, 0, n,
+                                                         order));
+    }
+
+    // One interior subrange, exercising the tree-node query path.
+    const Pfn span = Pfn{1} << scan::order2M;
+    const Pfn lo = (n / 4) & ~(span - 1);
+    const Pfn hi = (3 * n / 4) & ~(span - 1);
+    if (lo < hi) {
+        mismatch("subrange fully_free_blocks",
+                 index.fullyFreeBlocksIn(lo, hi, scan::order2M),
+                 scan::reference::freeAlignedBlocks(mem_, lo, hi,
+                                                    scan::order2M));
+        mismatch("subrange free_pages", index.freePagesIn(lo, hi),
+                 scan::reference::freePages(mem_, lo, hi));
+    }
+}
+
 AuditReport
 MemAuditor::audit() const
 {
@@ -209,6 +278,9 @@ MemAuditor::audit() const
     }
 
     auditTiling(report);
+    ++report.checksRun;
+
+    auditContigIndex(report);
     ++report.checksRun;
 
     for (const auto &[name, check] : checks_) {

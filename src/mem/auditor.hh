@@ -125,6 +125,11 @@ class MemAuditor
     void auditCoverage(const BuddyAllocator &alloc,
                        AuditReport &report) const;
 
+    /** ContigIndex counters vs. a reference full scan: the
+     * incremental accounting must be exact at all times, including
+     * across fault-injected rollbacks (DESIGN.md §11). */
+    void auditContigIndex(AuditReport &report) const;
+
     /** Coverages sorted, disjoint, optionally tiling the machine. */
     void auditTiling(AuditReport &report) const;
 

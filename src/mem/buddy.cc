@@ -53,6 +53,7 @@ BuddyAllocator::BuddyAllocator(PhysMem &mem, Pfn start, Pfn end,
         f.setFree(true);
     }
     freeRangeAsBlocks(start_, end_, initial_block_mt);
+    mem_.noteFramesChanged(start_, end_);
 }
 
 void
@@ -156,6 +157,7 @@ BuddyAllocator::markAllocated(Pfn head, unsigned order, MigrateType mt,
         f.setPinned(false);
         f.setMigrating(false);
     }
+    mem_.noteFramesChanged(head, head + count);
 }
 
 Pfn
@@ -254,6 +256,7 @@ BuddyAllocator::freePages(Pfn head)
         f = PageFrame{};
         f.setFree(true);
     }
+    mem_.noteFramesChanged(head, head + count);
 
     if (order > maxOrder) {
         // Gigantic block: return it as maxOrder chunks.
@@ -479,6 +482,7 @@ BuddyAllocator::attachRange(Pfn lo, Pfn hi, MigrateType block_mt)
     for (Pfn pfn = lo; pfn < hi; pfn += pagesPerHuge)
         mem_.setBlockMt(pfn, block_mt);
     freeRangeAsBlocks(lo, hi, block_mt);
+    mem_.noteFramesChanged(lo, hi);
     if (start_ == end_) {
         start_ = lo;
         end_ = hi;

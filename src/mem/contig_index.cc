@@ -1,0 +1,251 @@
+#include "mem/contig_index.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace ctg
+{
+
+ContigIndex::ContigIndex(const FrameArray &frames)
+    : frames_(frames), n_(frames.size()), leaf_(n_, 0),
+      leafSrc_(n_, 0)
+{
+    for (unsigned level = 1; level <= topLevel; ++level) {
+        const std::uint64_t nodes =
+            (n_ + (std::uint64_t{1} << level) - 1) >> level;
+        levels_[level - 1].assign(nodes, Node{});
+    }
+    // Default-constructed frames are neither free nor unmovable, so
+    // the zeroed tree already matches them; publish the real state.
+    resync(0, n_);
+}
+
+ContigIndex::Node
+ContigIndex::nodeFromLeaves(std::uint64_t index) const
+{
+    Node node;
+    const Pfn lo = index << 1;
+    const Pfn hi = std::min<Pfn>(lo + 2, n_);
+    for (Pfn pfn = lo; pfn < hi; ++pfn) {
+        const std::uint8_t bits = leaf_[pfn];
+        node.free += (bits & LeafFree) ? 1 : 0;
+        node.unmov += (bits & LeafUnmovable) ? 1 : 0;
+        node.pinned += (bits & LeafPinned) ? 1 : 0;
+    }
+    return node;
+}
+
+ContigIndex::Node
+ContigIndex::nodeFromChildren(unsigned level,
+                              std::uint64_t index) const
+{
+    const std::vector<Node> &children = levels_[level - 2];
+    const std::uint64_t c0 = index << 1;
+    Node node = children[c0];
+    if (c0 + 1 < children.size()) {
+        const Node &c1 = children[c0 + 1];
+        node.free += c1.free;
+        node.unmov += c1.unmov;
+        node.pinned += c1.pinned;
+    }
+    return node;
+}
+
+void
+ContigIndex::resync(Pfn lo, Pfn hi)
+{
+    ctg_assert(lo <= hi && hi <= n_);
+    if (lo == hi)
+        return;
+    ++resyncCalls_;
+    framesRescanned_ += hi - lo;
+
+    // Leaf pass: diff the frame truth against the cached snapshot and
+    // apply the page-granular deltas to the machine-wide totals.
+    bool changed = false;
+    for (Pfn pfn = lo; pfn < hi; ++pfn) {
+        const PageFrame &f = frames_.frame(pfn);
+        const std::uint8_t bits = leafBits(f);
+        const std::uint8_t src =
+            static_cast<std::uint8_t>(f.source);
+        const std::uint8_t old = leaf_[pfn];
+        if (bits == old &&
+            (!(bits & LeafUnmovable) || src == leafSrc_[pfn]))
+            continue;
+        changed = true;
+        freePages_ += static_cast<std::uint64_t>(
+            int((bits & LeafFree) != 0) - int((old & LeafFree) != 0));
+        unmovablePages_ += static_cast<std::uint64_t>(
+            int((bits & LeafUnmovable) != 0) -
+            int((old & LeafUnmovable) != 0));
+        pinnedPages_ += static_cast<std::uint64_t>(
+            int((bits & LeafPinned) != 0) -
+            int((old & LeafPinned) != 0));
+        if (old & LeafUnmovable)
+            --bySource_[leafSrc_[pfn]];
+        if (bits & LeafUnmovable)
+            ++bySource_[src];
+        leaf_[pfn] = bits;
+        leafSrc_[pfn] = src;
+    }
+    if (!changed)
+        return;
+
+    // Fold the change up the tree. At each level the touched node
+    // range is recomputed from the level below; full<->partial and
+    // clean<->tainted transitions of in-machine nodes adjust the
+    // per-order global counters.
+    for (unsigned level = 1; level <= topLevel; ++level) {
+        std::vector<Node> &nodes = levels_[level - 1];
+        const std::uint64_t i0 = lo >> level;
+        const std::uint64_t i1 =
+            std::min<std::uint64_t>((hi - 1) >> level,
+                                    nodes.size() - 1);
+        const std::uint64_t span = std::uint64_t{1} << level;
+        for (std::uint64_t i = i0; i <= i1; ++i) {
+            const Node fresh = level == 1
+                                   ? nodeFromLeaves(i)
+                                   : nodeFromChildren(level, i);
+            Node &node = nodes[i];
+            if (fresh == node)
+                continue;
+            if (nodeInMachine(level, i)) {
+                fullFree_[level] += static_cast<std::uint64_t>(
+                    int(fresh.free == span) - int(node.free == span));
+                tainted_[level] += static_cast<std::uint64_t>(
+                    int(fresh.unmov > 0) - int(node.unmov > 0));
+            }
+            node = fresh;
+        }
+    }
+}
+
+std::uint64_t
+ContigIndex::fullyFreeBlocks(unsigned order) const
+{
+    if (order == 0)
+        return freePages_;
+    ctg_assert(order <= topLevel);
+    return fullFree_[order];
+}
+
+std::uint64_t
+ContigIndex::taintedBlocks(unsigned order) const
+{
+    if (order == 0)
+        return unmovablePages_;
+    ctg_assert(order <= topLevel);
+    return tainted_[order];
+}
+
+namespace
+{
+
+/** Greedy aligned-block decomposition of [lo, hi): invoke fn(level,
+ * index) for maximal aligned power-of-two blocks covering the range.
+ * Level 0 blocks are single frames (index == pfn). */
+template <typename Fn>
+void
+decompose(Pfn lo, Pfn hi, unsigned top_level, Fn fn)
+{
+    Pfn pfn = lo;
+    while (pfn < hi) {
+        unsigned level = top_level;
+        while (level > 0 &&
+               ((pfn & ((Pfn{1} << level) - 1)) != 0 ||
+                pfn + (Pfn{1} << level) > hi)) {
+            --level;
+        }
+        fn(level, pfn >> level);
+        pfn += Pfn{1} << level;
+    }
+}
+
+} // namespace
+
+std::uint64_t
+ContigIndex::freePagesIn(Pfn lo, Pfn hi) const
+{
+    ctg_assert(lo <= hi && hi <= n_);
+    if (lo == 0 && hi == n_)
+        return freePages_;
+    std::uint64_t total = 0;
+    decompose(lo, hi, topLevel,
+              [&](unsigned level, std::uint64_t index) {
+                  total += level == 0
+                               ? ((leaf_[index] & LeafFree) ? 1 : 0)
+                               : levels_[level - 1][index].free;
+              });
+    return total;
+}
+
+std::uint64_t
+ContigIndex::unmovablePagesIn(Pfn lo, Pfn hi) const
+{
+    ctg_assert(lo <= hi && hi <= n_);
+    if (lo == 0 && hi == n_)
+        return unmovablePages_;
+    std::uint64_t total = 0;
+    decompose(lo, hi, topLevel,
+              [&](unsigned level, std::uint64_t index) {
+                  total += level == 0
+                               ? ((leaf_[index] & LeafUnmovable) ? 1
+                                                                 : 0)
+                               : levels_[level - 1][index].unmov;
+              });
+    return total;
+}
+
+std::uint64_t
+ContigIndex::fullyFreeBlocksIn(Pfn lo, Pfn hi, unsigned order) const
+{
+    const Pfn span = Pfn{1} << order;
+    ctg_assert(lo % span == 0 && hi % span == 0);
+    ctg_assert(lo <= hi && hi <= n_);
+    if (lo == 0 && hi == (n_ & ~(span - 1)))
+        return fullyFreeBlocks(order);
+    if (order == 0)
+        return freePagesIn(lo, hi);
+    std::uint64_t blocks = 0;
+    const std::vector<Node> &nodes = levels_[order - 1];
+    for (std::uint64_t i = lo >> order; i < (hi >> order); ++i)
+        blocks += nodes[i].free == span ? 1 : 0;
+    return blocks;
+}
+
+std::uint64_t
+ContigIndex::taintedBlocksIn(Pfn lo, Pfn hi, unsigned order) const
+{
+    const Pfn span = Pfn{1} << order;
+    ctg_assert(lo % span == 0 && hi % span == 0);
+    ctg_assert(lo <= hi && hi <= n_);
+    if (lo == 0 && hi == (n_ & ~(span - 1)))
+        return taintedBlocks(order);
+    if (order == 0)
+        return unmovablePagesIn(lo, hi);
+    std::uint64_t blocks = 0;
+    const std::vector<Node> &nodes = levels_[order - 1];
+    for (std::uint64_t i = lo >> order; i < (hi >> order); ++i)
+        blocks += nodes[i].unmov > 0 ? 1 : 0;
+    return blocks;
+}
+
+std::uint32_t
+ContigIndex::nodeFreePages(unsigned order, std::uint64_t index) const
+{
+    ctg_assert(order >= 1 && order <= topLevel);
+    ctg_assert(index < levels_[order - 1].size());
+    return levels_[order - 1][index].free;
+}
+
+std::uint32_t
+ContigIndex::nodeUnmovablePages(unsigned order,
+                                std::uint64_t index) const
+{
+    ctg_assert(order >= 1 && order <= topLevel);
+    ctg_assert(index < levels_[order - 1].size());
+    return levels_[order - 1][index].unmov;
+}
+
+} // namespace ctg

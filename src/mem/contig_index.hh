@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Incremental per-order contiguity accounting (DESIGN.md §11).
+ *
+ * The paper's fleet metrics (Figures 4, 5, 11, 12) were originally
+ * computed by full scans over the frame array, re-run for four block
+ * orders on every sampler tick of every server — the dominant
+ * wall-clock cost of a population run. The ContigIndex replaces the
+ * rescans with a buddy-style binary tree over the frame array: each
+ * node at level L covers an aligned 2^L-frame block and holds the
+ * number of free, unmovable and pinned frames inside it, and global
+ * per-order counters track how many aligned blocks are fully free or
+ * contain at least one unmovable page.
+ *
+ * The index is *derived state*: it never interprets allocator
+ * semantics. Mutation sites re-publish the frame range they touched
+ * via resync(), which re-reads the per-frame truth (PageFrame flags),
+ * diffs it against a cached per-frame snapshot, and folds the deltas
+ * up the tree — O(range + log n) per call, so maintaining the index
+ * costs the same order as the mutation itself. Because every counter
+ * is recomputed from the same predicate the legacy scanners use
+ * (PageFrame::isFree / isUnmovableAllocation), the index is
+ * bit-identical to a fresh full scan at all times, including across
+ * fault-injected rollbacks; the MemAuditor cross-checks this.
+ *
+ * Reads: whole-machine per-order queries are O(1) (the global
+ * counters); arbitrary [lo, hi) ranges are answered from tree nodes
+ * in O(range / 2^order + log n) without touching the frame array.
+ */
+
+#ifndef CTG_MEM_CONTIG_INDEX_HH
+#define CTG_MEM_CONTIG_INDEX_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "mem/frame.hh"
+
+namespace ctg
+{
+
+/** Hierarchical occupancy index over one FrameArray. */
+class ContigIndex
+{
+  public:
+    explicit ContigIndex(const FrameArray &frames);
+
+    /** Highest tree level maintained (1 GB blocks). */
+    static constexpr unsigned topLevel = gigaOrder;
+
+    /**
+     * Re-read frames [lo, hi) from the frame array and fold any state
+     * changes into the tree. Every code path that mutates a frame's
+     * free/unmovable/pinned/source state must call this (via
+     * PhysMem::noteFramesChanged) before the next metric read.
+     */
+    void resync(Pfn lo, Pfn hi);
+
+    /** @{ Whole-machine counters, O(1). */
+    std::uint64_t numFrames() const { return n_; }
+    std::uint64_t freePages() const { return freePages_; }
+    std::uint64_t unmovablePages() const { return unmovablePages_; }
+    std::uint64_t pinnedPages() const { return pinnedPages_; }
+    /** Aligned order-blocks fully inside the machine. */
+    std::uint64_t
+    alignedBlocks(unsigned order) const
+    {
+        return n_ >> order;
+    }
+    /** Fully-free aligned blocks of the given order. */
+    std::uint64_t fullyFreeBlocks(unsigned order) const;
+    /** Aligned blocks containing at least one unmovable page. */
+    std::uint64_t taintedBlocks(unsigned order) const;
+    /** Unmovable page counts keyed by AllocSource (Figure 6). */
+    const std::array<std::uint64_t, numAllocSources> &
+    unmovableBySource() const
+    {
+        return bySource_;
+    }
+    /** @} */
+
+    /** @{ Range queries over [lo, hi), exact vs. a fresh scan. */
+    std::uint64_t freePagesIn(Pfn lo, Pfn hi) const;
+    std::uint64_t unmovablePagesIn(Pfn lo, Pfn hi) const;
+    /** lo and hi must be order-aligned (callers trim like the
+     * scanners do). */
+    std::uint64_t fullyFreeBlocksIn(Pfn lo, Pfn hi,
+                                    unsigned order) const;
+    std::uint64_t taintedBlocksIn(Pfn lo, Pfn hi,
+                                  unsigned order) const;
+    /** @} */
+
+    /** @{ Per-node occupancy of one aligned block (order >= 1);
+     * index is the block number at that order. Used by the Section
+     * 5.2 free-share metric and the auditor. */
+    std::uint32_t nodeFreePages(unsigned order,
+                                std::uint64_t index) const;
+    std::uint32_t nodeUnmovablePages(unsigned order,
+                                     std::uint64_t index) const;
+    /** @} */
+
+    /** @{ Maintenance counters (observability). */
+    std::uint64_t resyncCalls() const { return resyncCalls_; }
+    std::uint64_t framesRescanned() const { return framesRescanned_; }
+    /** @} */
+
+  private:
+    /** Per-block occupancy counts of one tree node. */
+    struct Node
+    {
+        std::uint32_t free = 0;
+        std::uint32_t unmov = 0;
+        std::uint32_t pinned = 0;
+
+        bool
+        operator==(const Node &o) const
+        {
+            return free == o.free && unmov == o.unmov &&
+                   pinned == o.pinned;
+        }
+    };
+
+    static constexpr std::uint8_t LeafFree = 1 << 0;
+    static constexpr std::uint8_t LeafUnmovable = 1 << 1;
+    static constexpr std::uint8_t LeafPinned = 1 << 2;
+
+    /** Leaf predicate bits of a frame, from the same predicates the
+     * legacy scanners evaluate. */
+    static std::uint8_t
+    leafBits(const PageFrame &f)
+    {
+        std::uint8_t bits = 0;
+        if (f.isFree())
+            bits |= LeafFree;
+        if (f.isUnmovableAllocation())
+            bits |= LeafUnmovable;
+        if (!f.isFree() && f.isPinned())
+            bits |= LeafPinned;
+        return bits;
+    }
+
+    /** Node spanned by level-1 node `index`, recomputed from leaves. */
+    Node nodeFromLeaves(std::uint64_t index) const;
+    /** Node at `level` >= 2 recomputed from its two children. */
+    Node nodeFromChildren(unsigned level, std::uint64_t index) const;
+
+    /** True when the node covers only whole in-machine frames, i.e.
+     * participates in the per-order global counters (mirrors the
+     * scanners' trimming of a partial tail block). */
+    bool
+    nodeInMachine(unsigned level, std::uint64_t index) const
+    {
+        return ((index + 1) << level) <= n_;
+    }
+
+    const FrameArray &frames_;
+    std::uint64_t n_;
+
+    /** Cached per-frame predicate bits (LeafFree/Unmovable/Pinned). */
+    std::vector<std::uint8_t> leaf_;
+    /** Cached AllocSource of each unmovable frame. */
+    std::vector<std::uint8_t> leafSrc_;
+    /** levels_[L-1] holds level L (block order L), L in 1..topLevel. */
+    std::array<std::vector<Node>, topLevel> levels_;
+
+    std::uint64_t freePages_ = 0;
+    std::uint64_t unmovablePages_ = 0;
+    std::uint64_t pinnedPages_ = 0;
+    /** Indexed by order 1..topLevel (entry 0 unused; order-0 queries
+     * answer from the leaf totals). */
+    std::array<std::uint64_t, topLevel + 1> fullFree_{};
+    std::array<std::uint64_t, topLevel + 1> tainted_{};
+    std::array<std::uint64_t, numAllocSources> bySource_{};
+
+    std::uint64_t resyncCalls_ = 0;
+    std::uint64_t framesRescanned_ = 0;
+};
+
+} // namespace ctg
+
+#endif // CTG_MEM_CONTIG_INDEX_HH

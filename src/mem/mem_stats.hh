@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unified contiguity-metrics facade over one PhysMem.
+ *
+ * MemStats is the single read API for every paper metric (Figures 4,
+ * 5, 6, 11, 12 and the Section 2.5 / 5.2 scalars). It answers from
+ * the incremental ContigIndex by default — O(1) for whole-machine
+ * queries instead of a full frame-array scan — and falls back to the
+ * legacy scanner loops (scan::reference) when index reads are
+ * disabled on the PhysMem, which keeps a slow reference path alive
+ * for bit-identity tests and benchmarking.
+ *
+ * Both paths compute each double through the *same* arithmetic over
+ * the same integer counts, so results are bit-identical, not merely
+ * close; the figure regression suite asserts this at multiple thread
+ * counts.
+ */
+
+#ifndef CTG_MEM_MEM_STATS_HH
+#define CTG_MEM_MEM_STATS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "base/types.hh"
+#include "mem/physmem.hh"
+
+namespace ctg
+{
+
+/** Value-type view over one PhysMem; cheap to construct per query
+ * batch (e.g. one sampler tick). Obtain via PhysMem::stats(). */
+class MemStats
+{
+  public:
+    explicit MemStats(const PhysMem &mem) : mem_(&mem) {}
+
+    /** Number of free 4 KB frames. */
+    std::uint64_t freePages() const;
+    std::uint64_t freePages(Pfn lo, Pfn hi) const;
+
+    /** Count of fully-free aligned blocks of the given order. */
+    std::uint64_t freeAlignedBlocks(unsigned order) const;
+    std::uint64_t freeAlignedBlocks(Pfn lo, Pfn hi,
+                                    unsigned order) const;
+
+    /** Figure 4 metric: fraction of *free memory* sitting inside
+     * fully-free aligned blocks of the given order. */
+    double freeContiguityFraction(unsigned order) const;
+    double freeContiguityFraction(Pfn lo, Pfn hi,
+                                  unsigned order) const;
+
+    /** Figure 5 / 11 metric: fraction of aligned blocks containing
+     * at least one unmovable page. */
+    double unmovableBlockFraction(unsigned order) const;
+    double unmovableBlockFraction(Pfn lo, Pfn hi,
+                                  unsigned order) const;
+
+    /** Figure 12 metric: fraction of total memory in aligned blocks
+     * with *no* unmovable page. */
+    double potentialContiguityFraction(unsigned order) const;
+    double potentialContiguityFraction(Pfn lo, Pfn hi,
+                                       unsigned order) const;
+
+    /** Section 2.5 scalar: unmovable pages / all pages. */
+    double unmovablePageRatio() const;
+    double unmovablePageRatio(Pfn lo, Pfn hi) const;
+
+    /** Unmovable page counts keyed by AllocSource (Figure 6). The
+     * ranged overload falls back to a reference scan when the range
+     * is not the whole machine. */
+    std::array<std::uint64_t, numAllocSources>
+    unmovableBySource() const;
+    std::array<std::uint64_t, numAllocSources>
+    unmovableBySource(Pfn lo, Pfn hi) const;
+
+    /** Section 5.2 metric: mean free-page share of 2 MB blocks that
+     * contain at least one unmovable page. */
+    double meanFreeShareOfUnmovableBlocks() const;
+    double meanFreeShareOfUnmovableBlocks(Pfn lo, Pfn hi) const;
+
+  private:
+    bool useIndex() const { return mem_->contigIndexReads(); }
+    const ContigIndex &index() const { return mem_->contigIndex(); }
+
+    const PhysMem *mem_;
+};
+
+} // namespace ctg
+
+#endif // CTG_MEM_MEM_STATS_HH

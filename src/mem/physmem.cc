@@ -1,6 +1,7 @@
 #include "mem/physmem.hh"
 
 #include "base/logging.hh"
+#include "mem/mem_stats.hh"
 
 namespace ctg
 {
@@ -8,11 +9,35 @@ namespace ctg
 PhysMem::PhysMem(std::uint64_t bytes)
     : numFrames_(bytes / pageBytes),
       frames_(bytes / pageBytes),
-      blockMt_((bytes / pageBytes) >> hugeOrder, MigrateType::Movable)
+      blockMt_((bytes / pageBytes) >> hugeOrder, MigrateType::Movable),
+      index_(frames_)
 {
     if (bytes == 0 || bytes % hugeBytes != 0)
         fatal("memory capacity must be a multiple of 2 MiB, got %llu",
               static_cast<unsigned long long>(bytes));
+}
+
+MemStats
+PhysMem::stats() const
+{
+    return MemStats(*this);
+}
+
+void
+PhysMem::setRangePinned(Pfn lo, Pfn hi, bool pinned)
+{
+    for (Pfn pfn = lo; pfn < hi; ++pfn)
+        frames_.frame(pfn).setPinned(pinned);
+    noteFramesChanged(lo, hi);
+}
+
+void
+PhysMem::setBlockPinned(Pfn head, bool pinned)
+{
+    const PageFrame &hf = frames_.frame(head);
+    ctg_assert(!hf.isFree() && hf.isHead());
+    const Pfn count = Pfn{1} << hf.order;
+    setRangePinned(head, head + count, pinned);
 }
 
 } // namespace ctg

@@ -7,6 +7,14 @@
  * instances cover disjoint PFN ranges of a single PhysMem; the
  * Contiguitas region manager splits one PhysMem between a movable and
  * an unmovable allocator and moves the boundary between them.
+ *
+ * PhysMem also owns the ContigIndex, the incremental contiguity
+ * accounting structure (DESIGN.md §11). Any code that mutates the
+ * free/unmovable/pinned/source state of frames must publish the
+ * touched range via noteFramesChanged() — the buddy allocator does so
+ * for all alloc/free/attach paths, and pin changes go through
+ * setRangePinned()/setBlockPinned(). Metric reads go through the
+ * MemStats facade returned by stats().
  */
 
 #ifndef CTG_MEM_PHYSMEM_HH
@@ -16,11 +24,14 @@
 #include <vector>
 
 #include "base/types.hh"
+#include "mem/contig_index.hh"
 #include "mem/frame.hh"
 #include "mem/migratetype.hh"
 
 namespace ctg
 {
+
+class MemStats;
 
 /** Shared physical memory state of one simulated server. */
 class PhysMem
@@ -29,6 +40,10 @@ class PhysMem
     /** Construct a machine with the given memory capacity. Capacity
      * must be a whole number of pageblocks (2 MB). */
     explicit PhysMem(std::uint64_t bytes);
+
+    // The ContigIndex holds a reference to the frame array.
+    PhysMem(const PhysMem &) = delete;
+    PhysMem &operator=(const PhysMem &) = delete;
 
     std::uint64_t totalBytes() const { return numFrames_ * pageBytes; }
     std::uint64_t numFrames() const { return numFrames_; }
@@ -60,6 +75,32 @@ class PhysMem
         blockMt_[blockIndex(pfn)] = mt;
     }
 
+    /** @{ Incremental contiguity accounting. */
+
+    /** Metric read facade (defined in mem/mem_stats.hh). */
+    MemStats stats() const;
+
+    const ContigIndex &contigIndex() const { return index_; }
+
+    /** Publish frame-state changes in [lo, hi) to the index. */
+    void noteFramesChanged(Pfn lo, Pfn hi) { index_.resync(lo, hi); }
+
+    /** Pin or unpin every frame in [lo, hi), keeping the index
+     * exact. Use instead of raw frame(pfn).setPinned(). */
+    void setRangePinned(Pfn lo, Pfn hi, bool pinned);
+
+    /** Pin or unpin an allocated block given its head frame. */
+    void setBlockPinned(Pfn head, bool pinned);
+
+    /** When true (default) MemStats answers from the ContigIndex;
+     * when false it runs the legacy full scans. The index is
+     * maintained either way, so the toggle only selects the read
+     * path — used for bit-identity tests and benchmarks. */
+    bool contigIndexReads() const { return indexReads_; }
+    void setContigIndexReads(bool on) { indexReads_ = on; }
+
+    /** @} */
+
     /** Wall-clock second used to stamp allocations (set by drivers). */
     std::uint32_t nowSeconds = 0;
 
@@ -67,6 +108,8 @@ class PhysMem
     std::uint64_t numFrames_;
     FrameArray frames_;
     std::vector<MigrateType> blockMt_;
+    ContigIndex index_;
+    bool indexReads_ = true;
 };
 
 } // namespace ctg

@@ -1,10 +1,13 @@
 #include "mem/scanner.hh"
 
 #include "base/logging.hh"
+#include "mem/mem_stats.hh"
 
 namespace ctg
 {
 namespace scan
+{
+namespace reference
 {
 
 namespace
@@ -55,6 +58,25 @@ freeAlignedBlocks(const PhysMem &mem, Pfn lo, Pfn hi, unsigned order)
             ++blocks;
     }
     return blocks;
+}
+
+std::uint64_t
+unmovableAlignedBlocks(const PhysMem &mem, Pfn lo, Pfn hi,
+                       unsigned order)
+{
+    if (!alignRange(lo, hi, order))
+        return 0;
+    const Pfn span = Pfn{1} << order;
+    std::uint64_t tainted = 0;
+    for (Pfn base = lo; base < hi; base += span) {
+        for (Pfn pfn = base; pfn < base + span; ++pfn) {
+            if (mem.frame(pfn).isUnmovableAllocation()) {
+                ++tainted;
+                break;
+            }
+        }
+    }
+    return tainted;
 }
 
 double
@@ -169,6 +191,64 @@ meanFreeShareOfUnmovableBlocks(const PhysMem &mem, Pfn lo, Pfn hi)
         }
     }
     return blocks ? free_share_sum / static_cast<double>(blocks) : 0.0;
+}
+
+} // namespace reference
+
+// ---------------------------------------------------------------
+// Deprecated wrappers: route through the MemStats facade, which
+// honours the PhysMem's index-reads toggle.
+// ---------------------------------------------------------------
+
+std::uint64_t
+freePages(const PhysMem &mem, Pfn lo, Pfn hi)
+{
+    return mem.stats().freePages(lo, hi);
+}
+
+std::uint64_t
+freeAlignedBlocks(const PhysMem &mem, Pfn lo, Pfn hi, unsigned order)
+{
+    return mem.stats().freeAlignedBlocks(lo, hi, order);
+}
+
+double
+freeContiguityFraction(const PhysMem &mem, Pfn lo, Pfn hi,
+                       unsigned order)
+{
+    return mem.stats().freeContiguityFraction(lo, hi, order);
+}
+
+double
+unmovableBlockFraction(const PhysMem &mem, Pfn lo, Pfn hi,
+                       unsigned order)
+{
+    return mem.stats().unmovableBlockFraction(lo, hi, order);
+}
+
+double
+potentialContiguityFraction(const PhysMem &mem, Pfn lo, Pfn hi,
+                            unsigned order)
+{
+    return mem.stats().potentialContiguityFraction(lo, hi, order);
+}
+
+double
+unmovablePageRatio(const PhysMem &mem, Pfn lo, Pfn hi)
+{
+    return mem.stats().unmovablePageRatio(lo, hi);
+}
+
+std::array<std::uint64_t, numAllocSources>
+unmovableBySource(const PhysMem &mem, Pfn lo, Pfn hi)
+{
+    return mem.stats().unmovableBySource(lo, hi);
+}
+
+double
+meanFreeShareOfUnmovableBlocks(const PhysMem &mem, Pfn lo, Pfn hi)
+{
+    return mem.stats().meanFreeShareOfUnmovableBlocks(lo, hi);
 }
 
 } // namespace scan

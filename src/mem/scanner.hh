@@ -1,10 +1,14 @@
 /**
  * @file
  * Physical-memory scans reproducing the paper's measurement
- * methodology (Sections 2.4, 2.5, 5.2): full scans of a server's
- * frame array computing contiguity availability, unmovable-block
- * contamination, potential post-compaction contiguity, and the
- * per-source unmovable breakdown.
+ * methodology (Sections 2.4, 2.5, 5.2).
+ *
+ * The loop implementations now live in scan::reference: full O(n)
+ * passes over the frame array that serve as the ground truth the
+ * incremental ContigIndex is audited against. The top-level scan::*
+ * entry points are deprecated thin wrappers over the MemStats facade
+ * (PhysMem::stats()), kept so existing benches and tests compile;
+ * new code should use MemStats directly.
  */
 
 #ifndef CTG_MEM_SCANNER_HH
@@ -26,6 +30,36 @@ constexpr unsigned order2M = hugeOrder;       // 9
 constexpr unsigned order4M = hugeOrder + 1;   // 10
 constexpr unsigned order32M = hugeOrder + 4;  // 13
 constexpr unsigned order1G = gigaOrder;       // 18
+
+/**
+ * Slow reference path: full frame-array scans, independent of the
+ * ContigIndex. Used by the auditor cross-check, the bit-identity
+ * tests, and as the fallback when index reads are disabled.
+ */
+namespace reference
+{
+
+std::uint64_t freePages(const PhysMem &mem, Pfn lo, Pfn hi);
+double freeContiguityFraction(const PhysMem &mem, Pfn lo, Pfn hi,
+                              unsigned order);
+std::uint64_t freeAlignedBlocks(const PhysMem &mem, Pfn lo, Pfn hi,
+                                unsigned order);
+/** Count of aligned blocks containing >= 1 unmovable page. */
+std::uint64_t unmovableAlignedBlocks(const PhysMem &mem, Pfn lo,
+                                     Pfn hi, unsigned order);
+double unmovableBlockFraction(const PhysMem &mem, Pfn lo, Pfn hi,
+                              unsigned order);
+double potentialContiguityFraction(const PhysMem &mem, Pfn lo, Pfn hi,
+                                   unsigned order);
+double unmovablePageRatio(const PhysMem &mem, Pfn lo, Pfn hi);
+std::array<std::uint64_t, numAllocSources>
+unmovableBySource(const PhysMem &mem, Pfn lo, Pfn hi);
+double meanFreeShareOfUnmovableBlocks(const PhysMem &mem, Pfn lo,
+                                      Pfn hi);
+
+} // namespace reference
+
+/** @{ Deprecated wrappers — use PhysMem::stats() (MemStats). */
 
 /** Number of free 4 KB frames in [lo, hi). */
 std::uint64_t freePages(const PhysMem &mem, Pfn lo, Pfn hi);
@@ -72,6 +106,8 @@ unmovableBySource(const PhysMem &mem, Pfn lo, Pfn hi);
  */
 double meanFreeShareOfUnmovableBlocks(const PhysMem &mem, Pfn lo,
                                       Pfn hi);
+
+/** @} */
 
 } // namespace scan
 } // namespace ctg

@@ -1,12 +1,12 @@
 #include "sim/executor.hh"
 
-#include <cstdlib>
 #include <deque>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "base/env_config.hh"
 #include "base/logging.hh"
 
 namespace ctg
@@ -15,13 +15,9 @@ namespace ctg
 unsigned
 Executor::defaultThreads()
 {
-    if (const char *env = std::getenv("CTG_THREADS")) {
-        char *end = nullptr;
-        const unsigned long parsed = std::strtoul(env, &end, 10);
-        if (end != env && *end == '\0' && parsed >= 1)
-            return static_cast<unsigned>(parsed);
-        warn_once("ignoring malformed CTG_THREADS '%s'", env);
-    }
+    const unsigned env_threads = sim::EnvConfig::fromEnv().threads;
+    if (env_threads >= 1)
+        return env_threads;
     const unsigned hw = std::thread::hardware_concurrency();
     return hw >= 1 ? hw : 1;
 }

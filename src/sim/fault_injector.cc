@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "base/env_config.hh"
 #include "base/logging.hh"
 
 namespace ctg
@@ -274,19 +275,12 @@ faultInjector()
     if (tlsInjector != nullptr)
         return *tlsInjector;
     static FaultInjector *injector = [] {
-        std::uint64_t seed = FaultInjector::defaultSeed;
-        if (const char *env = std::getenv("CTG_FAULTS_SEED")) {
-            char *end = nullptr;
-            const std::uint64_t parsed =
-                std::strtoull(env, &end, 0);
-            if (end != env && *end == '\0')
-                seed = parsed;
-            else
-                warn("ignoring malformed CTG_FAULTS_SEED '%s'", env);
-        }
-        auto *inj = new FaultInjector(seed);
-        if (const char *spec = std::getenv("CTG_FAULTS"))
-            inj->configure(spec);
+        const sim::EnvConfig env = sim::EnvConfig::fromEnv();
+        auto *inj = new FaultInjector(env.hasFaultSeed
+                                          ? env.faultSeed
+                                          : FaultInjector::defaultSeed);
+        if (!env.faultSpec.empty())
+            inj->configure(env.faultSpec.c_str());
         return inj;
     }();
     return *injector;

@@ -27,6 +27,8 @@
 #include "hw/system.hh"
 #include "kernel/migrate.hh"
 #include "mem/auditor.hh"
+#include "mem/contig_index.hh"
+#include "mem/scanner.hh"
 #include "sim/fault_injector.hh"
 
 namespace ctg
@@ -506,7 +508,7 @@ TEST_F(RegionChaosTest, PinnedBorderShrinkRetriesWithBackoff)
         OwnerRegistry::makeOwner(cid, tag), AddrPref::High);
     ASSERT_NE(page, invalidPfn);
     owner.where[tag] = page;
-    mem.frame(page).setPinned(true);
+    mem.setRangePinned(page, page + 1, true);
 
     const Pfn before = regions->boundary();
     EXPECT_EQ(regions->shrinkUnmovable((8_MiB) / pageBytes), 0u);
@@ -530,7 +532,7 @@ TEST_F(RegionChaosTest, PinnedBorderShrinkRetriesWithBackoff)
 
     // Unpin; the next retry fires only after the doubled (4-pump)
     // backoff and then succeeds.
-    mem.frame(page).setPinned(false);
+    mem.setRangePinned(page, page + 1, false);
     for (int i = 0; i < 4; ++i)
         EXPECT_EQ(regions->pumpDeferredResizes(), 0u);
     EXPECT_GT(regions->pumpDeferredResizes(), 0u);
@@ -784,6 +786,41 @@ TEST_F(ChaosTest, VanillaFleetSurvivesInjectedFaults)
     EXPECT_GT(scan.freePages, 0u);
     EXPECT_EQ(server.auditor()->stats().violations, 0u);
     EXPECT_GT(faultInjector().totalFires(), 0u);
+}
+
+/**
+ * ContigIndex exactness under maximal chaos: EVERY fault site armed,
+ * Contiguitas server (region resizes, migrations, confinement) with
+ * the step audit on — audit() cross-checks the index against a
+ * reference full scan after pretreatment and every workload step, so
+ * any fault-injected rollback that left the index stale panics the
+ * run. A final explicit comparison covers the post-run state too.
+ */
+TEST_F(ChaosTest, ContigIndexStaysExactWithEveryFaultSiteArmed)
+{
+    FaultInjector &inj = faultInjector();
+    for (unsigned i = 0; i < numFaultSites; ++i)
+        inj.arm(static_cast<FaultSite>(i), FaultSpec::chance(0.02));
+
+    Server server(chaosServer(true));
+    server.enableStepAudit();
+    server.run();
+    EXPECT_EQ(server.auditor()->stats().violations, 0u);
+    EXPECT_GT(inj.totalFires(), 0u);
+
+    const PhysMem &mem = server.kernel().mem();
+    const ContigIndex &idx = mem.contigIndex();
+    EXPECT_EQ(idx.freePages(),
+              scan::reference::freePages(mem, 0, mem.numFrames()));
+    for (const unsigned order :
+         {scan::order2M, scan::order32M, scan::order1G}) {
+        EXPECT_EQ(idx.fullyFreeBlocks(order),
+                  scan::reference::freeAlignedBlocks(
+                      mem, 0, mem.numFrames(), order));
+        EXPECT_EQ(idx.taintedBlocks(order),
+                  scan::reference::unmovableAlignedBlocks(
+                      mem, 0, mem.numFrames(), order));
+    }
 }
 
 TEST_F(ChaosTest, ChaosRunsReplayBitIdentically)

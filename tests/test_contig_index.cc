@@ -1,0 +1,286 @@
+/**
+ * @file
+ * ContigIndex exactness properties: after ANY sequence of allocator
+ * operations, every index counter must equal a fresh full scan of
+ * the frame array (scan::reference), and the MemStats index read
+ * path must be bit-identical to the reference read path — including
+ * every double-valued metric (DESIGN.md §11).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "base/rng.hh"
+#include "base/units.hh"
+#include "fleet/fleet.hh"
+#include "mem/buddy.hh"
+#include "mem/contig_index.hh"
+#include "mem/mem_stats.hh"
+#include "mem/scanner.hh"
+
+namespace ctg
+{
+namespace
+{
+
+/** Orders checked against the reference scanner (order1G included:
+ * trivially zero blocks on small rigs, exercised on the 1 GiB rig).
+ */
+constexpr unsigned checkOrders[] = {1, scan::order2M, scan::order4M,
+                                    scan::order32M, scan::order1G};
+
+/** Frame-walk ground truth independent of both the index and the
+ * reference scanner's own arithmetic. */
+struct WalkCounts
+{
+    std::uint64_t free = 0;
+    std::uint64_t unmovable = 0;
+    std::uint64_t pinned = 0;
+};
+
+WalkCounts
+walkFrames(const PhysMem &mem)
+{
+    WalkCounts counts;
+    for (Pfn p = 0; p < mem.numFrames(); ++p) {
+        const PageFrame &f = mem.frame(p);
+        counts.free += f.isFree();
+        counts.unmovable += f.isUnmovableAllocation();
+        counts.pinned += !f.isFree() && f.isPinned();
+    }
+    return counts;
+}
+
+/** Every index counter and every MemStats index read must equal the
+ * reference scan of the current frame array — exactly. */
+void
+expectIndexExact(const PhysMem &mem, Rng &rng)
+{
+    ASSERT_TRUE(mem.contigIndexReads());
+    const ContigIndex &idx = mem.contigIndex();
+    const Pfn n = mem.numFrames();
+
+    const WalkCounts truth = walkFrames(mem);
+    EXPECT_EQ(idx.freePages(), truth.free);
+    EXPECT_EQ(idx.unmovablePages(), truth.unmovable);
+    EXPECT_EQ(idx.pinnedPages(), truth.pinned);
+    EXPECT_EQ(idx.freePages(), scan::reference::freePages(mem, 0, n));
+    EXPECT_EQ(idx.unmovableBySource(),
+              scan::reference::unmovableBySource(mem, 0, n));
+
+    for (const unsigned order : checkOrders) {
+        EXPECT_EQ(idx.fullyFreeBlocks(order),
+                  scan::reference::freeAlignedBlocks(mem, 0, n, order))
+            << "order " << order;
+        EXPECT_EQ(
+            idx.taintedBlocks(order),
+            scan::reference::unmovableAlignedBlocks(mem, 0, n, order))
+            << "order " << order;
+    }
+
+    // The double-valued metrics must be bit-identical, not just
+    // close: the index path reproduces the reference arithmetic from
+    // identical integer counts.
+    const MemStats stats = mem.stats();
+    EXPECT_EQ(stats.unmovablePageRatio(),
+              scan::reference::unmovablePageRatio(mem, 0, n));
+    EXPECT_EQ(stats.meanFreeShareOfUnmovableBlocks(),
+              scan::reference::meanFreeShareOfUnmovableBlocks(mem, 0,
+                                                              n));
+    for (const unsigned order : checkOrders) {
+        EXPECT_EQ(
+            stats.freeContiguityFraction(order),
+            scan::reference::freeContiguityFraction(mem, 0, n, order))
+            << "order " << order;
+        EXPECT_EQ(
+            stats.unmovableBlockFraction(order),
+            scan::reference::unmovableBlockFraction(mem, 0, n, order))
+            << "order " << order;
+        EXPECT_EQ(stats.potentialContiguityFraction(order),
+                  scan::reference::potentialContiguityFraction(
+                      mem, 0, n, order))
+            << "order " << order;
+    }
+
+    // A random order-aligned subrange, through the range queries.
+    const unsigned order =
+        checkOrders[rng.below(std::size(checkOrders))];
+    const Pfn span = Pfn{1} << order;
+    if (n >= span) {
+        const Pfn blocks = n >> order;
+        const Pfn lo = rng.below(blocks) << order;
+        const Pfn hi = (rng.range(lo >> order, blocks - 1) + 1)
+                       << order;
+        EXPECT_EQ(idx.freePagesIn(lo, hi),
+                  scan::reference::freePages(mem, lo, hi));
+        EXPECT_EQ(idx.fullyFreeBlocksIn(lo, hi, order),
+                  scan::reference::freeAlignedBlocks(mem, lo, hi,
+                                                     order));
+        EXPECT_EQ(idx.taintedBlocksIn(lo, hi, order),
+                  scan::reference::unmovableAlignedBlocks(mem, lo, hi,
+                                                          order));
+    }
+}
+
+MigrateType
+randomMt(Rng &rng)
+{
+    switch (rng.below(3)) {
+      case 0:
+        return MigrateType::Movable;
+      case 1:
+        return MigrateType::Unmovable;
+      default:
+        return MigrateType::Reclaimable;
+    }
+}
+
+AllocSource
+randomSource(Rng &rng)
+{
+    return static_cast<AllocSource>(rng.below(numAllocSources));
+}
+
+TEST(ContigIndexProperty, RandomAllocFreePinSequencesStayExact)
+{
+    PhysMem mem(64_MiB);
+    BuddyAllocator buddy(mem, 0, mem.numFrames(), "prop");
+    Rng rng(0xc0117);
+
+    struct Live
+    {
+        Pfn head;
+        unsigned order;
+        bool pinned;
+    };
+    std::vector<Live> live;
+
+    for (int step = 0; step < 400; ++step) {
+        const unsigned op = rng.below(100);
+        if (op < 45) {
+            const unsigned order = rng.below(5);
+            const Pfn head = buddy.allocPages(order, randomMt(rng),
+                                              randomSource(rng));
+            if (head != invalidPfn)
+                live.push_back({head, order, false});
+        } else if (op < 75 && !live.empty()) {
+            const std::size_t victim = rng.below(live.size());
+            Live block = live[victim];
+            live.erase(live.begin() + victim);
+            if (block.pinned) {
+                mem.setRangePinned(
+                    block.head,
+                    block.head + (Pfn{1} << block.order), false);
+            }
+            buddy.freePages(block.head);
+        } else if (op < 90 && !live.empty()) {
+            Live &block = live[rng.below(live.size())];
+            block.pinned = !block.pinned;
+            mem.setRangePinned(block.head,
+                               block.head + (Pfn{1} << block.order),
+                               block.pinned);
+        } else if (!live.empty()) {
+            const Live &block = live[rng.below(live.size())];
+            mem.setBlockPinned(block.head, rng.chance(0.5));
+            // Reflect the pin bit so the eventual free unpins it.
+            Live &entry =
+                *std::find_if(live.begin(), live.end(),
+                              [&](const Live &l) {
+                                  return l.head == block.head;
+                              });
+            entry.pinned = mem.frame(entry.head).isPinned();
+        }
+        if (step % 4 == 0)
+            expectIndexExact(mem, rng);
+        if (::testing::Test::HasFailure())
+            FAIL() << "diverged at step " << step;
+    }
+    expectIndexExact(mem, rng);
+}
+
+TEST(ContigIndexProperty, GiganticAndRangeOpsStayExact)
+{
+    PhysMem mem(1_GiB);
+    BuddyAllocator buddy(mem, 0, mem.numFrames(), "giga");
+    Rng rng(0x916a);
+
+    // Fragment a little first so gigantic allocation has to work.
+    std::vector<Pfn> singles;
+    for (int i = 0; i < 200; ++i) {
+        const Pfn p = buddy.allocPages(rng.below(4), randomMt(rng),
+                                       randomSource(rng));
+        if (p != invalidPfn)
+            singles.push_back(p);
+    }
+    expectIndexExact(mem, rng);
+
+    const Pfn giant =
+        buddy.allocGigantic(MigrateType::Unmovable, AllocSource::User);
+    if (giant != invalidPfn)
+        expectIndexExact(mem, rng);
+
+    // Region-resize style ops: isolate, detach, re-attach a 32 MB
+    // aligned window at the top of memory.
+    const Pfn span = Pfn{1} << scan::order32M;
+    const Pfn lo = mem.numFrames() - span;
+    const Pfn hi = mem.numFrames();
+    if (buddy.rangeFullyFree(lo, hi)) {
+        buddy.isolateRange(lo, hi);
+        expectIndexExact(mem, rng);
+        buddy.detachRange(lo, hi);
+        expectIndexExact(mem, rng);
+        buddy.attachRange(lo, hi, MigrateType::Movable);
+        expectIndexExact(mem, rng);
+    }
+
+    if (giant != invalidPfn) {
+        buddy.freePages(giant);
+        expectIndexExact(mem, rng);
+    }
+    for (const Pfn p : singles)
+        buddy.freePages(p);
+    expectIndexExact(mem, rng);
+    EXPECT_EQ(mem.contigIndex().freePages(), mem.numFrames());
+}
+
+/** The read-path toggle must not change a single bit of any fleet
+ * study output, at any thread count (fig04/05/11/12 all consume
+ * ServerScan). */
+TEST(ContigIndexProperty, FleetScansBitIdenticalIndexOnVsOff)
+{
+    const auto runFleet = [](bool index_reads, unsigned threads) {
+        Fleet::Config config;
+        config.servers = 8;
+        config.memBytes = std::uint64_t{512} << 20;
+        config.minUptimeSec = 4.0;
+        config.maxUptimeSec = 10.0;
+        config.prefragmentFrac = 0.25;
+        config.seed = 0xb17;
+        config.threads = threads;
+        config.contigIndexReads = index_reads;
+        Fleet fleet(config);
+        return fleet.run();
+    };
+
+    const std::vector<ServerScan> baseline = runFleet(true, 1);
+    for (const unsigned threads : {1u, 4u, 8u}) {
+        for (const bool index_reads : {true, false}) {
+            const std::vector<ServerScan> scans =
+                runFleet(index_reads, threads);
+            ASSERT_EQ(scans.size(), baseline.size());
+            for (std::size_t i = 0; i < scans.size(); ++i) {
+                EXPECT_EQ(std::memcmp(&scans[i], &baseline[i],
+                                      sizeof(ServerScan)),
+                          0)
+                    << "server " << i << " threads " << threads
+                    << " index " << index_reads;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace ctg

@@ -184,7 +184,7 @@ TEST_F(RegionManagerTest, ShrinkBlockedByBusyIoPageAtBorder)
         OwnerRegistry::makeOwner(cid, 1), AddrPref::High);
     ASSERT_NE(page, invalidPfn);
     io.current = page;
-    mem.frame(page).setPinned(true);
+    mem.setRangePinned(page, page + 1, true);
     EXPECT_EQ(regions->shrinkUnmovable((8_MiB) / pageBytes), 0u);
     EXPECT_GT(regions->stats().shrinkFailures, 0u);
 
@@ -230,7 +230,7 @@ TEST_F(RegionManagerTest, HwHookReceivesMigrations)
         OwnerRegistry::makeOwner(cid, 1), AddrPref::High);
     ASSERT_NE(page, invalidPfn);
     io.current = page;
-    mem.frame(page).setPinned(true);
+    mem.setRangePinned(page, page + 1, true);
     ASSERT_GT(regions->shrinkUnmovable((8_MiB) / pageBytes), 0u);
     EXPECT_EQ(hook_calls, regions->stats().hwMigrations);
     EXPECT_GT(hook_calls, 0u);

@@ -74,7 +74,7 @@ TEST_P(RegionFuzz, InvariantsUnderRandomOps)
                 0, MigrateType::Unmovable, AllocSource::Networking,
                 OwnerRegistry::makeOwner(cid, tag), AddrPref::High);
             if (p != invalidPfn) {
-                mem.frame(p).setPinned(true);
+                mem.setRangePinned(p, p + 1, true);
                 io.where[tag] = p;
                 io_tags.push_back(tag);
             }

@@ -116,7 +116,7 @@ TEST_F(ScannerTest, PinnedMovablePageCountsAsUnmovable)
 {
     const Pfn p = buddy.allocPages(0, MigrateType::Movable,
                                    AllocSource::User);
-    mem.frame(p).setPinned(true);
+    mem.setRangePinned(p, p + 1, true);
     EXPECT_GT(scan::unmovablePageRatio(mem, 0, mem.numFrames()),
               0.0);
     EXPECT_GT(scan::unmovableBlockFraction(
@@ -127,11 +127,15 @@ TEST_F(ScannerTest, PinnedMovablePageCountsAsUnmovable)
 TEST_F(ScannerTest, SourceBreakdownMatchesAllocations)
 {
     auto net = fillPages(100, MigrateType::Unmovable);
-    for (const Pfn p : net)
+    for (const Pfn p : net) {
         mem.frame(p).source = AllocSource::Networking;
+        mem.noteFramesChanged(p, p + 1);
+    }
     auto slab = fillPages(50, MigrateType::Unmovable);
-    for (const Pfn p : slab)
+    for (const Pfn p : slab) {
         mem.frame(p).source = AllocSource::Slab;
+        mem.noteFramesChanged(p, p + 1);
+    }
 
     const auto counts =
         scan::unmovableBySource(mem, 0, mem.numFrames());
