@@ -14,6 +14,7 @@
 #include "base/units.hh"
 #include "contiguitas/policy.hh"
 #include "fleet/server.hh"
+#include "mem/mem_stats.hh"
 #include "mem/scanner.hh"
 
 using namespace ctg;
@@ -34,9 +35,9 @@ report(const char *act, Server &server)
         act,
         formatBytes((region.second - region.first) * pageBytes)
             .c_str(),
-        formatBytes(scan::freePages(mem, 0, n) * pageBytes).c_str(),
-        scan::unmovablePageRatio(mem, 0, n) * 100.0,
-        scan::potentialContiguityFraction(mem, region.second, n,
+        formatBytes(mem.stats().freePages(0, n) * pageBytes).c_str(),
+        mem.stats().unmovablePageRatio(0, n) * 100.0,
+        mem.stats().potentialContiguityFraction(region.second, n,
                                           scan::order2M) *
             100.0);
 }

@@ -79,6 +79,9 @@ EnvConfig::fromEnv()
     if (const char *env = std::getenv("CTG_CONTIG_INDEX"))
         config.contigIndexReads = parseBool(env);
 
+    if (const char *env = std::getenv("CTG_EXACT_PREF"))
+        config.exactPref = parseBool(env);
+
     return config;
 }
 

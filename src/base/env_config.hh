@@ -55,6 +55,12 @@ struct EnvConfig
      * legacy full-scan reference path). */
     bool contigIndexReads = true;
 
+    /** CTG_EXACT_PREF: AddrPref allocations pick the exact
+     * lowest/highest free block via an index descent instead of the
+     * capped free-list scan (default off — unlike CTG_CONTIG_INDEX
+     * this changes placement, so it is opt-in). */
+    bool exactPref = false;
+
     /** Parse the current environment. Malformed numeric values warn
      * and keep the default, matching the legacy per-site parsers. */
     static EnvConfig fromEnv();

@@ -62,6 +62,16 @@ constexpr std::size_t linesPerPage = pageBytes / lineBytes;
  * served by a dedicated contiguous-range search, as in Linux. */
 constexpr unsigned maxOrder = 10;
 
+/** Address preference for placement policies (Section 3.2: bias
+ * allocations away from the region border). Lives here rather than in
+ * mem/buddy.hh because the ContigIndex descent queries take it too. */
+enum class AddrPref : std::uint8_t
+{
+    None = 0, //!< take the first suitable block (Linux default)
+    Low = 1,  //!< prefer low PFNs (far end of a bottom region)
+    High = 2, //!< prefer high PFNs
+};
+
 /** Sentinel for "no page frame". */
 constexpr Pfn invalidPfn = ~Pfn{0};
 

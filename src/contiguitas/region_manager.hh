@@ -199,6 +199,13 @@ class RegionManager
     bool evacuateBlock(BuddyAllocator &alloc, Pfn head, Pfn range_lo,
                        Pfn range_hi, bool allow_hw);
 
+    /** Evacuate every allocated block out of the isolated range
+     * [lo, hi), hopping between allocated heads via the ContigIndex
+     * when index paths are on (DESIGN.md §12) and falling back to
+     * the linear frame walk otherwise.
+     * @return false as soon as one block cannot be moved. */
+    bool evacuateRange(BuddyAllocator &alloc, Pfn lo, Pfn hi);
+
     /** Forced migration of a block software cannot move. */
     bool hwMigrateBlock(BuddyAllocator &alloc, Pfn src, AddrPref pref,
                         Pfn *out_dst);

@@ -19,6 +19,8 @@ Fleet::Config::applyEnvOverlay()
         threads = env.threads;
     if (!contigIndexReads)
         contigIndexReads = env.contigIndexReads;
+    if (!exactPref)
+        exactPref = env.exactPref;
 }
 
 Fleet::Fleet(const Config &config)
@@ -84,6 +86,7 @@ Fleet::run()
         sc.prefragment = rng.chance(config_.prefragmentFrac);
         // Plain copy, not an RNG draw: must not perturb the stream.
         sc.contigIndexReads = config_.contigIndexReads;
+        sc.exactPref = config_.exactPref;
         sc.uptimeSec =
             config_.minUptimeSec +
             rng.uniform() * (config_.maxUptimeSec -

@@ -65,9 +65,13 @@ class Fleet
         /** Per-server ContigIndex read toggle, copied into every
          * Server::Config (nullopt = CTG_CONTIG_INDEX, default on). */
         std::optional<bool> contigIndexReads;
+        /** Per-server exact AddrPref toggle, copied into every
+         * Server::Config (nullopt = CTG_EXACT_PREF, default off). */
+        std::optional<bool> exactPref;
 
         /** Overlay environment-derived fields (sim::EnvConfig) onto
-         * any still-unset knobs (threads, contigIndexReads). */
+         * any still-unset knobs (threads, contigIndexReads,
+         * exactPref). */
         void applyEnvOverlay();
     };
 

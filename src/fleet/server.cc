@@ -18,6 +18,8 @@ Server::Config::applyEnvOverlay()
         contigIndexReads =
             sim::EnvConfig::fromEnv().contigIndexReads;
     }
+    if (!exactPref)
+        exactPref = sim::EnvConfig::fromEnv().exactPref;
 }
 
 WorkloadProfile
@@ -57,6 +59,8 @@ Server::Server(const Config &config)
 
     kernel_->mem().setContigIndexReads(config_.contigIndexReads.value_or(
         sim::EnvConfig::fromEnv().contigIndexReads));
+    kernel_->mem().setExactAddrPref(config_.exactPref.value_or(
+        sim::EnvConfig::fromEnv().exactPref));
 
     WorkloadProfile profile = scaleProfile(
         makeProfile(config_.kind, config_.memBytes),

@@ -75,6 +75,11 @@ class Server
          * The index is maintained either way; this only selects the
          * read path, and results are bit-identical. */
         std::optional<bool> contigIndexReads;
+        /** Exact index-backed AddrPref placement (nullopt defers to
+         * CTG_EXACT_PREF, default off). Unlike contigIndexReads this
+         * deliberately changes placement, so it is opt-in and has
+         * its own figure-regression check. */
+        std::optional<bool> exactPref;
 
         /** Overlay environment-derived fields (sim::EnvConfig) onto
          * any still-unset knobs. */

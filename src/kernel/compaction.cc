@@ -2,6 +2,7 @@
 
 #include "base/trace.hh"
 #include "kernel/migrate.hh"
+#include "mem/contig_index.hh"
 
 namespace ctg
 {
@@ -16,11 +17,61 @@ haveTargetBlock(const BuddyAllocator &alloc, unsigned target_order)
     return alloc.largestFreeOrder() >= static_cast<int>(target_order);
 }
 
-} // namespace
+/**
+ * Evacuate the movable allocations of one mixed pageblock into
+ * high-address free space (the free scanner analogue). Shared by the
+ * reference and index passes so the per-block behaviour is identical
+ * by construction.
+ */
+void
+evacuatePageblock(BuddyAllocator &alloc, const OwnerRegistry &registry,
+                  Pfn block, CompactionResult &result,
+                  std::uint64_t max_migrations)
+{
+    PhysMem &mem = alloc.mem();
+    for (Pfn pfn = block; pfn < block + pagesPerHuge;) {
+        const PageFrame &f = mem.frame(pfn);
+        const Pfn step = f.isHead() ? (Pfn{1} << f.order) : 1;
+        if (f.isFree() || !f.isHead() ||
+            f.isUnmovableAllocation() ||
+            f.migrateType != MigrateType::Movable) {
+            if (!f.isFree() && f.isHead() &&
+                f.isUnmovableAllocation()) {
+                ++result.skippedUnmovable;
+            }
+            pfn += step;
+            continue;
+        }
+        if (result.migrated >= max_migrations)
+            break;
+        Pfn dst = invalidPfn;
+        const MigrateResult mr = migrateBlock(
+            alloc, alloc, registry, pfn, AddrPref::High,
+            MigrateType::Movable, &dst);
+        switch (mr) {
+          case MigrateResult::Ok:
+            ++result.migrated;
+            break;
+          case MigrateResult::NoMemory:
+            ++result.failedNoMem;
+            break;
+          case MigrateResult::Unmovable:
+            ++result.skippedUnmovable;
+            break;
+        }
+        pfn += step;
+    }
+}
 
+/**
+ * Reference pass: walk every pageblock, classify it by touching all
+ * of its frames, evacuate the mixed ones. Kept as the ground truth
+ * the index pass must match bit for bit.
+ */
 CompactionResult
-compactRange(BuddyAllocator &alloc, const OwnerRegistry &registry,
-             Pfn lo, Pfn hi, std::uint64_t max_migrations)
+compactRangeReference(BuddyAllocator &alloc,
+                      const OwnerRegistry &registry, Pfn lo, Pfn hi,
+                      std::uint64_t max_migrations)
 {
     CompactionResult result;
     PhysMem &mem = alloc.mem();
@@ -50,41 +101,69 @@ compactRange(BuddyAllocator &alloc, const OwnerRegistry &registry,
         if (!has_free || !has_movable_alloc)
             continue;
 
-        // Evacuate the movable allocations of this pageblock into
-        // high-address free space (the free scanner analogue).
-        for (Pfn pfn = block; pfn < block + pagesPerHuge;) {
-            const PageFrame &f = mem.frame(pfn);
-            const Pfn step = f.isHead() ? (Pfn{1} << f.order) : 1;
-            if (f.isFree() || !f.isHead() ||
-                f.isUnmovableAllocation() ||
-                f.migrateType != MigrateType::Movable) {
-                if (!f.isFree() && f.isHead() &&
-                    f.isUnmovableAllocation()) {
-                    ++result.skippedUnmovable;
-                }
-                pfn += step;
-                continue;
-            }
-            if (result.migrated >= max_migrations)
-                break;
-            Pfn dst = invalidPfn;
-            const MigrateResult mr = migrateBlock(
-                alloc, alloc, registry, pfn, AddrPref::High,
-                MigrateType::Movable, &dst);
-            switch (mr) {
-              case MigrateResult::Ok:
-                ++result.migrated;
-                break;
-              case MigrateResult::NoMemory:
-                ++result.failedNoMem;
-                break;
-              case MigrateResult::Unmovable:
-                ++result.skippedUnmovable;
-                break;
-            }
-            pfn += step;
-        }
+        evacuatePageblock(alloc, registry, block, result,
+                          max_migrations);
     }
+    return result;
+}
+
+/**
+ * Index pass: jump straight between mixed pageblocks via
+ * ContigIndex::firstMixedBlock and count the taint of the skipped gap
+ * in bulk. The enumeration order and every counter match the
+ * reference walk exactly: gaps contain no migrations, so state when
+ * a block's taint is counted is the state the reference would see,
+ * and re-querying after each evacuation observes destination blocks
+ * the evacuation itself may have made mixed — just as the linear
+ * scanner encounters them (DESIGN.md §12).
+ */
+CompactionResult
+compactRangeIndexed(BuddyAllocator &alloc,
+                    const OwnerRegistry &registry, Pfn lo, Pfn hi,
+                    std::uint64_t max_migrations)
+{
+    CompactionResult result;
+    const ContigIndex &idx = alloc.mem().contigIndex();
+    // Blocks considered by the reference: base + pagesPerHuge <= hi.
+    const Pfn end =
+        lo + ((hi - lo) / pagesPerHuge) * pagesPerHuge;
+
+    Pfn block = lo;
+    while (block < end) {
+        if (result.migrated >= max_migrations)
+            break;
+        const Pfn next = idx.firstMixedBlock(block, end);
+        const Pfn gap_end = next == invalidPfn ? end : next;
+        // The reference classifies each non-mixed gap block only to
+        // count its taint; nothing mutates across the gap, so a bulk
+        // range count is identical.
+        result.blockedPageblocks +=
+            idx.taintedBlocksIn(block, gap_end, hugeOrder);
+        if (next == invalidPfn)
+            break;
+        if (idx.blockClass(next).unmovable > 0)
+            ++result.blockedPageblocks;
+        evacuatePageblock(alloc, registry, next, result,
+                          max_migrations);
+        block = next + pagesPerHuge;
+    }
+    return result;
+}
+
+} // namespace
+
+CompactionResult
+compactRange(BuddyAllocator &alloc, const OwnerRegistry &registry,
+             Pfn lo, Pfn hi, std::uint64_t max_migrations)
+{
+    PhysMem &mem = alloc.mem();
+    const bool indexed =
+        mem.contigIndexReads() && lo % pagesPerHuge == 0;
+    const CompactionResult result =
+        indexed ? compactRangeIndexed(alloc, registry, lo, hi,
+                                      max_migrations)
+                : compactRangeReference(alloc, registry, lo, hi,
+                                        max_migrations);
     CTG_DPRINTF(Compaction,
                 "range [%llu, %llu): migrated=%llu nomem=%llu "
                 "skipped=%llu blocked_pageblocks=%llu",
@@ -108,16 +187,47 @@ compactUntil(BuddyAllocator &alloc, const OwnerRegistry &registry,
         return total;
     }
 
+    PhysMem &mem = alloc.mem();
     // Run bounded passes; each pass re-walks because freed space
     // changes which pageblocks are mixed.
     std::uint64_t budget = max_migrations;
     for (int pass = 0; pass < 4 && budget > 0; ++pass) {
-        CompactionResult r = compactRange(alloc, registry,
-                                          alloc.startPfn(),
-                                          alloc.endPfn(), budget);
+        const Pfn lo = alloc.startPfn();
+        const Pfn hi = alloc.endPfn();
+        if (mem.contigIndexReads() && lo % pagesPerHuge == 0) {
+            // Index early-exit: no mixed pageblock means a pass
+            // cannot migrate anything — it would only recount the
+            // blocked snapshot, fail to reach the target, and stop.
+            // Reproduce exactly that (including the pass trace line)
+            // without walking.
+            const Pfn end =
+                lo + ((hi - lo) / pagesPerHuge) * pagesPerHuge;
+            const ContigIndex &idx = mem.contigIndex();
+            if (idx.mixedBlocksIn(lo, end) == 0) {
+                total.blockedPageblocks =
+                    idx.taintedBlocksIn(lo, end, hugeOrder);
+                CTG_DPRINTF(Compaction,
+                            "range [%llu, %llu): migrated=0 nomem=0 "
+                            "skipped=0 blocked_pageblocks=%llu",
+                            static_cast<unsigned long long>(lo),
+                            static_cast<unsigned long long>(hi),
+                            static_cast<unsigned long long>(
+                                total.blockedPageblocks));
+                if (haveTargetBlock(alloc, target_order))
+                    total.targetReached = true;
+                break;
+            }
+        }
+        CompactionResult r = compactRange(alloc, registry, lo, hi,
+                                          budget);
         total.migrated += r.migrated;
         total.failedNoMem += r.failedNoMem;
         total.skippedUnmovable += r.skippedUnmovable;
+        // Deliberately a final-pass *snapshot*, not a sum: passes
+        // revisit the same pageblocks, so accumulating would count
+        // each blocked pageblock once per pass. The last pass's
+        // count is the current number of blocked pageblocks in the
+        // zone (asserted by CompactUntilBlockedPageblocksIsSnapshot).
         total.blockedPageblocks = r.blockedPageblocks;
         budget -= std::min(budget, r.migrated);
         if (haveTargetBlock(alloc, target_order)) {

@@ -1,6 +1,7 @@
 #include "kernel/contig_alloc.hh"
 
 #include "kernel/migrate.hh"
+#include "mem/contig_index.hh"
 
 namespace ctg
 {
@@ -8,10 +9,13 @@ namespace ctg
 namespace
 {
 
-/** Does the window contain anything software cannot move? */
+/**
+ * Does the window contain anything software cannot move?
+ * Reference form: classify every frame.
+ */
 bool
-windowBlocked(const PhysMem &mem, Pfn lo, Pfn hi,
-              const OwnerRegistry &registry)
+windowBlockedReference(const PhysMem &mem, Pfn lo, Pfn hi,
+                       const OwnerRegistry &registry)
 {
     for (Pfn pfn = lo; pfn < hi; ++pfn) {
         const PageFrame &f = mem.frame(pfn);
@@ -23,6 +27,45 @@ windowBlocked(const PhysMem &mem, Pfn lo, Pfn hi,
             return true;
     }
     return false;
+}
+
+/**
+ * Index form: one subtree query answers the unmovable half; only the
+ * allocated heads (reached by index jumps over the free space) need
+ * an owner lookup. Same boolean as the reference — the predicate is
+ * an existence test, so enumeration shortcuts cannot change it.
+ */
+bool
+windowBlockedIndexed(const PhysMem &mem, Pfn lo, Pfn hi,
+                     const OwnerRegistry &registry)
+{
+    const ContigIndex &idx = mem.contigIndex();
+    if (idx.unmovablePagesIn(lo, hi) > 0)
+        return true;
+    for (Pfn pfn = idx.firstAllocatedFrame(lo, hi);
+         pfn != invalidPfn;) {
+        const PageFrame &f = mem.frame(pfn);
+        Pfn next;
+        if (f.isHead()) {
+            if (!registry.relocatable(f.owner))
+                return true;
+            next = pfn + (Pfn{1} << f.order);
+        } else {
+            next = pfn + 1;
+        }
+        pfn = next >= hi ? invalidPfn
+                         : idx.firstAllocatedFrame(next, hi);
+    }
+    return false;
+}
+
+bool
+windowBlocked(const PhysMem &mem, Pfn lo, Pfn hi,
+              const OwnerRegistry &registry)
+{
+    if (mem.contigIndexReads())
+        return windowBlockedIndexed(mem, lo, hi, registry);
+    return windowBlockedReference(mem, lo, hi, registry);
 }
 
 } // namespace
@@ -38,6 +81,7 @@ allocContigRange(BuddyAllocator &alloc, const OwnerRegistry &registry,
     // through normal compaction.
     ctg_assert(order == gigaOrder);
     PhysMem &mem = alloc.mem();
+    const bool indexed = mem.contigIndexReads();
     const Pfn span = Pfn{1} << order;
 
     const Pfn first =
@@ -52,8 +96,13 @@ allocContigRange(BuddyAllocator &alloc, const OwnerRegistry &registry,
         // Enough free space *outside* the window to absorb the
         // evacuees?
         std::uint64_t used = 0;
-        for (Pfn pfn = base; pfn < base + span; ++pfn)
-            used += !mem.frame(pfn).isFree();
+        if (indexed) {
+            used = span -
+                   mem.contigIndex().freePagesIn(base, base + span);
+        } else {
+            for (Pfn pfn = base; pfn < base + span; ++pfn)
+                used += !mem.frame(pfn).isFree();
+        }
         const std::uint64_t free_inside = span - used;
         const std::uint64_t free_total = alloc.freePageCount();
         if (free_total - free_inside < used + used / 16)
@@ -62,24 +111,53 @@ allocContigRange(BuddyAllocator &alloc, const OwnerRegistry &registry,
         alloc.isolateRange(base, base + span);
 
         bool ok = true;
-        for (Pfn pfn = base; pfn < base + span && ok;) {
-            const PageFrame &f = mem.frame(pfn);
-            if (f.isFree() || !f.isHead()) {
-                ++pfn;
-                continue;
+        if (indexed) {
+            // Jump between allocated heads instead of stepping over
+            // every free frame; each migration frees its source, so
+            // the next query sees exactly what the linear walk would.
+            const ContigIndex &idx = mem.contigIndex();
+            for (Pfn pfn = base; pfn < base + span && ok;) {
+                pfn = idx.firstAllocatedFrame(pfn, base + span);
+                if (pfn == invalidPfn)
+                    break;
+                const PageFrame &f = mem.frame(pfn);
+                if (!f.isHead()) {
+                    ++pfn;
+                    continue;
+                }
+                const Pfn step = Pfn{1} << f.order;
+                ++st.evacuations;
+                const MigrateResult r = migrateBlock(
+                    alloc, alloc, registry, pfn, AddrPref::None,
+                    MigrateType::Movable, nullptr,
+                    /*allow_fallback=*/true);
+                if (r != MigrateResult::Ok) {
+                    ++st.evacuationFailures;
+                    ok = false;
+                    break;
+                }
+                pfn += step;
             }
-            const Pfn step = Pfn{1} << f.order;
-            ++st.evacuations;
-            const MigrateResult r = migrateBlock(
-                alloc, alloc, registry, pfn, AddrPref::None,
-                MigrateType::Movable, nullptr,
-                /*allow_fallback=*/true);
-            if (r != MigrateResult::Ok) {
-                ++st.evacuationFailures;
-                ok = false;
-                break;
+        } else {
+            for (Pfn pfn = base; pfn < base + span && ok;) {
+                const PageFrame &f = mem.frame(pfn);
+                if (f.isFree() || !f.isHead()) {
+                    ++pfn;
+                    continue;
+                }
+                const Pfn step = Pfn{1} << f.order;
+                ++st.evacuations;
+                const MigrateResult r = migrateBlock(
+                    alloc, alloc, registry, pfn, AddrPref::None,
+                    MigrateType::Movable, nullptr,
+                    /*allow_fallback=*/true);
+                if (r != MigrateResult::Ok) {
+                    ++st.evacuationFailures;
+                    ok = false;
+                    break;
+                }
+                pfn += step;
             }
-            pfn += step;
         }
 
         if (!ok || !alloc.rangeFullyFree(base, base + span)) {

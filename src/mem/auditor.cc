@@ -257,6 +257,53 @@ MemAuditor::auditContigIndex(AuditReport &report) const
         mismatch("subrange free_pages", index.freePagesIn(lo, hi),
                  scan::reference::freePages(mem_, lo, hi));
     }
+
+    // Descent-query cross-check (DESIGN.md §12): the mixed-pageblock
+    // enumeration the compaction hot path relies on must agree with a
+    // reference classification of every pageblock, and the per-block
+    // class counts must re-derive from the frames.
+    std::uint64_t mixed_blocks = 0;
+    Pfn enumerated = index.firstMixedBlock(0, n);
+    for (Pfn block = 0; block < n; block += pagesPerHuge) {
+        const Pfn block_end = std::min<Pfn>(block + pagesPerHuge, n);
+        std::uint64_t b_free = 0, b_unmov = 0, b_pinned = 0;
+        for (Pfn pfn = block; pfn < block_end; ++pfn) {
+            const PageFrame &f = mem_.frame(pfn);
+            if (f.isFree())
+                ++b_free;
+            else if (f.isUnmovableAllocation())
+                ++b_unmov;
+            if (!f.isFree() && f.isPinned())
+                ++b_pinned;
+        }
+        const std::uint64_t b_movable =
+            (block_end - block) - b_free - b_unmov;
+        const ContigIndex::BlockClass cls = index.blockClass(block);
+        mismatch("blockClass.free", cls.free, b_free);
+        mismatch("blockClass.unmovable", cls.unmovable, b_unmov);
+        mismatch("blockClass.pinned", cls.pinned, b_pinned);
+        mismatch("blockClass.movableAlloc", cls.movableAlloc,
+                 b_movable);
+        if (b_free > 0 && b_movable > 0) {
+            ++mixed_blocks;
+            if (enumerated != block) {
+                report.violation(
+                    "contig index mixed-block enumeration yields "
+                    "%llu where reference scan sees mixed block %llu",
+                    static_cast<unsigned long long>(enumerated),
+                    static_cast<unsigned long long>(block));
+            }
+            if (enumerated != invalidPfn)
+                enumerated = index.nextMixedBlock(enumerated, n);
+        }
+    }
+    if (enumerated != invalidPfn) {
+        report.violation(
+            "contig index mixed-block enumeration continues at %llu "
+            "past the last reference mixed block",
+            static_cast<unsigned long long>(enumerated));
+    }
+    mismatch("mixed_blocks", index.mixedBlocksIn(0, n), mixed_blocks);
 }
 
 AuditReport

@@ -113,6 +113,15 @@ BuddyAllocator::popFree(MigrateType mt, unsigned order, AddrPref pref)
 
     Pfn best = cursor;
     if (pref != AddrPref::None) {
+        if (mem_.exactAddrPref() && mem_.contigIndexReads()) {
+            const Pfn exact = exactPrefBest(mt, order, pref);
+            if (exact != invalidPfn) {
+                removeFree(exact);
+                return exact;
+            }
+            // Defensive: the enumeration cannot miss a non-empty
+            // list, but fall through to the capped scan if it does.
+        }
         unsigned scanned = 0;
         for (std::uint32_t it = cursor;
              it != FrameArray::nil && scanned < prefScanCap_;
@@ -125,6 +134,57 @@ BuddyAllocator::popFree(MigrateType mt, unsigned order, AddrPref pref)
     }
     removeFree(best);
     return best;
+}
+
+Pfn
+BuddyAllocator::exactPrefBest(MigrateType mt, unsigned order,
+                              AddrPref pref) const
+{
+    // Candidates are the fully-free aligned order-blocks inside the
+    // coverage, enumerated from the preferred end. A candidate is a
+    // list entry exactly when its base is a free head of this order
+    // on this migratetype's list; other candidates are the interior
+    // or halves of differently-shaped free blocks and are skipped —
+    // by their containing block where it is known, else by one span.
+    const ContigIndex &idx = mem_.contigIndex();
+    const Pfn span = Pfn{1} << order;
+    Pfn lo = (start_ + span - 1) & ~(span - 1);
+    Pfn hi = end_ & ~(span - 1);
+    while (lo < hi) {
+        const Pfn base = idx.firstFullyFreeSpan(order, lo, hi, pref);
+        if (base == invalidPfn)
+            return invalidPfn;
+        const PageFrame &f = frames_.frame(base);
+        ctg_assert(f.isFree());
+        if (f.isHead() && f.order == order && f.migrateType == mt)
+            return base;
+        // Skip past the free block containing the candidate (the
+        // interior of a block holds no list heads). Free non-head
+        // frames do not record their block, but the head must sit at
+        // one of the coarser alignments of `base`.
+        Pfn skip_hi = base + span; // containing block unknown: 1 span
+        Pfn skip_lo = base;
+        if (f.isHead() && f.order > order) {
+            skip_lo = base;
+            skip_hi = base + (Pfn{1} << f.order);
+        } else if (!f.isHead()) {
+            for (unsigned o = order + 1; o <= maxOrder; ++o) {
+                const Pfn h = base & ~((Pfn{1} << o) - 1);
+                const PageFrame &g = frames_.frame(h);
+                if (g.isFree() && g.isHead() && g.order == o &&
+                    base < h + (Pfn{1} << o)) {
+                    skip_lo = h;
+                    skip_hi = h + (Pfn{1} << o);
+                    break;
+                }
+            }
+        }
+        if (pref == AddrPref::High)
+            hi = std::max(lo, skip_lo & ~(span - 1));
+        else
+            lo = (skip_hi + span - 1) & ~(span - 1);
+    }
+    return invalidPfn;
 }
 
 Pfn
@@ -302,6 +362,33 @@ BuddyAllocator::allocGigantic(MigrateType mt, AllocSource src,
 
     const Pfn span = pagesPerGiga;
     Pfn first = (start_ + span - 1) & ~(span - 1);
+    if (mem_.contigIndexReads()) {
+        // Index path: one descent finds the lowest fully-free aligned
+        // 1 GB range — the same candidate the linear scan below would
+        // settle on (both consider aligned bases low-to-high).
+        const Pfn base = mem_.contigIndex().firstFullyFreeSpan(
+            gigaOrder, start_, end_, AddrPref::None);
+        if (base != invalidPfn) {
+            for (Pfn pfn = base; pfn < base + span;) {
+                PageFrame &f = frames_.frame(pfn);
+                ctg_assert(f.isFree() && f.isHead());
+                const Pfn blk = Pfn{1} << f.order;
+                removeFree(pfn);
+                pfn += blk;
+            }
+            for (Pfn pfn = base; pfn < base + span;
+                 pfn += pagesPerHuge)
+                mem_.setBlockMt(pfn, mt);
+            markAllocated(base, gigaOrder, mt, src, owner);
+            ++stats_.giganticAllocs;
+            return base;
+        }
+        ++stats_.giganticFailures;
+        CTG_DPRINTF(Buddy,
+                    "%s: gigantic %s alloc found no free 1GB range",
+                    name_.c_str(), migrateTypeName(mt));
+        return invalidPfn;
+    }
     for (Pfn base = first; base + span <= end_; base += span) {
         if (!rangeFullyFree(base, base + span))
             continue;
@@ -367,6 +454,10 @@ bool
 BuddyAllocator::rangeFullyFree(Pfn lo, Pfn hi) const
 {
     ctg_assert(lo >= start_ && hi <= end_ && lo <= hi);
+    // The index counts free frames by the same isFree() predicate the
+    // walk below evaluates, so the answers are identical.
+    if (mem_.contigIndexReads())
+        return mem_.contigIndex().freePagesIn(lo, hi) == hi - lo;
     for (Pfn pfn = lo; pfn < hi; ++pfn) {
         if (!frames_.frame(pfn).isFree())
             return false;
@@ -473,16 +564,20 @@ BuddyAllocator::attachRange(Pfn lo, Pfn hi, MigrateType block_mt)
 {
     ctg_assert(lo % pagesPerHuge == 0 && hi % pagesPerHuge == 0);
     ctg_assert(hi == start_ || lo == end_ || start_ == end_);
-    for (Pfn pfn = lo; pfn < hi; ++pfn) {
-        PageFrame &f = frames_.frame(pfn);
-        ctg_assert(!f.isHead() || f.isFree());
-        f = PageFrame{};
-        f.setFree(true);
-    }
+    // detachRange's postcondition: every frame in the range is a
+    // plain free frame (fully free, list heads removed). The index
+    // is maintained unconditionally, so this holds in O(log n)
+    // instead of an O(range) walk.
+    ctg_assert(mem_.contigIndex().freePagesIn(lo, hi) == hi - lo);
+    // Stale allocation-era fields on those free frames are dead:
+    // every reader of a free frame's order/migrateType/owner is
+    // guarded by isHead(), and pushFree/markAllocated rewrite all
+    // fields before the next read. The leaf bits of a free frame are
+    // LeafFree regardless, so no resync is needed either — the
+    // handoff costs O(range / 2^maxOrder), not O(range).
     for (Pfn pfn = lo; pfn < hi; pfn += pagesPerHuge)
         mem_.setBlockMt(pfn, block_mt);
     freeRangeAsBlocks(lo, hi, block_mt);
-    mem_.noteFramesChanged(lo, hi);
     if (start_ == end_) {
         start_ = lo;
         end_ = hi;

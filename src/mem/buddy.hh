@@ -35,15 +35,6 @@
 namespace ctg
 {
 
-/** Address preference for placement policies (Section 3.2: bias
- * allocations away from the region border). */
-enum class AddrPref : std::uint8_t
-{
-    None = 0, //!< take the first suitable block (Linux default)
-    Low = 1,  //!< prefer low PFNs (far end of a bottom region)
-    High = 2, //!< prefer high PFNs
-};
-
 /**
  * Buddy allocator over [start, end) page frames of a PhysMem.
  */
@@ -115,7 +106,9 @@ class BuddyAllocator
     /**
      * Extend coverage with a pageblock-aligned range adjacent to the
      * current coverage; its frames are inserted as free blocks and the
-     * pageblocks retagged.
+     * pageblocks retagged. The range must be fully free with no
+     * free-list heads — detachRange's postcondition — which makes the
+     * handoff O(range / 2^maxOrder) rather than O(range).
      */
     void attachRange(Pfn lo, Pfn hi, MigrateType block_mt);
 
@@ -194,8 +187,19 @@ class BuddyAllocator
     void removeFree(Pfn head);
 
     /** Pop a block from (mt, order) honoring the address preference;
-     * scans at most prefScanCap list entries. */
+     * scans at most prefScanCap list entries — or, when
+     * PhysMem::exactAddrPref() is on, finds the exact extreme entry
+     * via an index descent. */
     Pfn popFree(MigrateType mt, unsigned order, AddrPref pref);
+
+    /** Exact lowest/highest-address (mt, order) free-list entry,
+     * found by enumerating fully-free aligned order-blocks from the
+     * preferred end of the coverage through the ContigIndex and
+     * checking each candidate's head frame. Returns invalidPfn only
+     * if the enumeration misses (callers fall back to the capped
+     * scan). */
+    Pfn exactPrefBest(MigrateType mt, unsigned order,
+                      AddrPref pref) const;
 
     /** Split a free block down to the target order, pushing tail
      * halves onto list_mt lists. */

@@ -32,7 +32,12 @@ ContigIndex::nodeFromLeaves(std::uint64_t index) const
         node.free += (bits & LeafFree) ? 1 : 0;
         node.unmov += (bits & LeafUnmovable) ? 1 : 0;
         node.pinned += (bits & LeafPinned) ? 1 : 0;
+        node.movableMt += (bits & LeafMovableMt) ? 1 : 0;
     }
+    // A level-1 node is a fully-free order-1 block only when both of
+    // its frames exist and are free; one free frame still yields a
+    // fully-free order-0 block.
+    node.maxFF = node.free == 2 ? 1 : (node.free == 1 ? 0 : -1);
     return node;
 }
 
@@ -43,11 +48,32 @@ ContigIndex::nodeFromChildren(unsigned level,
     const std::vector<Node> &children = levels_[level - 2];
     const std::uint64_t c0 = index << 1;
     Node node = children[c0];
+    std::int8_t child_max = children[c0].maxFF;
     if (c0 + 1 < children.size()) {
         const Node &c1 = children[c0 + 1];
         node.free += c1.free;
         node.unmov += c1.unmov;
         node.pinned += c1.pinned;
+        node.movableMt += c1.movableMt;
+        node.mixed += c1.mixed;
+        child_max = std::max(child_max, c1.maxFF);
+    }
+    const std::uint64_t span = std::uint64_t{1} << level;
+    // free == span implies the node covers span whole frames, so the
+    // in-machine check is implicit.
+    node.maxFF = node.free == span ? static_cast<std::int8_t>(level)
+                                   : child_max;
+    if (level == hugeOrder) {
+        // The pageblock level defines "mixed" from its own counts
+        // (children carry zero): some free space and some
+        // movable-allocated frames — the compactRange evacuation
+        // predicate, taint notwithstanding.
+        const std::uint64_t base = index << level;
+        const std::uint64_t coverage =
+            std::min<std::uint64_t>(span, n_ - base);
+        const std::uint64_t movable_alloc =
+            coverage - node.free - node.unmov;
+        node.mixed = (node.free > 0 && movable_alloc > 0) ? 1 : 0;
     }
     return node;
 }
@@ -246,6 +272,269 @@ ContigIndex::nodeUnmovablePages(unsigned order,
     ctg_assert(order >= 1 && order <= topLevel);
     ctg_assert(index < levels_[order - 1].size());
     return levels_[order - 1][index].unmov;
+}
+
+std::uint64_t
+ContigIndex::movableMtPagesIn(Pfn lo, Pfn hi) const
+{
+    ctg_assert(lo <= hi && hi <= n_);
+    std::uint64_t total = 0;
+    decompose(lo, hi, topLevel,
+              [&](unsigned level, std::uint64_t index) {
+                  total +=
+                      level == 0
+                          ? ((leaf_[index] & LeafMovableMt) ? 1 : 0)
+                          : levels_[level - 1][index].movableMt;
+              });
+    return total;
+}
+
+ContigIndex::BlockClass
+ContigIndex::blockClass(Pfn pfn) const
+{
+    ctg_assert(pfn < n_);
+    const std::uint64_t index = pfn >> hugeOrder;
+    const Node &node = levels_[hugeOrder - 1][index];
+    const std::uint64_t base = index << hugeOrder;
+    const std::uint32_t coverage = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(pagesPerHuge, n_ - base));
+    BlockClass cls;
+    cls.free = node.free;
+    cls.unmovable = node.unmov;
+    cls.pinned = node.pinned;
+    cls.movableAlloc = coverage - node.free - node.unmov;
+    return cls;
+}
+
+std::uint64_t
+ContigIndex::mixedBlocksIn(Pfn lo, Pfn hi) const
+{
+    ctg_assert(lo % pagesPerHuge == 0 && hi % pagesPerHuge == 0);
+    ctg_assert(lo <= hi && hi <= n_);
+    std::uint64_t total = 0;
+    decompose(lo, hi, topLevel,
+              [&](unsigned level, std::uint64_t index) {
+                  // Pageblock-aligned bounds decompose into blocks of
+                  // level >= hugeOrder, where `mixed` is meaningful.
+                  ctg_assert(level >= hugeOrder);
+                  total += levels_[level - 1][index].mixed;
+              });
+    return total;
+}
+
+Pfn
+ContigIndex::findMixedRec(unsigned level, std::uint64_t index, Pfn lo,
+                          Pfn hi) const
+{
+    const Pfn base = Pfn{index} << level;
+    const Pfn cover_end = std::min<Pfn>(base + (Pfn{1} << level), n_);
+    if (std::max(base, lo) >= std::min(cover_end, hi))
+        return invalidPfn;
+    const Node &node = levels_[level - 1][index];
+    if (node.mixed == 0)
+        return invalidPfn;
+    // With pageblock-aligned bounds, a level-hugeOrder node that
+    // intersects the range lies fully inside it.
+    if (level == hugeOrder)
+        return base;
+    const std::uint64_t c0 = index << 1;
+    const Pfn left = findMixedRec(level - 1, c0, lo, hi);
+    if (left != invalidPfn)
+        return left;
+    if (c0 + 1 < levels_[level - 2].size())
+        return findMixedRec(level - 1, c0 + 1, lo, hi);
+    return invalidPfn;
+}
+
+Pfn
+ContigIndex::firstMixedBlock(Pfn lo, Pfn hi) const
+{
+    ctg_assert(lo % pagesPerHuge == 0 && hi % pagesPerHuge == 0);
+    ctg_assert(lo <= hi && hi <= n_);
+    if (lo >= hi)
+        return invalidPfn;
+    const std::uint64_t t1 = (hi - 1) >> topLevel;
+    for (std::uint64_t ti = lo >> topLevel; ti <= t1; ++ti) {
+        const Pfn r = findMixedRec(topLevel, ti, lo, hi);
+        if (r != invalidPfn)
+            return r;
+    }
+    return invalidPfn;
+}
+
+Pfn
+ContigIndex::findSpanRec(unsigned level, std::uint64_t index, Pfn lo,
+                         Pfn hi, unsigned order, bool highest) const
+{
+    const Pfn base = Pfn{index} << level;
+    const Pfn cover_end = std::min<Pfn>(base + (Pfn{1} << level), n_);
+    if (std::max(base, lo) >= std::min(cover_end, hi))
+        return invalidPfn;
+    const Node &node = levels_[level - 1][index];
+    if (node.maxFF < static_cast<std::int8_t>(order))
+        return invalidPfn;
+    // At the target level, maxFF >= order means this very node is a
+    // fully-free aligned order-block; span-aligned bounds plus
+    // intersection guarantee it lies fully inside [lo, hi).
+    if (level == order)
+        return base;
+    const std::uint64_t c0 = index << 1;
+    const std::uint64_t kids[2] = {highest ? c0 + 1 : c0,
+                                   highest ? c0 : c0 + 1};
+    for (const std::uint64_t ci : kids) {
+        if (ci >= levels_[level - 2].size())
+            continue;
+        const Pfn r =
+            findSpanRec(level - 1, ci, lo, hi, order, highest);
+        if (r != invalidPfn)
+            return r;
+    }
+    return invalidPfn;
+}
+
+Pfn
+ContigIndex::firstFullyFreeSpan(unsigned order, Pfn lo, Pfn hi,
+                                AddrPref pref) const
+{
+    ctg_assert(order <= topLevel);
+    ctg_assert(lo <= hi && hi <= n_);
+    const Pfn span = Pfn{1} << order;
+    lo = (lo + span - 1) & ~(span - 1);
+    hi &= ~(span - 1);
+    if (lo >= hi)
+        return invalidPfn;
+    const bool highest = pref == AddrPref::High;
+    if (order == 0) {
+        return findFrame(
+            lo, hi, highest,
+            [](const Node &node, Pfn) { return node.free > 0; },
+            [](std::uint8_t bits) {
+                return (bits & LeafFree) != 0;
+            });
+    }
+    const std::uint64_t t0 = lo >> topLevel;
+    const std::uint64_t t1 = (hi - 1) >> topLevel;
+    if (!highest) {
+        for (std::uint64_t ti = t0; ti <= t1; ++ti) {
+            const Pfn r =
+                findSpanRec(topLevel, ti, lo, hi, order, false);
+            if (r != invalidPfn)
+                return r;
+        }
+    } else {
+        for (std::uint64_t ti = t1 + 1; ti > t0;) {
+            const Pfn r =
+                findSpanRec(topLevel, --ti, lo, hi, order, true);
+            if (r != invalidPfn)
+                return r;
+        }
+    }
+    return invalidPfn;
+}
+
+template <typename NodeHas, typename LeafHas>
+Pfn
+ContigIndex::findFrameRec(unsigned level, std::uint64_t index, Pfn lo,
+                          Pfn hi, bool highest,
+                          const NodeHas &nodeHas,
+                          const LeafHas &leafHas) const
+{
+    const Pfn base = Pfn{index} << level;
+    const Pfn cover_end = std::min<Pfn>(base + (Pfn{1} << level), n_);
+    const Pfn a = std::max(base, lo);
+    const Pfn b = std::min(cover_end, hi);
+    if (a >= b)
+        return invalidPfn;
+    const Node &node = levels_[level - 1][index];
+    if (!nodeHas(node, cover_end - base))
+        return invalidPfn;
+    if (level == 1) {
+        if (!highest) {
+            for (Pfn p = a; p < b; ++p) {
+                if (leafHas(leaf_[p]))
+                    return p;
+            }
+        } else {
+            for (Pfn p = b; p > a;) {
+                if (leafHas(leaf_[--p]))
+                    return p;
+            }
+        }
+        return invalidPfn;
+    }
+    const std::uint64_t c0 = index << 1;
+    const std::uint64_t kids[2] = {highest ? c0 + 1 : c0,
+                                   highest ? c0 : c0 + 1};
+    for (const std::uint64_t ci : kids) {
+        if (ci >= levels_[level - 2].size())
+            continue;
+        const Pfn r = findFrameRec(level - 1, ci, lo, hi, highest,
+                                   nodeHas, leafHas);
+        if (r != invalidPfn)
+            return r;
+    }
+    return invalidPfn;
+}
+
+template <typename NodeHas, typename LeafHas>
+Pfn
+ContigIndex::findFrame(Pfn lo, Pfn hi, bool highest,
+                       NodeHas &&nodeHas, LeafHas &&leafHas) const
+{
+    ctg_assert(lo <= hi && hi <= n_);
+    if (lo >= hi)
+        return invalidPfn;
+    const std::uint64_t t0 = lo >> topLevel;
+    const std::uint64_t t1 = (hi - 1) >> topLevel;
+    if (!highest) {
+        for (std::uint64_t ti = t0; ti <= t1; ++ti) {
+            const Pfn r = findFrameRec(topLevel, ti, lo, hi, false,
+                                       nodeHas, leafHas);
+            if (r != invalidPfn)
+                return r;
+        }
+    } else {
+        for (std::uint64_t ti = t1 + 1; ti > t0;) {
+            const Pfn r = findFrameRec(topLevel, --ti, lo, hi, true,
+                                       nodeHas, leafHas);
+            if (r != invalidPfn)
+                return r;
+        }
+    }
+    return invalidPfn;
+}
+
+Pfn
+ContigIndex::firstAllocatedFrame(Pfn lo, Pfn hi) const
+{
+    return findFrame(
+        lo, hi, /*highest=*/false,
+        [](const Node &node, Pfn coverage) {
+            return node.free < coverage;
+        },
+        [](std::uint8_t bits) { return (bits & LeafFree) == 0; });
+}
+
+Pfn
+ContigIndex::firstUnmovableFrame(Pfn lo, Pfn hi) const
+{
+    return findFrame(
+        lo, hi, /*highest=*/false,
+        [](const Node &node, Pfn) { return node.unmov > 0; },
+        [](std::uint8_t bits) {
+            return (bits & LeafUnmovable) != 0;
+        });
+}
+
+Pfn
+ContigIndex::firstMovableMtFrame(Pfn lo, Pfn hi) const
+{
+    return findFrame(
+        lo, hi, /*highest=*/false,
+        [](const Node &node, Pfn) { return node.movableMt > 0; },
+        [](std::uint8_t bits) {
+            return (bits & LeafMovableMt) != 0;
+        });
 }
 
 } // namespace ctg

@@ -26,6 +26,18 @@
  * Reads: whole-machine per-order queries are O(1) (the global
  * counters); arbitrary [lo, hi) ranges are answered from tree nodes
  * in O(range / 2^order + log n) without touching the frame array.
+ *
+ * Descent queries (DESIGN.md §12): beyond counting, the tree supports
+ * positional search — "first mixed pageblock at or after lo", "first
+ * (lowest or highest) fully-free aligned order-o block", "first
+ * allocated/unmovable/movable-migratetype frame" — by descending from
+ * the top level and pruning subtrees whose aggregates rule out a hit.
+ * Two extra per-node aggregates make the pruning exact: `mixed`
+ * counts compaction-worthy pageblocks (>= 1 free and >= 1
+ * movable-allocated frame) in the subtree, and `maxFF` is the largest
+ * order j such that the subtree contains a fully-free aligned order-j
+ * block. The mutation hot paths (compactRange, region resizing,
+ * findContigRange, exact-AddrPref popFree) are built on these.
  */
 
 #ifndef CTG_MEM_CONTIG_INDEX_HH
@@ -101,30 +113,112 @@ class ContigIndex
                                      std::uint64_t index) const;
     /** @} */
 
+    /** @{ Descent queries (DESIGN.md §12). All are exact against a
+     * fresh linear classification of the frame array; the mutation
+     * hot paths rely on that for bit-identity with the legacy
+     * walks. */
+
+    /** Per-frame classification counts of one pageblock, matching
+     * the compactRange classifier: every frame is exactly one of
+     * free, unmovable-allocation, or movable-allocation. pinned is a
+     * sub-count of unmovable (a pinned allocated frame is an
+     * unmovable allocation by definition). */
+    struct BlockClass
+    {
+        std::uint32_t free = 0;
+        std::uint32_t unmovable = 0;
+        std::uint32_t pinned = 0;
+        std::uint32_t movableAlloc = 0;
+    };
+
+    /** O(1): classify the pageblock containing pfn. */
+    BlockClass blockClass(Pfn pfn) const;
+
+    /** Lowest pageblock base in [lo, hi) with at least one free AND
+     * one movable-allocated frame (the blocks compaction evacuates;
+     * unmovable taint does not exclude a block, mirroring
+     * compactRange). lo and hi must be pageblock-aligned. Returns
+     * invalidPfn when none. O(log n). */
+    Pfn firstMixedBlock(Pfn lo, Pfn hi) const;
+
+    /** firstMixedBlock after the given block: searches
+     * [block + pagesPerHuge, hi). */
+    Pfn
+    nextMixedBlock(Pfn block, Pfn hi) const
+    {
+        const Pfn next = block + pagesPerHuge;
+        return next >= hi ? invalidPfn : firstMixedBlock(next, hi);
+    }
+
+    /** Count of mixed pageblocks in [lo, hi) (pageblock-aligned). */
+    std::uint64_t mixedBlocksIn(Pfn lo, Pfn hi) const;
+
+    /** Base of a fully-free aligned order-block within [lo, hi) —
+     * the lowest such base, or the highest when pref is
+     * AddrPref::High. lo is rounded up and hi down to order
+     * alignment first (the legacy scans consider exactly those
+     * candidates). Returns invalidPfn when none. O(log n). */
+    Pfn firstFullyFreeSpan(unsigned order, Pfn lo, Pfn hi,
+                           AddrPref pref = AddrPref::None) const;
+
+    /** Lowest allocated (non-free) frame in [lo, hi), or invalidPfn.
+     * O(log n); lets range walks jump over free space. */
+    Pfn firstAllocatedFrame(Pfn lo, Pfn hi) const;
+
+    /** Lowest frame in [lo, hi) that is an unmovable allocation. */
+    Pfn firstUnmovableFrame(Pfn lo, Pfn hi) const;
+
+    /** Lowest allocated frame in [lo, hi) whose migratetype is
+     * Movable (regardless of pin state — the region-confinement
+     * audit predicate, not the compaction one). */
+    Pfn firstMovableMtFrame(Pfn lo, Pfn hi) const;
+
+    /** Count of allocated Movable-migratetype frames in [lo, hi). */
+    std::uint64_t movableMtPagesIn(Pfn lo, Pfn hi) const;
+
+    /** @} */
+
     /** @{ Maintenance counters (observability). */
     std::uint64_t resyncCalls() const { return resyncCalls_; }
     std::uint64_t framesRescanned() const { return framesRescanned_; }
     /** @} */
 
   private:
-    /** Per-block occupancy counts of one tree node. */
+    /** Per-block occupancy counts and search aggregates of one tree
+     * node. The aggregates (mixed, maxFF) are derived bottom-up from
+     * the children, so the comparison must include them: two nodes
+     * with identical counts can differ in where the free frames sit,
+     * and the fold relies on operator== to know when a parent's
+     * aggregates may have moved. */
     struct Node
     {
         std::uint32_t free = 0;
         std::uint32_t unmov = 0;
         std::uint32_t pinned = 0;
+        /** Allocated frames with MigrateType::Movable (pin state
+         * ignored — the region-confinement predicate). */
+        std::uint32_t movableMt = 0;
+        /** Mixed pageblocks (>= 1 free, >= 1 movable-allocated
+         * frame) in the subtree. Zero below level hugeOrder. */
+        std::uint32_t mixed = 0;
+        /** Largest order j such that the subtree contains a
+         * fully-free aligned order-j block; -1 when no frame is
+         * free. */
+        std::int8_t maxFF = -1;
 
         bool
         operator==(const Node &o) const
         {
             return free == o.free && unmov == o.unmov &&
-                   pinned == o.pinned;
+                   pinned == o.pinned && movableMt == o.movableMt &&
+                   mixed == o.mixed && maxFF == o.maxFF;
         }
     };
 
     static constexpr std::uint8_t LeafFree = 1 << 0;
     static constexpr std::uint8_t LeafUnmovable = 1 << 1;
     static constexpr std::uint8_t LeafPinned = 1 << 2;
+    static constexpr std::uint8_t LeafMovableMt = 1 << 3;
 
     /** Leaf predicate bits of a frame, from the same predicates the
      * legacy scanners evaluate. */
@@ -138,6 +232,8 @@ class ContigIndex
             bits |= LeafUnmovable;
         if (!f.isFree() && f.isPinned())
             bits |= LeafPinned;
+        if (!f.isFree() && f.migrateType == MigrateType::Movable)
+            bits |= LeafMovableMt;
         return bits;
     }
 
@@ -145,6 +241,28 @@ class ContigIndex
     Node nodeFromLeaves(std::uint64_t index) const;
     /** Node at `level` >= 2 recomputed from its two children. */
     Node nodeFromChildren(unsigned level, std::uint64_t index) const;
+
+    /** Generic first/last-frame descent: nodeHas(node, coverage)
+     * says whether the subtree can contain a hit, leafHas(bits) tests
+     * one frame. Exact node predicates make the pruning lossless.
+     * Defined in the .cc (only instantiated there). */
+    template <typename NodeHas, typename LeafHas>
+    Pfn findFrame(Pfn lo, Pfn hi, bool highest, NodeHas &&nodeHas,
+                  LeafHas &&leafHas) const;
+    template <typename NodeHas, typename LeafHas>
+    Pfn findFrameRec(unsigned level, std::uint64_t index, Pfn lo,
+                     Pfn hi, bool highest, const NodeHas &nodeHas,
+                     const LeafHas &leafHas) const;
+
+    /** Subtree descent for firstMixedBlock (stops at level
+     * hugeOrder). */
+    Pfn findMixedRec(unsigned level, std::uint64_t index, Pfn lo,
+                     Pfn hi) const;
+
+    /** Subtree descent for firstFullyFreeSpan (stops at level
+     * `order`, pruning on maxFF). */
+    Pfn findSpanRec(unsigned level, std::uint64_t index, Pfn lo,
+                    Pfn hi, unsigned order, bool highest) const;
 
     /** True when the node covers only whole in-machine frames, i.e.
      * participates in the per-order global counters (mirrors the

@@ -1,7 +1,6 @@
 #include "mem/scanner.hh"
 
 #include "base/logging.hh"
-#include "mem/mem_stats.hh"
 
 namespace ctg
 {
@@ -194,62 +193,6 @@ meanFreeShareOfUnmovableBlocks(const PhysMem &mem, Pfn lo, Pfn hi)
 }
 
 } // namespace reference
-
-// ---------------------------------------------------------------
-// Deprecated wrappers: route through the MemStats facade, which
-// honours the PhysMem's index-reads toggle.
-// ---------------------------------------------------------------
-
-std::uint64_t
-freePages(const PhysMem &mem, Pfn lo, Pfn hi)
-{
-    return mem.stats().freePages(lo, hi);
-}
-
-std::uint64_t
-freeAlignedBlocks(const PhysMem &mem, Pfn lo, Pfn hi, unsigned order)
-{
-    return mem.stats().freeAlignedBlocks(lo, hi, order);
-}
-
-double
-freeContiguityFraction(const PhysMem &mem, Pfn lo, Pfn hi,
-                       unsigned order)
-{
-    return mem.stats().freeContiguityFraction(lo, hi, order);
-}
-
-double
-unmovableBlockFraction(const PhysMem &mem, Pfn lo, Pfn hi,
-                       unsigned order)
-{
-    return mem.stats().unmovableBlockFraction(lo, hi, order);
-}
-
-double
-potentialContiguityFraction(const PhysMem &mem, Pfn lo, Pfn hi,
-                            unsigned order)
-{
-    return mem.stats().potentialContiguityFraction(lo, hi, order);
-}
-
-double
-unmovablePageRatio(const PhysMem &mem, Pfn lo, Pfn hi)
-{
-    return mem.stats().unmovablePageRatio(lo, hi);
-}
-
-std::array<std::uint64_t, numAllocSources>
-unmovableBySource(const PhysMem &mem, Pfn lo, Pfn hi)
-{
-    return mem.stats().unmovableBySource(lo, hi);
-}
-
-double
-meanFreeShareOfUnmovableBlocks(const PhysMem &mem, Pfn lo, Pfn hi)
-{
-    return mem.stats().meanFreeShareOfUnmovableBlocks(lo, hi);
-}
 
 } // namespace scan
 } // namespace ctg

@@ -3,12 +3,11 @@
  * Physical-memory scans reproducing the paper's measurement
  * methodology (Sections 2.4, 2.5, 5.2).
  *
- * The loop implementations now live in scan::reference: full O(n)
- * passes over the frame array that serve as the ground truth the
- * incremental ContigIndex is audited against. The top-level scan::*
- * entry points are deprecated thin wrappers over the MemStats facade
- * (PhysMem::stats()), kept so existing benches and tests compile;
- * new code should use MemStats directly.
+ * The loop implementations live in scan::reference: full O(n) passes
+ * over the frame array that serve as the ground truth the incremental
+ * ContigIndex is audited against. Metric consumers use the MemStats
+ * facade (PhysMem::stats()) directly; the deprecated top-level scan::*
+ * wrappers have been removed.
  */
 
 #ifndef CTG_MEM_SCANNER_HH
@@ -58,56 +57,6 @@ double meanFreeShareOfUnmovableBlocks(const PhysMem &mem, Pfn lo,
                                       Pfn hi);
 
 } // namespace reference
-
-/** @{ Deprecated wrappers — use PhysMem::stats() (MemStats). */
-
-/** Number of free 4 KB frames in [lo, hi). */
-std::uint64_t freePages(const PhysMem &mem, Pfn lo, Pfn hi);
-
-/**
- * Figure 4 metric: fraction of *free memory* that sits inside
- * fully-free aligned blocks of the given order. 0 when no memory is
- * free.
- */
-double freeContiguityFraction(const PhysMem &mem, Pfn lo, Pfn hi,
-                              unsigned order);
-
-/** Count of fully-free aligned blocks of the given order. */
-std::uint64_t freeAlignedBlocks(const PhysMem &mem, Pfn lo, Pfn hi,
-                                unsigned order);
-
-/**
- * Figure 5 / Figure 11 metric: fraction of aligned blocks of the
- * given order that contain at least one unmovable page (kernel
- * migratetype or pinned).
- */
-double unmovableBlockFraction(const PhysMem &mem, Pfn lo, Pfn hi,
-                              unsigned order);
-
-/**
- * Figure 12 metric: fraction of total memory in aligned blocks
- * containing *no* unmovable page — the contiguity a perfect software
- * compaction could recover.
- */
-double potentialContiguityFraction(const PhysMem &mem, Pfn lo, Pfn hi,
-                                   unsigned order);
-
-/** Ratio of unmovable 4 KB pages to all pages (Section 2.5: 7.6%). */
-double unmovablePageRatio(const PhysMem &mem, Pfn lo, Pfn hi);
-
-/** Unmovable page counts keyed by AllocSource (Figure 6). */
-std::array<std::uint64_t, numAllocSources>
-unmovableBySource(const PhysMem &mem, Pfn lo, Pfn hi);
-
-/**
- * Section 5.2 internal-fragmentation metric: among 2 MB blocks that
- * contain at least one unmovable page in [lo, hi), the mean fraction
- * of *free* pages per block (paper: 22% inside the unmovable region).
- */
-double meanFreeShareOfUnmovableBlocks(const PhysMem &mem, Pfn lo,
-                                      Pfn hi);
-
-/** @} */
 
 } // namespace scan
 } // namespace ctg

@@ -13,6 +13,7 @@
 #include "base/rng.hh"
 #include "base/units.hh"
 #include "mem/buddy.hh"
+#include "mem/mem_stats.hh"
 #include "mem/physmem.hh"
 #include "mem/scanner.hh"
 
@@ -353,10 +354,10 @@ TEST(BuddyScattering, UnmovableAmplification)
     for (const Pfn p : movable)
         buddy.freePages(p);
 
-    const double page_ratio = scan::unmovablePageRatio(
-        mem, 0, mem.numFrames());
-    const double block_ratio = scan::unmovableBlockFraction(
-        mem, 0, mem.numFrames(), scan::order2M);
+    const double page_ratio = mem.stats().unmovablePageRatio(
+        0, mem.numFrames());
+    const double block_ratio = mem.stats().unmovableBlockFraction(
+        0, mem.numFrames(), scan::order2M);
     // Scattering amplification: the block-level contamination must
     // exceed the page-level ratio by a wide margin (paper: 7.6% of
     // pages contaminate 34% of 2 MB blocks, ~4.5x).

@@ -823,6 +823,26 @@ TEST_F(ChaosTest, ContigIndexStaysExactWithEveryFaultSiteArmed)
     }
 }
 
+/** The index-driven hot paths (compaction, region resizing, contig
+ * alloc) and the exact AddrPref descent must hold up with every
+ * fault site armed: the step audit cross-checks the descent queries
+ * against reference scans after each second of simulated load. */
+TEST_F(ChaosTest, IndexHotPathsSurviveEveryFaultSiteWithExactPref)
+{
+    FaultInjector &inj = faultInjector();
+    for (unsigned i = 0; i < numFaultSites; ++i)
+        inj.arm(static_cast<FaultSite>(i), FaultSpec::chance(0.02));
+
+    Server::Config config = chaosServer(true);
+    config.contigIndexReads = true;
+    config.exactPref = true;
+    Server server(config);
+    server.enableStepAudit();
+    server.run();
+    EXPECT_EQ(server.auditor()->stats().violations, 0u);
+    EXPECT_GT(inj.totalFires(), 0u);
+}
+
 TEST_F(ChaosTest, ChaosRunsReplayBitIdentically)
 {
     const auto once = [] {

@@ -125,6 +125,104 @@ expectIndexExact(const PhysMem &mem, Rng &rng)
     }
 }
 
+/**
+ * The descent queries (DESIGN.md §12) against a fresh linear
+ * classification of the frame array: every hot-path building block
+ * must agree with the walk it replaces.
+ */
+void
+expectDescentQueriesExact(const PhysMem &mem, Rng &rng)
+{
+    const ContigIndex &idx = mem.contigIndex();
+    const Pfn n = mem.numFrames();
+
+    // Per-pageblock classification and the mixed-block enumeration.
+    std::uint64_t mixed_blocks = 0;
+    Pfn enumerated = idx.firstMixedBlock(0, n);
+    for (Pfn block = 0; block < n; block += pagesPerHuge) {
+        std::uint64_t free = 0, unmov = 0, pinned = 0;
+        for (Pfn pfn = block; pfn < block + pagesPerHuge; ++pfn) {
+            const PageFrame &f = mem.frame(pfn);
+            free += f.isFree();
+            unmov += f.isUnmovableAllocation();
+            pinned += !f.isFree() && f.isPinned();
+        }
+        const std::uint64_t movable = pagesPerHuge - free - unmov;
+        const ContigIndex::BlockClass cls = idx.blockClass(block);
+        ASSERT_EQ(cls.free, free) << "block " << block;
+        ASSERT_EQ(cls.unmovable, unmov) << "block " << block;
+        ASSERT_EQ(cls.pinned, pinned) << "block " << block;
+        ASSERT_EQ(cls.movableAlloc, movable) << "block " << block;
+        if (free > 0 && movable > 0) {
+            ++mixed_blocks;
+            ASSERT_EQ(enumerated, block);
+            enumerated = idx.nextMixedBlock(enumerated, n);
+        }
+    }
+    ASSERT_EQ(enumerated, invalidPfn);
+    EXPECT_EQ(idx.mixedBlocksIn(0, n), mixed_blocks);
+
+    // First-frame queries on a random subrange, against linear
+    // search with the same predicates.
+    const Pfn lo = rng.below(n);
+    const Pfn hi = rng.range(lo, n - 1) + 1;
+    Pfn first_alloc = invalidPfn;
+    Pfn first_unmov = invalidPfn;
+    Pfn first_movmt = invalidPfn;
+    std::uint64_t movmt_pages = 0;
+    for (Pfn pfn = lo; pfn < hi; ++pfn) {
+        const PageFrame &f = mem.frame(pfn);
+        if (!f.isFree() && first_alloc == invalidPfn)
+            first_alloc = pfn;
+        if (f.isUnmovableAllocation() && first_unmov == invalidPfn)
+            first_unmov = pfn;
+        if (!f.isFree() && f.migrateType == MigrateType::Movable) {
+            if (first_movmt == invalidPfn)
+                first_movmt = pfn;
+            ++movmt_pages;
+        }
+    }
+    EXPECT_EQ(idx.firstAllocatedFrame(lo, hi), first_alloc);
+    EXPECT_EQ(idx.firstUnmovableFrame(lo, hi), first_unmov);
+    EXPECT_EQ(idx.firstMovableMtFrame(lo, hi), first_movmt);
+    EXPECT_EQ(idx.movableMtPagesIn(lo, hi), movmt_pages);
+
+    // Fully-free span search, both address preferences, against a
+    // linear scan over aligned candidates.
+    for (const unsigned order : checkOrders) {
+        const Pfn span = Pfn{1} << order;
+        const Pfn a = (lo + span - 1) & ~(span - 1);
+        const Pfn b = hi & ~(span - 1);
+        Pfn lowest = invalidPfn;
+        Pfn highest = invalidPfn;
+        for (Pfn base = a; base + span <= b; base += span) {
+            bool all_free = true;
+            for (Pfn pfn = base; pfn < base + span; ++pfn) {
+                if (!mem.frame(pfn).isFree()) {
+                    all_free = false;
+                    break;
+                }
+            }
+            if (all_free) {
+                if (lowest == invalidPfn)
+                    lowest = base;
+                highest = base;
+            }
+        }
+        EXPECT_EQ(idx.firstFullyFreeSpan(order, lo, hi,
+                                         AddrPref::None),
+                  lowest)
+            << "order " << order;
+        EXPECT_EQ(idx.firstFullyFreeSpan(order, lo, hi, AddrPref::Low),
+                  lowest)
+            << "order " << order;
+        EXPECT_EQ(idx.firstFullyFreeSpan(order, lo, hi,
+                                         AddrPref::High),
+                  highest)
+            << "order " << order;
+    }
+}
+
 MigrateType
 randomMt(Rng &rng)
 {
@@ -246,6 +344,99 @@ TEST(ContigIndexProperty, GiganticAndRangeOpsStayExact)
     EXPECT_EQ(mem.contigIndex().freePages(), mem.numFrames());
 }
 
+TEST(ContigIndexProperty, DescentQueriesMatchLinearClassification)
+{
+    PhysMem mem(64_MiB);
+    BuddyAllocator buddy(mem, 0, mem.numFrames(), "descent");
+    Rng rng(0xdec3);
+
+    struct Live
+    {
+        Pfn head;
+        unsigned order;
+        bool pinned;
+    };
+    std::vector<Live> live;
+
+    for (int step = 0; step < 300; ++step) {
+        const unsigned op = rng.below(100);
+        if (op < 50) {
+            const unsigned order = rng.below(6);
+            const Pfn head = buddy.allocPages(order, randomMt(rng),
+                                              randomSource(rng));
+            if (head != invalidPfn)
+                live.push_back({head, order, false});
+        } else if (op < 80 && !live.empty()) {
+            const std::size_t victim = rng.below(live.size());
+            Live block = live[victim];
+            live.erase(live.begin() + victim);
+            if (block.pinned) {
+                mem.setRangePinned(
+                    block.head,
+                    block.head + (Pfn{1} << block.order), false);
+            }
+            buddy.freePages(block.head);
+        } else if (!live.empty()) {
+            Live &block = live[rng.below(live.size())];
+            block.pinned = !block.pinned;
+            mem.setRangePinned(block.head,
+                               block.head + (Pfn{1} << block.order),
+                               block.pinned);
+        }
+        if (step % 10 == 0)
+            expectDescentQueriesExact(mem, rng);
+        if (::testing::Test::HasFailure())
+            FAIL() << "diverged at step " << step;
+    }
+    expectDescentQueriesExact(mem, rng);
+}
+
+/** Exact index-backed AddrPref placement must pick the same block an
+ * uncapped free-list scan would: both select the extreme-address
+ * entry of the (mt, order) list, so two machines driven by the same
+ * operation sequence stay bit-identical. */
+TEST(ContigIndexProperty, ExactPrefMatchesUncappedScan)
+{
+    PhysMem exact_mem(64_MiB);
+    PhysMem scan_mem(64_MiB);
+    BuddyAllocator exact_buddy(exact_mem, 0, exact_mem.numFrames(),
+                               "exact");
+    BuddyAllocator scan_buddy(scan_mem, 0, scan_mem.numFrames(),
+                              "scan");
+    exact_mem.setExactAddrPref(true);
+    // An effectively unbounded scan cap examines every list entry,
+    // so the capped scan also finds the true extreme.
+    scan_buddy.setPrefScanCap(1u << 30);
+
+    Rng rng(0xeac7);
+    std::vector<std::pair<Pfn, Pfn>> live; // exact head, scan head
+    for (int step = 0; step < 600; ++step) {
+        if (rng.below(100) < 60 || live.empty()) {
+            const unsigned order = rng.below(6);
+            const MigrateType mt = randomMt(rng);
+            const AllocSource src = randomSource(rng);
+            const AddrPref pref =
+                rng.below(2) ? AddrPref::Low : AddrPref::High;
+            const Pfn a = exact_buddy.allocPages(order, mt, src, 0,
+                                                 pref);
+            const Pfn b = scan_buddy.allocPages(order, mt, src, 0,
+                                                pref);
+            ASSERT_EQ(a, b) << "step " << step;
+            if (a != invalidPfn)
+                live.push_back({a, b});
+        } else {
+            const std::size_t victim = rng.below(live.size());
+            const auto [a, b] = live[victim];
+            live.erase(live.begin() + victim);
+            ASSERT_EQ(a, b);
+            exact_buddy.freePages(a);
+            scan_buddy.freePages(b);
+        }
+    }
+    EXPECT_EQ(exact_mem.contigIndex().freePages(),
+              scan_mem.contigIndex().freePages());
+}
+
 /** The read-path toggle must not change a single bit of any fleet
  * study output, at any thread count (fig04/05/11/12 all consume
  * ServerScan). */
@@ -259,6 +450,43 @@ TEST(ContigIndexProperty, FleetScansBitIdenticalIndexOnVsOff)
         config.maxUptimeSec = 10.0;
         config.prefragmentFrac = 0.25;
         config.seed = 0xb17;
+        config.threads = threads;
+        config.contigIndexReads = index_reads;
+        Fleet fleet(config);
+        return fleet.run();
+    };
+
+    const std::vector<ServerScan> baseline = runFleet(true, 1);
+    for (const unsigned threads : {1u, 4u, 8u}) {
+        for (const bool index_reads : {true, false}) {
+            const std::vector<ServerScan> scans =
+                runFleet(index_reads, threads);
+            ASSERT_EQ(scans.size(), baseline.size());
+            for (std::size_t i = 0; i < scans.size(); ++i) {
+                EXPECT_EQ(std::memcmp(&scans[i], &baseline[i],
+                                      sizeof(ServerScan)),
+                          0)
+                    << "server " << i << " threads " << threads
+                    << " index " << index_reads;
+            }
+        }
+    }
+}
+
+/** Same contract with Contiguitas enabled, which drives the
+ * index-rewritten region-resize, defrag, and contig-alloc hot paths
+ * on every server (DESIGN.md §12). */
+TEST(ContigIndexProperty, ContiguitasFleetBitIdenticalIndexOnVsOff)
+{
+    const auto runFleet = [](bool index_reads, unsigned threads) {
+        Fleet::Config config;
+        config.servers = 6;
+        config.memBytes = std::uint64_t{512} << 20;
+        config.contiguitas = true;
+        config.minUptimeSec = 4.0;
+        config.maxUptimeSec = 10.0;
+        config.prefragmentFrac = 0.25;
+        config.seed = 0xc716;
         config.threads = threads;
         config.contigIndexReads = index_reads;
         Fleet fleet(config);

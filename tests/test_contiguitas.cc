@@ -14,6 +14,7 @@
 #include "kernel/addrspace.hh"
 #include "kernel/netstack.hh"
 #include "kernel/slab.hh"
+#include "mem/mem_stats.hh"
 #include "mem/scanner.hh"
 
 namespace ctg
@@ -366,8 +367,8 @@ TEST_F(ContiguitasPolicyTest, MovableRegionHasGiganticContiguity)
     // With confinement, the movable region of a fresh kernel should
     // offer gigantic contiguity... on a 512 MiB machine no 1 GB
     // range exists, but 2 MB and 32 MB must be plentiful.
-    const double frac2m = scan::potentialContiguityFraction(
-        kernel.mem(), policy.regions().boundary(),
+    const double frac2m = kernel.mem().stats().potentialContiguityFraction(
+        policy.regions().boundary(),
         kernel.mem().numFrames(), scan::order2M);
     EXPECT_GT(frac2m, 0.95);
 }
@@ -382,8 +383,8 @@ TEST_F(ContiguitasPolicyTest, SlabChurnsStayConfined)
         slab.freeObject(objs[i]);
     policy.regions().checkConfinement();
     // Unmovable pages exist only below the boundary.
-    const double unmov_above = scan::unmovablePageRatio(
-        kernel.mem(), policy.regions().boundary(),
+    const double unmov_above = kernel.mem().stats().unmovablePageRatio(
+        policy.regions().boundary(),
         kernel.mem().numFrames());
     EXPECT_EQ(unmov_above, 0.0);
 }

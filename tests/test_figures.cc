@@ -158,5 +158,35 @@ TEST(FigureRegression, Fig04CdfsMonotoneAndBounded)
     }
 }
 
+// ---------------------------------------------------------------
+// CTG_EXACT_PREF: placement changes, figures must not regress
+// ---------------------------------------------------------------
+
+TEST(FigureRegression, ExactPrefKeepsConfinementDirection)
+{
+    // Exact index-backed AddrPref placement deliberately changes
+    // where blocks land (it strengthens the away-from-border bias),
+    // so it gets its own regression: the Figure 11 confinement
+    // direction must hold at least as well as with the capped scan.
+    Fleet::Config exact = figureFleet(true, 10);
+    exact.exactPref = true;
+    const auto exactScans = Fleet(exact).run();
+    const auto vanillaScans = Fleet(figureFleet(false, 10)).run();
+
+    std::vector<double> exactShare;
+    std::vector<double> vanillaShare;
+    for (const ServerScan &scan : exactScans)
+        exactShare.push_back(scan.unmovableBlocks[0]);
+    for (const ServerScan &scan : vanillaScans)
+        vanillaShare.push_back(scan.unmovableBlocks[0]);
+
+    const double exactMean = mean(exactShare);
+    const double vanillaMean = mean(vanillaShare);
+    EXPECT_LT(exactMean, 0.15)
+        << "exact AddrPref placement broke confinement";
+    EXPECT_GT(vanillaMean, 2.0 * exactMean)
+        << "confinement advantage collapsed under exact AddrPref";
+}
+
 } // namespace
 } // namespace ctg

@@ -16,6 +16,7 @@
 #include "kernel/pagetable.hh"
 #include "kernel/psi.hh"
 #include "kernel/slab.hh"
+#include "mem/mem_stats.hh"
 #include "mem/scanner.hh"
 
 namespace ctg
@@ -72,8 +73,8 @@ TEST(Psi, StallClampedToInterval)
 TEST(KernelFacade, BootPlacesKernelText)
 {
     Kernel kernel(smallConfig());
-    const auto counts = scan::unmovableBySource(
-        kernel.mem(), 0, kernel.mem().numFrames());
+    const auto counts = kernel.mem().stats().unmovableBySource(
+        0, kernel.mem().numFrames());
     const auto text_pages =
         counts[static_cast<unsigned>(AllocSource::KernelText)];
     EXPECT_EQ(text_pages, (4_MiB) / pageBytes);
@@ -219,14 +220,14 @@ TEST(PageTablesTest, GiganticLeaf)
 TEST(PageTablesTest, TablePagesAreUnmovableAllocations)
 {
     Kernel kernel(smallConfig());
-    const auto before = scan::unmovableBySource(
-        kernel.mem(), 0, kernel.mem().numFrames());
+    const auto before = kernel.mem().stats().unmovableBySource(
+        0, kernel.mem().numFrames());
     PageTables tables(kernel);
     // Map sparse addresses to force distinct table paths.
     for (Vpn vpn = 0; vpn < 8; ++vpn)
         ASSERT_TRUE(tables.map(vpn << 27, 1, 0));
-    const auto after = scan::unmovableBySource(
-        kernel.mem(), 0, kernel.mem().numFrames());
+    const auto after = kernel.mem().stats().unmovableBySource(
+        0, kernel.mem().numFrames());
     const auto idx = static_cast<unsigned>(AllocSource::PageTables);
     EXPECT_GT(after[idx], before[idx]);
     EXPECT_EQ(after[idx] - before[idx], tables.tablePages());
@@ -352,6 +353,59 @@ TEST(CompactionTest, UnmovablePageBlocksPageblock)
     kernel.freePages(p);
 }
 
+TEST(CompactionTest, CompactUntilBlockedPageblocksIsSnapshot)
+{
+    // THP would back the range with whole pageblocks (never mixed),
+    // leaving compaction nothing to migrate — use 4 KB pages.
+    KernelConfig kconfig = smallConfig();
+    kconfig.thpEnabled = false;
+    Kernel kernel(kconfig);
+    AddressSpace space(kernel, 1);
+
+    // Scatter some unmovable pages so pageblocks are blocked, then
+    // fragment movable memory so the first pass has real migrations
+    // and a second pass runs.
+    std::vector<Pfn> slabs;
+    for (int i = 0; i < 6; ++i) {
+        AllocRequest req;
+        req.order = 0;
+        req.mt = MigrateType::Unmovable;
+        req.source = AllocSource::Slab;
+        const Pfn p = kernel.allocPages(req);
+        ASSERT_NE(p, invalidPfn);
+        slabs.push_back(p);
+    }
+    const Addr base = space.mmap(48_MiB);
+    space.touchRange(base, 48_MiB);
+    space.releasePages((16_MiB) / pageBytes, kernel.rng());
+
+    BuddyAllocator &alloc = kernel.policy().movableAllocator();
+    // An order the buddy lists can never satisfy (> maxOrder), so
+    // compaction always runs its full multi-pass loop.
+    const CompactionResult total =
+        compactUntil(alloc, kernel.owners(), gigaOrder, 1u << 20);
+    EXPECT_GT(total.migrated, 0u);
+    EXPECT_FALSE(total.targetReached);
+
+    // blockedPageblocks is a final-pass *snapshot*: it must equal
+    // the number of pageblocks currently containing an unmovable
+    // page — not that count summed once per pass.
+    const Pfn lo = alloc.startPfn();
+    const Pfn hi =
+        lo + ((alloc.endPfn() - lo) / pagesPerHuge) * pagesPerHuge;
+    std::uint64_t tainted = 0;
+    for (Pfn block = lo; block < hi; block += pagesPerHuge) {
+        for (Pfn pfn = block; pfn < block + pagesPerHuge; ++pfn) {
+            if (kernel.mem().frame(pfn).isUnmovableAllocation()) {
+                ++tainted;
+                break;
+            }
+        }
+    }
+    EXPECT_GT(tainted, 0u);
+    EXPECT_EQ(total.blockedPageblocks, tainted);
+}
+
 TEST(ChurnPoolTest, SteadyStateMatchesLittlesLaw)
 {
     Kernel kernel(smallConfig());
@@ -378,8 +432,8 @@ TEST(NetStackTest, RingsAndSkbsAreNetworkingUnmovable)
     NetStack net(kernel, config, 3);
     net.start();
     net.advanceTo(5.0);
-    const auto counts = scan::unmovableBySource(
-        kernel.mem(), 0, kernel.mem().numFrames());
+    const auto counts = kernel.mem().stats().unmovableBySource(
+        0, kernel.mem().numFrames());
     const auto idx = static_cast<unsigned>(AllocSource::Networking);
     EXPECT_GT(counts[idx], 0u);
     EXPECT_GE(counts[idx], net.livePages() / 2);

@@ -8,6 +8,7 @@
 
 #include "base/units.hh"
 #include "mem/buddy.hh"
+#include "mem/mem_stats.hh"
 #include "mem/scanner.hh"
 
 namespace ctg
@@ -43,18 +44,18 @@ class ScannerTest : public ::testing::Test
 
 TEST_F(ScannerTest, EmptyMemoryIsFullyContiguous)
 {
-    EXPECT_DOUBLE_EQ(scan::freeContiguityFraction(
-                         mem, 0, mem.numFrames(), scan::order2M),
+    EXPECT_DOUBLE_EQ(mem.stats().freeContiguityFraction(
+        0, mem.numFrames(), scan::order2M),
                      1.0);
-    EXPECT_DOUBLE_EQ(scan::unmovableBlockFraction(
-                         mem, 0, mem.numFrames(), scan::order2M),
+    EXPECT_DOUBLE_EQ(mem.stats().unmovableBlockFraction(
+        0, mem.numFrames(), scan::order2M),
                      0.0);
-    EXPECT_DOUBLE_EQ(scan::potentialContiguityFraction(
-                         mem, 0, mem.numFrames(), scan::order2M),
+    EXPECT_DOUBLE_EQ(mem.stats().potentialContiguityFraction(
+        0, mem.numFrames(), scan::order2M),
                      1.0);
     EXPECT_DOUBLE_EQ(
-        scan::unmovablePageRatio(mem, 0, mem.numFrames()), 0.0);
-    EXPECT_EQ(scan::freePages(mem, 0, mem.numFrames()),
+        mem.stats().unmovablePageRatio(0, mem.numFrames()), 0.0);
+    EXPECT_EQ(mem.stats().freePages(0, mem.numFrames()),
               mem.numFrames());
 }
 
@@ -82,16 +83,16 @@ TEST_F(ScannerTest, OneUnmovablePagePerBlockCountsEveryBlock)
     for (const Pfn p : trash)
         buddy.freePages(p);
 
-    EXPECT_DOUBLE_EQ(scan::unmovableBlockFraction(
-                         mem, 0, mem.numFrames(), scan::order2M),
+    EXPECT_DOUBLE_EQ(mem.stats().unmovableBlockFraction(
+        0, mem.numFrames(), scan::order2M),
                      1.0);
-    EXPECT_NEAR(scan::unmovablePageRatio(mem, 0, mem.numFrames()),
+    EXPECT_NEAR(mem.stats().unmovablePageRatio(0, mem.numFrames()),
                 static_cast<double>(blocks) /
                     static_cast<double>(mem.numFrames()),
                 1e-9);
     // Perfect compaction recovers nothing at 2 MB.
-    EXPECT_DOUBLE_EQ(scan::potentialContiguityFraction(
-                         mem, 0, mem.numFrames(), scan::order2M),
+    EXPECT_DOUBLE_EQ(mem.stats().potentialContiguityFraction(
+        0, mem.numFrames(), scan::order2M),
                      0.0);
 }
 
@@ -101,13 +102,13 @@ TEST_F(ScannerTest, MovablePagesDontCountAsUnmovable)
     // outside any fully-free 2 MB block.
     auto pages = fillPages(100, MigrateType::Movable);
     EXPECT_DOUBLE_EQ(
-        scan::unmovablePageRatio(mem, 0, mem.numFrames()), 0.0);
+        mem.stats().unmovablePageRatio(0, mem.numFrames()), 0.0);
     // Potential contiguity is unaffected by movable pages.
-    EXPECT_DOUBLE_EQ(scan::potentialContiguityFraction(
-                         mem, 0, mem.numFrames(), scan::order2M),
+    EXPECT_DOUBLE_EQ(mem.stats().potentialContiguityFraction(
+        0, mem.numFrames(), scan::order2M),
                      1.0);
     // Free contiguity IS affected.
-    EXPECT_LT(scan::freeContiguityFraction(mem, 0, mem.numFrames(),
+    EXPECT_LT(mem.stats().freeContiguityFraction(0, mem.numFrames(),
                                            scan::order2M),
               1.0);
 }
@@ -117,10 +118,10 @@ TEST_F(ScannerTest, PinnedMovablePageCountsAsUnmovable)
     const Pfn p = buddy.allocPages(0, MigrateType::Movable,
                                    AllocSource::User);
     mem.setRangePinned(p, p + 1, true);
-    EXPECT_GT(scan::unmovablePageRatio(mem, 0, mem.numFrames()),
+    EXPECT_GT(mem.stats().unmovablePageRatio(0, mem.numFrames()),
               0.0);
-    EXPECT_GT(scan::unmovableBlockFraction(
-                  mem, 0, mem.numFrames(), scan::order2M),
+    EXPECT_GT(mem.stats().unmovableBlockFraction(
+        0, mem.numFrames(), scan::order2M),
               0.0);
 }
 
@@ -138,7 +139,7 @@ TEST_F(ScannerTest, SourceBreakdownMatchesAllocations)
     }
 
     const auto counts =
-        scan::unmovableBySource(mem, 0, mem.numFrames());
+        mem.stats().unmovableBySource(0, mem.numFrames());
     EXPECT_EQ(counts[static_cast<unsigned>(AllocSource::Networking)],
               100u);
     EXPECT_EQ(counts[static_cast<unsigned>(AllocSource::Slab)], 50u);
@@ -147,14 +148,14 @@ TEST_F(ScannerTest, SourceBreakdownMatchesAllocations)
 
 TEST_F(ScannerTest, FreeAlignedBlockCounts)
 {
-    EXPECT_EQ(scan::freeAlignedBlocks(mem, 0, mem.numFrames(),
+    EXPECT_EQ(mem.stats().freeAlignedBlocks(0, mem.numFrames(),
                                       scan::order2M),
               mem.numFrames() / pagesPerHuge);
     // Allocate one page: exactly one block stops being free.
     const Pfn p = buddy.allocPages(0, MigrateType::Movable,
                                    AllocSource::User);
     (void)p;
-    EXPECT_EQ(scan::freeAlignedBlocks(mem, 0, mem.numFrames(),
+    EXPECT_EQ(mem.stats().freeAlignedBlocks(0, mem.numFrames(),
                                       scan::order2M),
               mem.numFrames() / pagesPerHuge - 1);
 }
@@ -166,8 +167,8 @@ TEST_F(ScannerTest, MeanFreeShareOfContaminatedBlocks)
                                    AllocSource::Slab, 0,
                                    AddrPref::Low);
     ASSERT_LT(p, pagesPerHuge);
-    const double share = scan::meanFreeShareOfUnmovableBlocks(
-        mem, 0, mem.numFrames());
+    const double share = mem.stats().meanFreeShareOfUnmovableBlocks(
+        0, mem.numFrames());
     EXPECT_NEAR(share,
                 static_cast<double>(pagesPerHuge - 1) /
                     static_cast<double>(pagesPerHuge),
@@ -183,8 +184,8 @@ TEST_F(ScannerTest, SubrangeScans)
                                    AddrPref::High);
     ASSERT_GE(p, half);
     EXPECT_DOUBLE_EQ(
-        scan::unmovablePageRatio(mem, 0, half), 0.0);
-    EXPECT_GT(scan::unmovablePageRatio(mem, half, mem.numFrames()),
+        mem.stats().unmovablePageRatio(0, half), 0.0);
+    EXPECT_GT(mem.stats().unmovablePageRatio(half, mem.numFrames()),
               0.0);
 }
 

@@ -9,6 +9,7 @@
 
 #include "base/units.hh"
 #include "contiguitas/policy.hh"
+#include "mem/mem_stats.hh"
 #include "mem/scanner.hh"
 #include "workloads/access_gen.hh"
 #include "workloads/fragmenter.hh"
@@ -203,10 +204,9 @@ TEST(FragmenterTest, DevastatesContiguity)
     Fragmenter fragmenter(kernel, {}, 7);
     fragmenter.run();
     const PhysMem &mem = kernel.mem();
-    const double contaminated = scan::unmovableBlockFraction(
-        mem, 0, mem.numFrames(), scan::order2M);
-    const double pages = scan::unmovablePageRatio(
-        mem, 0, mem.numFrames());
+    const double contaminated = mem.stats().unmovableBlockFraction(
+        0, mem.numFrames(), scan::order2M);
+    const double pages = mem.stats().unmovablePageRatio(0, mem.numFrames());
     // A couple percent of pages poison nearly every 2MB block.
     EXPECT_LT(pages, 0.05);
     EXPECT_GT(contaminated, 0.8);
@@ -238,8 +238,8 @@ TEST(FragmenterTest, ContiguitasConfinesTheDamage)
     Fragmenter fragmenter(kernel, {}, 7);
     fragmenter.run();
     auto &policy = static_cast<ContiguitasPolicy &>(kernel.policy());
-    const double pot2m = scan::potentialContiguityFraction(
-        kernel.mem(), policy.regions().boundary(),
+    const double pot2m = kernel.mem().stats().potentialContiguityFraction(
+        policy.regions().boundary(),
         kernel.mem().numFrames(), scan::order2M);
     EXPECT_GT(pot2m, 0.99);
     policy.regions().checkConfinement();
