@@ -10,6 +10,7 @@
 #ifndef CTG_BENCH_BENCH_UTIL_HH
 #define CTG_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -101,6 +102,25 @@ printFleetWall(const Fleet &fleet)
                 fleet.lastRunThreads(), fleet.lastRunWallMs());
 }
 
+/** Wall clock for benches that do not drive a Fleet (hardware and
+ * microbenchmark binaries): start at construction, read in ms. */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    double
+    ms() const
+    {
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
 /** Standard fleet configuration used by the Section 2 studies. */
 inline Fleet::Config
 standardFleet(bool contiguitas, unsigned servers = 48)
@@ -150,6 +170,24 @@ inline void
 dumpStats(const StatRegistry &registry, const char *label)
 {
     dumpText(label, registry.jsonLines());
+}
+
+/**
+ * Dump one `fleet.run_wall_ms` gauge line in the same JSON-lines
+ * shape StatRegistry::jsonLines emits. Fleet-driven benches get this
+ * line from the attached telemetry; benches without a fleet call
+ * this so every BENCH_*.json artifact carries its wall clock under
+ * the one uniform key CI trend tracking keys on.
+ */
+inline void
+dumpWallMs(double wall_ms)
+{
+    char line[96];
+    std::snprintf(line, sizeof(line),
+                  "{\"name\":\"fleet.run_wall_ms\",\"kind\":\"gauge\""
+                  ",\"value\":%.3f}\n",
+                  wall_ms);
+    dumpText("wall clock (JSON lines)", line);
 }
 
 /** Render "CDF of servers" rows for a per-server metric. */

@@ -10,8 +10,9 @@
 using namespace ctg;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseArgs(argc, argv);
     bench::banner("Figure 6", "Sources of unmovable allocations");
 
     Fleet fleet(bench::standardFleet(/*contiguitas=*/false, 32));

@@ -93,8 +93,10 @@ cyclesPerOp(const AccessProfile &profile, const Coverage &cov,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseArgs(argc, argv);
+    const bench::WallTimer timer;
     bench::banner("Figure 10",
                   "End-to-end performance (relative to Linux on a "
                   "fully fragmented server)");
@@ -155,5 +157,6 @@ main()
     std::printf("\nShape check (paper): Contiguitas beats Linux-Full "
                 "by 7-18%% and Linux-Partial by 2-9%%;\nonly "
                 "Contiguitas can allocate dynamic 1GB pages.\n");
+    bench::dumpWallMs(timer.ms());
     return 0;
 }

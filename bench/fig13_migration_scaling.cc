@@ -18,8 +18,10 @@
 using namespace ctg;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseArgs(argc, argv);
+    const bench::WallTimer timer;
     bench::banner("Figure 13",
                   "Page-unavailable cycles during migration vs "
                   "victim TLBs");
@@ -118,6 +120,7 @@ main()
                 static_cast<unsigned long long>(config.invlpgCost),
                 us);
     bench::dumpStats(registry, "hardware stats (JSON lines)");
+    bench::dumpWallMs(timer.ms());
     bench::dumpText("per-migration time series (CSV)",
                     sampler.csv(), "CTG_STATS_CSV");
     return 0;

@@ -11,6 +11,7 @@
 
 #include "base/rng.hh"
 #include "base/units.hh"
+#include "bench/bench_util.hh"
 #include "hw/system.hh"
 #include "mem/buddy.hh"
 #include "mem/mem_stats.hh"
@@ -186,4 +187,32 @@ BENCHMARK(BM_ChwPageMigration);
 } // namespace
 } // namespace ctg
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the shared bench flags
+// (--json) are split off before google-benchmark sees the command
+// line (it rejects flags it does not know), and the uniform
+// `fleet.run_wall_ms` line is dumped once the benchmarks finish.
+int
+main(int argc, char **argv)
+{
+    const ctg::bench::WallTimer timer;
+    std::vector<char *> rest;
+    rest.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc)
+            ctg::bench::jsonOutPath() = argv[++i];
+        else if (arg.rfind("--json=", 0) == 0)
+            ctg::bench::jsonOutPath() = arg.substr(7);
+        else
+            rest.push_back(argv[i]);
+    }
+    int rest_argc = static_cast<int>(rest.size());
+    benchmark::Initialize(&rest_argc, rest.data());
+    if (benchmark::ReportUnrecognizedArguments(rest_argc,
+                                               rest.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    ctg::bench::dumpWallMs(timer.ms());
+    return 0;
+}

@@ -11,8 +11,9 @@
 using namespace ctg;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseArgs(argc, argv);
     bench::banner("Section 2.4",
                   "Uptime vs contiguity correlation across the "
                   "fleet");

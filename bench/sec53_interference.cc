@@ -162,8 +162,10 @@ serveWithMigrations(WorkloadKind kind, double migrations_per_sec,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseArgs(argc, argv);
+    const bench::WallTimer timer;
     bench::banner("Section 5.3",
                   "Unmovable-buffer migration interference on NGINX "
                   "and memcached");
@@ -215,5 +217,6 @@ main()
                          1.0));
     std::printf("Shape check (paper): noncacheable overhead <=0.3%% "
                 "even at 1000 migrations/s; cacheable ~0%%.\n");
+    bench::dumpWallMs(timer.ms());
     return 0;
 }

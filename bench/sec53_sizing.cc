@@ -19,8 +19,10 @@
 using namespace ctg;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseArgs(argc, argv);
+    const bench::WallTimer timer;
     bench::banner("Section 5.3",
                   "Contiguitas-HW sizing and hardware requirements");
 
@@ -94,5 +96,6 @@ main()
                 "migrations/s; 16 entries per slice are ample and "
                 "the silicon cost is negligible.\n",
                 static_cast<int>(per_entry_migrations));
+    bench::dumpWallMs(timer.ms());
     return 0;
 }

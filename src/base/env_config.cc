@@ -74,6 +74,12 @@ EnvConfig::fromEnv()
     if (const char *env = std::getenv("CTG_TRACE_FILE"))
         config.traceFile = env;
 
+    if (const char *env = std::getenv("CTG_TRACE_SPANS"))
+        config.traceSpansPath = env;
+
+    if (const char *env = std::getenv("CTG_STREAM_SCANS"))
+        config.streamScans = parseBool(env);
+
     config.csvTables = std::getenv("CTG_CSV") != nullptr;
 
     if (const char *env = std::getenv("CTG_CONTIG_INDEX"))

@@ -47,6 +47,16 @@ struct EnvConfig
     std::string traceSpec;
     std::string traceFile;
 
+    /** CTG_TRACE_SPANS: Perfetto span-trace output path; setting it
+     * enables span collection on every flag and writes the JSON at
+     * process exit. */
+    std::string traceSpansPath;
+
+    /** CTG_STREAM_SCANS: fold fleet scan results through streaming
+     * OnlineHistogram sinks instead of materialized sample vectors
+     * (same quantiles, O(distinct values) footprint). */
+    bool streamScans = false;
+
     /** CTG_CSV: append CSV renderings after bench tables. */
     bool csvTables = false;
 

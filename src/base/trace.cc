@@ -13,7 +13,7 @@ namespace ctg
 namespace trace
 {
 
-std::uint32_t mask_ = 0;
+std::atomic<std::uint32_t> mask_{0};
 
 namespace
 {
@@ -34,11 +34,18 @@ constexpr FlagEntry flagTable[] = {
     {TraceFlag::Fleet, "Fleet"},
     {TraceFlag::Kernel, "Kernel"},
     {TraceFlag::Tlb, "Tlb"},
+    {TraceFlag::Faults, "Faults"},
 };
 
 std::FILE *sink_ = nullptr;      //!< non-owning; stderr when null
 std::FILE *ownedSink_ = nullptr; //!< file opened by openFileSink
-std::function<Tick()> tickSource_;
+/**
+ * Tick source of the simulation driving this thread. thread_local so
+ * parallel fleet workers each observe the event queue of the server
+ * they are running, never a sibling's (which would both race and
+ * leak the work-stealing schedule into captured span timestamps).
+ */
+thread_local std::function<Tick()> tickSource_;
 
 /** Buffer of the innermost active ThreadCapture on this thread. */
 thread_local std::string *captureBuffer_ = nullptr;
@@ -69,13 +76,15 @@ const EnvInit envInit_;
 void
 enable(TraceFlag flag)
 {
-    mask_ |= static_cast<std::uint32_t>(flag);
+    mask_.fetch_or(static_cast<std::uint32_t>(flag),
+                   std::memory_order_relaxed);
 }
 
 void
 disable(TraceFlag flag)
 {
-    mask_ &= ~static_cast<std::uint32_t>(flag);
+    mask_.fetch_and(~static_cast<std::uint32_t>(flag),
+                    std::memory_order_relaxed);
 }
 
 void
@@ -88,7 +97,7 @@ enableAll()
 void
 disableAll()
 {
-    mask_ = 0;
+    mask_.store(0, std::memory_order_relaxed);
 }
 
 void
@@ -107,15 +116,10 @@ setFromString(const std::string &spec)
             enableAll();
             continue;
         }
-        bool found = false;
-        for (const FlagEntry &e : flagTable) {
-            if (tok == e.name) {
-                enable(e.flag);
-                found = true;
-                break;
-            }
-        }
-        if (!found)
+        TraceFlag flag;
+        if (flagFromName(tok, &flag))
+            enable(flag);
+        else
             warn("unknown trace flag '%s' ignored", tok.c_str());
     }
 }
@@ -128,6 +132,27 @@ flagName(TraceFlag flag)
             return e.name;
     }
     return "?";
+}
+
+std::uint32_t
+allFlagsMask()
+{
+    std::uint32_t mask = 0;
+    for (const FlagEntry &e : flagTable)
+        mask |= static_cast<std::uint32_t>(e.flag);
+    return mask;
+}
+
+bool
+flagFromName(const std::string &name, TraceFlag *out)
+{
+    for (const FlagEntry &e : flagTable) {
+        if (name == e.name) {
+            *out = e.flag;
+            return true;
+        }
+    }
+    return false;
 }
 
 void
@@ -164,6 +189,12 @@ void
 clearTickSource()
 {
     tickSource_ = nullptr;
+}
+
+Tick
+currentTick()
+{
+    return tickSource_ ? tickSource_() : 0;
 }
 
 void

@@ -17,6 +17,7 @@
 #ifndef CTG_BASE_TRACE_HH
 #define CTG_BASE_TRACE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
@@ -39,18 +40,23 @@ enum class TraceFlag : std::uint32_t
     Fleet      = 1u << 6, //!< fleet/server level progress
     Kernel     = 1u << 7, //!< kernel facade slow paths
     Tlb        = 1u << 8, //!< MMU/TLB events
+    Faults     = 1u << 9, //!< fault-injector firings
 };
 
 namespace trace
 {
 
-/** Bitmask of enabled flags; read via enabled() on hot paths. */
-extern std::uint32_t mask_;
+/** Bitmask of enabled flags; read via enabled() on hot paths.
+ * Atomic with relaxed ordering: executor workers test it while tests
+ * (or a debugger) toggle flags — the race is benign by design, but it
+ * must still be data-race-free for TSan. */
+extern std::atomic<std::uint32_t> mask_;
 
 inline bool
 enabled(TraceFlag flag)
 {
-    return (mask_ & static_cast<std::uint32_t>(flag)) != 0u;
+    return (mask_.load(std::memory_order_relaxed) &
+            static_cast<std::uint32_t>(flag)) != 0u;
 }
 
 void enable(TraceFlag flag);
@@ -65,6 +71,12 @@ void setFromString(const std::string &spec);
 /** Canonical name of a flag ("Buddy", ...). */
 const char *flagName(TraceFlag flag);
 
+/** Reverse lookup; returns false for unknown names. */
+bool flagFromName(const std::string &name, TraceFlag *out);
+
+/** OR of every defined flag bit. */
+std::uint32_t allFlagsMask();
+
 /** Redirect output to a caller-owned stream (default stderr). */
 void setSink(std::FILE *sink);
 
@@ -73,9 +85,14 @@ void setSink(std::FILE *sink);
 bool openFileSink(const std::string &path);
 
 /** Install the simulated-time source used to stamp each record
- * (e.g. [&eq]{ return eq.now(); }); clear to drop the stamp. */
+ * (e.g. [&eq]{ return eq.now(); }); clear to drop the stamp. The
+ * source is thread-local: each fleet worker sees only the clock of
+ * the server it is currently running. */
 void setTickSource(std::function<Tick()> source);
 void clearTickSource();
+
+/** Current simulated tick per the installed source; 0 when none. */
+Tick currentTick();
 
 /** Emit one record: "<tick>: <Flag>: <message>". Use CTG_DPRINTF
  * rather than calling this directly. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/span_trace.hh"
 #include "kernel/migrate.hh"
 #include "kernel/vanilla_policy.hh"
 
@@ -62,6 +63,8 @@ ContiguitasPolicy::alloc(const AllocRequest &req)
 
     // The region is full: expand synchronously. This is the rare
     // slow path; the controller normally keeps headroom.
+    CTG_SPAN_NAMED(span, Region, "policy.urgent_expand",
+                   {{"order", req.order}});
     const std::uint64_t step =
         std::max<std::uint64_t>(config_.resizeStepPages,
                                 Pfn{1} << req.order);
@@ -70,6 +73,7 @@ ContiguitasPolicy::alloc(const AllocRequest &req)
         head = unmov.allocPages(req.order, req.mt, req.source,
                                 req.owner, pref);
     }
+    span.arg("ok", head != invalidPfn ? 1 : 0);
     return head;
 }
 
@@ -102,6 +106,8 @@ ContiguitasPolicy::pin(Pfn head)
     // Movable page becoming unmovable: migrate it into the unmovable
     // region first, near the border (such pages are short-lived),
     // then pin the destination (Section 3.2).
+    CTG_SPAN_NAMED(span, Region, "policy.pin_migrate",
+                   {{"head", static_cast<std::int64_t>(head)}});
     for (int attempt = 0; attempt < 2; ++attempt) {
         Pfn dst = invalidPfn;
         const MigrateResult r = migrateBlock(
@@ -112,6 +118,7 @@ ContiguitasPolicy::pin(Pfn head)
         if (r == MigrateResult::Ok) {
             setBlockPinned(mem, dst, true);
             ++stats_.pinMigrations;
+            span.arg("dst", static_cast<std::int64_t>(dst));
             return dst;
         }
         if (r == MigrateResult::Unmovable)
@@ -121,6 +128,7 @@ ContiguitasPolicy::pin(Pfn head)
             break;
     }
     ++stats_.pinMigrationFailures;
+    span.arg("failed", 1);
     return invalidPfn;
 }
 
@@ -133,6 +141,7 @@ ContiguitasPolicy::unpin(Pfn head)
 void
 ContiguitasPolicy::runController()
 {
+    CTG_SPAN(Region, "policy.run_controller");
     BuddyAllocator &unmov = regions_.unmovable();
     const std::uint64_t size = unmov.totalPages();
     const std::uint64_t free = unmov.freePageCount();
@@ -195,6 +204,9 @@ ContiguitasPolicy::tick(std::uint32_t now_seconds)
     if (now - lastResizeSec_ < config_.resizePeriodSec)
         return;
     lastResizeSec_ = now;
+
+    CTG_SPAN(Region, "policy.tick",
+             {{"now_sec", static_cast<std::int64_t>(now_seconds)}});
 
     // Resizes that failed evacuation earlier retry here with capped
     // exponential backoff, ahead of fresh controller decisions.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/span_trace.hh"
 #include "base/trace.hh"
 #include "kernel/migrate.hh"
 #include "sim/fault_injector.hh"
@@ -50,6 +51,9 @@ RegionManager::hwMigrateBlock(BuddyAllocator &alloc, Pfn src,
     if (!hwEnabled_)
         return false;
 
+    CTG_SPAN_NAMED(span, Region, "region.hw_migrate",
+                   {{"src", static_cast<std::int64_t>(src)}});
+
     const PageFrame &sf = mem_.frame(src);
     ctg_assert(!sf.isFree() && sf.isHead());
     // Contiguitas-HW moves pages whose translations can be
@@ -88,6 +92,8 @@ RegionManager::hwMigrateBlock(BuddyAllocator &alloc, Pfn src,
     ++stats_.hwMigrations;
     if (out_dst != nullptr)
         *out_dst = dst;
+    span.arg("dst", static_cast<std::int64_t>(dst));
+    span.arg("order", order);
     return true;
 }
 
@@ -97,6 +103,9 @@ RegionManager::evacuateBlock(BuddyAllocator &alloc, Pfn head,
 {
     (void)range_lo;
     (void)range_hi;
+
+    CTG_SPAN_NAMED(span, Region, "region.evacuate_block",
+                   {{"head", static_cast<std::int64_t>(head)}});
 
     // Injected evacuation veto: the block behaves as if nothing —
     // not even Contiguitas-HW — could move it right now, forcing the
@@ -137,6 +146,10 @@ RegionManager::evacuateBlock(BuddyAllocator &alloc, Pfn head,
 bool
 RegionManager::evacuateRange(BuddyAllocator &alloc, Pfn lo, Pfn hi)
 {
+    CTG_SPAN(Region, "region.evacuate_range",
+             {{"lo", static_cast<std::int64_t>(lo)},
+              {"hi", static_cast<std::int64_t>(hi)}});
+
     if (mem_.contigIndexReads()) {
         // Hop between allocated heads; the range is isolated, so
         // evacuation destinations always land outside [lo, hi) and
@@ -182,12 +195,17 @@ RegionManager::tryExpand(std::uint64_t pages,
     if (evacuation_blocked != nullptr)
         *evacuation_blocked = false;
     const Pfn step = roundUpToAlign(pages);
+    CTG_SPAN_NAMED(span, Region, "region.expand",
+                   {{"pages", static_cast<std::int64_t>(step)},
+                    {"boundary",
+                     static_cast<std::int64_t>(boundary())}});
     const Pfn lo = boundary();
     const Pfn hi = lo + step;
     if (hi > movable_->endPfn() ||
         lo + step > config_.maxUnmovablePages ||
         step >= movable_->totalPages()) {
         ++stats_.expansionFailures;
+        span.arg("rejected", 1);
         return 0;
     }
 
@@ -200,8 +218,10 @@ RegionManager::tryExpand(std::uint64_t pages,
         ++stats_.expansionFailures;
         if (evacuation_blocked != nullptr)
             *evacuation_blocked = true;
+        span.arg("blocked", 1);
         return 0;
     }
+    span.arg("moved", static_cast<std::int64_t>(step));
 
     movable_->detachRange(lo, hi);
     unmovable_->attachRange(lo, hi, MigrateType::Unmovable);
@@ -219,9 +239,14 @@ RegionManager::tryShrink(std::uint64_t pages,
     if (evacuation_blocked != nullptr)
         *evacuation_blocked = false;
     const Pfn step = roundUpToAlign(pages);
+    CTG_SPAN_NAMED(span, Region, "region.shrink",
+                   {{"pages", static_cast<std::int64_t>(step)},
+                    {"boundary",
+                     static_cast<std::int64_t>(boundary())}});
     const Pfn hi = boundary();
     if (step >= hi || hi - step < config_.minUnmovablePages) {
         ++stats_.shrinkFailures;
+        span.arg("rejected", 1);
         return 0;
     }
     const Pfn lo = hi - step;
@@ -235,8 +260,10 @@ RegionManager::tryShrink(std::uint64_t pages,
         ++stats_.shrinkFailures;
         if (evacuation_blocked != nullptr)
             *evacuation_blocked = true;
+        span.arg("blocked", 1);
         return 0;
     }
+    span.arg("moved", static_cast<std::int64_t>(step));
 
     unmovable_->detachRange(lo, hi);
     movable_->attachRange(lo, hi, MigrateType::Movable);
@@ -291,6 +318,9 @@ RegionManager::deferResize(bool expand, std::uint64_t pages)
     d.waitPumps = std::min(2u, maxResizeBackoff);
     deferred_ = d;
     ++stats_.deferredEnqueued;
+    CTG_SPAN_EVENT(Region, "region.defer_resize",
+                   {{"expand", expand ? 1 : 0},
+                    {"pages", static_cast<std::int64_t>(pages)}});
     CTG_DPRINTF(Region, "deferred %s of %llu pages (attempt 1)",
                 expand ? "expansion" : "shrink",
                 static_cast<unsigned long long>(pages));
@@ -303,9 +333,18 @@ RegionManager::pumpDeferredResizes()
         return 0;
     if (deferred_->waitPumps > 0) {
         --deferred_->waitPumps;
+        CTG_SPAN_EVENT(Region, "region.defer_backoff",
+                       {{"expand", deferred_->expand ? 1 : 0},
+                        {"wait_pumps", deferred_->waitPumps + 1},
+                        {"attempts", deferred_->attempts}});
         return 0;
     }
 
+    CTG_SPAN_NAMED(span, Region, "region.pump_deferred",
+                   {{"expand", deferred_->expand ? 1 : 0},
+                    {"pages",
+                     static_cast<std::int64_t>(deferred_->pages)},
+                    {"attempt", deferred_->attempts + 1}});
     ++stats_.deferredRetries;
     bool evacuation_blocked = false;
     const std::uint64_t moved =
@@ -317,6 +356,7 @@ RegionManager::pumpDeferredResizes()
         CTG_DPRINTF(Region, "deferred %s succeeded after %u attempts",
                     deferred_->expand ? "expansion" : "shrink",
                     deferred_->attempts + 1);
+        span.arg("completed", 1);
         deferred_.reset();
         return moved;
     }
@@ -329,6 +369,7 @@ RegionManager::pumpDeferredResizes()
         CTG_DPRINTF(Region, "deferred %s dropped after %u attempts",
                     deferred_->expand ? "expansion" : "shrink",
                     deferred_->attempts);
+        span.arg("dropped", 1);
         deferred_.reset();
         return 0;
     }
@@ -341,6 +382,9 @@ RegionManager::pumpDeferredResizes()
 std::uint64_t
 RegionManager::defragUnmovable(std::uint64_t max_migrations)
 {
+    CTG_SPAN_NAMED(defrag_span, Region, "region.defrag",
+                   {{"budget",
+                     static_cast<std::int64_t>(max_migrations)}});
     std::uint64_t migrated = 0;
     const Pfn end = boundary();
     const bool indexed = mem_.contigIndexReads();
@@ -399,6 +443,7 @@ RegionManager::defragUnmovable(std::uint64_t max_migrations)
             pfn += span;
         }
     }
+    defrag_span.arg("migrated", static_cast<std::int64_t>(migrated));
     return migrated;
 }
 

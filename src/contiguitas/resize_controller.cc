@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "base/span_trace.hh"
 #include "base/trace.hh"
 
 namespace ctg
@@ -23,6 +24,13 @@ ResizeDecision
 ResizeController::evaluate(double pressure_unmov, double pressure_mov,
                            std::uint64_t mem_unmov) const
 {
+    CTG_SPAN_NAMED(span, Region, "controller.evaluate",
+                   {{"mem_unmov",
+                     static_cast<std::int64_t>(mem_unmov)},
+                    {"p_unmov_pct",
+                     static_cast<std::int64_t>(pressure_unmov * 100)},
+                    {"p_mov_pct",
+                     static_cast<std::int64_t>(pressure_mov * 100)}});
     ResizeDecision decision;
     const double mem = static_cast<double>(mem_unmov);
 
@@ -52,6 +60,16 @@ ResizeController::evaluate(double pressure_unmov, double pressure_mov,
     }
     if (decision.targetPages == mem_unmov)
         decision.direction = ResizeDirection::None;
+
+    span.arg("direction", static_cast<std::int64_t>(
+                              decision.direction == ResizeDirection::Expand
+                                  ? 1
+                                  : decision.direction ==
+                                            ResizeDirection::Shrink
+                                        ? -1
+                                        : 0));
+    span.arg("target_pages",
+             static_cast<std::int64_t>(decision.targetPages));
 
     ++stats_.evaluations;
     switch (decision.direction) {

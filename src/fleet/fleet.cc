@@ -1,9 +1,14 @@
 #include "fleet/fleet.hh"
 
 #include <chrono>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
 
 #include "base/env_config.hh"
 #include "base/rng.hh"
+#include "base/span_trace.hh"
 #include "base/trace.hh"
 #include "sim/executor.hh"
 #include "sim/fault_injector.hh"
@@ -21,6 +26,26 @@ Fleet::Config::applyEnvOverlay()
         contigIndexReads = env.contigIndexReads;
     if (!exactPref)
         exactPref = env.exactPref;
+    if (!streamScans)
+        streamScans = env.streamScans;
+}
+
+void
+Fleet::ScanSinks::absorb(const ServerScan &scan)
+{
+    freeContiguity2m.add(scan.freeContiguity[0]);
+    unmovableBlocks2m.add(scan.unmovableBlocks[0]);
+    unmovablePageRatio.add(scan.unmovablePageRatio);
+    uptimeSec.add(scan.uptimeSec);
+}
+
+void
+Fleet::ScanSinks::merge(const ScanSinks &other)
+{
+    freeContiguity2m.merge(other.freeContiguity2m);
+    unmovableBlocks2m.merge(other.unmovableBlocks2m);
+    unmovablePageRatio.merge(other.unmovablePageRatio);
+    uptimeSec.merge(other.uptimeSec);
 }
 
 Fleet::Fleet(const Config &config)
@@ -60,6 +85,18 @@ Fleet::run()
     Executor executor(config_.threads);
     runThreads_ = executor.threads();
 
+    // Stream ids for the per-server captures are reserved up front
+    // from the main thread, so back-to-back fleets in one process
+    // never reuse a track (a reused track's logical clock would
+    // restart and break event ordering in viewers).
+    const bool spansOn = spans::anyEnabled();
+    const std::uint32_t streamBase =
+        spansOn ? spans::reserveStreams(config_.servers) : 0;
+    CTG_SPAN_NAMED(run_span, Fleet, "fleet.run",
+                   {{"servers", config_.servers},
+                    {"threads", runThreads_},
+                    {"contiguitas", config_.contiguitas ? 1 : 0}});
+
     static const WorkloadKind kinds[] = {
         WorkloadKind::Web,    WorkloadKind::CacheA,
         WorkloadKind::CacheB, WorkloadKind::CI,
@@ -70,8 +107,11 @@ Fleet::run()
     // the calling thread, before dispatch: the seed stream is
     // consumed in server order, so the draws cannot depend on the
     // worker schedule.
-    Rng rng(config_.seed);
     std::vector<Server::Config> configs(config_.servers);
+    {
+    CTG_SPAN(Fleet, "fleet.sample_configs",
+             {{"servers", config_.servers}});
+    Rng rng(config_.seed);
     for (unsigned i = 0; i < config_.servers; ++i) {
         Server::Config &sc = configs[i];
         sc.memBytes = config_.memBytes;
@@ -93,6 +133,7 @@ Fleet::run()
                              config_.minUptimeSec);
         sc.seed = rng.next();
     }
+    }
 
     // Each task gets a fault injector forked from the ambient one
     // (resolved here, on the calling thread, so nested scopes work)
@@ -104,14 +145,29 @@ Fleet::run()
         ServerScan scan;
         FaultInjector faults{0};
         std::string traceText;
+        std::vector<spans::Event> spanEvents;
     };
     std::vector<TaskResult> results(config_.servers);
 
+    // Streaming sinks: one partial per worker thread, folded as each
+    // task finishes (one short lock per server). OnlineHistogram
+    // merges are order-insensitive, so the work-stealing schedule
+    // cannot leak into the merged bits.
+    std::mutex sinksMu;
+    std::map<std::thread::id, ScanSinks> workerSinks;
+    streamSinks_ = ScanSinks{};
+
+    {
+    CTG_SPAN(Fleet, "fleet.simulate",
+             {{"servers", config_.servers}, {"threads", runThreads_}});
     executor.run(config_.servers, [&](std::size_t task) {
         const unsigned i = static_cast<unsigned>(task);
         const Server::Config &sc = configs[i];
         TaskResult &out = results[i];
         trace::ThreadCapture capture;
+        std::optional<spans::Capture> spanCapture;
+        if (spansOn)
+            spanCapture.emplace(streamBase + i);
         CTG_DPRINTF(Fleet,
                     "server %u: kind=%d intensity=%.2f "
                     "prefragment=%d uptime=%.1fs",
@@ -119,20 +175,38 @@ Fleet::run()
                     int(sc.prefragment), sc.uptimeSec);
         out.faults = ambient.forkForTask(i);
         const FaultInjectorScope scope(out.faults);
-        Server server(sc);
-        out.scan = server.run();
+        {
+            CTG_SPAN_NAMED(srv_span, Fleet, "server.run",
+                           {{"server", i},
+                            {"kind", int(sc.kind)},
+                            {"prefragment",
+                             sc.prefragment ? 1 : 0}});
+            Server server(sc);
+            out.scan = server.run();
+            srv_span.arg("free_2m_bp",
+                         static_cast<std::int64_t>(
+                             out.scan.freeContiguity[0] * 10000.0));
+        }
+        if (config_.streamScans) {
+            const std::lock_guard<std::mutex> lock(sinksMu);
+            workerSinks[std::this_thread::get_id()].absorb(out.scan);
+        }
         CTG_DPRINTF(Fleet,
                     "server %u done: free_contig_2m=%.3f "
                     "unmovable_blocks_2m=%.3f",
                     i, out.scan.freeContiguity[0],
                     out.scan.unmovableBlocks[0]);
         out.traceText = capture.take();
+        if (spanCapture)
+            out.spanEvents = spanCapture->take();
     });
+    }
 
     // Deterministic merge: every observable side effect is applied
     // here, in server order, on the calling thread — identical
     // Distributions (same sample order), sampler snapshots, trace
-    // bytes and fault counters at any thread count.
+    // bytes, span streams and fault counters at any thread count.
+    CTG_SPAN(Fleet, "fleet.merge", {{"servers", config_.servers}});
     const std::size_t snapshotBase =
         sampler_ != nullptr ? sampler_->sampleCount() : 0;
     std::vector<ServerScan> scans;
@@ -140,6 +214,8 @@ Fleet::run()
     for (unsigned i = 0; i < config_.servers; ++i) {
         TaskResult &r = results[i];
         trace::emitRaw(r.traceText);
+        if (!r.spanEvents.empty())
+            spans::publish(std::move(r.spanEvents));
         ambient.absorbStats(r.faults);
         if (serversRun_ != nullptr) {
             ++*serversRun_;
@@ -161,6 +237,14 @@ Fleet::run()
             }
         }
         scans.push_back(r.scan);
+    }
+
+    // Per-worker partials merge in map order; OnlineHistogram::merge
+    // is order-insensitive, so the result is the same bits as a
+    // single sequential sink.
+    if (config_.streamScans) {
+        for (const auto &entry : workerSinks)
+            streamSinks_.merge(entry.second);
     }
 
     runWallMs_ =

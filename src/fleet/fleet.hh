@@ -23,6 +23,7 @@
 #include <optional>
 #include <vector>
 
+#include "base/mergeable_stats.hh"
 #include "fleet/server.hh"
 
 namespace ctg
@@ -68,11 +69,35 @@ class Fleet
         /** Per-server exact AddrPref toggle, copied into every
          * Server::Config (nullopt = CTG_EXACT_PREF, default off). */
         std::optional<bool> exactPref;
+        /** Fold each server's scan into streaming per-worker
+         * OnlineHistogram sinks as tasks finish, merged after the
+         * run (scanSinks()). The sinks answer quantile/CDF queries
+         * bit-identically to the materialized Distributions at any
+         * thread count — the fleet-scale path that drops the
+         * O(servers) sample vectors (CTG_STREAM_SCANS). */
+        bool streamScans = false;
 
         /** Overlay environment-derived fields (sim::EnvConfig) onto
          * any still-unset knobs (threads, contigIndexReads,
-         * exactPref). */
+         * exactPref, streamScans). */
         void applyEnvOverlay();
+    };
+
+    /** Streaming scan statistics: one mergeable sink per telemetry
+     * Distribution. Workers fold scans into per-worker partials;
+     * run() merges them (order-insensitively) into the fleet's
+     * sinks. */
+    struct ScanSinks
+    {
+        OnlineHistogram freeContiguity2m;
+        OnlineHistogram unmovableBlocks2m;
+        OnlineHistogram unmovablePageRatio;
+        OnlineHistogram uptimeSec;
+
+        /** Fold one server's scan. */
+        void absorb(const ServerScan &scan);
+        /** Fold another partial sink. */
+        void merge(const ScanSinks &other);
     };
 
     explicit Fleet(const Config &config);
@@ -105,10 +130,15 @@ class Fleet
     /** Worker threads the last run() used. */
     unsigned lastRunThreads() const { return runThreads_; }
 
+    /** Merged streaming sinks of the last run(); empty unless
+     * Config::streamScans was set. */
+    const ScanSinks &scanSinks() const { return streamSinks_; }
+
     const Config &config() const { return config_; }
 
   private:
     Config config_;
+    ScanSinks streamSinks_;
     StatSampler *sampler_ = nullptr;
     Distribution *freeContiguity2m_ = nullptr;
     Distribution *unmovableBlocks2m_ = nullptr;

@@ -1,5 +1,6 @@
 #include "hw/chw/engine.hh"
 
+#include "base/span_trace.hh"
 #include "base/trace.hh"
 #include "sim/fault_injector.hh"
 
@@ -15,6 +16,13 @@ ChwEngine::submitMigrate(Descriptor desc)
 {
     ctg_assert(desc.src != invalidPfn && desc.dst != invalidPfn);
 
+    CTG_SPAN_NAMED(span, ChwEngine, "chw.submit",
+                   {{"src", static_cast<std::int64_t>(desc.src)},
+                    {"dst", static_cast<std::int64_t>(desc.dst)},
+                    {"pages", desc.sizePages},
+                    {"cacheable",
+                     desc.mode == ChwMode::Cacheable ? 1 : 0}});
+
     // Injected install failure: the descriptor is rejected before
     // anything is installed, exactly like a full metadata table, so
     // the OS fallback path (software migration) takes over.
@@ -22,6 +30,7 @@ ChwEngine::submitMigrate(Descriptor desc)
         ++stats_.installsRejected;
         CTG_DPRINTF(ChwEngine, "injected install rejection for %llu",
                     static_cast<unsigned long long>(desc.src));
+        span.arg("rejected", 1);
         return false;
     }
 
@@ -29,11 +38,18 @@ ChwEngine::submitMigrate(Descriptor desc)
         desc.src, desc.dst, desc.mode, desc.sizePages);
     if (entry == nullptr) {
         ++stats_.installsRejected;
+        span.arg("rejected", 1);
         return false;
     }
 
     RunState state;
     state.startTick = eventq_.now();
+    // The copy proceeds through event-queue hops the call tree
+    // cannot link; a flow arrow ties this submit slice to the
+    // completion (or abort) slice.
+    state.flowId = spans::newFlowId();
+    spans::flowBegin(TraceFlag::ChwEngine, "chw.migration",
+                     state.flowId);
     state.onComplete = std::move(desc.onComplete);
     state.onAbort = std::move(desc.onAbort);
     running_[desc.src] = std::move(state);
@@ -55,6 +71,8 @@ ChwEngine::submitMigrate(Descriptor desc)
 void
 ChwEngine::startCopy(Pfn src)
 {
+    CTG_SPAN(ChwEngine, "chw.start_copy",
+             {{"src", static_cast<std::int64_t>(src)}});
     MigrationEntry *entry = mem_.migrationTable().findBySrc(src);
     ctg_assert(entry != nullptr);
     ctg_assert(!entry->copying && !entry->copyDone);
@@ -78,6 +96,14 @@ ChwEngine::finishCopy(Pfn src, MigrationEntry &entry)
     ctg_assert(it != running_.end());
     stats_.lastCopyCycles = eventq_.now() - it->second.startTick;
     ++stats_.migrationsCompleted;
+    {
+        CTG_SPAN(ChwEngine, "chw.complete",
+                 {{"src", static_cast<std::int64_t>(src)},
+                  {"cycles", static_cast<std::int64_t>(
+                                 stats_.lastCopyCycles)}});
+        spans::flowEnd(TraceFlag::ChwEngine, "chw.migration",
+                       it->second.flowId);
+    }
     CTG_DPRINTF(ChwEngine, "copy of pfn=%llu done in %llu cycles",
                 static_cast<unsigned long long>(src),
                 static_cast<unsigned long long>(
@@ -94,6 +120,12 @@ ChwEngine::abortRun(Pfn src)
     if (it == running_.end())
         return;
     ++stats_.migrationsAborted;
+    {
+        CTG_SPAN(ChwEngine, "chw.abort",
+                 {{"src", static_cast<std::int64_t>(src)}});
+        spans::flowEnd(TraceFlag::ChwEngine, "chw.migration",
+                       it->second.flowId);
+    }
     CTG_DPRINTF(ChwEngine, "migration of pfn=%llu aborted",
                 static_cast<unsigned long long>(src));
     // Detach before invoking: the callback may resubmit this page.

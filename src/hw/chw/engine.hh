@@ -117,6 +117,10 @@ class ChwEngine
     {
         Tick startTick = 0;
         unsigned currentSlice = 0;
+        /** Span-trace flow id stitching the submit → copy →
+         * complete/abort chain across event-queue hops (0 when span
+         * tracing is off). */
+        std::uint64_t flowId = 0;
         std::function<void()> onComplete;
         std::function<void()> onAbort;
     };

@@ -1,5 +1,6 @@
 #include "hw/shootdown.hh"
 
+#include "base/span_trace.hh"
 #include "base/trace.hh"
 
 namespace ctg
@@ -83,8 +84,22 @@ ShootdownManager::softwareMigrate(
                 static_cast<unsigned long long>(vpn),
                 static_cast<unsigned long long>(dst), victims);
 
+    // The procedure runs as a chain of event-queue continuations; a
+    // flow arrow ties this initiation slice to the completion slice.
+    const std::uint64_t flow = spans::newFlowId();
+    {
+        CTG_SPAN(Shootdown, "shootdown.sw_migrate",
+                 {{"vpn", static_cast<std::int64_t>(vpn)},
+                  {"dst", static_cast<std::int64_t>(dst)},
+                  {"victims", victims}});
+        spans::flowBegin(TraceFlag::Shootdown, "shootdown.sw", flow);
+    }
+
     // Step 1: clear the PTE — the page becomes unavailable.
     eventq_.schedule(config_.pteUpdateLat, [=, this, &tables] {
+        CTG_SPAN(Shootdown, "shootdown.pte_clear_ipis",
+                 {{"vpn", static_cast<std::int64_t>(vpn)},
+                  {"victims", victims}});
         tables.unmap(vpn);
         timing->pteCleared = eventq_.now();
 
@@ -106,7 +121,13 @@ ShootdownManager::softwareMigrate(
             timing->shootdownDone = eventq_.now();
 
             // Step 6: copy the page.
-            const Cycles copy_cost = copyPage(src, dst);
+            Cycles copy_cost = 0;
+            {
+                CTG_SPAN(Shootdown, "shootdown.copy_page",
+                         {{"src", static_cast<std::int64_t>(src)},
+                          {"dst", static_cast<std::int64_t>(dst)}});
+                copy_cost = copyPage(src, dst);
+            }
             eventq_.schedule(copy_cost, [=, this, &tables] {
                 timing->copyDone = eventq_.now();
 
@@ -123,6 +144,19 @@ ShootdownManager::softwareMigrate(
                     stats_.unavailableCycles +=
                         timing->unavailableCycles;
                     stats_.totalCycles += timing->totalCycles;
+                    {
+                        CTG_SPAN(
+                            Shootdown, "shootdown.sw_complete",
+                            {{"vpn", static_cast<std::int64_t>(vpn)},
+                             {"total_cycles",
+                              static_cast<std::int64_t>(
+                                  timing->totalCycles)},
+                             {"unavailable_cycles",
+                              static_cast<std::int64_t>(
+                                  timing->unavailableCycles)}});
+                        spans::flowEnd(TraceFlag::Shootdown,
+                                       "shootdown.sw", flow);
+                    }
                     CTG_DPRINTF(Shootdown,
                                 "software migrate vpn=%llu done: "
                                 "total=%llu unavailable=%llu",

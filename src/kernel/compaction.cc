@@ -1,5 +1,6 @@
 #include "kernel/compaction.hh"
 
+#include "base/span_trace.hh"
 #include "base/trace.hh"
 #include "kernel/migrate.hh"
 #include "mem/contig_index.hh"
@@ -159,11 +160,18 @@ compactRange(BuddyAllocator &alloc, const OwnerRegistry &registry,
     PhysMem &mem = alloc.mem();
     const bool indexed =
         mem.contigIndexReads() && lo % pagesPerHuge == 0;
+    CTG_SPAN_NAMED(span, Compaction, "compact.range",
+                   {{"lo", static_cast<std::int64_t>(lo)},
+                    {"hi", static_cast<std::int64_t>(hi)},
+                    {"indexed", indexed ? 1 : 0}});
     const CompactionResult result =
         indexed ? compactRangeIndexed(alloc, registry, lo, hi,
                                       max_migrations)
                 : compactRangeReference(alloc, registry, lo, hi,
                                         max_migrations);
+    span.arg("migrated", static_cast<std::int64_t>(result.migrated));
+    span.arg("blocked", static_cast<std::int64_t>(
+                            result.blockedPageblocks));
     CTG_DPRINTF(Compaction,
                 "range [%llu, %llu): migrated=%llu nomem=%llu "
                 "skipped=%llu blocked_pageblocks=%llu",
@@ -186,6 +194,11 @@ compactUntil(BuddyAllocator &alloc, const OwnerRegistry &registry,
         total.targetReached = true;
         return total;
     }
+
+    CTG_SPAN_NAMED(span, Compaction, "compact.until",
+                   {{"target_order", target_order},
+                    {"budget",
+                     static_cast<std::int64_t>(max_migrations)}});
 
     PhysMem &mem = alloc.mem();
     // Run bounded passes; each pass re-walks because freed space
@@ -242,6 +255,8 @@ compactUntil(BuddyAllocator &alloc, const OwnerRegistry &registry,
                 target_order,
                 static_cast<unsigned long long>(total.migrated),
                 int(total.targetReached));
+    span.arg("migrated", static_cast<std::int64_t>(total.migrated));
+    span.arg("reached", total.targetReached ? 1 : 0);
     return total;
 }
 

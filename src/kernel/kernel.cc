@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/span_trace.hh"
 #include "kernel/contig_alloc.hh"
 #include "kernel/vanilla_policy.hh"
 #include "mem/auditor.hh"
@@ -83,6 +84,9 @@ Kernel::advanceSeconds(double dt)
             const auto budget =
                 static_cast<std::uint64_t>(kcompactdCarry_);
             kcompactdCarry_ -= static_cast<double>(budget);
+            CTG_SPAN(Compaction, "kernel.kcompactd",
+                     {{"budget",
+                       static_cast<std::int64_t>(budget)}});
             BuddyAllocator &movable = policy_->movableAllocator();
             const CompactionResult r =
                 compactRange(movable, owners_, movable.startPfn(),
@@ -104,6 +108,10 @@ Kernel::allocPages(const AllocRequest &req)
 
     // Slow path: charge a stall to the region this request targets,
     // reclaim, optionally compact, retry.
+    CTG_SPAN_NAMED(span, Kernel, "kernel.alloc_slow",
+                   {{"order", req.order},
+                    {"movable",
+                     req.mt == MigrateType::Movable ? 1 : 0}});
     Psi &psi = req.mt == MigrateType::Movable ? psiMovable_
                                               : psiUnmovable_;
     psi.recordStall(config_.reclaimStallUs);
@@ -113,8 +121,10 @@ Kernel::allocPages(const AllocRequest &req)
     counters_.reclaimedPages += reclaim(want);
 
     head = policy_->alloc(req);
-    if (head != invalidPfn)
+    if (head != invalidPfn) {
+        span.arg("after_reclaim", 1);
         return head;
+    }
 
     // Huge-page faults fail fast in defer mode (khugepaged promotes
     // later); smaller high-order requests compact directly.
@@ -126,12 +136,15 @@ Kernel::allocPages(const AllocRequest &req)
         psi.recordStall(config_.reclaimStallUs);
         compact(req.order);
         head = policy_->alloc(req);
-        if (head != invalidPfn)
+        if (head != invalidPfn) {
+            span.arg("after_compact", 1);
             return head;
+        }
     }
 
     psi.recordStall(config_.reclaimStallUs);
     ++counters_.allocFailures;
+    span.arg("failed", 1);
     return invalidPfn;
 }
 
@@ -154,6 +167,7 @@ Kernel::allocGigantic(std::uint64_t owner)
     // On a vanilla kernel scattered unmovable pages block every
     // candidate window; on Contiguitas the movable region is clean
     // by construction.
+    CTG_SPAN(Kernel, "kernel.alloc_gigantic_slow");
     psiMovable_.recordStall(config_.reclaimStallUs * 4);
     ++counters_.directReclaims;
     counters_.reclaimedPages +=
@@ -240,6 +254,10 @@ Kernel::registerShrinker(Shrinker *shrinker)
 std::uint64_t
 Kernel::reclaim(std::uint64_t target_pages)
 {
+    CTG_SPAN_NAMED(span, Kernel, "kernel.reclaim",
+                   {{"target",
+                     static_cast<std::int64_t>(target_pages)}});
+
     // Injected reclaim failure: every shrinker comes back empty, so
     // the caller's no-progress path (stall accounting, compaction,
     // final allocation failure) is exercised.
@@ -252,6 +270,7 @@ Kernel::reclaim(std::uint64_t target_pages)
             break;
         freed += shrinker->shrink(target_pages - freed);
     }
+    span.arg("freed", static_cast<std::int64_t>(freed));
     return freed;
 }
 

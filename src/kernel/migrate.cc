@@ -1,5 +1,6 @@
 #include "kernel/migrate.hh"
 
+#include "base/span_trace.hh"
 #include "base/trace.hh"
 #include "sim/fault_injector.hh"
 
@@ -40,16 +41,21 @@ migrateBlock(BuddyAllocator &src_alloc, BuddyAllocator &dst_alloc,
     MigrateStats &mstats = globalMigrateStats();
     ++mstats.attempts;
 
+    CTG_SPAN_NAMED(span, Migrate, "migrate.block",
+                   {{"src", static_cast<std::int64_t>(src)}});
+
     PhysMem &mem = src_alloc.mem();
     const PageFrame &sf = mem.frame(src);
     ctg_assert(!sf.isFree() && sf.isHead());
 
     if (sf.isPinned()) {
         ++mstats.unmovable;
+        span.arg("unmovable", 1);
         return MigrateResult::Unmovable;
     }
     if (!registry.relocatable(sf.owner)) {
         ++mstats.unmovable;
+        span.arg("unmovable", 1);
         return MigrateResult::Unmovable;
     }
 
@@ -64,6 +70,7 @@ migrateBlock(BuddyAllocator &src_alloc, BuddyAllocator &dst_alloc,
                     "order-%u block at %llu: injected destination "
                     "failure", order,
                     static_cast<unsigned long long>(src));
+        span.arg("no_memory", 1);
         return MigrateResult::NoMemory;
     }
 
@@ -75,6 +82,7 @@ migrateBlock(BuddyAllocator &src_alloc, BuddyAllocator &dst_alloc,
                     "order-%u block at %llu: no destination in %s",
                     order, static_cast<unsigned long long>(src),
                     dst_alloc.name().c_str());
+        span.arg("no_memory", 1);
         return MigrateResult::NoMemory;
     }
 
@@ -89,17 +97,21 @@ migrateBlock(BuddyAllocator &src_alloc, BuddyAllocator &dst_alloc,
                     "refusal, destination %llu rolled back", order,
                     static_cast<unsigned long long>(src),
                     static_cast<unsigned long long>(dst));
+        span.arg("rolled_back", 1);
         return MigrateResult::Unmovable;
     }
 
     if (!registry.relocate(owner, src, dst)) {
         dst_alloc.freePages(dst);
         ++mstats.unmovable;
+        span.arg("rolled_back", 1);
         return MigrateResult::Unmovable;
     }
 
     src_alloc.freePages(src);
     ++mstats.moved;
+    span.arg("dst", static_cast<std::int64_t>(dst));
+    span.arg("order", order);
     CTG_DPRINTF(Migrate, "order-%u block %llu -> %llu (%s)", order,
                 static_cast<unsigned long long>(src),
                 static_cast<unsigned long long>(dst),

@@ -4,6 +4,7 @@
 
 #include "base/env_config.hh"
 #include "base/logging.hh"
+#include "base/span_trace.hh"
 
 namespace ctg
 {
@@ -77,7 +78,7 @@ FaultInjector::reseedSite(unsigned i)
 }
 
 bool
-FaultInjector::evaluateArmed(SiteState &state)
+FaultInjector::evaluateArmed(FaultSite site, SiteState &state)
 {
     ++state.sinceArmed;
     bool fired = false;
@@ -99,8 +100,20 @@ FaultInjector::evaluateArmed(SiteState &state)
       case FaultSpec::Trigger::Off:
         break;
     }
-    if (fired)
+    if (fired) {
         ++state.stats.fires;
+        if (spans::enabled(TraceFlag::Faults)) {
+            // Drops the fault into the causal span tree: the instant
+            // inherits the innermost open span (the migration,
+            // evacuation, or alloc the site is about to fail).
+            spans::instant(
+                TraceFlag::Faults, siteName(site),
+                {{"evaluation",
+                  static_cast<std::int64_t>(state.sinceArmed)},
+                 {"fire",
+                  static_cast<std::int64_t>(state.stats.fires)}});
+        }
+    }
     return fired;
 }
 

@@ -134,7 +134,7 @@ class FaultInjector
         ++state.stats.evaluations;
         if (state.spec.trigger == FaultSpec::Trigger::Off)
             return false;
-        return evaluateArmed(state);
+        return evaluateArmed(site, state);
     }
 
     /** Arm a site with a trigger spec (replaces any previous spec;
@@ -240,8 +240,10 @@ class FaultInjector
         return i;
     }
 
-    /** Slow path of shouldFail for armed sites. */
-    bool evaluateArmed(SiteState &state);
+    /** Slow path of shouldFail for armed sites. Fires show up as
+     * span instants (Faults flag) annotated with the site name, so
+     * chaos runs place each fault inside the causal span tree. */
+    bool evaluateArmed(FaultSite site, SiteState &state);
 
     void reseedSite(unsigned i);
 

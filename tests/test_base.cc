@@ -7,11 +7,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <fstream>
 #include <map>
+#include <sstream>
 
+#include "base/mergeable_stats.hh"
 #include "base/rng.hh"
+#include "base/span_trace.hh"
 #include "base/stats.hh"
 #include "base/table.hh"
+#include "base/trace.hh"
 #include "base/units.hh"
 #include "sim/eventq.hh"
 
@@ -335,6 +341,401 @@ TEST(LoggingTest, PanicThrows)
         EXPECT_NE(std::string(e.what()).find("value=42"),
                   std::string::npos);
     }
+}
+
+/** RAII guard: every trace-flag test leaves the mask empty. */
+struct TraceMaskGuard
+{
+    ~TraceMaskGuard() { trace::disableAll(); }
+};
+
+TEST(TraceFlagsTest, SetFromStringEnablesListedFlags)
+{
+    const TraceMaskGuard guard;
+    trace::disableAll();
+    trace::setFromString("Buddy,Region");
+    EXPECT_TRUE(trace::enabled(TraceFlag::Buddy));
+    EXPECT_TRUE(trace::enabled(TraceFlag::Region));
+    EXPECT_FALSE(trace::enabled(TraceFlag::Migrate));
+}
+
+TEST(TraceFlagsTest, SetFromStringAllEnablesEveryFlag)
+{
+    const TraceMaskGuard guard;
+    trace::disableAll();
+    trace::setFromString("All");
+    EXPECT_EQ(trace::mask_.load(), trace::allFlagsMask());
+}
+
+TEST(TraceFlagsTest, SetFromStringEmptyAndSeparatorsAreNoops)
+{
+    const TraceMaskGuard guard;
+    trace::disableAll();
+    trace::setFromString("");
+    EXPECT_EQ(trace::mask_.load(), 0u);
+    trace::setFromString(",,  , ");
+    EXPECT_EQ(trace::mask_.load(), 0u);
+}
+
+TEST(TraceFlagsTest, SetFromStringIgnoresUnknownFlags)
+{
+    const TraceMaskGuard guard;
+    trace::disableAll();
+    trace::setFromString("Bogus,Buddy,AlsoNotAFlag");
+    EXPECT_EQ(trace::mask_.load(),
+              static_cast<std::uint32_t>(TraceFlag::Buddy));
+}
+
+TEST(TraceFlagsTest, SetFromStringIsCaseSensitive)
+{
+    const TraceMaskGuard guard;
+    trace::disableAll();
+    // Flag names are exact: lowercase or shouty variants are unknown
+    // flags, warned about and ignored, not silently matched.
+    trace::setFromString("buddy,REGION,migrate");
+    EXPECT_EQ(trace::mask_.load(), 0u);
+}
+
+TEST(TraceFlagsTest, SetFromStringTrailingCommaAndSpaces)
+{
+    const TraceMaskGuard guard;
+    trace::disableAll();
+    trace::setFromString("Buddy, Region,");
+    EXPECT_TRUE(trace::enabled(TraceFlag::Buddy));
+    EXPECT_TRUE(trace::enabled(TraceFlag::Region));
+}
+
+TEST(TraceFlagsTest, FlagFromNameRoundTripsEveryName)
+{
+    const TraceFlag all[] = {
+        TraceFlag::Buddy,     TraceFlag::Compaction,
+        TraceFlag::Migrate,   TraceFlag::Shootdown,
+        TraceFlag::ChwEngine, TraceFlag::Region,
+        TraceFlag::Fleet,     TraceFlag::Kernel,
+        TraceFlag::Tlb,       TraceFlag::Faults,
+    };
+    for (const TraceFlag flag : all) {
+        TraceFlag parsed;
+        ASSERT_TRUE(trace::flagFromName(trace::flagName(flag),
+                                        &parsed));
+        EXPECT_EQ(parsed, flag);
+    }
+    TraceFlag unused;
+    EXPECT_FALSE(trace::flagFromName("?", &unused));
+    EXPECT_FALSE(trace::flagFromName("", &unused));
+}
+
+TEST(TraceSinkTest, FileSinkRedirectsDprintfOutput)
+{
+    const TraceMaskGuard guard;
+    const std::string path =
+        ::testing::TempDir() + "ctg_trace_sink_test.log";
+    // openFileSink is the machinery CTG_TRACE_FILE drives at
+    // startup; exercise it directly so the test owns the lifetime.
+    ASSERT_TRUE(trace::openFileSink(path));
+    trace::enable(TraceFlag::Buddy);
+    CTG_DPRINTF(Buddy, "redirected %d", 42);
+    trace::disable(TraceFlag::Buddy);
+    CTG_DPRINTF(Buddy, "suppressed %d", 7);
+    trace::setSink(nullptr); // closes the owned file, back to stderr
+
+    std::ifstream in(path);
+    std::stringstream contents;
+    contents << in.rdbuf();
+    EXPECT_NE(contents.str().find("Buddy: redirected 42"),
+              std::string::npos);
+    EXPECT_EQ(contents.str().find("suppressed"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(TraceSinkTest, OpenFileSinkFailureKeepsCurrentSink)
+{
+    EXPECT_FALSE(
+        trace::openFileSink("/nonexistent-dir/trace.out"));
+}
+
+/** RAII guard: span tests leave no collected state or flags behind. */
+struct SpanResetGuard
+{
+    ~SpanResetGuard() { spans::resetForTest(); }
+};
+
+TEST(SpanTraceTest, DisabledSpansAreInert)
+{
+    const SpanResetGuard guard;
+    spans::resetForTest();
+    {
+        CTG_SPAN(Region, "never.recorded", {{"k", 1}});
+        CTG_SPAN_EVENT(Region, "never.either");
+    }
+    EXPECT_EQ(spans::collectedCount(), 0u);
+    EXPECT_EQ(spans::newFlowId(), 0u);
+}
+
+TEST(SpanTraceTest, NestedSpansRecordParentsAndEndArgs)
+{
+    const SpanResetGuard guard;
+    spans::resetForTest();
+    spans::enableAll();
+    {
+        CTG_SPAN_NAMED(outer, Region, "outer", {{"pages", 8}});
+        {
+            CTG_SPAN_NAMED(inner, Migrate, "inner");
+            inner.arg("dst", 17);
+            EXPECT_TRUE(inner.active());
+        }
+    }
+    const auto events = spans::collectedEvents();
+    ASSERT_EQ(events.size(), 4u);
+    using Phase = spans::Event::Phase;
+    EXPECT_EQ(events[0].phase, Phase::Begin);
+    EXPECT_STREQ(events[0].name, "outer");
+    EXPECT_EQ(events[0].parent, 0u);
+    ASSERT_EQ(events[0].nargs, 1u);
+    EXPECT_STREQ(events[0].args[0].key, "pages");
+    EXPECT_EQ(events[0].args[0].value, 8);
+
+    EXPECT_EQ(events[1].phase, Phase::Begin);
+    EXPECT_STREQ(events[1].name, "inner");
+    EXPECT_EQ(events[1].parent, events[0].id);
+
+    EXPECT_EQ(events[2].phase, Phase::End);
+    EXPECT_EQ(events[2].id, events[1].id);
+    ASSERT_EQ(events[2].nargs, 1u);
+    EXPECT_STREQ(events[2].args[0].key, "dst");
+    EXPECT_EQ(events[2].args[0].value, 17);
+
+    EXPECT_EQ(events[3].phase, Phase::End);
+    EXPECT_EQ(events[3].id, events[0].id);
+
+    // Logical timestamps are strictly increasing within the stream.
+    for (std::size_t i = 1; i < events.size(); ++i)
+        EXPECT_GT(events[i].ts, events[i - 1].ts);
+}
+
+TEST(SpanTraceTest, InstantAndFlowBindToEnclosingSpan)
+{
+    const SpanResetGuard guard;
+    spans::resetForTest();
+    spans::enableAll();
+    std::uint64_t flow = 0;
+    {
+        CTG_SPAN(Shootdown, "origin");
+        flow = spans::newFlowId();
+        EXPECT_NE(flow, 0u);
+        spans::flowBegin(TraceFlag::Shootdown, "arrow", flow);
+        CTG_SPAN_EVENT(Faults, "fault.fired", {{"round", 2}});
+    }
+    {
+        CTG_SPAN(Shootdown, "completion");
+        spans::flowEnd(TraceFlag::Shootdown, "arrow", flow);
+    }
+    // B origin, s arrow, i fault, E origin, B completion, f arrow,
+    // E completion.
+    const auto events = spans::collectedEvents();
+    ASSERT_EQ(events.size(), 7u);
+    using Phase = spans::Event::Phase;
+    const auto &origin = events[0];
+    EXPECT_EQ(events[1].phase, Phase::FlowBegin);
+    EXPECT_EQ(events[1].id, flow);
+    EXPECT_EQ(events[1].parent, origin.id);
+    EXPECT_EQ(events[2].phase, Phase::Instant);
+    EXPECT_EQ(events[2].parent, origin.id);
+    const auto &completion = events[4];
+    EXPECT_EQ(completion.phase, Phase::Begin);
+    EXPECT_EQ(events[5].phase, Phase::FlowEnd);
+    EXPECT_EQ(events[5].id, flow);
+    EXPECT_EQ(events[5].parent, completion.id);
+    EXPECT_EQ(events[6].phase, Phase::End);
+    EXPECT_EQ(events[6].id, completion.id);
+}
+
+TEST(SpanTraceTest, CaptureBuffersAndPublishesWholeStream)
+{
+    const SpanResetGuard guard;
+    spans::resetForTest();
+    spans::enableAll();
+    const std::uint32_t stream = spans::reserveStreams(1);
+    std::vector<spans::Event> captured;
+    {
+        spans::Capture capture(stream);
+        {
+            CTG_SPAN(Region, "in.capture");
+        }
+        EXPECT_EQ(spans::collectedCount(), 0u)
+            << "captured events must not reach the collector early";
+        captured = capture.take();
+    }
+    ASSERT_EQ(captured.size(), 2u);
+    EXPECT_EQ(captured[0].stream, stream);
+    // Ids encode (stream, sequence): schedule-independent.
+    EXPECT_EQ(captured[0].id >> 32, stream);
+    spans::publish(captured);
+    EXPECT_EQ(spans::collectedCount(), 2u);
+}
+
+TEST(SpanTraceTest, FullCaptureDropsWholePairs)
+{
+    const SpanResetGuard guard;
+    spans::resetForTest();
+    spans::enableAll();
+    const std::uint32_t stream = spans::reserveStreams(1);
+    spans::Capture capture(stream, 2);
+    {
+        CTG_SPAN(Region, "a");
+        {
+            CTG_SPAN(Region, "b");
+            {
+                // Begin does not fit: the whole span must vanish,
+                // not leave an orphan End.
+                CTG_SPAN_NAMED(c, Region, "c");
+                EXPECT_FALSE(c.active());
+            }
+        }
+    }
+    const auto events = capture.take();
+    EXPECT_EQ(capture.dropped(), 1u);
+    ASSERT_EQ(events.size(), 4u);
+    using Phase = spans::Event::Phase;
+    EXPECT_EQ(events[0].phase, Phase::Begin);
+    EXPECT_EQ(events[1].phase, Phase::Begin);
+    EXPECT_EQ(events[2].phase, Phase::End);
+    EXPECT_EQ(events[2].id, events[1].id);
+    EXPECT_EQ(events[3].phase, Phase::End);
+    EXPECT_EQ(events[3].id, events[0].id);
+}
+
+TEST(SpanTraceTest, PublishAtCollectorCapKeepsStreamsBalanced)
+{
+    const SpanResetGuard guard;
+    spans::resetForTest();
+    spans::enableAll();
+    const std::uint32_t stream = spans::reserveStreams(1);
+    std::vector<spans::Event> captured;
+    {
+        spans::Capture capture(stream);
+        {
+            CTG_SPAN(Region, "outer");
+            for (int i = 0; i < 4; ++i) {
+                CTG_SPAN(Region, "inner", {{"i", i}});
+            }
+        }
+        captured = capture.take();
+    }
+    ASSERT_EQ(captured.size(), 10u); // 5 Begins + 5 Ends
+
+    // Cap of 3: "outer" B and the first "inner" B/E fit; later
+    // Begins are dropped at the cap and must take their Ends with
+    // them, while outer's End (Begin published) still bypasses it.
+    spans::setCollectorCapForTest(3);
+    spans::publish(captured);
+    const auto events = spans::collectedEvents();
+    ASSERT_EQ(events.size(), 4u);
+    using Phase = spans::Event::Phase;
+    EXPECT_EQ(events[0].phase, Phase::Begin); // outer
+    EXPECT_EQ(events[1].phase, Phase::Begin); // inner 0
+    EXPECT_EQ(events[2].phase, Phase::End);
+    EXPECT_EQ(events[2].id, events[1].id);
+    EXPECT_EQ(events[3].phase, Phase::End);
+    EXPECT_EQ(events[3].id, events[0].id);
+    EXPECT_EQ(spans::droppedCount(), 6u);
+}
+
+TEST(SpanTraceTest, ExportJsonIsWellFormedTraceEvents)
+{
+    const SpanResetGuard guard;
+    spans::resetForTest();
+    spans::enableAll();
+    {
+        CTG_SPAN(Region, "json.span", {{"pages", 3}});
+        CTG_SPAN_EVENT(Region, "json.instant");
+    }
+    const std::string json = spans::exportJson();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("json.span"), std::string::npos);
+    EXPECT_NE(json.find("\"pages\":3"), std::string::npos);
+    // Balanced braces/brackets is a cheap proxy for well-formedness;
+    // the CI smoke test runs a real JSON parser over a fleet trace.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(OnlineHistogramTest, MatchesEmpiricalCdfExactly)
+{
+    Rng rng(99);
+    EmpiricalCdf cdf;
+    OnlineHistogram hist;
+    for (int i = 0; i < 500; ++i) {
+        // Coarse quantization forces duplicates, the case where
+        // weighted counting could diverge from the sample vector.
+        const double v =
+            static_cast<double>(rng.below(40)) / 8.0;
+        cdf.add(v);
+        hist.add(v);
+    }
+    for (const double frac :
+         {0.0, 0.01, 0.1, 0.25, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_EQ(hist.quantile(frac), cdf.quantile(frac)) << frac;
+    for (const double x : {-1.0, 0.0, 1.99, 2.5, 4.875, 10.0})
+        EXPECT_EQ(hist.fractionAtOrBelow(x),
+                  cdf.fractionAtOrBelow(x))
+            << x;
+}
+
+TEST(OnlineHistogramTest, MergeIsOrderAndPartitionInsensitive)
+{
+    Rng rng(123);
+    std::vector<double> samples;
+    for (int i = 0; i < 300; ++i)
+        samples.push_back(rng.gaussian(10.0, 3.0));
+
+    OnlineHistogram sequential;
+    for (const double v : samples)
+        sequential.add(v);
+
+    // Partition into three sinks and merge in two different orders.
+    OnlineHistogram parts[3];
+    for (std::size_t i = 0; i < samples.size(); ++i)
+        parts[i % 3].add(samples[i]);
+    OnlineHistogram forward;
+    forward.merge(parts[0]);
+    forward.merge(parts[1]);
+    forward.merge(parts[2]);
+    OnlineHistogram backward;
+    backward.merge(parts[2]);
+    backward.merge(parts[1]);
+    backward.merge(parts[0]);
+
+    for (const OnlineHistogram *merged : {&forward, &backward}) {
+        EXPECT_EQ(merged->count(), sequential.count());
+        EXPECT_TRUE(merged->buckets() == sequential.buckets());
+        EXPECT_EQ(merged->mean(), sequential.mean());
+        EXPECT_EQ(merged->sum(), sequential.sum());
+        for (const double frac : {0.05, 0.5, 0.95})
+            EXPECT_EQ(merged->quantile(frac),
+                      sequential.quantile(frac));
+    }
+}
+
+TEST(OnlineHistogramTest, WeightsAndMoments)
+{
+    OnlineHistogram hist;
+    hist.add(2.0, 3);
+    hist.add(5.0);
+    EXPECT_EQ(hist.count(), 4u);
+    EXPECT_EQ(hist.distinct(), 2u);
+    EXPECT_EQ(hist.min(), 2.0);
+    EXPECT_EQ(hist.max(), 5.0);
+    EXPECT_EQ(hist.sum(), 11.0);
+    EXPECT_EQ(hist.mean(), 11.0 / 4.0);
+    EXPECT_EQ(hist.quantile(0.0), 2.0);
+    EXPECT_EQ(hist.quantile(1.0), 5.0);
+    EXPECT_EQ(hist.fractionAtOrBelow(2.0), 0.75);
 }
 
 } // namespace

@@ -14,11 +14,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "base/rng.hh"
+#include "base/span_trace.hh"
 #include "base/units.hh"
 #include "contiguitas/policy.hh"
 #include "contiguitas/region_manager.hh"
@@ -862,6 +865,101 @@ TEST_F(ChaosTest, ChaosRunsReplayBitIdentically)
         return record;
     };
     EXPECT_EQ(once(), once());
+}
+
+// ---------------------------------------------------------------
+// Chaos x span tracing: faults land in the causal tree, and
+// emitting them never perturbs the simulation
+// ---------------------------------------------------------------
+
+/** Clean span-collector slate around a case (mask off, events
+ * cleared) even when an assertion bails out early. */
+struct SpanResetGuard
+{
+    SpanResetGuard() { spans::resetForTest(); }
+    ~SpanResetGuard() { spans::resetForTest(); }
+};
+
+/**
+ * Every armed-site fire is an annotated Instant named after the
+ * site, parented to the innermost open span — the migration or
+ * alloc it is about to fail — so a Perfetto view of a chaos run
+ * shows exactly where each injection landed.
+ */
+TEST_F(ChaosTest, ArmedFaultSitesEmitAnnotatedSpanInstants)
+{
+    const SpanResetGuard guard;
+    spans::enableAll();
+    faultInjector().arm(FaultSite::BuddyAllocFail,
+                        FaultSpec::everyNth(2));
+
+    std::uint64_t probe_id = 0;
+    {
+        CTG_SPAN_NAMED(probe, Faults, "chaos.probe",
+                       {{"probes", 4}});
+        probe_id = probe.id();
+        for (int i = 0; i < 4; ++i)
+            faultInjector().shouldFail(FaultSite::BuddyAllocFail);
+    }
+    ASSERT_NE(probe_id, 0u);
+
+    const char *const site =
+        FaultInjector::siteName(FaultSite::BuddyAllocFail);
+    std::vector<spans::Event> fires;
+    for (const spans::Event &e : spans::collectedEvents()) {
+        if (e.phase == spans::Event::Phase::Instant &&
+            std::string(e.name) == site) {
+            fires.push_back(e);
+        }
+    }
+    // everyNth(2) over four probes: evaluations 2 and 4 fire.
+    ASSERT_EQ(fires.size(), 2u);
+    for (const spans::Event &e : fires) {
+        EXPECT_EQ(e.flag, TraceFlag::Faults);
+        EXPECT_EQ(e.parent, probe_id)
+            << "fault instant not bound to the enclosing span";
+        ASSERT_EQ(e.nargs, 2u);
+        EXPECT_STREQ(e.args[0].key, "evaluation");
+        EXPECT_STREQ(e.args[1].key, "fire");
+    }
+    EXPECT_EQ(fires[0].args[0].value, 2);
+    EXPECT_EQ(fires[0].args[1].value, 1);
+    EXPECT_EQ(fires[1].args[0].value, 4);
+    EXPECT_EQ(fires[1].args[1].value, 2);
+}
+
+/**
+ * Replay parity with the collector hot: a fully traced chaos run
+ * (every pipeline span + fault instants recorded) must reproduce
+ * the untraced run bit for bit — scan results and per-site fault
+ * counts alike. Guards against span emission consuming simulation
+ * RNG or reordering work.
+ */
+TEST_F(ChaosTest, SpanEmissionDoesNotPerturbChaosReplay)
+{
+    const auto once = [](bool traced) {
+        const SpanResetGuard guard;
+        if (traced)
+            spans::enableAll();
+        faultInjector().reset(0xfee1);
+        Server server(chaosServer(true));
+        armFleetFaults();
+        const ServerScan scan = server.run();
+        std::vector<std::uint64_t> record{scan.freePages,
+                                          scan.free2mBlocks};
+        for (unsigned i = 0; i < numFaultSites; ++i) {
+            const auto &s =
+                faultInjector().siteStats(static_cast<FaultSite>(i));
+            record.push_back(s.evaluations);
+            record.push_back(s.fires);
+        }
+        if (traced) {
+            EXPECT_GT(spans::collectedCount(), 0u)
+                << "traced run collected no spans";
+        }
+        return record;
+    };
+    EXPECT_EQ(once(false), once(true));
 }
 
 } // namespace

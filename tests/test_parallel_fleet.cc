@@ -12,11 +12,15 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "base/span_trace.hh"
+#include "base/stats.hh"
 #include "base/units.hh"
 #include "fleet/fleet.hh"
 #include "sim/executor.hh"
@@ -250,6 +254,138 @@ TEST(ParallelFleet, WallClockAndThreadsReported)
     ASSERT_NE(threads, nullptr);
     EXPECT_DOUBLE_EQ(wall->value(), fleet.lastRunWallMs());
     EXPECT_DOUBLE_EQ(threads->value(), 2.0);
+}
+
+// ---------------------------------------------------------------
+// Span streams and streaming scan sinks across thread counts
+// ---------------------------------------------------------------
+
+/**
+ * Flatten the collected span stream to one line per event.
+ * Excluded: wall clock (profiling-only) and `threads` args — like
+ * the `fleet.threads` stat, the worker count legitimately names the
+ * run configuration. Everything else — phase, name, ids, logical
+ * timestamps, simulated ticks, streams and args — must be
+ * bit-identical at any thread count.
+ */
+std::vector<std::string>
+spanRecord()
+{
+    std::vector<std::string> out;
+    for (const spans::Event &e : spans::collectedEvents()) {
+        char head[160];
+        std::snprintf(head, sizeof(head),
+                      "%d|%s|%llu|%llu|%llu|%llu|%u",
+                      static_cast<int>(e.phase), e.name,
+                      static_cast<unsigned long long>(e.id),
+                      static_cast<unsigned long long>(e.parent),
+                      static_cast<unsigned long long>(e.ts),
+                      static_cast<unsigned long long>(e.tick),
+                      e.stream);
+        std::string line = head;
+        for (unsigned a = 0; a < e.nargs; ++a) {
+            if (std::strcmp(e.args[a].key, "threads") == 0)
+                continue;
+            line += '|';
+            line += e.args[a].key;
+            line += '=';
+            line += std::to_string(e.args[a].value);
+        }
+        out.push_back(std::move(line));
+    }
+    return out;
+}
+
+TEST(ParallelFleet, SpanStreamsBitIdenticalAcrossThreadCounts)
+{
+    // Reference run with spans off: capture must never perturb the
+    // simulation, so every traced run below must reproduce it.
+    const RunRecord plain = runFleetAt(1, /*withFaults=*/false);
+
+    spans::resetForTest();
+    spans::enableAll();
+    const RunRecord tracedAtOne = runFleetAt(1, /*withFaults=*/false);
+    const std::vector<std::string> baseline = spanRecord();
+    spans::resetForTest();
+
+    EXPECT_TRUE(plain == tracedAtOne)
+        << "span capture perturbed the simulation";
+    ASSERT_FALSE(baseline.empty());
+    EXPECT_EQ(spans::droppedCount(), 0u);
+
+    for (const unsigned threads : {4u, 8u}) {
+        spans::enableAll();
+        const RunRecord traced =
+            runFleetAt(threads, /*withFaults=*/false);
+        const std::vector<std::string> events = spanRecord();
+        spans::resetForTest();
+        EXPECT_TRUE(plain == traced)
+            << "span capture perturbed the simulation at "
+            << threads << " threads";
+        EXPECT_EQ(baseline, events)
+            << "span stream diverges at " << threads << " threads";
+    }
+}
+
+TEST(ParallelFleet, StreamedSinksMatchMaterializedQuantiles)
+{
+    const double fracs[] = {0.0, 0.1, 0.25, 0.5,
+                            0.75, 0.9, 0.99, 1.0};
+    std::vector<std::uint64_t> baseline;
+    for (const unsigned threads : {1u, 4u, 8u}) {
+        Fleet::Config config = smallFleet();
+        config.threads = threads;
+        config.streamScans = true;
+        Fleet fleet(config);
+        const std::vector<ServerScan> scans = fleet.run();
+        ASSERT_FALSE(scans.empty());
+
+        // Materialized reference: the sample vectors the streaming
+        // path is allowed to drop.
+        EmpiricalCdf free2m;
+        EmpiricalCdf unmovable;
+        EmpiricalCdf ratio;
+        EmpiricalCdf uptime;
+        for (const ServerScan &scan : scans) {
+            free2m.add(scan.freeContiguity[0]);
+            unmovable.add(scan.unmovableBlocks[0]);
+            ratio.add(scan.unmovablePageRatio);
+            uptime.add(scan.uptimeSec);
+        }
+
+        const Fleet::ScanSinks &sinks = fleet.scanSinks();
+        EXPECT_EQ(sinks.freeContiguity2m.count(), scans.size());
+        EXPECT_EQ(sinks.uptimeSec.count(), scans.size());
+
+        std::vector<std::uint64_t> record;
+        const auto check = [&](const OnlineHistogram &sink,
+                               const EmpiricalCdf &cdf,
+                               const char *what) {
+            for (const double f : fracs) {
+                EXPECT_EQ(bits(sink.quantile(f)),
+                          bits(cdf.quantile(f)))
+                    << what << " quantile(" << f << ") at "
+                    << threads << " threads";
+                record.push_back(bits(sink.quantile(f)));
+            }
+        };
+        check(sinks.freeContiguity2m, free2m, "freeContiguity2m");
+        check(sinks.unmovableBlocks2m, unmovable,
+              "unmovableBlocks2m");
+        check(sinks.unmovablePageRatio, ratio,
+              "unmovablePageRatio");
+        check(sinks.uptimeSec, uptime, "uptimeSec");
+        EXPECT_EQ(
+            bits(sinks.uptimeSec.fractionAtOrBelow(4.5)),
+            bits(uptime.fractionAtOrBelow(4.5)));
+
+        if (baseline.empty())
+            baseline = record;
+        else
+            EXPECT_EQ(baseline, record)
+                << "streamed quantiles diverge at " << threads
+                << " threads";
+    }
 }
 
 // ---------------------------------------------------------------
