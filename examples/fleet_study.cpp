@@ -65,6 +65,10 @@ main(int argc, char **argv)
     config.minUptimeSec = 25.0;
     config.maxUptimeSec = 80.0;
     config.seed = 0xf1ee7;
+    // Honor CTG_THREADS / CTG_CHECKPOINT / CTG_RESTORE etc., like
+    // the bench binaries do. The printed report is bit-identical
+    // whatever these knobs say, which CI's round-trip smoke diffs.
+    config.applyEnvOverlay();
 
     std::printf("sampling %u vanilla servers ...\n", servers);
     config.contiguitas = false;

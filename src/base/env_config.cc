@@ -14,10 +14,14 @@ namespace
 {
 
 /** Parse a decimal unsigned >= 1; returns false on malformed input
- * (which the caller warns about) and on values below 1. */
+ * (which the caller warns about) and on values below 1. strtoul
+ * quietly wraps negative input ("-2" becomes a huge unsigned), so
+ * reject anything that does not start with a digit. */
 bool
 parsePositive(const char *text, unsigned *out)
 {
+    if (text[0] < '0' || text[0] > '9')
+        return false;
     char *end = nullptr;
     const unsigned long parsed = std::strtoul(text, &end, 10);
     if (end == text || *end != '\0' || parsed < 1)
@@ -26,14 +30,26 @@ parsePositive(const char *text, unsigned *out)
     return true;
 }
 
+/** Strict boolean: only the documented spellings are accepted.
+ * Returns false (leaving *out untouched) on anything else, so the
+ * caller can warn naming the variable — "CTG_EXACT_PREF=ture" must
+ * not silently enable the knob. */
 bool
-parseBool(const char *text)
+parseBool(const char *text, bool *out)
 {
-    return std::strcmp(text, "0") != 0 &&
-           std::strcmp(text, "off") != 0 &&
-           std::strcmp(text, "OFF") != 0 &&
-           std::strcmp(text, "false") != 0 &&
-           std::strcmp(text, "no") != 0;
+    for (const char *yes : {"1", "on", "ON", "true", "yes"}) {
+        if (std::strcmp(text, yes) == 0) {
+            *out = true;
+            return true;
+        }
+    }
+    for (const char *no : {"0", "off", "OFF", "false", "no"}) {
+        if (std::strcmp(text, no) == 0) {
+            *out = false;
+            return true;
+        }
+    }
+    return false;
 }
 
 } // namespace
@@ -55,7 +71,8 @@ EnvConfig::fromEnv()
             config.hasFaultSeed = true;
             config.faultSeed = parsed;
         } else {
-            warn("ignoring malformed CTG_FAULTS_SEED '%s'", env);
+            warn_once("ignoring malformed CTG_FAULTS_SEED '%s'",
+                      env);
         }
     }
 
@@ -65,8 +82,10 @@ EnvConfig::fromEnv()
     if (const char *env = std::getenv("CTG_STATS_JSON"))
         config.statsJsonPath = env;
 
-    if (const char *env = std::getenv("CTG_FIG11_POP"))
-        (void)parsePositive(env, &config.fig11Population);
+    if (const char *env = std::getenv("CTG_FIG11_POP")) {
+        if (!parsePositive(env, &config.fig11Population))
+            warn_once("ignoring malformed CTG_FIG11_POP '%s'", env);
+    }
 
     if (const char *env = std::getenv("CTG_TRACE"))
         config.traceSpec = env;
@@ -77,16 +96,31 @@ EnvConfig::fromEnv()
     if (const char *env = std::getenv("CTG_TRACE_SPANS"))
         config.traceSpansPath = env;
 
-    if (const char *env = std::getenv("CTG_STREAM_SCANS"))
-        config.streamScans = parseBool(env);
+    if (const char *env = std::getenv("CTG_STREAM_SCANS")) {
+        if (!parseBool(env, &config.streamScans))
+            warn_once("ignoring malformed CTG_STREAM_SCANS '%s'",
+                      env);
+    }
 
     config.csvTables = std::getenv("CTG_CSV") != nullptr;
 
-    if (const char *env = std::getenv("CTG_CONTIG_INDEX"))
-        config.contigIndexReads = parseBool(env);
+    if (const char *env = std::getenv("CTG_CONTIG_INDEX")) {
+        if (!parseBool(env, &config.contigIndexReads))
+            warn_once("ignoring malformed CTG_CONTIG_INDEX '%s'",
+                      env);
+    }
 
-    if (const char *env = std::getenv("CTG_EXACT_PREF"))
-        config.exactPref = parseBool(env);
+    if (const char *env = std::getenv("CTG_EXACT_PREF")) {
+        if (!parseBool(env, &config.exactPref))
+            warn_once("ignoring malformed CTG_EXACT_PREF '%s'",
+                      env);
+    }
+
+    if (const char *env = std::getenv("CTG_CHECKPOINT"))
+        config.checkpointDir = env;
+
+    if (const char *env = std::getenv("CTG_RESTORE"))
+        config.restoreDir = env;
 
     return config;
 }

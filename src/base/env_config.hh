@@ -71,8 +71,18 @@ struct EnvConfig
      * this changes placement, so it is opt-in). */
     bool exactPref = false;
 
-    /** Parse the current environment. Malformed numeric values warn
-     * and keep the default, matching the legacy per-site parsers. */
+    /** CTG_CHECKPOINT: directory fleet runs write per-server
+     * snapshot files and a manifest into. */
+    std::string checkpointDir;
+
+    /** CTG_RESTORE: directory fleet runs restore per-server
+     * snapshots from; validation failures cold-start the server. */
+    std::string restoreDir;
+
+    /** Parse the current environment. Every malformed value warns
+     * once, naming the variable and the offending text, and keeps
+     * the default — a typo in a CTG_* knob must never be silently
+     * interpreted. */
     static EnvConfig fromEnv();
 };
 

@@ -11,6 +11,7 @@
 #ifndef CTG_BASE_RNG_HH
 #define CTG_BASE_RNG_HH
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 
@@ -141,6 +142,24 @@ class Rng
     fork()
     {
         return Rng(next() ^ 0xa5a5a5a5deadbeefULL);
+    }
+
+    /** Raw xoshiro256** state, for checkpoint serialization. The
+     * words are the generator's exact position in its stream:
+     * restoring them with setRawState() resumes the identical
+     * sample sequence. */
+    std::array<std::uint64_t, 4>
+    rawState() const
+    {
+        return {state_[0], state_[1], state_[2], state_[3]};
+    }
+
+    /** Overwrite the generator state (checkpoint restore). */
+    void
+    setRawState(const std::array<std::uint64_t, 4> &state)
+    {
+        for (int i = 0; i < 4; ++i)
+            state_[i] = state[i];
     }
 
   private:

@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Minimal byte-stream serialization layer for checkpoint snapshots.
+ *
+ * The snapshot subsystem (sim/snapshot.hh) needs exactly four things
+ * from its encoding: fixed-width little-endian primitives so a value
+ * round-trips bit-for-bit (doubles travel as their IEEE-754 bit
+ * pattern, never through text), length-framed sections so a reader
+ * can skip or reject a damaged region without losing framing, a CRC
+ * per section so corruption is a detected error rather than a
+ * corrupted simulation, and recoverable failure — every malformed
+ * input surfaces as serde::Error, which callers catch to fall back
+ * to a cold start. Nothing here panics.
+ *
+ * Byte order is fixed little-endian (encoded value-wise, not by
+ * memcpy of scalars), so a snapshot's integer framing is
+ * host-independent. Bulk POD arrays (frame tables, link vectors) are
+ * an exception: they are written with native layout for speed and
+ * guarded by static_asserts on size and triviality; the format
+ * version must change if any such struct changes.
+ */
+
+#ifndef CTG_BASE_SERDE_HH
+#define CTG_BASE_SERDE_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace ctg
+{
+namespace serde
+{
+
+/** Recoverable decode/validation failure: truncation, CRC mismatch,
+ * bad magic or version, impossible counts. Callers catch this and
+ * degrade (checkpoint restore falls back to a cold start). */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320). `seed` chains
+ * incremental computations: pass a previous return value to extend. */
+std::uint32_t crc32(const void *data, std::size_t len,
+                    std::uint32_t seed = 0);
+
+/**
+ * Append-only byte-stream encoder with nestable length-framed,
+ * CRC-trailed sections.
+ *
+ * Section wire format:
+ *   u32 id | u32 reserved(0) | u64 payloadLen | payload | u32 crc
+ * where crc covers exactly the payload bytes. beginSection() writes
+ * the header with a length placeholder; endSection() patches the
+ * length and appends the CRC.
+ */
+class Writer
+{
+  public:
+    void
+    putU8(std::uint8_t v)
+    {
+        buf_.push_back(v);
+    }
+
+    void
+    putU16(std::uint16_t v)
+    {
+        putU8(static_cast<std::uint8_t>(v));
+        putU8(static_cast<std::uint8_t>(v >> 8));
+    }
+
+    void
+    putU32(std::uint32_t v)
+    {
+        putU16(static_cast<std::uint16_t>(v));
+        putU16(static_cast<std::uint16_t>(v >> 16));
+    }
+
+    void
+    putU64(std::uint64_t v)
+    {
+        putU32(static_cast<std::uint32_t>(v));
+        putU32(static_cast<std::uint32_t>(v >> 32));
+    }
+
+    void
+    putBool(bool v)
+    {
+        putU8(v ? 1 : 0);
+    }
+
+    /** IEEE-754 bit pattern: the restored double is the same bits,
+     * which the bit-identical resume contract requires. */
+    void
+    putDouble(double v)
+    {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        putU64(bits);
+    }
+
+    void
+    putString(const std::string &s)
+    {
+        putU64(s.size());
+        putBytes(s.data(), s.size());
+    }
+
+    void
+    putRngState(const std::array<std::uint64_t, 4> &state)
+    {
+        for (std::uint64_t word : state)
+            putU64(word);
+    }
+
+    void putBytes(const void *data, std::size_t len);
+
+    /** u64 count + native-layout element bytes. Guarded: only
+     * trivially copyable element types may travel this way. */
+    template <typename T>
+    void
+    putPodVector(const std::vector<T> &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "putPodVector requires trivially copyable T");
+        putU64(v.size());
+        putBytes(v.data(), v.size() * sizeof(T));
+    }
+
+    void beginSection(std::uint32_t id);
+    void endSection();
+
+    const std::vector<std::uint8_t> &
+    bytes() const
+    {
+        return buf_;
+    }
+
+    std::vector<std::uint8_t>
+    take()
+    {
+        return std::move(buf_);
+    }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+    /** Byte offsets of the headers of currently open sections. */
+    std::vector<std::size_t> open_;
+};
+
+/**
+ * Bounds-checked decoder over a borrowed byte range. Every getter
+ * throws serde::Error on truncation; nextSection() additionally
+ * validates the payload CRC before handing out a sub-Reader.
+ */
+class Reader
+{
+  public:
+    Reader(const std::uint8_t *data, std::size_t len)
+        : data_(data), len_(len)
+    {}
+
+    explicit Reader(const std::vector<std::uint8_t> &buf)
+        : Reader(buf.data(), buf.size())
+    {}
+
+    std::uint8_t
+    getU8()
+    {
+        need(1);
+        return data_[pos_++];
+    }
+
+    std::uint16_t
+    getU16()
+    {
+        const std::uint16_t lo = getU8();
+        const std::uint16_t hi = getU8();
+        return static_cast<std::uint16_t>(lo | (hi << 8));
+    }
+
+    std::uint32_t
+    getU32()
+    {
+        const std::uint32_t lo = getU16();
+        const std::uint32_t hi = getU16();
+        return lo | (hi << 16);
+    }
+
+    std::uint64_t
+    getU64()
+    {
+        const std::uint64_t lo = getU32();
+        const std::uint64_t hi = getU32();
+        return lo | (hi << 32);
+    }
+
+    bool
+    getBool()
+    {
+        const std::uint8_t v = getU8();
+        if (v > 1)
+            throw Error("serde: bool byte out of range");
+        return v != 0;
+    }
+
+    double
+    getDouble()
+    {
+        const std::uint64_t bits = getU64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string getString();
+
+    std::array<std::uint64_t, 4>
+    getRngState()
+    {
+        std::array<std::uint64_t, 4> state;
+        for (auto &word : state)
+            word = getU64();
+        return state;
+    }
+
+    void getBytes(void *out, std::size_t len);
+
+    template <typename T>
+    std::vector<T>
+    getPodVector()
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "getPodVector requires trivially copyable T");
+        const std::uint64_t count = getU64();
+        if (count > remaining() / sizeof(T))
+            throw Error("serde: pod vector count exceeds payload");
+        std::vector<T> v(static_cast<std::size_t>(count));
+        getBytes(v.data(), v.size() * sizeof(T));
+        return v;
+    }
+
+    struct Section;
+
+    /** Decode and CRC-check the next section. Throws on truncated
+     * framing or CRC mismatch. */
+    Section nextSection();
+
+    std::size_t
+    remaining() const
+    {
+        return len_ - pos_;
+    }
+
+    bool
+    atEnd() const
+    {
+        return pos_ == len_;
+    }
+
+  private:
+    void
+    need(std::size_t n) const
+    {
+        if (n > remaining())
+            throw Error("serde: input truncated (need " +
+                        std::to_string(n) + " bytes, have " +
+                        std::to_string(remaining()) + ")");
+    }
+
+    const std::uint8_t *data_;
+    std::size_t len_;
+    std::size_t pos_ = 0;
+};
+
+/** One decoded section: its id and a sub-Reader over exactly the
+ * (already CRC-verified) payload bytes. */
+struct Reader::Section
+{
+    std::uint32_t id;
+    Reader payload;
+};
+
+namespace detail
+{
+
+/** Legal protected-member access: `c` is inherited from the
+ * priority_queue base, so &HeapAccess::c is a pointer-to-member of
+ * the base class, applicable to any queue of the same type. */
+template <typename T, typename Container, typename Compare>
+struct HeapAccess : std::priority_queue<T, Container, Compare>
+{
+    static Container &
+    container(std::priority_queue<T, Container, Compare> &q)
+    {
+        return q.*&HeapAccess::c;
+    }
+
+    static const Container &
+    container(const std::priority_queue<T, Container, Compare> &q)
+    {
+        return q.*&HeapAccess::c;
+    }
+};
+
+} // namespace detail
+
+/**
+ * The underlying heap array of a priority_queue, for exact-layout
+ * serialization. Draining a queue and re-pushing would re-heapify,
+ * and elements comparing equal could land in a different order —
+ * visibly different pop order, breaking bit-identical resume. The
+ * heap array restored verbatim is the same object state.
+ */
+template <typename T, typename Container, typename Compare>
+const Container &
+heapOf(const std::priority_queue<T, Container, Compare> &q)
+{
+    return detail::HeapAccess<T, Container, Compare>::container(q);
+}
+
+template <typename T, typename Container, typename Compare>
+Container &
+heapOf(std::priority_queue<T, Container, Compare> &q)
+{
+    return detail::HeapAccess<T, Container, Compare>::container(q);
+}
+
+} // namespace serde
+} // namespace ctg
+
+#endif // CTG_BASE_SERDE_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/serde.hh"
 #include "base/span_trace.hh"
 #include "kernel/migrate.hh"
 #include "kernel/vanilla_policy.hh"
@@ -25,6 +26,55 @@ ContiguitasPolicy::ContiguitasPolicy(Kernel &kernel,
         // allocations packed away from the border.
         regions_.unmovable().setPrefScanCap(256);
     }
+}
+
+ContiguitasPolicy::ContiguitasPolicy(Kernel &kernel,
+                                     const ContiguitasConfig &config,
+                                     serde::Reader &in)
+    : kernel_(kernel), config_(config),
+      regions_(kernel.mem(), kernel.owners(), config.region, in),
+      controller_(config.resize)
+{
+    // Hooks are process-local function objects: re-attach exactly as
+    // in cold construction (the serialized prefScanCap already holds
+    // the bias value, so re-applying it is idempotent).
+    if (config_.hwMigration)
+        regions_.enableHwMigration();
+    regions_.setPinMovedCallback([this](Pfn src, Pfn dst) {
+        kernel_.notifyPinnedMoved(src, dst);
+    });
+
+    for (std::uint64_t *field :
+         {&stats_.pinMigrations, &stats_.pinMigrationFailures,
+          &stats_.urgentExpansions, &stats_.controllerExpands,
+          &stats_.controllerShrinks})
+        *field = in.getU64();
+    lastResizeSec_ = in.getDouble();
+
+    ResizeController::Stats cs;
+    cs.evaluations = in.getU64();
+    cs.expandDecisions = in.getU64();
+    cs.shrinkDecisions = in.getU64();
+    cs.noneDecisions = in.getU64();
+    controller_.restoreStats(cs);
+}
+
+void
+ContiguitasPolicy::saveTo(serde::Writer &out) const
+{
+    regions_.saveTo(out);
+    for (const std::uint64_t field :
+         {stats_.pinMigrations, stats_.pinMigrationFailures,
+          stats_.urgentExpansions, stats_.controllerExpands,
+          stats_.controllerShrinks})
+        out.putU64(field);
+    out.putDouble(lastResizeSec_);
+
+    const ResizeController::Stats &cs = controller_.stats();
+    out.putU64(cs.evaluations);
+    out.putU64(cs.expandDecisions);
+    out.putU64(cs.shrinkDecisions);
+    out.putU64(cs.noneDecisions);
 }
 
 AddrPref

@@ -61,12 +61,31 @@ class ContiguitasPolicy : public MemPolicy
   public:
     ContiguitasPolicy(Kernel &kernel, const ContiguitasConfig &config);
 
+    /** Checkpoint restore: adopt serialized regions, controller and
+     * policy stats; hooks are re-attached as in cold construction. */
+    ContiguitasPolicy(Kernel &kernel, const ContiguitasConfig &config,
+                      serde::Reader &in);
+
     /** Factory for Kernel construction. */
     static Kernel::PolicyFactory
     factory(const ContiguitasConfig &config = {})
     {
         return [config](Kernel &kernel) -> std::unique_ptr<MemPolicy> {
             return std::make_unique<ContiguitasPolicy>(kernel, config);
+        };
+    }
+
+    /** Factory for the Kernel restore constructor: builds the policy
+     * from the serialized stream. The reader must outlive the
+     * factory call (Kernel's restore constructor invokes it
+     * immediately). */
+    static Kernel::PolicyFactory
+    restoreFactory(const ContiguitasConfig &config, serde::Reader &in)
+    {
+        return [config, &in](Kernel &kernel)
+                   -> std::unique_ptr<MemPolicy> {
+            return std::make_unique<ContiguitasPolicy>(kernel, config,
+                                                       in);
         };
     }
 
@@ -108,6 +127,8 @@ class ContiguitasPolicy : public MemPolicy
     {
         regions_.attachAuditorChecks(auditor);
     }
+
+    void saveTo(serde::Writer &out) const override;
 
   private:
     /** Placement preference inside the unmovable region. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/serde.hh"
 #include "base/span_trace.hh"
 #include "base/trace.hh"
 #include "kernel/migrate.hh"
@@ -42,6 +43,76 @@ RegionManager::RegionManager(PhysMem &mem, OwnerRegistry &owners,
         mem, 0, boundary, "unmovable", MigrateType::Unmovable);
     movable_ = std::make_unique<BuddyAllocator>(
         mem, boundary, total, "movable", MigrateType::Movable);
+}
+
+RegionManager::RegionManager(PhysMem &mem, OwnerRegistry &owners,
+                             Config config, serde::Reader &in)
+    : mem_(mem), owners_(owners), config_(config)
+{
+    const Pfn total = mem.numFrames();
+    if (config_.initialUnmovablePages == 0)
+        config_.initialUnmovablePages = total / 16;
+    if (config_.maxUnmovablePages == 0)
+        config_.maxUnmovablePages = total / 2;
+    config_.minUnmovablePages =
+        roundUpToAlign(config_.minUnmovablePages);
+
+    unmovable_ = std::make_unique<BuddyAllocator>(mem, in);
+    movable_ = std::make_unique<BuddyAllocator>(mem, in);
+    if (unmovable_->startPfn() != 0 ||
+        unmovable_->endPfn() != movable_->startPfn() ||
+        movable_->endPfn() != total)
+        throw serde::Error(
+            "region manager: allocators do not tile memory");
+    const Pfn boundary = unmovable_->endPfn();
+    if (boundary % resizeAlign != 0 ||
+        boundary < config_.minUnmovablePages ||
+        boundary > config_.maxUnmovablePages)
+        throw serde::Error(
+            "region manager: restored boundary out of bounds");
+
+    if (in.getBool()) {
+        DeferredResize d;
+        d.expand = in.getBool();
+        d.pages = in.getU64();
+        d.attempts = in.getU32();
+        d.waitPumps = in.getU32();
+        if (d.attempts > maxResizeRetries ||
+            d.waitPumps > maxResizeBackoff)
+            throw serde::Error(
+                "region manager: deferred resize out of bounds");
+        deferred_ = d;
+    }
+    Stats &s = stats_;
+    for (std::uint64_t *field :
+         {&s.expansions, &s.expansionFailures, &s.shrinks,
+          &s.shrinkFailures, &s.evacuatedBlocks, &s.hwMigrations,
+          &s.injectedEvacFails, &s.deferredEnqueued,
+          &s.deferredRetries, &s.deferredCompleted,
+          &s.deferredDropped, &s.deferredSuperseded})
+        *field = in.getU64();
+}
+
+void
+RegionManager::saveTo(serde::Writer &out) const
+{
+    unmovable_->saveTo(out);
+    movable_->saveTo(out);
+    out.putBool(deferred_.has_value());
+    if (deferred_) {
+        out.putBool(deferred_->expand);
+        out.putU64(deferred_->pages);
+        out.putU32(deferred_->attempts);
+        out.putU32(deferred_->waitPumps);
+    }
+    const Stats &s = stats_;
+    for (const std::uint64_t field :
+         {s.expansions, s.expansionFailures, s.shrinks,
+          s.shrinkFailures, s.evacuatedBlocks, s.hwMigrations,
+          s.injectedEvacFails, s.deferredEnqueued, s.deferredRetries,
+          s.deferredCompleted, s.deferredDropped,
+          s.deferredSuperseded})
+        out.putU64(field);
 }
 
 bool

@@ -69,6 +69,16 @@ class RegionManager
 
     RegionManager(PhysMem &mem, OwnerRegistry &owners, Config config);
 
+    /** Checkpoint restore: adopt the serialized boundary, both
+     * allocators, the deferred-resize queue and stats. The frame
+     * table must already be restored; hooks (HW migration, pin-moved)
+     * are re-attached by the owning policy afterwards. */
+    RegionManager(PhysMem &mem, OwnerRegistry &owners, Config config,
+                  serde::Reader &in);
+
+    /** Serialize boundary, allocators, deferred queue and stats. */
+    void saveTo(serde::Writer &out) const;
+
     /** Boundary PFN: unmovable covers [0, boundary). */
     Pfn boundary() const { return unmovable_->endPfn(); }
 

@@ -114,6 +114,9 @@ class ResizeController
 
     const Stats &stats() const { return stats_; }
 
+    /** Checkpoint restore of the observation counters. */
+    void restoreStats(const Stats &stats) { stats_ = stats; }
+
     /** Register decision counters under the given group. */
     void regStats(StatGroup group) const;
 

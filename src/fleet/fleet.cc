@@ -1,17 +1,20 @@
 #include "fleet/fleet.hh"
 
 #include <chrono>
+#include <filesystem>
 #include <map>
 #include <mutex>
 #include <optional>
 #include <thread>
 
 #include "base/env_config.hh"
+#include "base/logging.hh"
 #include "base/rng.hh"
 #include "base/span_trace.hh"
 #include "base/trace.hh"
 #include "sim/executor.hh"
 #include "sim/fault_injector.hh"
+#include "sim/snapshot.hh"
 
 namespace ctg
 {
@@ -28,7 +31,41 @@ Fleet::Config::applyEnvOverlay()
         exactPref = env.exactPref;
     if (!streamScans)
         streamScans = env.streamScans;
+    if (checkpointDir.empty())
+        checkpointDir = env.checkpointDir;
+    if (restoreDir.empty())
+        restoreDir = env.restoreDir;
 }
+
+namespace
+{
+
+/** Fingerprint of everything in a Fleet::Config that shapes the
+ * population (thread count and streaming/telemetry knobs excluded —
+ * they are bit-identical by contract). Stamped into the checkpoint
+ * manifest; a restore against a different fleet configuration is
+ * refused up front. */
+std::uint64_t
+fleetConfigFingerprint(const Fleet::Config &config)
+{
+    snap::Fingerprint fp;
+    fp.mixU32(config.servers);
+    fp.mixU64(config.memBytes);
+    fp.mixBool(config.contiguitas);
+    fp.mixDouble(config.minUptimeSec);
+    fp.mixDouble(config.maxUptimeSec);
+    fp.mixDouble(config.minIntensity);
+    fp.mixDouble(config.maxIntensity);
+    fp.mixDouble(config.prefragmentFrac);
+    fp.mixDouble(config.extraUptimeSec);
+    fp.mixU64(config.seed);
+    fp.mixBool(config.kindOverride.has_value());
+    if (config.kindOverride)
+        fp.mixU32(static_cast<std::uint32_t>(*config.kindOverride));
+    return fp.value();
+}
+
+} // namespace
 
 void
 Fleet::ScanSinks::absorb(const ServerScan &scan)
@@ -124,15 +161,45 @@ Fleet::run()
             rng.uniform() * (config_.maxIntensity -
                              config_.minIntensity);
         sc.prefragment = rng.chance(config_.prefragmentFrac);
-        // Plain copy, not an RNG draw: must not perturb the stream.
+        // Plain copies, not RNG draws: must not perturb the stream.
         sc.contigIndexReads = config_.contigIndexReads;
         sc.exactPref = config_.exactPref;
+        sc.extraUptimeSec = config_.extraUptimeSec;
         sc.uptimeSec =
             config_.minUptimeSec +
             rng.uniform() * (config_.maxUptimeSec -
                              config_.minUptimeSec);
         sc.seed = rng.next();
     }
+    }
+
+    // Checkpoint/restore plumbing. The restore manifest is loaded
+    // and validated once, up front, on the calling thread; any
+    // failure warns and disables restoring — every server then
+    // cold-starts, which by construction reproduces the
+    // straight-through results.
+    const std::uint64_t fleetFp = fleetConfigFingerprint(config_);
+    bool checkpointing = !config_.checkpointDir.empty();
+    if (checkpointing) {
+        std::error_code ec;
+        std::filesystem::create_directories(config_.checkpointDir,
+                                            ec);
+        if (ec) {
+            warn("fleet checkpoint to '%s' disabled: %s",
+                 config_.checkpointDir.c_str(),
+                 ec.message().c_str());
+            checkpointing = false;
+        }
+    }
+    std::optional<snap::Manifest> restoreManifest;
+    if (!config_.restoreDir.empty()) {
+        try {
+            restoreManifest =
+                snap::loadManifest(config_.restoreDir, fleetFp);
+        } catch (const serde::Error &e) {
+            warn("fleet restore from '%s' disabled: %s",
+                 config_.restoreDir.c_str(), e.what());
+        }
     }
 
     // Each task gets a fault injector forked from the ambient one
@@ -146,6 +213,9 @@ Fleet::run()
         FaultInjector faults{0};
         std::string traceText;
         std::vector<spans::Event> spanEvents;
+        /** Manifest line for this server's written snapshot, when
+         * checkpointing succeeded for it. */
+        std::optional<snap::ManifestEntry> snapEntry;
     };
     std::vector<TaskResult> results(config_.servers);
 
@@ -181,8 +251,60 @@ Fleet::run()
                             {"kind", int(sc.kind)},
                             {"prefragment",
                              sc.prefragment ? 1 : 0}});
-            Server server(sc);
-            out.scan = server.run();
+            // Warm start: resume from the snapshot when one loads
+            // and validates. Every failure mode — missing entry,
+            // injected read fault, torn write, bit flip, version
+            // skew, manifest skew, failed audit — lands in the warn
+            // + cold-start path below, whose simulation is
+            // bit-identical to a straight-through run (the restore
+            // attempt only ever probes snap.* fault sites, which
+            // have their own RNG streams).
+            bool restored = false;
+            if (restoreManifest) {
+                const snap::ManifestEntry *entry =
+                    restoreManifest->find(i);
+                if (entry == nullptr) {
+                    warn("server %u: no snapshot in manifest; "
+                         "cold-starting", i);
+                } else {
+                    try {
+                        const std::vector<std::uint8_t> bytes =
+                            snap::readImageFile(config_.restoreDir +
+                                                "/" + entry->file);
+                        snap::validateAgainstManifest(*entry, bytes);
+                        const std::unique_ptr<Server> server =
+                            decodeSnapshot(sc, bytes, &out.faults);
+                        out.scan = server->resume();
+                        restored = true;
+                    } catch (const serde::Error &e) {
+                        warn("server %u: snapshot restore failed "
+                             "(%s); cold-starting", i, e.what());
+                    }
+                }
+            }
+            if (!restored && checkpointing) {
+                Server server(sc);
+                server.runToCheckpoint();
+                snap::ManifestEntry entry;
+                entry.server = i;
+                entry.file = snap::snapshotFileName(i);
+                // The manifest records the intended bytes; injected
+                // write corruption (applied inside writeImageFile)
+                // therefore always disagrees with either the
+                // manifest or a section CRC.
+                const std::vector<std::uint8_t> bytes =
+                    encodeSnapshot(server, out.faults);
+                entry.bytes = bytes.size();
+                entry.crc = serde::crc32(bytes.data(), bytes.size());
+                if (snap::writeImageFile(config_.checkpointDir +
+                                             "/" + entry.file,
+                                         bytes))
+                    out.snapEntry = std::move(entry);
+                out.scan = server.resume();
+            } else if (!restored) {
+                Server server(sc);
+                out.scan = server.run();
+            }
             srv_span.arg("free_2m_bp",
                          static_cast<std::int64_t>(
                              out.scan.freeContiguity[0] * 10000.0));
@@ -237,6 +359,20 @@ Fleet::run()
             }
         }
         scans.push_back(r.scan);
+    }
+
+    // The manifest is written last, on the calling thread, in server
+    // order: the snap.manifest_skew probes it takes on the ambient
+    // injector are deterministic at any thread count. Servers whose
+    // snapshot write failed are simply absent — a later restore
+    // cold-starts them.
+    if (checkpointing) {
+        snap::Manifest manifest;
+        manifest.fleetFingerprint = fleetFp;
+        for (unsigned i = 0; i < config_.servers; ++i)
+            if (results[i].snapEntry)
+                manifest.entries.push_back(*results[i].snapEntry);
+        snap::writeManifest(config_.checkpointDir, manifest);
     }
 
     // Per-worker partials merge in map order; OnlineHistogram::merge

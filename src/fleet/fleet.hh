@@ -51,6 +51,11 @@ class Fleet
         /** Share of servers that were pre-fragmented by a previous
          * tenant. */
         double prefragmentFrac = 0.25;
+        /** Continuation segment each server runs after its sampled
+         * uptime (Server::Config::extraUptimeSec, a plain copy).
+         * With a restore directory set, only this segment is
+         * simulated — the sampled uptime comes from the snapshot. */
+        double extraUptimeSec = 0.0;
         std::uint64_t seed = 0xf1ee7;
         /** Worker threads for run(): 0 = auto (the CTG_THREADS
          * environment variable, else hardware concurrency); 1 =
@@ -77,9 +82,26 @@ class Fleet
          * O(servers) sample vectors (CTG_STREAM_SCANS). */
         bool streamScans = false;
 
+        /** Checkpoint directory (CTG_CHECKPOINT): every server's
+         * state at its uptime boundary is written here as an
+         * integrity-checked snapshot file, plus a manifest after the
+         * run. Empty disables checkpointing. The run's results are
+         * unchanged — servers continue into their extra segment
+         * after the snapshot is taken. */
+        std::string checkpointDir;
+
+        /** Restore directory (CTG_RESTORE): servers resume from the
+         * snapshots found here instead of simulating their uptime
+         * segment. Any validation failure — missing file, torn
+         * write, CRC mismatch, version skew, manifest disagreement,
+         * failed audit — warns and cold-starts that server, so the
+         * fleet's output is bit-identical to a straight-through run
+         * either way. Empty disables restoring. */
+        std::string restoreDir;
+
         /** Overlay environment-derived fields (sim::EnvConfig) onto
          * any still-unset knobs (threads, contigIndexReads,
-         * exactPref, streamScans). */
+         * exactPref, streamScans, checkpointDir, restoreDir). */
         void applyEnvOverlay();
     };
 

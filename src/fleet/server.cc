@@ -3,10 +3,14 @@
 #include <algorithm>
 
 #include "base/env_config.hh"
+#include "base/serde.hh"
 #include "base/trace.hh"
+#include "kernel/vanilla_policy.hh"
 #include "mem/auditor.hh"
 #include "mem/mem_stats.hh"
 #include "mem/scanner.hh"
+#include "sim/fault_injector.hh"
+#include "sim/snapshot.hh"
 
 namespace ctg
 {
@@ -35,24 +39,49 @@ scaleProfile(WorkloadProfile profile, double intensity)
     return profile;
 }
 
+namespace
+{
+
+KernelConfig
+kernelConfigFor(const Server::Config &config)
+{
+    KernelConfig kc;
+    kc.memBytes = config.memBytes;
+    kc.kernelTextBytes = std::max<std::uint64_t>(
+        std::uint64_t{4} << 20, config.memBytes / 1024);
+    kc.seed = config.seed;
+    return kc;
+}
+
+ContiguitasConfig
+contiguitasConfigFor(const Server::Config &config)
+{
+    ContiguitasConfig cc = config.contiguitasConfig;
+    if (cc.region.initialUnmovablePages == 0) {
+        // Paper default: 1/16 of memory (4 GB on 64 GB hosts).
+        cc.region.initialUnmovablePages =
+            (config.memBytes / pageBytes) / 16;
+    }
+    return cc;
+}
+
+WorkloadProfile
+profileFor(const Server::Config &config)
+{
+    return scaleProfile(makeProfile(config.kind, config.memBytes),
+                        config.intensity);
+}
+
+} // namespace
+
 Server::Server(const Config &config)
     : config_(config)
 {
-    KernelConfig kc;
-    kc.memBytes = config_.memBytes;
-    kc.kernelTextBytes = std::max<std::uint64_t>(
-        std::uint64_t{4} << 20, config_.memBytes / 1024);
-    kc.seed = config_.seed;
-
+    const KernelConfig kc = kernelConfigFor(config_);
     if (config_.contiguitas) {
-        ContiguitasConfig cc = config_.contiguitasConfig;
-        if (cc.region.initialUnmovablePages == 0) {
-            // Paper default: 1/16 of memory (4 GB on 64 GB hosts).
-            cc.region.initialUnmovablePages =
-                (config_.memBytes / pageBytes) / 16;
-        }
         kernel_ = std::make_unique<Kernel>(
-            kc, ContiguitasPolicy::factory(cc));
+            kc,
+            ContiguitasPolicy::factory(contiguitasConfigFor(config_)));
     } else {
         kernel_ = std::make_unique<Kernel>(kc);
     }
@@ -62,11 +91,59 @@ Server::Server(const Config &config)
     kernel_->mem().setExactAddrPref(config_.exactPref.value_or(
         sim::EnvConfig::fromEnv().exactPref));
 
-    WorkloadProfile profile = scaleProfile(
-        makeProfile(config_.kind, config_.memBytes),
-        config_.intensity);
-    workload_ = std::make_unique<Workload>(*kernel_, profile,
-                                           config_.seed ^ 0x77ff);
+    workload_ = std::make_unique<Workload>(
+        *kernel_, profileFor(config_), config_.seed ^ 0x77ff);
+}
+
+Server::Server(const Config &config, serde::Reader &in)
+    : config_(config)
+{
+    // Mirrors saveTo(): kernel (memory + policy + kernel state),
+    // then the optional fragmenter, then the workload — the same
+    // construction order as the cold path, so owner-client ids and
+    // the shrinker list land exactly where the checkpoint had them.
+    const KernelConfig kc = kernelConfigFor(config_);
+    if (config_.contiguitas) {
+        kernel_ = std::make_unique<Kernel>(
+            kc,
+            ContiguitasPolicy::restoreFactory(
+                contiguitasConfigFor(config_), in),
+            in);
+    } else {
+        kernel_ = std::make_unique<Kernel>(
+            kc,
+            [&in](Kernel &kernel) -> std::unique_ptr<MemPolicy> {
+                return std::make_unique<VanillaPolicy>(kernel.mem(),
+                                                       in);
+            },
+            in);
+    }
+
+    kernel_->mem().setContigIndexReads(config_.contigIndexReads.value_or(
+        sim::EnvConfig::fromEnv().contigIndexReads));
+    kernel_->mem().setExactAddrPref(config_.exactPref.value_or(
+        sim::EnvConfig::fromEnv().exactPref));
+
+    const bool hasFragmenter = in.getBool();
+    if (hasFragmenter != config_.prefragment)
+        throw serde::Error(
+            "server: fragmenter presence disagrees with config");
+    if (hasFragmenter) {
+        fragmenter_ = std::make_unique<Fragmenter>(
+            *kernel_, Fragmenter::Config{}, in);
+    }
+    workload_ = std::make_unique<Workload>(
+        *kernel_, profileFor(config_), in);
+}
+
+void
+Server::saveTo(serde::Writer &out) const
+{
+    kernel_->saveTo(out);
+    out.putBool(fragmenter_ != nullptr);
+    if (fragmenter_)
+        fragmenter_->saveTo(out);
+    workload_->saveTo(out);
 }
 
 Server::~Server() = default;
@@ -155,8 +232,34 @@ Server::attachTelemetry(StatRegistry &registry, StatSampler *sampler,
     sampler_ = sampler;
 }
 
-ServerScan
-Server::run()
+void
+Server::runSegment(double seconds)
+{
+    if (sampler_ == nullptr && auditor_ == nullptr) {
+        if (seconds > 0.0)
+            workload_->runFor(seconds, config_.stepSec);
+        return;
+    }
+
+    // Stepped run: advance step by step so the sampler can snapshot
+    // the stat tree along the way and the auditor can cross-check the
+    // memory stack after every step. Ticks are simulated milliseconds.
+    double remaining = seconds;
+    while (remaining > 0.0) {
+        const double dt = std::min(config_.stepSec, remaining);
+        workload_->runFor(dt, dt);
+        remaining -= dt;
+        if (auditor_)
+            auditor_->auditOrDie();
+        if (sampler_) {
+            sampler_->sample(
+                static_cast<Tick>(workload_->now() * 1000.0));
+        }
+    }
+}
+
+void
+Server::runToCheckpoint()
 {
     if (config_.prefragment) {
         Fragmenter::Config fc;
@@ -169,31 +272,126 @@ Server::run()
     workload_->start();
     if (auditor_)
         auditor_->auditOrDie();
-    if (sampler_ == nullptr && auditor_ == nullptr) {
-        workload_->runFor(config_.uptimeSec, config_.stepSec);
-        return scan();
-    }
-
-    // Stepped run: advance step by step so the sampler can snapshot
-    // the stat tree along the way and the auditor can cross-check the
-    // memory stack after every step. Ticks are simulated milliseconds.
     if (sampler_) {
         sampler_->sample(
             static_cast<Tick>(workload_->now() * 1000.0));
     }
-    double remaining = config_.uptimeSec;
-    while (remaining > 0.0) {
-        const double dt = std::min(config_.stepSec, remaining);
-        workload_->runFor(dt, dt);
-        remaining -= dt;
-        if (auditor_)
-            auditor_->auditOrDie();
-        if (sampler_) {
-            sampler_->sample(
-                static_cast<Tick>(workload_->now() * 1000.0));
-        }
-    }
+    runSegment(config_.uptimeSec);
+}
+
+ServerScan
+Server::resume()
+{
+    runSegment(config_.extraUptimeSec);
     return scan();
+}
+
+ServerScan
+Server::run()
+{
+    runToCheckpoint();
+    return resume();
+}
+
+std::uint64_t
+serverConfigFingerprint(const Server::Config &config)
+{
+    snap::Fingerprint fp;
+    fp.mixU64(config.memBytes);
+    fp.mixBool(config.contiguitas);
+    fp.mixU32(static_cast<std::uint32_t>(config.kind));
+    fp.mixDouble(config.intensity);
+    fp.mixBool(config.prefragment);
+    fp.mixDouble(config.uptimeSec);
+    fp.mixDouble(config.extraUptimeSec);
+    fp.mixDouble(config.stepSec);
+    fp.mixU64(config.seed);
+    // exactPref changes placement, so a snapshot taken with it on
+    // must not silently continue with it off (and vice versa).
+    // contigIndexReads only selects a bit-identical read path and is
+    // deliberately left out.
+    fp.mixBool(config.exactPref.value_or(
+        sim::EnvConfig::fromEnv().exactPref));
+    return fp.value();
+}
+
+std::vector<std::uint8_t>
+encodeSnapshot(const Server &server, const FaultInjector &faults)
+{
+    serde::Writer out;
+    snap::beginImage(out);
+
+    out.beginSection(snap::SecMeta);
+    out.putU64(serverConfigFingerprint(server.config()));
+    out.endSection();
+
+    out.beginSection(snap::SecServer);
+    server.saveTo(out);
+    out.endSection();
+
+    out.beginSection(snap::SecFaults);
+    faults.saveTo(out);
+    out.endSection();
+
+    out.beginSection(snap::SecEnd);
+    out.endSection();
+    return out.take();
+}
+
+std::unique_ptr<Server>
+decodeSnapshot(const Server::Config &config,
+               const std::vector<std::uint8_t> &bytes,
+               FaultInjector *faults)
+{
+    serde::Reader in(bytes);
+    snap::openImage(in);
+
+    auto expect = [&in](std::uint32_t id) -> serde::Reader {
+        serde::Reader::Section section = in.nextSection();
+        if (section.id != id)
+            throw serde::Error("snapshot: unexpected section " +
+                               std::to_string(section.id));
+        return section.payload;
+    };
+
+    serde::Reader meta = expect(snap::SecMeta);
+    if (meta.getU64() != serverConfigFingerprint(config))
+        throw serde::Error(
+            "snapshot: server-config fingerprint mismatch");
+
+    serde::Reader body = expect(snap::SecServer);
+    auto server = std::make_unique<Server>(config, body);
+    if (!body.atEnd())
+        throw serde::Error(
+            "snapshot: trailing bytes in server section");
+
+    // Restore the injector into a scratch copy first: a failure past
+    // this point must leave the caller's injector untouched so the
+    // cold-start fallback replays the straight-through pattern.
+    serde::Reader faultBody = expect(snap::SecFaults);
+    FaultInjector restoredFaults(0);
+    restoredFaults.loadFrom(faultBody);
+    if (!faultBody.atEnd())
+        throw serde::Error(
+            "snapshot: trailing bytes in faults section");
+
+    serde::Reader end = expect(snap::SecEnd);
+    if (!end.atEnd() || !in.atEnd())
+        throw serde::Error("snapshot: trailing bytes after end");
+
+    // Integrity gate: the restored machine must pass the same
+    // system-wide invariant audit chaos runs enforce — free lists,
+    // page conservation, region accounting, owner handles, pin
+    // tables — before a single workload step runs on it.
+    const AuditReport report =
+        server->kernel().makeAuditor()->audit();
+    if (!report.ok())
+        throw serde::Error("snapshot: restored state failed audit: " +
+                           report.summary());
+
+    if (faults != nullptr)
+        *faults = restoredFaults;
+    return server;
 }
 
 } // namespace ctg

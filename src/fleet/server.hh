@@ -68,6 +68,13 @@ class Server
         /** Run the Full Fragmentation pretreatment first. */
         bool prefragment = false;
         double uptimeSec = 40.0;
+        /** Continuation segment run after the checkpoint boundary.
+         * run() always executes uptimeSec then extraUptimeSec as two
+         * separate segments, so a straight-through run and a
+         * checkpoint-at-the-boundary + resume() run take the exact
+         * same sequence of workload steps — the foundation of the
+         * bit-identical warm-start contract. */
+        double extraUptimeSec = 0.0;
         double stepSec = 1.0;
         std::uint64_t seed = 1;
         /** Metric reads answer from the ContigIndex (nullopt defers
@@ -87,10 +94,36 @@ class Server
     };
 
     explicit Server(const Config &config);
+
+    /**
+     * Checkpoint restore: rebuild the complete server — frame table,
+     * allocators, policy, registries, workload, RNG streams — from a
+     * decoded Server snapshot section. The config must match the one
+     * the snapshot was taken under (decodeSnapshot checks the
+     * fingerprint first). Throws serde::Error on malformed input;
+     * use resume() afterwards, never run().
+     */
+    Server(const Config &config, serde::Reader &in);
+
     ~Server();
 
-    /** Boot, (optionally) fragment, run the workload, and scan. */
+    /** Boot, (optionally) fragment, run the workload, and scan.
+     * Equivalent to runToCheckpoint() followed by resume(). */
     ServerScan run();
+
+    /** First half of run(): pretreatment, workload start, and the
+     * uptimeSec segment, stopping at the checkpoint boundary. */
+    void runToCheckpoint();
+
+    /** Second half of run(): the extraUptimeSec continuation segment
+     * and the final scan. Valid after runToCheckpoint() or on a
+     * snapshot-restored server. */
+    ServerScan resume();
+
+    /** Serialize the complete server state (the payload of a
+     * snapshot Server section). Call at the checkpoint boundary —
+     * i.e. after runToCheckpoint(), before resume(). */
+    void saveTo(serde::Writer &out) const;
 
     /**
      * Audit the whole memory stack (free lists, frame table, page
@@ -106,7 +139,9 @@ class Server
     MemAuditor *auditor() { return auditor_.get(); }
 
     Kernel &kernel() { return *kernel_; }
+    const Kernel &kernel() const { return *kernel_; }
     Workload &workload() { return *workload_; }
+    const Config &config() const { return config_; }
 
     /** Scan without running (for intermediate sampling). */
     ServerScan scan() const;
@@ -125,6 +160,10 @@ class Server
                          const std::string &prefix = "server");
 
   private:
+    /** Advance the workload by one segment, honouring the stepped
+     * audit/sampling mode when enabled. */
+    void runSegment(double seconds);
+
     Config config_;
     std::unique_ptr<Kernel> kernel_;
     std::unique_ptr<Fragmenter> fragmenter_;
@@ -136,6 +175,38 @@ class Server
 /** Scale a profile's kernel churn rates by an intensity factor. */
 WorkloadProfile scaleProfile(WorkloadProfile profile,
                              double intensity);
+
+class FaultInjector;
+
+/** Fingerprint of everything in a Server::Config that shapes the
+ * simulation (exactPref included — it changes placement). Stored in
+ * a snapshot's Meta section; decodeSnapshot refuses images whose
+ * fingerprint disagrees with the restoring config. */
+std::uint64_t serverConfigFingerprint(const Server::Config &config);
+
+/**
+ * Encode a complete snapshot image for a server at its checkpoint
+ * boundary: container header, Meta (config fingerprint), Server
+ * (full state), Faults (the injector driving this server's task) and
+ * End sections. Pair with snap::writeImageFile for durable storage.
+ */
+std::vector<std::uint8_t> encodeSnapshot(const Server &server,
+                                         const FaultInjector &faults);
+
+/**
+ * Decode, validate and restore a snapshot image. Checks the header,
+ * every section CRC, the Meta fingerprint against `config`, restores
+ * the server, then cross-checks the result with a full MemAuditor
+ * audit before anything runs. Only when all of that passes is
+ * `faults` overwritten with the snapshot's injector state — a failed
+ * decode leaves it untouched, so the cold-start fallback replays the
+ * straight-through firing pattern. Throws serde::Error on any
+ * failure.
+ */
+std::unique_ptr<Server>
+decodeSnapshot(const Server::Config &config,
+               const std::vector<std::uint8_t> &bytes,
+               FaultInjector *faults);
 
 } // namespace ctg
 

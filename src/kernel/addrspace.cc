@@ -2,13 +2,97 @@
 
 #include <algorithm>
 
+#include "base/serde.hh"
+
 namespace ctg
 {
+
+void
+ChunkTable::restoreEntries(std::vector<Entry> entries)
+{
+    slots_ = std::move(entries);
+    index_.clear();
+    index_.reserve(slots_.size());
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        const bool fresh =
+            index_.emplace(slots_[i].vpn,
+                           static_cast<std::uint32_t>(i)).second;
+        if (!fresh)
+            throw serde::Error("chunk table: duplicate vpn");
+    }
+}
 
 AddressSpace::AddressSpace(Kernel &kernel, std::uint32_t pid)
     : kernel_(kernel), pid_(pid),
       clientId_(kernel.owners().registerClient(this)), tables_(kernel)
 {}
+
+AddressSpace::AddressSpace(Kernel &kernel, serde::Reader &in)
+    : kernel_(kernel), pid_(in.getU32()), clientId_(in.getU16()),
+      tables_(kernel, in)
+{
+    kernel_.owners().attachClientAt(clientId_, this);
+
+    const std::uint64_t region_count = in.getU64();
+    for (std::uint64_t i = 0; i < region_count; ++i) {
+        const Vpn base = in.getU64();
+        const std::uint64_t pages = in.getU64();
+        if (pages == 0 ||
+            !regions_.emplace(base, Region{base, pages}).second)
+            throw serde::Error("address space: bad region");
+    }
+
+    // The chunk slot order is RNG-visible state (releasePages samples
+    // it uniformly), so the dense array is adopted verbatim. Each
+    // entry is cross-checked against the restored page tables; the
+    // per-size counters and the 2 MB-range occupancy map are derived
+    // and rebuilt here.
+    const std::uint64_t chunk_count = in.getU64();
+    if (chunk_count != tables_.mappings())
+        throw serde::Error("address space: chunk count mismatch");
+    std::vector<ChunkTable::Entry> entries;
+    entries.reserve(chunk_count);
+    for (std::uint64_t i = 0; i < chunk_count; ++i) {
+        const Vpn vpn = in.getU64();
+        const std::uint32_t order = in.getU32();
+        if (order != 0 && order != hugeOrder && order != gigaOrder)
+            throw serde::Error("address space: bad chunk order");
+        const Translation tr = tables_.translate(vpn);
+        if (!tr.valid || tr.order != order)
+            throw serde::Error(
+                "address space: chunk/page-table mismatch");
+        entries.push_back(ChunkTable::Entry{vpn, order});
+        if (order == 0) {
+            ++pages4k_;
+            ++hugeRangeUse_[vpn >> hugeOrder];
+        } else if (order == hugeOrder) {
+            ++chunks2m_;
+        } else {
+            ++chunks1g_;
+        }
+    }
+    chunks_.restoreEntries(std::move(entries));
+    nextBaseVpn_ = in.getU64();
+}
+
+void
+AddressSpace::saveTo(serde::Writer &out) const
+{
+    out.putU32(pid_);
+    out.putU16(clientId_);
+    tables_.saveTo(out);
+    out.putU64(regions_.size());
+    for (const auto &[base, region] : regions_) {
+        out.putU64(region.baseVpn);
+        out.putU64(region.pages);
+    }
+    out.putU64(chunks_.size());
+    for (const ChunkTable::Entry &entry : chunks_.entries()) {
+        out.putU64(entry.vpn);
+        out.putU32(entry.order);
+    }
+    out.putU64(nextBaseVpn_);
+}
 
 AddressSpace::~AddressSpace()
 {
@@ -43,9 +127,8 @@ AddressSpace::munmap(Addr base)
     Vpn vpn = region.baseVpn;
     const Vpn end = region.baseVpn + region.pages;
     while (vpn < end) {
-        auto cit = chunks_.find(vpn);
-        if (cit != chunks_.end()) {
-            const unsigned order = cit->second;
+        if (const std::uint32_t *corder = chunks_.find(vpn)) {
+            const unsigned order = *corder;
             // Process teardown drops any remaining DMA pins.
             const Translation tr = tables_.translate(vpn);
             if (tr.valid && kernel_.mem().frame(tr.pfn).isPinned())
@@ -75,7 +158,7 @@ AddressSpace::backChunk(Vpn vpn, unsigned order)
         kernel_.freePages(pfn);
         return false;
     }
-    chunks_.emplace(vpn, order);
+    chunks_.insert(vpn, order);
     if (order == 0) {
         ++pages4k_;
         ++hugeRangeUse_[vpn >> hugeOrder];
@@ -157,7 +240,7 @@ AddressSpace::backWithGigantic(Addr addr)
         kernel_.freePages(pfn);
         return false;
     }
-    chunks_.emplace(vpn, static_cast<unsigned>(gigaOrder));
+    chunks_.insert(vpn, gigaOrder);
     ++chunks1g_;
     return true;
 }
@@ -168,18 +251,16 @@ AddressSpace::releasePages(std::uint64_t pages, Rng &rng)
     if (chunks_.empty())
         return 0;
     std::uint64_t freed = 0;
-    // Random eviction: sample buckets of the unordered map.
+    // Random eviction: uniform over the dense chunk slots (never
+    // over hash-table internals — see ChunkTable).
     std::uint64_t attempts = 0;
     const std::uint64_t max_attempts = pages * 8 + 64;
     while (freed < pages && !chunks_.empty() &&
            attempts++ < max_attempts) {
-        const std::size_t bucket =
-            rng.below(chunks_.bucket_count());
-        auto it = chunks_.begin(bucket);
-        if (it == chunks_.end(bucket))
-            continue;
-        const Vpn vpn = it->first;
-        const unsigned order = it->second;
+        const ChunkTable::Entry &entry =
+            chunks_.at(rng.below(chunks_.size()));
+        const Vpn vpn = entry.vpn;
+        const unsigned order = entry.order;
         // Pinned pages cannot be reclaimed while IO may target them.
         const Translation tr = tables_.translate(vpn);
         if (tr.valid && kernel_.mem().frame(tr.pfn).isPinned())
@@ -264,7 +345,7 @@ AddressSpace::promoteHugeRanges(std::uint64_t budget)
             unbackChunk(vpn, 0);
         const bool ok = tables_.map(head, huge, hugeOrder);
         ctg_assert(ok);
-        chunks_.emplace(head, static_cast<unsigned>(hugeOrder));
+        chunks_.insert(head, hugeOrder);
         ++chunks2m_;
         ++promoted;
     }
@@ -300,15 +381,12 @@ AddressSpace::randomBacked4kFrame(Rng &rng) const
     if (chunks_.empty())
         return invalidPfn;
     for (int attempt = 0; attempt < 64; ++attempt) {
-        const std::size_t bucket =
-            rng.below(chunks_.bucket_count());
-        for (auto it = chunks_.begin(bucket);
-             it != chunks_.end(bucket); ++it) {
-            if (it->second == 0) {
-                const Translation tr = tables_.translate(it->first);
-                ctg_assert(tr.valid);
-                return tr.pfn;
-            }
+        const ChunkTable::Entry &entry =
+            chunks_.at(rng.below(chunks_.size()));
+        if (entry.order == 0) {
+            const Translation tr = tables_.translate(entry.vpn);
+            ctg_assert(tr.valid);
+            return tr.pfn;
         }
     }
     return invalidPfn;

@@ -22,6 +22,96 @@
 namespace ctg
 {
 
+namespace serde
+{
+class Writer;
+class Reader;
+} // namespace serde
+
+/**
+ * Mapped-chunk table: vpn -> order with O(1) lookup, O(1)
+ * swap-remove erase, and O(1) uniform random sampling over a dense
+ * slot array. The churn paths used to sample unordered_map buckets,
+ * which made RNG-visible behavior depend on the standard library's
+ * internal bucket layout — state that cannot be serialized, so a
+ * restored process could never replay bit-identically. Here the only
+ * structure the RNG ever sees is the slot array, which is a pure
+ * function of the operation history (and is what a snapshot saves);
+ * the unordered index is never iterated or sampled.
+ */
+class ChunkTable
+{
+  public:
+    struct Entry
+    {
+        Vpn vpn;
+        std::uint32_t order;
+    };
+
+    bool
+    empty() const
+    {
+        return slots_.empty();
+    }
+
+    std::size_t
+    size() const
+    {
+        return slots_.size();
+    }
+
+    const Entry &
+    at(std::size_t i) const
+    {
+        return slots_[i];
+    }
+
+    /** Order of the chunk at vpn, or nullptr. */
+    const std::uint32_t *
+    find(Vpn vpn) const
+    {
+        auto it = index_.find(vpn);
+        return it == index_.end() ? nullptr
+                                  : &slots_[it->second].order;
+    }
+
+    void
+    insert(Vpn vpn, std::uint32_t order)
+    {
+        index_.emplace(vpn, static_cast<std::uint32_t>(slots_.size()));
+        slots_.push_back(Entry{vpn, order});
+    }
+
+    void
+    erase(Vpn vpn)
+    {
+        auto it = index_.find(vpn);
+        ctg_assert(it != index_.end());
+        const std::uint32_t slot = it->second;
+        index_.erase(it);
+        const std::uint32_t last =
+            static_cast<std::uint32_t>(slots_.size() - 1);
+        if (slot != last) {
+            slots_[slot] = slots_[last];
+            index_[slots_[slot].vpn] = slot;
+        }
+        slots_.pop_back();
+    }
+
+    /** The dense slot array — serialized verbatim; the index is
+     * rebuilt on load. */
+    const std::vector<Entry> &entries() const { return slots_; }
+
+    /** Checkpoint restore: adopt a slot array and rebuild the
+     * index. */
+    void restoreEntries(std::vector<Entry> entries);
+
+  private:
+    std::vector<Entry> slots_;
+    /** Lookup accelerator only — never iterated, never sampled. */
+    std::unordered_map<Vpn, std::uint32_t> index_;
+};
+
 /**
  * One process's virtual address space.
  */
@@ -29,6 +119,13 @@ class AddressSpace : public PageOwnerClient
 {
   public:
     AddressSpace(Kernel &kernel, std::uint32_t pid);
+
+    /** Checkpoint restore: re-attach at the serialized client id
+     * (owner handles baked into frames must keep resolving to this
+     * object) and adopt the serialized tables/regions/chunk state
+     * without allocating. */
+    AddressSpace(Kernel &kernel, serde::Reader &in);
+
     ~AddressSpace() override;
 
     AddressSpace(const AddressSpace &) = delete;
@@ -102,6 +199,9 @@ class AddressSpace : public PageOwnerClient
      * invalidPfn if none. */
     Pfn randomBacked4kFrame(Rng &rng) const;
 
+    /** Serialize the full address-space state (checkpoint). */
+    void saveTo(serde::Writer &out) const;
+
   private:
     struct Region
     {
@@ -120,10 +220,11 @@ class AddressSpace : public PageOwnerClient
     PageTables tables_;
     std::map<Vpn, Region> regions_;
     /** Mapped chunk heads: vpn -> order (0, 9 or 18). */
-    std::unordered_map<Vpn, unsigned> chunks_;
+    ChunkTable chunks_;
     /** 4 KB mappings per 2 MB-aligned range, so the THP fault path
-     * can tell whether a huge mapping would collide. */
-    std::unordered_map<Vpn, std::uint32_t> hugeRangeUse_;
+     * can tell whether a huge mapping would collide. Ordered so the
+     * khugepaged candidate walk is independent of hash layout. */
+    std::map<Vpn, std::uint32_t> hugeRangeUse_;
     Vpn nextBaseVpn_ = Vpn{1} << gigaOrder; // skip the zero GB
     std::uint64_t pages4k_ = 0;
     std::uint64_t chunks2m_ = 0;

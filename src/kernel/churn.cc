@@ -3,27 +3,138 @@
 #include <algorithm>
 #include <cmath>
 
+#include "base/serde.hh"
+
 namespace ctg
 {
+
+namespace
+{
+
+/** Shared config normalization of both constructors. */
+double
+normalizeConfig(ChurnPool::Config &config)
+{
+    ctg_assert(config.ratePerSec > 0);
+    ctg_assert(!config.orderDist.empty());
+    // Lognormal modulation inflates the mean arrival rate by
+    // exp(sigma^2/2); normalize so configured rates stay the mean.
+    if (config.burstSigma > 0.0) {
+        config.ratePerSec /=
+            std::exp(config.burstSigma * config.burstSigma / 2.0);
+    }
+    double weight_total = 0.0;
+    for (const auto &[order, weight] : config.orderDist) {
+        ctg_assert(order <= maxOrder);
+        weight_total += weight;
+    }
+    return weight_total;
+}
+
+} // namespace
 
 ChurnPool::ChurnPool(Kernel &kernel, Config config, std::uint64_t seed)
     : kernel_(kernel), config_(std::move(config)), rng_(seed)
 {
-    ctg_assert(config_.ratePerSec > 0);
-    ctg_assert(!config_.orderDist.empty());
-    // Lognormal modulation inflates the mean arrival rate by
-    // exp(sigma^2/2); normalize so configured rates stay the mean.
-    if (config_.burstSigma > 0.0) {
-        config_.ratePerSec /=
-            std::exp(config_.burstSigma * config_.burstSigma / 2.0);
-    }
-    for (const auto &[order, weight] : config_.orderDist) {
-        ctg_assert(order <= maxOrder);
-        orderWeightTotal_ += weight;
-    }
+    orderWeightTotal_ = normalizeConfig(config_);
     if (config_.relocatable)
         clientId_ = kernel_.owners().registerClient(this);
     nextArrival_ = rng_.exponential(1.0 / config_.ratePerSec);
+}
+
+ChurnPool::ChurnPool(Kernel &kernel, Config config, serde::Reader &in)
+    : kernel_(kernel), config_(std::move(config))
+{
+    orderWeightTotal_ = normalizeConfig(config_);
+
+    clientId_ = in.getU16();
+    if (config_.relocatable != (clientId_ != 0))
+        throw serde::Error("churn pool: relocatable/client mismatch");
+    if (clientId_ != 0)
+        kernel_.owners().attachClientAt(clientId_, this);
+
+    rng_.setRawState(in.getRngState());
+    nowSec_ = in.getDouble();
+    nextArrival_ = in.getDouble();
+    burstFactor_ = in.getDouble();
+    nextBurstChange_ = in.getDouble();
+
+    const std::uint64_t frames = kernel_.mem().numFrames();
+    const std::uint64_t slot_count = in.getU64();
+    if (slot_count > frames)
+        throw serde::Error("churn pool: slot count exceeds memory");
+    slots_.reserve(slot_count);
+    std::uint64_t live_pages = 0;
+    for (std::uint64_t i = 0; i < slot_count; ++i) {
+        Slot slot;
+        slot.head = in.getU64();
+        slot.order = in.getU32();
+        if (slot.order > maxOrder ||
+            (slot.head != invalidPfn && slot.head >= frames))
+            throw serde::Error("churn pool: bad slot");
+        if (slot.head != invalidPfn)
+            live_pages += Pfn{1} << slot.order;
+        slots_.push_back(slot);
+    }
+
+    freeSlots_ = in.getPodVector<std::uint32_t>();
+    for (const std::uint32_t slot : freeSlots_) {
+        if (slot >= slots_.size() ||
+            slots_[slot].head != invalidPfn)
+            throw serde::Error("churn pool: bad free-slot entry");
+    }
+
+    // The live heap is restored verbatim (the pop order of
+    // equal-death entries is observable state); entries must tile the
+    // occupied slots exactly.
+    const std::uint64_t live_count = in.getU64();
+    if (live_count != slots_.size() - freeSlots_.size())
+        throw serde::Error("churn pool: live count mismatch");
+    std::vector<Obj> &heap = serde::heapOf(live_);
+    heap.reserve(live_count);
+    for (std::uint64_t i = 0; i < live_count; ++i) {
+        Obj obj;
+        obj.death = in.getDouble();
+        obj.slot = in.getU32();
+        if (obj.slot >= slots_.size() ||
+            slots_[obj.slot].head == invalidPfn)
+            throw serde::Error("churn pool: bad live entry");
+        heap.push_back(obj);
+    }
+    if (!std::is_heap(heap.begin(), heap.end(), std::greater<>()))
+        throw serde::Error("churn pool: live heap order violated");
+
+    livePages_ = in.getU64();
+    if (livePages_ != live_pages)
+        throw serde::Error("churn pool: live-page count mismatch");
+    failedAllocs_ = in.getU64();
+    paused_ = in.getBool();
+}
+
+void
+ChurnPool::saveTo(serde::Writer &out) const
+{
+    out.putU16(clientId_);
+    out.putRngState(rng_.rawState());
+    out.putDouble(nowSec_);
+    out.putDouble(nextArrival_);
+    out.putDouble(burstFactor_);
+    out.putDouble(nextBurstChange_);
+    out.putU64(slots_.size());
+    for (const Slot &slot : slots_) {
+        out.putU64(slot.head);
+        out.putU32(slot.order);
+    }
+    out.putPodVector(freeSlots_);
+    const std::vector<Obj> &heap = serde::heapOf(live_);
+    out.putU64(heap.size());
+    for (const Obj &obj : heap) {
+        out.putDouble(obj.death);
+        out.putU32(obj.slot);
+    }
+    out.putU64(livePages_);
+    out.putU64(failedAllocs_);
+    out.putBool(paused_);
 }
 
 ChurnPool::~ChurnPool()

@@ -30,6 +30,12 @@
 namespace ctg
 {
 
+namespace serde
+{
+class Writer;
+class Reader;
+} // namespace serde
+
 /**
  * Poisson-arrival page-block churn with heavy-tailed lifetimes.
  */
@@ -66,6 +72,14 @@ class ChurnPool : public PageOwnerClient
     };
 
     ChurnPool(Kernel &kernel, Config config, std::uint64_t seed);
+
+    /** Checkpoint restore: adopt the serialized slot table, live
+     * heap, RNG and clock state. `config` must equal the config of
+     * the checkpointed pool (it is workload-derived, not
+     * serialized). Relocatable pools re-attach at their serialized
+     * owner-client id. */
+    ChurnPool(Kernel &kernel, Config config, serde::Reader &in);
+
     ~ChurnPool() override;
 
     ChurnPool(const ChurnPool &) = delete;
@@ -91,6 +105,9 @@ class ChurnPool : public PageOwnerClient
      * one of our buffers. */
     bool relocate(std::uint64_t tag, Pfn old_head,
                   Pfn new_head) override;
+
+    /** Serialize the full pool state (checkpoint). */
+    void saveTo(serde::Writer &out) const;
 
   private:
     struct Slot

@@ -1,25 +1,84 @@
 #include "kernel/fsbuffers.hh"
 
+#include "base/serde.hh"
+
 namespace ctg
 {
 
-FsBuffers::FsBuffers(Kernel &kernel, Config config, std::uint64_t seed)
-    : kernel_(kernel), config_(config), rng_(seed)
+namespace
+{
+
+ChurnPool::Config
+scratchConfigFor(const FsBuffers::Config &config)
 {
     ChurnPool::Config scratch_config;
-    scratch_config.ratePerSec = config_.scratchRatePerSec;
-    scratch_config.meanLifeSec = config_.scratchMeanLifeSec;
-    scratch_config.longLivedFrac = config_.longLivedFrac;
-    scratch_config.longMeanLifeSec = config_.longMeanLifeSec;
+    scratch_config.ratePerSec = config.scratchRatePerSec;
+    scratch_config.meanLifeSec = config.scratchMeanLifeSec;
+    scratch_config.longLivedFrac = config.longLivedFrac;
+    scratch_config.longMeanLifeSec = config.longMeanLifeSec;
     scratch_config.orderDist = {{0, 0.7}, {1, 0.2}, {2, 0.1}};
     scratch_config.mt = MigrateType::Unmovable;
     scratch_config.source = AllocSource::Filesystem;
     scratch_config.lifetime = Lifetime::Short;
     scratch_config.relocatable = true; // in-flight IO buffers
-    scratch_ = std::make_unique<ChurnPool>(kernel_, scratch_config,
+    return scratch_config;
+}
+
+} // namespace
+
+FsBuffers::FsBuffers(Kernel &kernel, Config config, std::uint64_t seed)
+    : kernel_(kernel), config_(config), rng_(seed)
+{
+    scratch_ = std::make_unique<ChurnPool>(kernel_,
+                                           scratchConfigFor(config_),
                                            seed ^ 0x66732d736372ULL);
     clientId_ = kernel_.owners().registerClient(this);
     kernel_.registerShrinker(this);
+}
+
+FsBuffers::FsBuffers(Kernel &kernel, Config config, serde::Reader &in)
+    : kernel_(kernel), config_(config)
+{
+    scratch_ = std::make_unique<ChurnPool>(kernel_,
+                                           scratchConfigFor(config_),
+                                           in);
+    clientId_ = in.getU16();
+    if (clientId_ == 0)
+        throw serde::Error("fs buffers: missing owner-client id");
+    kernel_.owners().attachClientAt(clientId_, this);
+    kernel_.registerShrinker(this);
+    rng_.setRawState(in.getRngState());
+
+    cache_ = in.getPodVector<Pfn>();
+    const std::uint64_t frames = kernel_.mem().numFrames();
+    std::uint64_t live = 0;
+    for (const Pfn head : cache_) {
+        if (head == invalidPfn)
+            continue;
+        if (head >= frames)
+            throw serde::Error("fs buffers: cache pfn out of range");
+        ++live;
+    }
+
+    // The free-slot stack order determines future slot reuse, so it
+    // travels verbatim; every empty slot must appear exactly once.
+    freeSlots_ = in.getPodVector<std::uint32_t>();
+    if (freeSlots_.size() != cache_.size() - live)
+        throw serde::Error("fs buffers: free-slot count mismatch");
+    std::vector<bool> seen(cache_.size(), false);
+    for (const std::uint32_t slot : freeSlots_) {
+        if (slot >= cache_.size() || cache_[slot] != invalidPfn ||
+            seen[slot])
+            throw serde::Error("fs buffers: bad free-slot entry");
+        seen[slot] = true;
+    }
+
+    cacheLive_ = in.getU64();
+    if (cacheLive_ != live)
+        throw serde::Error("fs buffers: live count mismatch");
+    nowSec_ = in.getDouble();
+    cacheCarry_ = in.getDouble();
+    turnoverCarry_ = in.getDouble();
 }
 
 FsBuffers::~FsBuffers()
@@ -142,6 +201,20 @@ FsBuffers::relocate(std::uint64_t tag, Pfn old_head, Pfn new_head)
         return false;
     cache_[slot] = new_head;
     return true;
+}
+
+void
+FsBuffers::saveTo(serde::Writer &out) const
+{
+    scratch_->saveTo(out);
+    out.putU16(clientId_);
+    out.putRngState(rng_.rawState());
+    out.putPodVector(cache_);
+    out.putPodVector(freeSlots_);
+    out.putU64(cacheLive_);
+    out.putDouble(nowSec_);
+    out.putDouble(cacheCarry_);
+    out.putDouble(turnoverCarry_);
 }
 
 } // namespace ctg

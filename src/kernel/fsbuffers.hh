@@ -48,6 +48,13 @@ class FsBuffers : public Shrinker, public PageOwnerClient
     };
 
     FsBuffers(Kernel &kernel, Config config, std::uint64_t seed);
+
+    /** Checkpoint restore: re-attach at the serialized owner-client
+     * id, adopt the serialized cache/scratch state and re-register
+     * as a shrinker (construction order across subsystems must match
+     * the cold path so the shrinker list round-trips). */
+    FsBuffers(Kernel &kernel, Config config, serde::Reader &in);
+
     ~FsBuffers() override;
 
     FsBuffers(const FsBuffers &) = delete;
@@ -67,6 +74,9 @@ class FsBuffers : public Shrinker, public PageOwnerClient
 
     std::uint64_t scratchPages() const { return scratch_->livePages(); }
     std::uint64_t cachePages() const { return cacheLive_; }
+
+    /** Serialize the full buffer state (checkpoint). */
+    void saveTo(serde::Writer &out) const;
 
   private:
     /** Grab one cache page (slot reuse keeps tags stable). */

@@ -1,7 +1,9 @@
 #include "kernel/kernel.hh"
 
 #include <algorithm>
+#include <map>
 
+#include "base/serde.hh"
 #include "base/span_trace.hh"
 #include "kernel/contig_alloc.hh"
 #include "kernel/vanilla_policy.hh"
@@ -34,6 +36,107 @@ Kernel::Kernel(const KernelConfig &config, const PolicyFactory &factory)
 Kernel::Kernel(const KernelConfig &config)
     : Kernel(config, vanillaPolicy())
 {}
+
+Kernel::Kernel(const KernelConfig &config,
+               const PolicyFactory &factory, serde::Reader &in)
+    : config_(config), mem_(std::make_unique<PhysMem>(config.memBytes)),
+      rng_(config.seed)
+{
+    // Stream order matches saveTo(): physical memory first (the
+    // policy's allocators reference restored frames), then the
+    // policy, then the kernel's own state. No bootAllocations() —
+    // the restored frame table already holds them.
+    mem_->loadFrom(in);
+    policy_ = factory(*this);
+    ctg_assert(policy_ != nullptr);
+    lowWatermark_ = static_cast<std::uint64_t>(
+        config_.lowWatermarkFrac *
+        static_cast<double>(mem_->numFrames()));
+
+    const std::uint64_t clientCount = in.getU64();
+    if (clientCount >= 0x10000)
+        throw serde::Error("kernel: client count out of range");
+    owners_.restorePadTo(static_cast<std::size_t>(clientCount));
+
+    Psi::SavedState psi;
+    for (Psi *target : {&psiMovable_, &psiUnmovable_}) {
+        psi.nowUs = in.getDouble();
+        psi.pendingStallUs = in.getDouble();
+        psi.decayedStall = in.getDouble();
+        psi.elapsedUs = in.getDouble();
+        psi.totalStallUs = in.getDouble();
+        target->restoreState(psi);
+    }
+    rng_.setRawState(in.getRngState());
+    bootPages_ = in.getPodVector<Pfn>();
+    for (const Pfn head : bootPages_)
+        if (head >= mem_->numFrames())
+            throw serde::Error("kernel: boot page out of range");
+
+    Counters &c = counters_;
+    for (std::uint64_t *field :
+         {&c.allocRetries, &c.allocFailures, &c.directReclaims,
+          &c.directCompactions, &c.pins, &c.unpins,
+          &c.reclaimedPages, &c.kcompactdRuns, &c.compactMigrated,
+          &c.compactFailedNoMem, &c.compactSkippedUnmovable})
+        *field = in.getU64();
+
+    nextPinId_ = in.getU64();
+    const std::uint64_t pinCount = in.getU64();
+    if (pinCount > mem_->numFrames())
+        throw serde::Error("kernel: pin table larger than memory");
+    for (std::uint64_t i = 0; i < pinCount; ++i) {
+        const std::uint64_t id = in.getU64();
+        const Pfn pfn = in.getU64();
+        if (id == 0 || id >= nextPinId_ || pfn >= mem_->numFrames())
+            throw serde::Error("kernel: pin entry out of range");
+        if (!pinPfnById_.emplace(id, pfn).second ||
+            !pinIdByPfn_.emplace(pfn, id).second)
+            throw serde::Error("kernel: duplicate pin entry");
+    }
+    nowSeconds_ = in.getDouble();
+    kcompactdCarry_ = in.getDouble();
+}
+
+void
+Kernel::saveTo(serde::Writer &out) const
+{
+    mem_->saveTo(out);
+    policy_->saveTo(out);
+    out.putU64(owners_.clientCount());
+
+    for (const Psi *source : {&psiMovable_, &psiUnmovable_}) {
+        const Psi::SavedState psi = source->savedState();
+        out.putDouble(psi.nowUs);
+        out.putDouble(psi.pendingStallUs);
+        out.putDouble(psi.decayedStall);
+        out.putDouble(psi.elapsedUs);
+        out.putDouble(psi.totalStallUs);
+    }
+    out.putRngState(rng_.rawState());
+    out.putPodVector(bootPages_);
+
+    const Counters &c = counters_;
+    for (const std::uint64_t field :
+         {c.allocRetries, c.allocFailures, c.directReclaims,
+          c.directCompactions, c.pins, c.unpins, c.reclaimedPages,
+          c.kcompactdRuns, c.compactMigrated, c.compactFailedNoMem,
+          c.compactSkippedUnmovable})
+        out.putU64(field);
+
+    out.putU64(nextPinId_);
+    // Pin handles: id -> pfn, written in id order (the two
+    // unordered maps are exact inverses; both rebuild from this).
+    const std::map<std::uint64_t, Pfn> sorted(pinPfnById_.begin(),
+                                              pinPfnById_.end());
+    out.putU64(sorted.size());
+    for (const auto &[id, pfn] : sorted) {
+        out.putU64(id);
+        out.putU64(pfn);
+    }
+    out.putDouble(nowSeconds_);
+    out.putDouble(kcompactdCarry_);
+}
 
 void
 Kernel::bootAllocations()

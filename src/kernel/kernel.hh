@@ -78,6 +78,22 @@ class Kernel
     /** Convenience: vanilla kernel. */
     explicit Kernel(const KernelConfig &config);
 
+    /**
+     * Checkpoint restore. Constructs a quiescent kernel (no boot
+     * allocations — the restored frame table already holds them),
+     * restores physical memory from the stream, then invokes the
+     * factory, which must build the policy from the same stream (use
+     * a restore-mode policy constructor), then restores the kernel's
+     * own state. Shrinkers and owner clients re-attach as the
+     * workload is restored afterwards. Throws serde::Error on
+     * malformed input.
+     */
+    Kernel(const KernelConfig &config, const PolicyFactory &factory,
+           serde::Reader &in);
+
+    /** Serialize physical memory, policy and kernel state. */
+    void saveTo(serde::Writer &out) const;
+
     /** @{ Accessors. */
     PhysMem &mem() { return *mem_; }
     const PhysMem &mem() const { return *mem_; }

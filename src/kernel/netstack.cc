@@ -1,25 +1,65 @@
 #include "kernel/netstack.hh"
 
+#include "base/serde.hh"
+
 namespace ctg
 {
 
-NetStack::NetStack(Kernel &kernel, Config config, std::uint64_t seed)
-    : kernel_(kernel), config_(config), rng_(seed)
+namespace
 {
-    clientId_ = kernel_.owners().registerClient(this);
+
+ChurnPool::Config
+skbConfigFor(const NetStack::Config &config)
+{
     ChurnPool::Config skb_config;
-    skb_config.ratePerSec = config_.skbRatePerSec;
-    skb_config.meanLifeSec = config_.skbMeanLifeSec;
-    skb_config.longLivedFrac = config_.longLivedFrac;
-    skb_config.longMeanLifeSec = config_.longMeanLifeSec;
+    skb_config.ratePerSec = config.skbRatePerSec;
+    skb_config.meanLifeSec = config.skbMeanLifeSec;
+    skb_config.longLivedFrac = config.longLivedFrac;
+    skb_config.longMeanLifeSec = config.longMeanLifeSec;
     // skb sizes: mostly sub-page, some jumbo/multi-page (GRO).
     skb_config.orderDist = {{0, 0.62}, {1, 0.26}, {2, 0.12}};
     skb_config.mt = MigrateType::Unmovable;
     skb_config.source = AllocSource::Networking;
     skb_config.lifetime = Lifetime::Short;
     skb_config.relocatable = true; // IOMMU-translated buffers
-    skbs_ = std::make_unique<ChurnPool>(kernel_, skb_config,
+    return skb_config;
+}
+
+} // namespace
+
+NetStack::NetStack(Kernel &kernel, Config config, std::uint64_t seed)
+    : kernel_(kernel), config_(config), rng_(seed)
+{
+    clientId_ = kernel_.owners().registerClient(this);
+    skbs_ = std::make_unique<ChurnPool>(kernel_, skbConfigFor(config_),
                                         seed ^ 0x6e65742d736b62ULL);
+}
+
+NetStack::NetStack(Kernel &kernel, Config config, serde::Reader &in)
+    : kernel_(kernel), config_(config)
+{
+    clientId_ = in.getU16();
+    if (clientId_ == 0)
+        throw serde::Error("netstack: missing owner-client id");
+    kernel_.owners().attachClientAt(clientId_, this);
+    rng_.setRawState(in.getRngState());
+
+    rings_ = in.getPodVector<Pfn>();
+    const std::uint64_t frames = kernel_.mem().numFrames();
+    for (const Pfn head : rings_) {
+        if (head >= frames)
+            throw serde::Error("netstack: ring pfn out of range");
+    }
+
+    pins_ = in.getPodVector<std::uint64_t>();
+    for (const std::uint64_t id : pins_) {
+        if (id == 0)
+            throw serde::Error("netstack: null pin handle");
+    }
+
+    started_ = in.getBool();
+    skbs_ = std::make_unique<ChurnPool>(kernel_, skbConfigFor(config_),
+                                        in);
 }
 
 NetStack::~NetStack()
@@ -108,6 +148,17 @@ std::uint64_t
 NetStack::livePages() const
 {
     return skbs_->livePages() + rings_.size() * 4;
+}
+
+void
+NetStack::saveTo(serde::Writer &out) const
+{
+    out.putU16(clientId_);
+    out.putRngState(rng_.rawState());
+    out.putPodVector(rings_);
+    out.putPodVector(pins_);
+    out.putBool(started_);
+    skbs_->saveTo(out);
 }
 
 } // namespace ctg

@@ -48,6 +48,11 @@ class NetStack : public PageOwnerClient
     };
 
     NetStack(Kernel &kernel, Config config, std::uint64_t seed);
+
+    /** Checkpoint restore: re-attach at the serialized owner-client
+     * id and adopt the serialized rings, skb pool and pin handles. */
+    NetStack(Kernel &kernel, Config config, serde::Reader &in);
+
     ~NetStack() override;
 
     NetStack(const NetStack &) = delete;
@@ -82,6 +87,9 @@ class NetStack : public PageOwnerClient
     /** PageOwnerClient: repoint a ring-buffer record. */
     bool relocate(std::uint64_t tag, Pfn old_head,
                   Pfn new_head) override;
+
+    /** Serialize the full stack state (checkpoint). */
+    void saveTo(serde::Writer &out) const;
 
   private:
     Kernel &kernel_;

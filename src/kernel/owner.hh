@@ -67,6 +67,34 @@ class OwnerRegistry
         clients_[id - 1] = nullptr;
     }
 
+    /**
+     * Checkpoint restore: grow the slot array to `count` with dead
+     * (nullptr) slots. Ids are never reused, so the restored
+     * registry must be the same *size* as at checkpoint even where
+     * the owning objects are gone — otherwise the next
+     * registerClient() would hand out an id that stale frame owner
+     * handles already reference.
+     */
+    void
+    restorePadTo(std::size_t count)
+    {
+        ctg_assert(count < 0x10000);
+        ctg_assert(clients_.size() <= count);
+        clients_.resize(count, nullptr);
+    }
+
+    /** Checkpoint restore: re-attach a live client at the exact id
+     * it held when the snapshot was taken (its handles are baked
+     * into frame owner fields). The slot must exist and be dead. */
+    void
+    attachClientAt(std::uint16_t id, PageOwnerClient *client)
+    {
+        ctg_assert(client != nullptr);
+        ctg_assert(id >= 1 && id <= clients_.size());
+        ctg_assert(clients_[id - 1] == nullptr);
+        clients_[id - 1] = client;
+    }
+
     /** Build an owner handle from a client id and 48-bit tag. */
     static std::uint64_t
     makeOwner(std::uint16_t client_id, std::uint64_t tag)

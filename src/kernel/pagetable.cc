@@ -1,5 +1,7 @@
 #include "kernel/pagetable.hh"
 
+#include "base/serde.hh"
+
 namespace ctg
 {
 
@@ -41,9 +43,79 @@ PageTables::PageTables(Kernel &kernel)
         fatal("cannot allocate page-table root");
 }
 
+PageTables::PageTables(Kernel &kernel, serde::Reader &in)
+    : kernel_(kernel)
+{
+    const std::uint64_t tablePages = in.getU64();
+    const std::uint64_t mappings = in.getU64();
+    root_ = loadNode(in, levels);
+    if (!root_)
+        throw serde::Error("pagetable: missing root node");
+    if (tablePages_ != tablePages || mappings_ != mappings)
+        throw serde::Error("pagetable: node/mapping counts disagree "
+                           "with serialized tree");
+}
+
 PageTables::~PageTables()
 {
     freeNode(std::move(root_));
+}
+
+void
+PageTables::saveNode(const Node &node, serde::Writer &out)
+{
+    out.putU64(node.backing);
+    out.putU32(static_cast<std::uint32_t>(node.entries.size()));
+    for (const auto &[idx, entry] : node.entries) {
+        out.putU16(static_cast<std::uint16_t>(idx));
+        out.putBool(entry.leaf);
+        out.putU32(entry.order);
+        out.putU64(entry.pfn);
+        out.putBool(entry.child != nullptr);
+        if (entry.child)
+            saveNode(*entry.child, out);
+    }
+}
+
+std::unique_ptr<PageTables::Node>
+PageTables::loadNode(serde::Reader &in, unsigned depthLeft)
+{
+    if (depthLeft == 0)
+        throw serde::Error("pagetable: tree deeper than 4 levels");
+    auto node = std::make_unique<Node>();
+    node->backing = in.getU64();
+    ++tablePages_;
+    const std::uint32_t count = in.getU32();
+    if (count > pageBytes / 8)
+        throw serde::Error("pagetable: node entry count too large");
+    unsigned prev = 0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const unsigned idx = in.getU16();
+        if (idx >= (1u << bitsPerLevel) || (i > 0 && idx <= prev))
+            throw serde::Error("pagetable: entry index out of order");
+        prev = idx;
+        Entry &entry = node->entries[idx];
+        entry.present = true;
+        entry.leaf = in.getBool();
+        entry.order = in.getU32();
+        entry.pfn = in.getU64();
+        const bool hasChild = in.getBool();
+        if (entry.leaf == hasChild)
+            throw serde::Error("pagetable: leaf/child disagreement");
+        if (hasChild)
+            entry.child = loadNode(in, depthLeft - 1);
+        else
+            ++mappings_;
+    }
+    return node;
+}
+
+void
+PageTables::saveTo(serde::Writer &out) const
+{
+    out.putU64(tablePages_);
+    out.putU64(mappings_);
+    saveNode(*root_, out);
 }
 
 std::unique_ptr<PageTables::Node>

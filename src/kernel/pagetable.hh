@@ -17,14 +17,20 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <memory>
-#include <unordered_map>
 
 #include "base/types.hh"
 #include "kernel/kernel.hh"
 
 namespace ctg
 {
+
+namespace serde
+{
+class Writer;
+class Reader;
+} // namespace serde
 
 /** Result of a translation lookup. */
 struct Translation
@@ -45,6 +51,12 @@ class PageTables
     static constexpr unsigned bitsPerLevel = 9;
 
     explicit PageTables(Kernel &kernel);
+
+    /** Checkpoint restore: adopt a serialized radix tree. Table
+     * backing frames are already live in the restored frame table,
+     * so this constructor performs no allocations. */
+    PageTables(Kernel &kernel, serde::Reader &in);
+
     ~PageTables();
 
     PageTables(const PageTables &) = delete;
@@ -79,6 +91,9 @@ class PageTables
     /** Number of live leaf mappings. */
     std::uint64_t mappings() const { return mappings_; }
 
+    /** Serialize the radix tree (checkpoint). */
+    void saveTo(serde::Writer &out) const;
+
   private:
     struct Node;
     struct Entry
@@ -93,13 +108,21 @@ class PageTables
     struct Node
     {
         Pfn backing = invalidPfn; //!< frame holding this table
-        std::unordered_map<unsigned, Entry> entries;
+        /** Ordered: teardown frees table pages in index order, so
+         * the buddy merge pattern (and everything downstream of it)
+         * is independent of any hash layout — required for
+         * bit-identical checkpoint resume. */
+        std::map<unsigned, Entry> entries;
     };
 
     static unsigned indexAt(Vpn vpn, unsigned level);
 
     std::unique_ptr<Node> allocNode();
     void freeNode(std::unique_ptr<Node> node);
+
+    static void saveNode(const Node &node, serde::Writer &out);
+    std::unique_ptr<Node> loadNode(serde::Reader &in,
+                                   unsigned depthLeft);
 
     /** Find the entry whose leaf covers vpn, or nullptr. */
     Entry *findLeaf(Vpn vpn);

@@ -105,6 +105,12 @@ class MemPolicy
     {
         (void)auditor;
     }
+
+    /** Serialize policy-owned state (allocators, region boundary,
+     * deferred resizes, stats) for a checkpoint. Restore happens via
+     * each policy's restore constructor, selected by the restoring
+     * Server from its own config. */
+    virtual void saveTo(serde::Writer &out) const = 0;
 };
 
 } // namespace ctg

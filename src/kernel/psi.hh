@@ -53,6 +53,36 @@ class Psi
     /** Total (undecayed) stall time, for reporting. */
     double totalStallUs() const { return totalStallUs_; }
 
+    /** @{ Checkpoint state: the five evolving doubles (the half-life
+     * is configuration). Restored bit-exactly via their IEEE-754
+     * patterns. */
+    struct SavedState
+    {
+        double nowUs;
+        double pendingStallUs;
+        double decayedStall;
+        double elapsedUs;
+        double totalStallUs;
+    };
+
+    SavedState
+    savedState() const
+    {
+        return {nowUs_, pendingStallUs_, decayedStall_, elapsedUs_,
+                totalStallUs_};
+    }
+
+    void
+    restoreState(const SavedState &s)
+    {
+        nowUs_ = s.nowUs;
+        pendingStallUs_ = s.pendingStallUs;
+        decayedStall_ = s.decayedStall;
+        elapsedUs_ = s.elapsedUs;
+        totalStallUs_ = s.totalStallUs;
+    }
+    /** @} */
+
   private:
     double halfLifeUs_;
     double nowUs_ = 0.0;

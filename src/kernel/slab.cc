@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "base/serde.hh"
+
 namespace ctg
 {
 
@@ -30,6 +32,125 @@ SlabAllocator::SlabAllocator(Kernel &kernel, AllocSource src)
     : kernel_(kernel), source_(src), partial_(numClasses)
 {
     kernel_.registerShrinker(this);
+}
+
+SlabAllocator::SlabAllocator(Kernel &kernel, serde::Reader &in,
+                             AllocSource src)
+    : kernel_(kernel), source_(src), partial_(numClasses)
+{
+    kernel_.registerShrinker(this);
+
+    const std::uint64_t frames = kernel_.mem().numFrames();
+    const std::uint64_t slab_count = in.getU64();
+    if (slab_count > frames)
+        throw serde::Error("slab: slab count exceeds memory");
+    slabs_.reserve(slab_count);
+    std::uint64_t backing = 0;
+    std::uint64_t live_objects = 0;
+    for (std::uint64_t i = 0; i < slab_count; ++i) {
+        Slab slab;
+        slab.page = in.getU64();
+        slab.order = in.getU8();
+        slab.capacity = in.getU16();
+        slab.inUse = in.getU16();
+        slab.classIdx = in.getU32();
+        slab.live = in.getBool();
+        slab.bitmap = in.getPodVector<std::uint64_t>();
+        if (!slab.live) {
+            if (slab.page != invalidPfn)
+                throw serde::Error("slab: dead slab with a page");
+        } else {
+            if (slab.page >= frames || slab.classIdx >= numClasses ||
+                slab.order != sizeClasses[slab.classIdx].pageOrder)
+                throw serde::Error("slab: bad slab record");
+            const std::uint32_t bytes =
+                (1u << slab.order) * pageBytes;
+            const auto capacity = static_cast<std::uint16_t>(
+                bytes / sizeClasses[slab.classIdx].bytes);
+            if (slab.capacity != capacity ||
+                slab.inUse > slab.capacity ||
+                slab.bitmap.size() != (slab.capacity + 63u) / 64)
+                throw serde::Error("slab: bad slab geometry");
+            std::uint64_t used = 0;
+            for (std::size_t w = 0; w < slab.bitmap.size(); ++w) {
+                std::uint64_t word = slab.bitmap[w];
+                // Bits past capacity must be clear.
+                if (w + 1 == slab.bitmap.size() &&
+                    slab.capacity % 64 != 0) {
+                    const std::uint64_t valid =
+                        (std::uint64_t{1} << (slab.capacity % 64)) -
+                        1;
+                    if (word & ~valid)
+                        throw serde::Error(
+                            "slab: bitmap bit past capacity");
+                    word &= valid;
+                }
+                used += static_cast<std::uint64_t>(
+                    __builtin_popcountll(word));
+            }
+            if (used != slab.inUse)
+                throw serde::Error("slab: in-use/bitmap mismatch");
+            backing += Pfn{1} << slab.order;
+            live_objects += slab.inUse;
+        }
+        slabs_.push_back(std::move(slab));
+    }
+
+    recycledIds_ = in.getPodVector<std::uint32_t>();
+    for (const std::uint32_t id : recycledIds_) {
+        if (id >= slabs_.size() || slabs_[id].live)
+            throw serde::Error("slab: bad recycled id");
+    }
+
+    const std::uint64_t class_count = in.getU64();
+    if (class_count != numClasses)
+        throw serde::Error("slab: size-class count mismatch");
+    for (unsigned c = 0; c < numClasses; ++c) {
+        partial_[c] = in.getPodVector<std::uint32_t>();
+        for (const std::uint32_t id : partial_[c]) {
+            if (id >= slabs_.size() || !slabs_[id].live ||
+                slabs_[id].classIdx != c ||
+                slabs_[id].inUse >= slabs_[id].capacity ||
+                slabs_[id].inUse == 0)
+                throw serde::Error("slab: bad partial entry");
+        }
+    }
+
+    emptyCached_ = in.getPodVector<std::uint32_t>();
+    if (emptyCached_.size() > emptyCacheCap)
+        throw serde::Error("slab: empty cache overflow");
+    for (const std::uint32_t id : emptyCached_) {
+        if (id >= slabs_.size() || !slabs_[id].live ||
+            slabs_[id].inUse != 0)
+            throw serde::Error("slab: bad empty-cache entry");
+    }
+
+    backingPages_ = in.getU64();
+    liveObjects_ = in.getU64();
+    if (backingPages_ != backing || liveObjects_ != live_objects)
+        throw serde::Error("slab: aggregate count mismatch");
+}
+
+void
+SlabAllocator::saveTo(serde::Writer &out) const
+{
+    out.putU64(slabs_.size());
+    for (const Slab &slab : slabs_) {
+        out.putU64(slab.page);
+        out.putU8(slab.order);
+        out.putU16(slab.capacity);
+        out.putU16(slab.inUse);
+        out.putU32(slab.classIdx);
+        out.putBool(slab.live);
+        out.putPodVector(slab.bitmap);
+    }
+    out.putPodVector(recycledIds_);
+    out.putU64(numClasses);
+    for (const auto &list : partial_)
+        out.putPodVector(list);
+    out.putPodVector(emptyCached_);
+    out.putU64(backingPages_);
+    out.putU64(liveObjects_);
 }
 
 SlabAllocator::~SlabAllocator()

@@ -22,6 +22,12 @@
 namespace ctg
 {
 
+namespace serde
+{
+class Writer;
+class Reader;
+} // namespace serde
+
 /**
  * Size-class slab allocator backed by kernel pages.
  */
@@ -33,6 +39,12 @@ class SlabAllocator : public Shrinker
 
     explicit SlabAllocator(Kernel &kernel,
                            AllocSource src = AllocSource::Slab);
+
+    /** Checkpoint restore: adopt the serialized slab table, partial
+     * lists and empty cache; re-registers as a shrinker. */
+    SlabAllocator(Kernel &kernel, serde::Reader &in,
+                  AllocSource src = AllocSource::Slab);
+
     ~SlabAllocator() override;
 
     SlabAllocator(const SlabAllocator &) = delete;
@@ -56,6 +68,9 @@ class SlabAllocator : public Shrinker
 
     /** Largest object size supported. */
     static constexpr std::uint32_t maxObjectBytes = 8192;
+
+    /** Serialize the full allocator state (checkpoint). */
+    void saveTo(serde::Writer &out) const;
 
   private:
     struct Slab

@@ -1,5 +1,7 @@
 #include "kernel/vanilla_policy.hh"
 
+#include "base/serde.hh"
+
 namespace ctg
 {
 
@@ -12,6 +14,21 @@ setBlockPinned(PhysMem &mem, Pfn head, bool pinned)
 VanillaPolicy::VanillaPolicy(PhysMem &mem)
     : mem_(mem), allocator_(mem, 0, mem.numFrames(), "vanilla")
 {}
+
+VanillaPolicy::VanillaPolicy(PhysMem &mem, serde::Reader &in)
+    : mem_(mem), allocator_(mem, in)
+{
+    if (allocator_.startPfn() != 0 ||
+        allocator_.endPfn() != mem.numFrames())
+        throw serde::Error(
+            "vanilla policy: allocator coverage is not whole-machine");
+}
+
+void
+VanillaPolicy::saveTo(serde::Writer &out) const
+{
+    allocator_.saveTo(out);
+}
 
 Pfn
 VanillaPolicy::alloc(const AllocRequest &req)

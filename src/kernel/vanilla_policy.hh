@@ -21,6 +21,10 @@ class VanillaPolicy : public MemPolicy
   public:
     explicit VanillaPolicy(PhysMem &mem);
 
+    /** Checkpoint restore: adopt the serialized allocator state (the
+     * frame table must already be restored). */
+    VanillaPolicy(PhysMem &mem, serde::Reader &in);
+
     Pfn alloc(const AllocRequest &req) override;
     void free(Pfn head) override;
     Pfn allocGigantic(AllocSource src, std::uint64_t owner) override;
@@ -46,6 +50,8 @@ class VanillaPolicy : public MemPolicy
     }
 
     const BuddyAllocator &allocator() const { return allocator_; }
+
+    void saveTo(serde::Writer &out) const override;
 
   private:
     PhysMem &mem_;

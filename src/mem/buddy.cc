@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/serde.hh"
 #include "base/trace.hh"
 #include "sim/fault_injector.hh"
 
@@ -54,6 +55,73 @@ BuddyAllocator::BuddyAllocator(PhysMem &mem, Pfn start, Pfn end,
     }
     freeRangeAsBlocks(start_, end_, initial_block_mt);
     mem_.noteFramesChanged(start_, end_);
+}
+
+BuddyAllocator::BuddyAllocator(PhysMem &mem, serde::Reader &in)
+    : mem_(mem), frames_(mem.frames())
+{
+    start_ = in.getU64();
+    end_ = in.getU64();
+    if (start_ > end_ || end_ > mem.numFrames() ||
+        start_ % pagesPerHuge != 0 || end_ % pagesPerHuge != 0)
+        throw serde::Error("buddy: serialized coverage invalid");
+    name_ = in.getString();
+    if (name_.size() > 256)
+        throw serde::Error("buddy: allocator name too long");
+    claimSmallSteals_ = in.getBool();
+    prefScanCap_ = in.getU32();
+    if (prefScanCap_ < 1)
+        throw serde::Error("buddy: prefScanCap out of range");
+    for (auto &per_mt : heads_)
+        for (auto &head : per_mt) {
+            head = in.getU32();
+            if (head != FrameArray::nil &&
+                (head < start_ || head >= end_))
+                throw serde::Error("buddy: list head out of range");
+        }
+    for (auto &count : freeCount_) {
+        count = in.getU64();
+        if (count > end_ - start_)
+            throw serde::Error("buddy: free count exceeds coverage");
+    }
+    for (auto &per_mt : blockCount_)
+        for (auto &count : per_mt) {
+            count = in.getU64();
+            if (count > end_ - start_)
+                throw serde::Error(
+                    "buddy: block count exceeds coverage");
+        }
+    Stats &s = stats_;
+    for (std::uint64_t *field :
+         {&s.allocCalls, &s.freeCalls, &s.splits, &s.merges,
+          &s.fallbackAllocs, &s.pageblockSteals, &s.failedAllocs,
+          &s.giganticAllocs, &s.giganticFailures,
+          &s.injectedFailures})
+        *field = in.getU64();
+}
+
+void
+BuddyAllocator::saveTo(serde::Writer &out) const
+{
+    out.putU64(start_);
+    out.putU64(end_);
+    out.putString(name_);
+    out.putBool(claimSmallSteals_);
+    out.putU32(prefScanCap_);
+    for (const auto &per_mt : heads_)
+        for (const std::uint32_t head : per_mt)
+            out.putU32(head);
+    for (const std::uint64_t count : freeCount_)
+        out.putU64(count);
+    for (const auto &per_mt : blockCount_)
+        for (const std::uint64_t count : per_mt)
+            out.putU64(count);
+    const Stats &s = stats_;
+    for (const std::uint64_t field :
+         {s.allocCalls, s.freeCalls, s.splits, s.merges,
+          s.fallbackAllocs, s.pageblockSteals, s.failedAllocs,
+          s.giganticAllocs, s.giganticFailures, s.injectedFailures})
+        out.putU64(field);
 }
 
 void

@@ -35,6 +35,12 @@
 namespace ctg
 {
 
+namespace serde
+{
+class Writer;
+class Reader;
+} // namespace serde
+
 /**
  * Buddy allocator over [start, end) page frames of a PhysMem.
  */
@@ -65,6 +71,20 @@ class BuddyAllocator
      */
     BuddyAllocator(PhysMem &mem, Pfn start, Pfn end, std::string name,
                    MigrateType initial_block_mt = MigrateType::Movable);
+
+    /**
+     * Checkpoint restore: adopt serialized coverage, free-list
+     * heads, counts and stats without seeding any free lists. The
+     * frame table (which holds the intrusive list links) must
+     * already be restored; the MemAuditor's free-list audit is the
+     * deep validation pass. Throws serde::Error on malformed input.
+     */
+    BuddyAllocator(PhysMem &mem, serde::Reader &in);
+
+    /** Serialize coverage, free-list heads, counts, knobs and stats
+     * (checkpoint). The lists' membership lives in the FrameArray
+     * links, serialized with PhysMem. */
+    void saveTo(serde::Writer &out) const;
 
     /**
      * Allocate a 2^order page block.

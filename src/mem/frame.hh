@@ -22,6 +22,12 @@
 namespace ctg
 {
 
+namespace serde
+{
+class Writer;
+class Reader;
+} // namespace serde
+
 /** Per-frame metadata. Field meanings depend on the state bits:
  *  a frame is either free (possibly the head of a buddy block) or
  *  allocated (possibly the head of a multi-page allocation). */
@@ -110,6 +116,17 @@ class FrameArray
 
     std::uint32_t &next(Pfn pfn) { return next_[pfn]; }
     std::uint32_t &prev(Pfn pfn) { return prev_[pfn]; }
+
+    /** Serialize every frame plus the intrusive links (checkpoint).
+     * The three vectors *are* the frame table and the buddy free
+     * lists' membership — restoring them wholesale restores both.
+     * Defined in mem/physmem.cc (needs base/serde.hh). */
+    void saveTo(serde::Writer &out) const;
+
+    /** Overwrite from a snapshot; the serialized frame count must
+     * equal size() (it is part of the snapshot's config fingerprint,
+     * so a mismatch is corruption). Throws serde::Error. */
+    void loadFrom(serde::Reader &in);
 
   private:
     std::vector<PageFrame> frames_;

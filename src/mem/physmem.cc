@@ -1,10 +1,89 @@
 #include "mem/physmem.hh"
 
 #include "base/logging.hh"
+#include "base/serde.hh"
 #include "mem/mem_stats.hh"
 
 namespace ctg
 {
+
+// Bulk POD serialization of the frame table: native layout, guarded.
+// Any change here is a snapshot format change (bump
+// snapshot::formatVersion).
+static_assert(sizeof(PageFrame) == 16,
+              "PageFrame layout changed: bump the snapshot format "
+              "version and revisit FrameArray serialization");
+static_assert(std::is_trivially_copyable_v<PageFrame>);
+static_assert(sizeof(MigrateType) == 1);
+
+void
+FrameArray::saveTo(serde::Writer &out) const
+{
+    out.putPodVector(frames_);
+    out.putPodVector(next_);
+    out.putPodVector(prev_);
+}
+
+void
+FrameArray::loadFrom(serde::Reader &in)
+{
+    std::vector<PageFrame> frames = in.getPodVector<PageFrame>();
+    std::vector<std::uint32_t> next =
+        in.getPodVector<std::uint32_t>();
+    std::vector<std::uint32_t> prev =
+        in.getPodVector<std::uint32_t>();
+    if (frames.size() != frames_.size() ||
+        next.size() != frames.size() || prev.size() != frames.size())
+        throw serde::Error("frame table size mismatch");
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        const PageFrame &f = frames[i];
+        // Valid block orders: 0..maxOrder (buddy) plus gigaOrder
+        // (contiguous-range gigantic allocations).
+        if (f.order > maxOrder && f.order != gigaOrder)
+            throw serde::Error("frame order out of range");
+        if (f.flags >> 4)
+            throw serde::Error("unknown frame flag bits");
+        if (static_cast<unsigned>(f.migrateType) >= numMigrateTypes)
+            throw serde::Error("frame migratetype out of range");
+        if (static_cast<unsigned>(f.source) >= numAllocSources)
+            throw serde::Error("frame alloc source out of range");
+        if ((next[i] != nil && next[i] >= frames.size()) ||
+            (prev[i] != nil && prev[i] >= frames.size()))
+            throw serde::Error("frame link out of range");
+    }
+    frames_ = std::move(frames);
+    next_ = std::move(next);
+    prev_ = std::move(prev);
+}
+
+void
+PhysMem::saveTo(serde::Writer &out) const
+{
+    out.putU64(numFrames_);
+    frames_.saveTo(out);
+    out.putPodVector(blockMt_);
+    out.putU32(nowSeconds);
+}
+
+void
+PhysMem::loadFrom(serde::Reader &in)
+{
+    if (in.getU64() != numFrames_)
+        throw serde::Error("physmem frame count mismatch");
+    frames_.loadFrom(in);
+    std::vector<MigrateType> blockMt =
+        in.getPodVector<MigrateType>();
+    if (blockMt.size() != blockMt_.size())
+        throw serde::Error("pageblock tag count mismatch");
+    for (const MigrateType mt : blockMt)
+        if (static_cast<unsigned>(mt) >= numMigrateTypes)
+            throw serde::Error("pageblock migratetype out of range");
+    blockMt_ = std::move(blockMt);
+    nowSeconds = in.getU32();
+    // The index is derived state: rebuild it from the restored
+    // frames so it is exact by construction.
+    noteFramesChanged(0, numFrames_);
+}
 
 PhysMem::PhysMem(std::uint64_t bytes)
     : numFrames_(bytes / pageBytes),

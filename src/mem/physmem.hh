@@ -118,6 +118,17 @@ class PhysMem
     /** Wall-clock second used to stamp allocations (set by drivers). */
     std::uint32_t nowSeconds = 0;
 
+    /** Serialize frames, links, pageblock tags and the clock. The
+     * ContigIndex is deliberately NOT serialized: it is derived
+     * state, rebuilt from the restored frames by a full resync in
+     * loadFrom() (and cross-checked against a reference scan by the
+     * MemAuditor before a restored server may run). */
+    void saveTo(serde::Writer &out) const;
+
+    /** Overwrite from a snapshot taken of an identically-sized
+     * machine; throws serde::Error on any mismatch. */
+    void loadFrom(serde::Reader &in);
+
   private:
     std::uint64_t numFrames_;
     FrameArray frames_;

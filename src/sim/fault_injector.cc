@@ -1,9 +1,11 @@
 #include "sim/fault_injector.hh"
 
 #include <cstdlib>
+#include <iterator>
 
 #include "base/env_config.hh"
 #include "base/logging.hh"
+#include "base/serde.hh"
 #include "base/span_trace.hh"
 
 namespace ctg
@@ -12,7 +14,7 @@ namespace ctg
 namespace
 {
 
-const char *const siteNames[numFaultSites] = {
+const char *const siteNames[] = {
     "buddy.alloc_fail",      // BuddyAllocFail
     "buddy.gigantic_fail",   // BuddyGiganticFail
     "migrate.dst_fail",      // MigrateDstFail
@@ -21,7 +23,16 @@ const char *const siteNames[numFaultSites] = {
     "chw.midcopy_abort",     // ChwMidcopyAbort
     "region.evac_fail",      // RegionEvacFail
     "kernel.reclaim_fail",   // KernelReclaimFail
+    "snap.torn_write",       // SnapTornWrite
+    "snap.bit_flip",         // SnapBitFlip
+    "snap.version_skew",     // SnapVersionSkew
+    "snap.manifest_skew",    // SnapManifestSkew
+    "snap.read_fail",        // SnapReadFail
 };
+
+static_assert(std::size(siteNames) == numFaultSites,
+              "every FaultSite needs a canonical name (and vice "
+              "versa) — update both the enum and this table");
 
 /** Parse one trigger spec ("p0.01", "n3", "o5", "once"). */
 bool
@@ -218,6 +229,52 @@ FaultInjector::absorbStats(const FaultInjector &other)
             other.sites_[i].stats.evaluations;
         sites_[i].stats.fires += other.sites_[i].stats.fires;
     }
+}
+
+void
+FaultInjector::saveTo(serde::Writer &out) const
+{
+    out.putU32(numFaultSites);
+    out.putU64(seed_);
+    out.putU32(armedCount_);
+    for (const SiteState &state : sites_) {
+        out.putU8(static_cast<std::uint8_t>(state.spec.trigger));
+        out.putDouble(state.spec.p);
+        out.putU64(state.spec.n);
+        out.putU64(state.sinceArmed);
+        out.putRngState(state.rng.rawState());
+        out.putU64(state.stats.evaluations);
+        out.putU64(state.stats.fires);
+    }
+}
+
+void
+FaultInjector::loadFrom(serde::Reader &in)
+{
+    if (in.getU32() != numFaultSites)
+        throw serde::Error("fault injector: site count mismatch");
+    seed_ = in.getU64();
+    const std::uint32_t armed = in.getU32();
+    std::uint32_t armed_check = 0;
+    for (SiteState &state : sites_) {
+        const std::uint8_t trigger = in.getU8();
+        if (trigger >
+            static_cast<std::uint8_t>(FaultSpec::Trigger::OneShot))
+            throw serde::Error("fault injector: bad trigger");
+        state.spec.trigger =
+            static_cast<FaultSpec::Trigger>(trigger);
+        state.spec.p = in.getDouble();
+        state.spec.n = in.getU64();
+        state.sinceArmed = in.getU64();
+        state.rng.setRawState(in.getRngState());
+        state.stats.evaluations = in.getU64();
+        state.stats.fires = in.getU64();
+        if (state.spec.trigger != FaultSpec::Trigger::Off)
+            ++armed_check;
+    }
+    if (armed != armed_check)
+        throw serde::Error("fault injector: armed count mismatch");
+    armedCount_ = armed;
 }
 
 std::uint64_t

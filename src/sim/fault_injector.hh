@@ -41,6 +41,12 @@
 namespace ctg
 {
 
+namespace serde
+{
+class Writer;
+class Reader;
+} // namespace serde
+
 /** Named injection sites threaded through the simulator. */
 enum class FaultSite : unsigned
 {
@@ -61,9 +67,22 @@ enum class FaultSite : unsigned
     RegionEvacFail,
     /** Kernel::reclaim: every shrinker comes back empty. */
     KernelReclaimFail,
+    /** Snapshot write dies mid-file: the temp file is truncated
+     * before the rename (torn write / crashed checkpointer). */
+    SnapTornWrite,
+    /** One payload byte of a written snapshot flips (silent media
+     * corruption — must surface as a section CRC mismatch). */
+    SnapBitFlip,
+    /** Snapshot is stamped with an alien format version. */
+    SnapVersionSkew,
+    /** Manifest entry disagrees with the snapshot file it points at
+     * (mixed-up checkpoint directories). */
+    SnapManifestSkew,
+    /** Snapshot file read fails outright (I/O error / missing). */
+    SnapReadFail,
 };
 
-constexpr unsigned numFaultSites = 8;
+constexpr unsigned numFaultSites = 13;
 
 /** Trigger specification for one armed site. */
 struct FaultSpec
@@ -209,6 +228,17 @@ class FaultInjector
     }
 
     std::uint64_t totalFires() const;
+
+    /** Serialize the complete injector state: seed, per-site spec,
+     * since-arming count, RNG stream position and stats. A restored
+     * injector continues the exact firing pattern of the saved one,
+     * which the bit-identical checkpoint-resume contract requires. */
+    void saveTo(serde::Writer &out) const;
+
+    /** Restore state written by saveTo onto this injector. Throws
+     * serde::Error on malformed input (including a site-count
+     * mismatch from a different build). */
+    void loadFrom(serde::Reader &in);
 
     /** Canonical site name, e.g. "buddy.alloc_fail". */
     static const char *siteName(FaultSite site);

@@ -1,0 +1,320 @@
+#include "sim/snapshot.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "base/logging.hh"
+#include "sim/fault_injector.hh"
+
+namespace ctg
+{
+namespace snap
+{
+
+namespace
+{
+
+std::uint64_t
+splitMix64Round(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Write `bytes` to `path`, fsync-free (the simulator's durability
+ * story is rename atomicity, not power-failure safety). */
+bool
+writeWhole(const std::string &path,
+           const std::uint8_t *data, std::size_t len)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr)
+        return false;
+    const bool ok =
+        len == 0 || std::fwrite(data, 1, len, f) == len;
+    return std::fclose(f) == 0 && ok;
+}
+
+} // namespace
+
+void
+Fingerprint::mixU64(std::uint64_t v)
+{
+    hash_ = splitMix64Round(hash_ ^ v);
+}
+
+void
+Fingerprint::mixDouble(double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    mixU64(bits);
+}
+
+void
+beginImage(serde::Writer &out)
+{
+    out.putU32(fileMagic);
+    out.putU32(formatVersion);
+}
+
+void
+openImage(serde::Reader &in)
+{
+    if (in.getU32() != fileMagic)
+        throw serde::Error("snapshot: bad magic");
+    const std::uint32_t version = in.getU32();
+    if (version != formatVersion) {
+        throw serde::Error(
+            "snapshot: format version " + std::to_string(version) +
+            " (this build speaks " + std::to_string(formatVersion) +
+            ")");
+    }
+}
+
+bool
+writeImageFile(const std::string &path,
+               const std::vector<std::uint8_t> &bytes)
+{
+    // Chaos hooks corrupt a private copy: the caller's bytes (and
+    // the CRC it records in the manifest) always describe the
+    // intended image, so every injected corruption is detectable.
+    std::vector<std::uint8_t> image = bytes;
+    FaultInjector &faults = faultInjector();
+    if (faults.shouldFail(FaultSite::SnapVersionSkew) &&
+        image.size() >= 8) {
+        // Stamp an alien format version into the header.
+        const std::uint32_t alien = formatVersion + 1;
+        for (int i = 0; i < 4; ++i)
+            image[4 + i] =
+                static_cast<std::uint8_t>(alien >> (8 * i));
+    }
+    if (faults.shouldFail(FaultSite::SnapBitFlip) &&
+        image.size() > 8) {
+        // Silent media corruption: one bit, past the header. Inside
+        // a payload it trips that section's CRC; in section framing
+        // it breaks framing — every landing spot is a detected
+        // error.
+        image[8 + (image.size() - 8) / 2] ^= 0x10;
+    }
+    if (faults.shouldFail(FaultSite::SnapTornWrite)) {
+        // The checkpointer died mid-write: only a prefix of the temp
+        // file made it to disk before the (simulated) rename.
+        image.resize(image.size() / 2);
+    }
+
+    const std::string tmp = path + ".tmp";
+    if (!writeWhole(tmp, image.data(), image.size())) {
+        warn("snapshot: writing '%s' failed", tmp.c_str());
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("snapshot: renaming '%s' into place failed",
+             tmp.c_str());
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::vector<std::uint8_t>
+readImageFile(const std::string &path)
+{
+    if (faultInjector().shouldFail(FaultSite::SnapReadFail))
+        throw serde::Error("snapshot: injected read failure on '" +
+                           path + "'");
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        throw serde::Error("snapshot: cannot open '" + path + "'");
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t chunk[1 << 16];
+    std::size_t got;
+    while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+        bytes.insert(bytes.end(), chunk, chunk + got);
+    const bool failed = std::ferror(f) != 0;
+    std::fclose(f);
+    if (failed)
+        throw serde::Error("snapshot: reading '" + path +
+                           "' failed");
+    return bytes;
+}
+
+const ManifestEntry *
+Manifest::find(unsigned server) const
+{
+    for (const ManifestEntry &entry : entries)
+        if (entry.server == server)
+            return &entry;
+    return nullptr;
+}
+
+std::string
+snapshotFileName(unsigned server)
+{
+    return "server_" + std::to_string(server) + ".ctgsnap";
+}
+
+std::string
+manifestFileName()
+{
+    return "MANIFEST";
+}
+
+bool
+writeManifest(const std::string &dir, const Manifest &manifest)
+{
+    FaultInjector &faults = faultInjector();
+    std::string text = "ctgsnap-manifest " +
+                       std::to_string(formatVersion) + "\n";
+    {
+        char line[64];
+        std::snprintf(line, sizeof(line), "fleet %016llx\n",
+                      static_cast<unsigned long long>(
+                          manifest.fleetFingerprint));
+        text += line;
+    }
+    for (const ManifestEntry &entry : manifest.entries) {
+        std::uint32_t crc = entry.crc;
+        if (faults.shouldFail(FaultSite::SnapManifestSkew)) {
+            // Mixed-up checkpoint directories: the manifest claims a
+            // CRC the file does not have.
+            crc ^= 0xdeadbeef;
+        }
+        char line[512];
+        std::snprintf(line, sizeof(line),
+                      "entry %u %s %llu %08lx\n", entry.server,
+                      entry.file.c_str(),
+                      static_cast<unsigned long long>(entry.bytes),
+                      static_cast<unsigned long>(crc));
+        text += line;
+    }
+    text += "end\n";
+
+    const std::string path = dir + "/" + manifestFileName();
+    const std::string tmp = path + ".tmp";
+    if (!writeWhole(tmp,
+                    reinterpret_cast<const std::uint8_t *>(
+                        text.data()),
+                    text.size()) ||
+        std::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("snapshot: writing manifest '%s' failed", path.c_str());
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+Manifest
+loadManifest(const std::string &dir,
+             std::uint64_t expectFleetFingerprint)
+{
+    const std::string path = dir + "/" + manifestFileName();
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        throw serde::Error("snapshot: cannot open manifest '" +
+                           path + "'");
+    std::string text;
+    char chunk[1 << 12];
+    std::size_t got;
+    while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+        text.append(chunk, got);
+    const bool failed = std::ferror(f) != 0;
+    std::fclose(f);
+    if (failed)
+        throw serde::Error("snapshot: reading manifest '" + path +
+                           "' failed");
+
+    Manifest manifest;
+    bool sawHeader = false;
+    bool sawFleet = false;
+    bool sawEnd = false;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        const std::string line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.empty())
+            continue;
+        if (sawEnd)
+            throw serde::Error(
+                "snapshot: manifest has trailing lines");
+        if (!sawHeader) {
+            unsigned version = 0;
+            if (std::sscanf(line.c_str(),
+                            "ctgsnap-manifest %u", &version) != 1)
+                throw serde::Error(
+                    "snapshot: manifest missing header");
+            if (version != formatVersion)
+                throw serde::Error(
+                    "snapshot: manifest format version " +
+                    std::to_string(version));
+            sawHeader = true;
+        } else if (!sawFleet) {
+            unsigned long long fp = 0;
+            if (std::sscanf(line.c_str(), "fleet %llx", &fp) != 1)
+                throw serde::Error(
+                    "snapshot: manifest missing fleet fingerprint");
+            manifest.fleetFingerprint = fp;
+            if (manifest.fleetFingerprint !=
+                expectFleetFingerprint)
+                throw serde::Error(
+                    "snapshot: manifest fleet-config fingerprint "
+                    "mismatch (checkpoint from a different fleet "
+                    "configuration)");
+            sawFleet = true;
+        } else if (line == "end") {
+            sawEnd = true;
+        } else {
+            ManifestEntry entry;
+            char file[256];
+            unsigned long long bytes = 0;
+            unsigned long crc = 0;
+            if (std::sscanf(line.c_str(), "entry %u %255s %llu %lx",
+                            &entry.server, file, &bytes,
+                            &crc) != 4)
+                throw serde::Error(
+                    "snapshot: malformed manifest line '" + line +
+                    "'");
+            entry.file = file;
+            entry.bytes = bytes;
+            entry.crc = static_cast<std::uint32_t>(crc);
+            if (manifest.find(entry.server) != nullptr)
+                throw serde::Error(
+                    "snapshot: duplicate manifest entry for "
+                    "server " +
+                    std::to_string(entry.server));
+            manifest.entries.push_back(std::move(entry));
+        }
+    }
+    if (!sawEnd)
+        throw serde::Error(
+            "snapshot: manifest truncated (no end line)");
+    return manifest;
+}
+
+void
+validateAgainstManifest(const ManifestEntry &entry,
+                        const std::vector<std::uint8_t> &bytes)
+{
+    if (bytes.size() != entry.bytes)
+        throw serde::Error(
+            "snapshot: '" + entry.file + "' is " +
+            std::to_string(bytes.size()) +
+            " bytes, manifest expects " +
+            std::to_string(entry.bytes));
+    const std::uint32_t crc =
+        serde::crc32(bytes.data(), bytes.size());
+    if (crc != entry.crc)
+        throw serde::Error(
+            "snapshot: '" + entry.file +
+            "' CRC disagrees with its manifest entry");
+}
+
+} // namespace snap
+} // namespace ctg

@@ -1,5 +1,7 @@
 #include "workloads/fragmenter.hh"
 
+#include "base/serde.hh"
+
 namespace ctg
 {
 
@@ -7,6 +9,26 @@ Fragmenter::Fragmenter(Kernel &kernel, Config config,
                        std::uint64_t seed)
     : kernel_(kernel), config_(config), rng_(seed)
 {}
+
+Fragmenter::Fragmenter(Kernel &kernel, Config config,
+                       serde::Reader &in)
+    : kernel_(kernel), config_(config)
+{
+    rng_.setRawState(in.getRngState());
+    sprinkles_ = in.getPodVector<Pfn>();
+    const std::uint64_t frames = kernel_.mem().numFrames();
+    for (const Pfn head : sprinkles_) {
+        if (head >= frames)
+            throw serde::Error("fragmenter: sprinkle out of range");
+    }
+}
+
+void
+Fragmenter::saveTo(serde::Writer &out) const
+{
+    out.putRngState(rng_.rawState());
+    out.putPodVector(sprinkles_);
+}
 
 Fragmenter::~Fragmenter()
 {

@@ -40,6 +40,12 @@ class Fragmenter
     };
 
     Fragmenter(Kernel &kernel, Config config, std::uint64_t seed);
+
+    /** Checkpoint restore: adopt the serialized sprinkle list (the
+     * pretreatment already ran before the snapshot; run() must not
+     * be called again). */
+    Fragmenter(Kernel &kernel, Config config, serde::Reader &in);
+
     ~Fragmenter();
 
     Fragmenter(const Fragmenter &) = delete;
@@ -49,6 +55,9 @@ class Fragmenter
     void run();
 
     std::uint64_t sprinkledPages() const { return sprinkles_.size(); }
+
+    /** Serialize the held sprinkles and RNG (checkpoint). */
+    void saveTo(serde::Writer &out) const;
 
   private:
     Kernel &kernel_;

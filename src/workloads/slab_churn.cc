@@ -1,5 +1,10 @@
 #include "workloads/slab_churn.hh"
 
+#include <algorithm>
+#include <functional>
+
+#include "base/serde.hh"
+
 namespace ctg
 {
 
@@ -13,6 +18,48 @@ SlabChurn::SlabChurn(SlabAllocator &slab, Config config,
         weightTotal_ += weight;
     }
     nextArrival_ = rng_.exponential(1.0 / config_.ratePerSec);
+}
+
+SlabChurn::SlabChurn(SlabAllocator &slab, Config config,
+                     serde::Reader &in)
+    : slab_(slab), config_(std::move(config)), rng_(0)
+{
+    ctg_assert(config_.ratePerSec > 0);
+    for (const auto &[size, weight] : config_.sizeDist) {
+        ctg_assert(size <= SlabAllocator::maxObjectBytes);
+        weightTotal_ += weight;
+    }
+
+    rng_.setRawState(in.getRngState());
+    nextArrival_ = in.getDouble();
+    const std::uint64_t live_count = in.getU64();
+    if (live_count > slab_.liveObjects())
+        throw serde::Error("slab churn: live count exceeds slab");
+    std::vector<Obj> &heap = serde::heapOf(live_);
+    heap.reserve(live_count);
+    for (std::uint64_t i = 0; i < live_count; ++i) {
+        Obj obj;
+        obj.death = in.getDouble();
+        obj.handle = in.getU64();
+        if (obj.handle == 0)
+            throw serde::Error("slab churn: null object handle");
+        heap.push_back(obj);
+    }
+    if (!std::is_heap(heap.begin(), heap.end(), std::greater<>()))
+        throw serde::Error("slab churn: live heap order violated");
+}
+
+void
+SlabChurn::saveTo(serde::Writer &out) const
+{
+    out.putRngState(rng_.rawState());
+    out.putDouble(nextArrival_);
+    const std::vector<Obj> &heap = serde::heapOf(live_);
+    out.putU64(heap.size());
+    for (const Obj &obj : heap) {
+        out.putDouble(obj.death);
+        out.putU64(obj.handle);
+    }
 }
 
 std::uint32_t

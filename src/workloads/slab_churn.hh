@@ -39,9 +39,17 @@ class SlabChurn
 
     SlabChurn(SlabAllocator &slab, Config config, std::uint64_t seed);
 
+    /** Checkpoint restore: adopt the serialized RNG, clock and live
+     * heap (the slab allocator must have been restored first — the
+     * handles refer into it). */
+    SlabChurn(SlabAllocator &slab, Config config, serde::Reader &in);
+
     void advanceTo(double now_sec);
 
     std::uint64_t liveObjects() const { return live_.size(); }
+
+    /** Serialize the full churn state (checkpoint). */
+    void saveTo(serde::Writer &out) const;
 
   private:
     struct Obj

@@ -2,8 +2,45 @@
 
 #include <algorithm>
 
+#include "base/serde.hh"
+
 namespace ctg
 {
+
+namespace
+{
+
+/** Bulk slab footprint: page-granularity churn standing in for the
+ * thousands of kmalloc caches we do not model individually. */
+ChurnPool::Config
+slabBulkConfigFor(const WorkloadProfile &profile)
+{
+    ChurnPool::Config bulk;
+    bulk.ratePerSec = std::max(1.0, profile.slab.ratePerSec * 2.8);
+    bulk.meanLifeSec = 0.02;
+    bulk.longLivedFrac = 0.25;
+    bulk.longMeanLifeSec = 10.0;
+    bulk.mt = MigrateType::Unmovable;
+    bulk.source = AllocSource::Slab;
+    bulk.lifetime = Lifetime::Long;
+    return bulk;
+}
+
+ChurnPool::Config
+miscConfigFor(const WorkloadProfile &profile)
+{
+    ChurnPool::Config misc;
+    misc.ratePerSec = std::max(1.0, profile.miscRatePerSec);
+    misc.meanLifeSec = 0.05;
+    misc.longLivedFrac = 0.3;
+    misc.longMeanLifeSec = 10.0;
+    misc.mt = MigrateType::Unmovable;
+    misc.source = AllocSource::Other;
+    misc.lifetime = Lifetime::Long;
+    return misc;
+}
+
+} // namespace
 
 Workload::Workload(Kernel &kernel, WorkloadProfile profile,
                    std::uint64_t seed)
@@ -16,29 +53,135 @@ Workload::Workload(Kernel &kernel, WorkloadProfile profile,
     slab_ = std::make_unique<SlabAllocator>(kernel_);
     slabChurn_ = std::make_unique<SlabChurn>(*slab_, profile_.slab,
                                              rng_.next());
+    slabBulk_ = std::make_unique<ChurnPool>(
+        kernel_, slabBulkConfigFor(profile_), rng_.next());
+    misc_ = std::make_unique<ChurnPool>(
+        kernel_, miscConfigFor(profile_), rng_.next());
+}
 
-    // Bulk slab footprint: page-granularity churn standing in for
-    // the thousands of kmalloc caches we do not model individually.
-    ChurnPool::Config bulk;
-    bulk.ratePerSec = std::max(1.0, profile_.slab.ratePerSec * 2.8);
-    bulk.meanLifeSec = 0.02;
-    bulk.longLivedFrac = 0.25;
-    bulk.longMeanLifeSec = 10.0;
-    bulk.mt = MigrateType::Unmovable;
-    bulk.source = AllocSource::Slab;
-    bulk.lifetime = Lifetime::Long;
-    slabBulk_ =
-        std::make_unique<ChurnPool>(kernel_, bulk, rng_.next());
+Workload::Workload(Kernel &kernel, WorkloadProfile profile,
+                   serde::Reader &in)
+    : kernel_(kernel), profile_(std::move(profile))
+{
+    net_ = std::make_unique<NetStack>(kernel_, profile_.net, in);
+    fs_ = std::make_unique<FsBuffers>(kernel_, profile_.fs, in);
+    slab_ = std::make_unique<SlabAllocator>(kernel_, in);
+    slabChurn_ = std::make_unique<SlabChurn>(*slab_, profile_.slab,
+                                             in);
+    slabBulk_ = std::make_unique<ChurnPool>(
+        kernel_, slabBulkConfigFor(profile_), in);
+    misc_ = std::make_unique<ChurnPool>(
+        kernel_, miscConfigFor(profile_), in);
 
-    ChurnPool::Config misc;
-    misc.ratePerSec = std::max(1.0, profile_.miscRatePerSec);
-    misc.meanLifeSec = 0.05;
-    misc.longLivedFrac = 0.3;
-    misc.longMeanLifeSec = 10.0;
-    misc.mt = MigrateType::Unmovable;
-    misc.source = AllocSource::Other;
-    misc.lifetime = Lifetime::Long;
-    misc_ = std::make_unique<ChurnPool>(kernel_, misc, rng_.next());
+    rng_.setRawState(in.getRngState());
+    nowSec_ = in.getDouble();
+    residentCarry_ = in.getDouble();
+    nextPid_ = in.getU32();
+    started_ = in.getBool();
+    for (std::uint64_t *field :
+         {&stats_.jobsRecycled, &stats_.pinsCreated,
+          &stats_.pinFailures, &stats_.heapPagesChurned})
+        *field = in.getU64();
+
+    const std::uint64_t proc_count = in.getU64();
+    if (proc_count != (started_ ? profile_.processes : 0))
+        throw serde::Error("workload: process count mismatch");
+    procs_.resize(proc_count);
+    for (auto &proc : procs_) {
+        if (in.getBool())
+            proc.space =
+                std::make_unique<AddressSpace>(kernel_, in);
+        const std::uint64_t segment_count = in.getU64();
+        proc.segments.reserve(segment_count);
+        for (std::uint64_t i = 0; i < segment_count; ++i)
+            proc.segments.push_back(in.getU64());
+        proc.segmentBytes = in.getU64();
+        proc.heapBytes = in.getU64();
+        if (proc.space && proc.segmentBytes == 0)
+            throw serde::Error("workload: bad segment size");
+    }
+
+    const std::uint64_t pin_count = in.getU64();
+    std::vector<Pin> &heap = serde::heapOf(pins_);
+    heap.reserve(pin_count);
+    for (std::uint64_t i = 0; i < pin_count; ++i) {
+        Pin pin;
+        pin.death = in.getDouble();
+        pin.id = in.getU64();
+        if (pin.id == 0)
+            throw serde::Error("workload: null pin handle");
+        heap.push_back(pin);
+    }
+    if (!std::is_heap(heap.begin(), heap.end(), std::greater<>()))
+        throw serde::Error("workload: pin heap order violated");
+
+    const std::uint64_t refault_count = in.getU64();
+    pendingRefault_.reserve(refault_count);
+    for (std::uint64_t i = 0; i < refault_count; ++i) {
+        const std::uint64_t pi = in.getU64();
+        const std::uint64_t idx = in.getU64();
+        if (pi >= procs_.size())
+            throw serde::Error("workload: bad refault entry");
+        pendingRefault_.emplace_back(
+            static_cast<std::size_t>(pi),
+            static_cast<std::size_t>(idx));
+    }
+
+    residentKernel_ = in.getPodVector<Pfn>();
+    const std::uint64_t frames = kernel_.mem().numFrames();
+    for (const Pfn head : residentKernel_) {
+        if (head >= frames)
+            throw serde::Error(
+                "workload: resident pfn out of range");
+    }
+}
+
+void
+Workload::saveTo(serde::Writer &out) const
+{
+    net_->saveTo(out);
+    fs_->saveTo(out);
+    slab_->saveTo(out);
+    slabChurn_->saveTo(out);
+    slabBulk_->saveTo(out);
+    misc_->saveTo(out);
+
+    out.putRngState(rng_.rawState());
+    out.putDouble(nowSec_);
+    out.putDouble(residentCarry_);
+    out.putU32(nextPid_);
+    out.putBool(started_);
+    for (const std::uint64_t field :
+         {stats_.jobsRecycled, stats_.pinsCreated,
+          stats_.pinFailures, stats_.heapPagesChurned})
+        out.putU64(field);
+
+    out.putU64(procs_.size());
+    for (const auto &proc : procs_) {
+        out.putBool(proc.space != nullptr);
+        if (proc.space)
+            proc.space->saveTo(out);
+        out.putU64(proc.segments.size());
+        for (const Addr base : proc.segments)
+            out.putU64(base);
+        out.putU64(proc.segmentBytes);
+        out.putU64(proc.heapBytes);
+    }
+
+    const std::vector<Pin> &heap = serde::heapOf(pins_);
+    out.putU64(heap.size());
+    for (const Pin &pin : heap) {
+        out.putDouble(pin.death);
+        out.putU64(pin.id);
+    }
+
+    out.putU64(pendingRefault_.size());
+    for (const auto &[pi, idx] : pendingRefault_) {
+        out.putU64(pi);
+        out.putU64(idx);
+    }
+
+    out.putPodVector(residentKernel_);
 }
 
 Workload::~Workload()

@@ -33,6 +33,14 @@ class Workload
   public:
     Workload(Kernel &kernel, WorkloadProfile profile,
              std::uint64_t seed);
+
+    /** Checkpoint restore: rebuild every subsystem from the stream
+     * in cold-construction order (owner-client ids and the shrinker
+     * list must land exactly as at checkpoint). The kernel must
+     * already be restored. */
+    Workload(Kernel &kernel, WorkloadProfile profile,
+             serde::Reader &in);
+
     ~Workload();
 
     Workload(const Workload &) = delete;
@@ -79,6 +87,9 @@ class Workload
     };
 
     const Stats &stats() const { return stats_; }
+
+    /** Serialize the full workload state (checkpoint). */
+    void saveTo(serde::Writer &out) const;
 
     /** Register workload counters under the given group
      * (conventionally `<server>.workload`). */
