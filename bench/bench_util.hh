@@ -11,6 +11,7 @@
 #define CTG_BENCH_BENCH_UTIL_HH
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,29 +40,89 @@ jsonOutPath()
     return path;
 }
 
+/** One bench command-line flag: `--name VALUE` or `--name=VALUE`. */
+struct FlagSpec
+{
+    const char *name;   //!< long name, without the leading "--"
+    std::string *value; //!< where the parsed value lands
+    const char *help;   //!< one-line description for the usage text
+};
+
+/** Print the supported-flag list to stderr. */
+inline void
+printUsage(const char *prog, const std::vector<FlagSpec> &flags)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--flag VALUE | --flag=VALUE]...\n"
+                 "supported flags:\n",
+                 prog);
+    for (const FlagSpec &spec : flags)
+        std::fprintf(stderr, "  --%-12s %s\n", spec.name, spec.help);
+}
+
 /**
- * Parse the shared bench command line. Currently one flag:
- * `--json out.json` (or `--json=out.json`) redirects every
- * dumpText/dumpStats call into the given file (append), so CI can
- * collect machine-readable artifacts like BENCH_scan.json without
- * environment plumbing.
+ * Parse the shared bench command line. Every binary gets `--json
+ * out.json` (redirects every dumpText/dumpStats call into that file,
+ * append, so CI can collect machine-readable artifacts like
+ * BENCH_scan.json without environment plumbing); callers add their
+ * own flags via `extra`. Both `--flag VALUE` and `--flag=VALUE`
+ * spellings work. Anything that is not a declared flag — an unknown
+ * name, a missing value, a stray positional — prints the usage list
+ * and exits with status 2 rather than being silently ignored.
  */
 inline void
-parseArgs(int argc, char **argv)
+parseArgs(int argc, char **argv, std::vector<FlagSpec> extra = {})
 {
+    std::vector<FlagSpec> flags;
+    flags.push_back({"json", &jsonOutPath(),
+                     "append JSON-lines stats to this file"});
+    flags.insert(flags.end(), extra.begin(), extra.end());
+
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--json" && i + 1 < argc) {
-            jsonOutPath() = argv[++i];
-        } else if (arg.rfind("--json=", 0) == 0) {
-            jsonOutPath() = arg.substr(7);
-        } else {
-            std::fprintf(stderr, "unknown bench argument '%s' "
-                         "(supported: --json out.json)\n",
+        const FlagSpec *matched = nullptr;
+        for (const FlagSpec &spec : flags) {
+            const std::string prefix = std::string("--") + spec.name;
+            if (arg == prefix) {
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr,
+                                 "missing value for '%s'\n",
+                                 arg.c_str());
+                    printUsage(argv[0], flags);
+                    std::exit(2);
+                }
+                *spec.value = argv[++i];
+                matched = &spec;
+                break;
+            }
+            if (arg.rfind(prefix + "=", 0) == 0) {
+                *spec.value = arg.substr(prefix.size() + 1);
+                matched = &spec;
+                break;
+            }
+        }
+        if (matched == nullptr) {
+            std::fprintf(stderr, "unknown bench argument '%s'\n",
                          arg.c_str());
+            printUsage(argv[0], flags);
             std::exit(2);
         }
     }
+}
+
+/** Parse a flag value as a non-negative integer; usage-error exit on
+ * garbage (trailing characters included). */
+inline std::uint64_t
+flagU64(const std::string &value, const char *name)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (value.empty() || end == nullptr || *end != '\0') {
+        std::fprintf(stderr, "flag --%s wants an integer, got '%s'\n",
+                     name, value.c_str());
+        std::exit(2);
+    }
+    return v;
 }
 
 /** Print the figure banner. */

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Fleet-scale capacity study: how many simulated servers one box can
+ * hold. Runs a fig11-shaped population (mixed workload kinds,
+ * intensity 0.7-1.3, 25% pre-fragmented, half stock Linux and half
+ * Contiguitas) at the scale tier — small machines, short uptimes,
+ * streaming scan sinks — and reports the numbers that bound
+ * population size: frame-table bytes/frame, process peak RSS and
+ * servers/second.
+ *
+ * Defaults to 100,000 servers; `--servers` and `--mem-mb` rescale.
+ * The `--json BENCH_fleet.json` output carries, per system, the
+ * measured `bytes_per_frame` next to `bytes_per_frame_aos` (the
+ * sizeof of the materialized array-of-structs PageFrame the
+ * struct-of-arrays table replaced), so CI trend-tracks the >= 2x
+ * footprint reduction directly.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "base/host_mem.hh"
+#include "bench/bench_util.hh"
+
+using namespace ctg;
+
+namespace
+{
+
+struct PopulationResult
+{
+    double wallMs = 0.0;
+    unsigned threads = 1;
+    double meanFreeContiguity2m = 0.0;
+    double meanUnmovableBlocks2m = 0.0;
+    /** Frame-table footprint of a representative end-of-run server
+     * (meta + link columns + owner side table), per frame. */
+    double bytesPerFrame = 0.0;
+    /** Owner side-table entries per 1000 frames on that server. */
+    double sideEntriesPerKiloFrame = 0.0;
+};
+
+/** Frame-table footprint probe: run one representative server of
+ * this population to its scan and measure the table it ends with.
+ * The fleet's servers are transient (created and destroyed per
+ * task), so the probe re-creates one rather than reaching into the
+ * run. */
+void
+probeFootprint(const Fleet &fleet, PopulationResult *out)
+{
+    Server::Config sc;
+    sc.memBytes = fleet.config().memBytes;
+    sc.contiguitas = fleet.config().contiguitas;
+    sc.kind = WorkloadKind::Web;
+    sc.intensity = 1.0;
+    sc.prefragment = true;
+    sc.uptimeSec = fleet.config().minUptimeSec;
+    sc.seed = 0xf00d;
+    sc.sharedTables = fleet.sharedTables();
+    sc.applyEnvOverlay();
+    Server server(sc);
+    server.run();
+    const FrameArray &frames = server.kernel().mem().frames();
+    const double n =
+        static_cast<double>(server.kernel().mem().numFrames());
+    out->bytesPerFrame = static_cast<double>(frames.bytesUsed()) / n;
+    out->sideEntriesPerKiloFrame =
+        1000.0 * static_cast<double>(frames.sideTableEntries()) / n;
+}
+
+PopulationResult
+runPopulation(bool contiguitas, unsigned servers,
+              std::uint64_t mem_bytes, std::string *stats_json)
+{
+    Fleet::Config config;
+    config.servers = servers;
+    config.memBytes = mem_bytes;
+    config.contiguitas = contiguitas;
+    // fig11 population shape at the scale tier: the same intensity
+    // and pre-fragmentation spread, uptimes shortened so 10^5
+    // servers finish on one box (steady-state fragmentation shape,
+    // not magnitude, is the point of this bench).
+    config.minUptimeSec = 2.0;
+    config.maxUptimeSec = 5.0;
+    config.minIntensity = 0.7;
+    config.maxIntensity = 1.3;
+    config.prefragmentFrac = 0.25;
+    config.streamScans = true;
+    config.seed = 0x5ca1e ^ (contiguitas ? 1 : 0);
+    config.applyEnvOverlay();
+    Fleet fleet(config);
+
+    const char *prefix = contiguitas ? "fleet.ctg" : "fleet.linux";
+    StatRegistry registry;
+    fleet.attachTelemetry(registry, nullptr, prefix);
+    bench::regFaultStats(registry);
+
+    const auto scans = fleet.run();
+    PopulationResult result;
+    for (const ServerScan &scan : scans) {
+        result.meanFreeContiguity2m += scan.freeContiguity[0];
+        result.meanUnmovableBlocks2m += scan.unmovableBlocks[0];
+    }
+    const double n = static_cast<double>(scans.size());
+    result.meanFreeContiguity2m /= n;
+    result.meanUnmovableBlocks2m /= n;
+    result.wallMs = fleet.lastRunWallMs();
+    result.threads = fleet.lastRunThreads();
+    probeFootprint(fleet, &result);
+    *stats_json += registry.jsonLines();
+
+    char line[128];
+    std::snprintf(line, sizeof(line),
+                  "{\"name\":\"%s.bytes_per_frame\",\"kind\":"
+                  "\"gauge\",\"value\":%.3f}\n",
+                  prefix, result.bytesPerFrame);
+    *stats_json += line;
+    std::snprintf(line, sizeof(line),
+                  "{\"name\":\"%s.side_entries_per_1k_frames\","
+                  "\"kind\":\"gauge\",\"value\":%.3f}\n",
+                  prefix, result.sideEntriesPerKiloFrame);
+    *stats_json += line;
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string servers_s = "100000";
+    std::string mem_mb_s = "64";
+    bench::parseArgs(
+        argc, argv,
+        {{"servers", &servers_s,
+          "total population size (split linux/contiguitas)"},
+         {"mem-mb", &mem_mb_s, "per-server memory in MiB"}});
+    const unsigned servers = static_cast<unsigned>(
+        bench::flagU64(servers_s, "servers"));
+    const std::uint64_t memBytes =
+        bench::flagU64(mem_mb_s, "mem-mb") << 20;
+
+    bench::banner("Fleet scale",
+                  "10^5-server population capacity study");
+    std::printf("(population: %u servers at %llu MiB each, "
+                "scale tier)\n",
+                servers,
+                static_cast<unsigned long long>(memBytes >> 20));
+
+    std::string stats_json;
+    bench::WallTimer wall;
+    const PopulationResult linux_pop = runPopulation(
+        false, servers / 2, memBytes, &stats_json);
+    const PopulationResult ctg_pop = runPopulation(
+        true, servers - servers / 2, memBytes, &stats_json);
+    const double totalWallMs = wall.ms();
+
+    const double serversPerSec =
+        1000.0 * static_cast<double>(servers) / totalWallMs;
+    const double peakRssMb =
+        static_cast<double>(peakRssBytes()) / (1024.0 * 1024.0);
+    // Two reference points: what sizeof says the seed's
+    // array-of-structs columns cost (PageFrame value type + two
+    // 32-bit links), and the 40 bytes/frame the roadmap charged the
+    // pre-diet table with (24 B metadata + 16 B link indices).
+    const double aosBytesPerFrame =
+        static_cast<double>(sizeof(PageFrame) +
+                            2 * sizeof(std::uint32_t));
+    const double roadmapBytesPerFrame = 40.0;
+    const double maxBytesPerFrame =
+        std::max(linux_pop.bytesPerFrame, ctg_pop.bytesPerFrame);
+
+    Table table;
+    table.header({"System", "free contig 2M", "unmov blocks 2M",
+                  "bytes/frame", "side entries/1k frames"});
+    table.row({"Linux", formatPercent(linux_pop.meanFreeContiguity2m),
+               formatPercent(linux_pop.meanUnmovableBlocks2m),
+               cell(linux_pop.bytesPerFrame, 2),
+               cell(linux_pop.sideEntriesPerKiloFrame, 1)});
+    table.row({"Contiguitas",
+               formatPercent(ctg_pop.meanFreeContiguity2m),
+               formatPercent(ctg_pop.meanUnmovableBlocks2m),
+               cell(ctg_pop.bytesPerFrame, 2),
+               cell(ctg_pop.sideEntriesPerKiloFrame, 1)});
+    table.print();
+
+    std::printf("\nFrame table: %.2f bytes/frame worst case — "
+                "%.1fx under the pre-diet 40 (roadmap), %.1fx under "
+                "the packed array-of-structs %.0f (sizeof)\n",
+                maxBytesPerFrame,
+                roadmapBytesPerFrame / maxBytesPerFrame,
+                aosBytesPerFrame / maxBytesPerFrame,
+                aosBytesPerFrame);
+    std::printf("Throughput: %.0f servers/sec over %u servers "
+                "(%u worker threads, wall %.0f ms)\n",
+                serversPerSec, servers, linux_pop.threads,
+                totalWallMs);
+    std::printf("Process peak RSS: %.0f MiB\n", peakRssMb);
+
+    char line[128];
+    std::snprintf(line, sizeof(line),
+                  "{\"name\":\"fleet.servers\",\"kind\":\"gauge\","
+                  "\"value\":%u}\n",
+                  servers);
+    stats_json += line;
+    std::snprintf(line, sizeof(line),
+                  "{\"name\":\"fleet.servers_per_sec\",\"kind\":"
+                  "\"gauge\",\"value\":%.1f}\n",
+                  serversPerSec);
+    stats_json += line;
+    std::snprintf(line, sizeof(line),
+                  "{\"name\":\"fleet.bytes_per_frame\",\"kind\":"
+                  "\"gauge\",\"value\":%.3f}\n",
+                  maxBytesPerFrame);
+    stats_json += line;
+    std::snprintf(line, sizeof(line),
+                  "{\"name\":\"fleet.bytes_per_frame_aos\",\"kind\":"
+                  "\"gauge\",\"value\":%.1f}\n",
+                  aosBytesPerFrame);
+    stats_json += line;
+    std::snprintf(line, sizeof(line),
+                  "{\"name\":\"fleet.bytes_per_frame_baseline\","
+                  "\"kind\":\"gauge\",\"value\":%.1f}\n",
+                  roadmapBytesPerFrame);
+    stats_json += line;
+    std::snprintf(line, sizeof(line),
+                  "{\"name\":\"fleet.peak_rss_mb\",\"kind\":"
+                  "\"gauge\",\"value\":%.1f}\n",
+                  peakRssMb);
+    stats_json += line;
+    std::snprintf(line, sizeof(line),
+                  "{\"name\":\"fleet.run_wall_ms\",\"kind\":"
+                  "\"gauge\",\"value\":%.3f}\n",
+                  totalWallMs);
+    stats_json += line;
+    bench::dumpText("fleet-scale stats (JSON lines)", stats_json);
+    return 0;
+}

@@ -129,7 +129,7 @@ pinResidualMovables(Server &server)
         bool has_free = false;
         bool has_mov = false;
         for (Pfn p = b; p < b + pagesPerHuge; ++p) {
-            const PageFrame &f = mem.frame(p);
+            const auto f = mem.frame(p);
             if (f.isFree())
                 has_free = true;
             else if (!f.isUnmovableAllocation())
@@ -138,12 +138,12 @@ pinResidualMovables(Server &server)
         mixed[b / pagesPerHuge - block0] = has_free && has_mov;
     }
     for (Pfn p = lo; p < hi;) {
-        const PageFrame &f = mem.frame(p);
+        const auto f = mem.frame(p);
         if (f.isFree() || !f.isHead() || f.isUnmovableAllocation()) {
-            p += f.isHead() ? (Pfn{1} << f.order) : 1;
+            p += f.isHead() ? (Pfn{1} << f.order()) : 1;
             continue;
         }
-        const Pfn span = Pfn{1} << f.order;
+        const Pfn span = Pfn{1} << f.order();
         bool touches = false;
         for (Pfn b = p / pagesPerHuge;
              b <= (p + span - 1) / pagesPerHuge; ++b) {

@@ -1,0 +1,29 @@
+#include "base/host_mem.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace ctg
+{
+
+std::uint64_t
+peakRssBytes()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage ru = {};
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+#if defined(__APPLE__)
+    // macOS reports ru_maxrss in bytes.
+    return static_cast<std::uint64_t>(ru.ru_maxrss);
+#else
+    // Linux reports ru_maxrss in KiB.
+    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+#endif
+#else
+    return 0;
+#endif
+}
+
+} // namespace ctg

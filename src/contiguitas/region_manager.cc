@@ -125,19 +125,19 @@ RegionManager::hwMigrateBlock(BuddyAllocator &alloc, Pfn src,
     CTG_SPAN_NAMED(span, Region, "region.hw_migrate",
                    {{"src", static_cast<std::int64_t>(src)}});
 
-    const PageFrame &sf = mem_.frame(src);
+    const auto sf = mem_.frame(src);
     ctg_assert(!sf.isFree() && sf.isHead());
     // Contiguitas-HW moves pages whose translations can be
     // repointed: pinned user memory, IOMMU-mapped buffers, device
     // rings. Linear-map structures (slab, page tables, kernel text)
     // have raw pointers strewn through memory — not even hardware
     // redirection makes those movable (Section 2.1, type 1).
-    if (!owners_.relocatable(sf.owner))
+    const std::uint64_t owner = sf.owner();
+    if (!owners_.relocatable(owner))
         return false;
-    const unsigned order = sf.order;
-    const MigrateType mt = sf.migrateType;
-    const AllocSource source = sf.source;
-    const std::uint64_t owner = sf.owner;
+    const unsigned order = sf.order();
+    const MigrateType mt = sf.migrateType();
+    const AllocSource source = sf.source();
     const bool pinned = sf.isPinned();
 
     const Pfn dst = alloc.allocPages(order, mt, source, owner, pref,
@@ -188,12 +188,13 @@ RegionManager::evacuateBlock(BuddyAllocator &alloc, Pfn head,
         return false;
     }
 
-    const PageFrame &f = mem_.frame(head);
+    const auto f = mem_.frame(head);
     // Pick a destination list the region actually has free space on:
     // the frame's own migratetype, falling back across lists.
     const MigrateType dst_mt =
-        f.migrateType == MigrateType::Isolate ? MigrateType::Unmovable
-                                              : f.migrateType;
+        f.migrateType() == MigrateType::Isolate
+            ? MigrateType::Unmovable
+            : f.migrateType();
     const AddrPref pref =
         &alloc == unmovable_.get() ? AddrPref::Low : AddrPref::None;
 
@@ -232,12 +233,12 @@ RegionManager::evacuateRange(BuddyAllocator &alloc, Pfn lo, Pfn hi)
             pfn = idx.firstAllocatedFrame(pfn, hi);
             if (pfn == invalidPfn)
                 return true;
-            const PageFrame &f = mem_.frame(pfn);
+            const auto f = mem_.frame(pfn);
             if (!f.isHead()) {
                 ++pfn;
                 continue;
             }
-            const Pfn span = Pfn{1} << f.order;
+            const Pfn span = Pfn{1} << f.order();
             if (!evacuateBlock(alloc, pfn, lo, hi, hwEnabled_))
                 return false;
             pfn += span;
@@ -246,12 +247,12 @@ RegionManager::evacuateRange(BuddyAllocator &alloc, Pfn lo, Pfn hi)
     }
 
     for (Pfn pfn = lo; pfn < hi;) {
-        const PageFrame &f = mem_.frame(pfn);
+        const auto f = mem_.frame(pfn);
         if (f.isFree() || !f.isHead()) {
             ++pfn;
             continue;
         }
-        const Pfn span = Pfn{1} << f.order;
+        const Pfn span = Pfn{1} << f.order();
         if (!evacuateBlock(alloc, pfn, lo, hi, hwEnabled_))
             return false;
         pfn += span;
@@ -489,16 +490,16 @@ RegionManager::defragUnmovable(std::uint64_t max_migrations)
                 if (pfn == invalidPfn)
                     break;
             }
-            const PageFrame &f = mem_.frame(pfn);
+            const auto f = mem_.frame(pfn);
             if (f.isFree() || !f.isHead()) {
                 ++pfn;
                 continue;
             }
-            const Pfn span = Pfn{1} << f.order;
+            const Pfn span = Pfn{1} << f.order();
             Pfn dst = invalidPfn;
             const MigrateResult r = migrateBlock(
                 *unmovable_, *unmovable_, owners_, pfn, AddrPref::Low,
-                f.migrateType, &dst, /*allow_fallback=*/true);
+                f.migrateType(), &dst, /*allow_fallback=*/true);
             bool moved = r == MigrateResult::Ok;
             if (!moved && r == MigrateResult::Unmovable && hwEnabled_)
                 moved = hwMigrateBlock(*unmovable_, pfn,
@@ -605,11 +606,11 @@ RegionManager::auditConfinement(AuditReport &report) const
     }
 
     for (Pfn pfn = 0; pfn < n; ++pfn) {
-        const PageFrame &f = mem_.frame(pfn);
+        const auto f = mem_.frame(pfn);
         if (f.isFree())
             continue;
         if (pfn < b) {
-            if (f.migrateType == MigrateType::Movable)
+            if (f.migrateType() == MigrateType::Movable)
                 report.violation(
                     "movable allocation at %llu inside unmovable "
                     "region [0, %llu)",

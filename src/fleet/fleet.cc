@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "base/env_config.hh"
+#include "base/host_mem.hh"
 #include "base/logging.hh"
 #include "base/rng.hh"
 #include "base/span_trace.hh"
@@ -86,7 +87,8 @@ Fleet::ScanSinks::merge(const ScanSinks &other)
 }
 
 Fleet::Fleet(const Config &config)
-    : config_(config)
+    : config_(config),
+      tables_(SharedFleetTables::make(config.memBytes))
 {}
 
 void
@@ -111,6 +113,13 @@ Fleet::attachTelemetry(StatRegistry &registry, StatSampler *sampler,
         "threads",
         [this] { return static_cast<double>(runThreads_); },
         "worker threads used by the last run()");
+    group.gauge(
+        "peak_rss_mb",
+        [] {
+            return static_cast<double>(peakRssBytes()) /
+                   (1024.0 * 1024.0);
+        },
+        "peak resident-set size of the whole process (MiB)");
     sampler_ = sampler;
 }
 
@@ -162,6 +171,7 @@ Fleet::run()
                              config_.minIntensity);
         sc.prefragment = rng.chance(config_.prefragmentFrac);
         // Plain copies, not RNG draws: must not perturb the stream.
+        sc.sharedTables = tables_;
         sc.contigIndexReads = config_.contigIndexReads;
         sc.exactPref = config_.exactPref;
         sc.extraUptimeSec = config_.extraUptimeSec;

@@ -25,6 +25,7 @@
 
 #include "base/mergeable_stats.hh"
 #include "fleet/server.hh"
+#include "fleet/shared_tables.hh"
 
 namespace ctg
 {
@@ -156,10 +157,18 @@ class Fleet
      * Config::streamScans was set. */
     const ScanSinks &scanSinks() const { return streamSinks_; }
 
+    /** The population's shared calibration tables (built once in the
+     * constructor and stamped into every sampled Server::Config). */
+    std::shared_ptr<const SharedFleetTables> sharedTables() const
+    {
+        return tables_;
+    }
+
     const Config &config() const { return config_; }
 
   private:
     Config config_;
+    std::shared_ptr<const SharedFleetTables> tables_;
     ScanSinks streamSinks_;
     StatSampler *sampler_ = nullptr;
     Distribution *freeContiguity2m_ = nullptr;

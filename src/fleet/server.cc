@@ -5,6 +5,7 @@
 #include "base/env_config.hh"
 #include "base/serde.hh"
 #include "base/trace.hh"
+#include "fleet/shared_tables.hh"
 #include "kernel/vanilla_policy.hh"
 #include "mem/auditor.hh"
 #include "mem/mem_stats.hh"
@@ -68,6 +69,14 @@ contiguitasConfigFor(const Server::Config &config)
 WorkloadProfile
 profileFor(const Server::Config &config)
 {
+    // The shared tables are a cache of makeProfile outputs keyed by
+    // (kind, memBytes); using them must be invisible in the results,
+    // so a size mismatch falls back to building the profile here.
+    if (config.sharedTables != nullptr &&
+        config.sharedTables->memBytes() == config.memBytes) {
+        return scaleProfile(config.sharedTables->profile(config.kind),
+                            config.intensity);
+    }
     return scaleProfile(makeProfile(config.kind, config.memBytes),
                         config.intensity);
 }
@@ -308,7 +317,8 @@ serverConfigFingerprint(const Server::Config &config)
     fp.mixU64(config.seed);
     // exactPref changes placement, so a snapshot taken with it on
     // must not silently continue with it off (and vice versa).
-    // contigIndexReads only selects a bit-identical read path and is
+    // contigIndexReads only selects a bit-identical read path and
+    // sharedTables is a pure cache of makeProfile outputs; both are
     // deliberately left out.
     fp.mixBool(config.exactPref.value_or(
         sim::EnvConfig::fromEnv().exactPref));

@@ -22,6 +22,8 @@
 namespace ctg
 {
 
+class SharedFleetTables;
+
 /** Results of one server's full memory scan. */
 struct ServerScan
 {
@@ -87,6 +89,13 @@ class Server
          * deliberately changes placement, so it is opt-in and has
          * its own figure-regression check. */
         std::optional<bool> exactPref;
+        /** Shared per-population calibration tables (workload
+         * profiles at this memBytes, hw/perfmodel constants). A pure
+         * cache of makeProfile outputs: null or mismatched memBytes
+         * falls back to building the profile per server, with
+         * bit-identical results either way — which is why this is
+         * excluded from serverConfigFingerprint. */
+        std::shared_ptr<const SharedFleetTables> sharedTables;
 
         /** Overlay environment-derived fields (sim::EnvConfig) onto
          * any still-unset knobs. */

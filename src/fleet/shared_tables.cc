@@ -1,0 +1,35 @@
+#include "fleet/shared_tables.hh"
+
+namespace ctg
+{
+
+SharedFleetTables::SharedFleetTables(std::uint64_t memBytes)
+    : memBytes_(memBytes), generations_(hwGenerations())
+{
+    for (unsigned k = 0; k < numWorkloadKinds; ++k) {
+        profiles_[k] =
+            makeProfile(static_cast<WorkloadKind>(k), memBytes);
+    }
+}
+
+std::shared_ptr<const SharedFleetTables>
+SharedFleetTables::make(std::uint64_t memBytes)
+{
+    // Private constructor, so no make_shared: the two-allocation
+    // cost is paid once per population, not per server.
+    return std::shared_ptr<const SharedFleetTables>(
+        new SharedFleetTables(memBytes));
+}
+
+std::uint64_t
+SharedFleetTables::bytes() const
+{
+    std::uint64_t total =
+        sizeof(*this) +
+        generations_.capacity() * sizeof(HwGeneration);
+    for (const WorkloadProfile &p : profiles_)
+        total += p.name.capacity();
+    return total;
+}
+
+} // namespace ctg

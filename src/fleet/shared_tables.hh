@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Immutable per-population configuration tables.
+ *
+ * A fleet of N servers used to rebuild the same calibrated state N
+ * times: each Server called makeProfile() for its kind, and every
+ * consumer of the hardware model re-materialized the Table-1
+ * parameters and the Figure-2 generation trends. At 10^5 servers
+ * that is pure waste — the tables depend only on (kind, memBytes),
+ * which is constant across a population.
+ *
+ * SharedFleetTables builds every calibration table once — the six
+ * workload profiles at the population's machine size, the HwConfig
+ * (DRAM timing and cache/TLB latencies of Table 1) and the
+ * hardware-generation table — and hands all servers one
+ * shared_ptr<const ...>. The tables are a pure cache: profile(kind)
+ * is byte-for-byte what makeProfile(kind, memBytes) returns, so
+ * presence or absence of the pointer never changes simulation
+ * results (test_fleet_scale.cc asserts this). Servers with a
+ * different memBytes fall back to makeProfile.
+ */
+
+#ifndef CTG_FLEET_SHARED_TABLES_HH
+#define CTG_FLEET_SHARED_TABLES_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hw/config.hh"
+#include "perfmodel/hwgen.hh"
+#include "workloads/profile.hh"
+
+namespace ctg
+{
+
+/**
+ * One population's calibration surface, built once and shared
+ * read-only by every server. Immutable after construction — safe to
+ * read concurrently from all worker threads without locks.
+ */
+class SharedFleetTables
+{
+  public:
+    /** Build the tables for servers of `memBytes` machine size. */
+    static std::shared_ptr<const SharedFleetTables>
+    make(std::uint64_t memBytes);
+
+    /** Machine size the workload profiles were calibrated for. */
+    std::uint64_t memBytes() const { return memBytes_; }
+
+    /** Calibrated (unscaled) profile for a workload kind; identical
+     * to makeProfile(kind, memBytes()). */
+    const WorkloadProfile &profile(WorkloadKind kind) const
+    {
+        return profiles_[static_cast<unsigned>(kind)];
+    }
+
+    /** Table-1 architectural parameters (cache/TLB/DRAM timing). */
+    const HwConfig &hw() const { return hw_; }
+
+    /** Figure-2 hardware-generation trends. */
+    const std::vector<HwGeneration> &generations() const
+    {
+        return generations_;
+    }
+
+    /** Approximate heap footprint of the tables (the entire
+     * population shares this once, vs. once per server before). */
+    std::uint64_t bytes() const;
+
+  private:
+    explicit SharedFleetTables(std::uint64_t memBytes);
+
+    std::uint64_t memBytes_;
+    std::array<WorkloadProfile, numWorkloadKinds> profiles_;
+    HwConfig hw_;
+    std::vector<HwGeneration> generations_;
+};
+
+} // namespace ctg
+
+#endif // CTG_FLEET_SHARED_TABLES_HH

@@ -31,11 +31,11 @@ evacuatePageblock(BuddyAllocator &alloc, const OwnerRegistry &registry,
 {
     PhysMem &mem = alloc.mem();
     for (Pfn pfn = block; pfn < block + pagesPerHuge;) {
-        const PageFrame &f = mem.frame(pfn);
-        const Pfn step = f.isHead() ? (Pfn{1} << f.order) : 1;
+        const auto f = mem.frame(pfn);
+        const Pfn step = f.isHead() ? (Pfn{1} << f.order()) : 1;
         if (f.isFree() || !f.isHead() ||
             f.isUnmovableAllocation() ||
-            f.migrateType != MigrateType::Movable) {
+            f.migrateType() != MigrateType::Movable) {
             if (!f.isFree() && f.isHead() &&
                 f.isUnmovableAllocation()) {
                 ++result.skippedUnmovable;
@@ -89,7 +89,7 @@ compactRangeReference(BuddyAllocator &alloc,
         bool has_unmovable = false;
         bool has_movable_alloc = false;
         for (Pfn pfn = block; pfn < block + pagesPerHuge; ++pfn) {
-            const PageFrame &f = mem.frame(pfn);
+            const auto f = mem.frame(pfn);
             if (f.isFree())
                 has_free = true;
             else if (f.isUnmovableAllocation())

@@ -18,12 +18,12 @@ windowBlockedReference(const PhysMem &mem, Pfn lo, Pfn hi,
                        const OwnerRegistry &registry)
 {
     for (Pfn pfn = lo; pfn < hi; ++pfn) {
-        const PageFrame &f = mem.frame(pfn);
+        const auto f = mem.frame(pfn);
         if (f.isFree())
             continue;
         if (f.isUnmovableAllocation())
             return true;
-        if (f.isHead() && !registry.relocatable(f.owner))
+        if (f.isHead() && !registry.relocatable(f.owner()))
             return true;
     }
     return false;
@@ -44,12 +44,12 @@ windowBlockedIndexed(const PhysMem &mem, Pfn lo, Pfn hi,
         return true;
     for (Pfn pfn = idx.firstAllocatedFrame(lo, hi);
          pfn != invalidPfn;) {
-        const PageFrame &f = mem.frame(pfn);
+        const auto f = mem.frame(pfn);
         Pfn next;
         if (f.isHead()) {
-            if (!registry.relocatable(f.owner))
+            if (!registry.relocatable(f.owner()))
                 return true;
-            next = pfn + (Pfn{1} << f.order);
+            next = pfn + (Pfn{1} << f.order());
         } else {
             next = pfn + 1;
         }
@@ -120,12 +120,12 @@ allocContigRange(BuddyAllocator &alloc, const OwnerRegistry &registry,
                 pfn = idx.firstAllocatedFrame(pfn, base + span);
                 if (pfn == invalidPfn)
                     break;
-                const PageFrame &f = mem.frame(pfn);
+                const auto f = mem.frame(pfn);
                 if (!f.isHead()) {
                     ++pfn;
                     continue;
                 }
-                const Pfn step = Pfn{1} << f.order;
+                const Pfn step = Pfn{1} << f.order();
                 ++st.evacuations;
                 const MigrateResult r = migrateBlock(
                     alloc, alloc, registry, pfn, AddrPref::None,
@@ -140,12 +140,12 @@ allocContigRange(BuddyAllocator &alloc, const OwnerRegistry &registry,
             }
         } else {
             for (Pfn pfn = base; pfn < base + span && ok;) {
-                const PageFrame &f = mem.frame(pfn);
+                const auto f = mem.frame(pfn);
                 if (f.isFree() || !f.isHead()) {
                     ++pfn;
                     continue;
                 }
-                const Pfn step = Pfn{1} << f.order;
+                const Pfn step = Pfn{1} << f.order();
                 ++st.evacuations;
                 const MigrateResult r = migrateBlock(
                     alloc, alloc, registry, pfn, AddrPref::None,

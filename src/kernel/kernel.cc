@@ -387,18 +387,19 @@ Kernel::attachAuditorChecks(MemAuditor &auditor)
         // metadata was corrupted or stamped outside the registry.
         const Pfn n = mem_->numFrames();
         for (Pfn pfn = 0; pfn < n; ++pfn) {
-            const PageFrame &f = mem_->frame(pfn);
+            const auto f = mem_->frame(pfn);
+            const std::uint64_t owner = f.isFree() ? 0 : f.owner();
             if (f.isFree() || !f.isHead() ||
-                f.owner == OwnerRegistry::noOwner) {
+                owner == OwnerRegistry::noOwner) {
                 continue;
             }
-            const std::uint64_t cid = f.owner >> 48;
+            const std::uint64_t cid = owner >> 48;
             if (cid == 0 || cid > owners_.clientCount()) {
                 r.violation(
                     "frame %llu owner handle %#llx names unknown "
                     "client %llu",
                     static_cast<unsigned long long>(pfn),
-                    static_cast<unsigned long long>(f.owner),
+                    static_cast<unsigned long long>(owner),
                     static_cast<unsigned long long>(cid));
             }
         }
@@ -419,14 +420,14 @@ Kernel::attachAuditorChecks(MemAuditor &auditor)
                     static_cast<unsigned long long>(pfn));
                 continue;
             }
-            const PageFrame &f = mem_->frame(pfn);
+            const auto f = mem_->frame(pfn);
             if (f.isFree() || !f.isHead() || !f.isPinned()) {
                 r.violation(
                     "pin handle %llu -> frame %llu which is not an "
                     "allocated pinned head (flags %u)",
                     static_cast<unsigned long long>(id),
                     static_cast<unsigned long long>(pfn),
-                    unsigned(f.flags));
+                    unsigned(f.flags()));
             }
         }
     });

@@ -45,7 +45,7 @@ migrateBlock(BuddyAllocator &src_alloc, BuddyAllocator &dst_alloc,
                    {{"src", static_cast<std::int64_t>(src)}});
 
     PhysMem &mem = src_alloc.mem();
-    const PageFrame &sf = mem.frame(src);
+    const auto sf = mem.frame(src);
     ctg_assert(!sf.isFree() && sf.isHead());
 
     if (sf.isPinned()) {
@@ -53,15 +53,15 @@ migrateBlock(BuddyAllocator &src_alloc, BuddyAllocator &dst_alloc,
         span.arg("unmovable", 1);
         return MigrateResult::Unmovable;
     }
-    if (!registry.relocatable(sf.owner)) {
+    const std::uint64_t owner = sf.owner();
+    if (!registry.relocatable(owner)) {
         ++mstats.unmovable;
         span.arg("unmovable", 1);
         return MigrateResult::Unmovable;
     }
 
-    const unsigned order = sf.order;
-    const AllocSource source = sf.source;
-    const std::uint64_t owner = sf.owner;
+    const unsigned order = sf.order();
+    const AllocSource source = sf.source();
 
     if (faultInjector().shouldFail(FaultSite::MigrateDstFail)) {
         ++mstats.injectedFaults;

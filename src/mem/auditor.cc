@@ -54,7 +54,7 @@ MemAuditor::auditCoverage(const BuddyAllocator &alloc,
 
     Pfn pfn = alloc.startPfn();
     while (pfn < end) {
-        const PageFrame &head = frames.frame(pfn);
+        const auto head = frames.frame(pfn);
         if (!head.isHead()) {
             // Resync at the next head so one corrupt frame does not
             // cascade into a violation per page.
@@ -68,12 +68,12 @@ MemAuditor::auditCoverage(const BuddyAllocator &alloc,
             continue;
         }
 
-        Pfn span = Pfn{1} << head.order;
+        Pfn span = Pfn{1} << head.order();
         if (pfn + span > end) {
             report.violation(
                 "%s: block at %llu order %u overruns coverage end "
                 "%llu", name, static_cast<unsigned long long>(pfn),
-                unsigned(head.order),
+                unsigned(head.order()),
                 static_cast<unsigned long long>(end));
             span = end - pfn;
         }
@@ -84,14 +84,14 @@ MemAuditor::auditCoverage(const BuddyAllocator &alloc,
                 report.violation("%s: free head %llu is pinned", name,
                                  static_cast<unsigned long long>(pfn));
             for (Pfn p = pfn + 1; p < pfn + span; ++p) {
-                const PageFrame &f = frames.frame(p);
+                const auto f = frames.frame(p);
                 if (!f.isFree() || f.isHead() || f.isPinned()) {
                     report.violation(
                         "%s: member %llu of free block %llu has "
                         "flags %u", name,
                         static_cast<unsigned long long>(p),
                         static_cast<unsigned long long>(pfn),
-                        unsigned(f.flags));
+                        unsigned(f.flags()));
                 }
             }
             // MIGRATE_ISOLATE coherence: a free block sits on the
@@ -115,7 +115,7 @@ MemAuditor::auditCoverage(const BuddyAllocator &alloc,
                     static_cast<unsigned long long>(pfn));
             }
             const bool on_isolate_list =
-                head.migrateType == MigrateType::Isolate;
+                head.migrateType() == MigrateType::Isolate;
             const bool in_isolated_block =
                 mem_.blockMt(pfn) == MigrateType::Isolate;
             if (on_isolate_list != in_isolated_block) {
@@ -123,20 +123,20 @@ MemAuditor::auditCoverage(const BuddyAllocator &alloc,
                     "%s: free block %llu on %s list but pageblock "
                     "tagged %s", name,
                     static_cast<unsigned long long>(pfn),
-                    migrateTypeName(head.migrateType),
+                    migrateTypeName(head.migrateType()),
                     migrateTypeName(mem_.blockMt(pfn)));
             }
         } else {
             for (Pfn p = pfn + 1; p < pfn + span; ++p) {
-                const PageFrame &f = frames.frame(p);
+                const auto f = frames.frame(p);
                 if (f.isFree() || f.isHead() ||
-                    f.order != head.order) {
+                    f.order() != head.order()) {
                     report.violation(
                         "%s: member %llu of allocated block %llu "
                         "disagrees with its head (flags %u order %u)",
                         name, static_cast<unsigned long long>(p),
                         static_cast<unsigned long long>(pfn),
-                        unsigned(f.flags), unsigned(f.order));
+                        unsigned(f.flags()), unsigned(f.order()));
                 }
             }
         }
@@ -202,7 +202,7 @@ MemAuditor::auditContigIndex(AuditReport &report) const
     std::uint64_t free_pages = 0, unmovable = 0, pinned = 0;
     std::array<std::uint64_t, numAllocSources> by_source{};
     for (Pfn pfn = 0; pfn < n; ++pfn) {
-        const PageFrame &f = mem_.frame(pfn);
+        const auto f = mem_.frame(pfn);
         if (f.isFree()) {
             ++free_pages;
             continue;
@@ -211,7 +211,7 @@ MemAuditor::auditContigIndex(AuditReport &report) const
             ++pinned;
         if (f.isUnmovableAllocation()) {
             ++unmovable;
-            ++by_source[static_cast<unsigned>(f.source)];
+            ++by_source[static_cast<unsigned>(f.source())];
         }
     }
     const auto mismatch = [&report](const char *what,
@@ -268,7 +268,7 @@ MemAuditor::auditContigIndex(AuditReport &report) const
         const Pfn block_end = std::min<Pfn>(block + pagesPerHuge, n);
         std::uint64_t b_free = 0, b_unmov = 0, b_pinned = 0;
         for (Pfn pfn = block; pfn < block_end; ++pfn) {
-            const PageFrame &f = mem_.frame(pfn);
+            const auto f = mem_.frame(pfn);
             if (f.isFree())
                 ++b_free;
             else if (f.isUnmovableAllocation())

@@ -49,8 +49,8 @@ BuddyAllocator::BuddyAllocator(PhysMem &mem, Pfn start, Pfn end,
     for (Pfn pfn = start_; pfn < end_; pfn += pagesPerHuge)
         mem_.setBlockMt(pfn, initial_block_mt);
     for (Pfn pfn = start_; pfn < end_; ++pfn) {
-        PageFrame &f = frames_.frame(pfn);
-        f = PageFrame{};
+        auto f = frames_.frame(pfn);
+        f.reset();
         f.setFree(true);
     }
     freeRangeAsBlocks(start_, end_, initial_block_mt);
@@ -127,11 +127,11 @@ BuddyAllocator::saveTo(serde::Writer &out) const
 void
 BuddyAllocator::pushFree(Pfn head, unsigned order, MigrateType list_mt)
 {
-    PageFrame &f = frames_.frame(head);
+    auto f = frames_.frame(head);
     ctg_assert(f.isFree());
     f.setHead(true);
-    f.order = static_cast<std::uint8_t>(order);
-    f.migrateType = list_mt;
+    f.setOrder(order);
+    f.setMigrateType(list_mt);
 
     const unsigned mi = mtIndex(list_mt);
     std::uint32_t &list_head = heads_[mi][order];
@@ -148,10 +148,10 @@ BuddyAllocator::pushFree(Pfn head, unsigned order, MigrateType list_mt)
 void
 BuddyAllocator::removeFree(Pfn head)
 {
-    PageFrame &f = frames_.frame(head);
+    auto f = frames_.frame(head);
     ctg_assert(f.isFree() && f.isHead());
-    const unsigned mi = mtIndex(f.migrateType);
-    const unsigned order = f.order;
+    const unsigned mi = mtIndex(f.migrateType());
+    const unsigned order = f.order();
 
     const std::uint32_t nxt = frames_.next(head);
     const std::uint32_t prv = frames_.prev(head);
@@ -222,9 +222,10 @@ BuddyAllocator::exactPrefBest(MigrateType mt, unsigned order,
         const Pfn base = idx.firstFullyFreeSpan(order, lo, hi, pref);
         if (base == invalidPfn)
             return invalidPfn;
-        const PageFrame &f = frames_.frame(base);
+        const auto f = frames_.frame(base);
         ctg_assert(f.isFree());
-        if (f.isHead() && f.order == order && f.migrateType == mt)
+        if (f.isHead() && f.order() == order &&
+            f.migrateType() == mt)
             return base;
         // Skip past the free block containing the candidate (the
         // interior of a block holds no list heads). Free non-head
@@ -232,14 +233,14 @@ BuddyAllocator::exactPrefBest(MigrateType mt, unsigned order,
         // one of the coarser alignments of `base`.
         Pfn skip_hi = base + span; // containing block unknown: 1 span
         Pfn skip_lo = base;
-        if (f.isHead() && f.order > order) {
+        if (f.isHead() && f.order() > order) {
             skip_lo = base;
-            skip_hi = base + (Pfn{1} << f.order);
+            skip_hi = base + (Pfn{1} << f.order());
         } else if (!f.isHead()) {
             for (unsigned o = order + 1; o <= maxOrder; ++o) {
                 const Pfn h = base & ~((Pfn{1} << o) - 1);
-                const PageFrame &g = frames_.frame(h);
-                if (g.isFree() && g.isHead() && g.order == o &&
+                const auto g = frames_.frame(h);
+                if (g.isFree() && g.isHead() && g.order() == o &&
                     base < h + (Pfn{1} << o)) {
                     skip_lo = h;
                     skip_hi = h + (Pfn{1} << o);
@@ -273,18 +274,12 @@ BuddyAllocator::markAllocated(Pfn head, unsigned order, MigrateType mt,
                               AllocSource src, std::uint64_t owner)
 {
     const Pfn count = Pfn{1} << order;
-    for (Pfn pfn = head; pfn < head + count; ++pfn) {
-        PageFrame &f = frames_.frame(pfn);
-        f.setFree(false);
-        f.setHead(pfn == head);
-        f.order = static_cast<std::uint8_t>(order);
-        f.migrateType = mt;
-        f.source = src;
-        f.owner = owner;
-        f.allocSecond = mem_.nowSeconds;
-        f.setPinned(false);
-        f.setMigrating(false);
-    }
+    for (Pfn pfn = head; pfn < head + count; ++pfn)
+        frames_.frame(pfn).stampAllocated(order, mt, src,
+                                          pfn == head);
+    // The cold fields live once per block in the side table, keyed
+    // by the head; member frames derive them through their order.
+    frames_.frame(head).setAllocInfo(owner, mem_.nowSeconds);
     mem_.noteFramesChanged(head, head + count);
 }
 
@@ -370,18 +365,18 @@ BuddyAllocator::allocPages(unsigned order, MigrateType mt,
 void
 BuddyAllocator::freePages(Pfn head)
 {
-    PageFrame &hf = frames_.frame(head);
+    auto hf = frames_.frame(head);
     ctg_assert(!hf.isFree());
     ctg_assert(hf.isHead());
     ++stats_.freeCalls;
 
-    unsigned order = hf.order;
+    unsigned order = hf.order();
     const Pfn count = Pfn{1} << order;
     ctg_assert(inRange(head) && head + count <= end_);
     for (Pfn pfn = head; pfn < head + count; ++pfn) {
-        PageFrame &f = frames_.frame(pfn);
+        auto f = frames_.frame(pfn);
         ctg_assert(!f.isFree());
-        f = PageFrame{};
+        f.reset();
         f.setFree(true);
     }
     mem_.noteFramesChanged(head, head + count);
@@ -405,8 +400,8 @@ BuddyAllocator::freePages(Pfn head)
         const Pfn buddy = curr ^ (Pfn{1} << order);
         if (!inRange(buddy) || buddy + (Pfn{1} << order) > end_)
             break;
-        const PageFrame &bf = frames_.frame(buddy);
-        if (!(bf.isFree() && bf.isHead() && bf.order == order))
+        const auto bf = frames_.frame(buddy);
+        if (!(bf.isFree() && bf.isHead() && bf.order() == order))
             break;
         removeFree(buddy);
         ++stats_.merges;
@@ -438,9 +433,9 @@ BuddyAllocator::allocGigantic(MigrateType mt, AllocSource src,
             gigaOrder, start_, end_, AddrPref::None);
         if (base != invalidPfn) {
             for (Pfn pfn = base; pfn < base + span;) {
-                PageFrame &f = frames_.frame(pfn);
+                const auto f = frames_.frame(pfn);
                 ctg_assert(f.isFree() && f.isHead());
-                const Pfn blk = Pfn{1} << f.order;
+                const Pfn blk = Pfn{1} << f.order();
                 removeFree(pfn);
                 pfn += blk;
             }
@@ -462,9 +457,9 @@ BuddyAllocator::allocGigantic(MigrateType mt, AllocSource src,
             continue;
         // Remove every free head in the range from the lists.
         for (Pfn pfn = base; pfn < base + span;) {
-            PageFrame &f = frames_.frame(pfn);
+            const auto f = frames_.frame(pfn);
             ctg_assert(f.isFree() && f.isHead());
-            const Pfn blk = Pfn{1} << f.order;
+            const Pfn blk = Pfn{1} << f.order();
             removeFree(pfn);
             pfn += blk;
         }
@@ -542,13 +537,13 @@ BuddyAllocator::splitFreeBlockAt(Pfn cut)
     Pfn pfn = cut;
     while (pfn > start_ && !frames_.frame(pfn).isHead())
         --pfn;
-    PageFrame &f = frames_.frame(pfn);
+    const auto f = frames_.frame(pfn);
     if (!f.isFree() || !f.isHead())
         return;
-    const Pfn blk_end = pfn + (Pfn{1} << f.order);
+    const Pfn blk_end = pfn + (Pfn{1} << f.order());
     if (blk_end <= cut)
         return;
-    const MigrateType list_mt = f.migrateType;
+    const MigrateType list_mt = f.migrateType();
     removeFree(pfn);
     freeRangeAsBlocks(pfn, cut, list_mt);
     freeRangeAsBlocks(cut, blk_end, list_mt);
@@ -559,11 +554,11 @@ BuddyAllocator::relistFreeRange(Pfn lo, Pfn hi,
                                 MigrateType new_list_mt)
 {
     for (Pfn pfn = lo; pfn < hi;) {
-        PageFrame &f = frames_.frame(pfn);
+        const auto f = frames_.frame(pfn);
         if (f.isFree() && f.isHead()) {
-            const unsigned order = f.order;
+            const unsigned order = f.order();
             ctg_assert(pfn + (Pfn{1} << order) <= hi);
-            if (f.migrateType != new_list_mt) {
+            if (f.migrateType() != new_list_mt) {
                 removeFree(pfn);
                 pushFree(pfn, order, new_list_mt);
             }
@@ -612,9 +607,9 @@ BuddyAllocator::detachRange(Pfn lo, Pfn hi)
     splitFreeBlockAt(hi);
 
     for (Pfn pfn = lo; pfn < hi;) {
-        PageFrame &f = frames_.frame(pfn);
+        const auto f = frames_.frame(pfn);
         ctg_assert(f.isFree() && f.isHead());
-        const Pfn blk = Pfn{1} << f.order;
+        const Pfn blk = Pfn{1} << f.order();
         ctg_assert(pfn + blk <= hi);
         removeFree(pfn);
         pfn += blk;
@@ -730,15 +725,15 @@ BuddyAllocator::auditFreeLists(std::vector<std::string> &out) const
                         "(cyclic links?)", mi, o));
                     break;
                 }
-                const PageFrame &f = frames_.frame(it);
+                const auto f = frames_.frame(it);
                 if (!f.isFree() || !f.isHead())
                     report(detail::formatMessage(
                         "list entry %u not a free head", it));
-                if (f.order != o)
+                if (f.order() != o)
                     report(detail::formatMessage(
                         "list entry %u order %u on list %u", it,
-                        f.order, o));
-                if (mtIndex(f.migrateType) != mi)
+                        f.order(), o));
+                if (mtIndex(f.migrateType()) != mi)
                     report(detail::formatMessage(
                         "list entry %u mt mismatch", it));
                 if ((it & ((std::uint32_t{1} << o) - 1)) != 0)

@@ -91,10 +91,11 @@ ContigIndex::resync(Pfn lo, Pfn hi)
     // apply the page-granular deltas to the machine-wide totals.
     bool changed = false;
     for (Pfn pfn = lo; pfn < hi; ++pfn) {
-        const PageFrame &f = frames_.frame(pfn);
-        const std::uint8_t bits = leafBits(f);
-        const std::uint8_t src =
-            static_cast<std::uint8_t>(f.source);
+        const std::uint16_t m = frames_.meta(pfn);
+        const std::uint8_t bits = leafBits(m);
+        const std::uint8_t src = static_cast<std::uint8_t>(
+            (m >> FrameArray::metaSrcShift) &
+            FrameArray::metaSrcMask);
         const std::uint8_t old = leaf_[pfn];
         if (bits == old &&
             (!(bits & LeafUnmovable) || src == leafSrc_[pfn]))

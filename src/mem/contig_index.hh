@@ -220,19 +220,27 @@ class ContigIndex
     static constexpr std::uint8_t LeafPinned = 1 << 2;
     static constexpr std::uint8_t LeafMovableMt = 1 << 3;
 
-    /** Leaf predicate bits of a frame, from the same predicates the
-     * legacy scanners evaluate. */
+    /** Leaf predicate bits of a frame, computed straight from the
+     * packed meta word (one load per frame on the resync hot path).
+     * Same predicates the legacy scanners evaluate: a free frame is
+     * only LeafFree; an allocated one is unmovable when its
+     * migratetype is not Movable or it is pinned. */
     static std::uint8_t
-    leafBits(const PageFrame &f)
+    leafBits(std::uint16_t meta)
     {
+        if (meta & PageFrame::FlagFree)
+            return LeafFree;
+        const bool pinned = meta & PageFrame::FlagPinned;
+        const bool movable_mt =
+            ((meta >> FrameArray::metaMtShift) &
+             FrameArray::metaMtMask) ==
+            static_cast<std::uint16_t>(MigrateType::Movable);
         std::uint8_t bits = 0;
-        if (f.isFree())
-            bits |= LeafFree;
-        if (f.isUnmovableAllocation())
+        if (!movable_mt || pinned)
             bits |= LeafUnmovable;
-        if (!f.isFree() && f.isPinned())
+        if (pinned)
             bits |= LeafPinned;
-        if (!f.isFree() && f.migrateType == MigrateType::Movable)
+        if (movable_mt)
             bits |= LeafMovableMt;
         return bits;
     }

@@ -4,9 +4,26 @@
  *
  * The FrameArray owns the metadata for every physical frame of a
  * simulated server plus the intrusive free-list links used by the
- * buddy allocator. It is deliberately compact (24 bytes of metadata
- * plus 8 bytes of links per frame) so 64 GB servers — 16.7 M frames —
- * remain cheap to simulate.
+ * buddy allocator. It is stored struct-of-arrays: the hot per-frame
+ * state (flags, block order, migratetype, allocation source) is
+ * packed into one 16-bit word per frame and the 32-bit free-list
+ * links stay in two parallel columns. The cold allocation-era fields
+ * ride along at near-zero cost: the link slots of an *allocated*
+ * frame are dead (only free-list members are ever linked), so the
+ * owner handle is overlaid onto the head frame's next/prev pair, and
+ * the allocation second — the one field with nowhere to hide — lives
+ * in a sparse side table keyed by allocation-head PFN
+ * (mem/side_table.hh). That puts the fixed cost at 10 bytes/frame —
+ * versus 24 for the old array-of-structs layout — so 10^5-server
+ * fleet populations fit on one box even when fragmented servers are
+ * dense with order-0 allocations.
+ *
+ * Accessors hand out FrameRef/ConstFrameRef proxies instead of
+ * references to a PageFrame struct; the method surface is the same,
+ * so allocator/scanner/auditor code reads naturally and the packed
+ * layout stays an implementation detail. PageFrame survives as the
+ * materialized value type (FrameArray::get) for tests and reference
+ * models.
  */
 
 #ifndef CTG_MEM_FRAME_HH
@@ -18,6 +35,7 @@
 #include "base/logging.hh"
 #include "base/types.hh"
 #include "mem/migratetype.hh"
+#include "mem/side_table.hh"
 
 namespace ctg
 {
@@ -28,9 +46,11 @@ class Writer;
 class Reader;
 } // namespace serde
 
-/** Per-frame metadata. Field meanings depend on the state bits:
- *  a frame is either free (possibly the head of a buddy block) or
- *  allocated (possibly the head of a multi-page allocation). */
+/** Materialized per-frame metadata: the value type FrameArray::get
+ * returns, and the reference model differential tests compare
+ * against. Field meanings depend on the state bits: a frame is
+ * either free (possibly the head of a buddy block) or allocated
+ * (possibly the head of a multi-page allocation). */
 struct PageFrame
 {
     /** Opaque handle identifying the owner of an allocated page
@@ -82,8 +102,8 @@ struct PageFrame
 };
 
 /**
- * Metadata for all frames of a simulated machine plus intrusive
- * doubly-linked free-list link storage (32-bit indices).
+ * Struct-of-arrays metadata for all frames of a simulated machine
+ * plus intrusive doubly-linked free-list link storage.
  */
 class FrameArray
 {
@@ -91,47 +111,323 @@ class FrameArray
     /** Link index sentinel meaning "end of list". */
     static constexpr std::uint32_t nil = 0xffffffffu;
 
+    /** Packed meta word layout. Bits 0-3 mirror PageFrame's flag
+     * byte, so flags() round-trips through get() unchanged. Valid
+     * orders (0..maxOrder and gigaOrder) fit the 5-bit field; the two
+     * spare bits must stay zero (loadFrom enforces it). */
+    static constexpr std::uint16_t metaFlagsMask = 0x000f;
+    static constexpr unsigned metaMtShift = 4;
+    static constexpr std::uint16_t metaMtMask = 0x3;
+    static constexpr unsigned metaSrcShift = 6;
+    static constexpr std::uint16_t metaSrcMask = 0x7;
+    static constexpr unsigned metaOrderShift = 9;
+    static constexpr std::uint16_t metaOrderMask = 0x1f;
+    static constexpr std::uint16_t metaSpareMask = 0xc000;
+
+    /** Read-only proxy for one frame. Copy it freely — it is two
+     * words. The owner/allocSecond reads resolve lazily through the
+     * containing block's head (every block is 2^order aligned, so
+     * the head is the masked-down PFN): owner from the head's
+     * overlaid link slots, allocSecond from the side table. */
+    class ConstFrameRef
+    {
+      public:
+        bool isFree() const { return word() & PageFrame::FlagFree; }
+        bool isHead() const { return word() & PageFrame::FlagHead; }
+        bool
+        isPinned() const
+        {
+            return word() & PageFrame::FlagPinned;
+        }
+        bool
+        isMigrating() const
+        {
+            return word() & PageFrame::FlagMigrating;
+        }
+
+        std::uint8_t
+        flags() const
+        {
+            return static_cast<std::uint8_t>(word() & metaFlagsMask);
+        }
+
+        unsigned
+        order() const
+        {
+            return (word() >> metaOrderShift) & metaOrderMask;
+        }
+
+        MigrateType
+        migrateType() const
+        {
+            return static_cast<MigrateType>((word() >> metaMtShift) &
+                                            metaMtMask);
+        }
+
+        AllocSource
+        source() const
+        {
+            return static_cast<AllocSource>((word() >> metaSrcShift) &
+                                            metaSrcMask);
+        }
+
+        bool
+        isUnmovableAllocation() const
+        {
+            const std::uint16_t m = word();
+            if (m & PageFrame::FlagFree)
+                return false;
+            return ((m >> metaMtShift) & metaMtMask) !=
+                       static_cast<std::uint16_t>(
+                           MigrateType::Movable) ||
+                   (m & PageFrame::FlagPinned);
+        }
+
+        /** Owner handle of the containing allocation; 0 when free
+         * (the old layout reset it on free). Allocated frames are on
+         * no free list, so the head's link slots hold the handle:
+         * low half in next, high half in prev. */
+        std::uint64_t
+        owner() const
+        {
+            if (isFree())
+                return 0;
+            const Pfn h = headPfn();
+            return (static_cast<std::uint64_t>(fa_->prev_[h]) << 32) |
+                   fa_->next_[h];
+        }
+
+        /** Allocation timestamp of the containing allocation; 0 when
+         * free. */
+        std::uint32_t
+        allocSecond() const
+        {
+            if (isFree())
+                return 0;
+            return fa_->side_.secondFor(
+                static_cast<std::uint32_t>(headPfn()));
+        }
+
+        Pfn pfn() const { return pfn_; }
+
+      protected:
+        friend class FrameArray;
+        ConstFrameRef(const FrameArray *fa, Pfn pfn)
+            : fa_(fa), pfn_(pfn)
+        {
+        }
+
+        std::uint16_t word() const { return fa_->meta_[pfn_]; }
+
+        /** Head PFN of the block containing this frame: itself when
+         * it is the head, else the 2^order aligned base (allocations
+         * stamp their order on every member frame). */
+        Pfn
+        headPfn() const
+        {
+            if (isHead())
+                return pfn_;
+            return pfn_ & ~((Pfn{1} << order()) - 1);
+        }
+
+        const FrameArray *fa_;
+        Pfn pfn_;
+    };
+
+    /** Mutable proxy. The setters keep the mirror-image semantics of
+     * the old struct fields: they read-modify-write only their own
+     * bits, so state other code left behind (e.g. a stale order on a
+     * free non-head frame) is preserved exactly as the AoS layout
+     * preserved it. */
+    class FrameRef : public ConstFrameRef
+    {
+      public:
+        void setFree(bool v) { setFlag(PageFrame::FlagFree, v); }
+        void setHead(bool v) { setFlag(PageFrame::FlagHead, v); }
+        void setPinned(bool v) { setFlag(PageFrame::FlagPinned, v); }
+        void
+        setMigrating(bool v)
+        {
+            setFlag(PageFrame::FlagMigrating, v);
+        }
+
+        void
+        setOrder(unsigned order)
+        {
+            ctg_assert(order <= metaOrderMask);
+            mut() = static_cast<std::uint16_t>(
+                (word() & ~(metaOrderMask << metaOrderShift)) |
+                (order << metaOrderShift));
+        }
+
+        void
+        setMigrateType(MigrateType mt)
+        {
+            mut() = static_cast<std::uint16_t>(
+                (word() & ~(metaMtMask << metaMtShift)) |
+                (static_cast<std::uint16_t>(mt) << metaMtShift));
+        }
+
+        void
+        setSource(AllocSource src)
+        {
+            mut() = static_cast<std::uint16_t>(
+                (word() & ~(metaSrcMask << metaSrcShift)) |
+                (static_cast<std::uint16_t>(src) << metaSrcShift));
+        }
+
+        /** One-store transition to "allocated member of a block":
+         * clears free/pinned/migrating, sets head as given, stamps
+         * order/migratetype/source — the per-frame half of the old
+         * markAllocated loop body. */
+        void
+        stampAllocated(unsigned order, MigrateType mt,
+                       AllocSource src, bool head)
+        {
+            ctg_assert(order <= metaOrderMask);
+            mut() = static_cast<std::uint16_t>(
+                (head ? PageFrame::FlagHead : 0) |
+                (static_cast<std::uint16_t>(mt) << metaMtShift) |
+                (static_cast<std::uint16_t>(src) << metaSrcShift) |
+                (order << metaOrderShift));
+        }
+
+        /** Record the cold allocation-era fields for the block this
+         * frame heads: the owner handle into the (dead) link slots,
+         * the timestamp into the side table. Only allocated heads may
+         * carry either. */
+        void
+        setAllocInfo(std::uint64_t owner, std::uint32_t second)
+        {
+            ctg_assert(!isFree() && isHead());
+            arr()->next_[pfn_] =
+                static_cast<std::uint32_t>(owner);
+            arr()->prev_[pfn_] =
+                static_cast<std::uint32_t>(owner >> 32);
+            arr()->side_.set(static_cast<std::uint32_t>(pfn_),
+                             second);
+        }
+
+        /** Equivalent of the old `frame = PageFrame{}`: every field
+         * back to defaults, and the side-table entry (if this frame
+         * headed an allocation) dropped. The link slots keep their
+         * stale bits — exactly as the old layout kept stale links —
+         * until the buddy relinks the frame into a free list. */
+        void
+        reset()
+        {
+            const std::uint16_t m = word();
+            if ((m & PageFrame::FlagHead) &&
+                !(m & PageFrame::FlagFree)) {
+                arr()->side_.erase(
+                    static_cast<std::uint32_t>(pfn_));
+            }
+            mut() = 0;
+        }
+
+      private:
+        friend class FrameArray;
+        FrameRef(FrameArray *fa, Pfn pfn) : ConstFrameRef(fa, pfn) {}
+
+        FrameArray *arr() const { return const_cast<FrameArray *>(fa_); }
+        std::uint16_t &mut() { return arr()->meta_[pfn_]; }
+
+        void
+        setFlag(std::uint8_t bit, bool v)
+        {
+            if (v)
+                mut() |= bit;
+            else
+                mut() &= static_cast<std::uint16_t>(~bit);
+        }
+    };
+
     explicit FrameArray(std::uint64_t num_frames)
-        : frames_(num_frames), next_(num_frames, nil),
+        : meta_(num_frames, 0), next_(num_frames, nil),
           prev_(num_frames, nil)
     {
         ctg_assert(num_frames < nil);
     }
 
-    std::uint64_t size() const { return frames_.size(); }
+    std::uint64_t size() const { return meta_.size(); }
 
-    PageFrame &
+    FrameRef
     frame(Pfn pfn)
     {
-        ctg_assert(pfn < frames_.size());
-        return frames_[pfn];
+        ctg_assert(pfn < meta_.size());
+        return FrameRef(this, pfn);
     }
 
-    const PageFrame &
+    ConstFrameRef
     frame(Pfn pfn) const
     {
-        ctg_assert(pfn < frames_.size());
-        return frames_[pfn];
+        ctg_assert(pfn < meta_.size());
+        return ConstFrameRef(this, pfn);
+    }
+
+    /** Raw packed meta word — the ContigIndex resync hot path reads
+     * this instead of going through a proxy per predicate. */
+    std::uint16_t
+    meta(Pfn pfn) const
+    {
+        ctg_assert(pfn < meta_.size());
+        return meta_[pfn];
+    }
+
+    /** Materialize one frame as the old value type (tests, reference
+     * models, and cold paths that want a stable copy). */
+    PageFrame
+    get(Pfn pfn) const
+    {
+        const ConstFrameRef f = frame(pfn);
+        PageFrame out;
+        out.flags = f.flags();
+        out.order = static_cast<std::uint8_t>(f.order());
+        out.migrateType = f.migrateType();
+        out.source = f.source();
+        out.owner = f.owner();
+        out.allocSecond = f.allocSecond();
+        return out;
     }
 
     std::uint32_t &next(Pfn pfn) { return next_[pfn]; }
     std::uint32_t &prev(Pfn pfn) { return prev_[pfn]; }
 
-    /** Serialize every frame plus the intrusive links (checkpoint).
-     * The three vectors *are* the frame table and the buddy free
-     * lists' membership — restoring them wholesale restores both.
-     * Defined in mem/physmem.cc (needs base/serde.hh). */
+    /** Heap bytes of the whole frame table: the three columns plus
+     * the side table (the footprint BENCH_fleet.json reports as
+     * bytes/frame). */
+    std::uint64_t
+    bytesUsed() const
+    {
+        return meta_.capacity() * sizeof(std::uint16_t) +
+               next_.capacity() * sizeof(std::uint32_t) +
+               prev_.capacity() * sizeof(std::uint32_t) +
+               side_.bytes();
+    }
+
+    /** Allocated-head entries currently in the side table. */
+    std::uint64_t sideTableEntries() const { return side_.size(); }
+
+    /** Serialize the meta column, the intrusive links, and the side
+     * table (sorted by head PFN, so images are deterministic). The
+     * columns *are* the frame table and the buddy free lists'
+     * membership — restoring them wholesale restores both. Defined
+     * in mem/physmem.cc (needs base/serde.hh). */
     void saveTo(serde::Writer &out) const;
 
     /** Overwrite from a snapshot; the serialized frame count must
      * equal size() (it is part of the snapshot's config fingerprint,
-     * so a mismatch is corruption). Throws serde::Error. */
+     * so a mismatch is corruption). Every field is validated — order
+     * range, spare bits, link indices (< size() or nil), side-table
+     * keys strictly increasing and naming allocated heads — before
+     * any state is replaced. Throws serde::Error. */
     void loadFrom(serde::Reader &in);
 
   private:
-    std::vector<PageFrame> frames_;
+    std::vector<std::uint16_t> meta_;
     std::vector<std::uint32_t> next_;
     std::vector<std::uint32_t> prev_;
+    AllocSideTable side_;
 };
 
 } // namespace ctg

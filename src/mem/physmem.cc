@@ -7,53 +7,94 @@
 namespace ctg
 {
 
-// Bulk POD serialization of the frame table: native layout, guarded.
+// Column-wise serialization of the struct-of-arrays frame table.
 // Any change here is a snapshot format change (bump
 // snapshot::formatVersion).
-static_assert(sizeof(PageFrame) == 16,
-              "PageFrame layout changed: bump the snapshot format "
-              "version and revisit FrameArray serialization");
-static_assert(std::is_trivially_copyable_v<PageFrame>);
 static_assert(sizeof(MigrateType) == 1);
 
 void
 FrameArray::saveTo(serde::Writer &out) const
 {
-    out.putPodVector(frames_);
+    out.putPodVector(meta_);
+    // The link columns carry the free lists *and* the overlaid owner
+    // handles of allocated heads — one dump restores both.
     out.putPodVector(next_);
     out.putPodVector(prev_);
+    // Side table in canonical (key-sorted) order so images of equal
+    // state are byte-identical regardless of insertion history.
+    const auto entries = side_.sortedEntries();
+    out.putU64(entries.size());
+    for (const AllocSideTable::Entry &e : entries) {
+        out.putU32(e.key);
+        out.putU32(e.second);
+    }
 }
 
 void
 FrameArray::loadFrom(serde::Reader &in)
 {
-    std::vector<PageFrame> frames = in.getPodVector<PageFrame>();
+    std::vector<std::uint16_t> meta =
+        in.getPodVector<std::uint16_t>();
     std::vector<std::uint32_t> next =
         in.getPodVector<std::uint32_t>();
     std::vector<std::uint32_t> prev =
         in.getPodVector<std::uint32_t>();
-    if (frames.size() != frames_.size() ||
-        next.size() != frames.size() || prev.size() != frames.size())
+    if (meta.size() != meta_.size() || next.size() != meta.size() ||
+        prev.size() != meta.size())
         throw serde::Error("frame table size mismatch");
-    for (std::size_t i = 0; i < frames.size(); ++i) {
-        const PageFrame &f = frames[i];
+    for (std::size_t i = 0; i < meta.size(); ++i) {
+        const std::uint16_t m = meta[i];
         // Valid block orders: 0..maxOrder (buddy) plus gigaOrder
         // (contiguous-range gigantic allocations).
-        if (f.order > maxOrder && f.order != gigaOrder)
+        const unsigned order =
+            (m >> metaOrderShift) & metaOrderMask;
+        if (order > maxOrder && order != gigaOrder)
             throw serde::Error("frame order out of range");
-        if (f.flags >> 4)
+        if (m & metaSpareMask)
             throw serde::Error("unknown frame flag bits");
-        if (static_cast<unsigned>(f.migrateType) >= numMigrateTypes)
-            throw serde::Error("frame migratetype out of range");
-        if (static_cast<unsigned>(f.source) >= numAllocSources)
+        const unsigned src = (m >> metaSrcShift) & metaSrcMask;
+        if (src >= numAllocSources)
             throw serde::Error("frame alloc source out of range");
-        if ((next[i] != nil && next[i] >= frames.size()) ||
-            (prev[i] != nil && prev[i] >= frames.size()))
+        // Every deserialized link index the restored free lists can
+        // traverse must be in-table (or nil) *before* the buddy
+        // walks them — a CRC-passed payload is not a trusted
+        // payload. Only free block heads are ever list members; the
+        // link slots of other frames hold overlaid owner bits
+        // (allocated heads) or stale history, neither of which is
+        // ever dereferenced as a link.
+        const bool traversable =
+            (m & PageFrame::FlagFree) && (m & PageFrame::FlagHead);
+        if (traversable &&
+            ((next[i] != nil && next[i] >= meta.size()) ||
+             (prev[i] != nil && prev[i] >= meta.size())))
             throw serde::Error("frame link out of range");
     }
-    frames_ = std::move(frames);
+    const std::uint64_t entries = in.getU64();
+    if (entries > meta.size())
+        throw serde::Error("side table larger than frame table");
+    AllocSideTable side;
+    std::uint64_t prev_key = 0;
+    for (std::uint64_t i = 0; i < entries; ++i) {
+        const std::uint32_t key = in.getU32();
+        const std::uint32_t second = in.getU32();
+        if (key >= meta.size())
+            throw serde::Error("side table key out of range");
+        if (i > 0 && key <= prev_key)
+            throw serde::Error("side table keys not sorted");
+        prev_key = key;
+        const std::uint16_t m = meta[key];
+        if ((m & PageFrame::FlagFree) ||
+            !(m & PageFrame::FlagHead))
+            throw serde::Error(
+                "side table key is not an allocated head");
+        if (second == 0)
+            throw serde::Error("side table entry is zero");
+        side.set(key, second);
+    }
+    meta_ = std::move(meta);
     next_ = std::move(next);
     prev_ = std::move(prev);
+    side_ = std::move(side);
 }
 
 void
@@ -113,9 +154,9 @@ PhysMem::setRangePinned(Pfn lo, Pfn hi, bool pinned)
 void
 PhysMem::setBlockPinned(Pfn head, bool pinned)
 {
-    const PageFrame &hf = frames_.frame(head);
+    const auto hf = frames_.frame(head);
     ctg_assert(!hf.isFree() && hf.isHead());
-    const Pfn count = Pfn{1} << hf.order;
+    const Pfn count = Pfn{1} << hf.order();
     setRangePinned(head, head + count, pinned);
 }
 

@@ -52,8 +52,13 @@ class PhysMem
     FrameArray &frames() { return frames_; }
     const FrameArray &frames() const { return frames_; }
 
-    PageFrame &frame(Pfn pfn) { return frames_.frame(pfn); }
-    const PageFrame &frame(Pfn pfn) const { return frames_.frame(pfn); }
+    FrameArray::FrameRef frame(Pfn pfn) { return frames_.frame(pfn); }
+
+    FrameArray::ConstFrameRef
+    frame(Pfn pfn) const
+    {
+        return frames_.frame(pfn);
+    }
 
     /** Pageblock index containing a PFN. */
     static std::uint64_t

@@ -157,9 +157,9 @@ unmovableBySource(const PhysMem &mem, Pfn lo, Pfn hi)
 {
     std::array<std::uint64_t, numAllocSources> counts{};
     for (Pfn pfn = lo; pfn < hi; ++pfn) {
-        const PageFrame &f = mem.frame(pfn);
+        const auto f = mem.frame(pfn);
         if (f.isUnmovableAllocation())
-            ++counts[static_cast<unsigned>(f.source)];
+            ++counts[static_cast<unsigned>(f.source())];
     }
     return counts;
 }
@@ -177,7 +177,7 @@ meanFreeShareOfUnmovableBlocks(const PhysMem &mem, Pfn lo, Pfn hi)
         std::uint64_t free_count = 0;
         bool has_unmovable = false;
         for (Pfn pfn = base; pfn < base + span; ++pfn) {
-            const PageFrame &f = mem.frame(pfn);
+            const auto f = mem.frame(pfn);
             if (f.isFree())
                 ++free_count;
             else if (f.isUnmovableAllocation())

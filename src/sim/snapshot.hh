@@ -54,8 +54,11 @@ constexpr std::uint32_t fileMagic = 0x53475443;
 
 /** Bump whenever the container layout or any serialized struct
  * changes. There is no cross-version compatibility shim: a version
- * mismatch is a detected error and the restore cold-starts. */
-constexpr std::uint32_t formatVersion = 1;
+ * mismatch is a detected error and the restore cold-starts.
+ * Version 2: struct-of-arrays frame table (packed meta column,
+ * owner handles overlaid on allocated heads' link slots, sorted
+ * allocation-second side table). */
+constexpr std::uint32_t formatVersion = 2;
 
 /** Section ids inside a snapshot image. */
 enum SectionId : std::uint32_t

@@ -36,6 +36,9 @@ enum class WorkloadKind
     Memcached,
 };
 
+/** Number of WorkloadKind values (array sizing). */
+constexpr unsigned numWorkloadKinds = 6;
+
 /** All tunables of one synthetic service. */
 struct WorkloadProfile
 {

@@ -84,7 +84,7 @@ TEST_F(BuddyTest, OrderAllocationIsAligned)
         ASSERT_NE(pfn, invalidPfn);
         EXPECT_EQ(pfn % (Pfn{1} << order), 0u)
             << "order " << order;
-        EXPECT_EQ(mem.frame(pfn).order, order);
+        EXPECT_EQ(mem.frame(pfn).order(), order);
         buddy.freePages(pfn);
     }
     buddy.checkInvariants();
@@ -164,7 +164,7 @@ TEST(BuddyGigantic, AllocAndFree)
     EXPECT_EQ(head % pagesPerGiga, 0u);
     EXPECT_EQ(buddy.freePageCount(),
               mem.numFrames() - pagesPerGiga);
-    EXPECT_EQ(mem.frame(head).order, gigaOrder);
+    EXPECT_EQ(mem.frame(head).order(), gigaOrder);
     buddy.freePages(head);
     EXPECT_EQ(buddy.freePageCount(), mem.numFrames());
     buddy.checkInvariants();
@@ -276,7 +276,7 @@ TEST_P(BuddyFuzzTest, RandomOpsPreserveInvariants)
         } else {
             const std::size_t idx = rng.below(live.size());
             const Pfn head = live[idx];
-            live_pages -= Pfn{1} << mem.frame(head).order;
+            live_pages -= Pfn{1} << mem.frame(head).order();
             buddy.freePages(head);
             live[idx] = live.back();
             live.pop_back();

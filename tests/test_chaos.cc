@@ -200,7 +200,7 @@ TEST_F(ChaosTest, BuddyInjectedFailuresKeepInvariants)
         } else if (!held.empty()) {
             const std::size_t i2 = rng.below(held.size());
             held_pages -=
-                Pfn{1} << mem.frame(held[i2]).order;
+                Pfn{1} << mem.frame(held[i2]).order();
             alloc.freePages(held[i2]);
             held[i2] = held.back();
             held.pop_back();

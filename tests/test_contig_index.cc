@@ -46,7 +46,7 @@ walkFrames(const PhysMem &mem)
 {
     WalkCounts counts;
     for (Pfn p = 0; p < mem.numFrames(); ++p) {
-        const PageFrame &f = mem.frame(p);
+        const auto f = mem.frame(p);
         counts.free += f.isFree();
         counts.unmovable += f.isUnmovableAllocation();
         counts.pinned += !f.isFree() && f.isPinned();
@@ -142,7 +142,7 @@ expectDescentQueriesExact(const PhysMem &mem, Rng &rng)
     for (Pfn block = 0; block < n; block += pagesPerHuge) {
         std::uint64_t free = 0, unmov = 0, pinned = 0;
         for (Pfn pfn = block; pfn < block + pagesPerHuge; ++pfn) {
-            const PageFrame &f = mem.frame(pfn);
+            const auto f = mem.frame(pfn);
             free += f.isFree();
             unmov += f.isUnmovableAllocation();
             pinned += !f.isFree() && f.isPinned();
@@ -171,12 +171,12 @@ expectDescentQueriesExact(const PhysMem &mem, Rng &rng)
     Pfn first_movmt = invalidPfn;
     std::uint64_t movmt_pages = 0;
     for (Pfn pfn = lo; pfn < hi; ++pfn) {
-        const PageFrame &f = mem.frame(pfn);
+        const auto f = mem.frame(pfn);
         if (!f.isFree() && first_alloc == invalidPfn)
             first_alloc = pfn;
         if (f.isUnmovableAllocation() && first_unmov == invalidPfn)
             first_unmov = pfn;
-        if (!f.isFree() && f.migrateType == MigrateType::Movable) {
+        if (!f.isFree() && f.migrateType() == MigrateType::Movable) {
             if (first_movmt == invalidPfn)
                 first_movmt = pfn;
             ++movmt_pages;

@@ -1,0 +1,965 @@
+/**
+ * @file
+ * Scale-tier suite for the struct-of-arrays frame table and the
+ * 10^5-server fleet path. Differentially verifies the packed SoA
+ * layout against the old array-of-structs semantics (PageFrame is
+ * kept as the materialized reference value type), pins the
+ * bytes/frame budget the fleet-scale bench reports, proves the
+ * shared per-population config tables are a pure cache, and runs the
+ * fig11-shaped scale tier through the three hard contracts:
+ * bit-identical at any CTG_THREADS, bit-identical snapshot
+ * round-trips, and auditor-clean with every fault site armed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include "base/rng.hh"
+#include "base/serde.hh"
+#include "base/units.hh"
+#include "bench/bench_util.hh"
+#include "fleet/fleet.hh"
+#include "fleet/shared_tables.hh"
+#include "mem/auditor.hh"
+#include "mem/buddy.hh"
+#include "mem/physmem.hh"
+#include "mem/side_table.hh"
+#include "sim/fault_injector.hh"
+#include "sim/snapshot.hh"
+#include "workloads/profile.hh"
+
+namespace ctg
+{
+namespace
+{
+
+std::uint64_t
+bits(double v)
+{
+    std::uint64_t out;
+    std::memcpy(&out, &v, sizeof(out));
+    return out;
+}
+
+std::vector<std::uint64_t>
+scanBits(const ServerScan &scan)
+{
+    std::vector<std::uint64_t> out;
+    for (const double v : scan.freeContiguity)
+        out.push_back(bits(v));
+    for (const double v : scan.unmovableBlocks)
+        out.push_back(bits(v));
+    for (const double v : scan.potentialContiguity)
+        out.push_back(bits(v));
+    out.push_back(bits(scan.unmovablePageRatio));
+    for (const std::uint64_t v : scan.bySource)
+        out.push_back(v);
+    out.push_back(scan.freePages);
+    out.push_back(scan.free2mBlocks);
+    out.push_back(bits(scan.unmovableRegionFreeShare));
+    out.push_back(bits(scan.uptimeSec));
+    return out;
+}
+
+std::vector<std::uint64_t>
+scansBits(const std::vector<ServerScan> &scans)
+{
+    std::vector<std::uint64_t> out;
+    for (const ServerScan &scan : scans) {
+        const std::vector<std::uint64_t> one = scanBits(scan);
+        out.insert(out.end(), one.begin(), one.end());
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------
+// SoA / AoS differential equivalence
+// ---------------------------------------------------------------
+
+/** The packed-word fields of a materialized frame (the part a
+ * shadow PageFrame can predict without knowing block geometry). */
+void
+expectWordFieldsEqual(const PageFrame &want, const PageFrame &got,
+                      Pfn pfn)
+{
+    EXPECT_EQ(want.flags, got.flags) << "pfn " << pfn;
+    EXPECT_EQ(want.order, got.order) << "pfn " << pfn;
+    EXPECT_EQ(want.migrateType, got.migrateType) << "pfn " << pfn;
+    EXPECT_EQ(want.source, got.source) << "pfn " << pfn;
+}
+
+TEST(FrameTableEquivalence, ProxySettersMatchPageFrameReference)
+{
+    // Drive the FrameRef proxy and a shadow array-of-structs
+    // PageFrame vector through the same randomized setter sequence;
+    // after every op the materialized word fields must agree
+    // everywhere. This is the field-for-field proof that the packed
+    // 16-bit meta word reproduces the old per-frame struct.
+    constexpr Pfn n = 256;
+    FrameArray soa(n);
+    std::vector<PageFrame> aos(n);
+    Rng rng(0x50a7e57);
+
+    for (int op = 0; op < 5000; ++op) {
+        const Pfn pfn = rng.below(n);
+        auto f = soa.frame(pfn);
+        PageFrame &s = aos[pfn];
+        switch (rng.below(9)) {
+          case 0: {
+            const bool v = rng.chance(0.5);
+            f.setFree(v);
+            s.setFree(v);
+            break;
+          }
+          case 1: {
+            const bool v = rng.chance(0.5);
+            f.setHead(v);
+            s.setHead(v);
+            break;
+          }
+          case 2: {
+            const bool v = rng.chance(0.5);
+            f.setPinned(v);
+            s.setPinned(v);
+            break;
+          }
+          case 3: {
+            const bool v = rng.chance(0.5);
+            f.setMigrating(v);
+            s.setMigrating(v);
+            break;
+          }
+          case 4: {
+            const unsigned order = rng.chance(0.1)
+                                       ? gigaOrder
+                                       : rng.below(maxOrder + 1);
+            f.setOrder(order);
+            s.order = static_cast<std::uint8_t>(order);
+            break;
+          }
+          case 5: {
+            const auto mt = static_cast<MigrateType>(
+                rng.below(numMigrateTypes));
+            f.setMigrateType(mt);
+            s.migrateType = mt;
+            break;
+          }
+          case 6: {
+            const auto src = static_cast<AllocSource>(
+                rng.below(numAllocSources));
+            f.setSource(src);
+            s.source = src;
+            break;
+          }
+          case 7: {
+            const unsigned order = rng.below(maxOrder + 1);
+            const auto mt = static_cast<MigrateType>(
+                rng.below(numMigrateTypes));
+            const auto src = static_cast<AllocSource>(
+                rng.below(numAllocSources));
+            const bool head = rng.chance(0.5);
+            f.stampAllocated(order, mt, src, head);
+            s = PageFrame{};
+            s.setHead(head);
+            s.order = static_cast<std::uint8_t>(order);
+            s.migrateType = mt;
+            s.source = src;
+            break;
+          }
+          case 8:
+            f.reset();
+            s = PageFrame{};
+            break;
+        }
+        expectWordFieldsEqual(s, soa.get(pfn), pfn);
+        EXPECT_EQ(s.isUnmovableAllocation(),
+                  soa.frame(pfn).isUnmovableAllocation());
+        if (::testing::Test::HasFailure())
+            FAIL() << "diverged at op " << op;
+    }
+    // Full-array sweep: nothing outside the touched frames drifted.
+    for (Pfn pfn = 0; pfn < n; ++pfn)
+        expectWordFieldsEqual(aos[pfn], soa.get(pfn), pfn);
+}
+
+TEST(FrameTableEquivalence, AllocationStampsMatchAosSemantics)
+{
+    // Replay exactly what the old AoS markAllocated loop stored and
+    // check every cold field materializes identically: the owner
+    // handle (now overlaid on the head's link slots) and the
+    // allocation second (now in the side table) must read back on
+    // *every* member frame, not just the head.
+    FrameArray fa(1024);
+    const struct
+    {
+        Pfn head;
+        unsigned order;
+        MigrateType mt;
+        AllocSource src;
+        std::uint64_t owner;
+        std::uint32_t second;
+    } blocks[] = {
+        {0, 3, MigrateType::Movable, AllocSource::User,
+         0xfeedfacecafef00dULL, 41},
+        {16, 0, MigrateType::Unmovable, AllocSource::Slab,
+         0xffffffffffffffffULL, 7},
+        {512, 9, MigrateType::Reclaimable, AllocSource::Networking,
+         1, 1000000},
+    };
+    for (const auto &b : blocks) {
+        for (Pfn pfn = b.head; pfn < b.head + (Pfn{1} << b.order);
+             ++pfn)
+            fa.frame(pfn).stampAllocated(b.order, b.mt, b.src,
+                                         pfn == b.head);
+        fa.frame(b.head).setAllocInfo(b.owner, b.second);
+    }
+    EXPECT_EQ(fa.sideTableEntries(), 3u);
+
+    for (const auto &b : blocks) {
+        for (Pfn pfn = b.head; pfn < b.head + (Pfn{1} << b.order);
+             ++pfn) {
+            const PageFrame got = fa.get(pfn);
+            EXPECT_FALSE(got.isFree()) << "pfn " << pfn;
+            EXPECT_EQ(got.isHead(), pfn == b.head) << "pfn " << pfn;
+            EXPECT_EQ(got.order, b.order) << "pfn " << pfn;
+            EXPECT_EQ(got.migrateType, b.mt) << "pfn " << pfn;
+            EXPECT_EQ(got.source, b.src) << "pfn " << pfn;
+            EXPECT_EQ(got.owner, b.owner) << "pfn " << pfn;
+            EXPECT_EQ(got.allocSecond, b.second) << "pfn " << pfn;
+        }
+    }
+
+    // Freeing (reset) drains the side table and zeroes the word.
+    // The link slots keep stale bits until the buddy relinks the
+    // frame into a free list — same as the old layout's stale links
+    // — so owner() is only defined again once FlagFree is set, at
+    // which point it must read 0 exactly as the AoS reset did.
+    for (const auto &b : blocks)
+        for (Pfn pfn = b.head; pfn < b.head + (Pfn{1} << b.order);
+             ++pfn)
+            fa.frame(pfn).reset();
+    EXPECT_EQ(fa.sideTableEntries(), 0u);
+    for (const auto &b : blocks) {
+        EXPECT_EQ(fa.get(b.head).flags, 0);
+        EXPECT_EQ(fa.get(b.head).allocSecond, 0u);
+        fa.frame(b.head).setFree(true);
+        EXPECT_EQ(fa.get(b.head).owner, 0u);
+        EXPECT_EQ(fa.get(b.head).allocSecond, 0u);
+    }
+}
+
+/** One live allocation the property test tracks. */
+struct Held
+{
+    Pfn head;
+    unsigned order;
+    MigrateType mt;
+    AllocSource src;
+    std::uint64_t owner;
+    std::uint32_t second;
+    bool pinned = false;
+};
+
+void
+expectBlockMatches(const PhysMem &mem, const Held &h)
+{
+    for (Pfn pfn = h.head; pfn < h.head + (Pfn{1} << h.order);
+         ++pfn) {
+        const PageFrame got = mem.frames().get(pfn);
+        ASSERT_FALSE(got.isFree()) << "pfn " << pfn;
+        EXPECT_EQ(got.isHead(), pfn == h.head) << "pfn " << pfn;
+        EXPECT_EQ(got.isPinned(), h.pinned) << "pfn " << pfn;
+        EXPECT_EQ(got.order, h.order) << "pfn " << pfn;
+        EXPECT_EQ(got.migrateType, h.mt) << "pfn " << pfn;
+        EXPECT_EQ(got.source, h.src) << "pfn " << pfn;
+        EXPECT_EQ(got.owner, h.owner) << "pfn " << pfn;
+        EXPECT_EQ(got.allocSecond, h.second) << "pfn " << pfn;
+    }
+}
+
+TEST(FrameTableEquivalence, BuddyDrivenRandomizedProperty)
+{
+    // The real allocator, random alloc/free/pin churn, and the old
+    // AoS contract checked from the outside: every tracked live
+    // block must materialize exactly the fields the old layout
+    // stored, every free frame must read owner/allocSecond 0, and
+    // the side table must hold exactly one entry per live block
+    // allocated at a nonzero second.
+    faultInjector().reset();
+    PhysMem mem(64_MiB);
+    BuddyAllocator alloc(mem, 0, mem.numFrames(), "soa_prop");
+    MemAuditor auditor(mem);
+    auditor.addAllocator(&alloc);
+
+    Rng rng(0xd1ffe7e57);
+    std::vector<Held> held;
+    std::uint64_t expectSideEntries = 0;
+    for (int op = 0; op < 4000; ++op) {
+        mem.nowSeconds = static_cast<std::uint32_t>(op / 16);
+        const double roll = rng.uniform();
+        if (roll < 0.55) {
+            Held h;
+            h.order = static_cast<unsigned>(rng.below(4));
+            h.mt = static_cast<MigrateType>(rng.below(3));
+            h.src = static_cast<AllocSource>(
+                rng.below(numAllocSources));
+            h.owner = rng.next() | 1; // nonzero: 0 means "free"
+            h.second = mem.nowSeconds;
+            h.head = alloc.allocPages(h.order, h.mt, h.src, h.owner);
+            if (h.head != invalidPfn) {
+                held.push_back(h);
+                if (h.second != 0)
+                    ++expectSideEntries;
+            }
+        } else if (roll < 0.85 && !held.empty()) {
+            const std::size_t pick = rng.below(held.size());
+            const Held h = held[pick];
+            if (h.pinned)
+                mem.setBlockPinned(h.head, false);
+            alloc.freePages(h.head);
+            if (h.second != 0)
+                --expectSideEntries;
+            held[pick] = held.back();
+            held.pop_back();
+        } else if (!held.empty()) {
+            const std::size_t pick = rng.below(held.size());
+            held[pick].pinned = !held[pick].pinned;
+            mem.setBlockPinned(held[pick].head,
+                               held[pick].pinned);
+        }
+
+        if (op % 250 == 0 || op == 3999) {
+            alloc.checkInvariants();
+            const AuditReport report = auditor.audit();
+            ASSERT_TRUE(report.ok()) << report.summary();
+            ASSERT_EQ(mem.frames().sideTableEntries(),
+                      expectSideEntries)
+                << "op " << op;
+            for (const Held &h : held)
+                expectBlockMatches(mem, h);
+            if (::testing::Test::HasFailure())
+                FAIL() << "diverged at op " << op;
+        }
+    }
+
+    // Drain everything: the table must read as all-free with no
+    // residual owner handles or side-table entries.
+    for (const Held &h : held) {
+        if (h.pinned)
+            mem.setBlockPinned(h.head, false);
+        alloc.freePages(h.head);
+    }
+    EXPECT_EQ(alloc.freePageCount(), mem.numFrames());
+    EXPECT_EQ(mem.frames().sideTableEntries(), 0u);
+    for (Pfn pfn = 0; pfn < mem.numFrames(); ++pfn) {
+        const PageFrame got = mem.frames().get(pfn);
+        ASSERT_TRUE(got.isFree()) << "pfn " << pfn;
+        ASSERT_EQ(got.owner, 0u) << "pfn " << pfn;
+        ASSERT_EQ(got.allocSecond, 0u) << "pfn " << pfn;
+        ASSERT_FALSE(got.isPinned()) << "pfn " << pfn;
+    }
+    alloc.checkInvariants();
+}
+
+TEST(FrameTableEquivalence, GiganticAllocationStampsEveryFrame)
+{
+    // A gigantic block is 2^18 frames sharing one owner handle and
+    // one side-table entry; the overlay must resolve through the
+    // gigaOrder-aligned head for members arbitrarily far away.
+    PhysMem mem(1_GiB);
+    BuddyAllocator alloc(mem, 0, mem.numFrames(), "giga");
+    mem.nowSeconds = 99;
+    const Pfn head = alloc.allocGigantic(
+        MigrateType::Movable, AllocSource::User,
+        0xabcdef0123456789ULL);
+    ASSERT_NE(head, invalidPfn);
+    EXPECT_EQ(mem.frames().sideTableEntries(), 1u);
+    const Pfn probes[] = {head, head + 1, head + 511,
+                          head + pagesPerGiga / 2,
+                          head + pagesPerGiga - 1};
+    for (const Pfn pfn : probes) {
+        const PageFrame got = mem.frames().get(pfn);
+        EXPECT_FALSE(got.isFree()) << "pfn " << pfn;
+        EXPECT_EQ(got.order, gigaOrder) << "pfn " << pfn;
+        EXPECT_EQ(got.owner, 0xabcdef0123456789ULL) << "pfn " << pfn;
+        EXPECT_EQ(got.allocSecond, 99u) << "pfn " << pfn;
+        EXPECT_EQ(got.isHead(), pfn == head) << "pfn " << pfn;
+    }
+}
+
+TEST(FrameTableEquivalence, DetachAttachKeepsFramesEquivalent)
+{
+    // Region-resizing handoff: detached frames stay free (but
+    // unlisted), re-attached frames come back allocatable, and the
+    // materialized view never shows a phantom owner.
+    PhysMem mem(64_MiB);
+    BuddyAllocator alloc(mem, 0, mem.numFrames(), "resize");
+    const Pfn cut = mem.numFrames() / 2;
+    alloc.detachRange(cut, mem.numFrames());
+    for (Pfn pfn = cut; pfn < mem.numFrames(); pfn += 117) {
+        const PageFrame got = mem.frames().get(pfn);
+        EXPECT_TRUE(got.isFree()) << "pfn " << pfn;
+        EXPECT_EQ(got.owner, 0u) << "pfn " << pfn;
+    }
+    alloc.attachRange(cut, mem.numFrames(),
+                      MigrateType::Unmovable);
+    EXPECT_EQ(alloc.freePageCount(), mem.numFrames());
+    alloc.checkInvariants();
+    const Pfn head = alloc.allocPages(0, MigrateType::Unmovable,
+                                      AllocSource::Slab, 0x77);
+    ASSERT_NE(head, invalidPfn);
+    EXPECT_EQ(mem.frames().get(head).owner, 0x77u);
+    MemAuditor auditor(mem);
+    auditor.addAllocator(&alloc);
+    const AuditReport report = auditor.audit();
+    EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+// ---------------------------------------------------------------
+// Side table behaviour
+// ---------------------------------------------------------------
+
+TEST(SideTable, GrowsShrinksAndRoundTrips)
+{
+    AllocSideTable table;
+    EXPECT_EQ(table.bytes(), 0u);
+    for (std::uint32_t k = 0; k < 10000; ++k)
+        table.set(k * 7, k + 1);
+    EXPECT_EQ(table.size(), 10000u);
+    for (std::uint32_t k = 0; k < 10000; ++k)
+        EXPECT_EQ(table.secondFor(k * 7), k + 1);
+    EXPECT_EQ(table.secondFor(3), 0u); // absent reads as zero
+
+    const std::uint64_t grown = table.bytes();
+    for (std::uint32_t k = 0; k < 10000; ++k)
+        table.erase(k * 7);
+    EXPECT_EQ(table.size(), 0u);
+    // Shrink-on-erase must have released the bulk of the slots.
+    EXPECT_LT(table.bytes(), grown / 64);
+}
+
+TEST(SideTable, ZeroSecondMeansAbsent)
+{
+    // The old layout's default allocSecond was 0; the sparse table
+    // encodes that as "no entry", so storing 0 erases.
+    AllocSideTable table;
+    table.set(5, 123);
+    EXPECT_EQ(table.size(), 1u);
+    table.set(5, 0);
+    EXPECT_EQ(table.size(), 0u);
+    EXPECT_EQ(table.secondFor(5), 0u);
+    table.set(9, 0); // no-op insert
+    EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(SideTable, SortedEntriesAreCanonical)
+{
+    AllocSideTable table;
+    const std::uint32_t keys[] = {900, 4, 77, 13, 500};
+    for (const std::uint32_t k : keys)
+        table.set(k, k + 1);
+    const auto entries = table.sortedEntries();
+    ASSERT_EQ(entries.size(), 5u);
+    for (std::size_t i = 1; i < entries.size(); ++i)
+        EXPECT_LT(entries[i - 1].key, entries[i].key);
+}
+
+// ---------------------------------------------------------------
+// Bench CLI parser
+// ---------------------------------------------------------------
+
+TEST(BenchCli, BothFlagSpellingsParse)
+{
+    bench::jsonOutPath().clear();
+    std::string servers;
+    char prog[] = "fleet_scale";
+    char a1[] = "--servers";
+    char a2[] = "123";
+    char a3[] = "--json=/tmp/out.json";
+    char *argv[] = {prog, a1, a2, a3};
+    bench::parseArgs(4, argv,
+                     {{"servers", &servers, "population size"}});
+    EXPECT_EQ(servers, "123");
+    EXPECT_EQ(bench::jsonOutPath(), "/tmp/out.json");
+    EXPECT_EQ(bench::flagU64(servers, "servers"), 123u);
+    bench::jsonOutPath().clear();
+}
+
+TEST(BenchCli, UnknownFlagExitsWithUsage)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    char prog[] = "fleet_scale";
+    char bogus[] = "--bogus-flag";
+    char *argv[] = {prog, bogus};
+    EXPECT_EXIT(bench::parseArgs(2, argv),
+                ::testing::ExitedWithCode(2),
+                "unknown bench argument '--bogus-flag'");
+}
+
+TEST(BenchCli, MissingValueExitsWithUsage)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    std::string servers;
+    char prog[] = "fleet_scale";
+    char flag[] = "--servers";
+    char *argv[] = {prog, flag};
+    EXPECT_EXIT(
+        bench::parseArgs(2, argv,
+                         {{"servers", &servers, "population size"}}),
+        ::testing::ExitedWithCode(2),
+        "missing value for '--servers'");
+}
+
+TEST(BenchCli, NonIntegerValueExitsWithUsage)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT(bench::flagU64("notanumber", "servers"),
+                ::testing::ExitedWithCode(2),
+                "flag --servers wants an integer, got 'notanumber'");
+}
+
+// ---------------------------------------------------------------
+// Footprint budget
+// ---------------------------------------------------------------
+
+TEST(FrameTableFootprint, FixedCostIsTenBytesPerFrame)
+{
+    // 2 (meta) + 4 + 4 (links) with an empty side table. This is
+    // the structural floor the fleet-scale bench builds on; a change
+    // here is a capacity-planning event, not noise.
+    const FrameArray fa(4096);
+    EXPECT_EQ(fa.bytesUsed(), 4096u * 10u);
+    EXPECT_EQ(fa.sideTableEntries(), 0u);
+}
+
+TEST(FrameTableFootprint, RepresentativeServerStaysUnderBudget)
+{
+    // The fleet-scale acceptance: a churned, pre-fragmented scale-
+    // tier server (the worst case the bench measures) must stay
+    // under 20 bytes/frame — at least 2x under the 40 bytes/frame
+    // array-of-structs table the roadmap retired.
+    faultInjector().reset();
+    Server::Config config;
+    config.memBytes = 64_MiB;
+    config.kind = WorkloadKind::Web;
+    config.prefragment = true;
+    config.uptimeSec = 4.0;
+    config.seed = 0xb06e7;
+    Server server(config);
+    server.run();
+    const FrameArray &frames = server.kernel().mem().frames();
+    const double perFrame =
+        static_cast<double>(frames.bytesUsed()) /
+        static_cast<double>(server.kernel().mem().numFrames());
+    EXPECT_LT(perFrame, 20.0);
+    EXPECT_GE(perFrame, 10.0); // the structural floor
+}
+
+// ---------------------------------------------------------------
+// Snapshot link/side-table validation (hostile images)
+// ---------------------------------------------------------------
+
+/** Pack one meta word the way the frame table does. */
+std::uint16_t
+packMeta(std::uint8_t flags, unsigned order, MigrateType mt,
+         AllocSource src)
+{
+    return static_cast<std::uint16_t>(
+        flags |
+        (static_cast<std::uint16_t>(mt) << FrameArray::metaMtShift) |
+        (static_cast<std::uint16_t>(src)
+         << FrameArray::metaSrcShift) |
+        (order << FrameArray::metaOrderShift));
+}
+
+/** A hand-buildable image of a 64-frame table. */
+struct RawTable
+{
+    std::vector<std::uint16_t> meta;
+    std::vector<std::uint32_t> next;
+    std::vector<std::uint32_t> prev;
+    std::vector<AllocSideTable::Entry> entries;
+
+    RawTable()
+        : meta(64, packMeta(PageFrame::FlagFree, 0,
+                            MigrateType::Movable,
+                            AllocSource::User)),
+          next(64, FrameArray::nil), prev(64, FrameArray::nil)
+    {
+        // Frame 0: a free order-2 list head. Frames 8..9: an
+        // allocated order-1 block whose head carries an overlaid
+        // owner handle and a side-table timestamp.
+        meta[0] = packMeta(PageFrame::FlagFree | PageFrame::FlagHead,
+                           2, MigrateType::Movable,
+                           AllocSource::User);
+        meta[8] = packMeta(PageFrame::FlagHead, 1,
+                           MigrateType::Unmovable, AllocSource::Slab);
+        meta[9] = packMeta(0, 1, MigrateType::Unmovable,
+                           AllocSource::Slab);
+        next[8] = 0xdeadbeef; // owner low half — NOT a link
+        prev[8] = 0xfeedface; // owner high half — NOT a link
+        entries.push_back(AllocSideTable::Entry{8, 42});
+    }
+
+    std::vector<std::uint8_t>
+    serialize() const
+    {
+        serde::Writer out;
+        out.putPodVector(meta);
+        out.putPodVector(next);
+        out.putPodVector(prev);
+        out.putU64(entries.size());
+        for (const AllocSideTable::Entry &e : entries) {
+            out.putU32(e.key);
+            out.putU32(e.second);
+        }
+        return out.bytes();
+    }
+};
+
+void
+expectLoadThrows(const RawTable &raw, const char *why)
+{
+    const std::vector<std::uint8_t> bytes = raw.serialize();
+    serde::Reader in(bytes);
+    FrameArray fa(64);
+    EXPECT_THROW(fa.loadFrom(in), serde::Error) << why;
+}
+
+TEST(FrameTableRestore, WellFormedImageRoundTripsByteExactly)
+{
+    const RawTable raw;
+    const std::vector<std::uint8_t> bytes = raw.serialize();
+    serde::Reader in(bytes);
+    FrameArray fa(64);
+    ASSERT_NO_THROW(fa.loadFrom(in));
+    // The restored table materializes the allocated head with its
+    // overlaid owner and side-table second...
+    const PageFrame head = fa.get(8);
+    EXPECT_EQ(head.owner, 0xfeedface00000000ULL | 0xdeadbeefULL);
+    EXPECT_EQ(head.allocSecond, 42u);
+    EXPECT_EQ(fa.get(9).owner, head.owner);
+    // ...and re-serializes to the identical image (canonical side
+    // table order, bitwise-stable columns).
+    serde::Writer out;
+    fa.saveTo(out);
+    EXPECT_EQ(out.bytes(), bytes);
+}
+
+TEST(FrameTableRestore, TraversableLinkOutOfRangeIsRefused)
+{
+    // Free-list member links must be validated before the buddy
+    // restore walks them: index 64 is one past the table.
+    RawTable raw;
+    raw.next[0] = 64;
+    expectLoadThrows(raw, "free head next out of range");
+    RawTable raw2;
+    raw2.prev[0] = 0xfffffffe; // large but != nil
+    expectLoadThrows(raw2, "free head prev out of range");
+}
+
+TEST(FrameTableRestore, AllocatedHeadLinksAreNotValidatedAsLinks)
+{
+    // The same huge values on an *allocated* head are owner-handle
+    // bits, not links — they must load fine. (A link-validation
+    // pass that forgot the overlay would reject every snapshot with
+    // a large owner handle.)
+    RawTable raw;
+    raw.next[8] = 0xfffffffe;
+    raw.prev[8] = 0xfffffffe;
+    const std::vector<std::uint8_t> bytes = raw.serialize();
+    serde::Reader in(bytes);
+    FrameArray fa(64);
+    ASSERT_NO_THROW(fa.loadFrom(in));
+    EXPECT_EQ(fa.get(8).owner, 0xfffffffefffffffeULL);
+}
+
+TEST(FrameTableRestore, HostileSideTablesAreRefused)
+{
+    {
+        RawTable raw;
+        raw.entries[0].key = 64; // out of range
+        expectLoadThrows(raw, "key out of range");
+    }
+    {
+        RawTable raw;
+        raw.entries[0].key = 0; // frame 0 is free — not a valid key
+        expectLoadThrows(raw, "key names a free frame");
+    }
+    {
+        RawTable raw;
+        raw.entries[0].key = 9; // allocated but not a head
+        expectLoadThrows(raw, "key names a non-head");
+    }
+    {
+        RawTable raw;
+        raw.entries[0].second = 0; // absent must be absent
+        expectLoadThrows(raw, "zero second");
+    }
+    {
+        RawTable raw; // duplicate/unsorted keys
+        raw.entries.push_back(AllocSideTable::Entry{8, 43});
+        expectLoadThrows(raw, "unsorted side table");
+    }
+    {
+        RawTable raw;
+        raw.entries.clear();
+        for (std::uint32_t k = 0; k < 65; ++k)
+            raw.entries.push_back(AllocSideTable::Entry{k, 1});
+        expectLoadThrows(raw, "more entries than frames");
+    }
+}
+
+TEST(FrameTableRestore, HostileMetaWordsAreRefused)
+{
+    {
+        RawTable raw;
+        raw.meta[3] = packMeta(PageFrame::FlagFree, maxOrder + 1,
+                               MigrateType::Movable,
+                               AllocSource::User);
+        expectLoadThrows(raw, "order beyond maxOrder");
+    }
+    {
+        RawTable raw;
+        raw.meta[3] |= FrameArray::metaSpareMask;
+        expectLoadThrows(raw, "spare bits set");
+    }
+    {
+        RawTable raw;
+        raw.meta[3] = static_cast<std::uint16_t>(
+            PageFrame::FlagFree |
+            (7u << FrameArray::metaSrcShift)); // src 7 >= 7
+        expectLoadThrows(raw, "alloc source out of range");
+    }
+    {
+        RawTable raw;
+        raw.meta.resize(63); // column length mismatch
+        expectLoadThrows(raw, "size mismatch");
+    }
+}
+
+// ---------------------------------------------------------------
+// Shared per-population config tables
+// ---------------------------------------------------------------
+
+TEST(SharedTables, CacheMatchesMakeProfileFieldForField)
+{
+    const auto tables = SharedFleetTables::make(512_MiB);
+    for (unsigned k = 0; k < numWorkloadKinds; ++k) {
+        const auto kind = static_cast<WorkloadKind>(k);
+        const WorkloadProfile &cached = tables->profile(kind);
+        const WorkloadProfile fresh = makeProfile(kind, 512_MiB);
+        EXPECT_EQ(cached.name, fresh.name);
+        EXPECT_EQ(cached.kind, fresh.kind);
+        EXPECT_EQ(bits(cached.residentFrac),
+                  bits(fresh.residentFrac));
+        EXPECT_EQ(cached.processes, fresh.processes);
+        EXPECT_EQ(bits(cached.heapChurnFracPerSec),
+                  bits(fresh.heapChurnFracPerSec));
+        EXPECT_EQ(bits(cached.jobTurnoverPerSec),
+                  bits(fresh.jobTurnoverPerSec));
+        EXPECT_EQ(bits(cached.miscRatePerSec),
+                  bits(fresh.miscRatePerSec));
+        EXPECT_EQ(bits(cached.residentKernelPagesPerSec),
+                  bits(fresh.residentKernelPagesPerSec));
+        EXPECT_EQ(bits(cached.khugepagedChunksPerSec),
+                  bits(fresh.khugepagedChunksPerSec));
+        EXPECT_EQ(bits(cached.pinRatePerSec),
+                  bits(fresh.pinRatePerSec));
+    }
+    EXPECT_GT(tables->bytes(), 0u);
+}
+
+TEST(SharedTables, ServerRunsBitIdenticallyWithAndWithoutCache)
+{
+    // The tables are a pure cache: presence (or a memBytes mismatch
+    // forcing the fallback path) must not move a single bit of the
+    // simulation.
+    faultInjector().reset();
+    Server::Config config;
+    config.memBytes = 128_MiB;
+    config.contiguitas = true;
+    config.kind = WorkloadKind::CacheA;
+    config.intensity = 1.2;
+    config.prefragment = true;
+    config.uptimeSec = 4.0;
+    config.seed = 0xcac4e;
+
+    Server plain(config);
+    const auto baseline = scanBits(plain.run());
+
+    config.sharedTables = SharedFleetTables::make(config.memBytes);
+    Server cached(config);
+    EXPECT_EQ(scanBits(cached.run()), baseline);
+
+    // Mismatched cache: ignored, not misused.
+    config.sharedTables = SharedFleetTables::make(256_MiB);
+    Server mismatched(config);
+    EXPECT_EQ(scanBits(mismatched.run()), baseline);
+}
+
+TEST(SharedTables, FingerprintIgnoresCachePresence)
+{
+    Server::Config a;
+    a.memBytes = 128_MiB;
+    a.seed = 7;
+    Server::Config b = a;
+    b.sharedTables = SharedFleetTables::make(b.memBytes);
+    EXPECT_EQ(serverConfigFingerprint(a),
+              serverConfigFingerprint(b));
+}
+
+// ---------------------------------------------------------------
+// Scale tier: thread identity, snapshots, faults
+// ---------------------------------------------------------------
+
+/** Fig11-shaped population at the scale tier (the bench's shape,
+ * sized for a unit test). */
+Fleet::Config
+scaleTierFleet(bool contiguitas, unsigned servers)
+{
+    Fleet::Config config;
+    config.servers = servers;
+    config.memBytes = 64_MiB;
+    config.contiguitas = contiguitas;
+    config.minUptimeSec = 2.0;
+    config.maxUptimeSec = 5.0;
+    config.minIntensity = 0.7;
+    config.maxIntensity = 1.3;
+    config.prefragmentFrac = 0.25;
+    config.streamScans = true;
+    config.seed = 0x5ca1e ^ (contiguitas ? 1 : 0);
+    return config;
+}
+
+class FleetScaleTier : public ::testing::Test
+{
+  protected:
+    FleetScaleTier() { faultInjector().reset(); }
+    ~FleetScaleTier() override { faultInjector().reset(); }
+};
+
+TEST_F(FleetScaleTier, BitIdenticalAcrossThreadCounts)
+{
+    for (const bool contiguitas : {false, true}) {
+        std::vector<std::uint64_t> baseline;
+        std::vector<std::uint64_t> baselineQuantiles;
+        for (const unsigned threads : {1u, 4u, 8u}) {
+            Fleet::Config config = scaleTierFleet(contiguitas, 24);
+            config.threads = threads;
+            Fleet fleet(config);
+            const auto scans = scansBits(fleet.run());
+            std::vector<std::uint64_t> quantiles;
+            for (const double f : {0.0, 0.25, 0.5, 0.9, 1.0}) {
+                quantiles.push_back(
+                    bits(fleet.scanSinks().freeContiguity2m
+                             .quantile(f)));
+                quantiles.push_back(
+                    bits(fleet.scanSinks().uptimeSec.quantile(f)));
+            }
+            if (baseline.empty()) {
+                baseline = scans;
+                baselineQuantiles = quantiles;
+                EXPECT_FALSE(baseline.empty());
+            } else {
+                EXPECT_EQ(scans, baseline)
+                    << "scan drift at " << threads << " threads, ctg="
+                    << contiguitas;
+                EXPECT_EQ(quantiles, baselineQuantiles)
+                    << "streamed quantile drift at " << threads
+                    << " threads";
+            }
+        }
+    }
+}
+
+TEST_F(FleetScaleTier, EveryFaultSiteArmedStaysIdenticalAndAudited)
+{
+    // All 13 fault sites armed over the scale-tier population: the
+    // runs must stay bit-identical across thread counts and the
+    // fault evaluation/fire counters must match exactly.
+    // The injector stream is pinned: boot-time allocations (kernel
+    // text, NIC rings) fatal on an injected failure by design, so
+    // like the other chaos suites this uses a seed whose fire
+    // pattern lets every server boot. Forked per-task streams make
+    // the pattern identical at every thread count either way.
+    const auto runWithFaults = [](unsigned threads) {
+        faultInjector().reset(0xbadc0de);
+        for (unsigned i = 0; i < numFaultSites; ++i)
+            faultInjector().arm(static_cast<FaultSite>(i),
+                                FaultSpec::chance(0.02));
+        Fleet::Config config = scaleTierFleet(true, 16);
+        config.threads = threads;
+        Fleet fleet(config);
+        std::vector<std::uint64_t> record = scansBits(fleet.run());
+        for (unsigned i = 0; i < numFaultSites; ++i) {
+            const auto &s = faultInjector().siteStats(
+                static_cast<FaultSite>(i));
+            record.push_back(s.evaluations);
+            record.push_back(s.fires);
+        }
+        faultInjector().reset();
+        return record;
+    };
+    const auto baseline = runWithFaults(1);
+    EXPECT_EQ(runWithFaults(4), baseline);
+    EXPECT_EQ(runWithFaults(8), baseline);
+}
+
+TEST_F(FleetScaleTier, KiloServerSnapshotRoundTrip)
+{
+    // The 1k-server tier: checkpoint every server at its uptime
+    // boundary, restore the whole population, and require the
+    // restored run to be bit-identical to the straight-through run.
+    // Small machines and short uptimes keep this inside unit-test
+    // runtime while the population size stays at the tier the
+    // fleet-scale work targets.
+    const std::string dir =
+        ::testing::TempDir() + "ctgsnap_fleet_scale_kilo";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    Fleet::Config config = scaleTierFleet(true, 1000);
+    config.memBytes = 32_MiB;
+    config.minUptimeSec = 1.0;
+    config.maxUptimeSec = 2.0;
+    config.extraUptimeSec = 1.0;
+
+    Fleet straight(config);
+    const auto straightBits = scansBits(straight.run());
+
+    Fleet::Config ckptConfig = config;
+    ckptConfig.checkpointDir = dir;
+    Fleet checkpoint(ckptConfig);
+    EXPECT_EQ(scansBits(checkpoint.run()), straightBits);
+    EXPECT_TRUE(std::filesystem::exists(
+        dir + "/" + snap::manifestFileName()));
+
+    Fleet::Config restoreConfig = config;
+    restoreConfig.restoreDir = dir;
+    Fleet restored(restoreConfig);
+    EXPECT_EQ(scansBits(restored.run()), straightBits);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST_F(FleetScaleTier, PeakRssGaugeReportsProcessFootprint)
+{
+    Fleet::Config config = scaleTierFleet(false, 4);
+    StatRegistry registry;
+    Fleet fleet(config);
+    fleet.attachTelemetry(registry);
+    fleet.run();
+    const Stat *rss = registry.find("fleet.peak_rss_mb");
+    ASSERT_NE(rss, nullptr);
+    // getrusage is available on every platform CI runs; a zero
+    // reading would mean the gauge went dead.
+    EXPECT_GT(rss->value(), 0.0);
+}
+
+} // namespace
+} // namespace ctg

@@ -301,7 +301,7 @@ TEST(AddressSpaceTest, RelocateUpdatesTranslation)
     const Pfn fresh = kernel.allocPages(req);
     ASSERT_NE(fresh, invalidPfn);
     const std::uint64_t owner =
-        kernel.mem().frame(before.pfn).owner;
+        kernel.mem().frame(before.pfn).owner();
     ASSERT_TRUE(kernel.owners().relocate(owner, before.pfn, fresh));
     EXPECT_EQ(space.translate(base).pfn, fresh);
 }

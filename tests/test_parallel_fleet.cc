@@ -121,10 +121,12 @@ runFleetAt(unsigned threads, bool withFaults)
         recordScan(scan, &record.scanBits);
     for (std::size_t i = 0; i < registry.size(); ++i) {
         const Stat &stat = registry.at(i);
-        // run_wall_ms is the one stat that legitimately varies
-        // between runs; everything else must be exact.
+        // Host-side readings (wall clock, worker count, process RSS)
+        // legitimately vary between runs; everything else must be
+        // exact.
         if (stat.name() == "fleet.run_wall_ms" ||
-            stat.name() == "fleet.threads") {
+            stat.name() == "fleet.threads" ||
+            stat.name() == "fleet.peak_rss_mb") {
             continue;
         }
         record.statBits.push_back(bits(stat.value()));
@@ -140,7 +142,8 @@ runFleetAt(unsigned threads, bool withFaults)
     }
     record.samplerTicks = sampler.ticks();
     for (const std::string &name : sampler.statNames()) {
-        if (name == "fleet.run_wall_ms" || name == "fleet.threads")
+        if (name == "fleet.run_wall_ms" || name == "fleet.threads" ||
+            name == "fleet.peak_rss_mb")
             continue;
         const std::vector<double> *series = sampler.series(name);
         for (const double v : *series)

@@ -129,12 +129,12 @@ TEST_F(ScannerTest, SourceBreakdownMatchesAllocations)
 {
     auto net = fillPages(100, MigrateType::Unmovable);
     for (const Pfn p : net) {
-        mem.frame(p).source = AllocSource::Networking;
+        mem.frame(p).setSource(AllocSource::Networking);
         mem.noteFramesChanged(p, p + 1);
     }
     auto slab = fillPages(50, MigrateType::Unmovable);
     for (const Pfn p : slab) {
-        mem.frame(p).source = AllocSource::Slab;
+        mem.frame(p).setSource(AllocSource::Slab);
         mem.noteFramesChanged(p, p + 1);
     }
 
