@@ -1,211 +1,147 @@
 /**
  * @file
- * Ablations of the design choices DESIGN.md calls out:
+ * The design-choice matrix: placement policies × workloads × machine
+ * shapes, swept from one invocation.
  *
- *  A. fallback remainder policy — leaving small-steal remainders
- *     with the victim (modern Linux) vs claiming them: how much of
- *     the paper's unmovable scattering each produces;
- *  B. placement bias inside the unmovable region (Section 3.2's
- *     away-from-border rule) — its effect on shrink success;
- *  C. Contiguitas-HW migration on/off — whether the unmovable region
- *     can shrink and defragment under pinned IO load;
- *  D. kcompactd budget — background compaction's role in huge-page
- *     coverage under churn.
+ * Every registered policy (vanilla, contiguitas, contiguitas-nobias,
+ * zone-movable, plus anything tests or forks add) runs against every
+ * selected workload profile — the paper's six production services
+ * and the Mansi-&-Swift aging profiles — on every machine shape, as
+ * a small fleet per cell. Each cell prints one table row and emits
+ * one JSON line, so CI artifacts carry the whole matrix in
+ * machine-readable form. Cell rows contain only simulation results
+ * (no wall clocks), making the output bit-identical at any
+ * CTG_THREADS; the wall clock is dumped separately.
+ *
+ * Flags:
+ *   --policies  csv of registry names, or "all" (default)
+ *   --workloads csv of workloadKey names, "paper" (the six
+ *               production profiles) or "all" (default)
+ *   --shapes    csv of machine sizes in MiB (default "512,1024")
+ *   --servers   servers per cell (default 12)
  */
 
+#include <algorithm>
+
 #include "bench/bench_util.hh"
-#include "contiguitas/policy.hh"
 #include "mem/mem_stats.hh"
-#include "mem/scanner.hh"
-#include "workloads/workload.hh"
 
 using namespace ctg;
 
 namespace
 {
 
-constexpr std::uint64_t memBytes = std::uint64_t{2} << 30;
-
-WorkloadProfile
-profileFor(double pin_rate = 0.0)
+std::vector<std::string>
+splitCsv(const std::string &text)
 {
-    WorkloadProfile profile =
-        makeProfile(WorkloadKind::CacheB, memBytes);
-    profile.pinRatePerSec = pin_rate;
-    return profile;
-}
-
-void
-ablationFallback()
-{
-    Table table("A. fallback remainder policy (vanilla kernel, "
-                "Cache B, 45s)");
-    table.header({"Policy", "Unmovable pages", "2MB blocks "
-                  "contaminated", "Amplification"});
-    for (const bool claim : {false, true}) {
-        KernelConfig kc;
-        kc.memBytes = memBytes;
-        kc.kernelTextBytes = std::uint64_t{4} << 20;
-        kc.seed = 0xab1;
-        Kernel kernel(kc);
-        kernel.policy().movableAllocator()
-            .setClaimRemainderOnSmallSteal(claim);
-        Workload workload(kernel, profileFor(), 0xab1);
-        workload.start();
-        workload.runFor(45.0);
-        const PhysMem &mem = kernel.mem();
-        const MemStats stats = mem.stats();
-        const double pages =
-            stats.unmovablePageRatio(0, mem.numFrames());
-        const double blocks = stats.unmovableBlockFraction(
-            0, mem.numFrames(), scan::order2M);
-        table.row({claim ? "claim remainder (pre-4.x)"
-                         : "leave with victim (Linux 5.x)",
-                   formatPercent(pages), formatPercent(blocks),
-                   cell(blocks / pages, 2) + "x"});
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        std::size_t comma = text.find(',', pos);
+        if (comma == std::string::npos)
+            comma = text.size();
+        const std::string item = text.substr(pos, comma - pos);
+        if (!item.empty())
+            out.push_back(item);
+        pos = comma + 1;
     }
-    table.print();
-    std::printf("\n");
-}
-
-struct CtgOutcome
-{
-    Pfn boundary = 0;
-    std::uint64_t shrinks = 0;
-    std::uint64_t shrinkFailures = 0;
-    std::uint64_t hwMigrations = 0;
-};
-
-/**
- * Controlled region scenario: a layer of linear-map residue (truly
- * unmovable) plus a burst of IO buffers (movable only by
- * Contiguitas-HW) that later mostly drains. Whether the region can
- * shrink back depends on (i) the residue having been biased away
- * from the border and (ii) hardware migration for the leftover IO
- * pages near it.
- */
-CtgOutcome
-runRegionScenario(bool bias, bool hw)
-{
-    KernelConfig kc;
-    kc.memBytes = memBytes;
-    kc.kernelTextBytes = std::uint64_t{4} << 20;
-    kc.seed = 0xab2;
-    ContiguitasConfig cc;
-    cc.placementBias = bias;
-    cc.hwMigration = hw;
-    Kernel kernel(kc, ContiguitasPolicy::factory(cc));
-    auto &policy = static_cast<ContiguitasPolicy &>(kernel.policy());
-    const std::uint64_t region_pages =
-        policy.regions().unmovable().totalPages();
-
-    // Linear-map residue: ~15% of the region, interleaved with IO
-    // traffic so placement decisions happen under churn.
-    ChurnPool::Config io_config;
-    io_config.ratePerSec = 4000.0;
-    io_config.meanLifeSec = 0.02;
-    io_config.longLivedFrac = 0.3;
-    io_config.longMeanLifeSec = 6.0;
-    io_config.mt = MigrateType::Unmovable;
-    io_config.source = AllocSource::Networking;
-    io_config.relocatable = true;
-    ChurnPool io(kernel, io_config, 0x10);
-
-    std::vector<Pfn> residue;
-    const std::uint64_t residue_target = region_pages * 15 / 100;
-    double now = 0.0;
-    while (residue.size() < residue_target) {
-        now += 0.05;
-        io.advanceTo(now);
-        kernel.advanceSeconds(0.05);
-        for (int i = 0; i < 40 && residue.size() < residue_target;
-             ++i) {
-            AllocRequest req;
-            req.order = 0;
-            req.mt = MigrateType::Unmovable;
-            req.source = AllocSource::Slab;
-            req.lifetime = Lifetime::Long;
-            const Pfn p = kernel.allocPages(req);
-            if (p != invalidPfn)
-                residue.push_back(p);
-        }
-    }
-
-    // Traffic winds down: no new IO, but the long-lived buffers
-    // (sockets with buffered data) stick around near the border.
-    io.pause();
-    now += 2.0;
-    io.advanceTo(now);
-
-    // Movable pressure builds; the controller tries to shrink.
-    CtgOutcome out;
-    for (int second = 0; second < 20; ++second) {
-        now += 1.0;
-        io.advanceTo(now);
-        kernel.psiMovable().recordStall(3e5);
-        kernel.advanceSeconds(1.0);
-    }
-    out.boundary = policy.regions().boundary();
-    out.shrinks = policy.regions().stats().shrinks;
-    out.shrinkFailures = policy.regions().stats().shrinkFailures;
-    out.hwMigrations = policy.regions().stats().hwMigrations;
-    for (const Pfn p : residue)
-        kernel.freePages(p);
     return out;
 }
 
-void
-ablationPlacementAndHw()
+std::vector<std::string>
+selectPolicies(const std::string &flag)
 {
-    Table table("B/C. placement bias and Contiguitas-HW (region "
-                "shrink after an IO burst drains)");
-    table.header({"Configuration", "Final boundary", "Shrinks",
-                  "Shrink failures", "HW moves"});
-    struct Case
-    {
-        const char *name;
-        bool bias;
-        bool hw;
-    };
-    const Case cases[] = {
-        {"no bias, no HW", false, false},
-        {"bias, no HW", true, false},
-        {"no bias, HW", false, true},
-        {"bias + HW", true, true},
-    };
-    for (const Case &c : cases) {
-        const CtgOutcome out = runRegionScenario(c.bias, c.hw);
-        table.row({c.name, formatBytes(out.boundary * pageBytes),
-                   cell(out.shrinks), cell(out.shrinkFailures),
-                   cell(out.hwMigrations)});
+    std::vector<std::string> names;
+    if (flag == "all" || flag.empty()) {
+        for (const PolicyRegistry::Entry &entry :
+             PolicyRegistry::instance().entries())
+            names.push_back(entry.name);
+        return names;
     }
-    table.print();
-    std::printf("\n");
+    for (const std::string &spec : splitCsv(flag)) {
+        const std::string name = spec.substr(0, spec.find(':'));
+        if (!PolicyRegistry::instance().has(name)) {
+            std::fprintf(stderr, "unknown policy '%s' (try --list)\n",
+                         name.c_str());
+            std::exit(2);
+        }
+        names.push_back(spec);
+    }
+    return names;
 }
 
-void
-ablationKcompactd()
+std::vector<WorkloadKind>
+selectWorkloads(const std::string &flag)
 {
-    Table table("D. kcompactd budget vs huge-page coverage "
-                "(vanilla, Cache B, 40s of churn)");
-    table.header({"Budget (migrations/s)", "2MB-backed fraction"});
-    for (const std::uint64_t budget : {std::uint64_t{0},
-                                       std::uint64_t{512},
-                                       std::uint64_t{4096},
-                                       std::uint64_t{16384}}) {
-        KernelConfig kc;
-        kc.memBytes = memBytes;
-        kc.kernelTextBytes = std::uint64_t{4} << 20;
-        kc.kcompactdBudgetPerSec = budget;
-        kc.seed = 0xab3;
-        Kernel kernel(kc);
-        Workload workload(kernel, profileFor(), 0xab3);
-        workload.start();
-        workload.runFor(40.0);
-        table.row({cell(budget),
-                   formatPercent(workload.hugeBackedFraction())});
+    std::vector<WorkloadKind> kinds;
+    if (flag == "all" || flag.empty()) {
+        for (unsigned k = 0; k < numWorkloadKinds; ++k)
+            kinds.push_back(static_cast<WorkloadKind>(k));
+        return kinds;
     }
-    table.print();
+    if (flag == "paper") {
+        for (unsigned k = 0; k <= unsigned(WorkloadKind::Memcached);
+             ++k)
+            kinds.push_back(static_cast<WorkloadKind>(k));
+        return kinds;
+    }
+    for (const std::string &name : splitCsv(flag)) {
+        WorkloadKind kind = WorkloadKind::Web;
+        if (!parseWorkloadKind(name, &kind)) {
+            std::fprintf(stderr,
+                         "unknown workload '%s' (try --list)\n",
+                         name.c_str());
+            std::exit(2);
+        }
+        kinds.push_back(kind);
+    }
+    return kinds;
+}
+
+struct CellResult
+{
+    double unmovableBlocks2m = 0.0;
+    double freeContiguity2m = 0.0;
+    double unmovablePageRatio = 0.0;
+};
+
+/** Run one matrix cell: a small single-workload fleet under the
+ * given policy on the given machine shape; report population means. */
+CellResult
+runCell(const std::string &policySpec, WorkloadKind kind,
+        std::uint64_t mem_mib, unsigned servers)
+{
+    Fleet::Config config;
+    config.servers = servers;
+    config.memBytes = mem_mib << 20;
+    if (!parsePolicySpec(policySpec, &config.policy)) {
+        std::fprintf(stderr, "unknown policy '%s' (try --list)\n",
+                     policySpec.c_str());
+        std::exit(2);
+    }
+    config.workloadOverride = workloadKey(kind);
+    config.minUptimeSec = 6.0;
+    config.maxUptimeSec = 14.0;
+    config.minIntensity = 0.7;
+    config.maxIntensity = 1.3;
+    config.prefragmentFrac = 0.25;
+    config.seed = 0xab1a710;
+    config.applyEnvOverlay();
+
+    Fleet fleet(config);
+    const std::vector<ServerScan> scans = fleet.run();
+
+    CellResult cell;
+    for (const ServerScan &scan : scans) {
+        cell.unmovableBlocks2m += scan.unmovableBlocks[0];
+        cell.freeContiguity2m += scan.freeContiguity[0];
+        cell.unmovablePageRatio += scan.unmovablePageRatio;
+    }
+    const double n = std::max<std::size_t>(scans.size(), 1);
+    cell.unmovableBlocks2m /= n;
+    cell.freeContiguity2m /= n;
+    cell.unmovablePageRatio /= n;
+    return cell;
 }
 
 } // namespace
@@ -213,11 +149,77 @@ ablationKcompactd()
 int
 main(int argc, char **argv)
 {
-    bench::parseArgs(argc, argv);
-    bench::banner("Ablations",
-                  "Design-choice studies (not a paper figure)");
-    ablationFallback();
-    ablationPlacementAndHw();
-    ablationKcompactd();
+    std::string policiesFlag = "all";
+    std::string workloadsFlag = "all";
+    std::string shapesFlag = "512,1024";
+    std::string serversFlag = "12";
+    bench::parseArgs(
+        argc, argv,
+        {{"policies", &policiesFlag,
+          "csv of policy names, or 'all' (default)"},
+         {"workloads", &workloadsFlag,
+          "csv of workload names, 'paper' or 'all' (default)"},
+         {"shapes", &shapesFlag,
+          "csv of machine sizes in MiB (default 512,1024)"},
+         {"servers", &serversFlag,
+          "servers per matrix cell (default 12)"}});
+
+    const std::vector<std::string> policies =
+        selectPolicies(policiesFlag);
+    const std::vector<WorkloadKind> workloads =
+        selectWorkloads(workloadsFlag);
+    std::vector<std::uint64_t> shapes;
+    for (const std::string &item : splitCsv(shapesFlag))
+        shapes.push_back(bench::flagU64(item, "shapes"));
+    const unsigned servers = static_cast<unsigned>(
+        bench::flagU64(serversFlag, "servers"));
+    if (shapes.empty() || servers == 0) {
+        std::fprintf(stderr, "need at least one shape and server\n");
+        return 2;
+    }
+
+    bench::banner("Ablation matrix",
+                  "policies x workloads x machine shapes");
+    std::printf("%zu policies x %zu workloads x %zu shapes, "
+                "%u servers per cell\n",
+                policies.size(), workloads.size(), shapes.size(),
+                servers);
+
+    bench::WallTimer wall;
+    std::string json;
+    Table table("matrix cells (population means)");
+    table.header({"Policy", "Workload", "MiB", "Unmov 2M blocks",
+                  "Free contig 2M", "Unmov page ratio"});
+    for (const std::string &policy : policies) {
+        for (const WorkloadKind kind : workloads) {
+            for (const std::uint64_t mib : shapes) {
+                const CellResult res =
+                    runCell(policy, kind, mib, servers);
+                table.row({policy, workloadKey(kind), cell(mib),
+                           formatPercent(res.unmovableBlocks2m),
+                           formatPercent(res.freeContiguity2m),
+                           formatPercent(res.unmovablePageRatio)});
+                char line[256];
+                std::snprintf(
+                    line, sizeof(line),
+                    "{\"name\":\"ablation.cell\",\"policy\":\"%s\","
+                    "\"workload\":\"%s\",\"mem_mib\":%llu,"
+                    "\"servers\":%u,\"unmovable_blocks_2m\":%.6f,"
+                    "\"free_contiguity_2m\":%.6f,"
+                    "\"unmovable_page_ratio\":%.6f}\n",
+                    policy.c_str(), workloadKey(kind),
+                    static_cast<unsigned long long>(mib), servers,
+                    res.unmovableBlocks2m, res.freeContiguity2m,
+                    res.unmovablePageRatio);
+                json += line;
+            }
+        }
+    }
+    table.print();
+    bench::dumpText("matrix cells (JSON lines)", json);
+    bench::dumpWallMs(wall.ms());
+    std::printf("\n[matrix] %zu cells, wall %.0f ms\n",
+                policies.size() * workloads.size() * shapes.size(),
+                wall.ms());
     return 0;
 }

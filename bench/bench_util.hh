@@ -23,9 +23,11 @@
 #include "base/stats.hh"
 #include "base/table.hh"
 #include "base/units.hh"
+#include "contiguitas/policy_registry.hh"
 #include "fleet/fleet.hh"
 #include "sim/executor.hh"
 #include "sim/fault_injector.hh"
+#include "workloads/profile.hh"
 
 namespace ctg
 {
@@ -53,11 +55,33 @@ inline void
 printUsage(const char *prog, const std::vector<FlagSpec> &flags)
 {
     std::fprintf(stderr,
-                 "usage: %s [--flag VALUE | --flag=VALUE]...\n"
+                 "usage: %s [--flag VALUE | --flag=VALUE]... [--list]\n"
                  "supported flags:\n",
                  prog);
     for (const FlagSpec &spec : flags)
         std::fprintf(stderr, "  --%-12s %s\n", spec.name, spec.help);
+    std::fprintf(stderr,
+                 "  --%-12s %s\n", "list",
+                 "print registered policies and workloads, then exit");
+}
+
+/** Enumerate the policy registry and the workload vocabulary — the
+ * names --policies/--workloads, CTG_POLICY and CTG_WORKLOAD accept. */
+inline void
+printRegistry()
+{
+    std::printf("policies (CTG_POLICY=<name>[:key=val,...]):\n");
+    for (const PolicyRegistry::Entry &entry :
+         PolicyRegistry::instance().entries()) {
+        std::printf("  %-20s %s\n", entry.name.c_str(),
+                    entry.description.c_str());
+    }
+    std::printf("workloads (CTG_WORKLOAD=<name>):\n");
+    for (unsigned k = 0; k < numWorkloadKinds; ++k) {
+        const auto kind = static_cast<WorkloadKind>(k);
+        std::printf("  %-20s %s\n", workloadKey(kind),
+                    workloadName(kind));
+    }
 }
 
 /**
@@ -80,6 +104,11 @@ parseArgs(int argc, char **argv, std::vector<FlagSpec> extra = {})
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
+        if (arg == "--list") {
+            // Registry discoverability from every bench binary.
+            printRegistry();
+            std::exit(0);
+        }
         const FlagSpec *matched = nullptr;
         for (const FlagSpec &spec : flags) {
             const std::string prefix = std::string("--") + spec.name;
@@ -182,14 +211,20 @@ class WallTimer
     std::chrono::steady_clock::time_point start_;
 };
 
-/** Standard fleet configuration used by the Section 2 studies. */
+/** Standard fleet configuration used by the Section 2 studies. The
+ * policy is a registry spec ("vanilla", "contiguitas",
+ * "contiguitas-nobias:defrag=4", ...). */
 inline Fleet::Config
-standardFleet(bool contiguitas, unsigned servers = 48)
+standardFleet(const std::string &policy, unsigned servers = 48)
 {
     Fleet::Config config;
     config.servers = servers;
     config.memBytes = std::uint64_t{2} << 30;
-    config.contiguitas = contiguitas;
+    if (!parsePolicySpec(policy, &config.policy)) {
+        std::fprintf(stderr, "unknown policy '%s' (try --list)\n",
+                     policy.c_str());
+        std::exit(2);
+    }
     config.minUptimeSec = 25.0;
     config.maxUptimeSec = 90.0;
     config.prefragmentFrac = 0.25;

@@ -18,7 +18,7 @@ main(int argc, char **argv)
                   "Contiguity availability as a percentage of free "
                   "memory (fleet CDF, vanilla Linux)");
 
-    Fleet fleet(bench::standardFleet(/*contiguitas=*/false));
+    Fleet fleet(bench::standardFleet("vanilla"));
     StatRegistry registry;
     fleet.attachTelemetry(registry);
     bench::regFaultStats(registry);

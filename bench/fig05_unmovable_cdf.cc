@@ -20,7 +20,7 @@ main(int argc, char **argv)
                   "Distribution of unmovable pages in contiguous "
                   "regions (fleet CDF, vanilla Linux)");
 
-    Fleet fleet(bench::standardFleet(/*contiguitas=*/false));
+    Fleet fleet(bench::standardFleet("vanilla"));
     StatRegistry registry;
     fleet.attachTelemetry(registry);
     bench::regFaultStats(registry);

@@ -15,7 +15,7 @@ main(int argc, char **argv)
     bench::parseArgs(argc, argv);
     bench::banner("Figure 6", "Sources of unmovable allocations");
 
-    Fleet fleet(bench::standardFleet(/*contiguitas=*/false, 32));
+    Fleet fleet(bench::standardFleet("vanilla", 32));
     StatRegistry registry;
     fleet.attachTelemetry(registry);
     bench::regFaultStats(registry);

@@ -41,7 +41,7 @@ layoutCoverage(WorkloadKind kind, bool contiguitas, bool prefragment,
     config.memBytes = kind == WorkloadKind::Web
                           ? std::uint64_t{8} << 30
                           : std::uint64_t{2} << 30;
-    config.contiguitas = contiguitas;
+    config.policy.name = contiguitas ? "contiguitas" : "vanilla";
     config.kind = kind;
     config.prefragment = prefragment;
     config.uptimeSec = 45.0;

@@ -38,8 +38,8 @@ runCell(WorkloadKind kind, bool contiguitas, unsigned pop,
     Fleet::Config config;
     config.servers = pop;
     config.memBytes = std::uint64_t{2} << 30;
-    config.contiguitas = contiguitas;
-    config.kindOverride = kind;
+    config.policy.name = contiguitas ? "contiguitas" : "vanilla";
+    config.workloadOverride = workloadKey(kind);
     config.minUptimeSec = 45.0;
     config.maxUptimeSec = 75.0;
     config.minIntensity = 0.7;

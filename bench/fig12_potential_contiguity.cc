@@ -26,7 +26,7 @@ runOne(WorkloadKind kind, bool contiguitas)
     Server::Config config;
     // 8 GiB machines so the 1 GB granularity has enough blocks.
     config.memBytes = std::uint64_t{8} << 30;
-    config.contiguitas = contiguitas;
+    config.policy.name = contiguitas ? "contiguitas" : "vanilla";
     config.kind = kind;
     config.uptimeSec = 50.0;
     config.seed = 0x12f1;

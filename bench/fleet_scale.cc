@@ -51,7 +51,7 @@ probeFootprint(const Fleet &fleet, PopulationResult *out)
 {
     Server::Config sc;
     sc.memBytes = fleet.config().memBytes;
-    sc.contiguitas = fleet.config().contiguitas;
+    sc.policy = fleet.config().policy;
     sc.kind = WorkloadKind::Web;
     sc.intensity = 1.0;
     sc.prefragment = true;
@@ -76,7 +76,7 @@ runPopulation(bool contiguitas, unsigned servers,
     Fleet::Config config;
     config.servers = servers;
     config.memBytes = mem_bytes;
-    config.contiguitas = contiguitas;
+    config.policy.name = contiguitas ? "contiguitas" : "vanilla";
     // fig11 population shape at the scale tier: the same intensity
     // and pre-fragmentation spread, uptimes shortened so 10^5
     // servers finish on one box (steady-state fragmentation shape,

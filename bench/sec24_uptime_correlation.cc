@@ -61,7 +61,7 @@ main(int argc, char **argv)
                   "fleet");
 
     // A Pearson coefficient needs population: many small servers.
-    Fleet::Config config = bench::standardFleet(false, 160);
+    Fleet::Config config = bench::standardFleet("vanilla", 160);
     config.memBytes = std::uint64_t{1} << 30;
     // Production uptimes are days to weeks — far past the
     // fragmentation plateau (reached within the first "hour", i.e.

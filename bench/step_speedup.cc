@@ -65,7 +65,7 @@ serverConfig(unsigned i, bool contiguitas, double uptime,
     config.intensity = intensity;
     config.prefragment = prefragment;
     config.uptimeSec = uptime;
-    config.contiguitas = contiguitas;
+    config.policy.name = contiguitas ? "contiguitas" : "vanilla";
     config.seed = 0x5ca9 + i;
     config.applyEnvOverlay();
     return config;

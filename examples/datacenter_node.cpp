@@ -51,9 +51,9 @@ main()
 
     Server::Config config;
     config.memBytes = 4_GiB;
-    config.contiguitas = true;
-    config.contiguitasConfig.hwMigration = true;
-    config.contiguitasConfig.defragBlocksPerTick = 8;
+    config.policy.name = "contiguitas";
+    config.policy.contiguitas.hwMigration = true;
+    config.policy.contiguitas.defragBlocksPerTick = 8;
     config.kind = WorkloadKind::CacheB;
     config.uptimeSec = 0.0; // we drive the timeline by hand
     config.seed = 0x70d4;

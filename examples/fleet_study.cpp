@@ -71,11 +71,11 @@ main(int argc, char **argv)
     config.applyEnvOverlay();
 
     std::printf("sampling %u vanilla servers ...\n", servers);
-    config.contiguitas = false;
+    config.policy.name = "vanilla";
     const auto linux_scans = Fleet(config).run();
 
     std::printf("sampling %u Contiguitas servers ...\n\n", servers);
-    config.contiguitas = true;
+    config.policy.name = "contiguitas";
     const auto ctg_scans = Fleet(config).run();
 
     const Summary lx = summarize(linux_scans);

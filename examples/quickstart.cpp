@@ -24,10 +24,10 @@ main()
     std::printf("Contiguitas quickstart: one workload, two "
                 "kernels.\n\n");
 
-    auto run = [](bool contiguitas) {
+    auto run = [](const char *policy) {
         Server::Config config;
         config.memBytes = 2_GiB;
-        config.contiguitas = contiguitas;
+        config.policy.name = policy;
         config.kind = WorkloadKind::CacheB;
         config.uptimeSec = 45.0;
         config.seed = 0x9019;
@@ -36,9 +36,9 @@ main()
     };
 
     std::printf("running vanilla Linux ...\n");
-    const ServerScan linux_scan = run(false);
+    const ServerScan linux_scan = run("vanilla");
     std::printf("running Contiguitas ...\n\n");
-    const ServerScan ctg_scan = run(true);
+    const ServerScan ctg_scan = run("contiguitas");
 
     Table table("memory layout after 45s of cache traffic");
     table.header({"Metric", "Linux", "Contiguitas"});

@@ -116,6 +116,12 @@ EnvConfig::fromEnv()
                       env);
     }
 
+    if (const char *env = std::getenv("CTG_POLICY"))
+        config.policySpec = env;
+
+    if (const char *env = std::getenv("CTG_WORKLOAD"))
+        config.workloadOverride = env;
+
     if (const char *env = std::getenv("CTG_CHECKPOINT"))
         config.checkpointDir = env;
 

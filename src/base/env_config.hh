@@ -71,6 +71,20 @@ struct EnvConfig
      * this changes placement, so it is opt-in). */
     bool exactPref = false;
 
+    /** CTG_POLICY: placement-policy spec "name[:key=val,...]"
+     * (registry names: vanilla, contiguitas, contiguitas-nobias,
+     * zone-movable, ...). Kept as the raw string here — the
+     * contiguitas layer owns the grammar
+     * (parsePolicySpec in contiguitas/policy_registry.hh); consumers
+     * parse at overlay time so typos warn in context. */
+    std::string policySpec;
+
+    /** CTG_WORKLOAD: named workload override (web, cache-a, cache-b,
+     * ci, nginx, memcached, aging, fs-cache, unmovable-bursty);
+     * every server in the fleet runs this kind. Raw string; parsed
+     * by Fleet at overlay time. */
+    std::string workloadOverride;
+
     /** CTG_CHECKPOINT: directory fleet runs write per-server
      * snapshot files and a manifest into. */
     std::string checkpointDir;

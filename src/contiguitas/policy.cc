@@ -1,7 +1,10 @@
 #include "contiguitas/policy.hh"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 
+#include "base/logging.hh"
 #include "base/serde.hh"
 #include "base/span_trace.hh"
 #include "kernel/migrate.hh"
@@ -9,6 +12,101 @@
 
 namespace ctg
 {
+
+namespace
+{
+
+bool
+parseU64Strict(const std::string &value, std::uint64_t *out)
+{
+    if (value.empty() || value[0] < '0' || value[0] > '9')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (errno != 0 || end == nullptr || *end != '\0')
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+parseDoubleStrict(const std::string &value, double *out)
+{
+    if (value.empty() ||
+        !((value[0] >= '0' && value[0] <= '9') || value[0] == '.'))
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (errno != 0 || end == nullptr || *end != '\0')
+        return false;
+    *out = v;
+    return true;
+}
+
+} // namespace
+
+bool
+ResizeTuning::set(const std::string &key, const std::string &value)
+{
+    if (key == "period") {
+        double v = 0.0;
+        if (!parseDoubleStrict(value, &v) || v <= 0.0 || v > 3600.0) {
+            warn_once("resize tuning: period=%s out of range (0, 3600]"
+                      "; keeping %g", value.c_str(), periodSec);
+            return false;
+        }
+        periodSec = v;
+        return true;
+    }
+    if (key == "step") {
+        std::uint64_t v = 0;
+        if (!parseU64Strict(value, &v) || v < 1) {
+            warn_once("resize tuning: step=%s invalid (want pages >= 1)"
+                      "; keeping %llu", value.c_str(),
+                      static_cast<unsigned long long>(stepPages));
+            return false;
+        }
+        stepPages = v;
+        return true;
+    }
+    if (key == "max") {
+        std::uint64_t v = 0;
+        if (!parseU64Strict(value, &v) || v < 1) {
+            warn_once("resize tuning: max=%s invalid (want pages >= 1)"
+                      "; keeping %llu", value.c_str(),
+                      static_cast<unsigned long long>(maxPerTick));
+            return false;
+        }
+        maxPerTick = v;
+        return true;
+    }
+    if (key == "watermark") {
+        double v = 0.0;
+        if (!parseDoubleStrict(value, &v) || v < 0.0 || v > 0.5) {
+            warn_once("resize tuning: watermark=%s out of range "
+                      "[0, 0.5]; keeping %g", value.c_str(),
+                      unmovFreeWatermark);
+            return false;
+        }
+        unmovFreeWatermark = v;
+        return true;
+    }
+    if (key == "slack") {
+        double v = 0.0;
+        if (!parseDoubleStrict(value, &v) || v < 0.0 || v > 1.0) {
+            warn_once("resize tuning: slack=%s out of range [0, 1]; "
+                      "keeping %g", value.c_str(), shrinkFreeSlack);
+            return false;
+        }
+        shrinkFreeSlack = v;
+        return true;
+    }
+    warn_once("resize tuning: unknown knob '%s' (=%s) ignored",
+              key.c_str(), value.c_str());
+    return false;
+}
 
 ContiguitasPolicy::ContiguitasPolicy(Kernel &kernel,
                                      const ContiguitasConfig &config)
@@ -78,22 +176,31 @@ ContiguitasPolicy::saveTo(serde::Writer &out) const
 }
 
 AddrPref
-ContiguitasPolicy::prefFor(Lifetime lifetime) const
+ContiguitasPolicy::placementPref(const AllocRequest &req) const
 {
-    if (!config_.placementBias)
+    if (req.mt == MigrateType::Movable || !config_.placementBias)
         return AddrPref::None;
     // The unmovable region sits at the bottom of the address space;
     // "away from the border" therefore means low PFNs. Everything is
     // biased away from the border while space is available; the
     // immortal/long-lived classes benefit the most because they are
     // placed first and never churn.
-    switch (lifetime) {
+    switch (req.lifetime) {
       case Lifetime::Immortal:
       case Lifetime::Long:
       case Lifetime::Short:
         return AddrPref::Low;
     }
     return AddrPref::None;
+}
+
+AddrPref
+ContiguitasPolicy::pinPlacementPref() const
+{
+    // Pages migrated in at pin time are short-lived: park them deep
+    // in the region (high PFNs, near the border) so the boundary can
+    // keep shrinking past them once they unpin.
+    return config_.placementBias ? AddrPref::High : AddrPref::None;
 }
 
 Pfn
@@ -105,10 +212,10 @@ ContiguitasPolicy::alloc(const AllocRequest &req)
     }
 
     BuddyAllocator &unmov = regions_.unmovable();
-    const AddrPref pref = prefFor(req.lifetime);
+    const AddrPref pref = placementPref(req);
     Pfn head = unmov.allocPages(req.order, req.mt, req.source,
                                 req.owner, pref);
-    if (head != invalidPfn)
+    if (head != invalidPfn || config_.staticBoundary)
         return head;
 
     // The region is full: expand synchronously. This is the rare
@@ -116,7 +223,7 @@ ContiguitasPolicy::alloc(const AllocRequest &req)
     CTG_SPAN_NAMED(span, Region, "policy.urgent_expand",
                    {{"order", req.order}});
     const std::uint64_t step =
-        std::max<std::uint64_t>(config_.resizeStepPages,
+        std::max<std::uint64_t>(config_.tuning.stepPages,
                                 Pfn{1} << req.order);
     if (regions_.expandUnmovable(step) > 0) {
         ++stats_.urgentExpansions;
@@ -162,8 +269,7 @@ ContiguitasPolicy::pin(Pfn head)
         Pfn dst = invalidPfn;
         const MigrateResult r = migrateBlock(
             regions_.movable(), regions_.unmovable(),
-            kernel_.owners(), head,
-            config_.placementBias ? AddrPref::High : AddrPref::None,
+            kernel_.owners(), head, pinPlacementPref(),
             MigrateType::Unmovable, &dst, /*allow_fallback=*/true);
         if (r == MigrateResult::Ok) {
             setBlockPinned(mem, dst, true);
@@ -173,8 +279,10 @@ ContiguitasPolicy::pin(Pfn head)
         }
         if (r == MigrateResult::Unmovable)
             break;
-        // No space: expand and retry once.
-        if (regions_.expandUnmovable(config_.resizeStepPages) == 0)
+        // No space: expand and retry once (never with a static
+        // boundary — ZONE_MOVABLE would just fail the pin).
+        if (config_.staticBoundary ||
+            regions_.expandUnmovable(config_.tuning.stepPages) == 0)
             break;
     }
     ++stats_.pinMigrationFailures;
@@ -200,8 +308,8 @@ ContiguitasPolicy::runController()
 
     // Urgent path: low free memory in the unmovable region expands
     // it regardless of PSI (the reclaim-triggered wakeup of §3.2).
-    if (free_frac < config_.unmovFreeWatermark) {
-        if (regions_.expandUnmovable(config_.resizeStepPages) > 0)
+    if (free_frac < config_.tuning.unmovFreeWatermark) {
+        if (regions_.expandUnmovable(config_.tuning.stepPages) > 0)
             ++stats_.controllerExpands;
         return;
     }
@@ -214,8 +322,8 @@ ContiguitasPolicy::runController()
       case ResizeDirection::Expand: {
         const std::uint64_t want = decision.targetPages - size;
         const std::uint64_t delta =
-            std::min<std::uint64_t>(want, config_.maxResizePerTick);
-        if (delta >= config_.resizeStepPages &&
+            std::min<std::uint64_t>(want, config_.tuning.maxPerTick);
+        if (delta >= config_.tuning.stepPages &&
             regions_.expandUnmovable(delta) > 0) {
             ++stats_.controllerExpands;
         }
@@ -224,18 +332,18 @@ ContiguitasPolicy::runController()
       case ResizeDirection::Shrink: {
         const std::uint64_t want = size - decision.targetPages;
         std::uint64_t delta =
-            std::min<std::uint64_t>(want, config_.maxResizePerTick);
+            std::min<std::uint64_t>(want, config_.tuning.maxPerTick);
         // Hysteresis: never shrink into the used part of the region
         // or below the free-slack level.
         const std::uint64_t used = size - free;
         const auto slack = static_cast<std::uint64_t>(
-            config_.shrinkFreeSlack * static_cast<double>(used));
+            config_.tuning.shrinkFreeSlack * static_cast<double>(used));
         const std::uint64_t floor_pages = used + slack;
         if (size - delta < floor_pages) {
             delta = size > floor_pages ? size - floor_pages : 0;
             delta &= ~((std::uint64_t{1} << maxOrder) - 1);
         }
-        if (delta >= config_.resizeStepPages &&
+        if (delta >= config_.tuning.stepPages &&
             regions_.shrinkUnmovable(delta) > 0) {
             ++stats_.controllerShrinks;
         }
@@ -251,20 +359,23 @@ ContiguitasPolicy::tick(std::uint32_t now_seconds)
 {
     kernel_.mem().nowSeconds = now_seconds;
     const auto now = static_cast<double>(now_seconds);
-    if (now - lastResizeSec_ < config_.resizePeriodSec)
+    if (now - lastResizeSec_ < config_.tuning.periodSec)
         return;
     lastResizeSec_ = now;
 
     CTG_SPAN(Region, "policy.tick",
              {{"now_sec", static_cast<std::int64_t>(now_seconds)}});
 
-    // Resizes that failed evacuation earlier retry here with capped
-    // exponential backoff, ahead of fresh controller decisions.
-    regions_.pumpDeferredResizes();
-
-    runController();
-    if (config_.defragBlocksPerTick > 0)
-        regions_.defragUnmovable(config_.defragBlocksPerTick);
+    if (!config_.staticBoundary) {
+        // Resizes that failed evacuation earlier retry here with
+        // capped exponential backoff, ahead of fresh controller
+        // decisions.
+        regions_.pumpDeferredResizes();
+        runController();
+    }
+    const std::uint64_t budget = defragBudgetPerTick();
+    if (budget > 0)
+        regions_.defragUnmovable(budget);
 }
 
 std::uint64_t

@@ -16,6 +16,8 @@
 #ifndef CTG_CONTIGUITAS_POLICY_HH
 #define CTG_CONTIGUITAS_POLICY_HH
 
+#include <string>
+
 #include "contiguitas/region_manager.hh"
 #include "contiguitas/resize_controller.hh"
 #include "kernel/kernel.hh"
@@ -24,24 +26,47 @@
 namespace ctg
 {
 
+/**
+ * Boundary-resize pacing knobs, grouped so they can be validated in
+ * one place. All five are set through set(), which range-checks and
+ * warns (warn_once, naming variable and value) instead of silently
+ * clamping — an out-of-range assignment keeps the previous value.
+ */
+struct ResizeTuning
+{
+    /** Seconds between controller evaluations (resizing is off the
+     * allocation critical path; a kernel thread wakes periodically).
+     * Valid range (0, 3600]. */
+    double periodSec = 1.0;
+    /** Resize granularity in pages (16 MB default); must be >= 1. */
+    std::uint64_t stepPages = 1u << 12;
+    /** Max pages moved per controller wakeup; must be >= 1. */
+    std::uint64_t maxPerTick = 1u << 15; // 128 MB
+    /** Urgent-expansion watermark: free fraction of the unmovable
+     * region below which the region grows regardless of PSI.
+     * Valid range [0, 0.5]. */
+    double unmovFreeWatermark = 0.08;
+    /** Shrink hysteresis: only shrink when the border step would
+     * still leave this much of the region free. Valid range [0, 1]. */
+    double shrinkFreeSlack = 0.25;
+
+    /**
+     * Assign one knob by key: "period", "step", "max", "watermark"
+     * or "slack". Unknown keys, malformed numbers and out-of-range
+     * values warn (naming the key and the offending value) and leave
+     * the current value untouched.
+     * @return true iff the value was applied.
+     */
+    bool set(const std::string &key, const std::string &value);
+};
+
 /** Configuration of the Contiguitas OS component. */
 struct ContiguitasConfig
 {
     RegionManager::Config region;
     ResizeParams resize;
-    /** Seconds between controller evaluations (resizing is off the
-     * allocation critical path; a kernel thread wakes periodically). */
-    double resizePeriodSec = 1.0;
-    /** Resize granularity in pages (16 MB default). */
-    std::uint64_t resizeStepPages = 1u << 12;
-    /** Max pages moved per controller wakeup. */
-    std::uint64_t maxResizePerTick = 1u << 15; // 128 MB
-    /** Urgent-expansion watermark: free fraction of the unmovable
-     * region below which the region grows regardless of PSI. */
-    double unmovFreeWatermark = 0.08;
-    /** Shrink hysteresis: only shrink when the border step would
-     * still leave this much of the region free. */
-    double shrinkFreeSlack = 0.25;
+    /** Boundary-resize pacing (period, step, budget, watermarks). */
+    ResizeTuning tuning;
     /** Enable the Contiguitas-HW transparent-migration hook. */
     bool hwMigration = false;
     /** Placement bias inside the unmovable region (Section 3.2:
@@ -51,6 +76,11 @@ struct ContiguitasConfig
     /** 2 MB blocks defragmented inside the unmovable region per
      * wakeup (0 disables; requires hwMigration for kernel pages). */
     std::uint64_t defragBlocksPerTick = 0;
+    /** ZONE_MOVABLE-style baseline: the boundary is fixed at its
+     * initial split — no Algorithm 1 controller, no urgent
+     * expansion, no expand-on-pin-failure. Confinement and (if
+     * budgeted) in-region defrag still apply. */
+    bool staticBoundary = false;
 };
 
 /**
@@ -95,6 +125,12 @@ class ContiguitasPolicy : public MemPolicy
     Pfn pin(Pfn head) override;
     void unpin(Pfn head) override;
     void tick(std::uint32_t now_seconds) override;
+    AddrPref placementPref(const AllocRequest &req) const override;
+    AddrPref pinPlacementPref() const override;
+    std::uint64_t defragBudgetPerTick() const override
+    {
+        return config_.defragBlocksPerTick;
+    }
     std::uint64_t freeUserPages() const override;
     std::uint64_t freeKernelPages() const override;
     std::pair<Pfn, Pfn> unmovableRegion() const override;
@@ -131,9 +167,6 @@ class ContiguitasPolicy : public MemPolicy
     void saveTo(serde::Writer &out) const override;
 
   private:
-    /** Placement preference inside the unmovable region. */
-    AddrPref prefFor(Lifetime lifetime) const;
-
     void runController();
 
     Kernel &kernel_;

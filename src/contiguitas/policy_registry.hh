@@ -1,0 +1,120 @@
+/**
+ * @file
+ * String-named registry of placement policies.
+ *
+ * Policy construction is registry-driven: a PolicyConfig names a
+ * policy ("vanilla", "contiguitas", ...) and carries the knobs every
+ * entry can draw on; the registry maps the name to {make, restore}
+ * factories. Servers, the fleet, env overlays (CTG_POLICY) and the
+ * snapshot layer all select policies through this one table, so a
+ * new policy added here is immediately sweepable by every bench and
+ * restorable from every checkpoint.
+ *
+ * Built-in entries:
+ *   vanilla            — one buddy allocator, Linux fallback stealing
+ *   contiguitas        — two regions, Algorithm 1 resizing, bias
+ *   contiguitas-nobias — contiguitas with placement bias disabled
+ *   zone-movable       — static boundary (ZONE_MOVABLE baseline):
+ *                        confinement without dynamic resizing
+ *
+ * Adding a policy is ~a dozen lines: derive a config preset (or a
+ * MemPolicy subclass overriding the decision hooks in
+ * kernel/policy.hh) and PolicyRegistry::instance().add({...}).
+ */
+
+#ifndef CTG_CONTIGUITAS_POLICY_REGISTRY_HH
+#define CTG_CONTIGUITAS_POLICY_REGISTRY_HH
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "contiguitas/policy.hh"
+
+namespace ctg
+{
+
+/**
+ * Unified policy selection: a registry name plus the knob set the
+ * built-in entries draw on. An empty name means "not chosen yet";
+ * Server resolves it against CTG_POLICY and defaults to "vanilla".
+ */
+struct PolicyConfig
+{
+    /** Registry name; empty = unresolved (CTG_POLICY, else
+     * "vanilla"). */
+    std::string name;
+    /** Knob set for the contiguitas-family entries; ignored by
+     * policies that have no region machinery (vanilla). */
+    ContiguitasConfig contiguitas;
+
+    /** The name with defaulting applied (empty -> "vanilla"). */
+    const std::string &resolvedName() const;
+};
+
+/**
+ * Parse a `name[:key=val,...]` policy spec (the CTG_POLICY grammar)
+ * into @p out. Strict-parser discipline: malformed pairs and unknown
+ * or out-of-range keys warn (naming key and value) and are skipped —
+ * they never abort the run or clamp silently.
+ *
+ * Keys: bias/hw/static (bool: 1/0/true/false/on/off/yes/no),
+ * defrag/initial (u64 blocks / pages), and the ResizeTuning knobs
+ * period/step/max/watermark/slack.
+ *
+ * @return false iff the (non-empty) name is not registered; the
+ *         caller decides whether that is fatal.
+ */
+bool parsePolicySpec(const std::string &spec, PolicyConfig *out);
+
+/**
+ * The process-wide name -> factory table. Reads and writes are
+ * mutex-guarded: fleet workers construct servers concurrently.
+ */
+class PolicyRegistry
+{
+  public:
+    using MakeFn = std::function<std::unique_ptr<MemPolicy>(
+        Kernel &, const PolicyConfig &)>;
+    using RestoreFn = std::function<std::unique_ptr<MemPolicy>(
+        Kernel &, const PolicyConfig &, serde::Reader &)>;
+
+    struct Entry
+    {
+        std::string name;
+        std::string description;
+        MakeFn make;
+        RestoreFn restore;
+    };
+
+    /** The singleton, with the four built-ins pre-registered. */
+    static PolicyRegistry &instance();
+
+    /** Register (or replace) an entry. */
+    void add(Entry entry);
+
+    /** Drop an entry (tests); built-ins can be re-added via add(). */
+    void remove(const std::string &name);
+
+    /** Look up by exact name; empty optional-like nullptr-by-copy:
+     * returns false and leaves @p out untouched when unknown. */
+    bool find(const std::string &name, Entry *out) const;
+
+    /** True iff @p name is registered. */
+    bool has(const std::string &name) const;
+
+    /** Snapshot of all entries, in registration order. */
+    std::vector<Entry> entries() const;
+
+  private:
+    PolicyRegistry();
+
+    mutable std::mutex mutex_;
+    std::vector<Entry> entries_;
+};
+
+} // namespace ctg
+
+#endif // CTG_CONTIGUITAS_POLICY_REGISTRY_HH

@@ -26,6 +26,10 @@ Fleet::Config::applyEnvOverlay()
     const sim::EnvConfig env = sim::EnvConfig::fromEnv();
     if (threads == 0)
         threads = env.threads;
+    if (policy.name.empty() && !env.policySpec.empty())
+        parsePolicySpec(env.policySpec, &policy);
+    if (workloadOverride.empty())
+        workloadOverride = env.workloadOverride;
     if (!contigIndexReads)
         contigIndexReads = env.contigIndexReads;
     if (!exactPref)
@@ -41,18 +45,37 @@ Fleet::Config::applyEnvOverlay()
 namespace
 {
 
+/** Resolve the named workload override against workloadKey(),
+ * falling back to the deprecated enum field. An unknown name warns
+ * and defers to the enum shim (then to the sampled mix) — a typo in
+ * CTG_WORKLOAD must not silently pick a kind. */
+std::optional<WorkloadKind>
+resolvedKindOverride(const Fleet::Config &config)
+{
+    if (!config.workloadOverride.empty()) {
+        WorkloadKind kind = WorkloadKind::Web;
+        if (parseWorkloadKind(config.workloadOverride, &kind))
+            return kind;
+        warn_once("ignoring unknown workload override '%s'",
+                  config.workloadOverride.c_str());
+    }
+    return config.kindOverride;
+}
+
 /** Fingerprint of everything in a Fleet::Config that shapes the
  * population (thread count and streaming/telemetry knobs excluded —
  * they are bit-identical by contract). Stamped into the checkpoint
  * manifest; a restore against a different fleet configuration is
- * refused up front. */
+ * refused up front. The workload override is mixed in resolved form,
+ * so CTG_WORKLOAD=cache-b and the deprecated kindOverride=CacheB
+ * fingerprint identically — they configure the same population. */
 std::uint64_t
 fleetConfigFingerprint(const Fleet::Config &config)
 {
     snap::Fingerprint fp;
     fp.mixU32(config.servers);
     fp.mixU64(config.memBytes);
-    fp.mixBool(config.contiguitas);
+    mixPolicyConfig(fp, config.policy);
     fp.mixDouble(config.minUptimeSec);
     fp.mixDouble(config.maxUptimeSec);
     fp.mixDouble(config.minIntensity);
@@ -60,9 +83,11 @@ fleetConfigFingerprint(const Fleet::Config &config)
     fp.mixDouble(config.prefragmentFrac);
     fp.mixDouble(config.extraUptimeSec);
     fp.mixU64(config.seed);
-    fp.mixBool(config.kindOverride.has_value());
-    if (config.kindOverride)
-        fp.mixU32(static_cast<std::uint32_t>(*config.kindOverride));
+    const std::optional<WorkloadKind> kind =
+        resolvedKindOverride(config);
+    fp.mixBool(kind.has_value());
+    if (kind)
+        fp.mixU32(static_cast<std::uint32_t>(*kind));
     return fp.value();
 }
 
@@ -140,14 +165,19 @@ Fleet::run()
         spansOn ? spans::reserveStreams(config_.servers) : 0;
     CTG_SPAN_NAMED(run_span, Fleet, "fleet.run",
                    {{"servers", config_.servers},
-                    {"threads", runThreads_},
-                    {"contiguitas", config_.contiguitas ? 1 : 0}});
+                    {"threads", runThreads_}});
 
+    // The sampled mix stays the six paper kinds even now that more
+    // profiles exist: adding to this array would shift every seed
+    // stream and break the bit-identity contract with older runs.
+    // The aging profiles enter through the workload override.
     static const WorkloadKind kinds[] = {
         WorkloadKind::Web,    WorkloadKind::CacheA,
         WorkloadKind::CacheB, WorkloadKind::CI,
         WorkloadKind::Nginx,  WorkloadKind::Memcached,
     };
+    const std::optional<WorkloadKind> kindOverride =
+        resolvedKindOverride(config_);
 
     // Pre-sample every server's configuration from the fleet RNG on
     // the calling thread, before dispatch: the seed stream is
@@ -161,10 +191,11 @@ Fleet::run()
     for (unsigned i = 0; i < config_.servers; ++i) {
         Server::Config &sc = configs[i];
         sc.memBytes = config_.memBytes;
-        sc.contiguitas = config_.contiguitas;
+        sc.policy = config_.policy;
         sc.kind = kinds[rng.below(std::size(kinds))];
-        if (config_.kindOverride)
-            sc.kind = *config_.kindOverride;
+        // Applied after the draw so the seed stream is unchanged.
+        if (kindOverride)
+            sc.kind = *kindOverride;
         sc.intensity =
             config_.minIntensity +
             rng.uniform() * (config_.maxIntensity -

@@ -40,7 +40,10 @@ class Fleet
     {
         unsigned servers = 60;
         std::uint64_t memBytes = std::uint64_t{1} << 31; // 2 GiB
-        bool contiguitas = false;
+        /** Placement policy for every server, selected by registry
+         * name (empty name = CTG_POLICY, else "vanilla"); copied
+         * into each sampled Server::Config. */
+        PolicyConfig policy;
         /** Uptime range (simulated seconds; the steady state is
          * reached within the first ~30 s of simulated churn, just as
          * production servers fragment within their first hour). */
@@ -63,11 +66,18 @@ class Fleet
          * sequential legacy path. Any value produces bit-identical
          * results. */
         unsigned threads = 0;
-        /** Fix every server's workload kind instead of sampling the
-         * standard six-kind mix — population studies of a single
-         * workload (Figure 11 cells). The kind draw is still taken
-         * from the fleet RNG so the rest of the seed stream is
-         * unchanged. */
+        /** Fix every server's workload kind by name (workloadKey
+         * vocabulary: "web", "cache-a", ..., "aging") instead of
+         * sampling the standard six-kind mix — population studies of
+         * a single workload (Figure 11 cells). Empty defers to
+         * CTG_WORKLOAD, then to the deprecated kindOverride below.
+         * The kind draw is still taken from the fleet RNG so the
+         * rest of the seed stream is unchanged. Unknown names warn
+         * and leave the sampled mix in place. */
+        std::string workloadOverride;
+        /** DEPRECATED (one-release shim): enum-typed form of
+         * workloadOverride; ignored whenever workloadOverride or
+         * CTG_WORKLOAD names a kind. Use workloadOverride. */
         std::optional<WorkloadKind> kindOverride;
         /** Per-server ContigIndex read toggle, copied into every
          * Server::Config (nullopt = CTG_CONTIG_INDEX, default on). */

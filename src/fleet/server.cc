@@ -6,7 +6,6 @@
 #include "base/serde.hh"
 #include "base/trace.hh"
 #include "fleet/shared_tables.hh"
-#include "kernel/vanilla_policy.hh"
 #include "mem/auditor.hh"
 #include "mem/mem_stats.hh"
 #include "mem/scanner.hh"
@@ -19,6 +18,11 @@ namespace ctg
 void
 Server::Config::applyEnvOverlay()
 {
+    if (policy.name.empty()) {
+        const std::string spec = sim::EnvConfig::fromEnv().policySpec;
+        if (!spec.empty())
+            parsePolicySpec(spec, &policy);
+    }
     if (!contigIndexReads) {
         contigIndexReads =
             sim::EnvConfig::fromEnv().contigIndexReads;
@@ -54,16 +58,16 @@ kernelConfigFor(const Server::Config &config)
     return kc;
 }
 
-ContiguitasConfig
-contiguitasConfigFor(const Server::Config &config)
+/** Resolve the config's policy against the registry; fatal on an
+ * unregistered name (bad user config, not a simulator bug). */
+PolicyRegistry::Entry
+policyEntryFor(const Server::Config &config)
 {
-    ContiguitasConfig cc = config.contiguitasConfig;
-    if (cc.region.initialUnmovablePages == 0) {
-        // Paper default: 1/16 of memory (4 GB on 64 GB hosts).
-        cc.region.initialUnmovablePages =
-            (config.memBytes / pageBytes) / 16;
-    }
-    return cc;
+    PolicyRegistry::Entry entry;
+    const std::string &name = config.policy.resolvedName();
+    if (!PolicyRegistry::instance().find(name, &entry))
+        fatal("unknown placement policy '%s'", name.c_str());
+    return entry;
 }
 
 WorkloadProfile
@@ -87,13 +91,11 @@ Server::Server(const Config &config)
     : config_(config)
 {
     const KernelConfig kc = kernelConfigFor(config_);
-    if (config_.contiguitas) {
-        kernel_ = std::make_unique<Kernel>(
-            kc,
-            ContiguitasPolicy::factory(contiguitasConfigFor(config_)));
-    } else {
-        kernel_ = std::make_unique<Kernel>(kc);
-    }
+    const PolicyRegistry::Entry entry = policyEntryFor(config_);
+    kernel_ = std::make_unique<Kernel>(
+        kc, [&entry, this](Kernel &kernel) {
+            return entry.make(kernel, config_.policy);
+        });
 
     kernel_->mem().setContigIndexReads(config_.contigIndexReads.value_or(
         sim::EnvConfig::fromEnv().contigIndexReads));
@@ -107,26 +109,29 @@ Server::Server(const Config &config)
 Server::Server(const Config &config, serde::Reader &in)
     : config_(config)
 {
-    // Mirrors saveTo(): kernel (memory + policy + kernel state),
-    // then the optional fragmenter, then the workload — the same
-    // construction order as the cold path, so owner-client ids and
-    // the shrinker list land exactly where the checkpoint had them.
-    const KernelConfig kc = kernelConfigFor(config_);
-    if (config_.contiguitas) {
-        kernel_ = std::make_unique<Kernel>(
-            kc,
-            ContiguitasPolicy::restoreFactory(
-                contiguitasConfigFor(config_), in),
-            in);
-    } else {
-        kernel_ = std::make_unique<Kernel>(
-            kc,
-            [&in](Kernel &kernel) -> std::unique_ptr<MemPolicy> {
-                return std::make_unique<VanillaPolicy>(kernel.mem(),
-                                                       in);
-            },
-            in);
+    // Mirrors saveTo(): policy name, then kernel (memory + policy +
+    // kernel state), then the optional fragmenter, then the workload
+    // — the same construction order as the cold path, so
+    // owner-client ids and the shrinker list land exactly where the
+    // checkpoint had them.
+    //
+    // The *serialized* name selects the registry entry: an image is
+    // restorable on any config whose fingerprint matches, and a name
+    // that is no longer registered is a recoverable decode failure
+    // (cold-start fallback), not a crash.
+    const std::string name = in.getString();
+    PolicyRegistry::Entry entry;
+    if (!PolicyRegistry::instance().find(name, &entry)) {
+        throw serde::Error("snapshot: unknown placement policy '" +
+                           name + "'");
     }
+    const KernelConfig kc = kernelConfigFor(config_);
+    kernel_ = std::make_unique<Kernel>(
+        kc,
+        [&entry, &in, this](Kernel &kernel) {
+            return entry.restore(kernel, config_.policy, in);
+        },
+        in);
 
     kernel_->mem().setContigIndexReads(config_.contigIndexReads.value_or(
         sim::EnvConfig::fromEnv().contigIndexReads));
@@ -148,6 +153,7 @@ Server::Server(const Config &config, serde::Reader &in)
 void
 Server::saveTo(serde::Writer &out) const
 {
+    out.putString(config_.policy.resolvedName());
     kernel_->saveTo(out);
     out.putBool(fragmenter_ != nullptr);
     if (fragmenter_)
@@ -302,12 +308,45 @@ Server::run()
     return resume();
 }
 
+void
+mixPolicyConfig(snap::Fingerprint &fp, const PolicyConfig &policy)
+{
+    const std::string &name = policy.resolvedName();
+    fp.mixU64(name.size());
+    for (const char c : name)
+        fp.mixU32(static_cast<std::uint32_t>(
+            static_cast<unsigned char>(c)));
+
+    // Every knob the contiguitas-family entries read shapes
+    // placement, so all of them guard the snapshot fingerprint.
+    const ContiguitasConfig &cc = policy.contiguitas;
+    fp.mixU64(cc.region.initialUnmovablePages);
+    fp.mixU64(cc.region.minUnmovablePages);
+    fp.mixU64(cc.region.maxUnmovablePages);
+    fp.mixDouble(cc.resize.thresholdUnmov);
+    fp.mixDouble(cc.resize.thresholdMov);
+    fp.mixDouble(cc.resize.cue);
+    fp.mixDouble(cc.resize.cme);
+    fp.mixDouble(cc.resize.cms);
+    fp.mixDouble(cc.resize.cus);
+    fp.mixDouble(cc.resize.maxFactor);
+    fp.mixDouble(cc.tuning.periodSec);
+    fp.mixU64(cc.tuning.stepPages);
+    fp.mixU64(cc.tuning.maxPerTick);
+    fp.mixDouble(cc.tuning.unmovFreeWatermark);
+    fp.mixDouble(cc.tuning.shrinkFreeSlack);
+    fp.mixBool(cc.hwMigration);
+    fp.mixBool(cc.placementBias);
+    fp.mixU64(cc.defragBlocksPerTick);
+    fp.mixBool(cc.staticBoundary);
+}
+
 std::uint64_t
 serverConfigFingerprint(const Server::Config &config)
 {
     snap::Fingerprint fp;
     fp.mixU64(config.memBytes);
-    fp.mixBool(config.contiguitas);
+    mixPolicyConfig(fp, config.policy);
     fp.mixU32(static_cast<std::uint32_t>(config.kind));
     fp.mixDouble(config.intensity);
     fp.mixBool(config.prefragment);

@@ -13,7 +13,7 @@
 #include <optional>
 #include <string>
 
-#include "contiguitas/policy.hh"
+#include "contiguitas/policy_registry.hh"
 #include "kernel/kernel.hh"
 #include "sim/stat_sampler.hh"
 #include "workloads/fragmenter.hh"
@@ -61,9 +61,12 @@ class Server
     struct Config
     {
         std::uint64_t memBytes = std::uint64_t{2} << 30;
-        bool contiguitas = false;
-        /** Contiguitas knobs (used when contiguitas is true). */
-        ContiguitasConfig contiguitasConfig;
+        /** Placement policy, selected by registry name (empty name =
+         * CTG_POLICY, else "vanilla"). Construction goes through
+         * PolicyRegistry::instance(); an unregistered name is fatal
+         * at server construction. The embedded ContiguitasConfig
+         * carries the knobs the contiguitas-family entries use. */
+        PolicyConfig policy;
         WorkloadKind kind = WorkloadKind::Web;
         /** Scales all kernel churn rates of the profile. */
         double intensity = 1.0;
@@ -98,7 +101,8 @@ class Server
         std::shared_ptr<const SharedFleetTables> sharedTables;
 
         /** Overlay environment-derived fields (sim::EnvConfig) onto
-         * any still-unset knobs. */
+         * any still-unset knobs (CTG_POLICY applies only while
+         * policy.name is empty). */
         void applyEnvOverlay();
     };
 
@@ -186,6 +190,17 @@ WorkloadProfile scaleProfile(WorkloadProfile profile,
                              double intensity);
 
 class FaultInjector;
+
+namespace snap
+{
+class Fingerprint;
+} // namespace snap
+
+/** Mix a PolicyConfig — resolved name plus every knob that shapes
+ * placement — into a snapshot fingerprint. Shared by the server and
+ * fleet config fingerprints so both refuse images taken under a
+ * different policy. */
+void mixPolicyConfig(snap::Fingerprint &fp, const PolicyConfig &policy);
 
 /** Fingerprint of everything in a Server::Config that shapes the
  * simulation (exactPref included — it changes placement). Stored in

@@ -445,9 +445,12 @@ Kernel::makeAuditor()
 CompactionResult
 Kernel::compact(unsigned target_order, std::uint64_t max_migrations)
 {
+    // The policy may redirect the effort (over-compact THP-style or
+    // cap it); the default target is exactly what was requested.
     const CompactionResult r =
         compactUntil(policy_->movableAllocator(), owners_,
-                     target_order, max_migrations);
+                     policy_->compactUntilTarget(target_order),
+                     max_migrations);
     counters_.compactMigrated += r.migrated;
     counters_.compactFailedNoMem += r.failedNoMem;
     counters_.compactSkippedUnmovable += r.skippedUnmovable;

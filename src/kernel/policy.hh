@@ -10,6 +10,13 @@
  *    memory with Linux fallback stealing — the paper's baseline.
  *  - ContiguitasPolicy (src/contiguitas): two regions with a dynamic
  *    boundary, confinement, placement bias and Algorithm 1 resizing.
+ *
+ * Policies are normally constructed by name through the
+ * PolicyRegistry (src/contiguitas/policy_registry.hh), which also
+ * derives variants ("contiguitas-nobias", "zone-movable") from
+ * config presets rather than subclass forks — the tunable decision
+ * points are the virtual hooks below (placementPref,
+ * pinPlacementPref, compactUntilTarget, defragBudgetPerTick).
  */
 
 #ifndef CTG_KERNEL_POLICY_HH
@@ -77,6 +84,39 @@ class MemPolicy
 
     /** Periodic maintenance (reclaim hooks, region resizing). */
     virtual void tick(std::uint32_t now_seconds) = 0;
+
+    /**
+     * Placement preference for one allocation — the policy's
+     * opportunity to bias *where inside its allocator* the block
+     * lands (Contiguitas pushes long-lived unmovables low, away
+     * from the region border; Section 3.2). Default: no preference.
+     */
+    virtual AddrPref placementPref(const AllocRequest &req) const
+    {
+        (void)req;
+        return AddrPref::None;
+    }
+
+    /** Placement preference for the unmovable copy of a pinned page
+     * (Contiguitas with placement bias pushes pins high, deep into
+     * the unmovable region). Default: no preference. */
+    virtual AddrPref pinPlacementPref() const { return AddrPref::None; }
+
+    /**
+     * Order the kernel's direct compaction should actually aim for
+     * when a caller of order @p requested hits the slow path. A
+     * policy may over-compact (build bigger blocks than asked, THP
+     * style) or cap the effort. Default: compact exactly what was
+     * requested.
+     */
+    virtual unsigned compactUntilTarget(unsigned requested) const
+    {
+        return requested;
+    }
+
+    /** Background defragmentation budget, in max-order blocks per
+     * maintenance tick (0 = no background defrag). */
+    virtual std::uint64_t defragBudgetPerTick() const { return 0; }
 
     /** Free movable-capacity pages available to user allocations. */
     virtual std::uint64_t freeUserPages() const = 0;

@@ -57,8 +57,11 @@ constexpr std::uint32_t fileMagic = 0x53475443;
  * mismatch is a detected error and the restore cold-starts.
  * Version 2: struct-of-arrays frame table (packed meta column,
  * owner handles overlaid on allocated heads' link slots, sorted
- * allocation-second side table). */
-constexpr std::uint32_t formatVersion = 2;
+ * allocation-second side table).
+ * Version 3: the Server section leads with the placement policy's
+ * registry name, and the config fingerprint covers the full
+ * PolicyConfig instead of a contiguitas on/off bit. */
+constexpr std::uint32_t formatVersion = 3;
 
 /** Section ids inside a snapshot image. */
 enum SectionId : std::uint32_t

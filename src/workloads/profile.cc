@@ -19,8 +19,53 @@ workloadName(WorkloadKind kind)
         return "NGINX";
       case WorkloadKind::Memcached:
         return "memcached";
+      case WorkloadKind::Aging:
+        return "Aging";
+      case WorkloadKind::FsCacheHeavy:
+        return "FS-cache";
+      case WorkloadKind::UnmovableBursty:
+        return "Unmovable-bursty";
     }
     return "?";
+}
+
+const char *
+workloadKey(WorkloadKind kind)
+{
+    switch (kind) {
+      case WorkloadKind::Web:
+        return "web";
+      case WorkloadKind::CacheA:
+        return "cache-a";
+      case WorkloadKind::CacheB:
+        return "cache-b";
+      case WorkloadKind::CI:
+        return "ci";
+      case WorkloadKind::Nginx:
+        return "nginx";
+      case WorkloadKind::Memcached:
+        return "memcached";
+      case WorkloadKind::Aging:
+        return "aging";
+      case WorkloadKind::FsCacheHeavy:
+        return "fs-cache";
+      case WorkloadKind::UnmovableBursty:
+        return "unmovable-bursty";
+    }
+    return "?";
+}
+
+bool
+parseWorkloadKind(const std::string &key, WorkloadKind *out)
+{
+    for (unsigned k = 0; k < numWorkloadKinds; ++k) {
+        const auto kind = static_cast<WorkloadKind>(k);
+        if (key == workloadKey(kind)) {
+            *out = kind;
+            return true;
+        }
+    }
+    return false;
 }
 
 WorkloadProfile
@@ -123,6 +168,65 @@ makeProfile(WorkloadKind kind, std::uint64_t mem_bytes)
         p.heapChurnFracPerSec = 0.006;
         p.net.skbRatePerSec *= 1.3;
         p.pinRatePerSec = 40.0 * s;
+        break;
+
+      // The three aging profiles below are calibrated to Mansi &
+      // Swift, "Characterizing Physical Memory Fragmentation":
+      // fragmentation is driven less by instantaneous load than by
+      // the *accretion* of unmovable objects over days, by page
+      // caches that absorb all free memory, and by bursts of kernel
+      // allocations landing in whatever holes exist at that moment.
+
+      case WorkloadKind::Aging:
+        // Multi-day slow aging compressed in time: low churn, steady
+        // job turnover, and a resident-kernel population that keeps
+        // accreting long after the paper profiles plateau (their
+        // "fragmentation grows monotonically with uptime" finding).
+        p.residentFrac = 0.72;
+        p.processes = 6;
+        p.heapChurnFracPerSec = 0.004;
+        p.jobTurnoverPerSec = 0.01;
+        p.net.skbRatePerSec *= 0.6;
+        p.slab.longLivedFrac = 0.45;
+        p.slab.longMeanLifeSec = 60.0;
+        p.residentKernelFrac = 0.055;
+        p.residentKernelPagesPerSec =
+            0.055 * static_cast<double>(mem_bytes / pageBytes) / 70.0;
+        break;
+      case WorkloadKind::FsCacheHeavy:
+        // File server: small anonymous footprint, the page cache
+        // owns the machine, and metadata slabs (dentries/inodes)
+        // churn hard — the configuration Mansi & Swift found ages
+        // movable memory fastest because cache pages fill every hole.
+        p.residentFrac = 0.25;
+        p.processes = 4;
+        p.heapChurnFracPerSec = 0.008;
+        p.fs.scratchRatePerSec *= 3.0;
+        p.fs.cacheGrowthPagesPerSec =
+            0.25 * static_cast<double>(mem_bytes / pageBytes);
+        p.fs.cacheCapPages = static_cast<std::uint64_t>(
+            0.70 * static_cast<double>(mem_bytes / pageBytes));
+        p.slab.ratePerSec *= 2.0;
+        p.slab.longLivedFrac = 0.35;
+        break;
+      case WorkloadKind::UnmovableBursty:
+        // Bursts of kernel-object allocation (connection storms,
+        // container churn) plus a pin-heavy IO path: unmovable pages
+        // arrive in waves and strand wherever free memory happened
+        // to be, the scatter pattern behind Mansi & Swift's
+        // worst-case unmovable interleaving.
+        p.residentFrac = 0.65;
+        p.processes = 4;
+        p.heapChurnFracPerSec = 0.015;
+        p.net.skbRatePerSec *= 2.2;
+        p.net.longLivedFrac = 0.5;
+        p.net.longMeanLifeSec = 25.0;
+        p.slab.ratePerSec *= 2.5;
+        p.slab.longLivedFrac = 0.4;
+        p.miscRatePerSec *= 3.0;
+        p.miscLongFrac = 0.25;
+        p.pinRatePerSec = 120.0 * s;
+        p.pinMeanLifeSec = 8.0;
         break;
     }
     return p;

@@ -25,7 +25,10 @@
 namespace ctg
 {
 
-/** Identifier of a calibrated profile. */
+/** Identifier of a calibrated profile. The first six are the paper's
+ * production services; the last three are fragmentation-aging
+ * profiles calibrated to Mansi & Swift, "Characterizing Physical
+ * Memory Fragmentation" (see makeProfile). */
 enum class WorkloadKind
 {
     Web,
@@ -34,10 +37,13 @@ enum class WorkloadKind
     CI,
     Nginx,
     Memcached,
+    Aging,           //!< multi-day slow aging, compressed in time
+    FsCacheHeavy,    //!< file-server: page cache owns the machine
+    UnmovableBursty, //!< kernel-object bursts + pin storms
 };
 
 /** Number of WorkloadKind values (array sizing). */
-constexpr unsigned numWorkloadKinds = 6;
+constexpr unsigned numWorkloadKinds = 9;
 
 /** All tunables of one synthetic service. */
 struct WorkloadProfile
@@ -89,6 +95,14 @@ WorkloadProfile makeProfile(WorkloadKind kind,
                             std::uint64_t mem_bytes);
 
 const char *workloadName(WorkloadKind kind);
+
+/** Stable lowercase key for CLI/env selection ("web", "cache-a",
+ * "aging", ...) — the CTG_WORKLOAD / --workloads vocabulary. */
+const char *workloadKey(WorkloadKind kind);
+
+/** Parse a workloadKey() string; returns false (leaving @p out
+ * untouched) on anything unregistered. */
+bool parseWorkloadKind(const std::string &key, WorkloadKind *out);
 
 } // namespace ctg
 

@@ -742,7 +742,7 @@ chaosServer(bool contiguitas)
 {
     Server::Config config;
     config.memBytes = 512_MiB;
-    config.contiguitas = contiguitas;
+    config.policy.name = contiguitas ? "contiguitas" : "vanilla";
     config.kind = WorkloadKind::Web;
     config.uptimeSec = 10.0;
     config.prefragment = true;
@@ -844,6 +844,37 @@ TEST_F(ChaosTest, IndexHotPathsSurviveEveryFaultSiteWithExactPref)
     server.run();
     EXPECT_EQ(server.auditor()->stats().violations, 0u);
     EXPECT_GT(inj.totalFires(), 0u);
+}
+
+/** Every policy in the registry — not just the two originals — must
+ * survive the full fault menu with the step audit on: a registry
+ * entry that cannot take chaos is not fit for the sweep matrix. */
+TEST_F(ChaosTest, EveryRegistryPolicySurvivesEveryFaultSite)
+{
+    for (const PolicyRegistry::Entry &entry :
+         PolicyRegistry::instance().entries()) {
+        FaultInjector &inj = faultInjector();
+        inj.reset(0xc4a05);
+        for (unsigned i = 0; i < numFaultSites; ++i)
+            inj.arm(static_cast<FaultSite>(i),
+                    FaultSpec::chance(0.02));
+
+        Server::Config config = chaosServer(true);
+        config.policy = {};
+        ASSERT_TRUE(parsePolicySpec(entry.name, &config.policy))
+            << entry.name;
+        Server server(config);
+        server.enableStepAudit();
+        const ServerScan scan = server.run();
+        EXPECT_GT(scan.freePages, 0u) << entry.name;
+        ASSERT_NE(server.auditor(), nullptr) << entry.name;
+        EXPECT_GT(server.auditor()->stats().audits, 5u)
+            << entry.name;
+        EXPECT_EQ(server.auditor()->stats().violations, 0u)
+            << entry.name;
+        EXPECT_GT(inj.totalFires(), 0u) << entry.name;
+        inj.reset();
+    }
 }
 
 TEST_F(ChaosTest, ChaosRunsReplayBitIdentically)

@@ -482,7 +482,7 @@ TEST(ContigIndexProperty, ContiguitasFleetBitIdenticalIndexOnVsOff)
         Fleet::Config config;
         config.servers = 6;
         config.memBytes = std::uint64_t{512} << 20;
-        config.contiguitas = true;
+        config.policy.name = "contiguitas";
         config.minUptimeSec = 4.0;
         config.maxUptimeSec = 10.0;
         config.prefragmentFrac = 0.25;

@@ -37,7 +37,7 @@ smallContiguitas()
     ContiguitasConfig config;
     config.region.initialUnmovablePages = (64_MiB) / pageBytes;
     config.region.minUnmovablePages = (16_MiB) / pageBytes;
-    config.resizeStepPages = (8_MiB) / pageBytes;
+    config.tuning.stepPages = (8_MiB) / pageBytes;
     return config;
 }
 

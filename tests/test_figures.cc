@@ -26,17 +26,26 @@ namespace
 {
 
 Fleet::Config
-figureFleet(bool contiguitas, unsigned servers)
+figureFleet(const std::string &policy, unsigned servers)
 {
     Fleet::Config config;
     config.servers = servers;
     config.memBytes = 512_MiB;
-    config.contiguitas = contiguitas;
+    config.policy.name = policy;
     config.minUptimeSec = 8.0;
     config.maxUptimeSec = 20.0;
     config.prefragmentFrac = 0.25;
     config.seed = 0x15ca2023;
     return config;
+}
+
+double
+meanUnmovableShare(const std::vector<ServerScan> &scans)
+{
+    double sum = 0.0;
+    for (const ServerScan &scan : scans)
+        sum += scan.unmovableBlocks[0];
+    return scans.empty() ? 0.0 : sum / double(scans.size());
 }
 
 double
@@ -67,8 +76,8 @@ TEST(FigureRegression, Fig11ConfinementDirectionHolds)
     // slack: vanilla must be at least double the Contiguitas share,
     // and both must sit on the right side of a loose absolute bar.
     const auto vanillaScans =
-        Fleet(figureFleet(false, 10)).run();
-    const auto ctgScans = Fleet(figureFleet(true, 10)).run();
+        Fleet(figureFleet("vanilla", 10)).run();
+    const auto ctgScans = Fleet(figureFleet("contiguitas", 10)).run();
 
     std::vector<double> vanillaShare;
     std::vector<double> ctgShare;
@@ -98,7 +107,7 @@ TEST(FigureRegression, Fig05ScatteringAmplificationHolds)
     // Paper Section 2.5: a median ~7.6% of 4 KB pages are unmovable
     // yet they contaminate ~34% of 2 MB blocks — scattering
     // amplifies the page share by >4x. Assert amplification > 1.5x.
-    const auto scans = Fleet(figureFleet(false, 12)).run();
+    const auto scans = Fleet(figureFleet("vanilla", 12)).run();
     std::vector<double> pageRatios;
     std::vector<double> blockRatios;
     for (const ServerScan &scan : scans) {
@@ -118,7 +127,7 @@ TEST(FigureRegression, Fig05ScatteringAmplificationHolds)
 
 TEST(FigureRegression, Fig04CdfsMonotoneAndBounded)
 {
-    const auto scans = Fleet(figureFleet(false, 12)).run();
+    const auto scans = Fleet(figureFleet("vanilla", 12)).run();
     ASSERT_FALSE(scans.empty());
 
     EmpiricalCdf cdfs[4];
@@ -168,10 +177,10 @@ TEST(FigureRegression, ExactPrefKeepsConfinementDirection)
     // where blocks land (it strengthens the away-from-border bias),
     // so it gets its own regression: the Figure 11 confinement
     // direction must hold at least as well as with the capped scan.
-    Fleet::Config exact = figureFleet(true, 10);
+    Fleet::Config exact = figureFleet("contiguitas", 10);
     exact.exactPref = true;
     const auto exactScans = Fleet(exact).run();
-    const auto vanillaScans = Fleet(figureFleet(false, 10)).run();
+    const auto vanillaScans = Fleet(figureFleet("vanilla", 10)).run();
 
     std::vector<double> exactShare;
     std::vector<double> vanillaShare;
@@ -186,6 +195,64 @@ TEST(FigureRegression, ExactPrefKeepsConfinementDirection)
         << "exact AddrPref placement broke confinement";
     EXPECT_GT(vanillaMean, 2.0 * exactMean)
         << "confinement advantage collapsed under exact AddrPref";
+}
+
+// ---------------------------------------------------------------
+// Policy matrix: every confined policy keeps its direction
+// ---------------------------------------------------------------
+
+TEST(FigureRegression, EveryConfinedPolicyBeatsVanilla)
+{
+    // The sweep matrix's per-policy promise: vanilla scatters (the
+    // paper's ~31% contaminated 2 MB blocks), while every
+    // region-confining registry entry — dynamic contiguitas, the
+    // no-bias ablation and the static ZONE_MOVABLE baseline — keeps
+    // the contaminated share to less than half of vanilla's.
+    const double vanillaMean =
+        meanUnmovableShare(Fleet(figureFleet("vanilla", 10)).run());
+    EXPECT_GT(vanillaMean, 0.10)
+        << "vanilla fleet lost its fragmentation problem";
+
+    for (const char *policy :
+         {"contiguitas", "contiguitas-nobias", "zone-movable"}) {
+        const double confinedMean = meanUnmovableShare(
+            Fleet(figureFleet(policy, 10)).run());
+        EXPECT_LT(confinedMean, 0.15) << policy;
+        EXPECT_GT(vanillaMean, 2.0 * confinedMean)
+            << policy << " lost its confinement advantage";
+    }
+}
+
+TEST(FigureRegression, AgingWorkloadsShiftVanillaAsCalibrated)
+{
+    // The Mansi & Swift profiles must *move* the vanilla figures in
+    // their calibrated directions: the pin-storm/kernel-object
+    // service carries a much larger unmovable page footprint than
+    // the web baseline, and the page-cache-dominated file server
+    // contaminates fewer 2 MB blocks (cache pages are movable).
+    auto runKind = [](const char *kind) {
+        Fleet::Config config = figureFleet("vanilla", 8);
+        config.workloadOverride = kind;
+        const auto scans = Fleet(config).run();
+        double pages = 0.0;
+        for (const ServerScan &scan : scans)
+            pages += scan.unmovablePageRatio;
+        return std::make_pair(meanUnmovableShare(scans),
+                              pages / double(scans.size()));
+    };
+    const auto [webBlocks, webPages] = runKind("web");
+    const auto [burstyBlocks, burstyPages] =
+        runKind("unmovable-bursty");
+    const auto [fsBlocks, fsPages] = runKind("fs-cache");
+
+    ASSERT_GT(webPages, 0.0);
+    EXPECT_GT(burstyPages, 1.5 * webPages)
+        << "pin storms lost their unmovable footprint";
+    EXPECT_GE(burstyBlocks, webBlocks)
+        << "pin storms stopped scattering unmovable pages";
+    EXPECT_LT(fsBlocks, webBlocks)
+        << "page-cache-heavy profile lost its movable skew";
+    (void)fsPages;
 }
 
 } // namespace

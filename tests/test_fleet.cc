@@ -20,7 +20,7 @@ fastServer(WorkloadKind kind, bool contiguitas)
 {
     Server::Config config;
     config.memBytes = 1_GiB;
-    config.contiguitas = contiguitas;
+    config.policy.name = contiguitas ? "contiguitas" : "vanilla";
     config.kind = kind;
     config.uptimeSec = 12.0;
     config.seed = 77;

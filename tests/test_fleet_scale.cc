@@ -782,7 +782,7 @@ TEST(SharedTables, ServerRunsBitIdenticallyWithAndWithoutCache)
     faultInjector().reset();
     Server::Config config;
     config.memBytes = 128_MiB;
-    config.contiguitas = true;
+    config.policy.name = "contiguitas";
     config.kind = WorkloadKind::CacheA;
     config.intensity = 1.2;
     config.prefragment = true;
@@ -825,7 +825,7 @@ scaleTierFleet(bool contiguitas, unsigned servers)
     Fleet::Config config;
     config.servers = servers;
     config.memBytes = 64_MiB;
-    config.contiguitas = contiguitas;
+    config.policy.name = contiguitas ? "contiguitas" : "vanilla";
     config.minUptimeSec = 2.0;
     config.maxUptimeSec = 5.0;
     config.minIntensity = 0.7;

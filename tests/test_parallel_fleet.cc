@@ -219,6 +219,58 @@ TEST(ParallelFleet, SamplerTicksSurviveRepeatedRuns)
         EXPECT_LT(ticks[i - 1], ticks[i]);
 }
 
+/** Run one arbitrary fleet config and record its scan bits. */
+RunRecord
+runOnce(const Fleet::Config &config)
+{
+    faultInjector().reset(0xd15ea5e);
+    Fleet fleet(config);
+    RunRecord record;
+    for (const ServerScan &scan : fleet.run())
+        recordScan(scan, &record.scanBits);
+    faultInjector().reset();
+    return record;
+}
+
+TEST(ParallelFleet, WorkloadOverrideNameMatchesDeprecatedEnum)
+{
+    // CTG_WORKLOAD / Config::workloadOverride is the one-release
+    // replacement for the enum-typed kindOverride: the string form
+    // (set directly or via the environment) must be bit-identical
+    // to the deprecated field, and an unrecognized name must warn
+    // and fall through to it rather than silently unpinning.
+    Fleet::Config config = smallFleet();
+    config.servers = 4;
+    config.maxUptimeSec = 4.0;
+    config.threads = 2;
+
+    Fleet::Config byEnum = config;
+    byEnum.kindOverride = WorkloadKind::CacheB;
+    const RunRecord enumRun = runOnce(byEnum);
+
+    Fleet::Config byName = config;
+    byName.workloadOverride = "cache-b";
+    EXPECT_TRUE(runOnce(byName) == enumRun);
+
+    // Environment spelling, picked up by the overlay.
+    setenv("CTG_WORKLOAD", "cache-b", 1);
+    Fleet::Config byEnv = config;
+    byEnv.applyEnvOverlay();
+    unsetenv("CTG_WORKLOAD");
+    EXPECT_EQ(byEnv.workloadOverride, "cache-b");
+    EXPECT_TRUE(runOnce(byEnv) == enumRun);
+
+    // The string form wins over a conflicting deprecated enum.
+    Fleet::Config both = byName;
+    both.kindOverride = WorkloadKind::Web;
+    EXPECT_TRUE(runOnce(both) == enumRun);
+
+    // Unknown names warn and defer to the deprecated field.
+    Fleet::Config bad = byEnum;
+    bad.workloadOverride = "warehouse-scale";
+    EXPECT_TRUE(runOnce(bad) == enumRun);
+}
+
 TEST(ParallelFleet, KindOverridePinsEveryServer)
 {
     Fleet::Config config = smallFleet();

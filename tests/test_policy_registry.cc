@@ -1,0 +1,396 @@
+/**
+ * @file
+ * Policy registry + spec-grammar suite: the string-named policy
+ * table every bench, env overlay and snapshot selects through.
+ * Covers the built-in entries, the CTG_POLICY `name[:key=val,...]`
+ * grammar under strict-parser discipline (malformed or out-of-range
+ * knobs warn and keep the previous value — never clamp, never
+ * abort), the grouped ResizeTuning validator, the workload-key
+ * vocabulary, the MemPolicy decision-hook defaults, and the
+ * semantic split between the dynamic Contiguitas boundary and the
+ * ZONE_MOVABLE-style static baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "base/units.hh"
+#include "contiguitas/policy.hh"
+#include "contiguitas/policy_registry.hh"
+#include "fleet/server.hh"
+#include "workloads/profile.hh"
+
+namespace ctg
+{
+namespace
+{
+
+// ---------------------------------------------------------------
+// Registry table
+// ---------------------------------------------------------------
+
+TEST(PolicyRegistry, BuiltInEntriesAreRegistered)
+{
+    PolicyRegistry &reg = PolicyRegistry::instance();
+    for (const char *name :
+         {"vanilla", "contiguitas", "contiguitas-nobias",
+          "zone-movable"})
+        EXPECT_TRUE(reg.has(name)) << name;
+    EXPECT_GE(reg.entries().size(), 4u);
+    EXPECT_FALSE(reg.has("no-such-policy"));
+
+    PolicyRegistry::Entry entry;
+    ASSERT_TRUE(reg.find("contiguitas", &entry));
+    EXPECT_EQ(entry.name, "contiguitas");
+    EXPECT_FALSE(entry.description.empty());
+    EXPECT_TRUE(static_cast<bool>(entry.make));
+    EXPECT_TRUE(static_cast<bool>(entry.restore));
+    EXPECT_FALSE(reg.find("no-such-policy", &entry));
+}
+
+TEST(PolicyRegistry, AddReplacesAndRemoveDrops)
+{
+    PolicyRegistry &reg = PolicyRegistry::instance();
+    PolicyRegistry::Entry base;
+    ASSERT_TRUE(reg.find("contiguitas", &base));
+    const std::size_t before = reg.entries().size();
+
+    PolicyRegistry::Entry custom;
+    custom.name = "test-custom";
+    custom.description = "contiguitas under a test alias";
+    custom.make = base.make;
+    custom.restore = base.restore;
+    reg.add(custom);
+    EXPECT_TRUE(reg.has("test-custom"));
+    EXPECT_EQ(reg.entries().size(), before + 1);
+
+    // add() by the same name replaces in place, never duplicates.
+    custom.description = "replaced";
+    reg.add(custom);
+    EXPECT_EQ(reg.entries().size(), before + 1);
+    PolicyRegistry::Entry found;
+    ASSERT_TRUE(reg.find("test-custom", &found));
+    EXPECT_EQ(found.description, "replaced");
+
+    reg.remove("test-custom");
+    EXPECT_FALSE(reg.has("test-custom"));
+    EXPECT_EQ(reg.entries().size(), before);
+}
+
+TEST(PolicyRegistry, CustomEntryDrivesAServer)
+{
+    // The add-a-policy path end to end: register a preset-derived
+    // entry, run a server selecting it by name, drop it again.
+    PolicyRegistry &reg = PolicyRegistry::instance();
+    PolicyRegistry::Entry entry;
+    entry.name = "test-eager";
+    entry.description = "contiguitas with an eager resize cadence";
+    entry.make = [](Kernel &kernel, const PolicyConfig &config) {
+        ContiguitasConfig preset = config.contiguitas;
+        preset.tuning.periodSec = 0.5;
+        return std::make_unique<ContiguitasPolicy>(kernel, preset);
+    };
+    entry.restore = [](Kernel &kernel, const PolicyConfig &config,
+                       serde::Reader &in) {
+        ContiguitasConfig preset = config.contiguitas;
+        preset.tuning.periodSec = 0.5;
+        return std::make_unique<ContiguitasPolicy>(kernel, preset,
+                                                   in);
+    };
+    reg.add(entry);
+
+    Server::Config config;
+    config.memBytes = 256_MiB;
+    config.policy.name = "test-eager";
+    config.kind = WorkloadKind::Web;
+    config.uptimeSec = 3.0;
+    config.seed = 0x7e57;
+    Server server(config);
+    const ServerScan scan = server.run();
+    EXPECT_GT(scan.freePages, 0u);
+    EXPECT_NE(dynamic_cast<const ContiguitasPolicy *>(
+                  &server.kernel().policy()),
+              nullptr);
+
+    reg.remove("test-eager");
+    EXPECT_FALSE(reg.has("test-eager"));
+}
+
+// ---------------------------------------------------------------
+// PolicyConfig + spec grammar
+// ---------------------------------------------------------------
+
+TEST(PolicySpec, ResolvedNameDefaultsToVanilla)
+{
+    PolicyConfig config;
+    EXPECT_EQ(config.resolvedName(), "vanilla");
+    config.name = "contiguitas";
+    EXPECT_EQ(config.resolvedName(), "contiguitas");
+}
+
+TEST(PolicySpec, BareNamesParse)
+{
+    PolicyConfig config;
+    EXPECT_TRUE(parsePolicySpec("vanilla", &config));
+    EXPECT_EQ(config.name, "vanilla");
+
+    config = {};
+    EXPECT_TRUE(parsePolicySpec("contiguitas", &config));
+    EXPECT_EQ(config.name, "contiguitas");
+    EXPECT_TRUE(config.contiguitas.placementBias);
+    EXPECT_FALSE(config.contiguitas.staticBoundary);
+
+    // Empty spec: "not chosen yet", resolved later.
+    config = {};
+    EXPECT_TRUE(parsePolicySpec("", &config));
+    EXPECT_TRUE(config.name.empty());
+}
+
+TEST(PolicySpec, UnknownNameIsRefusedNotApplied)
+{
+    PolicyConfig config;
+    EXPECT_FALSE(parsePolicySpec("fancy-policy", &config));
+    EXPECT_TRUE(config.name.empty());
+    EXPECT_FALSE(parsePolicySpec("fancy-policy:bias=0", &config));
+    EXPECT_TRUE(config.contiguitas.placementBias);
+}
+
+TEST(PolicySpec, DerivedNamesCarryTheirPresets)
+{
+    PolicyConfig config;
+    EXPECT_TRUE(parsePolicySpec("contiguitas-nobias", &config));
+    EXPECT_FALSE(config.contiguitas.placementBias);
+    EXPECT_FALSE(config.contiguitas.staticBoundary);
+
+    config = {};
+    EXPECT_TRUE(parsePolicySpec("zone-movable", &config));
+    EXPECT_TRUE(config.contiguitas.staticBoundary);
+    EXPECT_TRUE(config.contiguitas.placementBias);
+
+    // Explicit knobs override the preset (spec order: preset first).
+    config = {};
+    EXPECT_TRUE(parsePolicySpec("zone-movable:static=0", &config));
+    EXPECT_FALSE(config.contiguitas.staticBoundary);
+    config = {};
+    EXPECT_TRUE(parsePolicySpec("contiguitas-nobias:bias=on",
+                                &config));
+    EXPECT_TRUE(config.contiguitas.placementBias);
+}
+
+TEST(PolicySpec, KnobsApplyAcrossTheGrammar)
+{
+    PolicyConfig config;
+    EXPECT_TRUE(parsePolicySpec(
+        "contiguitas:bias=0,hw=on,defrag=4,initial=8192,step=2048,"
+        "period=0.5,max=4096,watermark=0.2,slack=0.5",
+        &config));
+    EXPECT_FALSE(config.contiguitas.placementBias);
+    EXPECT_TRUE(config.contiguitas.hwMigration);
+    EXPECT_EQ(config.contiguitas.defragBlocksPerTick, 4u);
+    EXPECT_EQ(config.contiguitas.region.initialUnmovablePages,
+              8192u);
+    EXPECT_EQ(config.contiguitas.tuning.stepPages, 2048u);
+    EXPECT_DOUBLE_EQ(config.contiguitas.tuning.periodSec, 0.5);
+    EXPECT_EQ(config.contiguitas.tuning.maxPerTick, 4096u);
+    EXPECT_DOUBLE_EQ(config.contiguitas.tuning.unmovFreeWatermark,
+                     0.2);
+    EXPECT_DOUBLE_EQ(config.contiguitas.tuning.shrinkFreeSlack, 0.5);
+}
+
+TEST(PolicySpec, MalformedKnobsAreSkippedNotClamped)
+{
+    PolicyConfig config;
+    // Bad bool, bad u64, pair without '=', empty key, unknown key:
+    // each is skipped; the good knob in the middle still applies.
+    EXPECT_TRUE(parsePolicySpec(
+        "contiguitas:bias=2,defrag=abc,hw=1,loose,=5,zzz=1",
+        &config));
+    EXPECT_TRUE(config.contiguitas.placementBias);
+    EXPECT_EQ(config.contiguitas.defragBlocksPerTick, 0u);
+    EXPECT_TRUE(config.contiguitas.hwMigration);
+    // Signed and trailing-junk numbers are rejected, not truncated.
+    config = {};
+    EXPECT_TRUE(parsePolicySpec("contiguitas:defrag=-1,initial=12x",
+                                &config));
+    EXPECT_EQ(config.contiguitas.defragBlocksPerTick, 0u);
+    EXPECT_EQ(config.contiguitas.region.initialUnmovablePages, 0u);
+}
+
+// ---------------------------------------------------------------
+// ResizeTuning: one validated parser, no silent clamping
+// ---------------------------------------------------------------
+
+TEST(ResizeTuningSet, AcceptsInRangeValues)
+{
+    ResizeTuning tuning;
+    EXPECT_TRUE(tuning.set("period", "2.5"));
+    EXPECT_DOUBLE_EQ(tuning.periodSec, 2.5);
+    EXPECT_TRUE(tuning.set("step", "1024"));
+    EXPECT_EQ(tuning.stepPages, 1024u);
+    EXPECT_TRUE(tuning.set("max", "65536"));
+    EXPECT_EQ(tuning.maxPerTick, 65536u);
+    EXPECT_TRUE(tuning.set("watermark", "0.5"));
+    EXPECT_DOUBLE_EQ(tuning.unmovFreeWatermark, 0.5);
+    EXPECT_TRUE(tuning.set("slack", "0"));
+    EXPECT_DOUBLE_EQ(tuning.shrinkFreeSlack, 0.0);
+}
+
+TEST(ResizeTuningSet, OutOfRangeKeepsPreviousValue)
+{
+    ResizeTuning tuning;
+    const ResizeTuning defaults;
+    for (const char *bad : {"0", "-1", "3601", "nan", "1e", ""})
+        EXPECT_FALSE(tuning.set("period", bad)) << bad;
+    EXPECT_DOUBLE_EQ(tuning.periodSec, defaults.periodSec);
+    for (const char *bad : {"0", "-4", "4k", ""})
+        EXPECT_FALSE(tuning.set("step", bad)) << bad;
+    EXPECT_EQ(tuning.stepPages, defaults.stepPages);
+    EXPECT_FALSE(tuning.set("max", "0"));
+    EXPECT_EQ(tuning.maxPerTick, defaults.maxPerTick);
+    for (const char *bad : {"0.51", "-0.1", "half"})
+        EXPECT_FALSE(tuning.set("watermark", bad)) << bad;
+    EXPECT_DOUBLE_EQ(tuning.unmovFreeWatermark,
+                     defaults.unmovFreeWatermark);
+    for (const char *bad : {"1.5", "-0.25"})
+        EXPECT_FALSE(tuning.set("slack", bad)) << bad;
+    EXPECT_DOUBLE_EQ(tuning.shrinkFreeSlack,
+                     defaults.shrinkFreeSlack);
+    EXPECT_FALSE(tuning.set("cadence", "1"));
+}
+
+// ---------------------------------------------------------------
+// Workload vocabulary
+// ---------------------------------------------------------------
+
+TEST(WorkloadVocabulary, KeysRoundTripThroughTheParser)
+{
+    for (unsigned k = 0; k < numWorkloadKinds; ++k) {
+        const auto kind = static_cast<WorkloadKind>(k);
+        WorkloadKind parsed = WorkloadKind::Web;
+        ASSERT_TRUE(parseWorkloadKind(workloadKey(kind), &parsed))
+            << workloadKey(kind);
+        EXPECT_EQ(parsed, kind);
+    }
+    WorkloadKind parsed = WorkloadKind::CacheA;
+    EXPECT_FALSE(parseWorkloadKind("warehouse", &parsed));
+    EXPECT_FALSE(parseWorkloadKind("", &parsed));
+    EXPECT_FALSE(parseWorkloadKind("Web", &parsed)); // exact match
+    EXPECT_EQ(parsed, WorkloadKind::CacheA);         // untouched
+}
+
+TEST(WorkloadVocabulary, AgingProfilesDifferFromThePaperSix)
+{
+    // The Mansi-&-Swift-calibrated generators must be real new
+    // profiles, not renames: distinct keys and distinct footprints.
+    const std::uint64_t mem = 512_MiB;
+    const WorkloadProfile web = makeProfile(WorkloadKind::Web, mem);
+    const WorkloadProfile aging =
+        makeProfile(WorkloadKind::Aging, mem);
+    const WorkloadProfile fs =
+        makeProfile(WorkloadKind::FsCacheHeavy, mem);
+    const WorkloadProfile bursty =
+        makeProfile(WorkloadKind::UnmovableBursty, mem);
+    EXPECT_NE(aging.residentFrac, web.residentFrac);
+    EXPECT_LT(fs.residentFrac, web.residentFrac);
+    EXPECT_GT(bursty.pinRatePerSec, web.pinRatePerSec);
+}
+
+// ---------------------------------------------------------------
+// MemPolicy decision hooks
+// ---------------------------------------------------------------
+
+TEST(PolicyHooks, VanillaDefaultsAreNeutral)
+{
+    Server::Config config;
+    config.memBytes = 128_MiB;
+    config.policy.name = "vanilla";
+    config.uptimeSec = 1.0;
+    Server server(config);
+    const MemPolicy &policy = server.kernel().policy();
+
+    AllocRequest req;
+    req.mt = MigrateType::Unmovable;
+    req.lifetime = Lifetime::Immortal;
+    EXPECT_EQ(policy.placementPref(req), AddrPref::None);
+    EXPECT_EQ(policy.pinPlacementPref(), AddrPref::None);
+    EXPECT_EQ(policy.compactUntilTarget(5u), 5u);
+    EXPECT_EQ(policy.defragBudgetPerTick(), 0u);
+}
+
+TEST(PolicyHooks, ContiguitasBiasFlowsThroughTheHooks)
+{
+    Server::Config config;
+    config.memBytes = 128_MiB;
+    config.policy.name = "contiguitas";
+    config.uptimeSec = 1.0;
+    config.policy.contiguitas.defragBlocksPerTick = 3;
+    Server server(config);
+    const MemPolicy &policy = server.kernel().policy();
+
+    AllocRequest req;
+    req.mt = MigrateType::Unmovable;
+    req.lifetime = Lifetime::Immortal;
+    EXPECT_EQ(policy.placementPref(req), AddrPref::Low);
+    req.mt = MigrateType::Movable;
+    EXPECT_EQ(policy.placementPref(req), AddrPref::None);
+    EXPECT_EQ(policy.pinPlacementPref(), AddrPref::High);
+    EXPECT_EQ(policy.defragBudgetPerTick(), 3u);
+
+    // The nobias preset neutralizes both placement hooks.
+    Server::Config nobias = config;
+    nobias.policy.name = "contiguitas-nobias";
+    nobias.policy.contiguitas.defragBlocksPerTick = 0;
+    Server nb(nobias);
+    const MemPolicy &nbPolicy = nb.kernel().policy();
+    req.mt = MigrateType::Unmovable;
+    EXPECT_EQ(nbPolicy.placementPref(req), AddrPref::None);
+    EXPECT_EQ(nbPolicy.pinPlacementPref(), AddrPref::None);
+}
+
+// ---------------------------------------------------------------
+// Static split vs dynamic boundary
+// ---------------------------------------------------------------
+
+TEST(StaticBoundary, ZoneMovableNeverResizesUnderPressure)
+{
+    // Same machine, same demand: a kernel-object-heavy service whose
+    // unmovable footprint outgrows the initial split. Contiguitas
+    // expands the region (urgent expansions fire); the ZONE_MOVABLE
+    // baseline must hold its boundary exactly and fail the excess
+    // instead.
+    Server::Config config;
+    config.memBytes = 1024_MiB;
+    config.kind = WorkloadKind::UnmovableBursty;
+    config.uptimeSec = 15.0;
+    config.seed = 0x5417c;
+
+    config.policy.name = "contiguitas";
+    Server dynamic(config);
+    dynamic.run();
+    const auto *dyn = dynamic_cast<const ContiguitasPolicy *>(
+        &dynamic.kernel().policy());
+    ASSERT_NE(dyn, nullptr);
+
+    config.policy.name = "zone-movable";
+    Server fixed(config);
+    fixed.run();
+    const auto *zm = dynamic_cast<const ContiguitasPolicy *>(
+        &fixed.kernel().policy());
+    ASSERT_NE(zm, nullptr);
+
+    EXPECT_GT(dyn->regions().boundary(), zm->regions().boundary());
+    EXPECT_GT(dyn->stats().urgentExpansions +
+                  dyn->stats().controllerExpands,
+              0u);
+    EXPECT_EQ(zm->stats().urgentExpansions, 0u);
+    EXPECT_EQ(zm->stats().controllerExpands, 0u);
+    EXPECT_EQ(zm->stats().controllerShrinks, 0u);
+    // Both keep confinement: the boundary bounds the unmovable set.
+    EXPECT_EQ(zm->unmovableRegion().first, 0u);
+    EXPECT_EQ(zm->unmovableRegion().second,
+              zm->regions().boundary());
+}
+
+} // namespace
+} // namespace ctg

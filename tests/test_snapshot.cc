@@ -464,7 +464,7 @@ smallServer(bool contiguitas, bool prefragment)
 {
     Server::Config config;
     config.memBytes = 256_MiB;
-    config.contiguitas = contiguitas;
+    config.policy.name = contiguitas ? "contiguitas" : "vanilla";
     config.kind = WorkloadKind::Web;
     config.intensity = 1.1;
     config.prefragment = prefragment;
@@ -633,7 +633,7 @@ smallFleet(const std::string &checkpointDir,
     Fleet::Config config;
     config.servers = 6;
     config.memBytes = 256_MiB;
-    config.contiguitas = true;
+    config.policy.name = "contiguitas";
     config.minUptimeSec = 3.0;
     config.maxUptimeSec = 6.0;
     config.prefragmentFrac = 0.3;
@@ -846,6 +846,81 @@ TEST_F(SnapshotFleetTest, HandEditedSnapshotFileColdStarts)
 
     const FleetRun restored = runFleet(smallFleet("", dir), "");
     EXPECT_EQ(restored.scans, straight.scans);
+}
+
+// ---------------------------------------------------------------
+// Registry-selected restore: the image names its policy
+// ---------------------------------------------------------------
+
+TEST_F(SnapshotFleetTest,
+       EveryRegistryPolicyRoundTripsAtEveryThreadCount)
+{
+    // The Server section leads with the policy's registry name;
+    // restore must select the factory from that name, for every
+    // registered policy, bit-identically at 1/4/8 threads.
+    for (const PolicyRegistry::Entry &entry :
+         PolicyRegistry::instance().entries()) {
+        const std::string dir =
+            scratchDir("fleet_policy_" + entry.name);
+        Fleet::Config base = smallFleet("", "");
+        base.servers = 3;
+        base.memBytes = 128_MiB;
+        base.policy = {};
+        ASSERT_TRUE(parsePolicySpec(entry.name, &base.policy));
+
+        Fleet::Config checkpoint = base;
+        checkpoint.checkpointDir = dir;
+        const FleetRun straight = runFleet(base, "");
+        EXPECT_EQ(runFleet(checkpoint, "").scans, straight.scans)
+            << entry.name;
+
+        for (const unsigned threads : {1u, 4u, 8u}) {
+            Fleet::Config restore = base;
+            restore.restoreDir = dir;
+            restore.threads = threads;
+            EXPECT_EQ(runFleet(restore, "").scans, straight.scans)
+                << entry.name << " threads=" << threads;
+        }
+    }
+}
+
+TEST_F(SnapshotRoundTrip, UnknownPolicyNameImageIsRefused)
+{
+    // A snapshot taken under a policy this build no longer knows
+    // (fork drift, renamed entry) must be refused as serde::Error —
+    // a detected failure the fleet degrades to a cold start — never
+    // a crash or a silently wrong machine.
+    PolicyRegistry &reg = PolicyRegistry::instance();
+    PolicyRegistry::Entry base;
+    ASSERT_TRUE(reg.find("contiguitas", &base));
+    PolicyRegistry::Entry ephemeral = base;
+    ephemeral.name = "test-ephemeral";
+    ephemeral.description = "registered only for this test";
+    reg.add(ephemeral);
+
+    Server::Config config = smallServer(false, false);
+    config.policy.name = "test-ephemeral";
+    FaultInjector fi(1);
+    const FaultInjectorScope scope(fi);
+    Server server(config);
+    server.runToCheckpoint();
+    const std::vector<std::uint8_t> image =
+        encodeSnapshot(server, fi);
+
+    reg.remove("test-ephemeral");
+    try {
+        decodeSnapshot(config, image, nullptr);
+        FAIL() << "image with unregistered policy decoded";
+    } catch (const serde::Error &err) {
+        EXPECT_NE(std::string(err.what()).find("test-ephemeral"),
+                  std::string::npos)
+            << err.what();
+    }
+
+    // Re-registering the name makes the same image loadable again.
+    reg.add(ephemeral);
+    EXPECT_NO_THROW(decodeSnapshot(config, image, nullptr));
+    reg.remove("test-ephemeral");
 }
 
 } // namespace

@@ -385,7 +385,7 @@ TEST(FleetTelemetry, ContiguitasPolicyTreeIsRegistered)
 {
     Server::Config config;
     config.memBytes = std::uint64_t{256} << 20;
-    config.contiguitas = true;
+    config.policy.name = "contiguitas";
     config.uptimeSec = 4.0;
     config.seed = 0xf00d;
     Server server(config);

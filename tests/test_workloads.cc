@@ -138,7 +138,7 @@ TEST(WorkloadTest, PinsAreCreatedAndConfined)
     ContiguitasConfig cc;
     cc.region.initialUnmovablePages = (64_MiB) / pageBytes;
     cc.region.minUnmovablePages = (16_MiB) / pageBytes;
-    cc.resizeStepPages = (8_MiB) / pageBytes;
+    cc.tuning.stepPages = (8_MiB) / pageBytes;
     Kernel kernel(kc, ContiguitasPolicy::factory(cc));
     WorkloadProfile profile =
         tinyProfile(WorkloadKind::CacheB, 512_MiB);
