@@ -12,11 +12,13 @@
 using namespace ctg;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseArgs(argc, argv);
     bench::banner("Figure 2",
                   "Memory and TLB coverage across hardware "
                   "generations");
+    bench::WallTimer wall;
 
     Table table;
     table.header({"Generation", "Rel. capacity", "TLB entries",
@@ -42,5 +44,6 @@ main()
                 "coverage on Gen 5) keep up with capacity.\n",
                 cap_growth, cov_first * 100.0, cov_last * 100.0,
                 tlbCoverage(gens.back(), gigaBytes) * 100.0);
+    bench::dumpWallMs(wall.ms());
     return 0;
 }

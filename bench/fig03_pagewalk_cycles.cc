@@ -14,10 +14,15 @@
 using namespace ctg;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string ops_s = "400000";
+    bench::parseArgs(argc, argv,
+                     {{"ops", &ops_s,
+                       "simulated memory accesses per measurement"}});
     bench::banner("Figure 3",
                   "Percentage of cycles lost to page walks");
+    bench::WallTimer wall;
 
     struct Row
     {
@@ -32,7 +37,7 @@ main()
         {"Ads", makeAdsAccessProfile(), false},
     };
 
-    const std::uint64_t ops = 400000;
+    const std::uint64_t ops = bench::flagU64(ops_s, "ops");
 
     // The paper's bars are as-deployed measurements: THP backs only
     // part of the footprint on production machines (fragmentation),
@@ -81,5 +86,6 @@ main()
                 "but barely moves its data walks;\n1GB pages are "
                 "what cuts Web's data walk cycles (14%% -> 8%% in "
                 "the paper).\n");
+    bench::dumpWallMs(wall.ms());
     return 0;
 }

@@ -4,24 +4,35 @@
  * hold. Runs a fig11-shaped population (mixed workload kinds,
  * intensity 0.7-1.3, 25% pre-fragmented, half stock Linux and half
  * Contiguitas) at the scale tier — small machines, short uptimes,
- * streaming scan sinks — and reports the numbers that bound
- * population size: frame-table bytes/frame, process peak RSS and
- * servers/second.
+ * streaming scan sinks, coarse stepping, pooled per-worker server
+ * arenas — and reports the numbers that bound population size:
+ * frame-table bytes/frame, peak RSS (per shard when sharded),
+ * servers/second and host heap allocations per server.
  *
  * Defaults to 100,000 servers; `--servers` and `--mem-mb` rescale.
- * The `--json BENCH_fleet.json` output carries, per system, the
- * measured `bytes_per_frame` next to `bytes_per_frame_aos` (the
- * sizeof of the materialized array-of-structs PageFrame the
- * struct-of-arrays table replaced), so CI trend-tracks the >= 2x
- * footprint reduction directly.
+ * `--threads` sets worker threads per process (0 = auto), `--shards`
+ * forks that many worker processes over contiguous server ranges
+ * (the 10^6-tier path), and `--coarse` / `--pool` toggle the scale
+ * stepping mode and the server-arena pool (both on by default here;
+ * both default off/on respectively elsewhere — see CTG_COARSE_STEP /
+ * CTG_SLOT_POOL). The `--json BENCH_fleet.json` output carries, per
+ * system, the measured `bytes_per_frame` next to
+ * `bytes_per_frame_aos`, plus `allocs_per_server` next to the
+ * churn-baseline `allocs_per_server_churn` a small pool-off probe
+ * measures, so CI trend-tracks both the >= 2x footprint reduction
+ * and the >= 10x allocation reduction directly.
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "base/arena.hh"
 #include "base/host_mem.hh"
 #include "bench/bench_util.hh"
+#include "fleet/server_slot.hh"
+#include "fleet/sharding.hh"
 
 using namespace ctg;
 
@@ -31,7 +42,7 @@ namespace
 struct PopulationResult
 {
     double wallMs = 0.0;
-    unsigned threads = 1;
+    unsigned threads = 0;
     double meanFreeContiguity2m = 0.0;
     double meanUnmovableBlocks2m = 0.0;
     /** Frame-table footprint of a representative end-of-run server
@@ -39,27 +50,61 @@ struct PopulationResult
     double bytesPerFrame = 0.0;
     /** Owner side-table entries per 1000 frames on that server. */
     double sideEntriesPerKiloFrame = 0.0;
+    /** Population size this result covers. */
+    std::uint64_t servers = 0;
+    /** Host heap allocations across the run (summed over shards). */
+    std::uint64_t heapAllocs = 0;
+    /** Per-shard accounting (one entry when unsharded). */
+    std::vector<ShardStats> shards;
 };
+
+/** The fig11 population shape at the scale tier: the same intensity
+ * and pre-fragmentation spread, uptimes shortened so 10^5-10^6
+ * servers finish on one box (steady-state fragmentation shape, not
+ * magnitude, is the point of this bench). */
+Fleet::Config
+scaleConfig(bool contiguitas, unsigned servers,
+            std::uint64_t mem_bytes, unsigned threads, bool coarse,
+            bool pool)
+{
+    Fleet::Config config;
+    config.servers = servers;
+    config.memBytes = mem_bytes;
+    config.policy.name = contiguitas ? "contiguitas" : "vanilla";
+    config.minUptimeSec = 2.0;
+    config.maxUptimeSec = 5.0;
+    config.minIntensity = 0.7;
+    config.maxIntensity = 1.3;
+    config.prefragmentFrac = 0.25;
+    config.streamScans = true;
+    config.threads = threads;
+    config.coarseStep = coarse;
+    config.slotPool = pool;
+    config.seed = 0x5ca1e ^ (contiguitas ? 1 : 0);
+    config.applyEnvOverlay();
+    return config;
+}
 
 /** Frame-table footprint probe: run one representative server of
  * this population to its scan and measure the table it ends with.
  * The fleet's servers are transient (created and destroyed per
- * task), so the probe re-creates one rather than reaching into the
- * run. */
+ * task), so the probe runs one through a pooled ServerSlot — the
+ * same storage discipline fleet workers use — starting from the
+ * fleet's own stamped base config. */
 void
 probeFootprint(const Fleet &fleet, PopulationResult *out)
 {
-    Server::Config sc;
-    sc.memBytes = fleet.config().memBytes;
-    sc.policy = fleet.config().policy;
+    Server::Config sc = fleet.baseServerConfig();
     sc.kind = WorkloadKind::Web;
     sc.intensity = 1.0;
     sc.prefragment = true;
     sc.uptimeSec = fleet.config().minUptimeSec;
     sc.seed = 0xf00d;
-    sc.sharedTables = fleet.sharedTables();
     sc.applyEnvOverlay();
-    Server server(sc);
+    ServerSlot slot;
+    slot.begin();
+    const ArenaScope scope(slot.arena());
+    Server &server = slot.construct(sc);
     server.run();
     const FrameArray &frames = server.kernel().mem().frames();
     const double n =
@@ -71,46 +116,66 @@ probeFootprint(const Fleet &fleet, PopulationResult *out)
 
 PopulationResult
 runPopulation(bool contiguitas, unsigned servers,
-              std::uint64_t mem_bytes, std::string *stats_json)
+              std::uint64_t mem_bytes, unsigned threads,
+              unsigned shards, bool coarse, bool pool,
+              std::string *stats_json)
 {
-    Fleet::Config config;
-    config.servers = servers;
-    config.memBytes = mem_bytes;
-    config.policy.name = contiguitas ? "contiguitas" : "vanilla";
-    // fig11 population shape at the scale tier: the same intensity
-    // and pre-fragmentation spread, uptimes shortened so 10^5
-    // servers finish on one box (steady-state fragmentation shape,
-    // not magnitude, is the point of this bench).
-    config.minUptimeSec = 2.0;
-    config.maxUptimeSec = 5.0;
-    config.minIntensity = 0.7;
-    config.maxIntensity = 1.3;
-    config.prefragmentFrac = 0.25;
-    config.streamScans = true;
-    config.seed = 0x5ca1e ^ (contiguitas ? 1 : 0);
-    config.applyEnvOverlay();
-    Fleet fleet(config);
-
+    const Fleet::Config config = scaleConfig(
+        contiguitas, servers, mem_bytes, threads, coarse, pool);
     const char *prefix = contiguitas ? "fleet.ctg" : "fleet.linux";
-    StatRegistry registry;
-    fleet.attachTelemetry(registry, nullptr, prefix);
-    bench::regFaultStats(registry);
 
-    const auto scans = fleet.run();
     PopulationResult result;
-    for (const ServerScan &scan : scans) {
-        result.meanFreeContiguity2m += scan.freeContiguity[0];
-        result.meanUnmovableBlocks2m += scan.unmovableBlocks[0];
-    }
-    const double n = static_cast<double>(scans.size());
-    result.meanFreeContiguity2m /= n;
-    result.meanUnmovableBlocks2m /= n;
-    result.wallMs = fleet.lastRunWallMs();
-    result.threads = fleet.lastRunThreads();
-    probeFootprint(fleet, &result);
-    *stats_json += registry.jsonLines();
+    result.servers = servers;
 
-    char line[128];
+    if (shards > 1) {
+        // Sharded: the scans stay in the worker processes (streamed
+        // sinks carry the distribution); the parent only merges.
+        const ShardRunResult run =
+            runShardedFleet(config, shards, /*includeScans=*/false);
+        result.wallMs = run.wallMs;
+        result.threads = config.threads;
+        result.meanFreeContiguity2m =
+            run.sinks.freeContiguity2m.mean();
+        result.meanUnmovableBlocks2m =
+            run.sinks.unmovableBlocks2m.mean();
+        result.shards = run.shards;
+        for (const ShardStats &s : run.shards)
+            result.heapAllocs += s.heapAllocs;
+        // The probe needs the shared tables, not a run.
+        const Fleet fleet(config);
+        probeFootprint(fleet, &result);
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "{\"name\":\"%s.run_wall_ms\",\"kind\":"
+                      "\"gauge\",\"value\":%.3f}\n",
+                      prefix, result.wallMs);
+        *stats_json += line;
+    } else {
+        Fleet fleet(config);
+        StatRegistry registry;
+        fleet.attachTelemetry(registry, nullptr, prefix);
+        bench::regFaultStats(registry);
+        const std::uint64_t allocsBefore = heapAllocCount();
+        fleet.run();
+        result.heapAllocs = heapAllocCount() - allocsBefore;
+        result.wallMs = fleet.lastRunWallMs();
+        result.threads = fleet.lastRunThreads();
+        result.meanFreeContiguity2m =
+            fleet.scanSinks().freeContiguity2m.mean();
+        result.meanUnmovableBlocks2m =
+            fleet.scanSinks().unmovableBlocks2m.mean();
+        ShardStats stats;
+        stats.begin = 0;
+        stats.end = servers;
+        stats.wallMs = result.wallMs;
+        stats.peakRssBytes = peakRssBytes();
+        stats.heapAllocs = result.heapAllocs;
+        result.shards.push_back(stats);
+        probeFootprint(fleet, &result);
+        *stats_json += registry.jsonLines();
+    }
+
+    char line[160];
     std::snprintf(line, sizeof(line),
                   "{\"name\":\"%s.bytes_per_frame\",\"kind\":"
                   "\"gauge\",\"value\":%.3f}\n",
@@ -121,7 +186,47 @@ runPopulation(bool contiguitas, unsigned servers,
                   "\"kind\":\"gauge\",\"value\":%.3f}\n",
                   prefix, result.sideEntriesPerKiloFrame);
     *stats_json += line;
+    for (std::size_t s = 0; s < result.shards.size(); ++s) {
+        const ShardStats &shard = result.shards[s];
+        std::snprintf(
+            line, sizeof(line),
+            "{\"name\":\"%s.shard%zu.peak_rss_mb\",\"kind\":"
+            "\"gauge\",\"value\":%.1f}\n",
+            prefix, s,
+            static_cast<double>(shard.peakRssBytes) /
+                (1024.0 * 1024.0));
+        *stats_json += line;
+        if (result.shards.size() > 1) {
+            std::printf("  %s shard %zu: servers [%u, %u) wall "
+                        "%.0f ms rss %.0f MiB allocs/server %.0f\n",
+                        contiguitas ? "ctg  " : "linux", s,
+                        shard.begin, shard.end, shard.wallMs,
+                        static_cast<double>(shard.peakRssBytes) /
+                            (1024.0 * 1024.0),
+                        static_cast<double>(shard.heapAllocs) /
+                            std::max(1.0,
+                                     static_cast<double>(
+                                         shard.end - shard.begin)));
+        }
+    }
     return result;
+}
+
+/** Heap allocations per server with the slot pool off — the churn
+ * baseline the pooled gauge is compared against. Probed on a small
+ * population; per-server allocation cost is size-independent. */
+std::uint64_t
+churnProbeAllocs(bool contiguitas, unsigned servers,
+                 std::uint64_t mem_bytes, unsigned threads,
+                 bool coarse)
+{
+    const Fleet::Config config =
+        scaleConfig(contiguitas, servers, mem_bytes, threads,
+                    coarse, /*pool=*/false);
+    Fleet fleet(config);
+    const std::uint64_t before = heapAllocCount();
+    fleet.run();
+    return heapAllocCount() - before;
 }
 
 } // namespace
@@ -131,35 +236,84 @@ main(int argc, char **argv)
 {
     std::string servers_s = "100000";
     std::string mem_mb_s = "64";
+    std::string threads_s = "0";
+    std::string shards_s = "1";
+    std::string coarse_s = "1";
+    std::string pool_s = "1";
     bench::parseArgs(
         argc, argv,
         {{"servers", &servers_s,
           "total population size (split linux/contiguitas)"},
-         {"mem-mb", &mem_mb_s, "per-server memory in MiB"}});
+         {"mem-mb", &mem_mb_s, "per-server memory in MiB"},
+         {"threads", &threads_s,
+          "worker threads per process (0 = auto)"},
+         {"shards", &shards_s,
+          "worker processes over contiguous server ranges"},
+         {"coarse", &coarse_s,
+          "scale stepping: batch idle workload segments (0/1)"},
+         {"pool", &pool_s,
+          "pooled per-worker server arenas (0/1)"}});
     const unsigned servers = static_cast<unsigned>(
         bench::flagU64(servers_s, "servers"));
     const std::uint64_t memBytes =
         bench::flagU64(mem_mb_s, "mem-mb") << 20;
+    const unsigned threads = static_cast<unsigned>(
+        bench::flagU64(threads_s, "threads"));
+    const unsigned shards = std::max<unsigned>(
+        1, static_cast<unsigned>(bench::flagU64(shards_s, "shards")));
+    const bool coarse = bench::flagU64(coarse_s, "coarse") != 0;
+    const bool pool = bench::flagU64(pool_s, "pool") != 0;
 
     bench::banner("Fleet scale",
-                  "10^5-server population capacity study");
-    std::printf("(population: %u servers at %llu MiB each, "
-                "scale tier)\n",
+                  "10^5-10^6-server population capacity study");
+    std::printf("(population: %u servers at %llu MiB each, scale "
+                "tier, %u shard%s, coarse=%d pool=%d)\n",
                 servers,
-                static_cast<unsigned long long>(memBytes >> 20));
+                static_cast<unsigned long long>(memBytes >> 20),
+                shards, shards == 1 ? "" : "s", int(coarse),
+                int(pool));
 
     std::string stats_json;
     bench::WallTimer wall;
-    const PopulationResult linux_pop = runPopulation(
-        false, servers / 2, memBytes, &stats_json);
-    const PopulationResult ctg_pop = runPopulation(
-        true, servers - servers / 2, memBytes, &stats_json);
+    const PopulationResult linux_pop =
+        runPopulation(false, servers / 2, memBytes, threads, shards,
+                      coarse, pool, &stats_json);
+    const PopulationResult ctg_pop =
+        runPopulation(true, servers - servers / 2, memBytes, threads,
+                      shards, coarse, pool, &stats_json);
     const double totalWallMs = wall.ms();
+
+    // Churn baseline: a small pool-off population per system, sized
+    // to keep the probe a rounding error of the main run.
+    const unsigned churnLinuxServers =
+        std::min(1000u, std::max(1u, servers / 2));
+    const unsigned churnCtgServers =
+        std::min(1000u, std::max(1u, servers - servers / 2));
+    const std::uint64_t churnAllocs =
+        churnProbeAllocs(false, churnLinuxServers, memBytes, threads,
+                         coarse) +
+        churnProbeAllocs(true, churnCtgServers, memBytes, threads,
+                         coarse);
+    const double churnPerServer =
+        static_cast<double>(churnAllocs) /
+        static_cast<double>(churnLinuxServers + churnCtgServers);
+    const double pooledPerServer =
+        static_cast<double>(linux_pop.heapAllocs +
+                            ctg_pop.heapAllocs) /
+        static_cast<double>(servers);
+    const double allocReduction =
+        pooledPerServer > 0.0 ? churnPerServer / pooledPerServer
+                              : 0.0;
 
     const double serversPerSec =
         1000.0 * static_cast<double>(servers) / totalWallMs;
+    std::uint64_t maxShardRss = peakRssBytes();
+    for (const ShardStats &s : linux_pop.shards)
+        maxShardRss = std::max(maxShardRss, s.peakRssBytes);
+    for (const ShardStats &s : ctg_pop.shards)
+        maxShardRss = std::max(maxShardRss, s.peakRssBytes);
     const double peakRssMb =
-        static_cast<double>(peakRssBytes()) / (1024.0 * 1024.0);
+        static_cast<double>(maxShardRss) / (1024.0 * 1024.0);
     // Two reference points: what sizeof says the seed's
     // array-of-structs columns cost (PageFrame value type + two
     // 32-bit links), and the 40 bytes/frame the roadmap charged the
@@ -193,12 +347,17 @@ main(int argc, char **argv)
                 aosBytesPerFrame / maxBytesPerFrame,
                 aosBytesPerFrame);
     std::printf("Throughput: %.0f servers/sec over %u servers "
-                "(%u worker threads, wall %.0f ms)\n",
-                serversPerSec, servers, linux_pop.threads,
+                "(%u shard%s x %u worker threads, wall %.0f ms)\n",
+                serversPerSec, servers, shards,
+                shards == 1 ? "" : "s", linux_pop.threads,
                 totalWallMs);
-    std::printf("Process peak RSS: %.0f MiB\n", peakRssMb);
+    std::printf("Heap allocations: %.0f/server pooled vs %.0f/server "
+                "churn baseline (%.1fx reduction)\n",
+                pooledPerServer, churnPerServer, allocReduction);
+    std::printf("Peak RSS: %.0f MiB (max over %s)\n", peakRssMb,
+                shards == 1 ? "the process" : "parent and shards");
 
-    char line[128];
+    char line[160];
     std::snprintf(line, sizeof(line),
                   "{\"name\":\"fleet.servers\",\"kind\":\"gauge\","
                   "\"value\":%u}\n",
@@ -208,6 +367,41 @@ main(int argc, char **argv)
                   "{\"name\":\"fleet.servers_per_sec\",\"kind\":"
                   "\"gauge\",\"value\":%.1f}\n",
                   serversPerSec);
+    stats_json += line;
+    std::snprintf(line, sizeof(line),
+                  "{\"name\":\"fleet.threads\",\"kind\":\"gauge\","
+                  "\"value\":%u}\n",
+                  linux_pop.threads);
+    stats_json += line;
+    std::snprintf(line, sizeof(line),
+                  "{\"name\":\"fleet.shards\",\"kind\":\"gauge\","
+                  "\"value\":%u}\n",
+                  shards);
+    stats_json += line;
+    std::snprintf(line, sizeof(line),
+                  "{\"name\":\"fleet.coarse_step\",\"kind\":"
+                  "\"gauge\",\"value\":%d}\n",
+                  int(coarse));
+    stats_json += line;
+    std::snprintf(line, sizeof(line),
+                  "{\"name\":\"fleet.slot_pool\",\"kind\":\"gauge\","
+                  "\"value\":%d}\n",
+                  int(pool));
+    stats_json += line;
+    std::snprintf(line, sizeof(line),
+                  "{\"name\":\"fleet.allocs_per_server\",\"kind\":"
+                  "\"gauge\",\"value\":%.1f}\n",
+                  pooledPerServer);
+    stats_json += line;
+    std::snprintf(line, sizeof(line),
+                  "{\"name\":\"fleet.allocs_per_server_churn\","
+                  "\"kind\":\"gauge\",\"value\":%.1f}\n",
+                  churnPerServer);
+    stats_json += line;
+    std::snprintf(line, sizeof(line),
+                  "{\"name\":\"fleet.alloc_reduction_x\",\"kind\":"
+                  "\"gauge\",\"value\":%.2f}\n",
+                  allocReduction);
     stats_json += line;
     std::snprintf(line, sizeof(line),
                   "{\"name\":\"fleet.bytes_per_frame\",\"kind\":"

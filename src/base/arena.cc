@@ -1,0 +1,459 @@
+#include "base/arena.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace ctg
+{
+
+namespace
+{
+
+/** The calling thread's active arena (null = host heap). Constant
+ * initialization, so routing is safe from the first allocation. */
+thread_local Arena *tlsArena = nullptr;
+
+/** Malloc-path allocations (operator new calls not served by an
+ * arena) — the gauge behind heapAllocCount(). */
+std::atomic<std::uint64_t> heapAllocs{0};
+
+/**
+ * Global snapshot of every live arena's block ranges, for the
+ * delete path: a pointer freed on a thread whose arena does not own
+ * it (the fleet's merge thread destroying worker-built state, a
+ * stray escape) must still be recognized as arena memory and
+ * no-op'd. Readers take one acquire load and binary-search; writers
+ * copy-modify-publish under a mutex. Old snapshots are retired to a
+ * reachable list instead of freed — a freeing thread may still be
+ * reading one, and keeping them reachable also keeps leak checkers
+ * quiet. Growth is O(log arena-bytes) per arena, so the retired
+ * list stays tiny.
+ */
+struct RangeSnapshot
+{
+    std::vector<std::pair<std::uintptr_t, std::uintptr_t>> ranges;
+    RangeSnapshot *next = nullptr;
+};
+
+std::atomic<const RangeSnapshot *> liveRanges{nullptr};
+std::mutex rangesMu;
+RangeSnapshot *retiredRanges = nullptr;
+
+void
+publishRanges(const std::vector<std::pair<std::uintptr_t,
+                                          std::uintptr_t>> &ranges)
+{
+    // Allocate the snapshot off-arena even when called from inside
+    // an active scope (Arena::grow runs under one): the snapshot is
+    // global state and must survive every reset.
+    ArenaSuspend off;
+    auto *snapshot = new RangeSnapshot;
+    snapshot->ranges = ranges;
+    const RangeSnapshot *old =
+        liveRanges.exchange(snapshot, std::memory_order_acq_rel);
+    auto *retired = const_cast<RangeSnapshot *>(old);
+    if (retired != nullptr) {
+        retired->next = retiredRanges;
+        retiredRanges = retired;
+    }
+}
+
+void
+registerRange(void *lo, std::size_t size)
+{
+    const std::lock_guard<std::mutex> lock(rangesMu);
+    const RangeSnapshot *cur =
+        liveRanges.load(std::memory_order_acquire);
+    std::vector<std::pair<std::uintptr_t, std::uintptr_t>> next;
+    if (cur != nullptr)
+        next = cur->ranges;
+    const auto base = reinterpret_cast<std::uintptr_t>(lo);
+    next.emplace_back(base, base + size);
+    std::sort(next.begin(), next.end());
+    publishRanges(next);
+}
+
+void
+unregisterRange(void *lo)
+{
+    const std::lock_guard<std::mutex> lock(rangesMu);
+    const RangeSnapshot *cur =
+        liveRanges.load(std::memory_order_acquire);
+    if (cur == nullptr)
+        return;
+    std::vector<std::pair<std::uintptr_t, std::uintptr_t>> next =
+        cur->ranges;
+    const auto base = reinterpret_cast<std::uintptr_t>(lo);
+    for (auto it = next.begin(); it != next.end(); ++it) {
+        if (it->first == base) {
+            next.erase(it);
+            break;
+        }
+    }
+    publishRanges(next);
+}
+
+/** Is `ptr` inside any live arena block, per the global snapshot? */
+bool
+anyArenaOwns(const void *ptr)
+{
+    const RangeSnapshot *snapshot =
+        liveRanges.load(std::memory_order_acquire);
+    if (snapshot == nullptr || snapshot->ranges.empty())
+        return false;
+    const auto p = reinterpret_cast<std::uintptr_t>(ptr);
+    // Binary search: first range whose lo is > p, step back one.
+    std::size_t lo = 0, hi = snapshot->ranges.size();
+    while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (snapshot->ranges[mid].first <= p)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    if (lo == 0)
+        return false;
+    const auto &range = snapshot->ranges[lo - 1];
+    return p < range.second;
+}
+
+inline std::size_t
+alignUp(std::size_t v, std::size_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+} // namespace
+
+Arena::Arena() = default;
+
+Arena::~Arena()
+{
+    freeBlocks();
+}
+
+void
+Arena::freeBlocks()
+{
+    for (unsigned i = 0; i < nblocks_; ++i) {
+        unregisterRange(blocks_[i].data);
+        std::free(blocks_[i].data);
+        blocks_[i] = Block{};
+    }
+    nblocks_ = 0;
+    cur_ = end_ = nullptr;
+}
+
+bool
+Arena::grow(std::size_t need)
+{
+    if (nblocks_ >= maxBlocks)
+        return false;
+    std::size_t size = firstBlockBytes;
+    if (nblocks_ > 0) {
+        const std::size_t prev = blocks_[nblocks_ - 1].size;
+        size = prev < maxBlockBytes ? prev * 2 : maxBlockBytes;
+    }
+    if (size < need)
+        size = alignUp(need, firstBlockBytes);
+    auto *data = static_cast<char *>(std::malloc(size));
+    if (data == nullptr)
+        return false;
+    blocks_[nblocks_] = Block{data, size};
+    ++nblocks_;
+    cur_ = data;
+    end_ = data + size;
+    registerRange(data, size);
+    return true;
+}
+
+void *
+Arena::allocate(std::size_t size, std::size_t align)
+{
+    if (size == 0)
+        size = 1;
+    if (align < minAlign)
+        align = minAlign;
+    auto p = reinterpret_cast<std::uintptr_t>(cur_);
+    std::uintptr_t aligned = (p + align - 1) & ~(align - 1);
+    if (cur_ == nullptr ||
+        aligned + size > reinterpret_cast<std::uintptr_t>(end_)) {
+        if (!grow(size + align)) {
+            // Host-heap fallback: the matching delete finds the
+            // pointer not-owned and frees it normally.
+            heapAllocs.fetch_add(1, std::memory_order_relaxed);
+            void *fallback = std::malloc(size);
+            if (fallback == nullptr)
+                throw std::bad_alloc();
+            return fallback;
+        }
+        p = reinterpret_cast<std::uintptr_t>(cur_);
+        aligned = (p + align - 1) & ~(align - 1);
+    }
+    cur_ = reinterpret_cast<char *>(aligned + size);
+    used_ += (aligned + size) - p;
+    if (used_ > highWater_)
+        highWater_ = used_;
+    return reinterpret_cast<void *>(aligned);
+}
+
+bool
+Arena::owns(const void *ptr) const
+{
+    const auto p = reinterpret_cast<std::uintptr_t>(ptr);
+    for (unsigned i = 0; i < nblocks_; ++i) {
+        const auto lo =
+            reinterpret_cast<std::uintptr_t>(blocks_[i].data);
+        if (p >= lo && p < lo + blocks_[i].size)
+            return true;
+    }
+    return false;
+}
+
+void
+Arena::reset()
+{
+    if (nblocks_ > 1) {
+        // Consolidate: one block sized to the high-water mark, so
+        // the next task runs single-block and owns() is two
+        // compares.
+        const std::size_t want =
+            alignUp(static_cast<std::size_t>(highWater_) +
+                        firstBlockBytes,
+                    firstBlockBytes);
+        freeBlocks();
+        grow(want);
+    } else if (nblocks_ == 1) {
+        cur_ = blocks_[0].data;
+        end_ = cur_ + blocks_[0].size;
+    }
+    used_ = 0;
+}
+
+ArenaScope::ArenaScope(Arena &arena) : prev_(tlsArena)
+{
+    tlsArena = &arena;
+}
+
+ArenaScope::~ArenaScope()
+{
+    tlsArena = prev_;
+}
+
+ArenaSuspend::ArenaSuspend() : prev_(tlsArena)
+{
+    tlsArena = nullptr;
+}
+
+ArenaSuspend::~ArenaSuspend()
+{
+    tlsArena = prev_;
+}
+
+Arena *
+activeArena()
+{
+    return tlsArena;
+}
+
+std::uint64_t
+heapAllocCount()
+{
+    return heapAllocs.load(std::memory_order_relaxed);
+}
+
+namespace detail
+{
+
+/** Malloc-path allocation shared by every operator-new variant. */
+inline void *
+hostAlloc(std::size_t size, std::size_t align)
+{
+    heapAllocs.fetch_add(1, std::memory_order_relaxed);
+    if (align <= alignof(std::max_align_t))
+        return std::malloc(size != 0 ? size : 1);
+    void *ptr = nullptr;
+    if (posix_memalign(&ptr, align < sizeof(void *) ? sizeof(void *)
+                                                    : align,
+                       size != 0 ? size : align) != 0)
+        return nullptr;
+    return ptr;
+}
+
+inline void *
+routedAlloc(std::size_t size, std::size_t align)
+{
+    if (Arena *arena = tlsArena)
+        return arena->allocate(size, align);
+    return hostAlloc(size, align);
+}
+
+inline void
+routedFree(void *ptr)
+{
+    if (ptr == nullptr)
+        return;
+    Arena *arena = tlsArena;
+    if (arena != nullptr && arena->owns(ptr))
+        return;
+    if (anyArenaOwns(ptr))
+        return;
+    std::free(ptr);
+}
+
+} // namespace detail
+
+} // namespace ctg
+
+// -------------------------------------------------------------------
+// Global operator new/delete replacement. Linked program-wide through
+// ctg_base (every binary's undefined `operator new` pulls this object
+// in ahead of libstdc++'s definition), so *all* C++ allocations route
+// through the thread's arena when one is active. Sanitizer builds
+// keep working: the malloc path is ASan/TSan-intercepted std::malloc.
+// -------------------------------------------------------------------
+
+void *
+operator new(std::size_t size)
+{
+    void *ptr = ctg::detail::routedAlloc(size, ctg::Arena::minAlign);
+    if (ptr == nullptr)
+        throw std::bad_alloc();
+    return ptr;
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    try {
+        return ctg::detail::routedAlloc(size, ctg::Arena::minAlign);
+    } catch (...) {
+        return nullptr;
+    }
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    return ::operator new(size, std::nothrow);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    void *ptr = ctg::detail::routedAlloc(
+        size, static_cast<std::size_t>(align));
+    if (ptr == nullptr)
+        throw std::bad_alloc();
+    return ptr;
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return ::operator new(size, align);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align,
+             const std::nothrow_t &) noexcept
+{
+    try {
+        return ctg::detail::routedAlloc(
+            size, static_cast<std::size_t>(align));
+    } catch (...) {
+        return nullptr;
+    }
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align,
+               const std::nothrow_t &) noexcept
+{
+    return ::operator new(size, align, std::nothrow);
+}
+
+void
+operator delete(void *ptr) noexcept
+{
+    ctg::detail::routedFree(ptr);
+}
+
+void
+operator delete[](void *ptr) noexcept
+{
+    ctg::detail::routedFree(ptr);
+}
+
+void
+operator delete(void *ptr, std::size_t) noexcept
+{
+    ctg::detail::routedFree(ptr);
+}
+
+void
+operator delete[](void *ptr, std::size_t) noexcept
+{
+    ctg::detail::routedFree(ptr);
+}
+
+void
+operator delete(void *ptr, const std::nothrow_t &) noexcept
+{
+    ctg::detail::routedFree(ptr);
+}
+
+void
+operator delete[](void *ptr, const std::nothrow_t &) noexcept
+{
+    ctg::detail::routedFree(ptr);
+}
+
+void
+operator delete(void *ptr, std::align_val_t) noexcept
+{
+    ctg::detail::routedFree(ptr);
+}
+
+void
+operator delete[](void *ptr, std::align_val_t) noexcept
+{
+    ctg::detail::routedFree(ptr);
+}
+
+void
+operator delete(void *ptr, std::size_t, std::align_val_t) noexcept
+{
+    ctg::detail::routedFree(ptr);
+}
+
+void
+operator delete[](void *ptr, std::size_t, std::align_val_t) noexcept
+{
+    ctg::detail::routedFree(ptr);
+}
+
+void
+operator delete(void *ptr, std::align_val_t,
+                const std::nothrow_t &) noexcept
+{
+    ctg::detail::routedFree(ptr);
+}
+
+void
+operator delete[](void *ptr, std::align_val_t,
+                  const std::nothrow_t &) noexcept
+{
+    ctg::detail::routedFree(ptr);
+}

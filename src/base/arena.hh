@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Monotonic task arena with transparent operator-new routing.
+ *
+ * Fleet runs construct and destroy one full Server (frame table,
+ * buddy allocators, page tables, policy, workload) per task. The
+ * subsystems allocate through ordinary containers, so a cold
+ * construction costs thousands of small heap round-trips — the
+ * dominant setup/teardown cost at the 10⁵–10⁶ populations ROADMAP
+ * item 1 targets. An Arena turns that churn into pointer bumps: a
+ * worker activates its arena around a task (ArenaScope), every
+ * `operator new` on that thread becomes a bump allocation, every
+ * `operator delete` of arena-owned memory a no-op, and reset()
+ * rewinds the whole task's storage in O(blocks) for the next server.
+ *
+ * The routing is implemented by replacing the global operator
+ * new/delete family in arena.cc (linked into every binary through
+ * ctg_base). Rules that keep it sound:
+ *
+ *  - Deletes are matched by *ownership*, not by scope: a pointer is
+ *    a no-op free iff it lies inside a live arena block — checked
+ *    against the active thread's arena first, then against a global
+ *    lock-free snapshot of every live arena's block ranges. Any
+ *    other pointer goes to std::free, so heap allocations made
+ *    inside a scope (ArenaSuspend, fallback path) and arena
+ *    pointers freed from another thread (the fleet's merge step)
+ *    are both handled correctly.
+ *  - Nothing may *survive* a reset(): results that outlive the task
+ *    (scan PODs, trace text, span events) are deep-copied out under
+ *    ArenaSuspend before the scope closes. fleet.cc owns that
+ *    discipline; the pooled-vs-fresh equivalence suite pins it.
+ *  - Exceptions escaping a scope carry arena-backed what() strings;
+ *    callers re-throw a deep copy under ArenaSuspend (see
+ *    fleet.cc).
+ *
+ * Every malloc-path allocation (i.e. not served by an arena) bumps
+ * the process-wide counter behind heapAllocCount() (base/host_mem),
+ * which is the alloc-count gauge `bench/fleet_scale` reports: the
+ * pooled fleet path must show >= 10x fewer host-heap allocations per
+ * simulated server than the construct-per-task baseline.
+ */
+
+#ifndef CTG_BASE_ARENA_HH
+#define CTG_BASE_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ctg
+{
+
+/**
+ * A growable monotonic allocator. Blocks come from std::malloc
+ * (never from operator new — the replacement routes through here),
+ * grow geometrically, and are retained across reset() so a
+ * steady-state task allocates no host memory at all. Not
+ * thread-safe: one arena belongs to one worker at a time.
+ */
+class Arena
+{
+  public:
+    /** Every arena allocation is at least this aligned (matches
+     * __STDCPP_DEFAULT_NEW_ALIGNMENT__ on the supported ABIs). */
+    static constexpr std::size_t minAlign = 16;
+
+    Arena();
+    ~Arena();
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /** Bump-allocate `size` bytes at `align` (power of two). Never
+     * returns null: when the block table is exhausted the request
+     * falls back to the host heap, where the matching delete finds
+     * it not-owned and frees it normally. */
+    void *allocate(std::size_t size, std::size_t align = minAlign);
+
+    /** Does `ptr` point into a live block of this arena? */
+    bool owns(const void *ptr) const;
+
+    /**
+     * Rewind every block for reuse. O(blocks); nothing is returned
+     * to the host. When the previous task overflowed into multiple
+     * blocks, they are consolidated into one block sized to the
+     * high-water mark, so steady-state tasks run single-block (and
+     * owns() is two compares).
+     */
+    void reset();
+
+    /** Bytes handed out since the last reset(). */
+    std::uint64_t bytesUsed() const { return used_; }
+
+    /** Largest bytesUsed() ever observed (sizing the consolidated
+     * block; also a capacity-planning stat for the scale bench). */
+    std::uint64_t highWaterBytes() const { return highWater_; }
+
+    /** Live blocks (1 in steady state after consolidation). */
+    unsigned blockCount() const { return nblocks_; }
+
+  private:
+    struct Block
+    {
+        char *data = nullptr;
+        std::size_t size = 0;
+    };
+
+    /** Beyond this many blocks allocate() falls back to the host
+     * heap; with geometric growth the cap is never reached by real
+     * tasks (64 blocks cover ~2 GiB). */
+    static constexpr unsigned maxBlocks = 64;
+    static constexpr std::size_t firstBlockBytes = std::size_t{1}
+                                                   << 20;
+    static constexpr std::size_t maxBlockBytes = std::size_t{32}
+                                                 << 20;
+
+    /** Append a block of at least `need` bytes; false when the
+     * block table is full or the host is out of memory. */
+    bool grow(std::size_t need);
+
+    void freeBlocks();
+
+    Block blocks_[maxBlocks];
+    unsigned nblocks_ = 0;
+    /** Active block (always the last; earlier blocks are full). */
+    char *cur_ = nullptr;
+    char *end_ = nullptr;
+    std::uint64_t used_ = 0;
+    std::uint64_t highWater_ = 0;
+};
+
+/**
+ * RAII activation: while alive, the calling thread's operator new
+ * serves from `arena`. Scopes nest; the previous routing (usually
+ * none) is restored on destruction. The arena must outlive the
+ * scope and must not be reset() while allocations made under the
+ * scope are still live.
+ */
+class ArenaScope
+{
+  public:
+    explicit ArenaScope(Arena &arena);
+    ~ArenaScope();
+
+    ArenaScope(const ArenaScope &) = delete;
+    ArenaScope &operator=(const ArenaScope &) = delete;
+
+  private:
+    Arena *prev_;
+};
+
+/**
+ * RAII de-activation: while alive, the calling thread allocates
+ * from the host heap again. Used inside a scope to build results
+ * that must outlive the arena (deep copies in the fleet merge
+ * path, exception translation, the block-range registry itself).
+ */
+class ArenaSuspend
+{
+  public:
+    ArenaSuspend();
+    ~ArenaSuspend();
+
+    ArenaSuspend(const ArenaSuspend &) = delete;
+    ArenaSuspend &operator=(const ArenaSuspend &) = delete;
+
+  private:
+    Arena *prev_;
+};
+
+/** The arena the calling thread currently routes through, or null. */
+Arena *activeArena();
+
+} // namespace ctg
+
+#endif // CTG_BASE_ARENA_HH

@@ -116,6 +116,17 @@ EnvConfig::fromEnv()
                       env);
     }
 
+    if (const char *env = std::getenv("CTG_COARSE_STEP")) {
+        if (!parseBool(env, &config.coarseStep))
+            warn_once("ignoring malformed CTG_COARSE_STEP '%s'",
+                      env);
+    }
+
+    if (const char *env = std::getenv("CTG_SLOT_POOL")) {
+        if (!parseBool(env, &config.slotPool))
+            warn_once("ignoring malformed CTG_SLOT_POOL '%s'", env);
+    }
+
     if (const char *env = std::getenv("CTG_POLICY"))
         config.policySpec = env;
 

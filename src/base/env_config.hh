@@ -71,6 +71,24 @@ struct EnvConfig
      * this changes placement, so it is opt-in). */
     bool exactPref = false;
 
+    /** CTG_COARSE_STEP: fleet servers batch workload events into
+     * one step per uptime segment while their policy reports no
+     * pending maintenance (deferred resizes), dropping to the fine
+     * stepSec cadence while work is pending. Deterministic, but a
+     * deliberately coarser model than fine stepping — figure-shape
+     * regressions pin that the fig11 confinement direction and the
+     * Figure 4/12 CDF shapes survive it (default off; the scale
+     * bench turns it on). */
+    bool coarseStep = false;
+
+    /** CTG_SLOT_POOL: fleet workers recycle per-thread ServerSlot
+     * arenas across tasks instead of constructing every server on
+     * the host heap (default on; bit-identical either way — the
+     * pooled-vs-fresh equivalence suite pins it). "0" restores the
+     * construct-per-task baseline, which is also how the scale
+     * bench measures its alloc-count reduction. */
+    bool slotPool = true;
+
     /** CTG_POLICY: placement-policy spec "name[:key=val,...]"
      * (registry names: vanilla, contiguitas, contiguitas-nobias,
      * zone-movable, ...). Kept as the raw string here — the

@@ -39,6 +39,12 @@
 namespace ctg
 {
 
+namespace serde
+{
+class Writer;
+class Reader;
+} // namespace serde
+
 class OnlineHistogram
 {
   public:
@@ -75,6 +81,16 @@ class OnlineHistogram
     {
         return counts_;
     }
+
+    /** Serialize the full bucket map (ascending value order). A sink
+     * restored by loadFrom answers every query bit-identically —
+     * the shard protocol ships per-shard partials this way. */
+    void saveTo(serde::Writer &out) const;
+
+    /** Replace this sink's contents with serialized ones. Throws
+     * serde::Error on malformed input: NaN values, zero or
+     * overflowing counts, or values out of ascending order. */
+    void loadFrom(serde::Reader &in);
 
   private:
     std::map<double, std::uint64_t> counts_;

@@ -133,6 +133,12 @@ class ContiguitasPolicy : public MemPolicy
     }
     std::uint64_t freeUserPages() const override;
     std::uint64_t freeKernelPages() const override;
+    /** Deferred resizes retry with per-tick backoff, so coarse
+     * stepping must keep the fine cadence while one is queued. */
+    bool hasPendingMaintenance() const override
+    {
+        return regions_.deferredResizePending();
+    }
     std::pair<Pfn, Pfn> unmovableRegion() const override;
     BuddyAllocator &movableAllocator() override;
     PhysMem &mem() override { return kernel_.mem(); }

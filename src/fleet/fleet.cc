@@ -7,12 +7,14 @@
 #include <optional>
 #include <thread>
 
+#include "base/arena.hh"
 #include "base/env_config.hh"
 #include "base/host_mem.hh"
 #include "base/logging.hh"
 #include "base/rng.hh"
 #include "base/span_trace.hh"
 #include "base/trace.hh"
+#include "fleet/server_slot.hh"
 #include "sim/executor.hh"
 #include "sim/fault_injector.hh"
 #include "sim/snapshot.hh"
@@ -34,6 +36,10 @@ Fleet::Config::applyEnvOverlay()
         contigIndexReads = env.contigIndexReads;
     if (!exactPref)
         exactPref = env.exactPref;
+    if (!coarseStep)
+        coarseStep = env.coarseStep;
+    if (!slotPool)
+        slotPool = env.slotPool;
     if (!streamScans)
         streamScans = env.streamScans;
     if (checkpointDir.empty())
@@ -62,13 +68,8 @@ resolvedKindOverride(const Fleet::Config &config)
     return config.kindOverride;
 }
 
-/** Fingerprint of everything in a Fleet::Config that shapes the
- * population (thread count and streaming/telemetry knobs excluded —
- * they are bit-identical by contract). Stamped into the checkpoint
- * manifest; a restore against a different fleet configuration is
- * refused up front. The workload override is mixed in resolved form,
- * so CTG_WORKLOAD=cache-b and the deprecated kindOverride=CacheB
- * fingerprint identically — they configure the same population. */
+} // namespace
+
 std::uint64_t
 fleetConfigFingerprint(const Fleet::Config &config)
 {
@@ -88,10 +89,15 @@ fleetConfigFingerprint(const Fleet::Config &config)
     fp.mixBool(kind.has_value());
     if (kind)
         fp.mixU32(static_cast<std::uint32_t>(*kind));
+    // Coarse stepping changes results, so it partitions snapshots
+    // just like it does in serverConfigFingerprint. Mixed resolved,
+    // so config and CTG_COARSE_STEP spellings agree. The shard range
+    // (rangeBegin/rangeEnd) is deliberately NOT mixed: shards of one
+    // population must share a single manifest.
+    fp.mixBool(config.coarseStep.value_or(
+        sim::EnvConfig::fromEnv().coarseStep));
     return fp.value();
 }
-
-} // namespace
 
 void
 Fleet::ScanSinks::absorb(const ServerScan &scan)
@@ -115,6 +121,20 @@ Fleet::Fleet(const Config &config)
     : config_(config),
       tables_(SharedFleetTables::make(config.memBytes))
 {}
+
+Server::Config
+Fleet::baseServerConfig() const
+{
+    Server::Config sc;
+    sc.memBytes = config_.memBytes;
+    sc.policy = config_.policy;
+    sc.sharedTables = tables_;
+    sc.contigIndexReads = config_.contigIndexReads;
+    sc.exactPref = config_.exactPref;
+    sc.coarseStep = config_.coarseStep;
+    sc.extraUptimeSec = config_.extraUptimeSec;
+    return sc;
+}
 
 void
 Fleet::attachTelemetry(StatRegistry &registry, StatSampler *sampler,
@@ -153,6 +173,18 @@ Fleet::run()
 {
     const auto wallStart = std::chrono::steady_clock::now();
 
+    // Shard range: sample the whole population (identical seed
+    // stream in every shard) but simulate only [lo, hi).
+    const unsigned lo = config_.rangeBegin;
+    const unsigned hi =
+        config_.rangeEnd == 0 ? config_.servers : config_.rangeEnd;
+    if (lo > hi || hi > config_.servers)
+        fatal("fleet range [%u, %u) outside population of %u",
+              lo, hi, config_.servers);
+    const unsigned count = hi - lo;
+    capturedSpans_.clear();
+    pendingManifestEntries_.clear();
+
     Executor executor(config_.threads);
     runThreads_ = executor.threads();
 
@@ -183,6 +215,7 @@ Fleet::run()
     // the calling thread, before dispatch: the seed stream is
     // consumed in server order, so the draws cannot depend on the
     // worker schedule.
+    const Server::Config base = baseServerConfig();
     std::vector<Server::Config> configs(config_.servers);
     {
     CTG_SPAN(Fleet, "fleet.sample_configs",
@@ -190,8 +223,9 @@ Fleet::run()
     Rng rng(config_.seed);
     for (unsigned i = 0; i < config_.servers; ++i) {
         Server::Config &sc = configs[i];
-        sc.memBytes = config_.memBytes;
-        sc.policy = config_.policy;
+        // Fleet-wide knobs are plain copies of the stamped base —
+        // not RNG draws, so they cannot perturb the seed stream.
+        sc = base;
         sc.kind = kinds[rng.below(std::size(kinds))];
         // Applied after the draw so the seed stream is unchanged.
         if (kindOverride)
@@ -201,11 +235,6 @@ Fleet::run()
             rng.uniform() * (config_.maxIntensity -
                              config_.minIntensity);
         sc.prefragment = rng.chance(config_.prefragmentFrac);
-        // Plain copies, not RNG draws: must not perturb the stream.
-        sc.sharedTables = tables_;
-        sc.contigIndexReads = config_.contigIndexReads;
-        sc.exactPref = config_.exactPref;
-        sc.extraUptimeSec = config_.extraUptimeSec;
         sc.uptimeSec =
             config_.minUptimeSec +
             rng.uniform() * (config_.maxUptimeSec -
@@ -258,7 +287,7 @@ Fleet::run()
          * checkpointing succeeded for it. */
         std::optional<snap::ManifestEntry> snapEntry;
     };
-    std::vector<TaskResult> results(config_.servers);
+    std::vector<TaskResult> results(count);
 
     // Streaming sinks: one partial per worker thread, folded as each
     // task finishes (one short lock per server). OnlineHistogram
@@ -268,13 +297,26 @@ Fleet::run()
     std::map<std::thread::id, ScanSinks> workerSinks;
     streamSinks_ = ScanSinks{};
 
-    {
-    CTG_SPAN(Fleet, "fleet.simulate",
-             {{"servers", config_.servers}, {"threads", runThreads_}});
-    executor.run(config_.servers, [&](std::size_t task) {
-        const unsigned i = static_cast<unsigned>(task);
-        const Server::Config &sc = configs[i];
-        TaskResult &out = results[i];
+    // Pooled per-worker server storage (the fleet-scale fast path):
+    // one ServerSlot per worker thread, its arena reset and reused
+    // across tasks. Slots are keyed by thread id under a mutex, the
+    // same pattern as workerSinks — the executor has no worker-index
+    // API, and one short lock per server is noise next to the ~ms of
+    // simulation it brackets.
+    const bool pooled = config_.slotPool.value_or(
+        sim::EnvConfig::fromEnv().slotPool);
+    std::mutex slotsMu;
+    std::map<std::thread::id, std::unique_ptr<ServerSlot>> slots;
+
+    // The task body, shared by the pooled and fresh paths. With a
+    // slot, the caller has already opened an ArenaScope: every
+    // allocation below lands in the slot's arena and dies at the
+    // next task's rewind, so everything that outlives the task —
+    // trace text, span events, the manifest entry — is deep-copied
+    // into `out` under ArenaSuspend before returning. ServerScan is
+    // all-POD and assigns safely either way.
+    const auto runOne = [&](unsigned i, const Server::Config &sc,
+                            TaskResult &out, ServerSlot *slot) {
         trace::ThreadCapture capture;
         std::optional<spans::Capture> spanCapture;
         if (spansOn)
@@ -284,8 +326,8 @@ Fleet::run()
                     "prefragment=%d uptime=%.1fs",
                     i, int(sc.kind), sc.intensity,
                     int(sc.prefragment), sc.uptimeSec);
-        out.faults = ambient.forkForTask(i);
         const FaultInjectorScope scope(out.faults);
+        std::optional<snap::ManifestEntry> localEntry;
         {
             CTG_SPAN_NAMED(srv_span, Fleet, "server.run",
                            {{"server", i},
@@ -313,9 +355,15 @@ Fleet::run()
                             snap::readImageFile(config_.restoreDir +
                                                 "/" + entry->file);
                         snap::validateAgainstManifest(*entry, bytes);
-                        const std::unique_ptr<Server> server =
+                        std::unique_ptr<Server> server =
                             decodeSnapshot(sc, bytes, &out.faults);
-                        out.scan = server->resume();
+                        if (slot != nullptr) {
+                            out.scan =
+                                slot->adopt(std::move(server))
+                                    .resume();
+                        } else {
+                            out.scan = server->resume();
+                        }
                         restored = true;
                     } catch (const serde::Error &e) {
                         warn("server %u: snapshot restore failed "
@@ -323,8 +371,17 @@ Fleet::run()
                     }
                 }
             }
+            // Fresh construction: into the slot's arena when pooled
+            // (no rewind — a restore fallback must not clobber the
+            // captures above), on the stack otherwise.
+            std::optional<Server> localServer;
+            const auto makeServer = [&]() -> Server & {
+                if (slot != nullptr)
+                    return slot->construct(sc);
+                return localServer.emplace(sc);
+            };
             if (!restored && checkpointing) {
-                Server server(sc);
+                Server &server = makeServer();
                 server.runToCheckpoint();
                 snap::ManifestEntry entry;
                 entry.server = i;
@@ -340,17 +397,19 @@ Fleet::run()
                 if (snap::writeImageFile(config_.checkpointDir +
                                              "/" + entry.file,
                                          bytes))
-                    out.snapEntry = std::move(entry);
+                    localEntry = std::move(entry);
                 out.scan = server.resume();
             } else if (!restored) {
-                Server server(sc);
-                out.scan = server.run();
+                out.scan = makeServer().run();
             }
             srv_span.arg("free_2m_bp",
                          static_cast<std::int64_t>(
                              out.scan.freeContiguity[0] * 10000.0));
         }
         if (config_.streamScans) {
+            // The sink map nodes and histogram buckets outlive the
+            // task, so they must come from the heap, not the arena.
+            const ArenaSuspend off;
             const std::lock_guard<std::mutex> lock(sinksMu);
             workerSinks[std::this_thread::get_id()].absorb(out.scan);
         }
@@ -359,9 +418,84 @@ Fleet::run()
                     "unmovable_blocks_2m=%.3f",
                     i, out.scan.freeContiguity[0],
                     out.scan.unmovableBlocks[0]);
-        out.traceText = capture.take();
+        if (slot == nullptr) {
+            out.traceText = capture.take();
+            if (spanCapture)
+                out.spanEvents = spanCapture->take();
+            out.snapEntry = std::move(localEntry);
+            return;
+        }
+        // Pooled: the captured buffers are arena-backed. Take them
+        // first (still inside the scope), then deep-copy element by
+        // element with the arena suspended so the copies survive the
+        // rewind. Event name/key pointers are static literals, safe
+        // to carry across tasks.
+        const std::string traceText = capture.take();
+        std::vector<spans::Event> events;
         if (spanCapture)
-            out.spanEvents = spanCapture->take();
+            events = spanCapture->take();
+        const ArenaSuspend off;
+        out.traceText.assign(traceText.begin(), traceText.end());
+        out.spanEvents.assign(events.begin(), events.end());
+        if (localEntry) {
+            snap::ManifestEntry deep;
+            deep.server = localEntry->server;
+            deep.bytes = localEntry->bytes;
+            deep.crc = localEntry->crc;
+            deep.file.assign(localEntry->file.begin(),
+                             localEntry->file.end());
+            out.snapEntry = std::move(deep);
+        }
+    };
+
+    {
+    CTG_SPAN(Fleet, "fleet.simulate",
+             {{"servers", count}, {"threads", runThreads_}});
+    executor.run(count, [&](std::size_t task) {
+        const unsigned i = lo + static_cast<unsigned>(task);
+        const Server::Config &sc = configs[i];
+        TaskResult &out = results[task];
+        // Heap-free, so safe to fork before any arena is active.
+        out.faults = ambient.forkForTask(i);
+        if (!pooled) {
+            runOne(i, sc, out, nullptr);
+            return;
+        }
+        ServerSlot *slot = nullptr;
+        {
+            const std::lock_guard<std::mutex> lock(slotsMu);
+            std::unique_ptr<ServerSlot> &entry =
+                slots[std::this_thread::get_id()];
+            if (entry == nullptr)
+                entry = std::make_unique<ServerSlot>();
+            slot = entry.get();
+        }
+        // Rewind before the scope opens: the rewind invalidates the
+        // previous task's arena contents, so nothing this task has
+        // allocated may predate it.
+        slot->begin();
+        const ArenaScope arenaScope(slot->arena());
+        try {
+            runOne(i, sc, out, slot);
+        } catch (const PanicError &e) {
+            // Exception messages are arena-backed; rethrow a deep
+            // copy built off-arena, preserving the concrete types
+            // tests and callers catch. bad_alloc carries a static
+            // message and propagates as-is.
+            const ArenaSuspend off;
+            throw PanicError(std::string(e.what()));
+        } catch (const FatalError &e) {
+            const ArenaSuspend off;
+            throw FatalError(std::string(e.what()));
+        } catch (const serde::Error &e) {
+            const ArenaSuspend off;
+            throw serde::Error(std::string(e.what()));
+        } catch (const std::bad_alloc &) {
+            throw;
+        } catch (const std::exception &e) {
+            const ArenaSuspend off;
+            throw std::runtime_error(std::string(e.what()));
+        }
     });
     }
 
@@ -369,15 +503,19 @@ Fleet::run()
     // here, in server order, on the calling thread — identical
     // Distributions (same sample order), sampler snapshots, trace
     // bytes, span streams and fault counters at any thread count.
-    CTG_SPAN(Fleet, "fleet.merge", {{"servers", config_.servers}});
+    CTG_SPAN(Fleet, "fleet.merge", {{"servers", count}});
     const std::size_t snapshotBase =
         sampler_ != nullptr ? sampler_->sampleCount() : 0;
+    if (config_.captureSpans)
+        capturedSpans_.resize(count);
     std::vector<ServerScan> scans;
-    scans.reserve(config_.servers);
-    for (unsigned i = 0; i < config_.servers; ++i) {
-        TaskResult &r = results[i];
+    scans.reserve(count);
+    for (unsigned task = 0; task < count; ++task) {
+        TaskResult &r = results[task];
         trace::emitRaw(r.traceText);
-        if (!r.spanEvents.empty())
+        if (config_.captureSpans)
+            capturedSpans_[task] = std::move(r.spanEvents);
+        else if (!r.spanEvents.empty())
             spans::publish(std::move(r.spanEvents));
         ambient.absorbStats(r.faults);
         if (serversRun_ != nullptr) {
@@ -392,11 +530,11 @@ Fleet::run()
                 // reused sampler would violate its non-decreasing
                 // tick contract and scramble the series.
                 sampler_->sample(
-                    static_cast<Tick>(snapshotBase + i));
+                    static_cast<Tick>(snapshotBase + task));
                 ctg_assert(sampler_->sampleCount() ==
-                           snapshotBase + i + 1);
+                           snapshotBase + task + 1);
                 ctg_assert(sampler_->ticks().back() ==
-                           static_cast<Tick>(snapshotBase + i));
+                           static_cast<Tick>(snapshotBase + task));
             }
         }
         scans.push_back(r.scan);
@@ -406,14 +544,24 @@ Fleet::run()
     // order: the snap.manifest_skew probes it takes on the ambient
     // injector are deterministic at any thread count. Servers whose
     // snapshot write failed are simply absent — a later restore
-    // cold-starts them.
+    // cold-starts them. A partial (shard) range never writes a
+    // manifest: its entries are stashed for the shard parent, which
+    // merges every shard's and writes the one manifest itself, so
+    // the per-entry manifest_skew probes land on the parent's
+    // ambient injector exactly as in a single-process run.
     if (checkpointing) {
-        snap::Manifest manifest;
-        manifest.fleetFingerprint = fleetFp;
-        for (unsigned i = 0; i < config_.servers; ++i)
-            if (results[i].snapEntry)
-                manifest.entries.push_back(*results[i].snapEntry);
-        snap::writeManifest(config_.checkpointDir, manifest);
+        std::vector<snap::ManifestEntry> entries;
+        for (unsigned task = 0; task < count; ++task)
+            if (results[task].snapEntry)
+                entries.push_back(*results[task].snapEntry);
+        if (lo == 0 && hi == config_.servers) {
+            snap::Manifest manifest;
+            manifest.fleetFingerprint = fleetFp;
+            manifest.entries = std::move(entries);
+            snap::writeManifest(config_.checkpointDir, manifest);
+        } else {
+            pendingManifestEntries_ = std::move(entries);
+        }
     }
 
     // Per-worker partials merge in map order; OnlineHistogram::merge

@@ -24,8 +24,10 @@
 #include <vector>
 
 #include "base/mergeable_stats.hh"
+#include "base/span_trace.hh"
 #include "fleet/server.hh"
 #include "fleet/shared_tables.hh"
+#include "sim/snapshot.hh"
 
 namespace ctg
 {
@@ -85,6 +87,19 @@ class Fleet
         /** Per-server exact AddrPref toggle, copied into every
          * Server::Config (nullopt = CTG_EXACT_PREF, default off). */
         std::optional<bool> exactPref;
+        /** Per-server scale stepping toggle, copied into every
+         * Server::Config (nullopt = CTG_COARSE_STEP, default off).
+         * Changes results (deliberately coarser model), so it is
+         * part of both config fingerprints. */
+        std::optional<bool> coarseStep;
+        /** Pooled per-worker server arenas (nullopt = CTG_SLOT_POOL,
+         * default on): each worker thread keeps one ServerSlot whose
+         * arena backs every allocation a server task makes, reset
+         * and reused across tasks instead of churning the heap.
+         * Results are bit-identical either way; "false" restores the
+         * per-task-churn baseline (the pool equivalence tests pin
+         * this). */
+        std::optional<bool> slotPool;
         /** Fold each server's scan into streaming per-worker
          * OnlineHistogram sinks as tasks finish, merged after the
          * run (scanSinks()). The sinks answer quantile/CDF queries
@@ -110,9 +125,25 @@ class Fleet
          * either way. Empty disables restoring. */
         std::string restoreDir;
 
+        /** Shard-internal knobs (set by runShardedFleet, not user
+         * config): run only servers [rangeBegin, rangeEnd) while
+         * sampling the full population's configs, so every shard
+         * consumes the identical seed stream. 0/0 = whole fleet.
+         * Neither field enters the fleet fingerprint — a sharded
+         * run checkpoints/restores against the same manifest as a
+         * single-process one. */
+        unsigned rangeBegin = 0;
+        unsigned rangeEnd = 0;
+        /** Shard-internal: stash each server's span events in
+         * takeCapturedSpans() order instead of publishing them to
+         * the process-local collector, so a shard child can ship
+         * them across the pipe for the parent to publish. */
+        bool captureSpans = false;
+
         /** Overlay environment-derived fields (sim::EnvConfig) onto
          * any still-unset knobs (threads, contigIndexReads,
-         * exactPref, streamScans, checkpointDir, restoreDir). */
+         * exactPref, coarseStep, slotPool, streamScans,
+         * checkpointDir, restoreDir). */
         void applyEnvOverlay();
     };
 
@@ -174,12 +205,38 @@ class Fleet
         return tables_;
     }
 
+    /** One server's config with every fleet-wide (non-sampled) knob
+     * stamped: memBytes, policy, shared tables, toggles, step mode,
+     * extra uptime. run() starts each sampled config from this;
+     * benchmarks reuse it to probe a representative server without
+     * restating the stamping rules. */
+    Server::Config baseServerConfig() const;
+
+    /** Span events captured by the last run() under
+     * Config::captureSpans, one vector per server in the run's
+     * range, in server order (moves them out; empty otherwise). */
+    std::vector<std::vector<spans::Event>> takeCapturedSpans()
+    {
+        return std::move(capturedSpans_);
+    }
+
+    /** Manifest entries the last ranged run() produced instead of
+     * writing a manifest (a partial range never writes one — the
+     * shard parent merges entries from every shard and writes the
+     * single manifest itself). Moves them out. */
+    std::vector<snap::ManifestEntry> takePendingManifestEntries()
+    {
+        return std::move(pendingManifestEntries_);
+    }
+
     const Config &config() const { return config_; }
 
   private:
     Config config_;
     std::shared_ptr<const SharedFleetTables> tables_;
     ScanSinks streamSinks_;
+    std::vector<std::vector<spans::Event>> capturedSpans_;
+    std::vector<snap::ManifestEntry> pendingManifestEntries_;
     StatSampler *sampler_ = nullptr;
     Distribution *freeContiguity2m_ = nullptr;
     Distribution *unmovableBlocks2m_ = nullptr;
@@ -189,6 +246,16 @@ class Fleet
     double runWallMs_ = 0.0;
     unsigned runThreads_ = 0;
 };
+
+/** Fingerprint of everything in a Fleet::Config that shapes the
+ * population (thread count, shard range and streaming/telemetry
+ * knobs excluded — they are bit-identical by contract). Stamped into
+ * the checkpoint manifest; a restore against a different fleet
+ * configuration is refused up front. The workload override is mixed
+ * in resolved form, so CTG_WORKLOAD=cache-b and the deprecated
+ * kindOverride=CacheB fingerprint identically — they configure the
+ * same population. */
+std::uint64_t fleetConfigFingerprint(const Fleet::Config &config);
 
 } // namespace ctg
 

@@ -29,6 +29,8 @@ Server::Config::applyEnvOverlay()
     }
     if (!exactPref)
         exactPref = sim::EnvConfig::fromEnv().exactPref;
+    if (!coarseStep)
+        coarseStep = sim::EnvConfig::fromEnv().coarseStep;
 }
 
 WorkloadProfile
@@ -251,8 +253,29 @@ void
 Server::runSegment(double seconds)
 {
     if (sampler_ == nullptr && auditor_ == nullptr) {
-        if (seconds > 0.0)
+        if (seconds <= 0.0)
+            return;
+        if (!config_.coarseStep.value_or(
+                sim::EnvConfig::fromEnv().coarseStep)) {
             workload_->runFor(seconds, config_.stepSec);
+            return;
+        }
+        // Scale stepping: batch the remainder of the segment into a
+        // single workload step while the policy is idle; fall back
+        // to the fine cadence while maintenance (deferred resizes)
+        // is pending so its per-tick retries still happen. Pending
+        // work surfacing *inside* a batched step waits for the next
+        // quantum boundary — that coarsening is the model, and it
+        // is deterministic either way.
+        double remaining = seconds;
+        while (remaining > 0.0) {
+            const double dt =
+                kernel_->policy().hasPendingMaintenance()
+                    ? std::min(config_.stepSec, remaining)
+                    : remaining;
+            workload_->runFor(dt, dt);
+            remaining -= dt;
+        }
         return;
     }
 
@@ -361,6 +384,10 @@ serverConfigFingerprint(const Server::Config &config)
     // deliberately left out.
     fp.mixBool(config.exactPref.value_or(
         sim::EnvConfig::fromEnv().exactPref));
+    // Coarse stepping batches workload events differently, so a
+    // snapshot taken fine must not silently resume coarse.
+    fp.mixBool(config.coarseStep.value_or(
+        sim::EnvConfig::fromEnv().coarseStep));
     return fp.value();
 }
 

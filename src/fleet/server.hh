@@ -81,6 +81,17 @@ class Server
          * bit-identical warm-start contract. */
         double extraUptimeSec = 0.0;
         double stepSec = 1.0;
+        /** Scale stepping (nullopt defers to CTG_COARSE_STEP,
+         * default off): while the policy reports no pending
+         * maintenance, batch the rest of the segment into one
+         * workload step instead of pacing at stepSec — skipping the
+         * per-step tick/PSI/kcompactd overhead on idle ticks.
+         * Deterministic, but a deliberately coarser model than fine
+         * stepping (it changes results, so it is fingerprinted);
+         * figure regressions pin that the confinement direction and
+         * CDF shapes survive it. Ignored when a sampler or step
+         * auditor needs the per-step cadence. */
+        std::optional<bool> coarseStep;
         std::uint64_t seed = 1;
         /** Metric reads answer from the ContigIndex (nullopt defers
          * to the CTG_CONTIG_INDEX environment knob, default on).

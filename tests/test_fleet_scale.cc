@@ -18,11 +18,14 @@
 #include <filesystem>
 #include <vector>
 
+#include "base/arena.hh"
 #include "base/rng.hh"
 #include "base/serde.hh"
+#include "base/span_trace.hh"
 #include "base/units.hh"
 #include "bench/bench_util.hh"
 #include "fleet/fleet.hh"
+#include "fleet/sharding.hh"
 #include "fleet/shared_tables.hh"
 #include "mem/auditor.hh"
 #include "mem/buddy.hh"
@@ -945,6 +948,451 @@ TEST_F(FleetScaleTier, KiloServerSnapshotRoundTrip)
     EXPECT_EQ(scansBits(restored.run()), straightBits);
 
     std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------
+// Task arena (base/arena)
+// ---------------------------------------------------------------
+
+TEST(Arena, AlignmentAndOwnership)
+{
+    Arena arena;
+    void *p = arena.allocate(24);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % Arena::minAlign,
+              0u);
+    EXPECT_TRUE(arena.owns(p));
+
+    // Over-aligned requests must honor the requested alignment, not
+    // just the default.
+    void *q = arena.allocate(100, 64);
+    ASSERT_NE(q, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(q) % 64, 0u);
+    EXPECT_TRUE(arena.owns(q));
+
+    int onStack = 0;
+    EXPECT_FALSE(arena.owns(&onStack));
+    EXPECT_GE(arena.bytesUsed(), 124u);
+}
+
+TEST(Arena, ResetConsolidatesToHighWaterSingleBlock)
+{
+    Arena arena;
+    // Overflow the first block (1 MiB) so the arena grows, then
+    // reset: the blocks must consolidate into one sized to the
+    // high-water mark, and a same-sized refill must not grow again.
+    constexpr std::size_t chunk = 64 * 1024;
+    constexpr unsigned chunks = 40; // 2.5 MiB
+    for (unsigned i = 0; i < chunks; ++i)
+        ASSERT_NE(arena.allocate(chunk), nullptr);
+    const std::uint64_t firstFill = arena.bytesUsed();
+    EXPECT_GT(arena.blockCount(), 1u);
+    EXPECT_GE(arena.highWaterBytes(), firstFill);
+
+    arena.reset();
+    EXPECT_EQ(arena.bytesUsed(), 0u);
+    EXPECT_EQ(arena.blockCount(), 1u);
+    EXPECT_GE(arena.highWaterBytes(), firstFill);
+
+    for (unsigned i = 0; i < chunks; ++i)
+        ASSERT_NE(arena.allocate(chunk), nullptr);
+    EXPECT_EQ(arena.blockCount(), 1u)
+        << "steady-state refill must fit the consolidated block";
+    arena.reset();
+}
+
+TEST(Arena, ScopeRoutesOperatorNewAndSuspendRestoresHeap)
+{
+    Arena arena;
+    EXPECT_EQ(activeArena(), nullptr);
+    {
+        const ArenaScope scope(arena);
+        EXPECT_EQ(activeArena(), &arena);
+
+        char *p = new char[100];
+        EXPECT_TRUE(arena.owns(p));
+
+        struct alignas(64) Wide
+        {
+            char bytes[64];
+        };
+        Wide *w = new Wide;
+        EXPECT_TRUE(arena.owns(w));
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w) % 64, 0u);
+
+        char *heap = nullptr;
+        {
+            const ArenaSuspend off;
+            EXPECT_EQ(activeArena(), nullptr);
+            heap = new char[100];
+            EXPECT_FALSE(arena.owns(heap));
+        }
+        EXPECT_EQ(activeArena(), &arena);
+
+        // Arena-owned deletes are no-op frees; the heap pointer made
+        // under the suspend goes back to the host heap as usual.
+        delete w;
+        delete[] p;
+        delete[] heap;
+    }
+    EXPECT_EQ(activeArena(), nullptr);
+    arena.reset();
+}
+
+// ---------------------------------------------------------------
+// Pooled server slots: bit-identical to fresh construction
+// ---------------------------------------------------------------
+
+/** Everything observable about a span event except wallUs (wall
+ * clock is explicitly non-deterministic) — names and arg keys by
+ * string value, so events that crossed a process boundary compare
+ * equal to in-process ones. */
+std::string
+eventRecord(const spans::Event &e)
+{
+    std::string out;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%u|%u|%s|%llu|%llu|%llu|%llu|%u|%u",
+                  static_cast<unsigned>(e.phase),
+                  static_cast<unsigned>(e.flag), e.name,
+                  static_cast<unsigned long long>(e.id),
+                  static_cast<unsigned long long>(e.parent),
+                  static_cast<unsigned long long>(e.ts),
+                  static_cast<unsigned long long>(e.tick), e.stream,
+                  static_cast<unsigned>(e.nargs));
+    out += buf;
+    for (unsigned i = 0; i < e.nargs; ++i) {
+        std::snprintf(buf, sizeof(buf), "|%s=%lld", e.args[i].key,
+                      static_cast<long long>(e.args[i].value));
+        out += buf;
+    }
+    return out;
+}
+
+/** Per-server span events of the last run, in collection order
+ * (stream 0 — the main thread's fleet phase spans — excluded, since
+ * shard children cannot ship those). */
+std::vector<std::string>
+serverSpanRecords()
+{
+    std::vector<std::string> out;
+    for (const spans::Event &e : spans::collectedEvents())
+        if (e.stream != 0)
+            out.push_back(eventRecord(e));
+    return out;
+}
+
+TEST_F(FleetScaleTier, PooledSlotsMatchFreshConstructionBitExact)
+{
+    // The pool is pure mechanism: reusing a worker's arena-backed
+    // ServerSlot across tasks must not move a bit of the scans, the
+    // streamed quantiles, or the span event streams relative to
+    // constructing every server from the host heap — at any thread
+    // count.
+    for (const bool contiguitas : {false, true}) {
+        std::vector<std::uint64_t> baseline;
+        std::vector<std::string> baselineSpans;
+        struct Variant
+        {
+            bool pooled;
+            unsigned threads;
+        };
+        for (const Variant v : {Variant{false, 1}, Variant{true, 1},
+                                Variant{true, 4}, Variant{true, 8}}) {
+            spans::resetForTest();
+            spans::enableAll();
+            Fleet::Config config = scaleTierFleet(contiguitas, 16);
+            config.threads = v.threads;
+            config.slotPool = v.pooled;
+            Fleet fleet(config);
+            std::vector<std::uint64_t> record =
+                scansBits(fleet.run());
+            for (const double f : {0.0, 0.25, 0.5, 0.9, 1.0}) {
+                record.push_back(bits(
+                    fleet.scanSinks().freeContiguity2m.quantile(f)));
+                record.push_back(bits(
+                    fleet.scanSinks().unmovableBlocks2m.quantile(f)));
+            }
+            const std::vector<std::string> spanRecords =
+                serverSpanRecords();
+            spans::resetForTest();
+            if (baseline.empty()) {
+                baseline = record;
+                baselineSpans = spanRecords;
+                EXPECT_FALSE(baseline.empty());
+                EXPECT_FALSE(baselineSpans.empty());
+            } else {
+                EXPECT_EQ(record, baseline)
+                    << "pooled=" << v.pooled << " threads="
+                    << v.threads << " ctg=" << contiguitas;
+                EXPECT_EQ(spanRecords, baselineSpans)
+                    << "span drift, pooled=" << v.pooled
+                    << " threads=" << v.threads;
+            }
+        }
+    }
+}
+
+TEST_F(FleetScaleTier, PooledSlotsMatchFreshWithEveryFaultSiteArmed)
+{
+    // Same contract under chaos: all 13 fault sites armed, pooled
+    // runs at several thread counts against the fresh-construction
+    // baseline — scans and the exact evaluation/fire counters.
+    const auto runVariant = [](bool pooled, unsigned threads) {
+        faultInjector().reset(0xbadc0de);
+        for (unsigned i = 0; i < numFaultSites; ++i)
+            faultInjector().arm(static_cast<FaultSite>(i),
+                                FaultSpec::chance(0.02));
+        Fleet::Config config = scaleTierFleet(true, 12);
+        config.threads = threads;
+        config.slotPool = pooled;
+        Fleet fleet(config);
+        std::vector<std::uint64_t> record = scansBits(fleet.run());
+        for (unsigned i = 0; i < numFaultSites; ++i) {
+            const auto &s = faultInjector().siteStats(
+                static_cast<FaultSite>(i));
+            record.push_back(s.evaluations);
+            record.push_back(s.fires);
+        }
+        faultInjector().reset();
+        return record;
+    };
+    const auto baseline = runVariant(false, 1);
+    EXPECT_EQ(runVariant(true, 1), baseline);
+    EXPECT_EQ(runVariant(true, 4), baseline);
+    EXPECT_EQ(runVariant(true, 8), baseline);
+}
+
+// ---------------------------------------------------------------
+// Process sharding: bit-identical to single-process
+// ---------------------------------------------------------------
+
+/** Sink fingerprint: count, mean and a quantile ladder of every
+ * streamed histogram, as bits. */
+std::vector<std::uint64_t>
+sinkBits(const Fleet::ScanSinks &sinks)
+{
+    std::vector<std::uint64_t> out;
+    const OnlineHistogram *hists[] = {
+        &sinks.freeContiguity2m, &sinks.unmovableBlocks2m,
+        &sinks.unmovablePageRatio, &sinks.uptimeSec};
+    for (const OnlineHistogram *h : hists) {
+        out.push_back(h->count());
+        out.push_back(bits(h->mean()));
+        for (const double f : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0})
+            out.push_back(bits(h->quantile(f)));
+    }
+    return out;
+}
+
+TEST_F(FleetScaleTier, ShardedRunMatchesSingleProcessBitExact)
+{
+    // Forking the population across worker processes is pure
+    // mechanism too: scans, streamed sinks and per-server span
+    // streams must merge back bit-identical to the unsharded run,
+    // and the shard ranges must partition the population exactly.
+    for (const bool contiguitas : {false, true}) {
+        Fleet::Config config = scaleTierFleet(contiguitas, 22);
+        config.threads = 2;
+
+        spans::resetForTest();
+        spans::enableAll();
+        Fleet single(config);
+        auto singleBits = scansBits(single.run());
+        const auto singleSinks = sinkBits(single.scanSinks());
+        const auto singleSpans = serverSpanRecords();
+        spans::resetForTest();
+
+        spans::enableAll();
+        const ShardRunResult sharded =
+            runShardedFleet(config, 3);
+        const auto shardSpans = serverSpanRecords();
+        spans::resetForTest();
+
+        EXPECT_EQ(scansBits(sharded.scans), singleBits)
+            << "ctg=" << contiguitas;
+        EXPECT_EQ(sinkBits(sharded.sinks), singleSinks);
+        EXPECT_EQ(shardSpans, singleSpans);
+
+        ASSERT_EQ(sharded.shards.size(), 3u);
+        unsigned next = 0;
+        for (const ShardStats &s : sharded.shards) {
+            EXPECT_EQ(s.begin, next);
+            EXPECT_GT(s.end, s.begin);
+            next = s.end;
+        }
+        EXPECT_EQ(next, config.servers);
+    }
+}
+
+TEST_F(FleetScaleTier, ShardedRunMatchesSingleProcessWithFaultsArmed)
+{
+    // Chaos across the pipe: with every fault site armed, the shard
+    // children inherit the armed injector through fork, evaluate
+    // their per-task forks exactly as the single process would, and
+    // ship the counter deltas home — the parent's injector must end
+    // with identical evaluation/fire counts.
+    const auto record = [](std::vector<std::uint64_t> scans) {
+        for (unsigned i = 0; i < numFaultSites; ++i) {
+            const auto &s = faultInjector().siteStats(
+                static_cast<FaultSite>(i));
+            scans.push_back(s.evaluations);
+            scans.push_back(s.fires);
+        }
+        faultInjector().reset();
+        return scans;
+    };
+    const auto arm = [] {
+        faultInjector().reset(0xbadc0de);
+        for (unsigned i = 0; i < numFaultSites; ++i)
+            faultInjector().arm(static_cast<FaultSite>(i),
+                                FaultSpec::chance(0.02));
+    };
+    Fleet::Config config = scaleTierFleet(true, 18);
+    config.threads = 1;
+
+    arm();
+    Fleet single(config);
+    const auto baseline = record(scansBits(single.run()));
+
+    arm();
+    const ShardRunResult sharded = runShardedFleet(config, 3);
+    EXPECT_EQ(record(scansBits(sharded.scans)), baseline);
+}
+
+TEST_F(FleetScaleTier, ShardedCheckpointMatchesSingleProcessBytes)
+{
+    // A sharded run must leave behind the same checkpoint directory
+    // a single-process run writes: every snapshot image and the one
+    // manifest (written by the parent from the shards' merged
+    // entries), byte for byte.
+    namespace fs = std::filesystem;
+    const std::string singleDir =
+        ::testing::TempDir() + "ctgsnap_shard_single";
+    const std::string shardDir =
+        ::testing::TempDir() + "ctgsnap_shard_forked";
+    fs::remove_all(singleDir);
+    fs::remove_all(shardDir);
+    fs::create_directories(singleDir);
+    fs::create_directories(shardDir);
+
+    Fleet::Config config = scaleTierFleet(true, 12);
+    config.memBytes = 32_MiB;
+    config.threads = 1;
+
+    Fleet::Config singleConfig = config;
+    singleConfig.checkpointDir = singleDir;
+    Fleet single(singleConfig);
+    const auto singleBits = scansBits(single.run());
+
+    Fleet::Config shardConfig = config;
+    shardConfig.checkpointDir = shardDir;
+    const ShardRunResult sharded = runShardedFleet(shardConfig, 3);
+    EXPECT_EQ(scansBits(sharded.scans), singleBits);
+
+    const auto slurp = [](const fs::path &p) {
+        std::string out;
+        if (FILE *f = std::fopen(p.c_str(), "rb")) {
+            char buf[4096];
+            std::size_t n;
+            while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+                out.append(buf, n);
+            std::fclose(f);
+        }
+        return out;
+    };
+    std::vector<std::string> names;
+    for (const auto &entry : fs::directory_iterator(singleDir))
+        names.push_back(entry.path().filename().string());
+    std::sort(names.begin(), names.end());
+    EXPECT_GT(names.size(), 1u);
+    unsigned compared = 0;
+    for (const std::string &name : names) {
+        ASSERT_TRUE(fs::exists(fs::path(shardDir) / name))
+            << "sharded run missing " << name;
+        EXPECT_EQ(slurp(fs::path(shardDir) / name),
+                  slurp(fs::path(singleDir) / name))
+            << "checkpoint file differs: " << name;
+        ++compared;
+    }
+    EXPECT_EQ(compared, names.size());
+    ASSERT_TRUE(std::find(names.begin(), names.end(),
+                          snap::manifestFileName()) != names.end());
+
+    fs::remove_all(singleDir);
+    fs::remove_all(shardDir);
+}
+
+// ---------------------------------------------------------------
+// Coarse (scale) stepping
+// ---------------------------------------------------------------
+
+TEST_F(FleetScaleTier, CoarseStepIsDeterministicAndFingerprinted)
+{
+    // Coarse stepping deliberately changes results (bigger workload
+    // segments between scan points), so it must be deterministic
+    // run-to-run, it must actually differ from fine stepping, and
+    // both fingerprints must carry it — a restore across stepping
+    // modes has to be refused, not silently mixed.
+    Fleet::Config fine = scaleTierFleet(true, 8);
+    fine.coarseStep = false;
+    Fleet::Config coarse = fine;
+    coarse.coarseStep = true;
+
+    Fleet coarseA(coarse);
+    const auto coarseBits = scansBits(coarseA.run());
+    Fleet coarseB(coarse);
+    EXPECT_EQ(scansBits(coarseB.run()), coarseBits);
+
+    Fleet fineFleet(fine);
+    EXPECT_NE(scansBits(fineFleet.run()), coarseBits);
+
+    EXPECT_NE(fleetConfigFingerprint(fine),
+              fleetConfigFingerprint(coarse));
+    Server::Config sfine;
+    sfine.coarseStep = false;
+    Server::Config scoarse;
+    scoarse.coarseStep = true;
+    EXPECT_NE(serverConfigFingerprint(sfine),
+              serverConfigFingerprint(scoarse));
+}
+
+TEST_F(FleetScaleTier, CoarseStepPreservesConfinementAndCdfShape)
+{
+    // The fig11 regression under coarsening: Contiguitas must still
+    // confine unmovables (more free 2M contiguity, fewer unmovable
+    // blocks than stock Linux), and the scan CDFs must keep their
+    // shape — monotone quantiles with real spread, not a collapsed
+    // point mass.
+    const auto runSystem = [](bool contiguitas) {
+        Fleet::Config config = scaleTierFleet(contiguitas, 24);
+        config.coarseStep = true;
+        Fleet fleet(config);
+        fleet.run();
+        return fleet.scanSinks();
+    };
+    const Fleet::ScanSinks vanilla = runSystem(false);
+    const Fleet::ScanSinks ctg = runSystem(true);
+
+    EXPECT_GT(ctg.freeContiguity2m.mean(),
+              vanilla.freeContiguity2m.mean());
+    EXPECT_GT(ctg.freeContiguity2m.quantile(0.5),
+              vanilla.freeContiguity2m.quantile(0.5));
+    EXPECT_LT(ctg.unmovableBlocks2m.mean(),
+              vanilla.unmovableBlocks2m.mean());
+
+    for (const Fleet::ScanSinks *s : {&vanilla, &ctg}) {
+        double prev = s->freeContiguity2m.quantile(0.0);
+        for (const double f : {0.25, 0.5, 0.75, 1.0}) {
+            const double q = s->freeContiguity2m.quantile(f);
+            EXPECT_GE(q, prev);
+            prev = q;
+        }
+        EXPECT_GT(s->freeContiguity2m.quantile(1.0),
+                  s->freeContiguity2m.quantile(0.0))
+            << "coarse stepping collapsed the population spread";
+    }
 }
 
 TEST_F(FleetScaleTier, PeakRssGaugeReportsProcessFootprint)
